@@ -1,0 +1,77 @@
+//! Criterion bench behind Figures 5–6: online EM event processing
+//! throughput and query execution engine task latency sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use insight_crowd::engine::{QueryExecutionEngine, Worker, WorkerId};
+use insight_crowd::latency::ConnectionType;
+use insight_crowd::model::{CrowdQuery, LabelSet, SimulatedParticipant};
+use insight_crowd::online_em::OnlineEm;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_online_em(c: &mut Criterion) {
+    let labels = LabelSet::traffic_default();
+    let cohort = SimulatedParticipant::paper_cohort();
+    let mut rng = StdRng::seed_from_u64(4);
+    // Pre-draw 1000 events worth of answers.
+    let events: Vec<Vec<(usize, usize)>> = (0..1000usize)
+        .map(|t| {
+            cohort
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i, p.answer(t % 4, &labels, &mut rng).unwrap()))
+                .collect()
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("online_em");
+    for n in [100usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("process_events", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut em = OnlineEm::paper_default(cohort.len());
+                let prior = labels.uniform_prior();
+                for answers in events.iter().take(n) {
+                    black_box(em.process(&prior, answers).unwrap());
+                }
+                em
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut engine = QueryExecutionEngine::new();
+    for i in 0..50u64 {
+        engine.register(Worker {
+            id: WorkerId(i),
+            lon: -6.26 + (i as f64) * 1e-3,
+            lat: 53.35,
+            connection: ConnectionType::ALL[(i % 3) as usize],
+            avg_comp_ms: 100.0,
+        });
+    }
+    let query = CrowdQuery {
+        question: "Congestion?".into(),
+        answers: vec!["yes".into(), "no".into()],
+        lon: -6.26,
+        lat: 53.35,
+        deadline_ms: None,
+    };
+    let selected: Vec<WorkerId> = (0..50).map(WorkerId).collect();
+
+    c.bench_function("engine/execute_50_workers", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| {
+            black_box(
+                engine
+                    .execute(&query, &selected, |id| Some((id.0 % 2) as usize), &mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_online_em, bench_engine);
+criterion_main!(benches);

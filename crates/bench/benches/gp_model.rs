@@ -1,0 +1,37 @@
+//! Criterion bench behind Figure 9: GP kernel construction and posterior
+//! computation as a function of graph size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use insight_gp::graph::Graph;
+use insight_gp::kernel::{Kernel, RegularizedLaplacian};
+use insight_gp::regression::GpRegression;
+use std::hint::black_box;
+
+fn bench_gp(c: &mut Criterion) {
+    let kernel = RegularizedLaplacian::new(3.0, 1.0).unwrap();
+
+    let mut group = c.benchmark_group("gp");
+    group.sample_size(10);
+    for side in [8usize, 14, 20] {
+        let graph = Graph::grid(side, side);
+        let n = graph.len();
+        let observations: Vec<(usize, f64)> = (0..n)
+            .step_by(3)
+            .map(|v| (v, ((v % 13) as f64) * 100.0))
+            .collect();
+
+        group.bench_with_input(BenchmarkId::new("kernel", n), &graph, |b, g| {
+            b.iter(|| black_box(kernel.covariance(g).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("fit_predict", n), &graph, |b, g| {
+            b.iter(|| {
+                let gp = GpRegression::fit(g, &kernel, &observations, 0.1, true).unwrap();
+                black_box(gp.predict_unobserved().unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gp);
+criterion_main!(benches);

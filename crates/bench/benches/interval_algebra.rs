@@ -1,0 +1,38 @@
+//! Microbench of the RTEC interval algebra — the inner loop of
+//! statically-determined fluents like `sourceDisagreement`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use insight_rtec::interval::{Interval, IntervalList};
+use std::hint::black_box;
+
+fn list(n: usize, offset: i64) -> IntervalList {
+    IntervalList::from_intervals(
+        (0..n).map(|i| Interval::span(offset + (i as i64) * 10, offset + (i as i64) * 10 + 6)),
+    )
+}
+
+fn bench_algebra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interval_algebra");
+    for n in [100usize, 1000] {
+        let a = list(n, 0);
+        let b2 = list(n, 3);
+        group.bench_with_input(BenchmarkId::new("union", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.union(&b2)))
+        });
+        group.bench_with_input(BenchmarkId::new("intersect", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.intersect(&b2)))
+        });
+        group.bench_with_input(BenchmarkId::new("relative_complement", n), &n, |bch, _| {
+            bch.iter(|| black_box(IntervalList::relative_complement_all(&a, [&b2])))
+        });
+        let inits: Vec<i64> = (0..n as i64).map(|i| i * 10).collect();
+        let terms: Vec<i64> = (0..n as i64).map(|i| i * 10 + 6).collect();
+        group.bench_with_input(BenchmarkId::new("from_points", n), &n, |bch, _| {
+            bch.iter(|| black_box(IntervalList::from_points(&inits, &terms, false, 0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algebra);
+criterion_main!(benches);

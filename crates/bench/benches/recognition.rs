@@ -1,0 +1,42 @@
+//! Criterion bench behind Figure 4: recognition cost vs working-memory size
+//! and mode, on a reduced scenario so `cargo bench` stays fast. The
+//! `fig4_recognition` binary runs the paper-scale version.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use insight_bench::time_recognition;
+use insight_datagen::scenario::{Scenario, ScenarioConfig};
+use insight_traffic::{NoisyVariant, TrafficRulesConfig};
+
+fn bench_recognition(c: &mut Criterion) {
+    let mut cfg = ScenarioConfig::small(2400, 3);
+    cfg.fleet.n_buses = 60;
+    cfg.n_scats_sensors = 80;
+    let scenario = Scenario::generate(cfg).expect("scenario generates");
+
+    let mut group = c.benchmark_group("recognition");
+    group.sample_size(10);
+    for wm in [600i64, 1200, 1800] {
+        group.bench_with_input(BenchmarkId::new("static", wm), &wm, |b, &wm| {
+            b.iter(|| {
+                time_recognition(&scenario, TrafficRulesConfig::static_mode(), wm, wm, 1)
+                    .expect("recognition runs")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("self-adaptive", wm), &wm, |b, &wm| {
+            b.iter(|| {
+                time_recognition(
+                    &scenario,
+                    TrafficRulesConfig::self_adaptive(NoisyVariant::Pessimistic),
+                    wm,
+                    wm,
+                    1,
+                )
+                .expect("recognition runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recognition);
+criterion_main!(benches);

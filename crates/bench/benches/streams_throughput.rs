@@ -1,0 +1,52 @@
+//! Microbench of the Streams middleware: item throughput through a
+//! filter → enrich → queue → count topology — the volume dimension the
+//! paper's architecture claims to scale on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use insight_streams::item::DataItem;
+use insight_streams::processor::{Context, FnProcessor};
+use insight_streams::runtime::Runtime;
+use insight_streams::sink::CountSink;
+use insight_streams::source::VecSource;
+use insight_streams::topology::{Input, Output, Topology};
+
+fn run_pipeline(items: Vec<DataItem>) -> u64 {
+    let mut t = Topology::new();
+    t.add_source("in", VecSource::new(items));
+    t.add_queue("q", 1024);
+    t.process("enrich")
+        .input(Input::Stream("in".into()))
+        .processor(FnProcessor::new(|item: DataItem, _ctx: &mut Context| {
+            Ok((item.get_i64("n").unwrap_or(0) % 3 != 0).then_some(item))
+        }))
+        .processor(FnProcessor::new(|mut item: DataItem, _ctx: &mut Context| {
+            let n = item.get_i64("n").unwrap_or(0);
+            item.set("double", n * 2);
+            Ok(Some(item))
+        }))
+        .output(Output::Queue("q".into()))
+        .done();
+    let sink = CountSink::shared();
+    t.process("count").input(Input::Queue("q".into())).output(Output::Sink(Box::new(sink.clone()))).done();
+    Runtime::new(t).run().expect("pipeline runs");
+    sink.count()
+}
+
+fn bench_streams(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streams");
+    group.sample_size(10);
+    for n in [10_000usize, 50_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("filter_enrich_count", n), &n, |b, &n| {
+            b.iter(|| {
+                let items: Vec<DataItem> =
+                    (0..n).map(|i| DataItem::new().with("n", i as i64)).collect();
+                run_pipeline(items)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streams);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Ablation: value of region-partitioned recognition.
+//!
+//! The paper distributes recognition over Dublin's four SCATS regions, one
+//! processor each (§7.1). This ablation compares the distributed
+//! recognition time (max over parallel engines) against the
+//! sequential-equivalent time (sum over engines) as the number of active
+//! partitions varies — the speed-up the four-way distribution buys.
+//!
+//! ```sh
+//! cargo run --release -p insight-bench --bin ablation_distribution [--quick]
+//! ```
+
+use insight_bench::{secs, ResultsWriter};
+use insight_datagen::scenario::{Scenario, ScenarioConfig};
+use insight_rtec::window::WindowConfig;
+use insight_traffic::recognizer::{IntersectionInfo, TrafficRecognizer};
+use insight_traffic::{DistributedRecognizer, TrafficRulesConfig};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut out = ResultsWriter::new("ablation_distribution");
+    out.line("=== Ablation: 1 engine vs 4 region-partitioned engines ===");
+
+    let duration = if quick { 1800 } else { 3600 };
+    let cfg = if quick {
+        let mut c = ScenarioConfig::small(duration, 11);
+        c.fleet.n_buses = 60;
+        c.n_scats_sensors = 80;
+        c
+    } else {
+        ScenarioConfig::dublin_jan_2013(duration, 11)
+    };
+    let scenario = Scenario::generate(cfg)?;
+    let wm = duration - 300;
+    let window = WindowConfig::new(wm, 300)?;
+    let rules = TrafficRulesConfig::static_mode();
+    let (start, _) = scenario.window();
+    let q = start + wm;
+
+    // Single-engine baseline: all intersections in one recogniser.
+    let infos: Vec<IntersectionInfo> = scenario
+        .scats
+        .intersections()
+        .iter()
+        .map(|i| IntersectionInfo { id: i.id as i64, lon: i.lon, lat: i.lat })
+        .collect();
+    let mut single = TrafficRecognizer::new(rules.clone(), window, &infos, &[])?;
+    for sde in &scenario.sdes {
+        if sde.arrival <= q {
+            single.ingest(sde)?;
+        }
+    }
+    let t0 = Instant::now();
+    let single_result = single.query(q)?;
+    let single_time = t0.elapsed();
+
+    // Four-way distributed.
+    let mut distributed =
+        DistributedRecognizer::from_deployment(rules, window, &scenario.scats)?;
+    for sde in &scenario.sdes {
+        if sde.arrival <= q {
+            distributed.ingest(sde)?;
+        }
+    }
+    let result = distributed.query(q)?;
+
+    out.line(format!(
+        "scenario: {} SDEs in one {}-minute window; {} sensors",
+        single_result.sde_count(),
+        wm / 60,
+        scenario.scats.len()
+    ));
+    out.line(String::new());
+    out.line(format!("{:<28} {:>14} {:>14}", "configuration", "wall time (s)", "CPU time (s)"));
+    out.line(format!(
+        "{:<28} {:>14.3} {:>14.3}",
+        "1 engine (all regions)",
+        secs(single_time),
+        secs(single_time)
+    ));
+    out.line(format!(
+        "{:<28} {:>14.3} {:>14.3}",
+        format!("{} engines (parallel)", distributed.regions()),
+        secs(result.max_region_time),
+        secs(result.total_cpu_time)
+    ));
+    let speedup = secs(single_time) / secs(result.max_region_time).max(1e-9);
+    out.line(String::new());
+    out.line(format!("distribution speed-up (wall): {speedup:.2}x"));
+    out.line("expectation: near-linear gains as long as regions carry comparable load;");
+    out.line("the per-engine work also shrinks superlinearly for join-heavy rules since");
+    out.line("each engine matches buses only against its own region's intersections.");
+    let path = out.finish()?;
+    eprintln!("results saved to {}", path.display());
+    Ok(())
+}

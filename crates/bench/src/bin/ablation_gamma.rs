@@ -1,0 +1,95 @@
+//! Ablation: the step-size schedule of the online EM.
+//!
+//! The paper prints "γ_t = t/(t+1)" — a schedule that *increases* towards 1
+//! and violates the stochastic-approximation conditions it quotes
+//! (Σγ² < ∞). This ablation compares the literal schedule against the
+//! running-mean schedule `1/(t+1)` (our default) and the polynomial family,
+//! measuring final estimation error and trajectory stability over the
+//! Figure 5 protocol.
+//!
+//! ```sh
+//! cargo run --release -p insight-bench --bin ablation_gamma
+//! ```
+
+use insight_bench::ResultsWriter;
+use insight_crowd::model::{LabelSet, SimulatedParticipant};
+use insight_crowd::online_em::OnlineEm;
+use insight_crowd::schedule::GammaSchedule;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Quality {
+    final_mae: f64,
+    trajectory_wobble: f64,
+}
+
+fn run(schedule: GammaSchedule, seed: u64) -> Quality {
+    let labels = LabelSet::traffic_default();
+    let cohort = SimulatedParticipant::paper_cohort();
+    let mut em =
+        OnlineEm::new(cohort.len(), labels.clone(), 0.25, schedule).expect("valid config");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut prev = em.estimates().to_vec();
+    let mut wobble = 0.0;
+    let horizon = 1000;
+    for t in 0..horizon {
+        let truth = t % labels.len();
+        let answers: Vec<(usize, usize)> = cohort
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, p.answer(truth, &labels, &mut rng).unwrap()))
+            .collect();
+        em.process(&labels.uniform_prior(), &answers).expect("valid event");
+        if t >= horizon / 2 {
+            // Tail wobble: average absolute step of the estimates.
+            wobble += em
+                .estimates()
+                .iter()
+                .zip(&prev)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>()
+                / cohort.len() as f64;
+        }
+        prev.copy_from_slice(em.estimates());
+    }
+    let final_mae = em
+        .estimates()
+        .iter()
+        .zip(cohort.iter())
+        .map(|(est, p)| (est - p.p_err).abs())
+        .sum::<f64>()
+        / cohort.len() as f64;
+    Quality { final_mae, trajectory_wobble: wobble / (horizon / 2) as f64 }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut out = ResultsWriter::new("ablation_gamma");
+    out.line("=== Ablation: online EM step-size schedules (Figure 5 protocol) ===");
+    out.line(String::new());
+    out.line(format!(
+        "{:<26} {:>12} {:>18}",
+        "schedule", "final MAE", "tail wobble/step"
+    ));
+
+    let schedules: [(&str, GammaSchedule); 4] = [
+        ("1/(t+1) (running mean)", GammaSchedule::RunningMean),
+        ("t/(t+1) (paper literal)", GammaSchedule::PaperLiteral),
+        ("t^-0.7 (polynomial)", GammaSchedule::Polynomial(0.7)),
+        ("constant 0.05", GammaSchedule::Constant(0.05)),
+    ];
+    for (name, schedule) in schedules {
+        // Average over three seeds.
+        let runs: Vec<Quality> = (0..3).map(|s| run(schedule, 100 + s)).collect();
+        let mae = runs.iter().map(|q| q.final_mae).sum::<f64>() / runs.len() as f64;
+        let wob = runs.iter().map(|q| q.trajectory_wobble).sum::<f64>() / runs.len() as f64;
+        out.line(format!("{name:<26} {mae:>12.4} {wob:>18.5}"));
+    }
+
+    out.line(String::new());
+    out.line("expectation: the running-mean schedule converges (small MAE, vanishing");
+    out.line("wobble); the literal t/(t+1) schedule keeps chasing the last event and");
+    out.line("never settles — evidence the paper's formula is a typo for 1/(t+1).");
+    let path = out.finish()?;
+    eprintln!("results saved to {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Figure 4: complex event recognition performance.
+//!
+//! "Figure 4 displays the average CE recognition times in CPU seconds. The
+//! working memory ranges from 10 min, including on average 12,500 SDEs, to
+//! 110 minutes, including 152,000 SDEs. … self-adaptive CE recognition has
+//! a minimal overhead compared to static recognition \[and\] RTEC performs
+//! real-time CE recognition in both settings."
+//!
+//! Protocol: the paper-scale Dublin scenario (942 buses, 966 SCATS sensors,
+//! four region-parallel engines, step = 31 s); for each working-memory size
+//! the mean recognition time over fully populated windows is reported for
+//! both modes.
+//!
+//! ```sh
+//! cargo run --release -p insight-bench --bin fig4_recognition [--quick]
+//! ```
+
+use insight_bench::{secs, time_recognition, ResultsWriter};
+use insight_datagen::scenario::{Scenario, ScenarioConfig};
+use insight_traffic::{NoisyVariant, TrafficRulesConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Working-memory sweep in minutes, as on the paper's x-axis.
+    let wm_minutes: &[i64] = if quick { &[10, 30, 50] } else { &[10, 30, 50, 70, 90, 110] };
+    let duration = wm_minutes.last().unwrap() * 60 + 600;
+    let step = 31; // the paper annotates "31 sec" as the recognition step
+    let n_queries = if quick { 3 } else { 5 };
+
+    let mut out = ResultsWriter::new("fig4_recognition");
+    out.line("=== Figure 4: event recognition performance ===");
+    out.line(format!(
+        "scenario: dublin_jan_2013 preset, duration {duration} s, step {step} s, {n_queries} queries per point"
+    ));
+    out.line("generating paper-scale scenario (942 buses, 966 sensors)…");
+    let scenario = Scenario::generate(ScenarioConfig::dublin_jan_2013(duration, 1))?;
+    out.line(format!(
+        "  {} SDEs total ({:.1}/s aggregate — the paper's rate is ~21/s)",
+        scenario.sdes.len(),
+        scenario.sde_rate()
+    ));
+
+    out.line(String::new());
+    out.line(format!(
+        "{:>8} {:>12} {:>16} {:>20} {:>16}",
+        "WM min", "SDEs/window", "static (s)", "self-adaptive (s)", "overhead (%)"
+    ));
+
+    for &minutes in wm_minutes {
+        let wm = minutes * 60;
+        let static_t = time_recognition(
+            &scenario,
+            TrafficRulesConfig::static_mode(),
+            wm,
+            step,
+            n_queries,
+        )?;
+        let adaptive_t = time_recognition(
+            &scenario,
+            TrafficRulesConfig::self_adaptive(NoisyVariant::Pessimistic),
+            wm,
+            step,
+            n_queries,
+        )?;
+        let overhead =
+            100.0 * (secs(adaptive_t.mean_time) - secs(static_t.mean_time)) / secs(static_t.mean_time);
+        out.line(format!(
+            "{:>8} {:>12.0} {:>16.3} {:>20.3} {:>16.1}",
+            minutes,
+            static_t.mean_records,
+            secs(static_t.mean_time),
+            secs(adaptive_t.mean_time),
+            overhead
+        ));
+    }
+
+    out.line(String::new());
+    out.line("shape checks (paper: both curves grow with WM, stay well under real time,");
+    out.line("and the self-adaptive overhead is minimal).");
+    let path = out.finish()?;
+    eprintln!("results saved to {}", path.display());
+    Ok(())
+}

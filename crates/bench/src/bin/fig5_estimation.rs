@@ -1,0 +1,129 @@
+//! Figure 5: online EM estimation of participant quality.
+//!
+//! "We simulated 10 participants … using p = {0.05, 0.15, 0.2, 0.25, 0.25,
+//! 0.38, 0.4, 0.5, 0.75, 0.9} as their respective error probabilities.
+//! There are 4 possible answers. … We initialize each p_i to 0.25. All
+//! participants were queried about each sensor disagreement. … the estimated
+//! values converge to the true value … After processing approximately 100
+//! calls, the ordering of the participants by quality is more or less
+//! correct, except for participants whose error probabilities are close.
+//! Most of the time (94 %) the posterior probability distribution is very
+//! peaked."
+//!
+//! ```sh
+//! cargo run --release -p insight-bench --bin fig5_estimation
+//! ```
+
+use insight_bench::ResultsWriter;
+use insight_crowd::batch_em::{BatchEm, RecordedEvent};
+use insight_crowd::model::{LabelSet, SimulatedParticipant};
+use insight_crowd::online_em::OnlineEm;
+use insight_crowd::stats::{EstimationTrace, PeakednessTracker};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let labels = LabelSet::traffic_default();
+    let cohort = SimulatedParticipant::paper_cohort();
+    let true_p: Vec<f64> = cohort.iter().map(|p| p.p_err).collect();
+    let mut em = OnlineEm::paper_default(cohort.len());
+    let mut trace = EstimationTrace::new(cohort.len());
+    let mut peaked = PeakednessTracker::paper_default();
+    let mut rng = StdRng::seed_from_u64(14);
+
+    let total_queries = 1000;
+    let mut recorded: Vec<RecordedEvent> = Vec::with_capacity(total_queries);
+    for t in 0..total_queries {
+        let truth = t % labels.len();
+        let answers: Vec<(usize, usize)> = cohort
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, p.answer(truth, &labels, &mut rng).unwrap()))
+            .collect();
+        let outcome = em.process(&labels.uniform_prior(), &answers)?;
+        peaked.record(outcome.confidence);
+        trace.snapshot(em.estimates());
+        recorded.push(RecordedEvent { prior: labels.uniform_prior(), answers });
+    }
+    // The batch reference the online algorithm approximates (the paper
+    // explains why batch EM cannot run on the live stream).
+    let batch = BatchEm::paper_default().run(&recorded, cohort.len())?;
+
+    let mut out = ResultsWriter::new("fig5_estimation");
+    out.line("=== Figure 5: estimation of participant quality (online EM) ===");
+    out.line(format!(
+        "10 participants, 4 answers, p_i initialised to 0.25, {total_queries} disagreement events"
+    ));
+
+    out.line(String::new());
+    out.line("estimates p̂_i after N queries (top panel of Figure 5), plus the batch-EM");
+    out.line("reference computed offline over the full data set:");
+    let checkpoints = [10usize, 50, 100, 200, 500, 1000];
+    let mut header = format!("{:>4} {:>7}", "i", "true");
+    for c in checkpoints {
+        header.push_str(&format!(" {c:>8}"));
+    }
+    header.push_str(&format!(" {:>8}", "batch"));
+    out.line(header);
+    for (i, &p) in true_p.iter().enumerate() {
+        let mut row = format!("{i:>4} {p:>7.2}");
+        for c in checkpoints {
+            row.push_str(&format!(" {:>8.3}", trace.series[i][c - 1]));
+        }
+        row.push_str(&format!(" {:>8.3}", batch.p_hat[i]));
+        out.line(row);
+    }
+    out.line(format!(
+        "batch EM converged in {} iterations; max |online − batch| = {:.3}",
+        batch.iterations,
+        true_p
+            .iter()
+            .enumerate()
+            .map(|(i, _)| (trace.final_estimate(i).unwrap() - batch.p_hat[i]).abs())
+            .fold(0.0f64, f64::max)
+    ));
+
+    out.line(String::new());
+    out.line("relative estimation error (p̂−p)/p after N queries (bottom panel):");
+    let mut header = format!("{:>4} {:>7}", "i", "true");
+    for c in checkpoints {
+        header.push_str(&format!(" {c:>8}"));
+    }
+    out.line(header);
+    for (i, &p) in true_p.iter().enumerate() {
+        let mut row = format!("{i:>4} {p:>7.2}");
+        for c in checkpoints {
+            row.push_str(&format!(" {:>8.2}", trace.relative_error(i, c - 1, p).unwrap()));
+        }
+        out.line(row);
+    }
+
+    // Ordering recovery at ~100 queries, tolerating the paper's near-ties
+    // (participants 2-3 at 0.2/0.25 and 6-7 at 0.38/0.4... actually 0.4/0.5;
+    // the paper names 2-3 and 6-7 as confusable).
+    let mut trace_at_100 = EstimationTrace::new(cohort.len());
+    trace_at_100.snapshot(
+        &trace.series.iter().map(|s| s[99]).collect::<Vec<f64>>(),
+    );
+    out.line(String::new());
+    out.line(format!(
+        "ordering correct after 100 queries (near-ties within 0.06 tolerated): {}",
+        trace_at_100.ordering_correct(&true_p, 0.06)
+    ));
+    out.line(format!(
+        "posteriors with one label above 0.99: {:.1} % (paper: ~94 %)",
+        peaked.fraction().unwrap() * 100.0
+    ));
+    out.line(format!(
+        "final max |p̂−p| across participants: {:.3}",
+        true_p
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (trace.final_estimate(i).unwrap() - p).abs())
+            .fold(0.0f64, f64::max)
+    ));
+
+    let path = out.finish()?;
+    eprintln!("results saved to {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Figures 7–8: the street network and the SCATS sensor locations.
+//!
+//! The paper shows the OSM map of Dublin (Fig. 7), the derived street
+//! network with SCATS locations as black dots (Fig. 8). This harness
+//! generates the procedural substitute, reports its statistics, and renders
+//! the network + sensor map as a PPM image.
+//!
+//! ```sh
+//! cargo run --release -p insight-bench --bin fig8_network
+//! ```
+
+use insight_bench::ResultsWriter;
+use insight_datagen::network::{NetworkConfig, StreetNetwork};
+use insight_datagen::regions::Region;
+use insight_datagen::scats::ScatsDeployment;
+use insight_gp::graph::Graph;
+use insight_gp::render::render_ppm;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut out = ResultsWriter::new("fig8_network");
+    out.line("=== Figures 7-8: street network and SCATS locations ===");
+
+    let cfg = NetworkConfig::dublin_default();
+    let network = StreetNetwork::generate(&cfg, 1)?;
+    let scats = ScatsDeployment::place(&network, 966, 0.04, 1)?;
+
+    out.line(format!(
+        "street network: {} junctions, {} segments, average degree {:.2}, connected: {}",
+        network.len(),
+        network.segments().len(),
+        network.average_degree(),
+        network.is_connected()
+    ));
+    let (x0, y0, x1, y1) = network.bbox();
+    out.line(format!("bounding box: lon [{x0}, {x1}], lat [{y0}, {y1}]"));
+    out.line(format!(
+        "SCATS deployment: {} sensors on {} intersections",
+        scats.len(),
+        scats.intersections().len()
+    ));
+
+    out.line(String::new());
+    out.line("sensors per region (the four recognition partitions of §7.1):");
+    for region in Region::ALL {
+        let intersections =
+            scats.intersections().iter().filter(|i| i.region == region).count();
+        let sensors = scats
+            .intersections()
+            .iter()
+            .filter(|i| i.region == region)
+            .map(|i| i.sensors.len())
+            .sum::<usize>();
+        out.line(format!("  {region:<8} {intersections:>5} intersections, {sensors:>5} sensors"));
+    }
+
+    // Render: all junctions in green (low value), instrumented junctions in
+    // red (high value) — black-dot semantics of Fig. 8 via the value ramp.
+    let graph = Graph::new(network.junctions().to_vec(), network.segments())?;
+    let mut values: Vec<(usize, f64)> = (0..network.len()).map(|v| (v, 0.0)).collect();
+    for i in scats.intersections() {
+        values[i.junction] = (i.junction, 1.0);
+    }
+    std::fs::create_dir_all("target/experiments")?;
+    let ppm = render_ppm(&graph, &values, 720, 520, 2);
+    let img = "target/experiments/fig8_network.ppm";
+    std::fs::write(img, ppm)?;
+    out.line(String::new());
+    out.line(format!(
+        "map rendered to {img} (red dots = instrumented junctions, green = uninstrumented)"
+    ));
+
+    // CSV of sensor locations for external plotting.
+    let mut csv = String::from("sensor,intersection,approach,lon,lat,region\n");
+    for i in scats.intersections() {
+        for &s in &i.sensors {
+            csv.push_str(&format!("{s},{},{},{:.6},{:.6},{}\n", i.id, 0, i.lon, i.lat, i.region));
+        }
+    }
+    let csv_path = "target/experiments/fig8_scats_locations.csv";
+    std::fs::write(csv_path, csv)?;
+    out.line(format!("sensor locations exported to {csv_path}"));
+
+    let path = out.finish()?;
+    eprintln!("results saved to {}", path.display());
+    Ok(())
+}

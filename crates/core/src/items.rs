@@ -1,0 +1,134 @@
+//! SDE records as Streams data items.
+//!
+//! The Streams framework represents stream elements as key/value sets; the
+//! input handling processes of §3 forward "all SDEs emitted by buses" as one
+//! stream and the SCATS SDEs as four per-region streams. These conversions
+//! define the item schema shared by those processes.
+
+use insight_datagen::stream::{BusRecord, ScatsRecord, Sde, SdeBody};
+use insight_streams::item::DataItem;
+
+/// Item key holding the SDE kind (`"bus"` / `"scats"`).
+pub const KIND: &str = "kind";
+
+/// Converts a scenario SDE into a data item.
+pub fn sde_to_item(sde: &Sde) -> DataItem {
+    let base = DataItem::new()
+        .with("time", sde.time)
+        .with("arrival", sde.arrival)
+        .with("region", sde.region().to_string());
+    match &sde.body {
+        SdeBody::Bus(b) => base
+            .with(KIND, "bus")
+            .with("bus", b.bus as i64)
+            .with("line", b.line as i64)
+            .with("operator", b.operator as i64)
+            .with("delay", b.delay_s)
+            .with("lon", b.lon)
+            .with("lat", b.lat)
+            .with("direction", b.direction as i64)
+            .with("congestion", b.congestion),
+        SdeBody::Scats(s) => base
+            .with(KIND, "scats")
+            .with("intersection", s.intersection as i64)
+            .with("approach", s.approach as i64)
+            .with("sensor", s.sensor as i64)
+            .with("density", s.density)
+            .with("flow", s.flow)
+            .with("lon", s.lon)
+            .with("lat", s.lat),
+    }
+}
+
+/// Parses a data item back into an SDE; `None` when the schema is violated.
+pub fn item_to_sde(item: &DataItem) -> Option<Sde> {
+    let time = item.get_i64("time")?;
+    let arrival = item.get_i64("arrival")?;
+    let body = match item.get_str(KIND)? {
+        "bus" => SdeBody::Bus(BusRecord {
+            bus: item.get_i64("bus")? as u32,
+            line: item.get_i64("line")? as u32,
+            operator: item.get_i64("operator")? as u32,
+            delay_s: item.get_i64("delay")?,
+            lon: item.get_f64("lon")?,
+            lat: item.get_f64("lat")?,
+            direction: item.get_i64("direction")? as u8,
+            congestion: item.get_bool("congestion")?,
+        }),
+        "scats" => SdeBody::Scats(ScatsRecord {
+            intersection: item.get_i64("intersection")? as u32,
+            approach: item.get_i64("approach")? as u8,
+            sensor: item.get_i64("sensor")? as u32,
+            density: item.get_f64("density")?,
+            flow: item.get_f64("flow")?,
+            lon: item.get_f64("lon")?,
+            lat: item.get_f64("lat")?,
+        }),
+        _ => return None,
+    };
+    Some(Sde { time, arrival, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus_sde() -> Sde {
+        Sde {
+            time: 100,
+            arrival: 120,
+            body: SdeBody::Bus(BusRecord {
+                bus: 33009,
+                line: 10,
+                operator: 7,
+                delay_s: 400,
+                lon: -6.26,
+                lat: 53.35,
+                direction: 1,
+                congestion: true,
+            }),
+        }
+    }
+
+    fn scats_sde() -> Sde {
+        Sde {
+            time: 360,
+            arrival: 360,
+            body: SdeBody::Scats(ScatsRecord {
+                intersection: 4,
+                approach: 1,
+                sensor: 12,
+                density: 90.5,
+                flow: 1100.0,
+                lon: -6.27,
+                lat: 53.34,
+            }),
+        }
+    }
+
+    #[test]
+    fn bus_roundtrip() {
+        let item = sde_to_item(&bus_sde());
+        assert_eq!(item.get_str(KIND), Some("bus"));
+        assert_eq!(item.get_str("region"), Some("central"));
+        assert_eq!(item_to_sde(&item).unwrap(), bus_sde());
+    }
+
+    #[test]
+    fn scats_roundtrip() {
+        let item = sde_to_item(&scats_sde());
+        assert_eq!(item.get_str(KIND), Some("scats"));
+        assert_eq!(item_to_sde(&item).unwrap(), scats_sde());
+    }
+
+    #[test]
+    fn malformed_items_rejected() {
+        assert!(item_to_sde(&DataItem::new()).is_none());
+        let mut item = sde_to_item(&bus_sde());
+        item.set(KIND, "unknown");
+        assert!(item_to_sde(&item).is_none());
+        let mut item = sde_to_item(&bus_sde());
+        item.remove("lon");
+        assert!(item_to_sde(&item).is_none());
+    }
+}

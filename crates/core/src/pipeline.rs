@@ -1,0 +1,344 @@
+//! The Streams topology of §3.
+//!
+//! Reproduces the paper's stream processing component layout:
+//!
+//! * **input handling processes** — all bus SDEs form one stream; SCATS SDEs
+//!   are referenced by four streams, one per region of Dublin city;
+//! * **event processing processes** — the CE definitions are wrapped by a
+//!   processor embedding the RTEC engine in the Streams environment; derived
+//!   CEs are emitted to a queue;
+//! * a collector process forwards the recognition summaries to a sink.
+//!
+//! The RTEC processor buffers SDE items, and whenever the arrival time
+//! crosses the next query time it runs recognition and emits one summary
+//! item per window (CE counts + the disagreement locations to be
+//! crowdsourced).
+
+use crate::items::{item_to_sde, sde_to_item};
+use insight_datagen::regions::Region;
+use insight_datagen::scenario::Scenario;
+use insight_rtec::window::WindowConfig;
+use insight_streams::error::StreamsError;
+use insight_streams::item::DataItem;
+use insight_streams::processor::{Context, Processor};
+use insight_streams::sink::CollectSink;
+use insight_streams::source::VecSource;
+use insight_streams::topology::{Input, Output, Topology};
+use insight_traffic::recognizer::{IntersectionInfo, TrafficRecognizer};
+use insight_traffic::TrafficRulesConfig;
+use std::collections::VecDeque;
+
+/// Embeds a [`TrafficRecognizer`] as a Streams processor ("we integrated
+/// RTEC by a dedicated processor in Streams", §3).
+pub struct RtecProcessor {
+    recognizer: TrafficRecognizer,
+    next_query: i64,
+    step: i64,
+    last_query: i64,
+    region: Region,
+    pending: VecDeque<DataItem>,
+}
+
+impl RtecProcessor {
+    /// Wraps a recogniser; queries run at `first_query, first_query + step, …`.
+    pub fn new(
+        recognizer: TrafficRecognizer,
+        first_query: i64,
+        step: i64,
+        region: Region,
+    ) -> RtecProcessor {
+        RtecProcessor {
+            recognizer,
+            next_query: first_query,
+            step,
+            last_query: i64::MIN,
+            region,
+            pending: VecDeque::new(),
+        }
+    }
+
+    fn run_query(&mut self, q: i64) -> Result<(), StreamsError> {
+        let result = self.recognizer.query(q).map_err(|e| StreamsError::ProcessorFailed {
+            process: format!("rtec-{}", self.region),
+            message: e.to_string(),
+        })?;
+        let mut item = DataItem::new()
+            .with("kind", "recognition")
+            .with("region", self.region.to_string())
+            .with("query_time", q)
+            .with("sde_count", result.sde_count() as i64)
+            .with("congested_intersections", result.congested_intersections().len() as i64)
+            .with("bus_congestions", result.bus_congestions().len() as i64)
+            .with("noisy_buses", result.noisy_buses().len() as i64)
+            .with("delay_increases", result.delay_increases().len() as i64);
+        let open = result.open_disagreements();
+        item.set("open_disagreements", open.len() as i64);
+        if let Some(&(lon, lat)) = open.first() {
+            item.set("disagreement_lon", lon);
+            item.set("disagreement_lat", lat);
+        }
+        self.pending.push_back(item);
+        self.last_query = q;
+        Ok(())
+    }
+}
+
+impl Processor for RtecProcessor {
+    fn process(
+        &mut self,
+        item: DataItem,
+        _ctx: &mut Context,
+    ) -> Result<Option<DataItem>, StreamsError> {
+        if let Some(sde) = item_to_sde(&item) {
+            while sde.arrival >= self.next_query {
+                let q = self.next_query;
+                self.run_query(q)?;
+                self.next_query += self.step;
+            }
+            self.recognizer.ingest(&sde).map_err(|e| StreamsError::ProcessorFailed {
+                process: format!("rtec-{}", self.region),
+                message: e.to_string(),
+            })?;
+        }
+        Ok(self.pending.pop_front())
+    }
+
+    fn finish(&mut self, _ctx: &mut Context) -> Result<Vec<DataItem>, StreamsError> {
+        // One final query covering the tail of the stream.
+        let q = self.next_query;
+        if q > self.last_query {
+            self.run_query(q)?;
+        }
+        Ok(self.pending.drain(..).collect())
+    }
+}
+
+/// Embeds the crowdsourcing component as a Streams processor: recognition
+/// summaries carrying an open source disagreement trigger a crowd query
+/// (the §3 "crowdsourcing processes" — query generation + response
+/// merging); the summary is annotated with the crowd verdict and forwarded.
+///
+/// The *feedback* edge of Figure 1 (crowd events re-entering RTEC) cannot
+/// be a queue in a terminating dataflow graph — it would form a cycle; the
+/// closed loop lives in [`crate::system::InsightSystem`]. `truth_of`
+/// supplies the simulated participants' ground truth, as in the paper's
+/// own crowdsourcing evaluation.
+pub struct CrowdProcessor<F> {
+    bridge: crate::crowdbridge::CrowdBridge,
+    truth_of: F,
+}
+
+impl<F> CrowdProcessor<F>
+where
+    F: Fn(f64, f64, i64) -> bool + Send,
+{
+    /// Wraps a crowd bridge and a ground-truth oracle.
+    pub fn new(bridge: crate::crowdbridge::CrowdBridge, truth_of: F) -> CrowdProcessor<F> {
+        CrowdProcessor { bridge, truth_of }
+    }
+}
+
+impl<F> Processor for CrowdProcessor<F>
+where
+    F: Fn(f64, f64, i64) -> bool + Send,
+{
+    fn process(
+        &mut self,
+        mut item: DataItem,
+        _ctx: &mut Context,
+    ) -> Result<Option<DataItem>, StreamsError> {
+        if let (Some(lon), Some(lat), Some(q)) = (
+            item.get_f64("disagreement_lon"),
+            item.get_f64("disagreement_lat"),
+            item.get_i64("query_time"),
+        ) {
+            let truth = (self.truth_of)(lon, lat, q);
+            let resolution = self.bridge.resolve(lon, lat, truth, None).map_err(|e| {
+                StreamsError::ProcessorFailed { process: "crowdsourcing".into(), message: e.to_string() }
+            })?;
+            item.set("crowd_verdict_congested", resolution.congested);
+            item.set("crowd_confidence", resolution.confidence);
+            item.set("crowd_answers", resolution.answers as i64);
+        }
+        Ok(Some(item))
+    }
+}
+
+/// Builds the full §3 topology over a generated scenario and returns it
+/// together with the sink collecting the recognition summaries.
+///
+/// `window` controls the RTEC working memory/step of every region engine.
+pub fn build_pipeline(
+    scenario: &Scenario,
+    rules: TrafficRulesConfig,
+    window: WindowConfig,
+) -> Result<(Topology, CollectSink), StreamsError> {
+    let mut topology = Topology::new();
+    let (start, _) = scenario.window();
+    let first_query = start + window.step();
+
+    // Input handling: one bus stream, four SCATS region streams.
+    let bus_items: Vec<DataItem> =
+        scenario.sdes.iter().filter(|s| s.is_bus()).map(sde_to_item).collect();
+    topology.add_source("bus", VecSource::new(bus_items));
+    for region in Region::ALL {
+        let items: Vec<DataItem> = scenario
+            .sdes
+            .iter()
+            .filter(|s| !s.is_bus() && s.region() == region)
+            .map(sde_to_item)
+            .collect();
+        topology.add_source(&format!("scats-{region}"), VecSource::new(items));
+    }
+
+    // Per-region queues fed by the bus splitter and the region's SCATS stream.
+    for region in Region::ALL {
+        topology.add_queue(&format!("sde-{region}"), 4096);
+    }
+    let mut splitter = topology.process("bus-split").input(Input::Stream("bus".into()));
+    for region in Region::ALL {
+        splitter = splitter.output(Output::Queue(format!("sde-{region}")));
+    }
+    // The splitter broadcasts; each region's RTEC processor ignores items
+    // of other regions via a filtering pre-processor.
+    splitter.done();
+    for region in Region::ALL {
+        topology
+            .process(&format!("scats-feed-{region}"))
+            .input(Input::Stream(format!("scats-{region}")))
+            .output(Output::Queue(format!("sde-{region}")))
+            .done();
+    }
+
+    // Event processing processes: one RTEC engine per region.
+    let sink = CollectSink::shared();
+    topology.add_queue("recognitions", 4096);
+    for region in Region::ALL {
+        let infos: Vec<IntersectionInfo> = scenario
+            .scats
+            .intersections()
+            .iter()
+            .filter(|i| i.region == region)
+            .map(|i| IntersectionInfo { id: i.id as i64, lon: i.lon, lat: i.lat })
+            .collect();
+        let recognizer =
+            TrafficRecognizer::new(rules.clone(), window, &infos, &[]).map_err(|e| {
+                StreamsError::ProcessorFailed {
+                    process: format!("rtec-{region}"),
+                    message: e.to_string(),
+                }
+            })?;
+        let region_name = region.to_string();
+        topology
+            .process(&format!("rtec-{region}"))
+            .input(Input::Queue(format!("sde-{region}")))
+            .processor(insight_streams::processor::FnProcessor::new(
+                move |item: DataItem, _ctx: &mut Context| {
+                    // Keep only this region's SDEs (the bus stream is
+                    // broadcast to every region queue).
+                    Ok((item.get_str("region") == Some(region_name.as_str()))
+                        .then_some(item))
+                },
+            ))
+            .processor(RtecProcessor::new(recognizer, first_query, window.step(), region))
+            .output(Output::Queue("recognitions".into()))
+            .done();
+    }
+
+    // Crowdsourcing processes: annotate summaries that carry an open
+    // disagreement with a crowd verdict, then collect.
+    let bridge = {
+        let (x0, y0, x1, y1) = scenario.network.bbox();
+        crate::crowdbridge::CrowdBridge::new(
+            &crate::crowdbridge::CrowdBridgeConfig::default(),
+            ((x0 + x1) / 2.0, (y0 + y1) / 2.0),
+            scenario.config.seed,
+        )
+        .map_err(|e| StreamsError::ProcessorFailed {
+            process: "crowdsourcing".into(),
+            message: e.to_string(),
+        })?
+    };
+    let network = scenario.network.clone();
+    let field = scenario.field.clone();
+    let truth_of = move |lon: f64, lat: f64, t: i64| {
+        network.nearest_junction(lon, lat).map(|j| field.is_congested(j, t)).unwrap_or(false)
+    };
+    topology
+        .process("crowdsourcing")
+        .input(Input::Queue("recognitions".into()))
+        .processor(CrowdProcessor::new(bridge, truth_of))
+        .output(Output::Sink(Box::new(sink.clone())))
+        .done();
+
+    Ok((topology, sink))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insight_datagen::scenario::ScenarioConfig;
+    use insight_streams::runtime::Runtime;
+
+    #[test]
+    fn pipeline_runs_end_to_end() {
+        let scenario = Scenario::generate(ScenarioConfig::small(1200, 77)).unwrap();
+        let window = WindowConfig::new(600, 300).unwrap();
+        let (topology, sink) =
+            build_pipeline(&scenario, TrafficRulesConfig::default(), window).unwrap();
+        Runtime::new(topology).run().unwrap();
+        let items = sink.items();
+        assert!(!items.is_empty(), "recognition summaries must be produced");
+        for item in &items {
+            assert_eq!(item.get_str("kind"), Some("recognition"));
+            assert!(item.get_i64("query_time").is_some());
+        }
+        // Every region with sensors reports at least one summary (buses move
+        // through regions, so even sensor-less regions may report).
+        let with_sdes: Vec<&DataItem> =
+            items.iter().filter(|i| i.get_i64("sde_count").unwrap_or(0) > 0).collect();
+        assert!(!with_sdes.is_empty(), "some window contains SDEs");
+    }
+
+    #[test]
+    fn crowd_processor_annotates_disagreement_summaries() {
+        let mut cfg = ScenarioConfig::small(2400, 91);
+        cfg.fleet.faulty_fraction = 0.5;
+        cfg.fleet.n_buses = 40;
+        let scenario = Scenario::generate(cfg).unwrap();
+        let window = WindowConfig::new(900, 450).unwrap();
+        // Rule-set (4) lets disagreements surface as sourceDisagreement CEs.
+        let rules = TrafficRulesConfig::self_adaptive(
+            insight_traffic::NoisyVariant::CrowdValidated,
+        );
+        let (topology, sink) = build_pipeline(&scenario, rules, window).unwrap();
+        Runtime::new(topology).run().unwrap();
+        let items = sink.items();
+        assert!(!items.is_empty());
+        // Whenever a summary carries a disagreement location, the crowd
+        // stage must have annotated it.
+        let mut annotated = 0;
+        for item in &items {
+            if item.contains("disagreement_lon") {
+                assert!(item.get_bool("crowd_verdict_congested").is_some());
+                assert!(item.get_f64("crowd_confidence").unwrap() > 0.0);
+                annotated += 1;
+            }
+        }
+        // This heavily faulty scenario reliably produces at least one.
+        assert!(annotated > 0, "no disagreement summary produced");
+    }
+
+    #[test]
+    fn pipeline_summaries_cover_expected_query_times() {
+        let scenario = Scenario::generate(ScenarioConfig::small(900, 78)).unwrap();
+        let window = WindowConfig::new(300, 300).unwrap();
+        let (topology, sink) =
+            build_pipeline(&scenario, TrafficRulesConfig::static_mode(), window).unwrap();
+        Runtime::new(topology).run().unwrap();
+        let (start, _) = scenario.window();
+        let times: Vec<i64> =
+            sink.items().iter().filter_map(|i| i.get_i64("query_time")).collect();
+        assert!(times.iter().all(|t| (t - start) % 300 == 0), "query times on the step grid");
+    }
+}

@@ -1,0 +1,195 @@
+//! Classical batch Expectation-Maximisation (Dempster et al. 1977).
+//!
+//! The reference estimator the online variant approximates: given the whole
+//! crowdsourced data set `{(prior_t, answers_t)}`, it alternates posterior
+//! computation under the current parameters (E-step) with the closed-form
+//! maximiser of the expected complete-data log-likelihood (M-step)
+//!
+//! ```text
+//! p_i = ( Σ_{t : i answered} (1 − α_t(y_{i,t})) ) / |{t : i answered}|
+//! ```
+//!
+//! The paper explains why this cannot run on the live stream — it "operates
+//! in batch mode, which is problematic for stream processing" — but it is
+//! the yardstick: tests check that online estimates approach the batch ones.
+
+use crate::error::CrowdError;
+use crate::model::LabelSet;
+use crate::online_em::OnlineEm;
+use crate::schedule::GammaSchedule;
+
+/// One recorded disagreement event for batch processing.
+#[derive(Debug, Clone)]
+pub struct RecordedEvent {
+    /// Prior over the labels.
+    pub prior: Vec<f64>,
+    /// `(participant, label)` answers.
+    pub answers: Vec<(usize, usize)>,
+}
+
+/// Result of a batch EM run.
+#[derive(Debug, Clone)]
+pub struct BatchEmResult {
+    /// Final error-probability estimates.
+    pub p_hat: Vec<f64>,
+    /// Final per-event posteriors.
+    pub posteriors: Vec<Vec<f64>>,
+    /// Iterations executed until convergence (or the cap).
+    pub iterations: usize,
+    /// Whether the parameter change fell below the tolerance.
+    pub converged: bool,
+}
+
+/// Batch EM estimator configuration.
+#[derive(Debug, Clone)]
+pub struct BatchEm {
+    /// The label set.
+    pub labels: LabelSet,
+    /// Initial error probability for every participant.
+    pub initial_p: f64,
+    /// Maximum EM iterations.
+    pub max_iterations: usize,
+    /// Convergence tolerance on `max_i |Δp_i|`.
+    pub tolerance: f64,
+}
+
+impl BatchEm {
+    /// The standard configuration used in tests and the Figure 5 harness.
+    pub fn paper_default() -> BatchEm {
+        BatchEm {
+            labels: LabelSet::traffic_default(),
+            initial_p: 0.25,
+            max_iterations: 200,
+            tolerance: 1e-8,
+        }
+    }
+
+    /// Runs EM over the recorded events for `n_participants`.
+    pub fn run(
+        &self,
+        events: &[RecordedEvent],
+        n_participants: usize,
+    ) -> Result<BatchEmResult, CrowdError> {
+        // Reuse the online estimator's E-step with frozen parameters.
+        let mut scratch = OnlineEm::new(
+            n_participants,
+            self.labels.clone(),
+            self.initial_p,
+            GammaSchedule::Constant(0.0),
+        )?;
+
+        let mut p_hat = scratch.estimates().to_vec();
+        let mut posteriors: Vec<Vec<f64>> = Vec::new();
+        let mut iterations = 0;
+        let mut converged = false;
+
+        while iterations < self.max_iterations {
+            iterations += 1;
+            // E-step: posteriors under current parameters.
+            posteriors.clear();
+            for ev in events {
+                posteriors.push(scratch.posterior(&ev.prior, &ev.answers)?);
+            }
+            // M-step: average wrongness per participant.
+            let mut wrong_sum = vec![0.0f64; n_participants];
+            let mut counts = vec![0usize; n_participants];
+            for (ev, post) in events.iter().zip(&posteriors) {
+                for &(i, y) in &ev.answers {
+                    wrong_sum[i] += 1.0 - post[y];
+                    counts[i] += 1;
+                }
+            }
+            let mut max_delta = 0.0f64;
+            for i in 0..n_participants {
+                if counts[i] == 0 {
+                    continue; // never queried: estimate stays at the prior
+                }
+                let new_p = (wrong_sum[i] / counts[i] as f64).clamp(1e-6, 1.0 - 1e-6);
+                max_delta = max_delta.max((new_p - p_hat[i]).abs());
+                p_hat[i] = new_p;
+            }
+            // Freeze the new parameters into the scratch estimator.
+            scratch = OnlineEm::with_estimates(self.labels.clone(), &p_hat);
+
+            if max_delta < self.tolerance {
+                converged = true;
+                break;
+            }
+        }
+
+        // Final posteriors under the converged parameters.
+        posteriors.clear();
+        for ev in events {
+            posteriors.push(scratch.posterior(&ev.prior, &ev.answers)?);
+        }
+
+        Ok(BatchEmResult { p_hat, posteriors, iterations, converged })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SimulatedParticipant;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn synthesise(n_events: usize, seed: u64) -> (Vec<RecordedEvent>, Vec<SimulatedParticipant>) {
+        let cohort = SimulatedParticipant::paper_cohort();
+        let labels = LabelSet::traffic_default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let events = (0..n_events)
+            .map(|t| {
+                let truth = t % 4;
+                let answers = cohort
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (i, p.answer(truth, &labels, &mut rng).unwrap()))
+                    .collect();
+                RecordedEvent { prior: labels.uniform_prior(), answers }
+            })
+            .collect();
+        (events, cohort)
+    }
+
+    #[test]
+    fn batch_em_recovers_parameters() {
+        let (events, cohort) = synthesise(800, 11);
+        let result = BatchEm::paper_default().run(&events, cohort.len()).unwrap();
+        assert!(result.converged, "EM should converge in {} iterations", result.iterations);
+        for (i, p) in cohort.iter().enumerate() {
+            let err = (result.p_hat[i] - p.p_err).abs();
+            assert!(err < 0.06, "participant {i}: {} vs {}", result.p_hat[i], p.p_err);
+        }
+    }
+
+    #[test]
+    fn online_approaches_batch() {
+        let (events, cohort) = synthesise(1000, 23);
+        let batch = BatchEm::paper_default().run(&events, cohort.len()).unwrap();
+        let mut online = OnlineEm::paper_default(cohort.len());
+        for ev in &events {
+            online.process(&ev.prior, &ev.answers).unwrap();
+        }
+        for i in 0..cohort.len() {
+            let gap = (batch.p_hat[i] - online.estimates()[i]).abs();
+            assert!(gap < 0.08, "participant {i}: batch {} online {}", batch.p_hat[i], online.estimates()[i]);
+        }
+    }
+
+    #[test]
+    fn unqueried_participants_keep_prior() {
+        let labels = LabelSet::traffic_default();
+        let events = vec![RecordedEvent { prior: labels.uniform_prior(), answers: vec![(0, 0)] }];
+        let result = BatchEm::paper_default().run(&events, 3).unwrap();
+        assert_eq!(result.p_hat[1], 0.25);
+        assert_eq!(result.p_hat[2], 0.25);
+    }
+
+    #[test]
+    fn empty_event_set_is_fine() {
+        let result = BatchEm::paper_default().run(&[], 3).unwrap();
+        assert_eq!(result.p_hat, vec![0.25; 3]);
+        assert!(result.converged);
+    }
+}

@@ -1,0 +1,346 @@
+//! The crowdsourcing query execution engine (§5.3).
+//!
+//! Participants register with the engine from their mobile devices (the
+//! paper's app connects to Google Cloud Messaging for push notifications and
+//! identifies itself as a *map worker*); the engine selects workers per the
+//! active policy, pushes the query, collects the answers of the map phase,
+//! and reduces them. The simulation models each step's latency with the
+//! means measured in Figure 6.
+
+use crate::error::CrowdError;
+use crate::latency::{ConnectionType, LatencyModel, StepLatency};
+use crate::mapreduce::count_votes;
+use crate::model::CrowdQuery;
+use crate::policy::SelectionPolicy;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Identifier of a registered worker/participant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WorkerId(pub u64);
+
+/// A registered mobile worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Worker {
+    /// The worker's id.
+    pub id: WorkerId,
+    /// Current longitude.
+    pub lon: f64,
+    /// Current latitude.
+    pub lat: f64,
+    /// Current connection type (may change, e.g. WiFi → 3G; GCM keeps the
+    /// worker reachable either way).
+    pub connection: ConnectionType,
+    /// Expected local computation time, estimated from past tasks (ms).
+    pub avg_comp_ms: f64,
+}
+
+/// Execution record of one worker's map task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskExecution {
+    /// The worker.
+    pub worker: WorkerId,
+    /// Step latencies for this worker.
+    pub latency: StepLatency,
+    /// The answer (label index), or `None` when the worker missed the
+    /// deadline / did not respond.
+    pub answer: Option<usize>,
+}
+
+/// The full trace of one crowd query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryExecution {
+    /// Per-worker task traces.
+    pub tasks: Vec<TaskExecution>,
+    /// Vote counts per label, from the reduce phase.
+    pub votes: Vec<(usize, usize)>,
+    /// `(participant index into the selection, label)` pairs, ready for the
+    /// online EM component.
+    pub answers: Vec<(WorkerId, usize)>,
+}
+
+impl QueryExecution {
+    /// Mean latency per step across the answering workers.
+    pub fn mean_latency(&self) -> Option<StepLatency> {
+        let answered: Vec<&TaskExecution> =
+            self.tasks.iter().filter(|t| t.answer.is_some()).collect();
+        if answered.is_empty() {
+            return None;
+        }
+        let n = answered.len() as f64;
+        Some(StepLatency {
+            trigger_ms: answered.iter().map(|t| t.latency.trigger_ms).sum::<f64>() / n,
+            push_ms: answered.iter().map(|t| t.latency.push_ms).sum::<f64>() / n,
+            comm_ms: answered.iter().map(|t| t.latency.comm_ms).sum::<f64>() / n,
+        })
+    }
+}
+
+/// The engine: worker registry + latency model + policy application.
+#[derive(Debug, Clone)]
+pub struct QueryExecutionEngine {
+    workers: HashMap<WorkerId, Worker>,
+    latency: LatencyModel,
+}
+
+impl Default for QueryExecutionEngine {
+    fn default() -> QueryExecutionEngine {
+        QueryExecutionEngine::new()
+    }
+}
+
+impl QueryExecutionEngine {
+    /// An engine with the default (paper-parameterised) latency model.
+    pub fn new() -> QueryExecutionEngine {
+        QueryExecutionEngine { workers: HashMap::new(), latency: LatencyModel::default() }
+    }
+
+    /// An engine with a custom latency model.
+    pub fn with_latency(latency: LatencyModel) -> QueryExecutionEngine {
+        QueryExecutionEngine { workers: HashMap::new(), latency }
+    }
+
+    /// Registers (or re-registers) a worker — the mobile app's "connect to
+    /// the Crowdsourcing Server and identify as a Map Worker" step.
+    pub fn register(&mut self, worker: Worker) {
+        self.workers.insert(worker.id, worker);
+    }
+
+    /// Unregisters a worker (app going offline).
+    pub fn unregister(&mut self, id: WorkerId) -> Result<(), CrowdError> {
+        self.workers.remove(&id).map(|_| ()).ok_or(CrowdError::UnknownWorker { id: id.0 })
+    }
+
+    /// Updates a worker's position/connection (e.g. WiFi → 3G handover).
+    pub fn update_worker(
+        &mut self,
+        id: WorkerId,
+        lon: f64,
+        lat: f64,
+        connection: ConnectionType,
+    ) -> Result<(), CrowdError> {
+        let w = self.workers.get_mut(&id).ok_or(CrowdError::UnknownWorker { id: id.0 })?;
+        w.lon = lon;
+        w.lat = lat;
+        w.connection = connection;
+        Ok(())
+    }
+
+    /// Records an observed task computation time for a worker, updating the
+    /// expectation used by the deadline-feasibility policy — "the expected
+    /// computation time of each individual participant … can be computed
+    /// from the past executed tasks" (§5.3). Exponentially weighted moving
+    /// average with factor 0.25.
+    pub fn record_computation(&mut self, id: WorkerId, comp_ms: f64) -> Result<(), CrowdError> {
+        if !(comp_ms >= 0.0) || !comp_ms.is_finite() {
+            return Err(CrowdError::InvalidProbability { name: "comp_ms", value: comp_ms });
+        }
+        let w = self.workers.get_mut(&id).ok_or(CrowdError::UnknownWorker { id: id.0 })?;
+        w.avg_comp_ms = 0.75 * w.avg_comp_ms + 0.25 * comp_ms;
+        Ok(())
+    }
+
+    /// Registered (online) workers.
+    pub fn online(&self) -> Vec<&Worker> {
+        let mut v: Vec<&Worker> = self.workers.values().collect();
+        v.sort_by_key(|w| w.id);
+        v
+    }
+
+    /// Number of registered workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether no workers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// The latency model in use.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Selects workers for a query per the policy.
+    pub fn select(
+        &self,
+        policy: &SelectionPolicy,
+        query: &CrowdQuery,
+        reliability: Option<&HashMap<WorkerId, f64>>,
+    ) -> Result<Vec<WorkerId>, CrowdError> {
+        let selected =
+            policy.select(&self.online(), query.lon, query.lat, reliability, &self.latency);
+        if selected.is_empty() {
+            return Err(CrowdError::NoEligibleWorkers {
+                detail: format!("policy {policy:?} matched none of {} workers", self.workers.len()),
+            });
+        }
+        Ok(selected)
+    }
+
+    /// Executes the map/reduce lifecycle of a query on the selected workers.
+    ///
+    /// `answer_of` simulates (or relays) each worker's map task: given the
+    /// worker id it returns the chosen label, or `None` for no response.
+    /// Workers whose end-to-end latency exceeds the query deadline (when
+    /// set) are recorded as unanswered, matching the engine's "reply time
+    /// interval has expired" behaviour.
+    pub fn execute<R: Rng + ?Sized>(
+        &self,
+        query: &CrowdQuery,
+        selected: &[WorkerId],
+        mut answer_of: impl FnMut(WorkerId) -> Option<usize>,
+        rng: &mut R,
+    ) -> Result<QueryExecution, CrowdError> {
+        let mut tasks = Vec::with_capacity(selected.len());
+        let mut answers = Vec::new();
+        for &id in selected {
+            let worker = self.workers.get(&id).ok_or(CrowdError::UnknownWorker { id: id.0 })?;
+            let latency = self.latency.sample(worker.connection, rng);
+            let mut answer = answer_of(id);
+            if let Some(deadline) = query.deadline_ms {
+                if latency.total_ms() + worker.avg_comp_ms > deadline {
+                    answer = None;
+                }
+            }
+            if let Some(label) = answer {
+                if label >= query.answers.len() {
+                    return Err(CrowdError::LabelOutOfRange {
+                        label,
+                        n_labels: query.answers.len(),
+                    });
+                }
+                answers.push((id, label));
+            }
+            tasks.push(TaskExecution { worker: id, latency, answer });
+        }
+        let votes = count_votes(answers.iter().map(|&(_, l)| l));
+        Ok(QueryExecution { tasks, votes, answers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine_with_fleet() -> QueryExecutionEngine {
+        let mut e = QueryExecutionEngine::new();
+        for (i, c) in [ConnectionType::WiFi, ConnectionType::ThreeG, ConnectionType::TwoG]
+            .into_iter()
+            .enumerate()
+        {
+            e.register(Worker {
+                id: WorkerId(i as u64),
+                lon: -6.26 + i as f64 * 0.01,
+                lat: 53.35,
+                connection: c,
+                avg_comp_ms: 100.0,
+            });
+        }
+        e
+    }
+
+    fn query() -> CrowdQuery {
+        CrowdQuery {
+            question: "Congestion?".into(),
+            answers: vec!["yes".into(), "no".into()],
+            lon: -6.26,
+            lat: 53.35,
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn registry_lifecycle() {
+        let mut e = engine_with_fleet();
+        assert_eq!(e.len(), 3);
+        e.update_worker(WorkerId(0), -6.0, 53.0, ConnectionType::TwoG).unwrap();
+        assert_eq!(e.online()[0].connection, ConnectionType::TwoG);
+        e.unregister(WorkerId(0)).unwrap();
+        assert_eq!(e.len(), 2);
+        assert!(e.unregister(WorkerId(0)).is_err());
+        assert!(e.update_worker(WorkerId(99), 0.0, 0.0, ConnectionType::WiFi).is_err());
+    }
+
+    #[test]
+    fn select_applies_policy_and_errors_when_empty() {
+        let e = engine_with_fleet();
+        let ids = e.select(&SelectionPolicy::NearestK(2), &query(), None).unwrap();
+        assert_eq!(ids.len(), 2);
+        let empty = QueryExecutionEngine::new();
+        assert!(empty.select(&SelectionPolicy::All, &query(), None).is_err());
+    }
+
+    #[test]
+    fn execute_collects_answers_and_votes() {
+        let e = engine_with_fleet();
+        let mut rng = StdRng::seed_from_u64(3);
+        let selected: Vec<WorkerId> = e.online().iter().map(|w| w.id).collect();
+        let exec = e
+            .execute(&query(), &selected, |id| Some((id.0 % 2) as usize), &mut rng)
+            .unwrap();
+        assert_eq!(exec.tasks.len(), 3);
+        assert_eq!(exec.answers.len(), 3);
+        // ids 0,2 answer label 0; id 1 answers label 1.
+        assert_eq!(exec.votes, vec![(0, 2), (1, 1)]);
+        let mean = exec.mean_latency().unwrap();
+        assert!(mean.total_ms() > 0.0);
+    }
+
+    #[test]
+    fn deadline_drops_slow_workers() {
+        let e = engine_with_fleet();
+        let mut rng = StdRng::seed_from_u64(3);
+        let selected: Vec<WorkerId> = e.online().iter().map(|w| w.id).collect();
+        let mut q = query();
+        // 2G ≈ 45+467+423+100comp ≈ 1035ms; WiFi/3G ≈ 500ms.
+        q.deadline_ms = Some(800.0);
+        let exec = e.execute(&q, &selected, |_| Some(0), &mut rng).unwrap();
+        let unanswered: Vec<WorkerId> =
+            exec.tasks.iter().filter(|t| t.answer.is_none()).map(|t| t.worker).collect();
+        assert_eq!(unanswered, vec![WorkerId(2)], "the 2G worker misses the deadline");
+        assert_eq!(exec.answers.len(), 2);
+    }
+
+    #[test]
+    fn execute_validates_labels_and_workers() {
+        let e = engine_with_fleet();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(e.execute(&query(), &[WorkerId(77)], |_| Some(0), &mut rng).is_err());
+        let selected = vec![WorkerId(0)];
+        assert!(e.execute(&query(), &selected, |_| Some(9), &mut rng).is_err());
+    }
+
+    #[test]
+    fn computation_time_learning_converges_and_affects_deadlines() {
+        let mut e = engine_with_fleet();
+        // Worker 0 (WiFi) starts at 100 ms expectation; observed tasks take
+        // 2000 ms — the EWMA should approach that.
+        for _ in 0..30 {
+            e.record_computation(WorkerId(0), 2000.0).unwrap();
+        }
+        let w0 = e.online().iter().find(|w| w.id == WorkerId(0)).unwrap().avg_comp_ms;
+        assert!(w0 > 1900.0, "EWMA converged to observations: {w0}");
+        // With a tight deadline the slow worker is now infeasible while the
+        // other WiFi-class worker would not be.
+        let policy = crate::policy::SelectionPolicy::DeadlineFeasible { deadline_ms: 800.0, k: 10 };
+        let ids = e.select(&policy, &query(), None).unwrap();
+        assert!(!ids.contains(&WorkerId(0)), "slow worker excluded");
+        // Validation.
+        assert!(e.record_computation(WorkerId(99), 10.0).is_err());
+        assert!(e.record_computation(WorkerId(1), f64::NAN).is_err());
+        assert!(e.record_computation(WorkerId(1), -5.0).is_err());
+    }
+
+    #[test]
+    fn no_answers_mean_latency_none() {
+        let e = engine_with_fleet();
+        let mut rng = StdRng::seed_from_u64(3);
+        let exec = e.execute(&query(), &[WorkerId(0)], |_| None, &mut rng).unwrap();
+        assert!(exec.mean_latency().is_none());
+        assert!(exec.votes.is_empty());
+    }
+}

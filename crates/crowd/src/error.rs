@@ -1,0 +1,71 @@
+//! Error type for the crowdsourcing component.
+
+use std::fmt;
+
+/// Errors produced by the crowdsourcing component.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CrowdError {
+    /// A label index out of range of the label set.
+    LabelOutOfRange {
+        /// The offending label index.
+        label: usize,
+        /// Number of labels.
+        n_labels: usize,
+    },
+    /// A participant/worker id that is not registered.
+    UnknownWorker {
+        /// The id.
+        id: u64,
+    },
+    /// A prior distribution is invalid (wrong length, negative mass, zero sum).
+    InvalidPrior {
+        /// Description.
+        detail: String,
+    },
+    /// A probability parameter outside `[0, 1]`.
+    InvalidProbability {
+        /// Parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The label set is too small (need at least two answers).
+    DegenerateLabelSet,
+    /// No worker satisfied the selection policy.
+    NoEligibleWorkers {
+        /// Description of the constraint that failed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CrowdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrowdError::LabelOutOfRange { label, n_labels } => {
+                write!(f, "label {label} out of range ({n_labels} labels)")
+            }
+            CrowdError::UnknownWorker { id } => write!(f, "unknown worker {id}"),
+            CrowdError::InvalidPrior { detail } => write!(f, "invalid prior: {detail}"),
+            CrowdError::InvalidProbability { name, value } => {
+                write!(f, "invalid probability {name} = {value}")
+            }
+            CrowdError::DegenerateLabelSet => write!(f, "label set needs at least two answers"),
+            CrowdError::NoEligibleWorkers { detail } => {
+                write!(f, "no eligible workers: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CrowdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(CrowdError::LabelOutOfRange { label: 7, n_labels: 4 }.to_string().contains('7'));
+        assert!(CrowdError::UnknownWorker { id: 3 }.to_string().contains('3'));
+    }
+}

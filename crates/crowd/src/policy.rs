@@ -1,0 +1,182 @@
+//! Worker-selection policies.
+//!
+//! The engine "selects the list of workers to be queried based on the
+//! selected policy (e.g. location, reliability, etc)" (§5.3), and for
+//! real-time queries must ensure `commᵢ + compᵢ < deadline` for every
+//! selected worker, estimating both from history.
+
+use crate::engine::{Worker, WorkerId};
+use crate::latency::LatencyModel;
+use std::collections::HashMap;
+
+/// How the engine picks workers for a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectionPolicy {
+    /// Every online worker.
+    All,
+    /// The `k` workers nearest to the query location.
+    NearestK(usize),
+    /// The `k` workers with the lowest estimated error probability;
+    /// reliability estimates come from the online EM component.
+    MostReliableK(usize),
+    /// Nearest-first, but only workers whose expected communication +
+    /// computation time meets the deadline: `commᵢ + compᵢ < deadline`.
+    DeadlineFeasible {
+        /// The real-time deadline in milliseconds.
+        deadline_ms: f64,
+        /// Maximum number of workers.
+        k: usize,
+    },
+}
+
+/// Squared equirectangular distance — monotone in true distance at city
+/// scale, which is all ranking needs.
+fn dist2(worker: &Worker, lon: f64, lat: f64) -> f64 {
+    let mean_lat = (worker.lat + lat) / 2.0;
+    let dx = (worker.lon - lon) * mean_lat.to_radians().cos();
+    let dy = worker.lat - lat;
+    dx * dx + dy * dy
+}
+
+impl SelectionPolicy {
+    /// Applies the policy over the given online workers.
+    ///
+    /// `reliability` optionally maps worker ids to estimated error
+    /// probabilities (lower = more reliable); workers without an entry are
+    /// treated as average (0.5). `latency` provides per-connection expected
+    /// communication times for the deadline test.
+    pub fn select(
+        &self,
+        workers: &[&Worker],
+        query_lon: f64,
+        query_lat: f64,
+        reliability: Option<&HashMap<WorkerId, f64>>,
+        latency: &LatencyModel,
+    ) -> Vec<WorkerId> {
+        match self {
+            SelectionPolicy::All => workers.iter().map(|w| w.id).collect(),
+            SelectionPolicy::NearestK(k) => {
+                let mut v: Vec<&&Worker> = workers.iter().collect();
+                v.sort_by(|a, b| {
+                    dist2(a, query_lon, query_lat).total_cmp(&dist2(b, query_lon, query_lat))
+                });
+                v.into_iter().take(*k).map(|w| w.id).collect()
+            }
+            SelectionPolicy::MostReliableK(k) => {
+                let score = |w: &Worker| -> f64 {
+                    reliability.and_then(|r| r.get(&w.id)).copied().unwrap_or(0.5)
+                };
+                let mut v: Vec<&&Worker> = workers.iter().collect();
+                v.sort_by(|a, b| score(a).total_cmp(&score(b)).then(a.id.0.cmp(&b.id.0)));
+                v.into_iter().take(*k).map(|w| w.id).collect()
+            }
+            SelectionPolicy::DeadlineFeasible { deadline_ms, k } => {
+                let mut v: Vec<&&Worker> = workers
+                    .iter()
+                    .filter(|w| {
+                        let expected =
+                            latency.push_mean(w.connection) + latency.comm_mean(w.connection) + w.avg_comp_ms;
+                        expected < *deadline_ms
+                    })
+                    .collect();
+                v.sort_by(|a, b| {
+                    dist2(a, query_lon, query_lat).total_cmp(&dist2(b, query_lon, query_lat))
+                });
+                v.into_iter().take(*k).map(|w| w.id).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::ConnectionType;
+
+    fn worker(id: u64, lon: f64, lat: f64, c: ConnectionType, comp: f64) -> Worker {
+        Worker { id: WorkerId(id), lon, lat, connection: c, avg_comp_ms: comp }
+    }
+
+    fn fleet() -> Vec<Worker> {
+        vec![
+            worker(1, -6.26, 53.35, ConnectionType::WiFi, 50.0),
+            worker(2, -6.27, 53.35, ConnectionType::ThreeG, 80.0),
+            worker(3, -6.30, 53.36, ConnectionType::TwoG, 60.0),
+            worker(4, -6.20, 53.30, ConnectionType::WiFi, 40.0),
+        ]
+    }
+
+    fn refs(v: &[Worker]) -> Vec<&Worker> {
+        v.iter().collect()
+    }
+
+    #[test]
+    fn all_selects_everyone() {
+        let f = fleet();
+        let ids =
+            SelectionPolicy::All.select(&refs(&f), -6.26, 53.35, None, &LatencyModel::default());
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn nearest_k_orders_by_distance() {
+        let f = fleet();
+        let ids = SelectionPolicy::NearestK(2).select(
+            &refs(&f),
+            -6.26,
+            53.35,
+            None,
+            &LatencyModel::default(),
+        );
+        assert_eq!(ids, vec![WorkerId(1), WorkerId(2)]);
+    }
+
+    #[test]
+    fn most_reliable_k_uses_estimates() {
+        let f = fleet();
+        let mut rel = HashMap::new();
+        rel.insert(WorkerId(1), 0.9);
+        rel.insert(WorkerId(2), 0.05);
+        rel.insert(WorkerId(3), 0.2);
+        // worker 4 missing -> 0.5
+        let ids = SelectionPolicy::MostReliableK(2).select(
+            &refs(&f),
+            -6.26,
+            53.35,
+            Some(&rel),
+            &LatencyModel::default(),
+        );
+        assert_eq!(ids, vec![WorkerId(2), WorkerId(3)]);
+    }
+
+    #[test]
+    fn deadline_excludes_slow_connections() {
+        let f = fleet();
+        // 2G: 467 + 423 + comp > 900ms; with an 800ms deadline only
+        // 3G/WiFi workers qualify.
+        let ids = SelectionPolicy::DeadlineFeasible { deadline_ms: 800.0, k: 10 }.select(
+            &refs(&f),
+            -6.26,
+            53.35,
+            None,
+            &LatencyModel::default(),
+        );
+        assert!(!ids.contains(&WorkerId(3)), "2G worker infeasible");
+        assert_eq!(ids.len(), 3);
+        // A generous deadline admits everyone.
+        let ids = SelectionPolicy::DeadlineFeasible { deadline_ms: 5000.0, k: 10 }.select(
+            &refs(&f),
+            -6.26,
+            53.35,
+            None,
+            &LatencyModel::default(),
+        );
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn empty_worker_set_yields_empty_selection() {
+        let ids = SelectionPolicy::NearestK(3).select(&[], 0.0, 0.0, None, &LatencyModel::default());
+        assert!(ids.is_empty());
+    }
+}

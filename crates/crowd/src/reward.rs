@@ -1,0 +1,115 @@
+//! Participant rewards.
+//!
+//! "Correctly estimating the quality of participants … is also important
+//! for rewarding a participant. Indeed, a participant's quality may be a
+//! factor in the computation of the reward he receives for his
+//! contribution" (§7.2). This module implements the reward policies a
+//! deployment would plug into the payout pipeline: per-answer rewards
+//! scaled by estimated reliability, with an accuracy bonus once the
+//! estimate is trustworthy.
+
+use crate::error::CrowdError;
+
+/// A reward policy mapping participation to payout units.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RewardPolicy {
+    /// A flat amount per answer, reliability-blind.
+    FlatPerAnswer {
+        /// Payout per answer.
+        amount: f64,
+    },
+    /// `base + bonus · reliability` per answer, where reliability is
+    /// `1 − p̂` (the estimated probability of answering correctly). The
+    /// bonus only applies after `min_queries` answers, when the estimate
+    /// has had a chance to converge (≈100 queries in Figure 5).
+    ReliabilityScaled {
+        /// Base payout per answer.
+        base: f64,
+        /// Maximum bonus per answer (at perfect reliability).
+        bonus: f64,
+        /// Answers required before the bonus applies.
+        min_queries: usize,
+    },
+}
+
+impl RewardPolicy {
+    /// The paper-flavoured default: small base, reliability bonus after the
+    /// estimate converges.
+    pub fn default_scaled() -> RewardPolicy {
+        RewardPolicy::ReliabilityScaled { base: 1.0, bonus: 2.0, min_queries: 100 }
+    }
+
+    /// The reward of one answer by a participant with estimated error
+    /// probability `p_hat` who has been queried `queries` times.
+    pub fn reward(&self, p_hat: f64, queries: usize) -> Result<f64, CrowdError> {
+        if !(0.0..=1.0).contains(&p_hat) || !p_hat.is_finite() {
+            return Err(CrowdError::InvalidProbability { name: "p_hat", value: p_hat });
+        }
+        Ok(match self {
+            RewardPolicy::FlatPerAnswer { amount } => *amount,
+            RewardPolicy::ReliabilityScaled { base, bonus, min_queries } => {
+                if queries >= *min_queries {
+                    base + bonus * (1.0 - p_hat)
+                } else {
+                    *base
+                }
+            }
+        })
+    }
+
+    /// Total payouts for a cohort given the online-EM estimates and query
+    /// counts (element-wise).
+    pub fn settle(
+        &self,
+        estimates: &[f64],
+        queries: &[usize],
+    ) -> Result<Vec<f64>, CrowdError> {
+        estimates
+            .iter()
+            .zip(queries)
+            .map(|(&p, &q)| self.reward(p, q).map(|r| r * q as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_policy_ignores_reliability() {
+        let p = RewardPolicy::FlatPerAnswer { amount: 2.5 };
+        assert_eq!(p.reward(0.05, 500).unwrap(), 2.5);
+        assert_eq!(p.reward(0.9, 500).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn scaled_policy_pays_reliable_participants_more() {
+        let p = RewardPolicy::default_scaled();
+        let reliable = p.reward(0.05, 500).unwrap();
+        let unreliable = p.reward(0.9, 500).unwrap();
+        assert!(reliable > unreliable);
+        assert!((reliable - (1.0 + 2.0 * 0.95)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bonus_waits_for_convergence() {
+        let p = RewardPolicy::default_scaled();
+        assert_eq!(p.reward(0.05, 50).unwrap(), 1.0, "no bonus before min_queries");
+        assert!(p.reward(0.05, 100).unwrap() > 1.0);
+    }
+
+    #[test]
+    fn settle_multiplies_by_participation() {
+        let p = RewardPolicy::FlatPerAnswer { amount: 1.0 };
+        let totals = p.settle(&[0.1, 0.5], &[10, 3]).unwrap();
+        assert_eq!(totals, vec![10.0, 3.0]);
+    }
+
+    #[test]
+    fn rejects_invalid_estimates() {
+        let p = RewardPolicy::default_scaled();
+        assert!(p.reward(1.5, 10).is_err());
+        assert!(p.reward(f64::NAN, 10).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type for scenario generation.
+
+use std::fmt;
+
+/// Errors produced while configuring or generating a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatagenError {
+    /// A configuration value is out of its valid range.
+    InvalidConfig {
+        /// Parameter name.
+        name: &'static str,
+        /// Description of the violation.
+        detail: String,
+    },
+    /// The generated network ended up degenerate (no junctions / not
+    /// connected) — indicates an impossible parameter combination.
+    DegenerateNetwork {
+        /// Description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DatagenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatagenError::InvalidConfig { name, detail } => {
+                write!(f, "invalid configuration `{name}`: {detail}")
+            }
+            DatagenError::DegenerateNetwork { detail } => {
+                write!(f, "degenerate network: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatagenError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = DatagenError::InvalidConfig { name: "n_buses", detail: "zero".into() };
+        assert!(e.to_string().contains("n_buses"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for the GP component.
+
+use std::fmt;
+
+/// Errors produced by graph construction, linear algebra and regression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpError {
+    /// Matrix/vector dimensions do not line up.
+    DimensionMismatch {
+        /// Description of the mismatch.
+        detail: String,
+    },
+    /// A matrix expected to be symmetric positive definite is not (Cholesky
+    /// hit a non-positive pivot).
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot: usize,
+        /// The pivot value encountered.
+        value: f64,
+    },
+    /// An invalid hyperparameter (e.g. `α ≤ 0` or `β ≤ 0`).
+    InvalidHyperparameter {
+        /// Parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A vertex index out of range.
+    VertexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of vertices.
+        n: usize,
+    },
+    /// Observation set empty or covering every vertex when a split is needed.
+    DegenerateObservations {
+        /// Description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for GpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpError::DimensionMismatch { detail } => write!(f, "dimension mismatch: {detail}"),
+            GpError::NotPositiveDefinite { pivot, value } => {
+                write!(f, "matrix is not positive definite (pivot {pivot} = {value})")
+            }
+            GpError::InvalidHyperparameter { name, value } => {
+                write!(f, "invalid hyperparameter {name} = {value}")
+            }
+            GpError::VertexOutOfRange { index, n } => {
+                write!(f, "vertex {index} out of range (graph has {n} vertices)")
+            }
+            GpError::DegenerateObservations { detail } => {
+                write!(f, "degenerate observation set: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = GpError::NotPositiveDefinite { pivot: 3, value: -0.5 };
+        assert!(e.to_string().contains("pivot 3"));
+    }
+}

@@ -1,0 +1,1529 @@
+//! The recognition engine: windowed, stratified evaluation of rule sets.
+//!
+//! An [`Engine`] buffers arriving SDEs, and at each query time `Qi` evaluates
+//! the rule set over the working memory `(Qi − WM, Qi]` (Section 4.2 of the
+//! paper):
+//!
+//! 1. input events and fluent observations that have arrived by `Qi` and
+//!    occurred inside the window are indexed;
+//! 2. strata are evaluated bottom-up — derived events are added to the event
+//!    index, simple fluents go through initiation/termination point collection
+//!    and the law of inertia, statically-determined fluents evaluate their
+//!    interval expressions;
+//! 3. fluent intervals are cached so that the next query can seed the value
+//!    each fluent has at its window start (inertia across windows).
+//!
+//! Re-deriving everything inside the window is what lets SDEs that arrive
+//! *late* (but still inside the window) be amended into the results, exactly
+//! as Figure 2 of the paper illustrates; SDEs older than the window are
+//! irrevocably lost.
+
+use crate::dsl::RuleSet;
+use crate::error::RtecError;
+use crate::event::{Event, FluentObs, Stamped};
+use crate::interval::IntervalList;
+use crate::pattern::{match_args, unbind_all, ArgPat, Bindings, EventPattern, FluentPattern, VarId};
+use crate::rule::{
+    BodyAtom, EventRule, GuardExpr, IntervalExpr, NumExpr, SfKind, SimpleFluentRule, StaticRule,
+    ValRef,
+};
+use crate::stratify::HeadKind;
+use crate::term::{Symbol, Term};
+use crate::time::Time;
+use crate::window::WindowConfig;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// A registered boolean builtin predicate (e.g. the spatial `close/4`).
+pub type BuiltinFn = Arc<dyn Fn(&[Term]) -> bool + Send + Sync>;
+
+// ---------------------------------------------------------------------------
+// Window-local stores
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct KindStore {
+    /// Events of one kind, sorted by occurrence time.
+    items: Vec<Event>,
+    /// Indices into `items` grouped by first argument, each sorted by time.
+    by_first: HashMap<Term, Vec<u32>>,
+}
+
+impl KindStore {
+    fn rebuild_index(&mut self) {
+        self.items.sort_by_key(|e| e.time);
+        self.by_first.clear();
+        for (i, e) in self.items.iter().enumerate() {
+            if let Some(first) = e.args.first() {
+                self.by_first.entry(first.clone()).or_default().push(i as u32);
+            }
+        }
+    }
+
+}
+
+#[derive(Default)]
+struct EventStore {
+    by_kind: HashMap<Symbol, KindStore>,
+}
+
+impl EventStore {
+    fn build(events: impl IntoIterator<Item = Event>) -> EventStore {
+        let mut store = EventStore::default();
+        for e in events {
+            store.by_kind.entry(e.kind).or_default().items.push(e);
+        }
+        for ks in store.by_kind.values_mut() {
+            ks.rebuild_index();
+        }
+        store
+    }
+
+    fn add_derived(&mut self, events: Vec<Event>) {
+        let mut touched: HashSet<Symbol> = HashSet::new();
+        for e in events {
+            touched.insert(e.kind);
+            self.by_kind.entry(e.kind).or_default().items.push(e);
+        }
+        for k in touched {
+            self.by_kind.get_mut(&k).expect("just inserted").rebuild_index();
+        }
+    }
+}
+
+#[derive(Default)]
+struct ObsStore {
+    by_name: HashMap<Symbol, KindObsStore>,
+}
+
+#[derive(Default)]
+struct KindObsStore {
+    items: Vec<FluentObs>,
+    by_first: HashMap<Term, Vec<u32>>,
+}
+
+impl KindObsStore {
+    fn rebuild_index(&mut self) {
+        self.items.sort_by_key(|o| o.time);
+        self.by_first.clear();
+        for (i, o) in self.items.iter().enumerate() {
+            if let Some(first) = o.args.first() {
+                self.by_first.entry(first.clone()).or_default().push(i as u32);
+            }
+        }
+    }
+
+    fn range_at(&self, t: Time) -> &[FluentObs] {
+        let lo = self.items.partition_point(|o| o.time < t);
+        let hi = self.items.partition_point(|o| o.time <= t);
+        &self.items[lo..hi]
+    }
+}
+
+impl ObsStore {
+    fn build(obs: impl IntoIterator<Item = FluentObs>) -> ObsStore {
+        let mut store = ObsStore::default();
+        for o in obs {
+            store.by_name.entry(o.name).or_default().items.push(o);
+        }
+        for ks in store.by_name.values_mut() {
+            ks.rebuild_index();
+        }
+        store
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Derived fluent store
+// ---------------------------------------------------------------------------
+
+/// One computed fluent grounding and its maximal intervals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FluentEntry {
+    /// Ground arguments.
+    pub args: Vec<Term>,
+    /// The fluent value.
+    pub value: Term,
+    /// Maximal intervals where `name(args) = value` holds.
+    pub ivs: IntervalList,
+}
+
+/// All derived fluent groundings computed at one query time.
+#[derive(Debug, Clone, Default)]
+pub struct FluentStore {
+    by_name: HashMap<Symbol, Vec<FluentEntry>>,
+    /// Indices into the entry vector, grouped by first argument — narrows
+    /// `holdsAt` lookups with a bound leading argument (e.g. `noisy(Bus)`).
+    by_first: HashMap<(Symbol, Term), Vec<u32>>,
+}
+
+impl FluentStore {
+    /// The computed groundings of fluent `name` (empty slice if none).
+    pub fn entries(&self, name: Symbol) -> &[FluentEntry] {
+        self.by_name.get(&name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Entry indices of `name` whose first argument equals `first`.
+    fn indices_by_first(&self, name: Symbol, first: &Term) -> Option<&[u32]> {
+        self.by_first.get(&(name, first.clone())).map(Vec::as_slice)
+    }
+
+    /// Fluent names with at least one grounding.
+    pub fn names(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.by_name.keys().copied()
+    }
+
+    fn insert(&mut self, name: Symbol, entry: FluentEntry) {
+        let entries = self.by_name.entry(name).or_default();
+        if let Some(first) = entry.args.first() {
+            self.by_first
+                .entry((name, first.clone()))
+                .or_default()
+                .push(entries.len() as u32);
+        }
+        entries.push(entry);
+    }
+
+    /// Looks up the intervals of one exact grounding.
+    pub fn intervals(&self, name: Symbol, args: &[Term], value: &Term) -> Option<&IntervalList> {
+        self.by_name
+            .get(&name)?
+            .iter()
+            .find(|e| e.args == args && &e.value == value)
+            .map(|e| &e.ivs)
+    }
+}
+
+type FluentKey = (Symbol, Vec<Term>, Term);
+
+// ---------------------------------------------------------------------------
+// Recognition result
+// ---------------------------------------------------------------------------
+
+/// Aggregate counts of one recognition query (diagnostics/benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecognitionStats {
+    /// Derived (complex) events recognised.
+    pub derived_events: usize,
+    /// Derived fluent groundings with at least one interval.
+    pub fluent_groundings: usize,
+    /// Total maximal intervals across all groundings.
+    pub intervals: usize,
+}
+
+/// The result of one recognition query.
+#[derive(Debug, Clone)]
+pub struct Recognition {
+    /// All derived (complex) events recognised in the window, time-sorted.
+    pub derived_events: Vec<Event>,
+    /// The query time.
+    pub query_time: Time,
+    /// The window start (`query_time − WM`).
+    pub window_start: Time,
+    /// Number of input SDEs (events + fluent observations) in the window.
+    pub sde_count: usize,
+    fluents: FluentStore,
+}
+
+impl Recognition {
+    /// The full derived fluent store.
+    pub fn fluent_store(&self) -> &FluentStore {
+        &self.fluents
+    }
+
+    /// Intervals of one exact fluent grounding, if computed.
+    pub fn intervals_of(&self, name: &str, args: &[Term], value: &Term) -> Option<&IntervalList> {
+        self.fluents.intervals(Symbol::new(name), args, value)
+    }
+
+    /// All computed groundings of fluent `name`.
+    pub fn fluent_entries(&self, name: &str) -> &[FluentEntry] {
+        self.fluents.entries(Symbol::new(name))
+    }
+
+    /// Derived events of the given kind, time-sorted.
+    pub fn events_of(&self, kind: &str) -> Vec<&Event> {
+        let k = Symbol::new(kind);
+        self.derived_events.iter().filter(|e| e.kind == k).collect()
+    }
+
+    /// `holdsAt` on a derived fluent grounding.
+    pub fn holds_at(&self, name: &str, args: &[Term], value: &Term, t: Time) -> bool {
+        self.intervals_of(name, args, value).is_some_and(|l| l.contains(t))
+    }
+
+    /// Aggregate counts for diagnostics.
+    pub fn stats(&self) -> RecognitionStats {
+        let mut stats = RecognitionStats {
+            derived_events: self.derived_events.len(),
+            ..RecognitionStats::default()
+        };
+        for name in self.fluents.names() {
+            for e in self.fluents.entries(name) {
+                stats.fluent_groundings += 1;
+                stats.intervals += e.ivs.len();
+            }
+        }
+        stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// A windowed RTEC recognition engine for one rule set.
+pub struct Engine {
+    ruleset: RuleSet,
+    window: WindowConfig,
+    buffered_events: Vec<Stamped<Event>>,
+    buffered_obs: Vec<Stamped<FluentObs>>,
+    relations: HashMap<Symbol, Vec<Vec<Term>>>,
+    builtins: HashMap<Symbol, BuiltinFn>,
+    prev_fluents: HashMap<FluentKey, IntervalList>,
+    last_query: Option<Time>,
+}
+
+struct EvalCtx<'a> {
+    events: &'a EventStore,
+    obs: &'a ObsStore,
+    fluents: &'a FluentStore,
+    relations: &'a HashMap<Symbol, Vec<Vec<Term>>>,
+    builtins: &'a HashMap<Symbol, BuiltinFn>,
+    input_fluents: &'a HashMap<Symbol, usize>,
+}
+
+impl Engine {
+    /// Creates an engine for `ruleset` with the given window configuration.
+    pub fn new(ruleset: RuleSet, window: WindowConfig) -> Engine {
+        Engine {
+            ruleset,
+            window,
+            buffered_events: Vec::new(),
+            buffered_obs: Vec::new(),
+            relations: HashMap::new(),
+            builtins: HashMap::new(),
+            prev_fluents: HashMap::new(),
+            last_query: None,
+        }
+    }
+
+    /// The window configuration.
+    pub fn window(&self) -> WindowConfig {
+        self.window
+    }
+
+    /// The rule set being executed.
+    pub fn ruleset(&self) -> &RuleSet {
+        &self.ruleset
+    }
+
+    /// Registers the implementation of a declared builtin predicate.
+    pub fn register_builtin<F>(&mut self, name: &str, f: F) -> Result<(), RtecError>
+    where
+        F: Fn(&[Term]) -> bool + Send + Sync + 'static,
+    {
+        let sym = Symbol::new(name);
+        if !self.ruleset.builtins.contains_key(&sym) {
+            return Err(RtecError::UnknownBuiltin { name: name.to_string() });
+        }
+        self.builtins.insert(sym, Arc::new(f));
+        Ok(())
+    }
+
+    /// Replaces the tuples of a declared relation.
+    pub fn set_relation(&mut self, name: &str, tuples: Vec<Vec<Term>>) -> Result<(), RtecError> {
+        let sym = Symbol::new(name);
+        let arity = *self
+            .ruleset
+            .relations
+            .get(&sym)
+            .ok_or_else(|| RtecError::UnknownRelation { name: name.to_string() })?;
+        if let Some(bad) = tuples.iter().find(|t| t.len() != arity) {
+            return Err(RtecError::ArityMismatch {
+                symbol: name.to_string(),
+                declared: arity,
+                used: bad.len(),
+            });
+        }
+        self.relations.insert(sym, tuples);
+        Ok(())
+    }
+
+    /// Declares that a simple fluent grounding holds *initially* — before
+    /// any event of the stream (the Event Calculus `initially` predicate).
+    /// Must be called before the first query; the value persists by inertia
+    /// until a termination rule fires.
+    pub fn set_initially(
+        &mut self,
+        name: &str,
+        args: Vec<Term>,
+        value: Term,
+    ) -> Result<(), RtecError> {
+        if let Some(previous) = self.last_query {
+            return Err(RtecError::NonMonotonicQuery { previous, requested: previous });
+        }
+        let sym = Symbol::new(name);
+        if !self.ruleset.derived_fluents.contains(&sym) {
+            return Err(RtecError::Undeclared {
+                symbol: name.to_string(),
+                context: "set_initially (must be a derived simple fluent)".into(),
+            });
+        }
+        self.prev_fluents.insert(
+            (sym, args, value),
+            IntervalList::single(crate::interval::Interval::open_from(crate::time::TIME_MIN)),
+        );
+        Ok(())
+    }
+
+    /// Buffers an event that arrives exactly when it occurs.
+    pub fn add_event(&mut self, event: Event) -> Result<(), RtecError> {
+        self.add_stamped_event(Stamped::<Event>::punctual(event))
+    }
+
+    /// Buffers an event with an explicit arrival time (possibly delayed).
+    pub fn add_stamped_event(&mut self, ev: Stamped<Event>) -> Result<(), RtecError> {
+        match self.ruleset.input_events.get(&ev.item.kind) {
+            Some(&arity) if arity == ev.item.args.len() => {
+                self.buffered_events.push(ev);
+                Ok(())
+            }
+            Some(&arity) => Err(RtecError::ArityMismatch {
+                symbol: ev.item.kind.as_str(),
+                declared: arity,
+                used: ev.item.args.len(),
+            }),
+            None => Err(RtecError::Undeclared {
+                symbol: ev.item.kind.as_str(),
+                context: "add_event (declare it with declare_event)".into(),
+            }),
+        }
+    }
+
+    /// Buffers an input fluent observation arriving when it occurs.
+    pub fn add_obs(&mut self, obs: FluentObs) -> Result<(), RtecError> {
+        self.add_stamped_obs(Stamped::<FluentObs>::punctual(obs))
+    }
+
+    /// Buffers an input fluent observation with an explicit arrival time.
+    pub fn add_stamped_obs(&mut self, obs: Stamped<FluentObs>) -> Result<(), RtecError> {
+        match self.ruleset.input_fluents.get(&obs.item.name) {
+            Some(&arity) if arity == obs.item.args.len() => {
+                self.buffered_obs.push(obs);
+                Ok(())
+            }
+            Some(&arity) => Err(RtecError::ArityMismatch {
+                symbol: obs.item.name.as_str(),
+                declared: arity,
+                used: obs.item.args.len(),
+            }),
+            None => Err(RtecError::Undeclared {
+                symbol: obs.item.name.as_str(),
+                context: "add_obs (declare it with declare_input_fluent)".into(),
+            }),
+        }
+    }
+
+    /// Number of buffered (not yet expired) input items.
+    pub fn buffered(&self) -> usize {
+        self.buffered_events.len() + self.buffered_obs.len()
+    }
+
+    /// Runs recognition at query time `q`.
+    ///
+    /// Query times must be strictly increasing. Items that have arrived by
+    /// `q` and occurred in `(q − WM, q]` are processed; items whose
+    /// occurrence time has fallen behind the window are discarded.
+    pub fn query(&mut self, q: Time) -> Result<Recognition, RtecError> {
+        if let Some(prev) = self.last_query {
+            if q <= prev {
+                return Err(RtecError::NonMonotonicQuery { previous: prev, requested: q });
+            }
+        }
+        // All declared builtins must have implementations.
+        for name in self.ruleset.builtins.keys() {
+            if !self.builtins.contains_key(name) {
+                return Err(RtecError::UnknownBuiltin { name: name.as_str() });
+            }
+        }
+
+        let start = self.window.window_start(q);
+
+        // Select the visible window contents.
+        let visible_events: Vec<Event> = self
+            .buffered_events
+            .iter()
+            .filter(|s| s.arrival <= q && s.item.time > start && s.item.time <= q)
+            .map(|s| s.item.clone())
+            .collect();
+        let visible_obs: Vec<FluentObs> = self
+            .buffered_obs
+            .iter()
+            .filter(|s| s.arrival <= q && s.item.time > start && s.item.time <= q)
+            .map(|s| s.item.clone())
+            .collect();
+        let sde_count = visible_events.len() + visible_obs.len();
+
+        // Drop items that can never be in a future window (occurrence behind
+        // the current window start; window starts only move forward).
+        self.buffered_events.retain(|s| s.item.time > start);
+        self.buffered_obs.retain(|s| s.item.time > start);
+
+        let mut events = EventStore::build(visible_events);
+        let obs = ObsStore::build(visible_obs);
+        let mut fluents = FluentStore::default();
+        let mut derived_events_all: Vec<Event> = Vec::new();
+        let mut new_cache: HashMap<FluentKey, IntervalList> = HashMap::new();
+
+        for stratum in self.ruleset.strata.clone() {
+            match stratum.kind {
+                HeadKind::Event => {
+                    let rules: Vec<&EventRule> =
+                        stratum.rule_indices.iter().map(|&i| &self.ruleset.ev_rules[i]).collect();
+                    let ctx = EvalCtx {
+                        events: &events,
+                        obs: &obs,
+                        fluents: &fluents,
+                        relations: &self.relations,
+                        builtins: &self.builtins,
+                        input_fluents: &self.ruleset.input_fluents,
+                    };
+                    let new_events = eval_event_stratum(&rules, &ctx);
+                    derived_events_all.extend(new_events.iter().cloned());
+                    events.add_derived(new_events);
+                }
+                HeadKind::SimpleFluent => {
+                    let rules: Vec<&SimpleFluentRule> =
+                        stratum.rule_indices.iter().map(|&i| &self.ruleset.sf_rules[i]).collect();
+                    let ctx = EvalCtx {
+                        events: &events,
+                        obs: &obs,
+                        fluents: &fluents,
+                        relations: &self.relations,
+                        builtins: &self.builtins,
+                        input_fluents: &self.ruleset.input_fluents,
+                    };
+                    let computed = eval_simple_fluent_stratum(
+                        stratum.symbol,
+                        &rules,
+                        &ctx,
+                        &self.prev_fluents,
+                        start,
+                    );
+                    for (key, ivs) in computed {
+                        if !ivs.is_empty() {
+                            fluents.insert(
+                                key.0,
+                                FluentEntry { args: key.1.clone(), value: key.2.clone(), ivs: ivs.clone() },
+                            );
+                            new_cache.insert(key, ivs);
+                        }
+                    }
+                }
+                HeadKind::StaticFluent => {
+                    let rules: Vec<&StaticRule> = stratum
+                        .rule_indices
+                        .iter()
+                        .map(|&i| &self.ruleset.static_rules[i])
+                        .collect();
+                    let ctx = EvalCtx {
+                        events: &events,
+                        obs: &obs,
+                        fluents: &fluents,
+                        relations: &self.relations,
+                        builtins: &self.builtins,
+                        input_fluents: &self.ruleset.input_fluents,
+                    };
+                    let computed = eval_static_stratum(&rules, &ctx);
+                    for (key, ivs) in computed {
+                        if !ivs.is_empty() {
+                            fluents.insert(
+                                key.0,
+                                FluentEntry { args: key.1, value: key.2, ivs },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        self.prev_fluents = new_cache;
+        self.last_query = Some(q);
+
+        derived_events_all.sort_by_key(|a| (a.time, a.kind));
+        Ok(Recognition {
+            derived_events: derived_events_all,
+            query_time: q,
+            window_start: start,
+            sde_count,
+            fluents,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Body evaluation (backtracking over conditions)
+// ---------------------------------------------------------------------------
+
+fn term_time(t: &Term) -> Option<Time> {
+    t.as_i64()
+}
+
+fn resolve(v: &ValRef, b: &Bindings) -> Option<Term> {
+    match v {
+        ValRef::Const(t) => Some(t.clone()),
+        ValRef::Var(var) => b.get(*var).cloned(),
+    }
+}
+
+fn eval_num(e: &NumExpr, b: &Bindings) -> Option<f64> {
+    match e {
+        NumExpr::Var(v) => b.get(*v)?.as_f64(),
+        NumExpr::Const(c) => Some(*c),
+        NumExpr::Add(l, r) => Some(eval_num(l, b)? + eval_num(r, b)?),
+        NumExpr::Sub(l, r) => Some(eval_num(l, b)? - eval_num(r, b)?),
+        NumExpr::Mul(l, r) => Some(eval_num(l, b)? * eval_num(r, b)?),
+        NumExpr::Abs(x) => Some(eval_num(x, b)?.abs()),
+    }
+}
+
+fn eval_guard(g: &GuardExpr, b: &Bindings) -> bool {
+    match g {
+        GuardExpr::Cmp { lhs, op, rhs } => match (eval_num(lhs, b), eval_num(rhs, b)) {
+            (Some(l), Some(r)) => op.apply(l, r),
+            _ => false,
+        },
+        GuardExpr::TermEq(l, r) => match (resolve(l, b), resolve(r, b)) {
+            (Some(l), Some(r)) => l == r,
+            _ => false,
+        },
+        GuardExpr::TermNe(l, r) => match (resolve(l, b), resolve(r, b)) {
+            (Some(l), Some(r)) => l != r,
+            _ => false,
+        },
+        GuardExpr::And(gs) => gs.iter().all(|g| eval_guard(g, b)),
+        GuardExpr::Or(gs) => gs.iter().any(|g| eval_guard(g, b)),
+        GuardExpr::Not(g) => !eval_guard(g, b),
+    }
+}
+
+/// Matches an event against a pattern + time variable; on success calls
+/// `k` and rolls back bindings afterwards.
+fn with_event_match(
+    pat: &EventPattern,
+    time: VarId,
+    e: &Event,
+    b: &mut Bindings,
+    k: &mut dyn FnMut(&mut Bindings),
+) {
+    // Time first: cheap check/bind.
+    let t_term = Term::Int(e.time);
+    let time_was_bound = b.is_bound(time);
+    if time_was_bound {
+        if b.get(time) != Some(&t_term) {
+            return;
+        }
+    } else if !b.bind(time, &t_term) {
+        return;
+    }
+    if let Some(bound) = match_args(&pat.args, &e.args, b) {
+        k(b);
+        unbind_all(&bound, b);
+    }
+    if !time_was_bound {
+        b.unbind(time);
+    }
+}
+
+fn solve(ctx: &EvalCtx<'_>, atoms: &[BodyAtom], b: &mut Bindings, out: &mut dyn FnMut(&mut Bindings)) {
+    let Some((atom, rest)) = atoms.split_first() else {
+        out(b);
+        return;
+    };
+    match atom {
+        BodyAtom::Happens { pat, time } => {
+            let Some(ks) = ctx.events.by_kind.get(&pat.kind) else { return };
+            // Narrow enumeration by bound time, else by bound first arg.
+            if let Some(t) = b.get(*time).and_then(term_time) {
+                // Clone candidates? No — use index ranges.
+                let lo = ks.items.partition_point(|e| e.time < t);
+                let hi = ks.items.partition_point(|e| e.time <= t);
+                for e in &ks.items[lo..hi] {
+                    with_event_match(pat, *time, e, b, &mut |b| solve(ctx, rest, b, out));
+                }
+            } else {
+                let first_bound: Option<Term> = match pat.args.first() {
+                    Some(ArgPat::Const(c)) => Some(c.clone()),
+                    Some(ArgPat::Var(v)) => b.get(*v).cloned(),
+                    _ => None,
+                };
+                match first_bound {
+                    Some(first) => {
+                        if let Some(idxs) = ks.by_first.get(&first) {
+                            for &i in idxs {
+                                let e = &ks.items[i as usize];
+                                with_event_match(pat, *time, e, b, &mut |b| {
+                                    solve(ctx, rest, b, out)
+                                });
+                            }
+                        }
+                    }
+                    None => {
+                        for e in &ks.items {
+                            with_event_match(pat, *time, e, b, &mut |b| solve(ctx, rest, b, out));
+                        }
+                    }
+                }
+            }
+        }
+        BodyAtom::Holds { pat, time, negated } => {
+            let Some(t) = b.get(*time).and_then(term_time) else { return };
+            if ctx.input_fluents.contains_key(&pat.name) {
+                solve_holds_input(ctx, pat, t, *negated, b, rest, out);
+            } else {
+                solve_holds_derived(ctx, pat, t, *negated, b, rest, out);
+            }
+        }
+        BodyAtom::Relation { name, args } => {
+            if let Some(tuples) = ctx.relations.get(name) {
+                for tuple in tuples {
+                    if let Some(bound) = match_args(args, tuple, b) {
+                        solve(ctx, rest, b, out);
+                        unbind_all(&bound, b);
+                    }
+                }
+            }
+        }
+        BodyAtom::Builtin { name, args } => {
+            let Some(f) = ctx.builtins.get(name) else { return };
+            let resolved: Option<Vec<Term>> = args.iter().map(|a| resolve(a, b)).collect();
+            if let Some(terms) = resolved {
+                if f(&terms) {
+                    solve(ctx, rest, b, out);
+                }
+            }
+        }
+        BodyAtom::Guard(g) => {
+            if eval_guard(g, b) {
+                solve(ctx, rest, b, out);
+            }
+        }
+    }
+}
+
+fn solve_holds_input(
+    ctx: &EvalCtx<'_>,
+    pat: &FluentPattern,
+    t: Time,
+    negated: bool,
+    b: &mut Bindings,
+    rest: &[BodyAtom],
+    out: &mut dyn FnMut(&mut Bindings),
+) {
+    let Some(ks) = ctx.obs.by_name.get(&pat.name) else {
+        if negated {
+            solve(ctx, rest, b, out);
+        }
+        return;
+    };
+    let candidates = ks.range_at(t);
+    if negated {
+        let exists = candidates.iter().any(|o| {
+            match match_args(&pat.args, &o.args, b) {
+                Some(bound_args) => {
+                    let ok = match match_args(
+                        std::slice::from_ref(&pat.value),
+                        std::slice::from_ref(&o.value),
+                        b,
+                    ) {
+                        Some(bound_val) => {
+                            unbind_all(&bound_val, b);
+                            true
+                        }
+                        None => false,
+                    };
+                    unbind_all(&bound_args, b);
+                    ok
+                }
+                None => false,
+            }
+        });
+        if !exists {
+            solve(ctx, rest, b, out);
+        }
+        return;
+    }
+    for o in candidates {
+        if let Some(bound_args) = match_args(&pat.args, &o.args, b) {
+            if let Some(bound_val) =
+                match_args(std::slice::from_ref(&pat.value), std::slice::from_ref(&o.value), b)
+            {
+                solve(ctx, rest, b, out);
+                unbind_all(&bound_val, b);
+            }
+            unbind_all(&bound_args, b);
+        }
+    }
+}
+
+/// Matches a fluent entry's args+value against a pattern, rolling every new
+/// binding back before returning. Returns whether the entry matches.
+fn entry_matches(pat: &FluentPattern, e: &FluentEntry, b: &mut Bindings) -> bool {
+    if let Some(bound_args) = match_args(&pat.args, &e.args, b) {
+        let ok = match match_args(
+            std::slice::from_ref(&pat.value),
+            std::slice::from_ref(&e.value),
+            b,
+        ) {
+            Some(bound_val) => {
+                unbind_all(&bound_val, b);
+                true
+            }
+            None => false,
+        };
+        unbind_all(&bound_args, b);
+        ok
+    } else {
+        false
+    }
+}
+
+fn solve_holds_derived(
+    ctx: &EvalCtx<'_>,
+    pat: &FluentPattern,
+    t: Time,
+    negated: bool,
+    b: &mut Bindings,
+    rest: &[BodyAtom],
+    out: &mut dyn FnMut(&mut Bindings),
+) {
+    let entries = ctx.fluents.entries(pat.name);
+    // Narrow by a bound first argument where possible.
+    let first_bound: Option<Term> = match pat.args.first() {
+        Some(ArgPat::Const(c)) => Some(c.clone()),
+        Some(ArgPat::Var(v)) => b.get(*v).cloned(),
+        _ => None,
+    };
+    let narrowed: Option<&[u32]> =
+        first_bound.as_ref().and_then(|f| ctx.fluents.indices_by_first(pat.name, f));
+
+    if negated {
+        let exists = match narrowed {
+            Some(idxs) => idxs.iter().any(|&i| {
+                let e = &entries[i as usize];
+                e.ivs.contains(t) && entry_matches(pat, e, b)
+            }),
+            None => {
+                if first_bound.is_some() {
+                    false // bound first arg with no index bucket: no grounding
+                } else {
+                    entries.iter().any(|e| e.ivs.contains(t) && entry_matches(pat, e, b))
+                }
+            }
+        };
+        if !exists {
+            solve(ctx, rest, b, out);
+        }
+        return;
+    }
+
+    let mut visit = |e: &FluentEntry, b: &mut Bindings| {
+        if !e.ivs.contains(t) {
+            return;
+        }
+        if let Some(bound_args) = match_args(&pat.args, &e.args, b) {
+            if let Some(bound_val) =
+                match_args(std::slice::from_ref(&pat.value), std::slice::from_ref(&e.value), b)
+            {
+                solve(ctx, rest, b, out);
+                unbind_all(&bound_val, b);
+            }
+            unbind_all(&bound_args, b);
+        }
+    };
+    match narrowed {
+        Some(idxs) => {
+            for &i in idxs {
+                visit(&entries[i as usize], b);
+            }
+        }
+        None => {
+            if first_bound.is_none() {
+                for e in entries {
+                    visit(e, b);
+                }
+            }
+            // else: bound first arg without a bucket — no matches.
+        }
+    }
+}
+
+fn instantiate_args(pats: &[ArgPat], b: &Bindings) -> Vec<Term> {
+    pats.iter()
+        .map(|p| match p {
+            ArgPat::Const(c) => c.clone(),
+            ArgPat::Var(v) => b.get(*v).expect("head var bound (validated at build)").clone(),
+            ArgPat::Any => unreachable!("wildcards are rejected in heads at build time"),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Stratum evaluation
+// ---------------------------------------------------------------------------
+
+fn eval_event_stratum(rules: &[&EventRule], ctx: &EvalCtx<'_>) -> Vec<Event> {
+    let mut seen: HashSet<(Symbol, Vec<Term>, Time)> = HashSet::new();
+    let mut events = Vec::new();
+    for rule in rules {
+        let mut b = Bindings::new(rule.n_vars);
+        solve(ctx, &rule.body, &mut b, &mut |b| {
+            let t = b
+                .get(rule.time)
+                .and_then(term_time)
+                .expect("head time bound (validated at build)");
+            let args = instantiate_args(&rule.head.args, b);
+            if seen.insert((rule.head.kind, args.clone(), t)) {
+                events.push(Event { kind: rule.head.kind, args, time: t });
+            }
+        });
+    }
+    events
+}
+
+/// Initiation/termination time-points collected per fluent grounding.
+type PointsByGrounding = HashMap<(Vec<Term>, Term), (Vec<Time>, Vec<Time>)>;
+
+fn eval_simple_fluent_stratum(
+    symbol: Symbol,
+    rules: &[&SimpleFluentRule],
+    ctx: &EvalCtx<'_>,
+    prev: &HashMap<FluentKey, IntervalList>,
+    window_start: Time,
+) -> Vec<(FluentKey, IntervalList)> {
+    // Collect initiation/termination points per grounding.
+    let mut points: PointsByGrounding = HashMap::new();
+    for rule in rules {
+        let mut b = Bindings::new(rule.n_vars);
+        solve(ctx, &rule.body, &mut b, &mut |b| {
+            let t = b
+                .get(rule.time)
+                .and_then(term_time)
+                .expect("head time bound (validated at build)");
+            let args = instantiate_args(&rule.head.args, b);
+            let value = match &rule.head.value {
+                ArgPat::Const(c) => c.clone(),
+                ArgPat::Var(v) => b.get(*v).expect("head value bound").clone(),
+                ArgPat::Any => unreachable!("validated at build"),
+            };
+            let entry = points.entry((args, value)).or_default();
+            match rule.kind {
+                SfKind::Initiated => entry.0.push(t),
+                SfKind::Terminated => entry.1.push(t),
+            }
+        });
+    }
+
+    // Groundings to (re)compute: those with points now, plus cached
+    // groundings of this fluent that still hold at the window start.
+    let mut keys: HashSet<(Vec<Term>, Term)> = points.keys().cloned().collect();
+    for ((name, args, value), ivs) in prev {
+        if *name == symbol && ivs.contains(window_start) {
+            keys.insert((args.clone(), value.clone()));
+        }
+    }
+
+    let mut out = Vec::with_capacity(keys.len());
+    for key in keys {
+        let (inits, terms) = points.get(&key).cloned().unwrap_or_default();
+        let full_key: FluentKey = (symbol, key.0.clone(), key.1.clone());
+        let initially = prev.get(&full_key).is_some_and(|l| l.contains(window_start));
+        let ivs = IntervalList::from_points(&inits, &terms, initially, window_start);
+        out.push((full_key, ivs));
+    }
+    out
+}
+
+fn eval_interval_expr(expr: &IntervalExpr, b: &Bindings, fluents: &FluentStore) -> IntervalList {
+    match expr {
+        IntervalExpr::Fluent(pat) => {
+            let mut acc: Vec<&IntervalList> = Vec::new();
+            for e in fluents.entries(pat.name) {
+                let mut probe = b.clone();
+                if match_args(&pat.args, &e.args, &mut probe).is_some()
+                    && match_args(
+                        std::slice::from_ref(&pat.value),
+                        std::slice::from_ref(&e.value),
+                        &mut probe,
+                    )
+                    .is_some()
+                {
+                    acc.push(&e.ivs);
+                }
+            }
+            IntervalList::union_all(acc)
+        }
+        IntervalExpr::Union(es) => {
+            let lists: Vec<IntervalList> =
+                es.iter().map(|e| eval_interval_expr(e, b, fluents)).collect();
+            IntervalList::union_all(lists.iter())
+        }
+        IntervalExpr::Intersect(es) => {
+            let lists: Vec<IntervalList> =
+                es.iter().map(|e| eval_interval_expr(e, b, fluents)).collect();
+            IntervalList::intersect_all(lists.iter())
+        }
+        IntervalExpr::RelComp(base, subs) => {
+            let base_l = eval_interval_expr(base, b, fluents);
+            let sub_ls: Vec<IntervalList> =
+                subs.iter().map(|e| eval_interval_expr(e, b, fluents)).collect();
+            IntervalList::relative_complement_all(&base_l, sub_ls.iter())
+        }
+    }
+}
+
+fn eval_static_stratum(
+    rules: &[&StaticRule],
+    ctx: &EvalCtx<'_>,
+) -> Vec<(FluentKey, IntervalList)> {
+    let mut acc: HashMap<FluentKey, IntervalList> = HashMap::new();
+    for rule in rules {
+        let mut b = Bindings::new(rule.n_vars);
+        let mut solutions: Vec<Bindings> = Vec::new();
+        solve(ctx, &rule.domain, &mut b, &mut |b| solutions.push(b.clone()));
+        for sol in solutions {
+            let ivs = eval_interval_expr(&rule.expr, &sol, ctx.fluents);
+            if ivs.is_empty() {
+                continue;
+            }
+            let args = instantiate_args(&rule.head.args, &sol);
+            let value = match &rule.head.value {
+                ArgPat::Const(c) => c.clone(),
+                ArgPat::Var(v) => sol.get(*v).expect("head value bound").clone(),
+                ArgPat::Any => unreachable!("validated at build"),
+            };
+            let key: FluentKey = (rule.head.name, args, value);
+            acc.entry(key)
+                .and_modify(|existing| *existing = existing.union(&ivs))
+                .or_insert(ivs);
+        }
+    }
+    acc.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use crate::rule::CmpOp;
+
+    fn on_off_ruleset() -> RuleSet {
+        let mut b = RuleSetBuilder::new();
+        b.declare_event("switch_on", 1).declare_event("switch_off", 1);
+        let dev = b.var("Dev");
+        let t1 = b.var("T1");
+        b.initiated(
+            fluent("on", [pat(dev)], val(true)),
+            t1,
+            [happens(event_pat("switch_on", [pat(dev)]), t1)],
+        );
+        let t2 = b.var("T2");
+        b.terminated(
+            fluent("on", [pat(dev)], val(true)),
+            t2,
+            [happens(event_pat("switch_off", [pat(dev)]), t2)],
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn basic_inertia() {
+        let mut e = Engine::new(on_off_ruleset(), WindowConfig::new(100, 100).unwrap());
+        e.add_event(Event::new("switch_on", [Term::sym("lamp")], 10)).unwrap();
+        e.add_event(Event::new("switch_off", [Term::sym("lamp")], 40)).unwrap();
+        e.add_event(Event::new("switch_on", [Term::sym("lamp")], 70)).unwrap();
+        let rec = e.query(100).unwrap();
+        let ivs = rec.intervals_of("on", &[Term::sym("lamp")], &Term::truth()).unwrap();
+        assert_eq!(
+            ivs.as_slice(),
+            &[crate::interval::Interval::span(10, 40), crate::interval::Interval::open_from(70)]
+        );
+        assert_eq!(rec.sde_count, 3);
+    }
+
+    #[test]
+    fn per_entity_groundings_are_independent() {
+        let mut e = Engine::new(on_off_ruleset(), WindowConfig::new(100, 100).unwrap());
+        e.add_event(Event::new("switch_on", [Term::sym("a")], 10)).unwrap();
+        e.add_event(Event::new("switch_on", [Term::sym("b")], 20)).unwrap();
+        e.add_event(Event::new("switch_off", [Term::sym("a")], 30)).unwrap();
+        let rec = e.query(100).unwrap();
+        assert!(rec.holds_at("on", &[Term::sym("b")], &Term::truth(), 50));
+        assert!(!rec.holds_at("on", &[Term::sym("a")], &Term::truth(), 50));
+    }
+
+    #[test]
+    fn inertia_carries_across_windows() {
+        let mut e = Engine::new(on_off_ruleset(), WindowConfig::new(100, 100).unwrap());
+        e.add_event(Event::new("switch_on", [Term::sym("lamp")], 10)).unwrap();
+        let _ = e.query(100).unwrap();
+        // No new events; fluent must still hold in the next window.
+        let rec = e.query(200).unwrap();
+        assert!(rec.holds_at("on", &[Term::sym("lamp")], &Term::truth(), 150));
+        // Terminate in a third window.
+        e.add_event(Event::new("switch_off", [Term::sym("lamp")], 250)).unwrap();
+        let rec = e.query(300).unwrap();
+        let ivs = rec.intervals_of("on", &[Term::sym("lamp")], &Term::truth()).unwrap();
+        assert_eq!(ivs.as_slice(), &[crate::interval::Interval::span(200, 250)]);
+    }
+
+    #[test]
+    fn late_events_are_amended_when_wm_exceeds_step() {
+        // WM 100, step 50: an event occurring at 120 that arrives at 160
+        // is missed by the query at 150 but amended at 200.
+        let mut e = Engine::new(on_off_ruleset(), WindowConfig::new(100, 50).unwrap());
+        e.add_stamped_event(Stamped::arriving_at(
+            Event::new("switch_on", [Term::sym("lamp")], 120),
+            160,
+        ))
+        .unwrap();
+        let rec = e.query(150).unwrap();
+        assert!(rec.intervals_of("on", &[Term::sym("lamp")], &Term::truth()).is_none());
+        let rec = e.query(200).unwrap();
+        let ivs = rec.intervals_of("on", &[Term::sym("lamp")], &Term::truth()).unwrap();
+        assert_eq!(ivs.as_slice(), &[crate::interval::Interval::open_from(120)]);
+    }
+
+    #[test]
+    fn events_older_than_window_are_lost() {
+        let mut e = Engine::new(on_off_ruleset(), WindowConfig::new(100, 100).unwrap());
+        // Arrives far too late: occurrence 50, arrival 250. At query 200 it
+        // is not visible (not arrived); at query 300 its occurrence is
+        // outside (200, 300].
+        e.add_stamped_event(Stamped::arriving_at(
+            Event::new("switch_on", [Term::sym("lamp")], 50),
+            250,
+        ))
+        .unwrap();
+        assert!(e.query(200).unwrap().fluent_entries("on").is_empty());
+        assert!(e.query(300).unwrap().fluent_entries("on").is_empty());
+    }
+
+    #[test]
+    fn non_monotonic_queries_rejected() {
+        let mut e = Engine::new(on_off_ruleset(), WindowConfig::new(100, 100).unwrap());
+        e.query(100).unwrap();
+        assert!(matches!(e.query(100), Err(RtecError::NonMonotonicQuery { .. })));
+        assert!(matches!(e.query(50), Err(RtecError::NonMonotonicQuery { .. })));
+    }
+
+    #[test]
+    fn undeclared_inputs_rejected() {
+        let mut e = Engine::new(on_off_ruleset(), WindowConfig::new(100, 100).unwrap());
+        assert!(e.add_event(Event::new("bogus", [Term::int(1)], 5)).is_err());
+        assert!(e
+            .add_event(Event::new("switch_on", [Term::int(1), Term::int(2)], 5))
+            .is_err());
+    }
+
+    fn delay_increase_ruleset() -> RuleSet {
+        // The paper's delayIncrease CE: two move events of the same bus less
+        // than t=60 apart whose delay grows by more than d=300.
+        let mut b = RuleSetBuilder::new();
+        b.declare_event("move", 2); // (Bus, Delay) — simplified for the test
+        let bus = b.var("Bus");
+        let d1 = b.var("D1");
+        let d2 = b.var("D2");
+        let t1 = b.var("T1");
+        let t2 = b.var("T2");
+        b.derived_event(
+            event_head("delayIncrease", [pat(bus)]),
+            t2,
+            [
+                happens(event_pat("move", [pat(bus), pat(d1)]), t1),
+                happens(event_pat("move", [pat(bus), pat(d2)]), t2),
+                guard(cmp(NumExpr::sub(d2.into(), d1.into()), CmpOp::Gt, 300.0)),
+                guard(cmp(NumExpr::sub(t2.into(), t1.into()), CmpOp::Gt, 0.0)),
+                guard(cmp(NumExpr::sub(t2.into(), t1.into()), CmpOp::Lt, 60.0)),
+            ],
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn derived_events_join_over_pairs() {
+        let mut e = Engine::new(delay_increase_ruleset(), WindowConfig::new(1000, 1000).unwrap());
+        e.add_event(Event::new("move", [Term::int(1), Term::int(100)], 10)).unwrap();
+        e.add_event(Event::new("move", [Term::int(1), Term::int(500)], 40)).unwrap(); // +400 in 30s
+        e.add_event(Event::new("move", [Term::int(2), Term::int(100)], 10)).unwrap();
+        e.add_event(Event::new("move", [Term::int(2), Term::int(150)], 40)).unwrap(); // small increase
+        e.add_event(Event::new("move", [Term::int(3), Term::int(0)], 10)).unwrap();
+        e.add_event(Event::new("move", [Term::int(3), Term::int(900)], 400)).unwrap(); // too far apart
+        let rec = e.query(1000).unwrap();
+        let des = rec.events_of("delayIncrease");
+        assert_eq!(des.len(), 1);
+        assert_eq!(des[0].args, vec![Term::int(1)]);
+        assert_eq!(des[0].time, 40);
+    }
+
+    #[test]
+    fn derived_event_feeds_fluent() {
+        // alarm fluent goes up when delayIncrease occurs.
+        let mut b = RuleSetBuilder::new();
+        b.declare_event("move", 2);
+        let bus = b.var("Bus");
+        let d1 = b.var("D1");
+        let d2 = b.var("D2");
+        let t1 = b.var("T1");
+        let t2 = b.var("T2");
+        b.derived_event(
+            event_head("delayIncrease", [pat(bus)]),
+            t2,
+            [
+                happens(event_pat("move", [pat(bus), pat(d1)]), t1),
+                happens(event_pat("move", [pat(bus), pat(d2)]), t2),
+                guard(cmp(NumExpr::sub(d2.into(), d1.into()), CmpOp::Gt, 300.0)),
+                guard(cmp(NumExpr::sub(t2.into(), t1.into()), CmpOp::Gt, 0.0)),
+            ],
+        );
+        let t3 = b.var("T3");
+        b.initiated(
+            fluent("alarm", [pat(bus)], val(true)),
+            t3,
+            [happens(event_pat("delayIncrease", [pat(bus)]), t3)],
+        );
+        let rs = b.build().unwrap();
+
+        let mut e = Engine::new(rs, WindowConfig::new(1000, 1000).unwrap());
+        e.add_event(Event::new("move", [Term::int(1), Term::int(0)], 10)).unwrap();
+        e.add_event(Event::new("move", [Term::int(1), Term::int(400)], 30)).unwrap();
+        let rec = e.query(1000).unwrap();
+        assert!(rec.holds_at("alarm", &[Term::int(1)], &Term::truth(), 500));
+    }
+
+    #[test]
+    fn input_fluent_conditions() {
+        // congested location from gps observations co-timed with move events.
+        let mut b = RuleSetBuilder::new();
+        b.declare_event("move", 1);
+        b.declare_input_fluent("gps", 2); // (Bus, Congestion)
+        let bus = b.var("Bus");
+        let t = b.var("T");
+        b.initiated(
+            fluent("busCong", [pat(bus)], val(true)),
+            t,
+            [
+                happens(event_pat("move", [pat(bus)]), t),
+                holds(fluent_pat("gps", [pat(bus), cnst(1i64)], val(true)), t),
+            ],
+        );
+        let t2 = b.var("T2");
+        b.terminated(
+            fluent("busCong", [pat(bus)], val(true)),
+            t2,
+            [
+                happens(event_pat("move", [pat(bus)]), t2),
+                holds(fluent_pat("gps", [pat(bus), cnst(0i64)], val(true)), t2),
+            ],
+        );
+        let rs = b.build().unwrap();
+        let mut e = Engine::new(rs, WindowConfig::new(1000, 1000).unwrap());
+        e.add_event(Event::new("move", [Term::int(7)], 10)).unwrap();
+        e.add_obs(FluentObs::new("gps", [Term::int(7), Term::int(1)], true, 10)).unwrap();
+        e.add_event(Event::new("move", [Term::int(7)], 50)).unwrap();
+        e.add_obs(FluentObs::new("gps", [Term::int(7), Term::int(0)], true, 50)).unwrap();
+        let rec = e.query(1000).unwrap();
+        let ivs = rec.intervals_of("busCong", &[Term::int(7)], &Term::truth()).unwrap();
+        assert_eq!(ivs.as_slice(), &[crate::interval::Interval::span(10, 50)]);
+    }
+
+    #[test]
+    fn negation_as_failure() {
+        let mut b = RuleSetBuilder::new();
+        b.declare_event("ping", 1);
+        b.declare_event("mute", 1);
+        b.declare_event("unmute", 1);
+        let x = b.var("X");
+        let t = b.var("T");
+        b.initiated(
+            fluent("muted", [pat(x)], val(true)),
+            t,
+            [happens(event_pat("mute", [pat(x)]), t)],
+        );
+        let tu = b.var("TU");
+        b.terminated(
+            fluent("muted", [pat(x)], val(true)),
+            tu,
+            [happens(event_pat("unmute", [pat(x)]), tu)],
+        );
+        let t2 = b.var("T2");
+        b.derived_event(
+            event_head("audiblePing", [pat(x)]),
+            t2,
+            [
+                happens(event_pat("ping", [pat(x)]), t2),
+                not_holds(fluent_pat("muted", [pat(x)], val(true)), t2),
+            ],
+        );
+        let rs = b.build().unwrap();
+        let mut e = Engine::new(rs, WindowConfig::new(1000, 1000).unwrap());
+        e.add_event(Event::new("mute", [Term::int(1)], 20)).unwrap();
+        e.add_event(Event::new("ping", [Term::int(1)], 10)).unwrap(); // before mute -> audible
+        e.add_event(Event::new("ping", [Term::int(1)], 30)).unwrap(); // muted
+        e.add_event(Event::new("unmute", [Term::int(1)], 40)).unwrap();
+        e.add_event(Event::new("ping", [Term::int(1)], 50)).unwrap(); // audible again
+        let rec = e.query(1000).unwrap();
+        let times: Vec<Time> = rec.events_of("audiblePing").iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![10, 50]);
+    }
+
+    #[test]
+    fn static_fluent_relative_complement() {
+        // disagreement(X) = a(X) \ b(X), domain from relation `ids`.
+        let mut b = RuleSetBuilder::new();
+        b.declare_event("startA", 1);
+        b.declare_event("stopA", 1);
+        b.declare_event("startB", 1);
+        b.declare_event("stopB", 1);
+        b.declare_relation("ids", 1);
+        let x = b.var("X");
+        for (fl, on, off) in [("a", "startA", "stopA"), ("b", "startB", "stopB")] {
+            let t1 = b.var(&format!("Ti_{fl}"));
+            b.initiated(
+                fluent(fl, [pat(x)], val(true)),
+                t1,
+                [happens(event_pat(on, [pat(x)]), t1)],
+            );
+            let t2 = b.var(&format!("Tt_{fl}"));
+            b.terminated(
+                fluent(fl, [pat(x)], val(true)),
+                t2,
+                [happens(event_pat(off, [pat(x)]), t2)],
+            );
+        }
+        b.static_fluent(
+            fluent("disagreement", [pat(x)], val(true)),
+            [relation("ids", [pat(x)])],
+            IntervalExpr::RelComp(
+                Box::new(IntervalExpr::Fluent(fluent_pat("a", [pat(x)], val(true)))),
+                vec![IntervalExpr::Fluent(fluent_pat("b", [pat(x)], val(true)))],
+            ),
+        );
+        let rs = b.build().unwrap();
+        let mut e = Engine::new(rs, WindowConfig::new(1000, 1000).unwrap());
+        e.set_relation("ids", vec![vec![Term::int(1)]]).unwrap();
+        // Note: the window at query 1000 is (0, 1000], so time 0 would be
+        // excluded; start at 5.
+        e.add_event(Event::new("startA", [Term::int(1)], 5)).unwrap();
+        e.add_event(Event::new("stopA", [Term::int(1)], 100)).unwrap();
+        e.add_event(Event::new("startB", [Term::int(1)], 30)).unwrap();
+        e.add_event(Event::new("stopB", [Term::int(1)], 60)).unwrap();
+        let rec = e.query(1000).unwrap();
+        let ivs = rec.intervals_of("disagreement", &[Term::int(1)], &Term::truth()).unwrap();
+        assert_eq!(
+            ivs.as_slice(),
+            &[crate::interval::Interval::span(5, 30), crate::interval::Interval::span(60, 100)]
+        );
+    }
+
+    #[test]
+    fn builtins_and_relations() {
+        let mut b = RuleSetBuilder::new();
+        b.declare_event("at", 2); // (Bus, Pos)
+        b.declare_relation("poi", 1); // points of interest
+        b.declare_builtin("near", 2);
+        let bus = b.var("Bus");
+        let p = b.var("P");
+        let q = b.var("Q");
+        let t = b.var("T");
+        b.derived_event(
+            event_head("visit", [pat(bus), pat(q)]),
+            t,
+            [
+                happens(event_pat("at", [pat(bus), pat(p)]), t),
+                relation("poi", [pat(q)]),
+                builtin("near", [ValRef::Var(p), ValRef::Var(q)]),
+            ],
+        );
+        let rs = b.build().unwrap();
+        let mut e = Engine::new(rs, WindowConfig::new(1000, 1000).unwrap());
+        e.set_relation("poi", vec![vec![Term::int(100)], vec![Term::int(500)]]).unwrap();
+        e.register_builtin("near", |args: &[Term]| {
+            match (args[0].as_f64(), args[1].as_f64()) {
+                (Some(a), Some(b)) => (a - b).abs() <= 10.0,
+                _ => false,
+            }
+        })
+        .unwrap();
+        e.add_event(Event::new("at", [Term::int(1), Term::int(95)], 10)).unwrap();
+        e.add_event(Event::new("at", [Term::int(1), Term::int(300)], 20)).unwrap();
+        let rec = e.query(1000).unwrap();
+        let vs = rec.events_of("visit");
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].args, vec![Term::int(1), Term::int(100)]);
+    }
+
+    #[test]
+    fn missing_builtin_registration_is_an_error() {
+        let mut b = RuleSetBuilder::new();
+        b.declare_event("e", 1);
+        b.declare_builtin("f", 1);
+        let x = b.var("X");
+        let t = b.var("T");
+        b.derived_event(
+            event_head("d", [pat(x)]),
+            t,
+            [happens(event_pat("e", [pat(x)]), t), builtin("f", [ValRef::Var(x)])],
+        );
+        let rs = b.build().unwrap();
+        let mut e = Engine::new(rs, WindowConfig::new(100, 100).unwrap());
+        assert!(matches!(e.query(100), Err(RtecError::UnknownBuiltin { .. })));
+    }
+
+    #[test]
+    fn compound_guards_or_not_abs_mul() {
+        // alarm(X) when |X·2| is in [4, 10] OR X == 0, and NOT X == 3.
+        let mut b = RuleSetBuilder::new();
+        b.declare_event("tick", 1);
+        let x = b.var("X");
+        let t = b.var("T");
+        use crate::rule::{CmpOp, GuardExpr, NumExpr};
+        let double_abs = NumExpr::Abs(Box::new(NumExpr::Mul(
+            Box::new(NumExpr::Var(x)),
+            Box::new(NumExpr::Const(2.0)),
+        )));
+        b.derived_event(
+            event_head("alarm", [pat(x)]),
+            t,
+            [
+                happens(event_pat("tick", [pat(x)]), t),
+                guard(GuardExpr::Or(vec![
+                    GuardExpr::And(vec![
+                        cmp(double_abs.clone(), CmpOp::Ge, 4.0),
+                        cmp(double_abs, CmpOp::Le, 10.0),
+                    ]),
+                    term_eq(x, Term::int(0)),
+                ])),
+                guard(GuardExpr::Not(Box::new(term_eq(x, Term::int(3))))),
+            ],
+        );
+        let rs = b.build().unwrap();
+        let mut e = Engine::new(rs, WindowConfig::new(100, 100).unwrap());
+        for (t, v) in [(1, -4i64), (2, 0), (3, 1), (4, 3), (5, 5)] {
+            e.add_event(Event::new("tick", [Term::int(v)], t)).unwrap();
+        }
+        let rec = e.query(100).unwrap();
+        let fired: Vec<i64> =
+            rec.events_of("alarm").iter().map(|e| e.args[0].as_i64().unwrap()).collect();
+        // -4: |−8| not in [4,10]? |−8|=8 ∈ [4,10] ✓; 0: second disjunct ✓;
+        // 1: |2| < 4 ✗; 3: |6| ∈ [4,10] but excluded by Not ✗; 5: |10| ✓.
+        assert_eq!(fired, vec![-4, 0, 5]);
+    }
+
+    #[test]
+    fn static_fluent_empty_when_leaves_empty() {
+        let mut b = RuleSetBuilder::new();
+        b.declare_event("e", 0);
+        b.declare_relation("dom", 1);
+        let t = b.var("T");
+        b.initiated(fluent("base", [], val(true)), t, [happens(event_pat("e", []), t)]);
+        let x = b.var("X");
+        b.static_fluent(
+            fluent("derived", [pat(x)], val(true)),
+            [relation("dom", [pat(x)])],
+            crate::rule::IntervalExpr::Intersect(vec![crate::rule::IntervalExpr::Fluent(
+                fluent_pat("base", [], val(true)),
+            )]),
+        );
+        let rs = b.build().unwrap();
+        let mut e = Engine::new(rs, WindowConfig::new(100, 100).unwrap());
+        e.set_relation("dom", vec![vec![Term::int(1)]]).unwrap();
+        // No events at all: base never holds, derived entries absent.
+        let rec = e.query(100).unwrap();
+        assert!(rec.fluent_entries("derived").is_empty());
+        assert!(rec.fluent_entries("base").is_empty());
+    }
+
+    #[test]
+    fn initially_seeds_inertia() {
+        let mut e = Engine::new(on_off_ruleset(), WindowConfig::new(100, 100).unwrap());
+        e.set_initially("on", vec![Term::sym("boiler")], Term::truth()).unwrap();
+        e.add_event(Event::new("switch_off", [Term::sym("boiler")], 40)).unwrap();
+        let rec = e.query(100).unwrap();
+        let ivs = rec.intervals_of("on", &[Term::sym("boiler")], &Term::truth()).unwrap();
+        // Held from the window start until the switch_off.
+        assert_eq!(ivs.as_slice(), &[crate::interval::Interval::span(0, 40)]);
+        // And persists across further windows when re-initiated never.
+        let rec = e.query(200).unwrap();
+        assert!(rec.intervals_of("on", &[Term::sym("boiler")], &Term::truth()).is_none());
+    }
+
+    #[test]
+    fn initially_validation() {
+        let mut e = Engine::new(on_off_ruleset(), WindowConfig::new(100, 100).unwrap());
+        assert!(matches!(
+            e.set_initially("ghost", vec![], Term::truth()),
+            Err(RtecError::Undeclared { .. })
+        ));
+        e.query(100).unwrap();
+        assert!(e.set_initially("on", vec![Term::sym("x")], Term::truth()).is_err());
+    }
+
+    #[test]
+    fn recognition_stats_count() {
+        let mut e = Engine::new(on_off_ruleset(), WindowConfig::new(100, 100).unwrap());
+        e.add_event(Event::new("switch_on", [Term::sym("a")], 10)).unwrap();
+        e.add_event(Event::new("switch_off", [Term::sym("a")], 20)).unwrap();
+        e.add_event(Event::new("switch_on", [Term::sym("a")], 30)).unwrap();
+        e.add_event(Event::new("switch_on", [Term::sym("b")], 15)).unwrap();
+        let rec = e.query(100).unwrap();
+        let stats = rec.stats();
+        assert_eq!(stats.derived_events, 0);
+        assert_eq!(stats.fluent_groundings, 2);
+        assert_eq!(stats.intervals, 3);
+    }
+
+    #[test]
+    fn fluent_value_can_be_variable() {
+        // Track levels: level(X)=V initiated by set(X, V).
+        let mut b = RuleSetBuilder::new();
+        b.declare_event("set", 2);
+        let x = b.var("X");
+        let v = b.var("V");
+        let t = b.var("T");
+        b.initiated(
+            fluent("level", [pat(x)], pat(v)),
+            t,
+            [happens(event_pat("set", [pat(x), pat(v)]), t)],
+        );
+        let t2 = b.var("T2");
+        let v2 = b.var("V2");
+        // any new set terminates every previous value
+        b.terminated(
+            fluent("level", [pat(x)], pat(v)),
+            t2,
+            [
+                happens(event_pat("set", [pat(x), pat(v2)]), t2),
+                holds(fluent_pat("levelSeen", [pat(x)], pat(v)), t2),
+            ],
+        );
+        // helper simple fluent marking values ever set (never terminated)
+        let t3 = b.var("T3");
+        let v3 = b.var("V3");
+        b.initiated(
+            fluent("levelSeen", [pat(x)], pat(v3)),
+            t3,
+            [happens(event_pat("set", [pat(x), pat(v3)]), t3)],
+        );
+        let rs = b.build().unwrap();
+        let mut e = Engine::new(rs, WindowConfig::new(1000, 1000).unwrap());
+        e.add_event(Event::new("set", [Term::int(1), Term::int(5)], 10)).unwrap();
+        e.add_event(Event::new("set", [Term::int(1), Term::int(9)], 50)).unwrap();
+        let rec = e.query(1000).unwrap();
+        let l5 = rec.intervals_of("level", &[Term::int(1)], &Term::int(5)).unwrap();
+        assert_eq!(l5.as_slice(), &[crate::interval::Interval::span(10, 50)]);
+        let l9 = rec.intervals_of("level", &[Term::int(1)], &Term::int(9)).unwrap();
+        assert_eq!(l9.as_slice(), &[crate::interval::Interval::open_from(50)]);
+    }
+}

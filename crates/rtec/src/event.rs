@@ -1,0 +1,164 @@
+//! Events and input fluent observations.
+//!
+//! Two kinds of input arrive at the engine (formalisation (1) of the paper):
+//!
+//! * **events** — `happensAt(move(Bus, Line, Operator, Delay), T)` facts;
+//! * **input fluent observations** — `holdsAt(gps(Bus, Lon, Lat, Dir, Cong) =
+//!   true, T)` facts, i.e. point samples of fluents whose definition lives
+//!   outside the rule set.
+//!
+//! Both carry an *occurrence* time; a [`Stamped`] wrapper adds the *arrival*
+//! time so that the windowing machinery can reproduce the delayed-SDE
+//! behaviour of Figure 2.
+
+use crate::term::{Symbol, Term};
+use crate::time::Time;
+use std::fmt;
+
+/// An event instance: `happensAt(kind(args…), time)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Event {
+    /// Event type symbol (e.g. `move`, `traffic`).
+    pub kind: Symbol,
+    /// Ground argument terms.
+    pub args: Vec<Term>,
+    /// Occurrence time.
+    pub time: Time,
+}
+
+impl Event {
+    /// Builds an event instance.
+    pub fn new<K, I, T>(kind: K, args: I, time: Time) -> Event
+    where
+        K: Into<Symbol>,
+        I: IntoIterator<Item = T>,
+        T: Into<Term>,
+    {
+        Event {
+            kind: kind.into(),
+            args: args.into_iter().map(Into::into).collect(),
+            time,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "happensAt({}(", self.kind)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "), {})", self.time)
+    }
+}
+
+/// A point observation of an input fluent:
+/// `holdsAt(name(args…) = value, time)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FluentObs {
+    /// Fluent name symbol (e.g. `gps`).
+    pub name: Symbol,
+    /// Ground argument terms.
+    pub args: Vec<Term>,
+    /// The observed value.
+    pub value: Term,
+    /// Observation time.
+    pub time: Time,
+}
+
+impl FluentObs {
+    /// Builds an input fluent observation.
+    pub fn new<K, I, T, V>(name: K, args: I, value: V, time: Time) -> FluentObs
+    where
+        K: Into<Symbol>,
+        I: IntoIterator<Item = T>,
+        T: Into<Term>,
+        V: Into<Term>,
+    {
+        FluentObs {
+            name: name.into(),
+            args: args.into_iter().map(Into::into).collect(),
+            value: value.into(),
+            time,
+        }
+    }
+}
+
+impl fmt::Display for FluentObs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "holdsAt({}(", self.name)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ") = {}, {})", self.value, self.time)
+    }
+}
+
+/// Adds an arrival time to an input item. SDEs travelling through mediators
+/// may arrive later than they occurred; the engine only sees an item at
+/// queries past its arrival time.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Stamped<T> {
+    /// The wrapped item.
+    pub item: T,
+    /// When the item became visible to the engine.
+    pub arrival: Time,
+}
+
+impl<T> Stamped<T> {
+    /// Wraps `item` with an explicit arrival time.
+    pub fn arriving_at(item: T, arrival: Time) -> Stamped<T> {
+        Stamped { item, arrival }
+    }
+}
+
+impl Stamped<Event> {
+    /// Wraps an event that arrives exactly when it occurs.
+    pub fn punctual(item: Event) -> Stamped<Event> {
+        let arrival = item.time;
+        Stamped { item, arrival }
+    }
+}
+
+impl Stamped<FluentObs> {
+    /// Wraps an observation that arrives exactly when it occurs.
+    pub fn punctual(item: FluentObs) -> Stamped<FluentObs> {
+        let arrival = item.time;
+        Stamped { item, arrival }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_construction_and_display() {
+        let e = Event::new("move", [Term::int(33009), Term::sym("r10"), Term::sym("o7"), Term::int(400)], 99);
+        assert_eq!(e.kind, Symbol::new("move"));
+        assert_eq!(e.args.len(), 4);
+        assert_eq!(e.to_string(), "happensAt(move(33009, r10, o7, 400), 99)");
+    }
+
+    #[test]
+    fn fluent_obs_display() {
+        let o = FluentObs::new("gps", [Term::int(1), Term::float(-6.26), Term::float(53.35)], true, 7);
+        assert_eq!(o.to_string(), "holdsAt(gps(1, -6.26, 53.35) = true, 7)");
+    }
+
+    #[test]
+    fn punctual_stamping() {
+        let e = Event::new("move", [Term::int(1)], 50);
+        let s = Stamped::<Event>::punctual(e.clone());
+        assert_eq!(s.arrival, 50);
+        let late = Stamped::arriving_at(e, 80);
+        assert_eq!(late.arrival, 80);
+        assert_eq!(late.item.time, 50);
+    }
+}

@@ -1,0 +1,588 @@
+//! Maximal intervals and the RTEC interval algebra.
+//!
+//! `holdsFor(F=V, I)` in RTEC computes the list `I` of *maximal* intervals
+//! for which fluent `F` continuously has value `V`. Statically-determined
+//! fluents are then defined through the interval manipulation constructs
+//! `union_all`, `intersect_all` and `relative_complement_all` (Table 1 of the
+//! paper). This module implements those constructs over normalised interval
+//! lists.
+//!
+//! # Convention
+//!
+//! Intervals are half-open over discrete time: `[start, end)` contains `t`
+//! iff `start <= t < end`. An initiation at `T` starts an interval at `T`; a
+//! termination at `T` ends it at `T` (exclusive). This is the standard
+//! implementation convention and differs from the textbook Event Calculus
+//! (`initiatedAt` strictly earlier than `T`) only by a uniform one-tick
+//! shift, which is unobservable at the 20 s–6 min granularity of the Dublin
+//! SDE streams. When a fluent has been initiated but not yet terminated the
+//! interval is *open* (`end() == None`), meaning "holds since `start`,
+//! ongoing".
+
+use crate::time::{Time, TIME_MAX};
+use std::fmt;
+
+/// A non-empty half-open interval `[start, end)`; `end = None` means the
+/// interval is ongoing (right-open to infinity).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    start: Time,
+    /// Exclusive end; `TIME_MAX` encodes an ongoing interval.
+    end_raw: Time,
+}
+
+impl Interval {
+    /// A bounded interval `[start, end)`. Panics if `end <= start` (empty
+    /// intervals are not representable; construct lists instead).
+    pub fn span(start: Time, end: Time) -> Interval {
+        assert!(end > start, "Interval::span requires end > start ({start}..{end})");
+        Interval { start, end_raw: end }
+    }
+
+    /// Fallible version of [`Interval::span`]: returns `None` when the
+    /// interval would be empty.
+    pub fn try_span(start: Time, end: Time) -> Option<Interval> {
+        (end > start).then_some(Interval { start, end_raw: end })
+    }
+
+    /// An ongoing interval `[start, ∞)`.
+    pub fn open_from(start: Time) -> Interval {
+        Interval { start, end_raw: TIME_MAX }
+    }
+
+    /// Inclusive start.
+    pub fn start(&self) -> Time {
+        self.start
+    }
+
+    /// Exclusive end, or `None` when ongoing.
+    pub fn end(&self) -> Option<Time> {
+        (self.end_raw != TIME_MAX).then_some(self.end_raw)
+    }
+
+    /// Whether the interval is ongoing (no known end).
+    pub fn is_open(&self) -> bool {
+        self.end_raw == TIME_MAX
+    }
+
+    /// Whether `t` lies inside the interval.
+    pub fn contains(&self, t: Time) -> bool {
+        t >= self.start && t < self.end_raw
+    }
+
+    /// Duration, clipping ongoing intervals at `now`. Returns 0 when the
+    /// interval starts at or after `now`.
+    pub fn duration_until(&self, now: Time) -> i64 {
+        let end = self.end_raw.min(now);
+        (end - self.start).max(0)
+    }
+
+    fn intersect_raw(&self, other: &Interval) -> Option<Interval> {
+        let s = self.start.max(other.start);
+        let e = self.end_raw.min(other.end_raw);
+        (e > s).then_some(Interval { start: s, end_raw: e })
+    }
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.end() {
+            Some(e) => write!(f, "[{}, {})", self.start, e),
+            None => write!(f, "[{}, ∞)", self.start),
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A normalised list of maximal intervals: sorted by start, pairwise
+/// disjoint, non-adjacent (no `[a,b) [b,c)` pairs) and non-empty.
+///
+/// All constructors normalise, so the invariant holds for every reachable
+/// value; the algebra operations exploit it for linear-time merges.
+#[derive(Clone, PartialEq, Eq, Default, Hash)]
+pub struct IntervalList {
+    items: Vec<Interval>,
+}
+
+impl IntervalList {
+    /// The empty list.
+    pub fn empty() -> IntervalList {
+        IntervalList { items: Vec::new() }
+    }
+
+    /// A list holding a single interval.
+    pub fn single(iv: Interval) -> IntervalList {
+        IntervalList { items: vec![iv] }
+    }
+
+    /// Builds a normalised list from arbitrary intervals (sorts, merges
+    /// overlapping and adjacent intervals).
+    pub fn from_intervals<I: IntoIterator<Item = Interval>>(intervals: I) -> IntervalList {
+        let mut items: Vec<Interval> = intervals.into_iter().collect();
+        items.sort_by_key(|iv| (iv.start, iv.end_raw));
+        let mut out: Vec<Interval> = Vec::with_capacity(items.len());
+        for iv in items {
+            match out.last_mut() {
+                Some(last) if iv.start <= last.end_raw => {
+                    last.end_raw = last.end_raw.max(iv.end_raw);
+                }
+                _ => out.push(iv),
+            }
+        }
+        IntervalList { items: out }
+    }
+
+    /// Reconstructs maximal intervals from initiation and termination
+    /// time-points, implementing the law of inertia for simple fluents.
+    ///
+    /// `initially` states whether the fluent already holds at `from` (the
+    /// window start); if so the first interval starts at `from`. At equal
+    /// time-points terminations are processed before initiations, so a
+    /// simultaneous terminate+initiate keeps the fluent continuously true
+    /// (the intervals amalgamate) while on a non-holding fluent the
+    /// initiation wins — matching RTEC's semantics.
+    pub fn from_points(inits: &[Time], terms: &[Time], initially: bool, from: Time) -> IntervalList {
+        #[derive(Clone, Copy)]
+        enum P {
+            Term(Time),
+            Init(Time),
+        }
+        let mut pts: Vec<P> = Vec::with_capacity(inits.len() + terms.len());
+        pts.extend(terms.iter().map(|&t| P::Term(t)));
+        pts.extend(inits.iter().map(|&t| P::Init(t)));
+        // Terminations sort before initiations at the same time-point.
+        pts.sort_by_key(|p| match *p {
+            P::Term(t) => (t, 0u8),
+            P::Init(t) => (t, 1u8),
+        });
+
+        let mut out: Vec<Interval> = Vec::new();
+        let mut open_since: Option<Time> = initially.then_some(from);
+        for p in pts {
+            match p {
+                P::Init(t) => {
+                    if open_since.is_none() && t >= from {
+                        open_since = Some(t);
+                    }
+                }
+                P::Term(t) => {
+                    if let Some(s) = open_since.take() {
+                        if t > s {
+                            out.push(Interval::span(s, t));
+                        }
+                        // t <= s would be an empty interval: drop it, the
+                        // fluent never observably held.
+                    }
+                }
+            }
+        }
+        if let Some(s) = open_since {
+            out.push(Interval::open_from(s));
+        }
+        IntervalList::from_intervals(out)
+    }
+
+    /// Number of maximal intervals.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the list is empty (fluent never holds).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates over the maximal intervals in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Interval> {
+        self.items.iter()
+    }
+
+    /// The maximal intervals as a slice.
+    pub fn as_slice(&self) -> &[Interval] {
+        &self.items
+    }
+
+    /// `holdsAt`: whether some interval contains `t`.
+    pub fn contains(&self, t: Time) -> bool {
+        self.items.binary_search_by(|iv| {
+            if iv.end_raw <= t {
+                std::cmp::Ordering::Less
+            } else if iv.start > t {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }).is_ok()
+    }
+
+    /// Sum of durations, clipping ongoing intervals at `now`.
+    pub fn total_duration(&self, now: Time) -> i64 {
+        self.items.iter().map(|iv| iv.duration_until(now)).sum()
+    }
+
+    /// Set union, preserving maximality.
+    pub fn union(&self, other: &IntervalList) -> IntervalList {
+        IntervalList::from_intervals(self.items.iter().chain(other.items.iter()).copied())
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &IntervalList) -> IntervalList {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            let (a, b) = (&self.items[i], &other.items[j]);
+            if let Some(iv) = a.intersect_raw(b) {
+                out.push(iv);
+            }
+            if a.end_raw <= b.end_raw {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalList { items: out }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &IntervalList) -> IntervalList {
+        let mut out = Vec::new();
+        let mut j = 0;
+        for a in &self.items {
+            let mut cur = *a;
+            // Skip intervals of `other` entirely before `cur`.
+            while j < other.items.len() && other.items[j].end_raw <= cur.start {
+                j += 1;
+            }
+            let mut k = j;
+            let mut alive = true;
+            while alive && k < other.items.len() && other.items[k].start < cur.end_raw {
+                let b = &other.items[k];
+                if b.start > cur.start {
+                    out.push(Interval::span(cur.start, b.start));
+                }
+                if b.end_raw < cur.end_raw {
+                    cur = Interval { start: b.end_raw, end_raw: cur.end_raw };
+                    k += 1;
+                } else {
+                    alive = false;
+                }
+            }
+            if alive {
+                out.push(cur);
+            }
+        }
+        IntervalList { items: out }
+    }
+
+    /// Restricts the list to `[lo, hi)`.
+    pub fn clip(&self, lo: Time, hi: Time) -> IntervalList {
+        if hi <= lo {
+            return IntervalList::empty();
+        }
+        let window = Interval { start: lo, end_raw: hi };
+        IntervalList {
+            items: self.items.iter().filter_map(|iv| iv.intersect_raw(&window)).collect(),
+        }
+    }
+
+    /// Keeps only intervals that end strictly after `t` (plus ongoing ones),
+    /// truncating any interval that straddles `t` to start no earlier than
+    /// `t`. Used to discard history that fell out of the working memory.
+    pub fn after(&self, t: Time) -> IntervalList {
+        IntervalList {
+            items: self
+                .items
+                .iter()
+                .filter(|iv| iv.end_raw > t)
+                .map(|iv| Interval { start: iv.start.max(t), end_raw: iv.end_raw })
+                .collect(),
+        }
+    }
+
+    /// `union_all(L, I)`: union of several interval lists (Table 1).
+    pub fn union_all<'a, I: IntoIterator<Item = &'a IntervalList>>(lists: I) -> IntervalList {
+        IntervalList::from_intervals(
+            lists.into_iter().flat_map(|l| l.items.iter().copied()),
+        )
+    }
+
+    /// `intersect_all(L, I)`: intersection of several interval lists
+    /// (Table 1). The intersection of an empty collection is empty.
+    pub fn intersect_all<'a, I: IntoIterator<Item = &'a IntervalList>>(lists: I) -> IntervalList {
+        let mut it = lists.into_iter();
+        let Some(first) = it.next() else {
+            return IntervalList::empty();
+        };
+        let mut acc = first.clone();
+        for l in it {
+            if acc.is_empty() {
+                break;
+            }
+            acc = acc.intersect(l);
+        }
+        acc
+    }
+
+    /// `relative_complement_all(I', L, I)`: the relative complement of `base`
+    /// with respect to every list in `lists` (Table 1) — i.e.
+    /// `base \ (l1 ∪ l2 ∪ …)`.
+    pub fn relative_complement_all<'a, I: IntoIterator<Item = &'a IntervalList>>(
+        base: &IntervalList,
+        lists: I,
+    ) -> IntervalList {
+        base.difference(&IntervalList::union_all(lists))
+    }
+
+    /// Checks the normalisation invariant; used by tests and debug asserts.
+    pub fn is_normalised(&self) -> bool {
+        self.items.windows(2).all(|w| w[0].end_raw < w[1].start)
+            && self.items.iter().all(|iv| iv.end_raw > iv.start)
+    }
+}
+
+impl fmt::Debug for IntervalList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, iv) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{iv:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Interval> for IntervalList {
+    fn from_iter<I: IntoIterator<Item = Interval>>(iter: I) -> Self {
+        IntervalList::from_intervals(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a IntervalList {
+    type Item = &'a Interval;
+    type IntoIter = std::slice::Iter<'a, Interval>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn il(pairs: &[(Time, Time)]) -> IntervalList {
+        IntervalList::from_intervals(pairs.iter().map(|&(a, b)| Interval::span(a, b)))
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_span_panics() {
+        let _ = Interval::span(5, 5);
+    }
+
+    #[test]
+    fn try_span_rejects_empty() {
+        assert!(Interval::try_span(5, 5).is_none());
+        assert!(Interval::try_span(5, 6).is_some());
+    }
+
+    #[test]
+    fn interval_contains_half_open() {
+        let iv = Interval::span(10, 20);
+        assert!(!iv.contains(9));
+        assert!(iv.contains(10));
+        assert!(iv.contains(19));
+        assert!(!iv.contains(20));
+        let open = Interval::open_from(5);
+        assert!(open.contains(TIME_MAX - 1));
+        assert!(open.is_open());
+        assert_eq!(open.end(), None);
+    }
+
+    #[test]
+    fn duration_clips_open_intervals() {
+        assert_eq!(Interval::span(10, 20).duration_until(100), 10);
+        assert_eq!(Interval::span(10, 20).duration_until(15), 5);
+        assert_eq!(Interval::open_from(10).duration_until(25), 15);
+        assert_eq!(Interval::span(10, 20).duration_until(5), 0);
+    }
+
+    #[test]
+    fn from_intervals_normalises() {
+        let l = IntervalList::from_intervals(vec![
+            Interval::span(8, 12),
+            Interval::span(1, 5),
+            Interval::span(5, 8), // adjacent: must merge with both neighbours
+            Interval::span(20, 25),
+            Interval::span(22, 30),
+        ]);
+        assert_eq!(l.as_slice(), &[Interval::span(1, 12), Interval::span(20, 30)]);
+        assert!(l.is_normalised());
+    }
+
+    #[test]
+    fn contains_binary_search() {
+        let l = il(&[(1, 5), (10, 15), (20, 25)]);
+        for t in [1, 4, 10, 14, 20, 24] {
+            assert!(l.contains(t), "t={t}");
+        }
+        for t in [0, 5, 9, 15, 19, 25, 100] {
+            assert!(!l.contains(t), "t={t}");
+        }
+    }
+
+    #[test]
+    fn union_merges_maximally() {
+        let a = il(&[(1, 5), (10, 15)]);
+        let b = il(&[(5, 10), (20, 22)]);
+        assert_eq!(a.union(&b).as_slice(), &[Interval::span(1, 15), Interval::span(20, 22)]);
+    }
+
+    #[test]
+    fn intersect_pairs() {
+        let a = il(&[(1, 10), (20, 30)]);
+        let b = il(&[(5, 25)]);
+        assert_eq!(a.intersect(&b).as_slice(), &[Interval::span(5, 10), Interval::span(20, 25)]);
+        assert!(a.intersect(&IntervalList::empty()).is_empty());
+    }
+
+    #[test]
+    fn intersect_with_open() {
+        let a = IntervalList::from_intervals(vec![Interval::open_from(10)]);
+        let b = il(&[(5, 15), (20, 25)]);
+        assert_eq!(a.intersect(&b).as_slice(), &[Interval::span(10, 15), Interval::span(20, 25)]);
+    }
+
+    #[test]
+    fn difference_carves_holes() {
+        let a = il(&[(0, 100)]);
+        let b = il(&[(10, 20), (30, 40)]);
+        assert_eq!(
+            a.difference(&b).as_slice(),
+            &[Interval::span(0, 10), Interval::span(20, 30), Interval::span(40, 100)]
+        );
+    }
+
+    #[test]
+    fn difference_total_and_disjoint() {
+        let a = il(&[(5, 10)]);
+        assert!(a.difference(&il(&[(0, 20)])).is_empty());
+        assert_eq!(a.difference(&il(&[(15, 20)])).as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn difference_open_base() {
+        let a = IntervalList::single(Interval::open_from(0));
+        let b = il(&[(10, 20)]);
+        let d = a.difference(&b);
+        assert_eq!(d.as_slice(), &[Interval::span(0, 10), Interval::open_from(20)]);
+    }
+
+    #[test]
+    fn relative_complement_all_matches_paper_table() {
+        // sourceDisagreement = busCongestion \ scatsIntCongestion
+        let bus = il(&[(0, 50)]);
+        let scats = il(&[(10, 20), (40, 60)]);
+        let d = IntervalList::relative_complement_all(&bus, [&scats]);
+        assert_eq!(
+            d.as_slice(),
+            &[Interval::span(0, 10), Interval::span(20, 40)]
+        );
+        // with several lists the complement is w.r.t. their union
+        let extra = il(&[(0, 5)]);
+        let d2 = IntervalList::relative_complement_all(&bus, [&scats, &extra]);
+        assert_eq!(d2.as_slice(), &[Interval::span(5, 10), Interval::span(20, 40)]);
+    }
+
+    #[test]
+    fn union_all_and_intersect_all() {
+        let ls = [il(&[(0, 10)]), il(&[(5, 15)]), il(&[(8, 20)])];
+        assert_eq!(IntervalList::union_all(ls.iter()).as_slice(), &[Interval::span(0, 20)]);
+        assert_eq!(IntervalList::intersect_all(ls.iter()).as_slice(), &[Interval::span(8, 10)]);
+        assert!(IntervalList::intersect_all(std::iter::empty()).is_empty());
+        assert!(IntervalList::union_all(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn from_points_basic_inertia() {
+        // initiated at 10, terminated at 40 -> [10, 40)
+        let l = IntervalList::from_points(&[10], &[40], false, 0);
+        assert_eq!(l.as_slice(), &[Interval::span(10, 40)]);
+    }
+
+    #[test]
+    fn from_points_ongoing() {
+        let l = IntervalList::from_points(&[10], &[], false, 0);
+        assert_eq!(l.as_slice(), &[Interval::open_from(10)]);
+    }
+
+    #[test]
+    fn from_points_initially_true() {
+        // Holding at window start 100; terminated at 150; re-initiated at 170.
+        let l = IntervalList::from_points(&[170], &[150], true, 100);
+        assert_eq!(l.as_slice(), &[Interval::span(100, 150), Interval::open_from(170)]);
+    }
+
+    #[test]
+    fn from_points_repeated_initiations_are_idempotent() {
+        // Re-initiating an already holding fluent does not split intervals.
+        let l = IntervalList::from_points(&[10, 20, 30], &[40], false, 0);
+        assert_eq!(l.as_slice(), &[Interval::span(10, 40)]);
+    }
+
+    #[test]
+    fn from_points_simultaneous_term_then_init_keeps_continuity() {
+        // Holding fluent terminated and re-initiated at 20: stays continuous.
+        let l = IntervalList::from_points(&[10, 20], &[20, 40], false, 0);
+        assert_eq!(l.as_slice(), &[Interval::span(10, 40)]);
+    }
+
+    #[test]
+    fn from_points_simultaneous_on_idle_fluent_starts() {
+        // Not holding; term and init both at 10: term processed first (no-op),
+        // init starts the interval.
+        let l = IntervalList::from_points(&[10], &[10], false, 0);
+        assert_eq!(l.as_slice(), &[Interval::open_from(10)]);
+    }
+
+    #[test]
+    fn from_points_termination_without_initiation_is_noop() {
+        let l = IntervalList::from_points(&[], &[5, 15], false, 0);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn from_points_ignores_initiations_before_window() {
+        let l = IntervalList::from_points(&[50], &[], false, 100);
+        assert!(l.is_empty(), "initiation before window start must not leak in");
+    }
+
+    #[test]
+    fn clip_and_after() {
+        let l = il(&[(0, 10), (20, 30)]);
+        assert_eq!(l.clip(5, 25).as_slice(), &[Interval::span(5, 10), Interval::span(20, 25)]);
+        assert!(l.clip(10, 10).is_empty());
+        assert_eq!(l.after(25).as_slice(), &[Interval::span(25, 30)]);
+        assert_eq!(l.after(35).as_slice(), &[] as &[Interval]);
+    }
+
+    #[test]
+    fn total_duration() {
+        let l = IntervalList::from_intervals(vec![Interval::span(0, 10), Interval::open_from(20)]);
+        assert_eq!(l.total_duration(25), 15);
+    }
+
+    #[test]
+    fn debug_format() {
+        let l = il(&[(1, 5)]);
+        assert_eq!(format!("{l:?}"), "{[1, 5)}");
+        let o = IntervalList::single(Interval::open_from(3));
+        assert_eq!(format!("{o:?}"), "{[3, ∞)}");
+    }
+}

@@ -1,0 +1,275 @@
+//! Pretty-printing of rule sets in the paper's Prolog-ish notation.
+//!
+//! Rendering compiled rules back into readable Event Calculus syntax makes
+//! rule libraries reviewable (compare against the paper's formalisation)
+//! and is invaluable when debugging stratification or binding issues.
+
+use crate::dsl::RuleSet;
+use crate::pattern::{ArgPat, VarId};
+use crate::rule::{
+    BodyAtom, CmpOp, EventRule, GuardExpr, IntervalExpr, NumExpr, SfKind, SimpleFluentRule,
+    StaticRule, ValRef,
+};
+use crate::stratify::HeadKind;
+
+fn var_name(rs: &RuleSet, v: VarId) -> String {
+    rs.var_names.get(v.index()).cloned().unwrap_or_else(|| format!("_V{}", v.0))
+}
+
+fn fmt_arg(rs: &RuleSet, a: &ArgPat) -> String {
+    match a {
+        ArgPat::Any => "_".to_string(),
+        ArgPat::Const(t) => t.to_string(),
+        ArgPat::Var(v) => var_name(rs, *v),
+    }
+}
+
+fn fmt_args(rs: &RuleSet, args: &[ArgPat]) -> String {
+    args.iter().map(|a| fmt_arg(rs, a)).collect::<Vec<_>>().join(", ")
+}
+
+fn fmt_valref(rs: &RuleSet, v: &ValRef) -> String {
+    match v {
+        ValRef::Var(v) => var_name(rs, *v),
+        ValRef::Const(t) => t.to_string(),
+    }
+}
+
+fn fmt_num(rs: &RuleSet, e: &NumExpr) -> String {
+    match e {
+        NumExpr::Var(v) => var_name(rs, *v),
+        NumExpr::Const(c) => format!("{c}"),
+        NumExpr::Add(a, b) => format!("({} + {})", fmt_num(rs, a), fmt_num(rs, b)),
+        NumExpr::Sub(a, b) => format!("({} - {})", fmt_num(rs, a), fmt_num(rs, b)),
+        NumExpr::Mul(a, b) => format!("({} * {})", fmt_num(rs, a), fmt_num(rs, b)),
+        NumExpr::Abs(a) => format!("|{}|", fmt_num(rs, a)),
+    }
+}
+
+fn fmt_cmp(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Lt => "<",
+        CmpOp::Le => "=<",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+        CmpOp::Eq => "=:=",
+        CmpOp::Ne => "=\\=",
+    }
+}
+
+fn fmt_guard(rs: &RuleSet, g: &GuardExpr) -> String {
+    match g {
+        GuardExpr::Cmp { lhs, op, rhs } => {
+            format!("{} {} {}", fmt_num(rs, lhs), fmt_cmp(*op), fmt_num(rs, rhs))
+        }
+        GuardExpr::TermEq(a, b) => format!("{} == {}", fmt_valref(rs, a), fmt_valref(rs, b)),
+        GuardExpr::TermNe(a, b) => format!("{} \\== {}", fmt_valref(rs, a), fmt_valref(rs, b)),
+        GuardExpr::And(gs) => gs.iter().map(|g| fmt_guard(rs, g)).collect::<Vec<_>>().join(", "),
+        GuardExpr::Or(gs) => format!(
+            "({})",
+            gs.iter().map(|g| fmt_guard(rs, g)).collect::<Vec<_>>().join(" ; ")
+        ),
+        GuardExpr::Not(g) => format!("not ({})", fmt_guard(rs, g)),
+    }
+}
+
+fn fmt_atom(rs: &RuleSet, atom: &BodyAtom) -> String {
+    match atom {
+        BodyAtom::Happens { pat, time } => format!(
+            "happensAt({}({}), {})",
+            pat.kind,
+            fmt_args(rs, &pat.args),
+            var_name(rs, *time)
+        ),
+        BodyAtom::Holds { pat, time, negated } => {
+            let core = format!(
+                "holdsAt({}({}) = {}, {})",
+                pat.name,
+                fmt_args(rs, &pat.args),
+                fmt_arg(rs, &pat.value),
+                var_name(rs, *time)
+            );
+            if *negated {
+                format!("not {core}")
+            } else {
+                core
+            }
+        }
+        BodyAtom::Relation { name, args } => format!("{}({})", name, fmt_args(rs, args)),
+        BodyAtom::Builtin { name, args } => format!(
+            "{}({})",
+            name,
+            args.iter().map(|a| fmt_valref(rs, a)).collect::<Vec<_>>().join(", ")
+        ),
+        BodyAtom::Guard(g) => fmt_guard(rs, g),
+    }
+}
+
+fn fmt_body(rs: &RuleSet, body: &[BodyAtom]) -> String {
+    body.iter().map(|a| format!("    {}", fmt_atom(rs, a))).collect::<Vec<_>>().join(",\n")
+}
+
+fn fmt_sf_rule(rs: &RuleSet, r: &SimpleFluentRule) -> String {
+    let head_pred = match r.kind {
+        SfKind::Initiated => "initiatedAt",
+        SfKind::Terminated => "terminatedAt",
+    };
+    format!(
+        "{}({}({}) = {}, {}) <-\n{}.",
+        head_pred,
+        r.head.name,
+        fmt_args(rs, &r.head.args),
+        fmt_arg(rs, &r.head.value),
+        var_name(rs, r.time),
+        fmt_body(rs, &r.body)
+    )
+}
+
+fn fmt_ev_rule(rs: &RuleSet, r: &EventRule) -> String {
+    format!(
+        "happensAt({}({}), {}) <-\n{}.",
+        r.head.kind,
+        fmt_args(rs, &r.head.args),
+        var_name(rs, r.time),
+        fmt_body(rs, &r.body)
+    )
+}
+
+fn fmt_interval_expr(rs: &RuleSet, e: &IntervalExpr) -> String {
+    match e {
+        IntervalExpr::Fluent(p) => format!(
+            "holdsFor({}({}) = {})",
+            p.name,
+            fmt_args(rs, &p.args),
+            fmt_arg(rs, &p.value)
+        ),
+        IntervalExpr::Union(es) => format!(
+            "union_all([{}])",
+            es.iter().map(|e| fmt_interval_expr(rs, e)).collect::<Vec<_>>().join(", ")
+        ),
+        IntervalExpr::Intersect(es) => format!(
+            "intersect_all([{}])",
+            es.iter().map(|e| fmt_interval_expr(rs, e)).collect::<Vec<_>>().join(", ")
+        ),
+        IntervalExpr::RelComp(base, subs) => format!(
+            "relative_complement_all({}, [{}])",
+            fmt_interval_expr(rs, base),
+            subs.iter().map(|e| fmt_interval_expr(rs, e)).collect::<Vec<_>>().join(", ")
+        ),
+    }
+}
+
+fn fmt_static_rule(rs: &RuleSet, r: &StaticRule) -> String {
+    let domain = if r.domain.is_empty() {
+        String::new()
+    } else {
+        format!("{},\n", fmt_body(rs, &r.domain))
+    };
+    format!(
+        "holdsFor({}({}) = {}, I) <-\n{}    I = {}.",
+        r.head.name,
+        fmt_args(rs, &r.head.args),
+        fmt_arg(rs, &r.head.value),
+        domain,
+        fmt_interval_expr(rs, &r.expr)
+    )
+}
+
+impl RuleSet {
+    /// Renders the whole rule set in Prolog-ish Event Calculus notation,
+    /// grouped by evaluation stratum.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        for (i, stratum) in self.strata.iter().enumerate() {
+            out.push_str(&format!("% --- stratum {} : {} ---\n", i, stratum.symbol));
+            for &idx in &stratum.rule_indices {
+                let rule = match stratum.kind {
+                    HeadKind::Event => fmt_ev_rule(self, &self.ev_rules[idx]),
+                    HeadKind::SimpleFluent => fmt_sf_rule(self, &self.sf_rules[idx]),
+                    HeadKind::StaticFluent => fmt_static_rule(self, &self.static_rules[idx]),
+                };
+                out.push_str(&rule);
+                out.push_str("\n\n");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::dsl::*;
+    use crate::term::Term;
+
+    fn sample_ruleset() -> RuleSet {
+        let mut b = RuleSetBuilder::new();
+        b.declare_event("traffic", 3);
+        b.declare_relation("loc", 1);
+        let (int, d, f) = (b.var("Int"), b.var("D"), b.var("F"));
+        let t = b.var("T");
+        b.initiated(
+            fluent("scatsCongestion", [pat(int)], val(true)),
+            t,
+            [
+                happens(event_pat("traffic", [pat(int), pat(d), pat(f)]), t),
+                guard(cmp(d, crate::rule::CmpOp::Ge, 84.0)),
+                guard(cmp(f, crate::rule::CmpOp::Le, 1512.0)),
+            ],
+        );
+        let t2 = b.var("T2");
+        b.terminated(
+            fluent("scatsCongestion", [pat(int)], val(true)),
+            t2,
+            [
+                happens(event_pat("traffic", [pat(int), pat(d), pat(f)]), t2),
+                guard(cmp(d, crate::rule::CmpOp::Lt, 84.0)),
+            ],
+        );
+        b.static_fluent(
+            fluent("anyCongestion", [pat(int)], val(true)),
+            [relation("loc", [pat(int)])],
+            crate::rule::IntervalExpr::Fluent(fluent_pat(
+                "scatsCongestion",
+                [pat(int)],
+                val(true),
+            )),
+        );
+        let t3 = b.var("T3");
+        b.derived_event(
+            event_head("alarm", [pat(int)]),
+            t3,
+            [
+                happens(event_pat("traffic", [pat(int), pat(d), pat(f)]), t3),
+                not_holds(fluent_pat("scatsCongestion", [pat(int)], val(true)), t3),
+                guard(term_ne(int, Term::int(0))),
+            ],
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn renders_all_rule_forms() {
+        let rs = sample_ruleset();
+        let text = rs.pretty();
+        assert!(text.contains("initiatedAt(scatsCongestion(Int) = true, T) <-"));
+        assert!(text.contains("terminatedAt(scatsCongestion(Int) = true, T2) <-"));
+        assert!(text.contains("happensAt(traffic(Int, D, F), T)"));
+        assert!(text.contains("D >= 84"));
+        assert!(text.contains("F =< 1512"));
+        assert!(text.contains("holdsFor(anyCongestion(Int) = true, I) <-"));
+        assert!(text.contains("holdsFor(scatsCongestion(Int) = true)"));
+        assert!(text.contains("not holdsAt(scatsCongestion(Int) = true, T3)"));
+        assert!(text.contains("Int \\== 0"));
+        assert!(text.contains("% --- stratum"));
+    }
+
+    #[test]
+    fn strata_appear_in_evaluation_order() {
+        let rs = sample_ruleset();
+        let text = rs.pretty();
+        let scats_pos = text.find("initiatedAt(scatsCongestion").unwrap();
+        let any_pos = text.find("holdsFor(anyCongestion").unwrap();
+        assert!(scats_pos < any_pos, "dependencies print before dependents");
+    }
+}

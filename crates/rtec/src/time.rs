@@ -1,0 +1,25 @@
+//! Linear, discrete time.
+//!
+//! RTEC assumes time is linear and discrete, represented by integer
+//! time-points (Section 4.1 of the paper). In the Dublin deployment the unit
+//! is one second; nothing in the engine depends on the unit.
+
+/// A discrete time-point. Negative values are permitted (useful for windows
+/// that start before the epoch of a trace).
+pub type Time = i64;
+
+/// The earliest representable time-point.
+pub const TIME_MIN: Time = i64::MIN;
+
+/// The latest representable time-point.
+pub const TIME_MAX: Time = i64::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremes_order() {
+        const { assert!(TIME_MIN < 0 && 0 < TIME_MAX) };
+    }
+}

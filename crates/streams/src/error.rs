@@ -1,0 +1,112 @@
+//! Error type for topology construction, XML parsing and execution.
+
+use std::fmt;
+
+/// Errors produced by the streams middleware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamsError {
+    /// A process referenced a stream/queue/sink that does not exist.
+    UnknownEndpoint {
+        /// The missing name.
+        name: String,
+        /// What referenced it.
+        referenced_by: String,
+    },
+    /// Two declarations share a name.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A queue has more than one consuming process.
+    MultipleConsumers {
+        /// The contested queue.
+        queue: String,
+    },
+    /// A topology element is unused/disconnected in a way that would hang
+    /// the runtime (e.g. a queue no process writes to).
+    Disconnected {
+        /// Description of the problem.
+        detail: String,
+    },
+    /// A processor signalled a failure while handling an item.
+    ProcessorFailed {
+        /// The process in which it ran.
+        process: String,
+        /// The processor's error message.
+        message: String,
+    },
+    /// XML syntax error.
+    XmlSyntax {
+        /// Byte offset of the error.
+        offset: usize,
+        /// Description.
+        detail: String,
+    },
+    /// XML referenced an unknown element/class or missed an attribute.
+    XmlSemantics {
+        /// Description.
+        detail: String,
+    },
+    /// A service lookup failed (missing name or wrong type).
+    ServiceError {
+        /// Description.
+        detail: String,
+    },
+    /// I/O failure in a file source/sink.
+    Io {
+        /// Stringified I/O error (kept as a string so the error stays `Clone`).
+        detail: String,
+    },
+}
+
+impl fmt::Display for StreamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamsError::UnknownEndpoint { name, referenced_by } => {
+                write!(f, "`{referenced_by}` references unknown stream/queue/sink `{name}`")
+            }
+            StreamsError::DuplicateName { name } => write!(f, "duplicate name `{name}`"),
+            StreamsError::MultipleConsumers { queue } => {
+                write!(f, "queue `{queue}` has more than one consumer")
+            }
+            StreamsError::Disconnected { detail } => write!(f, "disconnected topology: {detail}"),
+            StreamsError::ProcessorFailed { process, message } => {
+                write!(f, "processor in `{process}` failed: {message}")
+            }
+            StreamsError::XmlSyntax { offset, detail } => {
+                write!(f, "XML syntax error at byte {offset}: {detail}")
+            }
+            StreamsError::XmlSemantics { detail } => write!(f, "XML semantic error: {detail}"),
+            StreamsError::ServiceError { detail } => write!(f, "service error: {detail}"),
+            StreamsError::Io { detail } => write!(f, "I/O error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamsError {}
+
+impl From<std::io::Error> for StreamsError {
+    fn from(e: std::io::Error) -> Self {
+        StreamsError::Io { detail: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_names() {
+        let e = StreamsError::UnknownEndpoint { name: "q1".into(), referenced_by: "p".into() };
+        assert!(e.to_string().contains("q1"));
+        let e = StreamsError::MultipleConsumers { queue: "shared".into() };
+        assert!(e.to_string().contains("shared"));
+    }
+
+    #[test]
+    fn io_conversion() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: StreamsError = io.into();
+        assert!(matches!(e, StreamsError::Io { .. }));
+    }
+}

@@ -1,0 +1,277 @@
+//! Data items: the unit of data flowing through the graph.
+//!
+//! The Streams framework represents stream elements as *sets of key-value
+//! pairs* — event attributes and their values. [`DataItem`] keeps the pairs
+//! in a sorted map so that items have a canonical form, and [`Value`] covers
+//! the attribute types the Dublin SDE schemas need (plus JSON-friendly
+//! serialisation for file sources and sinks).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An attribute value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum Value {
+    /// Null / absent marker.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Double-precision float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// Integer accessor (does not coerce floats).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric accessor (coerces integers to floats).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Boolean accessor.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// A set of key-value pairs travelling through the data-flow graph.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DataItem {
+    attrs: BTreeMap<String, Value>,
+}
+
+impl DataItem {
+    /// An empty item.
+    pub fn new() -> DataItem {
+        DataItem::default()
+    }
+
+    /// Builder-style attribute insertion.
+    pub fn with<K: Into<String>, V: Into<Value>>(mut self, key: K, value: V) -> DataItem {
+        self.attrs.insert(key.into(), value.into());
+        self
+    }
+
+    /// Inserts/replaces an attribute.
+    pub fn set<K: Into<String>, V: Into<Value>>(&mut self, key: K, value: V) {
+        self.attrs.insert(key.into(), value.into());
+    }
+
+    /// Removes an attribute, returning its previous value.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        self.attrs.remove(key)
+    }
+
+    /// Looks up an attribute.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.attrs.get(key)
+    }
+
+    /// Integer attribute accessor.
+    pub fn get_i64(&self, key: &str) -> Option<i64> {
+        self.get(key).and_then(Value::as_i64)
+    }
+
+    /// Numeric attribute accessor (coerces ints).
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(Value::as_f64)
+    }
+
+    /// String attribute accessor.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(Value::as_str)
+    }
+
+    /// Boolean attribute accessor.
+    pub fn get_bool(&self, key: &str) -> Option<bool> {
+        self.get(key).and_then(Value::as_bool)
+    }
+
+    /// Whether the attribute exists.
+    pub fn contains(&self, key: &str) -> bool {
+        self.attrs.contains_key(key)
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Whether the item carries no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Iterates over `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.attrs.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Keeps only the listed keys (the Streams `SelectKeys` processor).
+    pub fn project(&mut self, keys: &[&str]) {
+        self.attrs.retain(|k, _| keys.contains(&k.as_str()));
+    }
+
+    /// Serialises the item as one JSON object line.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.attrs).expect("DataItem is always serialisable")
+    }
+
+    /// Parses an item from a JSON object.
+    pub fn from_json(s: &str) -> Result<DataItem, crate::error::StreamsError> {
+        serde_json::from_str(s).map_err(|e| crate::error::StreamsError::Io { detail: e.to_string() })
+    }
+}
+
+impl fmt::Display for DataItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(String, Value)> for DataItem {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        DataItem { attrs: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let item = DataItem::new()
+            .with("bus", 33009i64)
+            .with("line", "r10")
+            .with("delay", 400.5)
+            .with("congested", true);
+        assert_eq!(item.get_i64("bus"), Some(33009));
+        assert_eq!(item.get_str("line"), Some("r10"));
+        assert_eq!(item.get_f64("delay"), Some(400.5));
+        assert_eq!(item.get_f64("bus"), Some(33009.0), "ints coerce to f64");
+        assert_eq!(item.get_bool("congested"), Some(true));
+        assert_eq!(item.get("missing"), None);
+        assert_eq!(item.len(), 4);
+    }
+
+    #[test]
+    fn set_remove_project() {
+        let mut item = DataItem::new().with("a", 1i64).with("b", 2i64).with("c", 3i64);
+        item.set("a", 10i64);
+        assert_eq!(item.get_i64("a"), Some(10));
+        assert_eq!(item.remove("b"), Some(Value::Int(2)));
+        item.project(&["a"]);
+        assert_eq!(item.len(), 1);
+        assert!(item.contains("a") && !item.contains("c"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let item = DataItem::new()
+            .with("bus", 1i64)
+            .with("lat", 53.35)
+            .with("line", "r10")
+            .with("ok", true);
+        let json = item.to_json();
+        let back = DataItem::from_json(&json).unwrap();
+        assert_eq!(item, back);
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(DataItem::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn display_is_sorted_by_key() {
+        let item = DataItem::new().with("z", 1i64).with("a", 2i64);
+        assert_eq!(item.to_string(), "{a=2, z=1}");
+    }
+
+    #[test]
+    fn value_accessors_are_strict() {
+        assert_eq!(Value::Float(1.5).as_i64(), None);
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert_eq!(Value::Int(1).as_bool(), None);
+        assert_eq!(Value::Null.as_str(), None);
+    }
+}

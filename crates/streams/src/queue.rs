@@ -1,0 +1,154 @@
+//! Queues: bounded channels connecting processes.
+//!
+//! Processes take *a stream or a queue* as input; queues also serve as the
+//! outputs derived events are emitted to (the RTEC processor of the paper
+//! emits CEs "to a queue in the Streams framework"). Queues are bounded,
+//! providing backpressure, multi-producer and single-consumer.
+
+use crate::item::DataItem;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// Messages travelling through a queue: items plus per-producer end-of-stream
+/// markers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// A data item.
+    Item(DataItem),
+    /// One producer finished; the consumer terminates after collecting the
+    /// marker of every producer.
+    Eos,
+}
+
+/// Producer handle of a queue (cloneable: queues are multi-producer).
+#[derive(Clone)]
+pub struct QueueSender {
+    tx: Sender<Message>,
+}
+
+impl QueueSender {
+    /// Sends one item, blocking while the queue is full. Returns `false` if
+    /// the consumer is gone.
+    pub fn send(&self, item: DataItem) -> bool {
+        self.tx.send(Message::Item(item)).is_ok()
+    }
+
+    /// Signals that this producer is done.
+    pub fn finish(&self) {
+        let _ = self.tx.send(Message::Eos);
+    }
+}
+
+/// Consumer handle of a queue (single consumer).
+pub struct QueueReceiver {
+    rx: Receiver<Message>,
+    producers: usize,
+    eos_seen: usize,
+}
+
+impl QueueReceiver {
+    /// Receives the next item, blocking until one is available or every
+    /// producer finished (`None`).
+    pub fn recv(&mut self) -> Option<DataItem> {
+        loop {
+            if self.eos_seen >= self.producers {
+                return None;
+            }
+            match self.rx.recv() {
+                Ok(Message::Item(item)) => return Some(item),
+                Ok(Message::Eos) => self.eos_seen += 1,
+                Err(_) => return None, // all senders dropped
+            }
+        }
+    }
+
+    /// Like [`QueueReceiver::recv`] with a timeout; `Ok(None)` = end of
+    /// stream, `Err(Timeout)` = nothing arrived in time.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<DataItem>, Timeout> {
+        loop {
+            if self.eos_seen >= self.producers {
+                return Ok(None);
+            }
+            match self.rx.recv_timeout(timeout) {
+                Ok(Message::Item(item)) => return Ok(Some(item)),
+                Ok(Message::Eos) => self.eos_seen += 1,
+                Err(RecvTimeoutError::Timeout) => return Err(Timeout),
+                Err(RecvTimeoutError::Disconnected) => return Ok(None),
+            }
+        }
+    }
+}
+
+/// Returned by [`QueueReceiver::recv_timeout`] when no item arrived in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timeout;
+
+/// Creates a bounded queue for `producers` producers.
+pub fn queue(capacity: usize, producers: usize) -> (QueueSender, QueueReceiver) {
+    let (tx, rx) = bounded(capacity.max(1));
+    (QueueSender { tx }, QueueReceiver { rx, producers, eos_seen: 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn items_then_eos() {
+        let (tx, mut rx) = queue(4, 1);
+        tx.send(DataItem::new().with("n", 1i64));
+        tx.send(DataItem::new().with("n", 2i64));
+        tx.finish();
+        assert_eq!(rx.recv().unwrap().get_i64("n"), Some(1));
+        assert_eq!(rx.recv().unwrap().get_i64("n"), Some(2));
+        assert!(rx.recv().is_none());
+        assert!(rx.recv().is_none(), "stays terminated");
+    }
+
+    #[test]
+    fn waits_for_all_producers() {
+        let (tx1, mut rx) = queue(4, 2);
+        let tx2 = tx1.clone();
+        tx1.send(DataItem::new().with("p", 1i64));
+        tx1.finish();
+        tx2.send(DataItem::new().with("p", 2i64));
+        // One EOS received, still one producer alive: items flow.
+        assert!(rx.recv().is_some());
+        assert!(rx.recv().is_some());
+        tx2.finish();
+        assert!(rx.recv().is_none());
+    }
+
+    #[test]
+    fn dropped_senders_terminate() {
+        let (tx, mut rx) = queue(4, 1);
+        drop(tx);
+        assert!(rx.recv().is_none());
+    }
+
+    #[test]
+    fn timeout_variant() {
+        let (tx, mut rx) = queue(4, 1);
+        assert!(rx.recv_timeout(Duration::from_millis(10)).is_err(), "times out while empty");
+        tx.send(DataItem::new());
+        assert!(matches!(rx.recv_timeout(Duration::from_millis(10)), Ok(Some(_))));
+        tx.finish();
+        assert!(matches!(rx.recv_timeout(Duration::from_millis(10)), Ok(None)));
+    }
+
+    #[test]
+    fn backpressure_blocks_until_consumed() {
+        let (tx, mut rx) = queue(1, 1);
+        tx.send(DataItem::new().with("n", 1i64));
+        let handle = std::thread::spawn(move || {
+            // This send blocks until the consumer drains one item.
+            tx.send(DataItem::new().with("n", 2i64));
+            tx.finish();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap().get_i64("n"), Some(1));
+        assert_eq!(rx.recv().unwrap().get_i64("n"), Some(2));
+        assert!(rx.recv().is_none());
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,418 @@
+//! Runtime: executes a validated topology, one thread per process.
+//!
+//! Sources are drained, items flow through processor chains, survivors are
+//! cloned to every output. End-of-stream propagates through queues via
+//! per-producer markers, so the whole graph drains and terminates
+//! deterministically. Any processor error aborts its process — end-of-stream
+//! is still propagated downstream so no thread deadlocks — and `run` returns
+//! the first error.
+
+use crate::error::StreamsError;
+use crate::item::DataItem;
+use crate::processor::{Context, Processor};
+use crate::queue::{queue, QueueReceiver, QueueSender};
+use crate::sink::Sink;
+use crate::source::Source;
+use crate::topology::{Input, Output, Topology};
+use std::collections::HashMap;
+use std::thread;
+
+/// Statistics of one completed run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Per process: `(items consumed, items emitted)`.
+    pub per_process: HashMap<String, (u64, u64)>,
+}
+
+impl RunStats {
+    /// Total items consumed across processes.
+    pub fn total_consumed(&self) -> u64 {
+        self.per_process.values().map(|v| v.0).sum()
+    }
+
+    /// Total items emitted across processes.
+    pub fn total_emitted(&self) -> u64 {
+        self.per_process.values().map(|v| v.1).sum()
+    }
+}
+
+enum ProcInput {
+    Source(Box<dyn Source>),
+    Queue(QueueReceiver),
+}
+
+enum ProcOutput {
+    Queue(QueueSender),
+    Sink(Box<dyn Sink>),
+    Discard,
+}
+
+/// Executes a [`Topology`].
+pub struct Runtime {
+    topology: Topology,
+}
+
+impl Runtime {
+    /// Wraps a topology for execution.
+    pub fn new(topology: Topology) -> Runtime {
+        Runtime { topology }
+    }
+
+    /// Validates and runs the topology to completion.
+    pub fn run(self) -> Result<RunStats, StreamsError> {
+        self.topology.validate()?;
+        let Topology { mut sources, queues, processes, services } = self.topology;
+
+        // Count producers per queue to size the EOS protocol.
+        let mut producers: HashMap<&str, usize> = HashMap::new();
+        for p in &processes {
+            for o in &p.outputs {
+                if let Output::Queue(q) = o {
+                    *producers.entry(q.as_str()).or_default() += 1;
+                }
+            }
+        }
+
+        // Create channels.
+        let mut senders: HashMap<String, QueueSender> = HashMap::new();
+        let mut receivers: HashMap<String, QueueReceiver> = HashMap::new();
+        for (name, cap) in &queues {
+            let n_prod = producers.get(name.as_str()).copied().unwrap_or(0);
+            if n_prod == 0 {
+                // validate() guarantees such a queue also has no consumer;
+                // skip it entirely.
+                continue;
+            }
+            let (tx, rx) = queue(*cap, n_prod);
+            senders.insert(name.clone(), tx);
+            receivers.insert(name.clone(), rx);
+        }
+
+        // Materialise process workers.
+        let mut workers = Vec::new();
+        for p in processes {
+            let input = match &p.input {
+                Input::Stream(s) => ProcInput::Source(
+                    sources.remove(s).expect("validated: source exists and is unique"),
+                ),
+                Input::Queue(q) => ProcInput::Queue(
+                    receivers.remove(q).expect("validated: queue exists with one consumer"),
+                ),
+            };
+            let outputs: Vec<ProcOutput> = p
+                .outputs
+                .into_iter()
+                .map(|o| match o {
+                    Output::Queue(q) => {
+                        ProcOutput::Queue(senders.get(&q).expect("validated").clone())
+                    }
+                    Output::Sink(s) => ProcOutput::Sink(s),
+                    Output::Discard => ProcOutput::Discard,
+                })
+                .collect();
+            workers.push(Worker {
+                name: p.name,
+                input,
+                chain: p.processors,
+                outputs,
+                ctx: Context::new(services.clone(), ""),
+            });
+        }
+        // Drop the runtime's own sender clones so queues can disconnect.
+        drop(senders);
+
+        let mut handles = Vec::new();
+        for mut w in workers {
+            w.ctx = Context::new(services.clone(), &w.name);
+            handles.push(thread::spawn(move || w.run()));
+        }
+
+        let mut stats = RunStats::default();
+        let mut first_error = None;
+        for h in handles {
+            match h.join().expect("process thread panicked") {
+                Ok((name, consumed, emitted)) => {
+                    stats.per_process.insert(name, (consumed, emitted));
+                }
+                Err(e) => first_error = first_error.or(Some(e)),
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(stats),
+        }
+    }
+}
+
+struct Worker {
+    name: String,
+    input: ProcInput,
+    chain: Vec<Box<dyn Processor>>,
+    outputs: Vec<ProcOutput>,
+    ctx: Context,
+}
+
+impl Worker {
+    fn run(mut self) -> Result<(String, u64, u64), StreamsError> {
+        let result = self.pump();
+        // Always propagate end-of-stream so downstream processes terminate,
+        // even if this process failed.
+        for o in &mut self.outputs {
+            match o {
+                ProcOutput::Queue(tx) => tx.finish(),
+                ProcOutput::Sink(s) => s.flush()?,
+                ProcOutput::Discard => {}
+            }
+        }
+        result.map(|(consumed, emitted)| (self.name, consumed, emitted))
+    }
+
+    fn pump(&mut self) -> Result<(u64, u64), StreamsError> {
+        let mut consumed = 0u64;
+        let mut emitted = 0u64;
+        loop {
+            let next = match &mut self.input {
+                ProcInput::Source(s) => s.next_item()?,
+                ProcInput::Queue(q) => q.recv(),
+            };
+            let Some(item) = next else { break };
+            consumed += 1;
+            if let Some(out) =
+                run_chain(&mut self.chain, 0, item, &mut self.ctx, &self.name)?
+            {
+                emitted += 1;
+                emit(&mut self.outputs, out)?;
+            }
+        }
+        // Flush processor chain: finish() items of processor i traverse the
+        // rest of the chain.
+        for i in 0..self.chain.len() {
+            let trailing = self.chain[i].finish(&mut self.ctx).map_err(|e| wrap(&self.name, e))?;
+            for item in trailing {
+                if let Some(out) =
+                    run_chain(&mut self.chain, i + 1, item, &mut self.ctx, &self.name)?
+                {
+                    emitted += 1;
+                    emit(&mut self.outputs, out)?;
+                }
+            }
+        }
+        Ok((consumed, emitted))
+    }
+}
+
+fn wrap(process: &str, e: StreamsError) -> StreamsError {
+    match e {
+        StreamsError::ProcessorFailed { .. } => e,
+        other => StreamsError::ProcessorFailed { process: process.to_string(), message: other.to_string() },
+    }
+}
+
+fn run_chain(
+    chain: &mut [Box<dyn Processor>],
+    from: usize,
+    item: DataItem,
+    ctx: &mut Context,
+    process: &str,
+) -> Result<Option<DataItem>, StreamsError> {
+    let mut cur = item;
+    for p in &mut chain[from..] {
+        match p.process(cur, ctx).map_err(|e| wrap(process, e))? {
+            Some(next) => cur = next,
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(cur))
+}
+
+fn deliver(output: &mut ProcOutput, item: DataItem) -> Result<(), StreamsError> {
+    match output {
+        ProcOutput::Queue(tx) => {
+            tx.send(item);
+        }
+        ProcOutput::Sink(s) => s.write_item(item)?,
+        ProcOutput::Discard => {}
+    }
+    Ok(())
+}
+
+fn emit(outputs: &mut [ProcOutput], item: DataItem) -> Result<(), StreamsError> {
+    let Some(last) = outputs.len().checked_sub(1) else { return Ok(()) };
+    for o in &mut outputs[..last] {
+        deliver(o, item.clone())?;
+    }
+    deliver(&mut outputs[last], item)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::DataItem;
+    use crate::processor::FnProcessor;
+    use crate::sink::{CollectSink, CountSink};
+    use crate::source::VecSource;
+
+    fn numbers(n: i64) -> VecSource {
+        VecSource::new((0..n).map(|i| DataItem::new().with("n", i)))
+    }
+
+    #[test]
+    fn linear_pipeline_runs() {
+        let mut t = Topology::new();
+        t.add_source("nums", numbers(100));
+        t.add_queue("q", 8);
+        t.process("double")
+            .input(Input::Stream("nums".into()))
+            .processor(FnProcessor::new(|mut item: DataItem, _| {
+                let n = item.get_i64("n").unwrap();
+                item.set("n", n * 2);
+                Ok(Some(item))
+            }))
+            .output(Output::Queue("q".into()))
+            .done();
+        let sink = CollectSink::shared();
+        t.process("collect")
+            .input(Input::Queue("q".into()))
+            .output(Output::Sink(Box::new(sink.clone())))
+            .done();
+        let stats = Runtime::new(t).run().unwrap();
+        assert_eq!(sink.len(), 100);
+        let values: Vec<i64> = sink.items().iter().map(|i| i.get_i64("n").unwrap()).collect();
+        assert!(values.contains(&0) && values.contains(&198));
+        assert_eq!(stats.per_process["double"], (100, 100));
+        assert_eq!(stats.per_process["collect"], (100, 100));
+    }
+
+    #[test]
+    fn filtering_drops_items() {
+        let mut t = Topology::new();
+        t.add_source("nums", numbers(10));
+        let sink = CountSink::shared();
+        t.process("odd-only")
+            .input(Input::Stream("nums".into()))
+            .processor(FnProcessor::new(|item: DataItem, _| {
+                Ok((item.get_i64("n").unwrap() % 2 == 1).then_some(item))
+            }))
+            .output(Output::Sink(Box::new(sink.clone())))
+            .done();
+        Runtime::new(t).run().unwrap();
+        assert_eq!(sink.count(), 5);
+    }
+
+    #[test]
+    fn fan_in_multiple_producers() {
+        let mut t = Topology::new();
+        t.add_source("a", numbers(10));
+        t.add_source("b", numbers(20));
+        t.add_queue("merged", 4);
+        t.process("pa").input(Input::Stream("a".into())).output(Output::Queue("merged".into())).done();
+        t.process("pb").input(Input::Stream("b".into())).output(Output::Queue("merged".into())).done();
+        let sink = CountSink::shared();
+        t.process("sum")
+            .input(Input::Queue("merged".into()))
+            .output(Output::Sink(Box::new(sink.clone())))
+            .done();
+        Runtime::new(t).run().unwrap();
+        assert_eq!(sink.count(), 30);
+    }
+
+    #[test]
+    fn fan_out_broadcasts_to_all_outputs() {
+        let mut t = Topology::new();
+        t.add_source("nums", numbers(5));
+        t.add_queue("q1", 4);
+        t.add_queue("q2", 4);
+        t.process("p")
+            .input(Input::Stream("nums".into()))
+            .output(Output::Queue("q1".into()))
+            .output(Output::Queue("q2".into()))
+            .done();
+        let s1 = CountSink::shared();
+        let s2 = CountSink::shared();
+        t.process("c1").input(Input::Queue("q1".into())).output(Output::Sink(Box::new(s1.clone()))).done();
+        t.process("c2").input(Input::Queue("q2".into())).output(Output::Sink(Box::new(s2.clone()))).done();
+        Runtime::new(t).run().unwrap();
+        assert_eq!(s1.count(), 5);
+        assert_eq!(s2.count(), 5);
+    }
+
+    #[test]
+    fn chained_queues_terminate() {
+        let mut t = Topology::new();
+        t.add_source("nums", numbers(50));
+        t.add_queue("q1", 4);
+        t.add_queue("q2", 4);
+        t.process("s1").input(Input::Stream("nums".into())).output(Output::Queue("q1".into())).done();
+        t.process("s2").input(Input::Queue("q1".into())).output(Output::Queue("q2".into())).done();
+        let sink = CountSink::shared();
+        t.process("s3").input(Input::Queue("q2".into())).output(Output::Sink(Box::new(sink.clone()))).done();
+        let stats = Runtime::new(t).run().unwrap();
+        assert_eq!(sink.count(), 50);
+        assert_eq!(stats.total_consumed(), 150);
+    }
+
+    #[test]
+    fn processor_error_fails_run_without_deadlock() {
+        let mut t = Topology::new();
+        t.add_source("nums", numbers(10));
+        t.add_queue("q", 4);
+        t.process("boom")
+            .input(Input::Stream("nums".into()))
+            .processor(FnProcessor::new(|item: DataItem, _| {
+                if item.get_i64("n") == Some(3) {
+                    Err(StreamsError::ServiceError { detail: "kaput".into() })
+                } else {
+                    Ok(Some(item))
+                }
+            }))
+            .output(Output::Queue("q".into()))
+            .done();
+        let sink = CountSink::shared();
+        t.process("down").input(Input::Queue("q".into())).output(Output::Sink(Box::new(sink.clone()))).done();
+        let err = Runtime::new(t).run().unwrap_err();
+        assert!(matches!(err, StreamsError::ProcessorFailed { .. }));
+        // Downstream received the items before the failure and terminated.
+        assert_eq!(sink.count(), 3);
+    }
+
+    #[test]
+    fn finish_items_flow_through_rest_of_chain() {
+        struct Tail;
+        impl Processor for Tail {
+            fn process(
+                &mut self,
+                item: DataItem,
+                _ctx: &mut Context,
+            ) -> Result<Option<DataItem>, StreamsError> {
+                Ok(Some(item))
+            }
+            fn finish(&mut self, _ctx: &mut Context) -> Result<Vec<DataItem>, StreamsError> {
+                Ok(vec![DataItem::new().with("summary", true)])
+            }
+        }
+        let mut t = Topology::new();
+        t.add_source("nums", numbers(2));
+        let sink = CollectSink::shared();
+        t.process("p")
+            .input(Input::Stream("nums".into()))
+            .processor(Tail)
+            .processor(FnProcessor::new(|mut item: DataItem, _| {
+                item.set("tagged", true);
+                Ok(Some(item))
+            }))
+            .output(Output::Sink(Box::new(sink.clone())))
+            .done();
+        Runtime::new(t).run().unwrap();
+        let items = sink.items();
+        assert_eq!(items.len(), 3);
+        let summary = items.iter().find(|i| i.contains("summary")).unwrap();
+        assert_eq!(summary.get_bool("tagged"), Some(true), "finish items traverse the rest");
+    }
+
+    #[test]
+    fn invalid_topology_fails_before_spawning() {
+        let mut t = Topology::new();
+        t.process("a").input(Input::Stream("ghost".into())).output(Output::Discard).done();
+        assert!(Runtime::new(t).run().is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! Sources: where data items enter the graph.
+
+use crate::error::StreamsError;
+use crate::item::DataItem;
+use std::io::BufRead;
+
+/// A pull-based stream of data items; `Ok(None)` signals end of stream.
+pub trait Source: Send {
+    /// Produces the next item.
+    fn next_item(&mut self) -> Result<Option<DataItem>, StreamsError>;
+}
+
+/// A source over a pre-materialised vector of items.
+pub struct VecSource {
+    items: std::vec::IntoIter<DataItem>,
+}
+
+impl VecSource {
+    /// Builds the source from any iterable of items.
+    pub fn new<I: IntoIterator<Item = DataItem>>(items: I) -> VecSource {
+        VecSource { items: items.into_iter().collect::<Vec<_>>().into_iter() }
+    }
+}
+
+impl Source for VecSource {
+    fn next_item(&mut self) -> Result<Option<DataItem>, StreamsError> {
+        Ok(self.items.next())
+    }
+}
+
+/// A source backed by a generator closure; the closure returns `None` when
+/// exhausted.
+pub struct FnSource<F>(F);
+
+impl<F> FnSource<F>
+where
+    F: FnMut() -> Result<Option<DataItem>, StreamsError> + Send,
+{
+    /// Wraps the generator.
+    pub fn new(f: F) -> FnSource<F> {
+        FnSource(f)
+    }
+}
+
+impl<F> Source for FnSource<F>
+where
+    F: FnMut() -> Result<Option<DataItem>, StreamsError> + Send,
+{
+    fn next_item(&mut self) -> Result<Option<DataItem>, StreamsError> {
+        (self.0)()
+    }
+}
+
+/// A source reading one JSON object per line from any buffered reader
+/// (the file-based stream format of the original framework).
+pub struct JsonLinesSource<R: BufRead + Send> {
+    reader: R,
+    line: String,
+}
+
+impl<R: BufRead + Send> JsonLinesSource<R> {
+    /// Wraps the reader.
+    pub fn new(reader: R) -> JsonLinesSource<R> {
+        JsonLinesSource { reader, line: String::new() }
+    }
+}
+
+impl<R: BufRead + Send> Source for JsonLinesSource<R> {
+    fn next_item(&mut self) -> Result<Option<DataItem>, StreamsError> {
+        loop {
+            self.line.clear();
+            let n = self.reader.read_line(&mut self.line)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            let trimmed = self.line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            return DataItem::from_json(trimmed).map(Some);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_source_drains() {
+        let mut s = VecSource::new([DataItem::new().with("a", 1i64), DataItem::new().with("a", 2i64)]);
+        assert_eq!(s.next_item().unwrap().unwrap().get_i64("a"), Some(1));
+        assert_eq!(s.next_item().unwrap().unwrap().get_i64("a"), Some(2));
+        assert!(s.next_item().unwrap().is_none());
+        assert!(s.next_item().unwrap().is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn fn_source_generates() {
+        let mut n = 0i64;
+        let mut s = FnSource::new(move || {
+            n += 1;
+            Ok((n <= 3).then(|| DataItem::new().with("n", n)))
+        });
+        let mut got = Vec::new();
+        while let Some(item) = s.next_item().unwrap() {
+            got.push(item.get_i64("n").unwrap());
+        }
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn json_lines_source_skips_blank_lines() {
+        let data = "{\"a\":1}\n\n{\"a\":2}\n";
+        let mut s = JsonLinesSource::new(std::io::Cursor::new(data));
+        assert_eq!(s.next_item().unwrap().unwrap().get_i64("a"), Some(1));
+        assert_eq!(s.next_item().unwrap().unwrap().get_i64("a"), Some(2));
+        assert!(s.next_item().unwrap().is_none());
+    }
+
+    #[test]
+    fn json_lines_source_propagates_parse_errors() {
+        let mut s = JsonLinesSource::new(std::io::Cursor::new("not-json\n"));
+        assert!(s.next_item().is_err());
+    }
+}

@@ -1,0 +1,313 @@
+//! Topology: the data-flow graph description.
+//!
+//! A topology declares named *sources* (streams), named *queues*, and
+//! *processes*. Each process reads from one input (a stream or a queue), runs
+//! its items through a processor chain, and forwards survivors to its
+//! outputs (queues and/or sinks). The [`crate::runtime::Runtime`] compiles a
+//! validated topology into one thread per process.
+
+use crate::error::StreamsError;
+use crate::processor::Processor;
+use crate::service::ServiceRegistry;
+use crate::sink::Sink;
+use crate::source::Source;
+use std::collections::{HashMap, HashSet};
+
+/// Default queue capacity when none is given.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
+/// The input of a process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Input {
+    /// A declared source stream.
+    Stream(String),
+    /// A declared queue.
+    Queue(String),
+}
+
+/// One output of a process.
+pub enum Output {
+    /// Forward to a declared queue.
+    Queue(String),
+    /// Forward to a sink.
+    Sink(Box<dyn Sink>),
+    /// Drop survivors (useful for processes run for their side effects).
+    Discard,
+}
+
+pub(crate) struct ProcessDef {
+    pub(crate) name: String,
+    pub(crate) input: Input,
+    pub(crate) processors: Vec<Box<dyn Processor>>,
+    pub(crate) outputs: Vec<Output>,
+}
+
+/// A data-flow graph under construction.
+#[derive(Default)]
+pub struct Topology {
+    pub(crate) sources: HashMap<String, Box<dyn Source>>,
+    pub(crate) queues: HashMap<String, usize>,
+    pub(crate) processes: Vec<ProcessDef>,
+    pub(crate) services: ServiceRegistry,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    /// Declares a named source stream.
+    pub fn add_source<S: Source + 'static>(&mut self, name: &str, source: S) -> &mut Self {
+        self.sources.insert(name.to_string(), Box::new(source));
+        self
+    }
+
+    /// Declares a named queue with the given capacity.
+    pub fn add_queue(&mut self, name: &str, capacity: usize) -> &mut Self {
+        self.queues.insert(name.to_string(), capacity);
+        self
+    }
+
+    /// The shared service registry of this topology.
+    pub fn services(&self) -> &ServiceRegistry {
+        &self.services
+    }
+
+    /// Starts defining a process; finish with [`ProcessBuilder::done`].
+    pub fn process(&mut self, name: &str) -> ProcessBuilder<'_> {
+        ProcessBuilder {
+            topology: self,
+            def: ProcessDef {
+                name: name.to_string(),
+                input: Input::Stream(String::new()),
+                processors: Vec::new(),
+                outputs: Vec::new(),
+            },
+            input_set: false,
+        }
+    }
+
+    /// Structural validation: name uniqueness, endpoint existence,
+    /// single-consumer queues, no dangling queues.
+    pub fn validate(&self) -> Result<(), StreamsError> {
+        // Unique process names; source/queue namespaces are maps already.
+        let mut names = HashSet::new();
+        for p in &self.processes {
+            if !names.insert(&p.name) {
+                return Err(StreamsError::DuplicateName { name: p.name.clone() });
+            }
+        }
+        for q in self.queues.keys() {
+            if self.sources.contains_key(q) {
+                return Err(StreamsError::DuplicateName { name: q.clone() });
+            }
+        }
+
+        // Endpoint existence + consumer counting.
+        let mut stream_consumers: HashMap<&str, usize> = HashMap::new();
+        let mut queue_consumers: HashMap<&str, usize> = HashMap::new();
+        let mut queue_producers: HashMap<&str, usize> = HashMap::new();
+        for p in &self.processes {
+            match &p.input {
+                Input::Stream(s) => {
+                    if !self.sources.contains_key(s) {
+                        return Err(StreamsError::UnknownEndpoint {
+                            name: s.clone(),
+                            referenced_by: p.name.clone(),
+                        });
+                    }
+                    *stream_consumers.entry(s).or_default() += 1;
+                }
+                Input::Queue(q) => {
+                    if !self.queues.contains_key(q) {
+                        return Err(StreamsError::UnknownEndpoint {
+                            name: q.clone(),
+                            referenced_by: p.name.clone(),
+                        });
+                    }
+                    *queue_consumers.entry(q).or_default() += 1;
+                }
+            }
+            for o in &p.outputs {
+                if let Output::Queue(q) = o {
+                    if !self.queues.contains_key(q) {
+                        return Err(StreamsError::UnknownEndpoint {
+                            name: q.clone(),
+                            referenced_by: p.name.clone(),
+                        });
+                    }
+                    *queue_producers.entry(q).or_default() += 1;
+                }
+            }
+        }
+
+        for (s, n) in stream_consumers {
+            if n > 1 {
+                return Err(StreamsError::MultipleConsumers { queue: s.to_string() });
+            }
+        }
+        for q in self.queues.keys() {
+            let consumers = queue_consumers.get(q.as_str()).copied().unwrap_or(0);
+            let producers = queue_producers.get(q.as_str()).copied().unwrap_or(0);
+            if consumers > 1 {
+                return Err(StreamsError::MultipleConsumers { queue: q.clone() });
+            }
+            if consumers == 1 && producers == 0 {
+                return Err(StreamsError::Disconnected {
+                    detail: format!("queue `{q}` is consumed but never written"),
+                });
+            }
+            if consumers == 0 && producers > 0 {
+                return Err(StreamsError::Disconnected {
+                    detail: format!("queue `{q}` is written but never consumed"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for one process.
+pub struct ProcessBuilder<'a> {
+    topology: &'a mut Topology,
+    def: ProcessDef,
+    input_set: bool,
+}
+
+impl<'a> ProcessBuilder<'a> {
+    /// Sets the input (required).
+    pub fn input(mut self, input: Input) -> Self {
+        self.def.input = input;
+        self.input_set = true;
+        self
+    }
+
+    /// Appends a processor to the chain.
+    pub fn processor<P: Processor + 'static>(mut self, p: P) -> Self {
+        self.def.processors.push(Box::new(p));
+        self
+    }
+
+    /// Appends an already boxed processor.
+    pub fn boxed_processor(mut self, p: Box<dyn Processor>) -> Self {
+        self.def.processors.push(p);
+        self
+    }
+
+    /// Adds an output (items surviving the chain are cloned to every output).
+    pub fn output(mut self, output: Output) -> Self {
+        self.def.outputs.push(output);
+        self
+    }
+
+    /// Registers the process with the topology.
+    ///
+    /// # Panics
+    /// Panics if no input was set — that is a programming error, caught
+    /// immediately in development.
+    pub fn done(self) {
+        assert!(self.input_set, "process `{}` has no input", self.def.name);
+        self.topology.processes.push(self.def);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::DataItem;
+    use crate::sink::NullSink;
+    use crate::source::VecSource;
+
+    fn items(n: i64) -> VecSource {
+        VecSource::new((0..n).map(|i| DataItem::new().with("n", i)))
+    }
+
+    #[test]
+    fn valid_linear_topology() {
+        let mut t = Topology::new();
+        t.add_source("in", items(3));
+        t.add_queue("q", 8);
+        t.process("a").input(Input::Stream("in".into())).output(Output::Queue("q".into())).done();
+        t.process("b").input(Input::Queue("q".into())).output(Output::Sink(Box::new(NullSink))).done();
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn unknown_stream_rejected() {
+        let mut t = Topology::new();
+        t.process("a").input(Input::Stream("ghost".into())).output(Output::Discard).done();
+        assert!(matches!(t.validate(), Err(StreamsError::UnknownEndpoint { .. })));
+    }
+
+    #[test]
+    fn unknown_queue_rejected() {
+        let mut t = Topology::new();
+        t.add_source("in", items(1));
+        t.process("a").input(Input::Stream("in".into())).output(Output::Queue("ghost".into())).done();
+        assert!(matches!(t.validate(), Err(StreamsError::UnknownEndpoint { .. })));
+    }
+
+    #[test]
+    fn duplicate_process_names_rejected() {
+        let mut t = Topology::new();
+        t.add_source("in", items(1));
+        t.add_source("in2", items(1));
+        t.process("a").input(Input::Stream("in".into())).output(Output::Discard).done();
+        t.process("a").input(Input::Stream("in2".into())).output(Output::Discard).done();
+        assert!(matches!(t.validate(), Err(StreamsError::DuplicateName { .. })));
+    }
+
+    #[test]
+    fn queue_with_two_consumers_rejected() {
+        let mut t = Topology::new();
+        t.add_source("in", items(1));
+        t.add_queue("q", 8);
+        t.process("p").input(Input::Stream("in".into())).output(Output::Queue("q".into())).done();
+        t.process("c1").input(Input::Queue("q".into())).output(Output::Discard).done();
+        t.process("c2").input(Input::Queue("q".into())).output(Output::Discard).done();
+        assert!(matches!(t.validate(), Err(StreamsError::MultipleConsumers { .. })));
+    }
+
+    #[test]
+    fn consumed_but_never_written_queue_rejected() {
+        let mut t = Topology::new();
+        t.add_queue("q", 8);
+        t.process("c").input(Input::Queue("q".into())).output(Output::Discard).done();
+        assert!(matches!(t.validate(), Err(StreamsError::Disconnected { .. })));
+    }
+
+    #[test]
+    fn written_but_never_consumed_queue_rejected() {
+        let mut t = Topology::new();
+        t.add_source("in", items(1));
+        t.add_queue("q", 8);
+        t.process("p").input(Input::Stream("in".into())).output(Output::Queue("q".into())).done();
+        assert!(matches!(t.validate(), Err(StreamsError::Disconnected { .. })));
+    }
+
+    #[test]
+    fn stream_with_two_consumers_rejected() {
+        let mut t = Topology::new();
+        t.add_source("in", items(1));
+        t.process("a").input(Input::Stream("in".into())).output(Output::Discard).done();
+        t.process("b").input(Input::Stream("in".into())).output(Output::Discard).done();
+        assert!(matches!(t.validate(), Err(StreamsError::MultipleConsumers { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "has no input")]
+    fn process_without_input_panics() {
+        let mut t = Topology::new();
+        t.process("a").output(Output::Discard).done();
+    }
+
+    #[test]
+    fn queue_name_clashing_with_source_rejected() {
+        let mut t = Topology::new();
+        t.add_source("x", items(1));
+        t.add_queue("x", 8);
+        t.process("p").input(Input::Stream("x".into())).output(Output::Discard).done();
+        assert!(matches!(t.validate(), Err(StreamsError::DuplicateName { .. })));
+    }
+}

@@ -1,0 +1,508 @@
+//! The XML data-flow description language.
+//!
+//! The Streams framework "provides an XML-based language for the description
+//! of data flow graphs" (Section 3 of the paper). This module implements a
+//! hand-rolled parser for the XML subset that language needs — elements,
+//! attributes, comments, self-closing tags, the five predefined entities —
+//! and a compiler turning a `<container>` document into process/queue
+//! declarations on a [`Topology`].
+//!
+//! Sources and sinks are runtime objects, so the document references them by
+//! name (`stream:NAME`, `sink:NAME`) and the caller binds the names before
+//! compiling:
+//!
+//! ```
+//! use insight_streams::prelude::*;
+//! use insight_streams::processor::default_factories;
+//! use insight_streams::xml::compile_into;
+//! use std::collections::HashMap;
+//!
+//! let doc = r#"
+//!   <container>
+//!     <queue id="moves" capacity="64"/>
+//!     <process id="filter" input="stream:sde" output="queue:moves">
+//!       <processor class="FilterEquals" key="kind" value="move"/>
+//!     </process>
+//!     <process id="collect" input="queue:moves" output="sink:out"/>
+//!   </container>
+//! "#;
+//! let mut t = Topology::new();
+//! t.add_source("sde", VecSource::new([
+//!     DataItem::new().with("kind", "move"),
+//!     DataItem::new().with("kind", "traffic"),
+//! ]));
+//! let out = CollectSink::shared();
+//! let mut sinks: HashMap<String, Box<dyn Sink>> = HashMap::new();
+//! sinks.insert("out".into(), Box::new(out.clone()));
+//! compile_into(&mut t, doc, &default_factories(), &mut sinks).unwrap();
+//! Runtime::new(t).run().unwrap();
+//! assert_eq!(out.len(), 1);
+//! ```
+
+use crate::error::StreamsError;
+use crate::processor::ProcessorFactory;
+use crate::sink::Sink;
+use crate::topology::{Input, Output, Topology, DEFAULT_QUEUE_CAPACITY};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// A parsed XML element.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order (later duplicates win).
+    pub attrs: HashMap<String, String>,
+    /// Child elements (text content is ignored).
+    pub children: Vec<Element>,
+}
+
+impl Element {
+    /// Attribute accessor.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs.get(key).map(String::as_str)
+    }
+
+    /// Required attribute accessor.
+    pub fn required_attr(&self, key: &str) -> Result<&str, StreamsError> {
+        self.attr(key).ok_or_else(|| StreamsError::XmlSemantics {
+            detail: format!("element <{}> requires attribute `{key}`", self.name),
+        })
+    }
+
+    /// Children with the given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, detail: &str) -> StreamsError {
+        StreamsError::XmlSyntax { offset: self.pos, detail: detail.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_misc(&mut self) -> Result<(), StreamsError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                match find(self.bytes, self.pos + 4, "-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => return Err(self.err("unterminated comment")),
+                }
+            } else if self.starts_with("<?") {
+                match find(self.bytes, self.pos + 2, "?>") {
+                    Some(end) => self.pos = end + 2,
+                    None => return Err(self.err("unterminated processing instruction")),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String, StreamsError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn attribute_value(&mut self) -> Result<String, StreamsError> {
+        let quote = self.peek().ok_or_else(|| self.err("unexpected end in attribute"))?;
+        if quote != b'"' && quote != b'\'' {
+            return Err(self.err("attribute value must be quoted"));
+        }
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                self.pos += 1;
+                return unescape(&raw).map_err(|d| self.err(&d));
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated attribute value"))
+    }
+
+    fn element(&mut self) -> Result<Element, StreamsError> {
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected '<'"));
+        }
+        self.pos += 1;
+        let name = self.name()?;
+        let mut el = Element { name, ..Element::default() };
+
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected '>' after '/'"));
+                    }
+                    self.pos += 1;
+                    return Ok(el); // self-closing
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let key = self.name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err("expected '=' after attribute name"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let value = self.attribute_value()?;
+                    el.attrs.insert(key, value);
+                }
+                None => return Err(self.err("unexpected end inside tag")),
+            }
+        }
+
+        // Content: children and ignorable text, until the closing tag.
+        loop {
+            // Skip text (ignored) up to the next '<'.
+            while let Some(c) = self.peek() {
+                if c == b'<' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.peek().is_none() {
+                return Err(self.err(&format!("missing closing tag for <{}>", el.name)));
+            }
+            if self.starts_with("<!--") {
+                match find(self.bytes, self.pos + 4, "-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => return Err(self.err("unterminated comment")),
+                }
+                continue;
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.name()?;
+                if close != el.name {
+                    return Err(self.err(&format!(
+                        "mismatched closing tag: expected </{}>, found </{close}>",
+                        el.name
+                    )));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(self.err("expected '>' in closing tag"));
+                }
+                self.pos += 1;
+                return Ok(el);
+            }
+            el.children.push(self.element()?);
+        }
+    }
+}
+
+fn find(bytes: &[u8], from: usize, needle: &str) -> Option<usize> {
+    let n = needle.as_bytes();
+    (from..bytes.len().checked_sub(n.len() - 1)?).find(|&i| &bytes[i..i + n.len()] == n)
+}
+
+fn unescape(s: &str) -> Result<String, String> {
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(idx) = rest.find('&') {
+        out.push_str(&rest[..idx]);
+        rest = &rest[idx..];
+        let end = rest.find(';').ok_or_else(|| "unterminated entity".to_string())?;
+        match &rest[..=end] {
+            "&amp;" => out.push('&'),
+            "&lt;" => out.push('<'),
+            "&gt;" => out.push('>'),
+            "&quot;" => out.push('"'),
+            "&apos;" => out.push('\''),
+            other => return Err(format!("unsupported entity `{other}`")),
+        }
+        rest = &rest[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Parses a document into its root element.
+pub fn parse(doc: &str) -> Result<Element, StreamsError> {
+    let mut p = Parser { bytes: doc.as_bytes(), pos: 0 };
+    p.skip_misc()?;
+    let root = p.element()?;
+    p.skip_misc()?;
+    if p.pos < p.bytes.len() {
+        return Err(p.err("trailing content after root element"));
+    }
+    Ok(root)
+}
+
+// ---------------------------------------------------------------------------
+// Compiler
+// ---------------------------------------------------------------------------
+
+fn parse_input(spec: &str) -> Result<Input, StreamsError> {
+    match spec.split_once(':') {
+        Some(("stream", name)) => Ok(Input::Stream(name.to_string())),
+        Some(("queue", name)) => Ok(Input::Queue(name.to_string())),
+        _ => Err(StreamsError::XmlSemantics {
+            detail: format!("input `{spec}` must be `stream:NAME` or `queue:NAME`"),
+        }),
+    }
+}
+
+fn parse_output(
+    spec: &str,
+    sinks: &mut HashMap<String, Box<dyn Sink>>,
+) -> Result<Output, StreamsError> {
+    if spec == "discard" {
+        return Ok(Output::Discard);
+    }
+    match spec.split_once(':') {
+        Some(("queue", name)) => Ok(Output::Queue(name.to_string())),
+        Some(("sink", name)) => {
+            let sink = sinks.remove(name).ok_or_else(|| StreamsError::XmlSemantics {
+                detail: format!("sink `{name}` was not bound (or bound twice)"),
+            })?;
+            Ok(Output::Sink(sink))
+        }
+        _ => Err(StreamsError::XmlSemantics {
+            detail: format!("output `{spec}` must be `queue:NAME`, `sink:NAME` or `discard`"),
+        }),
+    }
+}
+
+/// Compiles a `<container>` document into `topology`.
+///
+/// * `factories` maps processor class names to constructors;
+/// * `sinks` binds `sink:NAME` references to sink objects — each may be
+///   referenced exactly once.
+pub fn compile_into(
+    topology: &mut Topology,
+    doc: &str,
+    factories: &HashMap<String, ProcessorFactory>,
+    sinks: &mut HashMap<String, Box<dyn Sink>>,
+) -> Result<(), StreamsError> {
+    let root = parse(doc)?;
+    if root.name != "container" && root.name != "application" {
+        return Err(StreamsError::XmlSemantics {
+            detail: format!("root element must be <container>, found <{}>", root.name),
+        });
+    }
+
+    for child in &root.children {
+        match child.name.as_str() {
+            "queue" => {
+                let id = child.required_attr("id")?;
+                let capacity = match child.attr("capacity") {
+                    Some(c) => c.parse::<usize>().map_err(|_| StreamsError::XmlSemantics {
+                        detail: format!("queue `{id}` has a non-numeric capacity"),
+                    })?,
+                    None => DEFAULT_QUEUE_CAPACITY,
+                };
+                topology.add_queue(id, capacity);
+            }
+            "process" => {
+                let id = child.required_attr("id")?.to_string();
+                let input = parse_input(child.required_attr("input")?)?;
+                let mut builder = topology.process(&id).input(input);
+                for proc_el in child.children_named("processor") {
+                    let class = proc_el.required_attr("class")?;
+                    let factory =
+                        factories.get(class).ok_or_else(|| StreamsError::XmlSemantics {
+                            detail: format!("unknown processor class `{class}`"),
+                        })?;
+                    let mut attrs = proc_el.attrs.clone();
+                    attrs.remove("class");
+                    builder = builder.boxed_processor(factory(&attrs)?);
+                }
+                match child.attr("output") {
+                    Some(spec) => {
+                        for part in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                            builder = builder.output(parse_output(part, sinks)?);
+                        }
+                    }
+                    None => builder = builder.output(Output::Discard),
+                }
+                builder.done();
+            }
+            other => {
+                return Err(StreamsError::XmlSemantics {
+                    detail: format!("unsupported element <{other}> in container"),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::DataItem;
+    use crate::processor::default_factories;
+    use crate::runtime::Runtime;
+    use crate::sink::CollectSink;
+    use crate::source::VecSource;
+
+    #[test]
+    fn parses_nested_elements() {
+        let doc = r#"
+            <?xml version="1.0"?>
+            <!-- top comment -->
+            <container>
+                <queue id="q" capacity="8"/>
+                <process id="p" input="stream:s">
+                    <processor class="A" key="k"/>
+                    <!-- inner comment -->
+                    <processor class="B"></processor>
+                </process>
+            </container>
+        "#;
+        let root = parse(doc).unwrap();
+        assert_eq!(root.name, "container");
+        assert_eq!(root.children.len(), 2);
+        let process = &root.children[1];
+        assert_eq!(process.attr("id"), Some("p"));
+        assert_eq!(process.children_named("processor").count(), 2);
+    }
+
+    #[test]
+    fn parses_entities_and_quotes() {
+        let root = parse(r#"<a x="&lt;&amp;&gt;" y='it&apos;s'/>"#).unwrap();
+        assert_eq!(root.attr("x"), Some("<&>"));
+        assert_eq!(root.attr("y"), Some("it's"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("<a>").is_err(), "unterminated element");
+        assert!(parse("<a></b>").is_err(), "mismatched closing tag");
+        assert!(parse("<a x=unquoted/>").is_err(), "unquoted attribute");
+        assert!(parse("<a/><b/>").is_err(), "two roots");
+        assert!(parse("<a x=\"&bogus;\"/>").is_err(), "unknown entity");
+        assert!(parse("<!-- only a comment -->").is_err(), "no root element");
+    }
+
+    fn bound_sinks(sink: &CollectSink) -> HashMap<String, Box<dyn Sink>> {
+        let mut m: HashMap<String, Box<dyn Sink>> = HashMap::new();
+        m.insert("out".to_string(), Box::new(sink.clone()));
+        m
+    }
+
+    #[test]
+    fn compiles_and_runs_document() {
+        let doc = r#"
+            <container>
+                <queue id="moves"/>
+                <process id="filter" input="stream:sde" output="queue:moves">
+                    <processor class="FilterEquals" key="kind" value="move"/>
+                    <processor class="SetValue" key="checked" value="yes"/>
+                </process>
+                <process id="collect" input="queue:moves" output="sink:out"/>
+            </container>
+        "#;
+        let mut t = Topology::new();
+        t.add_source(
+            "sde",
+            VecSource::new([
+                DataItem::new().with("kind", "move").with("bus", 1i64),
+                DataItem::new().with("kind", "traffic"),
+                DataItem::new().with("kind", "move").with("bus", 2i64),
+            ]),
+        );
+        let out = CollectSink::shared();
+        let mut sinks = bound_sinks(&out);
+        compile_into(&mut t, doc, &default_factories(), &mut sinks).unwrap();
+        Runtime::new(t).run().unwrap();
+        let items = out.items();
+        assert_eq!(items.len(), 2);
+        assert!(items.iter().all(|i| i.get_str("checked") == Some("yes")));
+    }
+
+    #[test]
+    fn compile_errors() {
+        let factories = default_factories();
+        let sink = CollectSink::shared();
+
+        // wrong root
+        let mut t = Topology::new();
+        let err = compile_into(&mut t, "<x/>", &factories, &mut bound_sinks(&sink)).unwrap_err();
+        assert!(matches!(err, StreamsError::XmlSemantics { .. }));
+
+        // unknown processor class
+        let doc = r#"<container><process id="p" input="stream:s">
+            <processor class="Nope"/></process></container>"#;
+        let mut t = Topology::new();
+        let err = compile_into(&mut t, doc, &factories, &mut bound_sinks(&sink)).unwrap_err();
+        assert!(err.to_string().contains("Nope"));
+
+        // unbound sink
+        let doc = r#"<container><process id="p" input="stream:s" output="sink:ghost"/></container>"#;
+        let mut t = Topology::new();
+        let err = compile_into(&mut t, doc, &factories, &mut bound_sinks(&sink)).unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+
+        // bad input spec
+        let doc = r#"<container><process id="p" input="bogus"/></container>"#;
+        let mut t = Topology::new();
+        let err = compile_into(&mut t, doc, &factories, &mut bound_sinks(&sink)).unwrap_err();
+        assert!(matches!(err, StreamsError::XmlSemantics { .. }));
+    }
+
+    #[test]
+    fn multiple_outputs_and_discard() {
+        let doc = r#"
+            <container>
+                <queue id="a"/>
+                <queue id="b"/>
+                <process id="split" input="stream:s" output="queue:a, queue:b"/>
+                <process id="da" input="queue:a" output="sink:out"/>
+                <process id="db" input="queue:b" output="discard"/>
+            </container>
+        "#;
+        let mut t = Topology::new();
+        t.add_source("s", VecSource::new((0..4).map(|i| DataItem::new().with("n", i as i64))));
+        let out = CollectSink::shared();
+        compile_into(&mut t, doc, &default_factories(), &mut bound_sinks(&out)).unwrap();
+        Runtime::new(t).run().unwrap();
+        assert_eq!(out.len(), 4);
+    }
+}

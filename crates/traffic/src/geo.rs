@@ -1,0 +1,63 @@
+//! The atemporal `close/4` predicate.
+//!
+//! "`close` is an atemporal predicate computing the distance between two
+//! points and comparing them against a threshold" (§4.3). Registered with
+//! the engine as a builtin over `(LonB, LatB, Lon, Lat)`.
+
+use insight_datagen::network::distance_m;
+use insight_rtec::term::Term;
+
+/// Returns the `close/4` implementation for a threshold in metres.
+pub fn close_builtin(threshold_m: f64) -> impl Fn(&[Term]) -> bool + Send + Sync + 'static {
+    move |args: &[Term]| {
+        let nums: Option<Vec<f64>> = args.iter().map(Term::as_f64).collect();
+        match nums.as_deref() {
+            Some([lon_b, lat_b, lon, lat]) => {
+                distance_m((*lon_b, *lat_b), (*lon, *lat)) <= threshold_m
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_points_within_threshold() {
+        let close = close_builtin(300.0);
+        // ~110 m apart in latitude.
+        assert!(close(&[
+            Term::float(-6.26),
+            Term::float(53.3500),
+            Term::float(-6.26),
+            Term::float(53.3510),
+        ]));
+        // ~1.1 km apart.
+        assert!(!close(&[
+            Term::float(-6.26),
+            Term::float(53.35),
+            Term::float(-6.26),
+            Term::float(53.36),
+        ]));
+    }
+
+    #[test]
+    fn identical_points_are_close() {
+        let close = close_builtin(1.0);
+        assert!(close(&[
+            Term::float(-6.26),
+            Term::float(53.35),
+            Term::float(-6.26),
+            Term::float(53.35),
+        ]));
+    }
+
+    #[test]
+    fn rejects_malformed_arguments() {
+        let close = close_builtin(100.0);
+        assert!(!close(&[Term::float(1.0)]), "wrong arity");
+        assert!(!close(&[Term::sym("x"), Term::float(1.0), Term::float(1.0), Term::float(1.0)]));
+    }
+}

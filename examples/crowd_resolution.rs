@@ -1,0 +1,99 @@
+//! Crowdsourced disagreement resolution: the §5 pipeline in isolation.
+//!
+//! Simulates the paper's participant cohort answering congestion questions,
+//! shows the online EM reliability estimates converging (Figure 5), the
+//! posterior peakedness statistic, and the per-connection latency breakdown
+//! of the query execution engine (Figure 6).
+//!
+//! ```sh
+//! cargo run --release --example crowd_resolution
+//! ```
+
+use insight_repro::crowd::engine::{QueryExecutionEngine, Worker, WorkerId};
+use insight_repro::crowd::latency::ConnectionType;
+use insight_repro::crowd::model::{CrowdQuery, LabelSet, SimulatedParticipant};
+use insight_repro::crowd::online_em::OnlineEm;
+use insight_repro::crowd::stats::{EstimationTrace, PeakednessTracker};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let labels = LabelSet::traffic_default();
+    let cohort = SimulatedParticipant::paper_cohort();
+    let mut em = OnlineEm::paper_default(cohort.len());
+    let mut trace = EstimationTrace::new(cohort.len());
+    let mut peaked = PeakednessTracker::paper_default();
+    let mut rng = StdRng::seed_from_u64(5);
+
+    println!("participants (true error probabilities):");
+    for (i, p) in cohort.iter().enumerate() {
+        println!("  {i}: p = {}", p.p_err);
+    }
+
+    let events = 1000;
+    for t in 0..events {
+        let truth = t % labels.len();
+        let answers: Vec<(usize, usize)> = cohort
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, p.answer(truth, &labels, &mut rng).unwrap()))
+            .collect();
+        let outcome = em.process(&labels.uniform_prior(), &answers)?;
+        peaked.record(outcome.confidence);
+        trace.snapshot(em.estimates());
+    }
+
+    println!("\nestimates after {events} queries (estimate / truth / rel. error):");
+    for (i, p) in cohort.iter().enumerate() {
+        let est = trace.final_estimate(i).unwrap();
+        let rel = trace.relative_error(i, events - 1, p.p_err).unwrap();
+        println!("  {i}: {est:.3} / {:.2} / {:+.1} %", p.p_err, rel * 100.0);
+    }
+    println!(
+        "\nordering of participants by reliability recovered: {}",
+        trace.ordering_correct(
+            &cohort.iter().map(|p| p.p_err).collect::<Vec<_>>(),
+            0.06
+        )
+    );
+    println!(
+        "posteriors with one label above 0.99: {:.1} % (the paper reports ~94 %)",
+        peaked.fraction().unwrap() * 100.0
+    );
+
+    // --- query execution engine latency (Figure 6) ---
+    println!("\nquery execution engine latency (10 task executions per connection):");
+    println!("{:<6} {:>12} {:>12} {:>12} {:>12}", "conn", "trigger ms", "push ms", "comm ms", "total ms");
+    for connection in ConnectionType::ALL {
+        let mut engine = QueryExecutionEngine::new();
+        for i in 0..10u64 {
+            engine.register(Worker {
+                id: WorkerId(i),
+                lon: -6.26,
+                lat: 53.35,
+                connection,
+                avg_comp_ms: 100.0,
+            });
+        }
+        let query = CrowdQuery {
+            question: "Congestion at O'Connell Bridge?".into(),
+            answers: vec!["yes".into(), "no".into()],
+            lon: -6.26,
+            lat: 53.35,
+            deadline_ms: None,
+        };
+        let ids: Vec<WorkerId> = (0..10).map(WorkerId).collect();
+        let exec = engine.execute(&query, &ids, |_| Some(0), &mut rng)?;
+        let mean = exec.mean_latency().unwrap();
+        println!(
+            "{:<6} {:>12.0} {:>12.0} {:>12.0} {:>12.0}",
+            connection.name(),
+            mean.trigger_ms,
+            mean.push_ms,
+            mean.comm_ms,
+            mean.total_ms()
+        );
+    }
+    println!("\neven on 2G the end-to-end engine latency stays below one second.");
+    Ok(())
+}

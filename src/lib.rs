@@ -1,0 +1,14 @@
+//! # insight-repro — umbrella crate
+//!
+//! Re-exports every component crate of the reproduction of *"Heterogeneous
+//! Stream Processing and Crowdsourcing for Urban Traffic Management"*
+//! (EDBT 2014). The root package also hosts the cross-crate integration
+//! tests (`tests/`) and the runnable examples (`examples/`).
+
+pub use insight_core as core;
+pub use insight_crowd as crowd;
+pub use insight_datagen as datagen;
+pub use insight_gp as gp;
+pub use insight_rtec as rtec;
+pub use insight_streams as streams;
+pub use insight_traffic as traffic;
