@@ -15,10 +15,8 @@ fn bench_gp(c: &mut Criterion) {
     for side in [8usize, 14, 20] {
         let graph = Graph::grid(side, side);
         let n = graph.len();
-        let observations: Vec<(usize, f64)> = (0..n)
-            .step_by(3)
-            .map(|v| (v, ((v % 13) as f64) * 100.0))
-            .collect();
+        let observations: Vec<(usize, f64)> =
+            (0..n).step_by(3).map(|v| (v, ((v % 13) as f64) * 100.0)).collect();
 
         group.bench_with_input(BenchmarkId::new("kernel", n), &graph, |b, g| {
             b.iter(|| black_box(kernel.covariance(g).unwrap()))

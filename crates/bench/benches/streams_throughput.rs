@@ -27,7 +27,10 @@ fn run_pipeline(items: Vec<DataItem>) -> u64 {
         .output(Output::Queue("q".into()))
         .done();
     let sink = CountSink::shared();
-    t.process("count").input(Input::Queue("q".into())).output(Output::Sink(Box::new(sink.clone()))).done();
+    t.process("count")
+        .input(Input::Queue("q".into()))
+        .output(Output::Sink(Box::new(sink.clone())))
+        .done();
     Runtime::new(t).run().expect("pipeline runs");
     sink.count()
 }

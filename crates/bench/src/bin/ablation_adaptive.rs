@@ -65,11 +65,8 @@ fn evaluate(
         // Crowd feedback loop for the crowd-validated variant: verdicts for
         // the open disagreements arrive before the next window.
         if matches!(rules.mode, RecognitionMode::SelfAdaptive(NoisyVariant::CrowdValidated)) {
-            let locations: Vec<(f64, f64)> = result
-                .per_region
-                .iter()
-                .flat_map(|(_, r)| r.open_disagreements())
-                .collect();
+            let locations: Vec<(f64, f64)> =
+                result.per_region.iter().flat_map(|(_, r)| r.open_disagreements()).collect();
             for (lon, lat) in locations {
                 let truth = scenario.truth_congested(lon, lat, q);
                 let verdict = if rng.random::<f64>() < crowd_accuracy { truth } else { !truth };

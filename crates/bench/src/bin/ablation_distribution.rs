@@ -56,8 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let single_time = t0.elapsed();
 
     // Four-way distributed.
-    let mut distributed =
-        DistributedRecognizer::from_deployment(rules, window, &scenario.scats)?;
+    let mut distributed = DistributedRecognizer::from_deployment(rules, window, &scenario.scats)?;
     for sde in &scenario.sdes {
         if sde.arrival <= q {
             distributed.ingest(sde)?;

@@ -26,8 +26,7 @@ struct Quality {
 fn run(schedule: GammaSchedule, seed: u64) -> Quality {
     let labels = LabelSet::traffic_default();
     let cohort = SimulatedParticipant::paper_cohort();
-    let mut em =
-        OnlineEm::new(cohort.len(), labels.clone(), 0.25, schedule).expect("valid config");
+    let mut em = OnlineEm::new(cohort.len(), labels.clone(), 0.25, schedule).expect("valid config");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut prev = em.estimates().to_vec();
     let mut wobble = 0.0;
@@ -42,23 +41,14 @@ fn run(schedule: GammaSchedule, seed: u64) -> Quality {
         em.process(&labels.uniform_prior(), &answers).expect("valid event");
         if t >= horizon / 2 {
             // Tail wobble: average absolute step of the estimates.
-            wobble += em
-                .estimates()
-                .iter()
-                .zip(&prev)
-                .map(|(a, b)| (a - b).abs())
-                .sum::<f64>()
+            wobble += em.estimates().iter().zip(&prev).map(|(a, b)| (a - b).abs()).sum::<f64>()
                 / cohort.len() as f64;
         }
         prev.copy_from_slice(em.estimates());
     }
-    let final_mae = em
-        .estimates()
-        .iter()
-        .zip(cohort.iter())
-        .map(|(est, p)| (est - p.p_err).abs())
-        .sum::<f64>()
-        / cohort.len() as f64;
+    let final_mae =
+        em.estimates().iter().zip(cohort.iter()).map(|(est, p)| (est - p.p_err).abs()).sum::<f64>()
+            / cohort.len() as f64;
     Quality { final_mae, trajectory_wobble: wobble / (horizon / 2) as f64 }
 }
 
@@ -66,10 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut out = ResultsWriter::new("ablation_gamma");
     out.line("=== Ablation: online EM step-size schedules (Figure 5 protocol) ===");
     out.line(String::new());
-    out.line(format!(
-        "{:<26} {:>12} {:>18}",
-        "schedule", "final MAE", "tail wobble/step"
-    ));
+    out.line(format!("{:<26} {:>12} {:>18}", "schedule", "final MAE", "tail wobble/step"));
 
     let schedules: [(&str, GammaSchedule); 4] = [
         ("1/(t+1) (running mean)", GammaSchedule::RunningMean),

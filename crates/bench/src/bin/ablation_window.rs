@@ -78,16 +78,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &max_delay in &delays {
         let mut cfg = ScenarioConfig::small(2400, 5);
         cfg.fleet.n_buses = 40;
-        cfg.mediator = MediatorConfig { max_delay_s: max_delay, drop_probability: 0.0, thinning: 1 };
+        cfg.mediator =
+            MediatorConfig { max_delay_s: max_delay, drop_probability: 0.0, thinning: 1 };
         let scenario = Scenario::generate(cfg)?;
 
         let narrow = congestion_coverage(&scenario, step, step)?;
         let wide = congestion_coverage(&scenario, 3 * step, step)?;
-        let lost = if wide > 0 {
-            100.0 * (wide.saturating_sub(narrow)) as f64 / wide as f64
-        } else {
-            0.0
-        };
+        let lost =
+            if wide > 0 { 100.0 * (wide.saturating_sub(narrow)) as f64 / wide as f64 } else { 0.0 };
         out.line(format!("{max_delay:>12} {narrow:>16} {wide:>16} {lost:>12.1}"));
     }
 

@@ -48,13 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for &minutes in wm_minutes {
         let wm = minutes * 60;
-        let static_t = time_recognition(
-            &scenario,
-            TrafficRulesConfig::static_mode(),
-            wm,
-            step,
-            n_queries,
-        )?;
+        let static_t =
+            time_recognition(&scenario, TrafficRulesConfig::static_mode(), wm, step, n_queries)?;
         let adaptive_t = time_recognition(
             &scenario,
             TrafficRulesConfig::self_adaptive(NoisyVariant::Pessimistic),
@@ -62,8 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             step,
             n_queries,
         )?;
-        let overhead =
-            100.0 * (secs(adaptive_t.mean_time) - secs(static_t.mean_time)) / secs(static_t.mean_time);
+        let overhead = 100.0 * (secs(adaptive_t.mean_time) - secs(static_t.mean_time))
+            / secs(static_t.mean_time);
         out.line(format!(
             "{:>8} {:>12.0} {:>16.3} {:>20.3} {:>16.1}",
             minutes,

@@ -102,9 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // (participants 2-3 at 0.2/0.25 and 6-7 at 0.38/0.4... actually 0.4/0.5;
     // the paper names 2-3 and 6-7 as confusable).
     let mut trace_at_100 = EstimationTrace::new(cohort.len());
-    trace_at_100.snapshot(
-        &trace.series.iter().map(|s| s[99]).collect::<Vec<f64>>(),
-    );
+    trace_at_100.snapshot(&trace.series.iter().map(|s| s[99]).collect::<Vec<f64>>());
     out.line(String::new());
     out.line(format!(
         "ordering correct after 100 queries (near-ties within 0.06 tolerated): {}",

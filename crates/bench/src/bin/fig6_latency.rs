@@ -25,7 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(66);
     let mut out = ResultsWriter::new("fig6_latency");
     out.line("=== Figure 6: query execution engine latency ===");
-    out.line(format!("averages over {executions} crowdsourcing task executions per connection type"));
+    out.line(format!(
+        "averages over {executions} crowdsourcing task executions per connection type"
+    ));
     out.line(String::new());
     out.line(format!(
         "{:<6} {:>14} {:>20} {:>20} {:>14}",
@@ -75,7 +77,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     out.line(String::new());
     out.line("paper reference means — push: 2G 467 / 3G 169 / WiFi 184 ms;");
-    out.line("communication: 2G 423 / 3G 171 / WiFi 182 ms; trigger 38–55 ms (network-independent).");
+    out.line(
+        "communication: 2G 423 / 3G 171 / WiFi 182 ms; trigger 38–55 ms (network-independent).",
+    );
     out.line("shape: 2G ≈ 2.5x slower on both network steps, end-to-end < 1 s everywhere.");
     let path = out.finish()?;
     eprintln!("results saved to {}", path.display());

@@ -42,8 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     out.line(String::new());
     out.line("sensors per region (the four recognition partitions of §7.1):");
     for region in Region::ALL {
-        let intersections =
-            scats.intersections().iter().filter(|i| i.region == region).count();
+        let intersections = scats.intersections().iter().filter(|i| i.region == region).count();
         let sensors = scats
             .intersections()
             .iter()

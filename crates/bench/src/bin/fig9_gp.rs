@@ -40,10 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The GP is evaluated at the height of the morning rush.
     cfg.start_of_day = 8 * 3600;
     let scenario = Scenario::generate(cfg)?;
-    let graph = Graph::new(
-        scenario.network.junctions().to_vec(),
-        scenario.network.segments(),
-    )?;
+    let graph = Graph::new(scenario.network.junctions().to_vec(), scenario.network.segments())?;
     out.line(format!(
         "network: {} junctions; {} SCATS sensors on {} intersections",
         scenario.network.len(),
@@ -86,24 +83,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Ground truth for evaluation: the true flow of the field at the
     // aggregation midpoint.
     let t_eval = end - 360;
-    let truth: Vec<f64> =
-        (0..graph.len()).map(|v| scenario.field.flow(v, t_eval)).collect();
+    let truth: Vec<f64> = (0..graph.len()).map(|v| scenario.field.flow(v, t_eval)).collect();
 
     let gp = GpRegression::fit(&graph, &search.best, &observations, 0.1, true)?;
     let posterior = gp.predict_unobserved()?;
-    let truth_pairs: Vec<(usize, f64)> =
-        posterior.targets.iter().map(|&v| (v, truth[v])).collect();
+    let truth_pairs: Vec<(usize, f64)> = posterior.targets.iter().map(|&v| (v, truth[v])).collect();
     let gp_err = rmse(&posterior, &truth_pairs).unwrap();
 
     // Baselines: global mean and a coordinate-RBF GP (non-structural).
-    let mean_flow =
-        observations.iter().map(|&(_, f)| f).sum::<f64>() / observations.len() as f64;
-    let mean_err = (truth_pairs
-        .iter()
-        .map(|&(_, f)| (f - mean_flow) * (f - mean_flow))
-        .sum::<f64>()
-        / truth_pairs.len() as f64)
-        .sqrt();
+    let mean_flow = observations.iter().map(|&(_, f)| f).sum::<f64>() / observations.len() as f64;
+    let mean_err =
+        (truth_pairs.iter().map(|&(_, f)| (f - mean_flow) * (f - mean_flow)).sum::<f64>()
+            / truth_pairs.len() as f64)
+            .sqrt();
     let rbf = RbfKernel::new(0.01, 200_000.0)?;
     let rbf_gp = GpRegression::fit(&graph, &rbf as &dyn Kernel, &observations, 0.1, true)?;
     let rbf_posterior = rbf_gp.predict_unobserved()?;
@@ -112,8 +104,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Alternative graph kernel: diffusion exp(−βL) (Smola & Kondor, the
     // paper's reference [27]).
     let diffusion = insight_gp::kernel::DiffusionKernel::new(2.0, 50_000.0)?;
-    let diff_gp =
-        GpRegression::fit(&graph, &diffusion as &dyn Kernel, &observations, 0.1, true)?;
+    let diff_gp = GpRegression::fit(&graph, &diffusion as &dyn Kernel, &observations, 0.1, true)?;
     let diff_err = rmse(&diff_gp.predict_unobserved()?, &truth_pairs).unwrap();
 
     out.line(String::new());

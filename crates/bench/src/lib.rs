@@ -124,8 +124,8 @@ mod tests {
     #[test]
     fn timing_protocol_runs_on_small_scenario() {
         let scenario = Scenario::generate(ScenarioConfig::small(1500, 4)).unwrap();
-        let t = time_recognition(&scenario, TrafficRulesConfig::static_mode(), 600, 300, 2)
-            .unwrap();
+        let t =
+            time_recognition(&scenario, TrafficRulesConfig::static_mode(), 600, 300, 2).unwrap();
         assert_eq!(t.queries, 2);
         assert!(t.mean_sdes > 0.0);
         assert!(t.mean_cpu_time >= t.mean_time);

@@ -99,7 +99,12 @@ impl CrowdBridge {
                 avg_comp_ms: rng.random_range(50.0..250.0),
             });
         }
-        let em = OnlineEm::new(config.n_participants, labels.clone(), config.initial_p, config.schedule)?;
+        let em = OnlineEm::new(
+            config.n_participants,
+            labels.clone(),
+            config.initial_p,
+            config.schedule,
+        )?;
         Ok(CrowdBridge {
             engine,
             em,
@@ -113,6 +118,12 @@ impl CrowdBridge {
     /// Current reliability estimates (error probabilities) per participant.
     pub fn reliability_estimates(&self) -> &[f64] {
         self.em.estimates()
+    }
+
+    /// Cumulative query/task/answer counters of the underlying execution
+    /// engine (queries issued, tasks dispatched, deadline misses, latency).
+    pub fn engine_stats(&self) -> insight_crowd::engine::EngineStats {
+        self.engine.stats()
     }
 
     /// Resolves one source disagreement: queries workers near the location;
@@ -135,13 +146,8 @@ impl CrowdBridge {
         };
         // Reliability-aware selection: prefer the workers the EM currently
         // trusts most.
-        let reliability: HashMap<WorkerId, f64> = self
-            .em
-            .estimates()
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (WorkerId(i as u64), p))
-            .collect();
+        let reliability: HashMap<WorkerId, f64> =
+            self.em.estimates().iter().enumerate().map(|(i, &p)| (WorkerId(i as u64), p)).collect();
         let selected = self.engine.select(
             &SelectionPolicy::MostReliableK(self.workers_per_query),
             &query,
@@ -205,10 +211,7 @@ mod tests {
             assert!(r.answers > 0);
             assert!(r.confidence > 0.0 && r.confidence <= 1.0);
         }
-        assert!(
-            correct as f64 / total as f64 > 0.85,
-            "crowd accuracy too low: {correct}/{total}"
-        );
+        assert!(correct as f64 / total as f64 > 0.85, "crowd accuracy too low: {correct}/{total}");
     }
 
     #[test]
@@ -241,10 +244,8 @@ mod tests {
 
     #[test]
     fn config_validation_bubbles_up() {
-        let cfg = CrowdBridgeConfig {
-            error_probabilities: vec![1.7],
-            ..CrowdBridgeConfig::default()
-        };
+        let cfg =
+            CrowdBridgeConfig { error_probabilities: vec![1.7], ..CrowdBridgeConfig::default() };
         assert!(CrowdBridge::new(&cfg, (0.0, 0.0), 1).is_err());
     }
 }

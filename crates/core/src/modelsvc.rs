@@ -13,12 +13,13 @@ use insight_gp::kernel::RegularizedLaplacian;
 use insight_gp::regression::{GpRegression, Posterior};
 use insight_gp::GpError;
 use insight_streams::service::Service;
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Converts a generated street network into a GP graph.
 pub fn to_gp_graph(network: &StreetNetwork) -> Graph {
-    Graph::new(network.junctions().to_vec(), network.segments()).expect("street network is a valid graph")
+    Graph::new(network.junctions().to_vec(), network.segments())
+        .expect("street network is a valid graph")
 }
 
 /// The traffic-modelling service.
@@ -53,25 +54,25 @@ impl TrafficModelService {
     /// verdict mapped to a nominal flow).
     pub fn observe(&self, lon: f64, lat: f64, flow: f64) {
         if let Some(v) = self.graph.nearest_vertex(lon, lat) {
-            self.readings.lock().insert(v, flow);
+            self.readings.lock().unwrap().insert(v, flow);
         }
     }
 
     /// Number of junctions currently observed.
     pub fn observed_count(&self) -> usize {
-        self.readings.lock().len()
+        self.readings.lock().unwrap().len()
     }
 
     /// Clears accumulated readings (start of a new aggregation interval).
     pub fn reset(&self) {
-        self.readings.lock().clear();
+        self.readings.lock().unwrap().clear();
     }
 
     /// Fits the GP on the current readings and predicts flow at every
     /// unobserved junction.
     pub fn estimate_unobserved(&self) -> Result<Posterior, GpError> {
         let observations: Vec<(usize, f64)> =
-            self.readings.lock().iter().map(|(&v, &f)| (v, f)).collect();
+            self.readings.lock().unwrap().iter().map(|(&v, &f)| (v, f)).collect();
         let gp =
             GpRegression::fit(&self.graph, &self.kernel, &observations, self.noise_variance, true)?;
         gp.predict_unobserved()
@@ -80,7 +81,7 @@ impl TrafficModelService {
     /// Fits the GP and predicts at every junction (for map rendering).
     pub fn estimate_all(&self) -> Result<Posterior, GpError> {
         let observations: Vec<(usize, f64)> =
-            self.readings.lock().iter().map(|(&v, &f)| (v, f)).collect();
+            self.readings.lock().unwrap().iter().map(|(&v, &f)| (v, f)).collect();
         let gp =
             GpRegression::fit(&self.graph, &self.kernel, &observations, self.noise_variance, true)?;
         gp.predict_all()
@@ -103,8 +104,7 @@ mod tests {
             11,
         )
         .unwrap();
-        let svc =
-            TrafficModelService::new(&net, RegularizedLaplacian::new(3.0, 1.0).unwrap(), 0.1);
+        let svc = TrafficModelService::new(&net, RegularizedLaplacian::new(3.0, 1.0).unwrap(), 0.1);
         (net, svc)
     }
 

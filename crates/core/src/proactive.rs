@@ -136,15 +136,12 @@ impl ProactiveController {
 
         // Rising density trends -> speed limits.
         for e in recognition.trend_events() {
-            let is_density = e.kind == insight_rtec::term::Symbol::new(
-                insight_traffic::rules::ce::DENSITY_TREND,
-            );
+            let is_density = e.kind
+                == insight_rtec::term::Symbol::new(insight_traffic::rules::ce::DENSITY_TREND);
             if !is_density || e.args.get(3) != Some(&Term::sym("up")) {
                 continue;
             }
-            if let (Some(int), Some(a)) =
-                (e.args[0].as_i64(), e.args[1].as_i64())
-            {
+            if let (Some(int), Some(a)) = (e.args[0].as_i64(), e.args[1].as_i64()) {
                 actions.push(ControlAction::SpeedLimit {
                     intersection: int,
                     approach: a,

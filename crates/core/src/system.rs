@@ -19,10 +19,12 @@ use insight_gp::kernel::RegularizedLaplacian;
 use insight_gp::GpError;
 use insight_rtec::error::RtecError;
 use insight_rtec::window::WindowConfig;
+use insight_streams::metrics::{MetricsRegistry, MetricsSnapshot};
 use insight_traffic::{DistributedRecognizer, TrafficRulesConfig};
 use std::collections::HashSet;
 use std::fmt;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Errors of the integrated system.
 #[derive(Debug)]
@@ -96,9 +98,7 @@ impl SystemConfig {
             // Rule-set (4): buses stay trusted until the crowd sides with
             // the SCATS sensors, so `sourceDisagreement` CEs can form and
             // the full crowdsourcing loop of Figure 1 is exercised.
-            rules: TrafficRulesConfig::self_adaptive(
-                insight_traffic::NoisyVariant::CrowdValidated,
-            ),
+            rules: TrafficRulesConfig::self_adaptive(insight_traffic::NoisyVariant::CrowdValidated),
             window: WindowConfig::new(600, 300).expect("static window"),
             crowd: CrowdBridgeConfig::default(),
             gp_hyper: (3.0, 1.0),
@@ -136,6 +136,10 @@ pub struct SystemReport {
     pub crowd_accuracy: Option<f64>,
     /// Junction coverage: `(observed, estimated)` by the traffic model.
     pub model_coverage: (usize, usize),
+    /// Observability snapshot taken at the end of the run: per-window RTEC
+    /// latencies, SDE/crowd counters. JSON-serialisable via
+    /// [`MetricsSnapshot::to_json`].
+    pub metrics: MetricsSnapshot,
 }
 
 impl SystemReport {
@@ -153,6 +157,7 @@ pub struct InsightSystem {
     crowd: CrowdBridge,
     model: TrafficModelService,
     controller: crate::proactive::ProactiveController,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl InsightSystem {
@@ -175,12 +180,25 @@ impl InsightSystem {
         let controller = crate::proactive::ProactiveController::new(
             crate::proactive::ControllerConfig::default(),
         );
-        Ok(InsightSystem { config, scenario, recognizer, crowd, model, controller })
+        Ok(InsightSystem {
+            config,
+            scenario,
+            recognizer,
+            crowd,
+            model,
+            controller,
+            metrics: Arc::new(MetricsRegistry::new()),
+        })
     }
 
     /// The generated scenario.
     pub fn scenario(&self) -> &Scenario {
         &self.scenario
+    }
+
+    /// The live metrics registry (shared; counters accumulate across runs).
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
     }
 
     /// The traffic-modelling service.
@@ -194,12 +212,8 @@ impl InsightSystem {
     /// so the model has observations.
     pub fn render_map(&self, width: usize, height: usize) -> Result<String, SystemError> {
         let posterior = self.model.estimate_all()?;
-        let values: Vec<(usize, f64)> = posterior
-            .targets
-            .iter()
-            .copied()
-            .zip(posterior.mean.iter().copied())
-            .collect();
+        let values: Vec<(usize, f64)> =
+            posterior.targets.iter().copied().zip(posterior.mean.iter().copied()).collect();
         Ok(insight_gp::render::render_ppm(self.model.graph(), &values, width, height, 2))
     }
 
@@ -221,23 +235,31 @@ impl InsightSystem {
         let mut crowd_checked = 0usize;
         let mut crowd_correct = 0usize;
 
+        let window_ns = self.metrics.histogram("rtec.window_ns");
+        let resolve_ns = self.metrics.histogram("crowd.resolve_ns");
+        let sdes_delivered = self.metrics.counter("system.sdes_delivered");
+        let windows_run = self.metrics.counter("system.windows");
+        let disagreements_open = self.metrics.counter("rtec.open_disagreements");
+        let crowd_resolutions = self.metrics.counter("crowd.resolutions");
+
         let mut sde_idx = 0usize;
         let mut q = start + step;
         while q <= end {
             // Deliver every SDE that has arrived by q (the trace is sorted
             // by arrival).
-            while sde_idx < self.scenario.sdes.len()
-                && self.scenario.sdes[sde_idx].arrival <= q
-            {
+            while sde_idx < self.scenario.sdes.len() && self.scenario.sdes[sde_idx].arrival <= q {
                 let sde = &self.scenario.sdes[sde_idx];
                 self.recognizer.ingest(sde)?;
                 if let SdeBody::Scats(s) = &sde.body {
                     self.model.observe(s.lon, s.lat, s.flow);
                 }
+                sdes_delivered.inc();
                 sde_idx += 1;
             }
 
             let recognition = self.recognizer.query(q)?;
+            windows_run.inc();
+            window_ns.record(recognition.max_region_time);
             let mut open = 0usize;
             let mut resolutions = 0usize;
             let mut sde_count = 0usize;
@@ -266,10 +288,8 @@ impl InsightSystem {
                     if !seen_delay.insert((bus, e.time)) {
                         continue; // same event visible in an overlapping window
                     }
-                    let (lon, lat) = (
-                        e.args[3].as_f64().unwrap_or(0.0),
-                        e.args[4].as_f64().unwrap_or(0.0),
-                    );
+                    let (lon, lat) =
+                        (e.args[3].as_f64().unwrap_or(0.0), e.args[4].as_f64().unwrap_or(0.0));
                     alerts.push(OperatorAlert::DelayIncrease { bus, lon, lat, at: e.time });
                 }
                 for (bus, ivs) in result.noisy_buses() {
@@ -289,7 +309,10 @@ impl InsightSystem {
                         continue; // already being handled
                     }
                     let truth = self.scenario.truth_congested(lon, lat, q);
+                    let resolve_started = Instant::now();
                     let resolution = self.crowd.resolve(lon, lat, truth, None)?;
+                    resolve_ns.record(resolve_started.elapsed());
+                    crowd_resolutions.inc();
                     resolutions += 1;
                     crowd_checked += 1;
                     if resolution.congested == truth {
@@ -305,7 +328,8 @@ impl InsightSystem {
                     // Feedback into RTEC (arrives shortly after the query)
                     // and into the traffic model.
                     self.recognizer.ingest_crowd(lon, lat, resolution.congested, q + 1)?;
-                    let implied_flow = if resolution.congested { 0.3 * CAPACITY } else { 0.9 * CAPACITY };
+                    let implied_flow =
+                        if resolution.congested { 0.3 * CAPACITY } else { 0.9 * CAPACITY };
                     self.model.observe(lon, lat, implied_flow);
                 }
             }
@@ -320,6 +344,7 @@ impl InsightSystem {
             active_congestion = congestion_now;
             active_noisy = noisy_now;
 
+            disagreements_open.add(open as u64);
             windows.push(WindowStats {
                 query_time: q,
                 sde_count,
@@ -329,6 +354,16 @@ impl InsightSystem {
             });
             q += step;
         }
+
+        // Copy the crowd engine's cumulative counters into the registry so
+        // the snapshot carries task-level dispatch/deadline statistics.
+        let engine = self.crowd.engine_stats();
+        let tasks = self.metrics.counter("crowd.tasks");
+        tasks.add(engine.tasks.saturating_sub(tasks.get()));
+        let answers = self.metrics.counter("crowd.answers");
+        answers.add(engine.answers.saturating_sub(answers.get()));
+        let misses = self.metrics.counter("crowd.deadline_misses");
+        misses.add(engine.deadline_misses.saturating_sub(misses.get()));
 
         // Final sparsity estimate over the whole network.
         let observed = self.model.observed_count();
@@ -345,6 +380,7 @@ impl InsightSystem {
             crowd_accuracy: (crowd_checked > 0)
                 .then(|| crowd_correct as f64 / crowd_checked as f64),
             model_coverage: (observed, estimated),
+            metrics: self.metrics.snapshot(),
         })
     }
 }
@@ -369,6 +405,25 @@ mod tests {
         let (observed, estimated) = report.model_coverage;
         assert!(observed > 0, "SCATS readings reached the model");
         assert_eq!(observed + estimated, system.model().graph().len());
+    }
+
+    #[test]
+    fn report_carries_a_populated_metrics_snapshot() {
+        let mut system = InsightSystem::new(SystemConfig::small(1800, 101)).unwrap();
+        let report = system.run().unwrap();
+        let snap = &report.metrics;
+        assert!(snap.counters.get("system.sdes_delivered").copied().unwrap_or(0) > 0);
+        assert_eq!(
+            snap.counters.get("system.windows").copied().unwrap_or(0),
+            report.windows.len() as u64
+        );
+        let windows = snap.histograms.get("rtec.window_ns").expect("per-window timings");
+        assert_eq!(windows.count, report.windows.len() as u64);
+        assert!(windows.max_ns > 0, "recognition takes measurable time");
+        // The snapshot serialises; spot-check the schema.
+        let json = snap.to_json();
+        assert!(json.contains("\"rtec.window_ns\""));
+        assert!(json.contains("\"p99_ns\""));
     }
 
     #[test]

@@ -173,7 +173,12 @@ mod tests {
         }
         for i in 0..cohort.len() {
             let gap = (batch.p_hat[i] - online.estimates()[i]).abs();
-            assert!(gap < 0.08, "participant {i}: batch {} online {}", batch.p_hat[i], online.estimates()[i]);
+            assert!(
+                gap < 0.08,
+                "participant {i}: batch {} online {}",
+                batch.p_hat[i],
+                online.estimates()[i]
+            );
         }
     }
 

@@ -14,6 +14,8 @@ use crate::model::CrowdQuery;
 use crate::policy::SelectionPolicy;
 use rand::Rng;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
 
 /// Identifier of a registered worker/participant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -76,11 +78,43 @@ impl QueryExecution {
     }
 }
 
+/// Cumulative execution counters, updated on every [`execute`] call.
+///
+/// Atomics only, so recording is lock-free; engine clones share the same
+/// counters (the bridge layer snapshots them into the pipeline metrics).
+///
+/// [`execute`]: QueryExecutionEngine::execute
+#[derive(Debug, Default)]
+struct EngineCounters {
+    queries: AtomicU64,
+    tasks: AtomicU64,
+    answers: AtomicU64,
+    deadline_misses: AtomicU64,
+    /// Summed simulated end-to-end latency of all tasks, microseconds.
+    latency_us: AtomicU64,
+}
+
+/// Plain-data snapshot of the engine's cumulative execution counters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EngineStats {
+    /// Crowd queries executed.
+    pub queries: u64,
+    /// Map tasks dispatched (one per selected worker).
+    pub tasks: u64,
+    /// Tasks that produced an answer.
+    pub answers: u64,
+    /// Tasks dropped because the worker's latency exceeded the deadline.
+    pub deadline_misses: u64,
+    /// Mean simulated end-to-end task latency, milliseconds.
+    pub mean_latency_ms: f64,
+}
+
 /// The engine: worker registry + latency model + policy application.
 #[derive(Debug, Clone)]
 pub struct QueryExecutionEngine {
     workers: HashMap<WorkerId, Worker>,
     latency: LatencyModel,
+    counters: Arc<EngineCounters>,
 }
 
 impl Default for QueryExecutionEngine {
@@ -92,12 +126,33 @@ impl Default for QueryExecutionEngine {
 impl QueryExecutionEngine {
     /// An engine with the default (paper-parameterised) latency model.
     pub fn new() -> QueryExecutionEngine {
-        QueryExecutionEngine { workers: HashMap::new(), latency: LatencyModel::default() }
+        QueryExecutionEngine::with_latency(LatencyModel::default())
     }
 
     /// An engine with a custom latency model.
     pub fn with_latency(latency: LatencyModel) -> QueryExecutionEngine {
-        QueryExecutionEngine { workers: HashMap::new(), latency }
+        QueryExecutionEngine {
+            workers: HashMap::new(),
+            latency,
+            counters: Arc::new(EngineCounters::default()),
+        }
+    }
+
+    /// Snapshot of the cumulative execution counters.
+    pub fn stats(&self) -> EngineStats {
+        let tasks = self.counters.tasks.load(Relaxed);
+        let latency_us = self.counters.latency_us.load(Relaxed);
+        EngineStats {
+            queries: self.counters.queries.load(Relaxed),
+            tasks,
+            answers: self.counters.answers.load(Relaxed),
+            deadline_misses: self.counters.deadline_misses.load(Relaxed),
+            mean_latency_ms: if tasks == 0 {
+                0.0
+            } else {
+                latency_us as f64 / 1000.0 / tasks as f64
+            },
+        }
     }
 
     /// Registers (or re-registers) a worker — the mobile app's "connect to
@@ -193,14 +248,20 @@ impl QueryExecutionEngine {
         mut answer_of: impl FnMut(WorkerId) -> Option<usize>,
         rng: &mut R,
     ) -> Result<QueryExecution, CrowdError> {
+        self.counters.queries.fetch_add(1, Relaxed);
         let mut tasks = Vec::with_capacity(selected.len());
         let mut answers = Vec::new();
         for &id in selected {
             let worker = self.workers.get(&id).ok_or(CrowdError::UnknownWorker { id: id.0 })?;
             let latency = self.latency.sample(worker.connection, rng);
+            self.counters.tasks.fetch_add(1, Relaxed);
+            self.counters.latency_us.fetch_add((latency.total_ms() * 1000.0) as u64, Relaxed);
             let mut answer = answer_of(id);
             if let Some(deadline) = query.deadline_ms {
                 if latency.total_ms() + worker.avg_comp_ms > deadline {
+                    if answer.is_some() {
+                        self.counters.deadline_misses.fetch_add(1, Relaxed);
+                    }
                     answer = None;
                 }
             }
@@ -211,6 +272,7 @@ impl QueryExecutionEngine {
                         n_labels: query.answers.len(),
                     });
                 }
+                self.counters.answers.fetch_add(1, Relaxed);
                 answers.push((id, label));
             }
             tasks.push(TaskExecution { worker: id, latency, answer });
@@ -279,9 +341,8 @@ mod tests {
         let e = engine_with_fleet();
         let mut rng = StdRng::seed_from_u64(3);
         let selected: Vec<WorkerId> = e.online().iter().map(|w| w.id).collect();
-        let exec = e
-            .execute(&query(), &selected, |id| Some((id.0 % 2) as usize), &mut rng)
-            .unwrap();
+        let exec =
+            e.execute(&query(), &selected, |id| Some((id.0 % 2) as usize), &mut rng).unwrap();
         assert_eq!(exec.tasks.len(), 3);
         assert_eq!(exec.answers.len(), 3);
         // ids 0,2 answer label 0; id 1 answers label 1.
@@ -333,6 +394,24 @@ mod tests {
         assert!(e.record_computation(WorkerId(99), 10.0).is_err());
         assert!(e.record_computation(WorkerId(1), f64::NAN).is_err());
         assert!(e.record_computation(WorkerId(1), -5.0).is_err());
+    }
+
+    #[test]
+    fn stats_accumulate_across_executions() {
+        let e = engine_with_fleet();
+        let mut rng = StdRng::seed_from_u64(3);
+        let selected: Vec<WorkerId> = e.online().iter().map(|w| w.id).collect();
+        assert_eq!(e.stats(), EngineStats::default());
+        e.execute(&query(), &selected, |_| Some(0), &mut rng).unwrap();
+        let mut q = query();
+        q.deadline_ms = Some(800.0); // the 2G worker cannot make this
+        e.execute(&q, &selected, |_| Some(0), &mut rng).unwrap();
+        let stats = e.stats();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.tasks, 6);
+        assert_eq!(stats.deadline_misses, 1);
+        assert_eq!(stats.answers, 5);
+        assert!(stats.mean_latency_ms > 0.0);
     }
 
     #[test]

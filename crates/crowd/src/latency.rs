@@ -28,7 +28,8 @@ pub enum ConnectionType {
 
 impl ConnectionType {
     /// All connection types, in the paper's presentation order.
-    pub const ALL: [ConnectionType; 3] = [ConnectionType::TwoG, ConnectionType::ThreeG, ConnectionType::WiFi];
+    pub const ALL: [ConnectionType; 3] =
+        [ConnectionType::TwoG, ConnectionType::ThreeG, ConnectionType::WiFi];
 
     /// Display name matching the paper's figure labels.
     pub fn name(&self) -> &'static str {
@@ -156,8 +157,12 @@ mod tests {
     #[test]
     fn two_g_is_slowest_shape() {
         let model = LatencyModel::default();
-        assert!(model.push_mean(ConnectionType::TwoG) > 2.0 * model.push_mean(ConnectionType::ThreeG));
-        assert!(model.comm_mean(ConnectionType::TwoG) > 2.0 * model.comm_mean(ConnectionType::WiFi));
+        assert!(
+            model.push_mean(ConnectionType::TwoG) > 2.0 * model.push_mean(ConnectionType::ThreeG)
+        );
+        assert!(
+            model.comm_mean(ConnectionType::TwoG) > 2.0 * model.comm_mean(ConnectionType::WiFi)
+        );
     }
 
     #[test]

@@ -32,10 +32,13 @@ pub fn reduce_by_key<K: Ord + Clone, V, O>(
     for i in intermediates {
         groups.entry(i.key).or_default().push(i.value);
     }
-    groups.into_iter().map(|(k, vs)| {
-        let out = reduce(&k, vs);
-        (k, out)
-    }).collect()
+    groups
+        .into_iter()
+        .map(|(k, vs)| {
+            let out = reduce(&k, vs);
+            (k, out)
+        })
+        .collect()
 }
 
 /// The vote-counting reduce used for crowd queries: counts answers per

@@ -268,13 +268,8 @@ mod tests {
     #[test]
     fn query_for_event_lists_all_answers() {
         let ls = LabelSet::traffic_default();
-        let ev = DisagreementEvent {
-            id: 1,
-            lon: -6.26,
-            lat: 53.35,
-            time: 0,
-            prior: ls.uniform_prior(),
-        };
+        let ev =
+            DisagreementEvent { id: 1, lon: -6.26, lat: 53.35, time: 0, prior: ls.uniform_prior() };
         let q = CrowdQuery::for_event(&ev, &ls);
         assert_eq!(q.answers.len(), 4);
         assert!(q.question.contains("-6.26"));

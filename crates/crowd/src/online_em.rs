@@ -201,7 +201,9 @@ mod tests {
         assert!(em.process(&[0.5, 0.5], &[]).is_err(), "prior of wrong length");
         assert!(em.process(&uniform4(), &[(5, 0)]).is_err(), "unknown participant");
         assert!(em.process(&uniform4(), &[(0, 9)]).is_err(), "label out of range");
-        assert!(OnlineEm::new(1, LabelSet::traffic_default(), 1.5, GammaSchedule::default()).is_err());
+        assert!(
+            OnlineEm::new(1, LabelSet::traffic_default(), 1.5, GammaSchedule::default()).is_err()
+        );
     }
 
     #[test]
@@ -280,8 +282,7 @@ mod tests {
     #[test]
     fn estimates_stay_in_open_unit_interval() {
         let labels = LabelSet::traffic_default();
-        let mut em =
-            OnlineEm::new(1, labels, 0.25, GammaSchedule::Constant(1.0)).unwrap();
+        let mut em = OnlineEm::new(1, labels, 0.25, GammaSchedule::Constant(1.0)).unwrap();
         // Constant γ=1 copies the wrongness estimate directly; after a
         // perfectly confident event it must still stay clamped inside (0,1).
         for _ in 0..50 {

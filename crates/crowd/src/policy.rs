@@ -74,8 +74,9 @@ impl SelectionPolicy {
                 let mut v: Vec<&&Worker> = workers
                     .iter()
                     .filter(|w| {
-                        let expected =
-                            latency.push_mean(w.connection) + latency.comm_mean(w.connection) + w.avg_comp_ms;
+                        let expected = latency.push_mean(w.connection)
+                            + latency.comm_mean(w.connection)
+                            + w.avg_comp_ms;
                         expected < *deadline_ms
                     })
                     .collect();
@@ -176,7 +177,8 @@ mod tests {
 
     #[test]
     fn empty_worker_set_yields_empty_selection() {
-        let ids = SelectionPolicy::NearestK(3).select(&[], 0.0, 0.0, None, &LatencyModel::default());
+        let ids =
+            SelectionPolicy::NearestK(3).select(&[], 0.0, 0.0, None, &LatencyModel::default());
         assert!(ids.is_empty());
     }
 }

@@ -59,11 +59,7 @@ impl RewardPolicy {
 
     /// Total payouts for a cohort given the online-EM estimates and query
     /// counts (element-wise).
-    pub fn settle(
-        &self,
-        estimates: &[f64],
-        queries: &[usize],
-    ) -> Result<Vec<f64>, CrowdError> {
+    pub fn settle(&self, estimates: &[f64], queries: &[usize]) -> Result<Vec<f64>, CrowdError> {
         estimates
             .iter()
             .zip(queries)

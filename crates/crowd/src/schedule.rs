@@ -13,8 +13,7 @@
 
 /// A step-size schedule; `t` counts how often the participant has been
 /// queried so far, starting at 1.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum GammaSchedule {
     /// `γ_t = 1/(t+1)` — running mean; the default.
     #[default]
@@ -39,7 +38,6 @@ impl GammaSchedule {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

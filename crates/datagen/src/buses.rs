@@ -248,46 +248,46 @@ impl BusFleet {
             let line = &self.lines[bus.line as usize];
             let len = line.length_m().max(1.0);
             for (seg_start, seg_end) in bus.active_segments(duration) {
-            let mut pos = bus.start_offset_m.min(len);
-            let mut dir = bus.initial_direction as f64;
-            let mut delay_s = 0.0f64;
-            let mut t = seg_start + rng.random_range(0..bus.period_s.max(1));
-            let mut prev_t = t;
-            while t < seg_end.min(duration) {
-                let dt = (t - prev_t) as f64;
-                // Advance along the route at congestion-scaled speed.
-                let (_, here) = line.position_at(network, pos);
-                let speed = NOMINAL_SPEED_MS * field.speed_factor(here, t).max(0.1);
-                pos += dir * speed * dt;
-                // Bounce at the terminals (direction flip).
-                if pos >= len {
-                    pos = len - (pos - len).min(len);
-                    dir = -1.0;
-                } else if pos <= 0.0 {
-                    pos = (-pos).min(len);
-                    dir = 1.0;
-                }
-                delay_s += dt * (1.0 - speed / NOMINAL_SPEED_MS);
+                let mut pos = bus.start_offset_m.min(len);
+                let mut dir = bus.initial_direction as f64;
+                let mut delay_s = 0.0f64;
+                let mut t = seg_start + rng.random_range(0..bus.period_s.max(1));
+                let mut prev_t = t;
+                while t < seg_end.min(duration) {
+                    let dt = (t - prev_t) as f64;
+                    // Advance along the route at congestion-scaled speed.
+                    let (_, here) = line.position_at(network, pos);
+                    let speed = NOMINAL_SPEED_MS * field.speed_factor(here, t).max(0.1);
+                    pos += dir * speed * dt;
+                    // Bounce at the terminals (direction flip).
+                    if pos >= len {
+                        pos = len - (pos - len).min(len);
+                        dir = -1.0;
+                    } else if pos <= 0.0 {
+                        pos = (-pos).min(len);
+                        dir = 1.0;
+                    }
+                    delay_s += dt * (1.0 - speed / NOMINAL_SPEED_MS);
 
-                let ((lon, lat), junction) = line.position_at(network, pos);
-                let truth = field.is_congested(junction, t);
-                let congestion = if bus.faulty { !truth } else { truth };
-                out.push((
-                    t,
-                    BusRecord {
-                        bus: bus.id,
-                        line: bus.line,
-                        operator: bus.operator,
-                        delay_s: delay_s.round() as i64,
-                        lon,
-                        lat,
-                        direction: if dir > 0.0 { 0 } else { 1 },
-                        congestion,
-                    },
-                ));
-                prev_t = t;
-                t += bus.period_s;
-            }
+                    let ((lon, lat), junction) = line.position_at(network, pos);
+                    let truth = field.is_congested(junction, t);
+                    let congestion = if bus.faulty { !truth } else { truth };
+                    out.push((
+                        t,
+                        BusRecord {
+                            bus: bus.id,
+                            line: bus.line,
+                            operator: bus.operator,
+                            delay_s: delay_s.round() as i64,
+                            lon,
+                            lat,
+                            direction: if dir > 0.0 { 0 } else { 1 },
+                            congestion,
+                        },
+                    ));
+                    prev_t = t;
+                    t += bus.period_s;
+                }
             }
         }
         out.sort_by_key(|&(t, _)| t);
@@ -403,8 +403,7 @@ mod tests {
                 );
             }
             for w in times.windows(2) {
-                let same_segment =
-                    segments.iter().any(|&(a, b)| w[0] >= a && w[1] < b);
+                let same_segment = segments.iter().any(|&(a, b)| w[0] >= a && w[1] < b);
                 if same_segment {
                     assert_eq!(w[1] - w[0], bus.period_s);
                 }
@@ -420,8 +419,7 @@ mod tests {
         c.faulty_fraction = 0.5;
         let fleet = BusFleet::generate(&n, &c, 6).unwrap();
         let records = fleet.emit_all(&n, &field, 7200, 6);
-        let faulty_ids: Vec<u32> =
-            fleet.buses.iter().filter(|b| b.faulty).map(|b| b.id).collect();
+        let faulty_ids: Vec<u32> = fleet.buses.iter().filter(|b| b.faulty).map(|b| b.id).collect();
         assert!(!faulty_ids.is_empty());
         // For a faulty bus, the reported flag must differ from the ground
         // truth at its reported location; for an honest one it must match.

@@ -56,7 +56,14 @@ const CHATTER_PHRASES: [&str; 4] = [
 /// The keyword classifier: `Some(true)` = congestion, `Some(false)` =
 /// free flow, `None` = irrelevant.
 pub fn classify(text: &str) -> Option<bool> {
-    const CONGESTED: [&str; 6] = ["traffic jam", "gridlock", "stuck in traffic", "congestion", "tailback", "bumper to bumper"];
+    const CONGESTED: [&str; 6] = [
+        "traffic jam",
+        "gridlock",
+        "stuck in traffic",
+        "congestion",
+        "tailback",
+        "bumper to bumper",
+    ];
     const CLEAR: [&str; 4] = ["clear", "flowing", "no traffic", "no jams"];
     let lower = text.to_lowercase();
     if CONGESTED.iter().any(|k| lower.contains(k)) {
@@ -109,16 +116,12 @@ pub fn generate(
         let n_reports = rng.random_range(0.0..2.0 * expected).round() as usize;
         for _ in 0..n_reports {
             let t = start + rng.random_range(0..duration);
-            let junction = if rng.random::<f64>() < 0.7 {
-                home
-            } else {
-                rng.random_range(0..network.len())
-            };
+            let junction =
+                if rng.random::<f64>() < 0.7 { home } else { rng.random_range(0..network.len()) };
             let (lon, lat) = network.coords(junction);
             let text = if rng.random::<f64>() < config.topicality {
                 let truth = field.is_congested(junction, t);
-                let claim =
-                    if rng.random::<f64>() < config.accuracy { truth } else { !truth };
+                let claim = if rng.random::<f64>() < config.accuracy { truth } else { !truth };
                 if claim {
                     CONGESTION_PHRASES[rng.random_range(0..CONGESTION_PHRASES.len())]
                 } else {
@@ -203,12 +206,8 @@ mod tests {
     #[test]
     fn accurate_users_track_ground_truth() {
         let (net, field) = setup();
-        let cfg = CitizenConfig {
-            n_users: 200,
-            reports_per_hour: 6.0,
-            topicality: 1.0,
-            accuracy: 1.0,
-        };
+        let cfg =
+            CitizenConfig { n_users: 200, reports_per_hour: 6.0, topicality: 1.0, accuracy: 1.0 };
         // Evening rush: plenty of both congested and clear junctions.
         let reports = generate(&net, &field, &cfg, (17 * 3600) as i64, 3600, 5);
         let mut checked = 0;

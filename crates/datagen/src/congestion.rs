@@ -117,7 +117,11 @@ pub struct CongestionField {
 
 impl CongestionField {
     /// Generates the field over a network, deterministically under `seed`.
-    pub fn generate(network: &StreetNetwork, config: CongestionConfig, seed: u64) -> CongestionField {
+    pub fn generate(
+        network: &StreetNetwork,
+        config: CongestionConfig,
+        seed: u64,
+    ) -> CongestionField {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xc0f3_f00d);
         let spatial: Vec<f64> = network
             .junctions()
@@ -132,8 +136,7 @@ impl CongestionField {
         let mut affected = Vec::with_capacity(config.n_incidents);
         for _ in 0..config.n_incidents {
             let junction = rng.random_range(0..network.len());
-            let start =
-                config.incident_offset + rng.random_range(0..config.duration.max(1));
+            let start = config.incident_offset + rng.random_range(0..config.duration.max(1));
             let duration =
                 rng.random_range(config.incident_duration.0..=config.incident_duration.1);
             let severity = rng.random_range(config.severity.0..=config.severity.1);
@@ -175,8 +178,8 @@ impl CongestionField {
 
     /// Ground-truth congestion level of junction `v` at time `t`, in `[0, 1]`.
     pub fn level(&self, v: usize, t: i64) -> f64 {
-        let mut level = self.config.base
-            + self.config.rush_amplitude * self.rush_factor(t) * self.spatial[v];
+        let mut level =
+            self.config.base + self.config.rush_amplitude * self.rush_factor(t) * self.spatial[v];
         for (incident, nearby) in self.incidents.iter().zip(&self.affected) {
             if t >= incident.start && t < incident.start + incident.duration {
                 if let Some(&(_, w)) = nearby.iter().find(|&&(u, _)| u == v) {
@@ -263,9 +266,10 @@ mod tests {
         // so periodicity holds wherever no incident is active.
         let quiet = (0..net.len())
             .find(|&v| {
-                f.incidents().iter().zip(&f.affected).all(|(_, nearby)| {
-                    nearby.iter().all(|&(u, _)| u != v)
-                })
+                f.incidents()
+                    .iter()
+                    .zip(&f.affected)
+                    .all(|(_, nearby)| nearby.iter().all(|&(u, _)| u != v))
             })
             .expect("some junction unaffected by incidents");
         assert!((f.level(quiet, 30_000) - f.level(quiet, 30_000 + DAY)).abs() < 1e-12);

@@ -76,7 +76,8 @@ pub fn mediate(
         if config.drop_probability > 0.0 && rng.random::<f64>() < config.drop_probability {
             continue;
         }
-        let delay = if config.max_delay_s > 0 { rng.random_range(0..=config.max_delay_s) } else { 0 };
+        let delay =
+            if config.max_delay_s > 0 { rng.random_range(0..=config.max_delay_s) } else { 0 };
         sde.arrival = sde.time + delay;
         out.push(sde);
     }
@@ -149,9 +150,24 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert!(mediate(records(1), &MediatorConfig { max_delay_s: -1, drop_probability: 0.0, thinning: 1 }, 1).is_err());
-        assert!(mediate(records(1), &MediatorConfig { max_delay_s: 0, drop_probability: 1.5, thinning: 1 }, 1).is_err());
-        assert!(mediate(records(1), &MediatorConfig { max_delay_s: 0, drop_probability: 0.0, thinning: 0 }, 1).is_err());
+        assert!(mediate(
+            records(1),
+            &MediatorConfig { max_delay_s: -1, drop_probability: 0.0, thinning: 1 },
+            1
+        )
+        .is_err());
+        assert!(mediate(
+            records(1),
+            &MediatorConfig { max_delay_s: 0, drop_probability: 1.5, thinning: 1 },
+            1
+        )
+        .is_err());
+        assert!(mediate(
+            records(1),
+            &MediatorConfig { max_delay_s: 0, drop_probability: 0.0, thinning: 0 },
+            1
+        )
+        .is_err());
     }
 
     #[test]

@@ -47,7 +47,12 @@ impl Region {
 
     /// Region assignment with an explicit centre and central radius
     /// (degrees, approximate).
-    pub fn of_with_centre(lon: f64, lat: f64, centre: (f64, f64), central_radius_deg: f64) -> Region {
+    pub fn of_with_centre(
+        lon: f64,
+        lat: f64,
+        centre: (f64, f64),
+        central_radius_deg: f64,
+    ) -> Region {
         let dx = (lon - centre.0) * centre.1.to_radians().cos();
         let dy = lat - centre.1;
         if (dx * dx + dy * dy).sqrt() <= central_radius_deg {

@@ -203,7 +203,9 @@ impl ScatsDeployment {
             .map(|s| {
                 let noise = |v: f64, rng: &mut StdRng| {
                     if self.measurement_noise > 0.0 {
-                        v * rng.random_range(1.0 - self.measurement_noise..1.0 + self.measurement_noise)
+                        v * rng.random_range(
+                            1.0 - self.measurement_noise..1.0 + self.measurement_noise,
+                        )
                     } else {
                         v
                     }
@@ -280,7 +282,10 @@ mod tests {
         let readings = d.readings_at(&n, &field, t, &mut rng);
         assert_eq!(readings.len(), 40);
         for (r, s) in readings.iter().zip(d.sensors()) {
-            assert!((r.density - field.density(s.junction, t)).abs() < 1e-9, "noise-free readings equal field");
+            assert!(
+                (r.density - field.density(s.junction, t)).abs() < 1e-9,
+                "noise-free readings equal field"
+            );
             assert!((r.flow - field.flow(s.junction, t)).abs() < 1e-9);
         }
     }

@@ -125,8 +125,12 @@ impl Scenario {
         cc.incident_offset = config.start_of_day;
         cc.duration = config.duration;
         let field = CongestionField::generate(&network, cc, config.seed);
-        let scats =
-            ScatsDeployment::place(&network, config.n_scats_sensors, config.scats_noise, config.seed)?;
+        let scats = ScatsDeployment::place(
+            &network,
+            config.n_scats_sensors,
+            config.scats_noise,
+            config.seed,
+        )?;
         let mut fleet_cfg = config.fleet.clone();
         fleet_cfg.duration = config.duration;
         let fleet = BusFleet::generate(&network, &fleet_cfg, config.seed)?;
@@ -144,12 +148,8 @@ impl Scenario {
             let mut r = r;
             if let Some(j) = network.nearest_junction(r.lon, r.lat) {
                 let truth = field.is_congested(j, t + t0);
-                let faulty = fleet
-                    .buses
-                    .iter()
-                    .find(|b| b.id == r.bus)
-                    .map(|b| b.faulty)
-                    .unwrap_or(false);
+                let faulty =
+                    fleet.buses.iter().find(|b| b.id == r.bus).map(|b| b.faulty).unwrap_or(false);
                 r.congestion = if faulty { !truth } else { truth };
             }
             records.push(Sde::punctual(t + t0, SdeBody::Bus(r)));

@@ -21,12 +21,7 @@ pub struct Graph {
 impl Graph {
     /// A graph with `n` isolated vertices at the origin.
     pub fn with_vertices(n: usize) -> Graph {
-        Graph {
-            n,
-            adjacency: vec![Vec::new(); n],
-            coords: vec![(0.0, 0.0); n],
-            edges: Vec::new(),
-        }
+        Graph { n, adjacency: vec![Vec::new(); n], coords: vec![(0.0, 0.0); n], edges: Vec::new() }
     }
 
     /// Builds a graph from explicit coordinates and undirected edges.
@@ -189,7 +184,8 @@ impl Graph {
                 coords.push((x as f64, y as f64));
             }
         }
-        let mut g = Graph { n: w * h, adjacency: vec![Vec::new(); w * h], coords, edges: Vec::new() };
+        let mut g =
+            Graph { n: w * h, adjacency: vec![Vec::new(); w * h], coords, edges: Vec::new() };
         for y in 0..h {
             for x in 0..w {
                 let v = y * w + x;

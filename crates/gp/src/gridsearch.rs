@@ -178,11 +178,8 @@ mod tests {
     fn skips_non_positive_candidates() {
         let g = Graph::grid(4, 4);
         let obs = smooth_observations(&g);
-        let gs = GridSearch {
-            alphas: vec![0.0, 2.0],
-            betas: vec![-1.0, 1.0],
-            ..GridSearch::default()
-        };
+        let gs =
+            GridSearch { alphas: vec![0.0, 2.0], betas: vec![-1.0, 1.0], ..GridSearch::default() };
         let result = gs.run(&g, &obs).unwrap();
         assert_eq!(result.evaluated.len(), 1);
         assert_eq!(result.best.alpha, 2.0);
@@ -226,7 +223,8 @@ mod tests {
         let obs = smooth_observations(&g);
         assert!(GridSearch { holdout_every: 1, ..GridSearch::default() }.run(&g, &obs).is_err());
         assert!(GridSearch::default().run(&g, &obs[..1]).is_err());
-        let empty_grid = GridSearch { alphas: vec![0.0], betas: vec![1.0], ..GridSearch::default() };
+        let empty_grid =
+            GridSearch { alphas: vec![0.0], betas: vec![1.0], ..GridSearch::default() };
         assert!(empty_grid.run(&g, &obs).is_err());
     }
 }

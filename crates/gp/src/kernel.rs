@@ -109,7 +109,10 @@ impl RbfKernel {
     /// Validates and builds the kernel.
     pub fn new(length_scale: f64, signal_variance: f64) -> Result<RbfKernel, GpError> {
         if !(length_scale > 0.0) || !length_scale.is_finite() {
-            return Err(GpError::InvalidHyperparameter { name: "length_scale", value: length_scale });
+            return Err(GpError::InvalidHyperparameter {
+                name: "length_scale",
+                value: length_scale,
+            });
         }
         if !(signal_variance > 0.0) || !signal_variance.is_finite() {
             return Err(GpError::InvalidHyperparameter {

@@ -93,10 +93,7 @@ impl Matrix {
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, GpError> {
         if self.cols != rhs.rows {
             return Err(GpError::DimensionMismatch {
-                detail: format!(
-                    "matmul: {}×{} · {}×{}",
-                    self.rows, self.cols, rhs.rows, rhs.cols
-                ),
+                detail: format!("matmul: {}×{} · {}×{}", self.rows, self.cols, rhs.rows, rhs.cols),
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
@@ -124,9 +121,7 @@ impl Matrix {
                 detail: format!("matvec: {}×{} · len {}", self.rows, self.cols, v.len()),
             });
         }
-        Ok((0..self.rows)
-            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect())
+        Ok((0..self.rows).map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum()).collect())
     }
 
     /// Elementwise sum. (Named like a matrix API, not `std::ops::Add`,
@@ -182,11 +177,7 @@ impl Matrix {
 
     /// Maximum absolute elementwise difference to another matrix.
     pub fn max_abs_diff(&self, rhs: &Matrix) -> f64 {
-        self.data
-            .iter()
-            .zip(&rhs.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&rhs.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 
     /// Whether the matrix is (numerically) symmetric.
@@ -266,9 +257,7 @@ impl Matrix {
 
     /// Maximum absolute row sum (the induced ∞-norm).
     pub fn norm_inf(&self) -> f64 {
-        (0..self.rows)
-            .map(|i| self.row(i).iter().map(|v| v.abs()).sum::<f64>())
-            .fold(0.0, f64::max)
+        (0..self.rows).map(|i| self.row(i).iter().map(|v| v.abs()).sum::<f64>()).fold(0.0, f64::max)
     }
 
     /// Matrix exponential `exp(self)` by scaling-and-squaring with a
@@ -338,11 +327,7 @@ mod tests {
 
     fn spd3() -> Matrix {
         // A known SPD matrix.
-        Matrix::from_rows(&[
-            vec![4.0, 2.0, 0.6],
-            vec![2.0, 5.0, 1.0],
-            vec![0.6, 1.0, 3.0],
-        ])
+        Matrix::from_rows(&[vec![4.0, 2.0, 0.6], vec![2.0, 5.0, 1.0], vec![0.6, 1.0, 3.0]])
     }
 
     #[test]

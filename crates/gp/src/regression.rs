@@ -72,7 +72,10 @@ impl GpRegression {
             return Err(GpError::DegenerateObservations { detail: "no observations".into() });
         }
         if !(noise_variance >= 0.0) {
-            return Err(GpError::InvalidHyperparameter { name: "noise_variance", value: noise_variance });
+            return Err(GpError::InvalidHyperparameter {
+                name: "noise_variance",
+                value: noise_variance,
+            });
         }
         let n = graph.len();
         for &(v, _) in observations {
@@ -133,11 +136,8 @@ impl GpRegression {
         }
         // K_{u,ū}
         let k_uo = self.kernel_matrix.submatrix(targets, &self.observed)?;
-        let mean: Vec<f64> = k_uo
-            .matvec(&self.alpha)?
-            .into_iter()
-            .map(|m| m + self.mean_offset)
-            .collect();
+        let mean: Vec<f64> =
+            k_uo.matvec(&self.alpha)?.into_iter().map(|m| m + self.mean_offset).collect();
 
         // Marginal variances: diag(K_uu) − row_i(K_uo) · G⁻¹ · row_i(K_uo)ᵀ.
         let k_ou = k_uo.transpose();
@@ -156,8 +156,7 @@ impl GpRegression {
     /// Predicts at every vertex not in the observation set (the paper's
     /// "unobserved traffic flows").
     pub fn predict_unobserved(&self) -> Result<Posterior, GpError> {
-        let targets: Vec<usize> =
-            (0..self.n).filter(|v| !self.observed.contains(v)).collect();
+        let targets: Vec<usize> = (0..self.n).filter(|v| !self.observed.contains(v)).collect();
         self.predict(&targets)
     }
 
@@ -293,7 +292,8 @@ mod tests {
         let gp = GpRegression::fit(&g, &kern, &[(0, y)], sigma2, false).unwrap();
         let lml = gp.log_marginal_likelihood().unwrap();
         let var: f64 = 2.0 + sigma2 + 1e-10;
-        let expected = -0.5 * y * y / var - 0.5 * var.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln();
+        let expected =
+            -0.5 * y * y / var - 0.5 * var.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln();
         assert!((lml - expected).abs() < 1e-9, "{lml} vs {expected}");
     }
 
@@ -302,14 +302,11 @@ mod tests {
         // Smooth graph signal: a matched length-scale should score higher
         // evidence than an absurd one.
         let g = Graph::grid(10, 1);
-        let obs: Vec<(usize, f64)> =
-            (0..10).map(|v| (v, (v as f64 / 3.0).sin() * 5.0)).collect();
+        let obs: Vec<(usize, f64)> = (0..10).map(|v| (v, (v as f64 / 3.0).sin() * 5.0)).collect();
         let good = GpRegression::fit(&g, &kernel(), &obs, 0.1, true).unwrap();
         let bad_kernel = RegularizedLaplacian::new(0.01, 100.0).unwrap();
         let bad = GpRegression::fit(&g, &bad_kernel, &obs, 0.1, true).unwrap();
-        assert!(
-            good.log_marginal_likelihood().unwrap() > bad.log_marginal_likelihood().unwrap()
-        );
+        assert!(good.log_marginal_likelihood().unwrap() > bad.log_marginal_likelihood().unwrap());
     }
 
     #[test]
@@ -320,17 +317,16 @@ mod tests {
         let n = 21;
         let g = Graph::grid(n, 1);
         let truth: Vec<f64> = (0..n).map(|i| (i as f64 / 4.0).sin() * 10.0).collect();
-        let obs: Vec<(usize, f64)> =
-            (0..n).step_by(2).map(|i| (i, truth[i])).collect();
+        let obs: Vec<(usize, f64)> = (0..n).step_by(2).map(|i| (i, truth[i])).collect();
         let gp = GpRegression::fit(&g, &kernel(), &obs, 0.01, true).unwrap();
         let p = gp.predict_unobserved().unwrap();
-        let truth_pairs: Vec<(usize, f64)> =
-            p.targets.iter().map(|&v| (v, truth[v])).collect();
+        let truth_pairs: Vec<(usize, f64)> = p.targets.iter().map(|&v| (v, truth[v])).collect();
         let gp_err = rmse(&p, &truth_pairs).unwrap();
         let mean_val = obs.iter().map(|&(_, v)| v).sum::<f64>() / obs.len() as f64;
-        let mean_err = (truth_pairs.iter().map(|&(_, t)| (t - mean_val) * (t - mean_val)).sum::<f64>()
-            / truth_pairs.len() as f64)
-            .sqrt();
+        let mean_err =
+            (truth_pairs.iter().map(|&(_, t)| (t - mean_val) * (t - mean_val)).sum::<f64>()
+                / truth_pairs.len() as f64)
+                .sqrt();
         assert!(gp_err < mean_err * 0.6, "GP rmse {gp_err} should beat mean rmse {mean_err}");
     }
 }

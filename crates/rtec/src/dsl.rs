@@ -55,7 +55,11 @@ pub fn event_head<I: IntoIterator<Item = ArgPat>>(kind: &str, args: I) -> EventT
 }
 
 /// A fluent head template `name(args…) = value`.
-pub fn fluent<I: IntoIterator<Item = ArgPat>>(name: &str, args: I, value: ArgPat) -> FluentTemplate {
+pub fn fluent<I: IntoIterator<Item = ArgPat>>(
+    name: &str,
+    args: I,
+    value: ArgPat,
+) -> FluentTemplate {
     FluentTemplate { name: Symbol::new(name), args: args.into_iter().collect(), value }
 }
 
@@ -340,25 +344,21 @@ impl RuleSetBuilder {
         let mut derived_fluents: HashMap<Symbol, usize> = HashMap::new();
         let mut derived_events: HashMap<Symbol, usize> = HashMap::new();
 
-        let record = |map: &mut HashMap<Symbol, usize>, sym: Symbol, arity: usize| {
-            match map.get(&sym) {
-                Some(&a) if a != arity => Err(RtecError::ArityMismatch {
-                    symbol: sym.as_str(),
-                    declared: a,
-                    used: arity,
-                }),
+        let record =
+            |map: &mut HashMap<Symbol, usize>, sym: Symbol, arity: usize| match map.get(&sym) {
+                Some(&a) if a != arity => {
+                    Err(RtecError::ArityMismatch { symbol: sym.as_str(), declared: a, used: arity })
+                }
                 _ => {
                     map.insert(sym, arity);
                     Ok(())
                 }
-            }
-        };
+            };
 
         for r in &self.sf_rules {
             record(&mut derived_fluents, r.head.name, r.head.args.len())?;
         }
-        let mut simple_heads: HashSet<Symbol> =
-            self.sf_rules.iter().map(|r| r.head.name).collect();
+        let mut simple_heads: HashSet<Symbol> = self.sf_rules.iter().map(|r| r.head.name).collect();
         for r in &self.static_rules {
             if simple_heads.contains(&r.head.name) {
                 return Err(RtecError::SymbolClash {
@@ -381,9 +381,7 @@ impl RuleSetBuilder {
                     detail: "derived fluent shadows an input fluent".into(),
                 });
             }
-            if derived_events.contains_key(&s)
-                || self.input_events.contains_key(&s)
-            {
+            if derived_events.contains_key(&s) || self.input_events.contains_key(&s) {
                 return Err(RtecError::SymbolClash {
                     symbol: s.as_str(),
                     detail: "symbol used both as fluent and as event".into(),
@@ -425,9 +423,11 @@ impl RuleSetBuilder {
             for atom in body.iter() {
                 match atom {
                     BodyAtom::Happens { pat, .. } => {
-                        let arity = ev_arity(&self, pat.kind).ok_or_else(|| {
-                            RtecError::Undeclared { symbol: pat.kind.as_str(), context: format!("happensAt in {label}") }
-                        })?;
+                        let arity =
+                            ev_arity(&self, pat.kind).ok_or_else(|| RtecError::Undeclared {
+                                symbol: pat.kind.as_str(),
+                                context: format!("happensAt in {label}"),
+                            })?;
                         if arity != pat.args.len() {
                             return Err(RtecError::ArityMismatch {
                                 symbol: pat.kind.as_str(),
@@ -437,9 +437,11 @@ impl RuleSetBuilder {
                         }
                     }
                     BodyAtom::Holds { pat, .. } => {
-                        let arity = fl_arity(&self, pat.name).ok_or_else(|| {
-                            RtecError::Undeclared { symbol: pat.name.as_str(), context: format!("holdsAt in {label}") }
-                        })?;
+                        let arity =
+                            fl_arity(&self, pat.name).ok_or_else(|| RtecError::Undeclared {
+                                symbol: pat.name.as_str(),
+                                context: format!("holdsAt in {label}"),
+                            })?;
                         if arity != pat.args.len() {
                             return Err(RtecError::ArityMismatch {
                                 symbol: pat.name.as_str(),
@@ -449,9 +451,10 @@ impl RuleSetBuilder {
                         }
                     }
                     BodyAtom::Relation { name, args } => {
-                        let arity = self.relations.get(name).copied().ok_or_else(|| {
-                            RtecError::UnknownRelation { name: name.as_str() }
-                        })?;
+                        let arity =
+                            self.relations.get(name).copied().ok_or_else(|| {
+                                RtecError::UnknownRelation { name: name.as_str() }
+                            })?;
                         if arity != args.len() {
                             return Err(RtecError::ArityMismatch {
                                 symbol: name.as_str(),
@@ -461,9 +464,11 @@ impl RuleSetBuilder {
                         }
                     }
                     BodyAtom::Builtin { name, args } => {
-                        let arity = self.builtins.get(name).copied().ok_or_else(|| {
-                            RtecError::UnknownBuiltin { name: name.as_str() }
-                        })?;
+                        let arity = self
+                            .builtins
+                            .get(name)
+                            .copied()
+                            .ok_or_else(|| RtecError::UnknownBuiltin { name: name.as_str() })?;
                         if arity != args.len() {
                             return Err(RtecError::ArityMismatch {
                                 symbol: name.as_str(),
@@ -525,12 +530,8 @@ impl RuleSetBuilder {
             }
         }
 
-        let inputs: HashSet<Symbol> = self
-            .input_events
-            .keys()
-            .chain(self.input_fluents.keys())
-            .copied()
-            .collect();
+        let inputs: HashSet<Symbol> =
+            self.input_events.keys().chain(self.input_fluents.keys()).copied().collect();
         let strata = stratify(&self.sf_rules, &self.ev_rules, &self.static_rules, &inputs)?;
 
         Ok(RuleSet {
@@ -551,11 +552,7 @@ impl RuleSetBuilder {
 
     /// Walks a body left to right tracking which variables are bound,
     /// erroring on uses of unbound variables.
-    fn simulate_bounds(
-        &self,
-        label: &str,
-        body: &[BodyAtom],
-    ) -> Result<HashSet<VarId>, RtecError> {
+    fn simulate_bounds(&self, label: &str, body: &[BodyAtom]) -> Result<HashSet<VarId>, RtecError> {
         let mut bound: HashSet<VarId> = HashSet::new();
         let unbound_err = |v: VarId| RtecError::UnboundVariable {
             rule: label.to_string(),
@@ -720,10 +717,7 @@ mod tests {
         b.initiated(
             fluent("f", [], val(true)),
             t,
-            [
-                happens(event_pat("e", []), t),
-                guard(cmp(x, CmpOp::Gt, 3.0)),
-            ],
+            [happens(event_pat("e", []), t), guard(cmp(x, CmpOp::Gt, 3.0))],
         );
         assert!(matches!(b.build(), Err(RtecError::UnboundVariable { .. })));
     }
@@ -798,9 +792,7 @@ mod tests {
         let rs = b.build().expect("valid static rule");
         assert_eq!(rs.rule_counts(), (2, 0, 1));
         // `everOn` must be in a later stratum than `on`.
-        let pos = |n: &str| {
-            rs.strata().iter().position(|s| s.symbol == Symbol::new(n)).unwrap()
-        };
+        let pos = |n: &str| rs.strata().iter().position(|s| s.symbol == Symbol::new(n)).unwrap();
         assert!(pos("on") < pos("everOn"));
     }
 
@@ -813,10 +805,7 @@ mod tests {
         b.derived_event(
             event_head("boom", [pat(x)]),
             t3,
-            [
-                happens(event_pat("switch_on", [pat(x)]), t3),
-                relation("nowhere", [pat(x)]),
-            ],
+            [happens(event_pat("switch_on", [pat(x)]), t3), relation("nowhere", [pat(x)])],
         );
         assert!(matches!(b.build(), Err(RtecError::UnknownRelation { .. })));
 
@@ -827,10 +816,7 @@ mod tests {
         b.derived_event(
             event_head("boom", [pat(x)]),
             t3,
-            [
-                happens(event_pat("switch_on", [pat(x)]), t3),
-                builtin("nofn", [ValRef::Var(x)]),
-            ],
+            [happens(event_pat("switch_on", [pat(x)]), t3), builtin("nofn", [ValRef::Var(x)])],
         );
         assert!(matches!(b.build(), Err(RtecError::UnknownBuiltin { .. })));
     }

@@ -22,7 +22,9 @@ use crate::dsl::RuleSet;
 use crate::error::RtecError;
 use crate::event::{Event, FluentObs, Stamped};
 use crate::interval::IntervalList;
-use crate::pattern::{match_args, unbind_all, ArgPat, Bindings, EventPattern, FluentPattern, VarId};
+use crate::pattern::{
+    match_args, unbind_all, ArgPat, Bindings, EventPattern, FluentPattern, VarId,
+};
 use crate::rule::{
     BodyAtom, EventRule, GuardExpr, IntervalExpr, NumExpr, SfKind, SimpleFluentRule, StaticRule,
     ValRef,
@@ -59,7 +61,6 @@ impl KindStore {
             }
         }
     }
-
 }
 
 #[derive(Default)]
@@ -176,10 +177,7 @@ impl FluentStore {
     fn insert(&mut self, name: Symbol, entry: FluentEntry) {
         let entries = self.by_name.entry(name).or_default();
         if let Some(first) = entry.args.first() {
-            self.by_first
-                .entry((name, first.clone()))
-                .or_default()
-                .push(entries.len() as u32);
+            self.by_first.entry((name, first.clone())).or_default().push(entries.len() as u32);
         }
         entries.push(entry);
     }
@@ -211,6 +209,22 @@ pub struct RecognitionStats {
     pub intervals: usize,
 }
 
+/// Wall-clock timing of one recognition query, split by phase.
+///
+/// Measured with `std::time::Instant` only, so the crate stays
+/// dependency-free; callers (e.g. the pipeline layer) copy these into their
+/// own metrics registries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryTiming {
+    /// The whole `query` call.
+    pub total: std::time::Duration,
+    /// Selecting visible window contents, expiring old items and building
+    /// the event/observation stores.
+    pub windowing: std::time::Duration,
+    /// Stratified rule evaluation (events, simple fluents, static fluents).
+    pub evaluation: std::time::Duration,
+}
+
 /// The result of one recognition query.
 #[derive(Debug, Clone)]
 pub struct Recognition {
@@ -222,6 +236,8 @@ pub struct Recognition {
     pub window_start: Time,
     /// Number of input SDEs (events + fluent observations) in the window.
     pub sde_count: usize,
+    /// Wall-clock cost of producing this result.
+    pub timing: QueryTiming,
     fluents: FluentStore,
 }
 
@@ -448,6 +464,7 @@ impl Engine {
             }
         }
 
+        let query_started = std::time::Instant::now();
         let start = self.window.window_start(q);
 
         // Select the visible window contents.
@@ -472,6 +489,8 @@ impl Engine {
 
         let mut events = EventStore::build(visible_events);
         let obs = ObsStore::build(visible_obs);
+        let windowing = query_started.elapsed();
+        let evaluation_started = std::time::Instant::now();
         let mut fluents = FluentStore::default();
         let mut derived_events_all: Vec<Event> = Vec::new();
         let mut new_cache: HashMap<FluentKey, IntervalList> = HashMap::new();
@@ -515,7 +534,11 @@ impl Engine {
                         if !ivs.is_empty() {
                             fluents.insert(
                                 key.0,
-                                FluentEntry { args: key.1.clone(), value: key.2.clone(), ivs: ivs.clone() },
+                                FluentEntry {
+                                    args: key.1.clone(),
+                                    value: key.2.clone(),
+                                    ivs: ivs.clone(),
+                                },
                             );
                             new_cache.insert(key, ivs);
                         }
@@ -538,10 +561,7 @@ impl Engine {
                     let computed = eval_static_stratum(&rules, &ctx);
                     for (key, ivs) in computed {
                         if !ivs.is_empty() {
-                            fluents.insert(
-                                key.0,
-                                FluentEntry { args: key.1, value: key.2, ivs },
-                            );
+                            fluents.insert(key.0, FluentEntry { args: key.1, value: key.2, ivs });
                         }
                     }
                 }
@@ -552,11 +572,13 @@ impl Engine {
         self.last_query = Some(q);
 
         derived_events_all.sort_by_key(|a| (a.time, a.kind));
+        let evaluation = evaluation_started.elapsed();
         Ok(Recognition {
             derived_events: derived_events_all,
             query_time: q,
             window_start: start,
             sde_count,
+            timing: QueryTiming { total: query_started.elapsed(), windowing, evaluation },
             fluents,
         })
     }
@@ -636,7 +658,12 @@ fn with_event_match(
     }
 }
 
-fn solve(ctx: &EvalCtx<'_>, atoms: &[BodyAtom], b: &mut Bindings, out: &mut dyn FnMut(&mut Bindings)) {
+fn solve(
+    ctx: &EvalCtx<'_>,
+    atoms: &[BodyAtom],
+    b: &mut Bindings,
+    out: &mut dyn FnMut(&mut Bindings),
+) {
     let Some((atom, rest)) = atoms.split_first() else {
         out(b);
         return;
@@ -729,25 +756,23 @@ fn solve_holds_input(
     };
     let candidates = ks.range_at(t);
     if negated {
-        let exists = candidates.iter().any(|o| {
-            match match_args(&pat.args, &o.args, b) {
-                Some(bound_args) => {
-                    let ok = match match_args(
-                        std::slice::from_ref(&pat.value),
-                        std::slice::from_ref(&o.value),
-                        b,
-                    ) {
-                        Some(bound_val) => {
-                            unbind_all(&bound_val, b);
-                            true
-                        }
-                        None => false,
-                    };
-                    unbind_all(&bound_args, b);
-                    ok
-                }
-                None => false,
+        let exists = candidates.iter().any(|o| match match_args(&pat.args, &o.args, b) {
+            Some(bound_args) => {
+                let ok = match match_args(
+                    std::slice::from_ref(&pat.value),
+                    std::slice::from_ref(&o.value),
+                    b,
+                ) {
+                    Some(bound_val) => {
+                        unbind_all(&bound_val, b);
+                        true
+                    }
+                    None => false,
+                };
+                unbind_all(&bound_args, b);
+                ok
             }
+            None => false,
         });
         if !exists {
             solve(ctx, rest, b, out);
@@ -771,17 +796,14 @@ fn solve_holds_input(
 /// binding back before returning. Returns whether the entry matches.
 fn entry_matches(pat: &FluentPattern, e: &FluentEntry, b: &mut Bindings) -> bool {
     if let Some(bound_args) = match_args(&pat.args, &e.args, b) {
-        let ok = match match_args(
-            std::slice::from_ref(&pat.value),
-            std::slice::from_ref(&e.value),
-            b,
-        ) {
-            Some(bound_val) => {
-                unbind_all(&bound_val, b);
-                true
-            }
-            None => false,
-        };
+        let ok =
+            match match_args(std::slice::from_ref(&pat.value), std::slice::from_ref(&e.value), b) {
+                Some(bound_val) => {
+                    unbind_all(&bound_val, b);
+                    true
+                }
+                None => false,
+            };
         unbind_all(&bound_args, b);
         ok
     } else {
@@ -879,10 +901,8 @@ fn eval_event_stratum(rules: &[&EventRule], ctx: &EvalCtx<'_>) -> Vec<Event> {
     for rule in rules {
         let mut b = Bindings::new(rule.n_vars);
         solve(ctx, &rule.body, &mut b, &mut |b| {
-            let t = b
-                .get(rule.time)
-                .and_then(term_time)
-                .expect("head time bound (validated at build)");
+            let t =
+                b.get(rule.time).and_then(term_time).expect("head time bound (validated at build)");
             let args = instantiate_args(&rule.head.args, b);
             if seen.insert((rule.head.kind, args.clone(), t)) {
                 events.push(Event { kind: rule.head.kind, args, time: t });
@@ -907,10 +927,8 @@ fn eval_simple_fluent_stratum(
     for rule in rules {
         let mut b = Bindings::new(rule.n_vars);
         solve(ctx, &rule.body, &mut b, &mut |b| {
-            let t = b
-                .get(rule.time)
-                .and_then(term_time)
-                .expect("head time bound (validated at build)");
+            let t =
+                b.get(rule.time).and_then(term_time).expect("head time bound (validated at build)");
             let args = instantiate_args(&rule.head.args, b);
             let value = match &rule.head.value {
                 ArgPat::Const(c) => c.clone(),
@@ -983,10 +1001,7 @@ fn eval_interval_expr(expr: &IntervalExpr, b: &Bindings, fluents: &FluentStore) 
     }
 }
 
-fn eval_static_stratum(
-    rules: &[&StaticRule],
-    ctx: &EvalCtx<'_>,
-) -> Vec<(FluentKey, IntervalList)> {
+fn eval_static_stratum(rules: &[&StaticRule], ctx: &EvalCtx<'_>) -> Vec<(FluentKey, IntervalList)> {
     let mut acc: HashMap<FluentKey, IntervalList> = HashMap::new();
     for rule in rules {
         let mut b = Bindings::new(rule.n_vars);
@@ -1004,9 +1019,7 @@ fn eval_static_stratum(
                 ArgPat::Any => unreachable!("validated at build"),
             };
             let key: FluentKey = (rule.head.name, args, value);
-            acc.entry(key)
-                .and_modify(|existing| *existing = existing.union(&ivs))
-                .or_insert(ivs);
+            acc.entry(key).and_modify(|existing| *existing = existing.union(&ivs)).or_insert(ivs);
         }
     }
     acc.into_iter().collect()
@@ -1122,9 +1135,7 @@ mod tests {
     fn undeclared_inputs_rejected() {
         let mut e = Engine::new(on_off_ruleset(), WindowConfig::new(100, 100).unwrap());
         assert!(e.add_event(Event::new("bogus", [Term::int(1)], 5)).is_err());
-        assert!(e
-            .add_event(Event::new("switch_on", [Term::int(1), Term::int(2)], 5))
-            .is_err());
+        assert!(e.add_event(Event::new("switch_on", [Term::int(1), Term::int(2)], 5)).is_err());
     }
 
     fn delay_increase_ruleset() -> RuleSet {
@@ -1349,11 +1360,9 @@ mod tests {
         let rs = b.build().unwrap();
         let mut e = Engine::new(rs, WindowConfig::new(1000, 1000).unwrap());
         e.set_relation("poi", vec![vec![Term::int(100)], vec![Term::int(500)]]).unwrap();
-        e.register_builtin("near", |args: &[Term]| {
-            match (args[0].as_f64(), args[1].as_f64()) {
-                (Some(a), Some(b)) => (a - b).abs() <= 10.0,
-                _ => false,
-            }
+        e.register_builtin("near", |args: &[Term]| match (args[0].as_f64(), args[1].as_f64()) {
+            (Some(a), Some(b)) => (a - b).abs() <= 10.0,
+            _ => false,
         })
         .unwrap();
         e.add_event(Event::new("at", [Term::int(1), Term::int(95)], 10)).unwrap();

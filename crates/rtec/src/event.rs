@@ -34,11 +34,7 @@ impl Event {
         I: IntoIterator<Item = T>,
         T: Into<Term>,
     {
-        Event {
-            kind: kind.into(),
-            args: args.into_iter().map(Into::into).collect(),
-            time,
-        }
+        Event { kind: kind.into(), args: args.into_iter().map(Into::into).collect(), time }
     }
 }
 
@@ -140,7 +136,11 @@ mod tests {
 
     #[test]
     fn event_construction_and_display() {
-        let e = Event::new("move", [Term::int(33009), Term::sym("r10"), Term::sym("o7"), Term::int(400)], 99);
+        let e = Event::new(
+            "move",
+            [Term::int(33009), Term::sym("r10"), Term::sym("o7"), Term::int(400)],
+            99,
+        );
         assert_eq!(e.kind, Symbol::new("move"));
         assert_eq!(e.args.len(), 4);
         assert_eq!(e.to_string(), "happensAt(move(33009, r10, o7, 400), 99)");
@@ -148,7 +148,8 @@ mod tests {
 
     #[test]
     fn fluent_obs_display() {
-        let o = FluentObs::new("gps", [Term::int(1), Term::float(-6.26), Term::float(53.35)], true, 7);
+        let o =
+            FluentObs::new("gps", [Term::int(1), Term::float(-6.26), Term::float(53.35)], true, 7);
         assert_eq!(o.to_string(), "holdsAt(gps(1, -6.26, 53.35) = true, 7)");
     }
 

@@ -146,7 +146,12 @@ impl IntervalList {
     /// simultaneous terminate+initiate keeps the fluent continuously true
     /// (the intervals amalgamate) while on a non-holding fluent the
     /// initiation wins — matching RTEC's semantics.
-    pub fn from_points(inits: &[Time], terms: &[Time], initially: bool, from: Time) -> IntervalList {
+    pub fn from_points(
+        inits: &[Time],
+        terms: &[Time],
+        initially: bool,
+        from: Time,
+    ) -> IntervalList {
         #[derive(Clone, Copy)]
         enum P {
             Term(Time),
@@ -209,15 +214,17 @@ impl IntervalList {
 
     /// `holdsAt`: whether some interval contains `t`.
     pub fn contains(&self, t: Time) -> bool {
-        self.items.binary_search_by(|iv| {
-            if iv.end_raw <= t {
-                std::cmp::Ordering::Less
-            } else if iv.start > t {
-                std::cmp::Ordering::Greater
-            } else {
-                std::cmp::Ordering::Equal
-            }
-        }).is_ok()
+        self.items
+            .binary_search_by(|iv| {
+                if iv.end_raw <= t {
+                    std::cmp::Ordering::Less
+                } else if iv.start > t {
+                    std::cmp::Ordering::Greater
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
     }
 
     /// Sum of durations, clipping ongoing intervals at `now`.
@@ -245,7 +252,9 @@ impl IntervalList {
                 j += 1;
             }
         }
-        IntervalList { items: out }
+        let result = IntervalList { items: out };
+        debug_assert!(result.is_normalised(), "intersect broke normalisation: {result:?}");
+        result
     }
 
     /// Set difference `self \ other`.
@@ -276,7 +285,9 @@ impl IntervalList {
                 out.push(cur);
             }
         }
-        IntervalList { items: out }
+        let result = IntervalList { items: out };
+        debug_assert!(result.is_normalised(), "difference broke normalisation: {result:?}");
+        result
     }
 
     /// Restricts the list to `[lo, hi)`.
@@ -285,30 +296,32 @@ impl IntervalList {
             return IntervalList::empty();
         }
         let window = Interval { start: lo, end_raw: hi };
-        IntervalList {
+        let result = IntervalList {
             items: self.items.iter().filter_map(|iv| iv.intersect_raw(&window)).collect(),
-        }
+        };
+        debug_assert!(result.is_normalised(), "clip broke normalisation: {result:?}");
+        result
     }
 
     /// Keeps only intervals that end strictly after `t` (plus ongoing ones),
     /// truncating any interval that straddles `t` to start no earlier than
     /// `t`. Used to discard history that fell out of the working memory.
     pub fn after(&self, t: Time) -> IntervalList {
-        IntervalList {
+        let result = IntervalList {
             items: self
                 .items
                 .iter()
                 .filter(|iv| iv.end_raw > t)
                 .map(|iv| Interval { start: iv.start.max(t), end_raw: iv.end_raw })
                 .collect(),
-        }
+        };
+        debug_assert!(result.is_normalised(), "after broke normalisation: {result:?}");
+        result
     }
 
     /// `union_all(L, I)`: union of several interval lists (Table 1).
     pub fn union_all<'a, I: IntoIterator<Item = &'a IntervalList>>(lists: I) -> IntervalList {
-        IntervalList::from_intervals(
-            lists.into_iter().flat_map(|l| l.items.iter().copied()),
-        )
+        IntervalList::from_intervals(lists.into_iter().flat_map(|l| l.items.iter().copied()))
     }
 
     /// `intersect_all(L, I)`: intersection of several interval lists
@@ -490,10 +503,7 @@ mod tests {
         let bus = il(&[(0, 50)]);
         let scats = il(&[(10, 20), (40, 60)]);
         let d = IntervalList::relative_complement_all(&bus, [&scats]);
-        assert_eq!(
-            d.as_slice(),
-            &[Interval::span(0, 10), Interval::span(20, 40)]
-        );
+        assert_eq!(d.as_slice(), &[Interval::span(0, 10), Interval::span(20, 40)]);
         // with several lists the complement is w.r.t. their union
         let extra = il(&[(0, 5)]);
         let d2 = IntervalList::relative_complement_all(&bus, [&scats, &extra]);

@@ -233,9 +233,12 @@ mod tests {
     #[test]
     fn unbind_all_rolls_back() {
         let mut b = Bindings::new(2);
-        let bound =
-            match_args(&[ArgPat::Var(v(0)), ArgPat::Var(v(1))], &[Term::int(1), Term::int(2)], &mut b)
-                .unwrap();
+        let bound = match_args(
+            &[ArgPat::Var(v(0)), ArgPat::Var(v(1))],
+            &[Term::int(1), Term::int(2)],
+            &mut b,
+        )
+        .unwrap();
         unbind_all(&bound, &mut b);
         assert!(!b.is_bound(v(0)) && !b.is_bound(v(1)));
     }

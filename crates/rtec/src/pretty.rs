@@ -65,22 +65,18 @@ fn fmt_guard(rs: &RuleSet, g: &GuardExpr) -> String {
         GuardExpr::TermEq(a, b) => format!("{} == {}", fmt_valref(rs, a), fmt_valref(rs, b)),
         GuardExpr::TermNe(a, b) => format!("{} \\== {}", fmt_valref(rs, a), fmt_valref(rs, b)),
         GuardExpr::And(gs) => gs.iter().map(|g| fmt_guard(rs, g)).collect::<Vec<_>>().join(", "),
-        GuardExpr::Or(gs) => format!(
-            "({})",
-            gs.iter().map(|g| fmt_guard(rs, g)).collect::<Vec<_>>().join(" ; ")
-        ),
+        GuardExpr::Or(gs) => {
+            format!("({})", gs.iter().map(|g| fmt_guard(rs, g)).collect::<Vec<_>>().join(" ; "))
+        }
         GuardExpr::Not(g) => format!("not ({})", fmt_guard(rs, g)),
     }
 }
 
 fn fmt_atom(rs: &RuleSet, atom: &BodyAtom) -> String {
     match atom {
-        BodyAtom::Happens { pat, time } => format!(
-            "happensAt({}({}), {})",
-            pat.kind,
-            fmt_args(rs, &pat.args),
-            var_name(rs, *time)
-        ),
+        BodyAtom::Happens { pat, time } => {
+            format!("happensAt({}({}), {})", pat.kind, fmt_args(rs, &pat.args), var_name(rs, *time))
+        }
         BodyAtom::Holds { pat, time, negated } => {
             let core = format!(
                 "holdsAt({}({}) = {}, {})",
@@ -137,12 +133,9 @@ fn fmt_ev_rule(rs: &RuleSet, r: &EventRule) -> String {
 
 fn fmt_interval_expr(rs: &RuleSet, e: &IntervalExpr) -> String {
     match e {
-        IntervalExpr::Fluent(p) => format!(
-            "holdsFor({}({}) = {})",
-            p.name,
-            fmt_args(rs, &p.args),
-            fmt_arg(rs, &p.value)
-        ),
+        IntervalExpr::Fluent(p) => {
+            format!("holdsFor({}({}) = {})", p.name, fmt_args(rs, &p.args), fmt_arg(rs, &p.value))
+        }
         IntervalExpr::Union(es) => format!(
             "union_all([{}])",
             es.iter().map(|e| fmt_interval_expr(rs, e)).collect::<Vec<_>>().join(", ")
@@ -160,11 +153,8 @@ fn fmt_interval_expr(rs: &RuleSet, e: &IntervalExpr) -> String {
 }
 
 fn fmt_static_rule(rs: &RuleSet, r: &StaticRule) -> String {
-    let domain = if r.domain.is_empty() {
-        String::new()
-    } else {
-        format!("{},\n", fmt_body(rs, &r.domain))
-    };
+    let domain =
+        if r.domain.is_empty() { String::new() } else { format!("{},\n", fmt_body(rs, &r.domain)) };
     format!(
         "holdsFor({}({}) = {}, I) <-\n{}    I = {}.",
         r.head.name,
@@ -198,7 +188,7 @@ impl RuleSet {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::dsl::*;
     use crate::term::Term;
 
@@ -229,11 +219,7 @@ mod tests {
         b.static_fluent(
             fluent("anyCongestion", [pat(int)], val(true)),
             [relation("loc", [pat(int)])],
-            crate::rule::IntervalExpr::Fluent(fluent_pat(
-                "scatsCongestion",
-                [pat(int)],
-                val(true),
-            )),
+            crate::rule::IntervalExpr::Fluent(fluent_pat("scatsCongestion", [pat(int)], val(true))),
         );
         let t3 = b.var("T3");
         b.derived_event(

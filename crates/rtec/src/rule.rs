@@ -377,7 +377,8 @@ mod tests {
 
     #[test]
     fn num_expr_collects_vars() {
-        let e = NumExpr::sub(NumExpr::Var(VarId(3)), NumExpr::Abs(Box::new(NumExpr::Var(VarId(5)))));
+        let e =
+            NumExpr::sub(NumExpr::Var(VarId(3)), NumExpr::Abs(Box::new(NumExpr::Var(VarId(5)))));
         let mut vs = Vec::new();
         e.collect_vars(&mut vs);
         assert_eq!(vs, vec![VarId(3), VarId(5)]);
@@ -403,10 +404,7 @@ mod tests {
                 value: ArgPat::Const(Term::truth()),
             })
         };
-        let e = IntervalExpr::RelComp(
-            Box::new(f("busCongestion")),
-            vec![f("scatsIntCongestion")],
-        );
+        let e = IntervalExpr::RelComp(Box::new(f("busCongestion")), vec![f("scatsIntCongestion")]);
         let mut fs = Vec::new();
         e.collect_fluents(&mut fs);
         assert_eq!(fs, vec![Symbol::new("busCongestion"), Symbol::new("scatsIntCongestion")]);

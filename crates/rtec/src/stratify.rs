@@ -103,10 +103,8 @@ pub fn stratify(
         }
     }
 
-    let mut ready: Vec<Symbol> = indegree
-        .iter()
-        .filter_map(|(&s, &d)| (d == 0).then_some(s))
-        .collect();
+    let mut ready: Vec<Symbol> =
+        indegree.iter().filter_map(|(&s, &d)| (d == 0).then_some(s)).collect();
     ready.sort();
 
     let mut order = Vec::with_capacity(derived.len());
@@ -130,11 +128,8 @@ pub fn stratify(
     }
 
     if order.len() != derived.len() {
-        let mut cycle: Vec<String> = derived
-            .iter()
-            .filter(|s| !order.contains(s))
-            .map(|s| s.as_str())
-            .collect();
+        let mut cycle: Vec<String> =
+            derived.iter().filter(|s| !order.contains(s)).map(|s| s.as_str()).collect();
         cycle.sort();
         return Err(RtecError::CyclicRuleSet { cycle });
     }
@@ -225,10 +220,7 @@ mod tests {
     #[test]
     fn orders_chain_dependencies() {
         // c depends on b depends on a (a from input e).
-        let sfs = vec![
-            sf("a", vec![happens("e")]),
-            sf("b", vec![happens("e"), holds("a")]),
-        ];
+        let sfs = vec![sf("a", vec![happens("e")]), sf("b", vec![happens("e"), holds("a")])];
         let statics = vec![static_rule("c", "b")];
         let strata = stratify(&sfs, &[], &statics, &inputs(&["e"])).unwrap();
         let pos = |n: &str| strata.iter().position(|s| s.symbol == Symbol::new(n)).unwrap();
@@ -247,10 +239,8 @@ mod tests {
 
     #[test]
     fn detects_cycles() {
-        let sfs = vec![
-            sf("a", vec![happens("e"), holds("b")]),
-            sf("b", vec![happens("e"), holds("a")]),
-        ];
+        let sfs =
+            vec![sf("a", vec![happens("e"), holds("b")]), sf("b", vec![happens("e"), holds("a")])];
         let err = stratify(&sfs, &[], &[], &inputs(&["e"])).unwrap_err();
         assert!(matches!(err, RtecError::CyclicRuleSet { .. }));
     }
@@ -278,8 +268,7 @@ mod tests {
         let sfs = vec![sf("za", vec![happens("e")]), sf("ab", vec![happens("e")])];
         let a = stratify(&sfs, &[], &[], &inputs(&["e"])).unwrap();
         let b = stratify(&sfs, &[], &[], &inputs(&["e"])).unwrap();
-        let names =
-            |s: &[Stratum]| s.iter().map(|x| x.symbol.as_str()).collect::<Vec<_>>();
+        let names = |s: &[Stratum]| s.iter().map(|x| x.symbol.as_str()).collect::<Vec<_>>();
         assert_eq!(names(&a), names(&b));
     }
 }

@@ -25,9 +25,7 @@ struct Interner {
 static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
 
 fn interner() -> &'static RwLock<Interner> {
-    INTERNER.get_or_init(|| {
-        RwLock::new(Interner { lookup: HashMap::new(), strings: Vec::new() })
-    })
+    INTERNER.get_or_init(|| RwLock::new(Interner { lookup: HashMap::new(), strings: Vec::new() }))
 }
 
 impl Symbol {

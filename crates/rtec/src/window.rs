@@ -21,7 +21,9 @@ impl WindowConfig {
     /// the working memory would leave gaps of time that are never processed.
     pub fn new(wm: i64, step: i64) -> Result<WindowConfig, RtecError> {
         if step <= 0 {
-            return Err(RtecError::InvalidWindow { detail: format!("step must be positive, got {step}") });
+            return Err(RtecError::InvalidWindow {
+                detail: format!("step must be positive, got {step}"),
+            });
         }
         if wm < step {
             return Err(RtecError::InvalidWindow {

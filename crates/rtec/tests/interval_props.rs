@@ -134,6 +134,21 @@ proptest! {
     }
 
     #[test]
+    fn after_matches_pointwise_truncation(a in arb_list(), cutoff in 0i64..2 * UNIVERSE) {
+        let kept = a.after(cutoff);
+        prop_assert!(kept.is_normalised());
+        // `after` keeps exactly the time-points at or past the cutoff.
+        for t in 0..2 * UNIVERSE {
+            let want = a.contains(t) && t >= cutoff;
+            prop_assert_eq!(kept.contains(t), want, "t={}", t);
+        }
+        // An ongoing interval always survives working-memory truncation.
+        if a.as_slice().last().is_some_and(|iv| iv.is_open()) {
+            prop_assert!(kept.as_slice().last().is_some_and(|iv| iv.is_open()));
+        }
+    }
+
+    #[test]
     fn total_duration_counts_points(a in arb_list()) {
         let now = UNIVERSE;
         let count = (0..now).filter(|&t| a.contains(t)).count() as i64;

@@ -1,0 +1,280 @@
+//! Offline shim for the subset of the `criterion` API used by the bench
+//! harnesses in `crates/bench`.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! a small wall-clock measurement harness with criterion's call surface:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`criterion_group!`]/[`criterion_main!`], plus
+//! [`Throughput`] and [`BenchmarkId`]. Each benchmark reports the median
+//! per-iteration time over `sample_size` samples (and element throughput
+//! when configured). Under `cargo test`/`cargo bench --test` the binaries
+//! run each closure once as a smoke test, like upstream criterion.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Work-per-iteration declaration used to derive throughput numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendering as `name/parameter`.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId { name: format!("{function_name}/{parameter}") }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+/// Drives the timing loop of one benchmark.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Collected per-iteration medians, nanoseconds.
+    result_ns: Option<f64>,
+}
+
+#[derive(Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { sample_size: 20, test_mode: false }
+    }
+}
+
+impl<'a> Bencher<'a> {
+    /// Times `routine`, storing the median per-iteration duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.config.test_mode {
+            black_box(routine());
+            self.result_ns = Some(0.0);
+            return;
+        }
+        // Warm-up + calibration: find an iteration count worth ≳2 ms.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 4;
+        }
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.config.sample_size);
+        for _ in 0..self.config.sample_size.max(2) {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples_ns.push(t0.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = Some(samples_ns[samples_ns.len() / 2]);
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, median_ns: f64, throughput: Option<Throughput>, test_mode: bool) {
+    if test_mode {
+        println!("{name}: ok (test mode)");
+        return;
+    }
+    match throughput {
+        Some(Throughput::Elements(n)) if median_ns > 0.0 => {
+            let rate = n as f64 / (median_ns / 1e9);
+            println!("{name}: {} / iter ({rate:.0} elem/s)", human_time(median_ns));
+        }
+        Some(Throughput::Bytes(n)) if median_ns > 0.0 => {
+            let rate = n as f64 / (median_ns / 1e9) / (1024.0 * 1024.0);
+            println!("{name}: {} / iter ({rate:.1} MiB/s)", human_time(median_ns));
+        }
+        _ => println!("{name}: {} / iter", human_time(median_ns)),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group_name: String,
+    config: Config,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Declares the work per iteration for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut bencher = Bencher { config: &self.config, result_ns: None };
+        f(&mut bencher, input);
+        let full_name = format!("{}/{}", self.group_name, id.name);
+        if let Some(ns) = bencher.result_ns {
+            report(&full_name, ns, self.throughput, self.config.test_mode);
+        }
+        let _ = &self.criterion;
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut bencher = Bencher { config: &self.config, result_ns: None };
+        f(&mut bencher);
+        let full_name = format!("{}/{name}", self.group_name);
+        if let Some(ns) = bencher.result_ns {
+            report(&full_name, ns, self.throughput, self.config.test_mode);
+        }
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; the shim prints as it
+    /// goes, so this is a no-op kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { config: Config { test_mode, ..Config::default() } }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let config = self.config;
+        BenchmarkGroup { criterion: self, group_name: name.to_string(), config, throughput: None }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut bencher = Bencher { config: &self.config, result_ns: None };
+        f(&mut bencher);
+        if let Some(ns) = bencher.result_ns {
+            report(name, ns, None, self.config.test_mode);
+        }
+        self
+    }
+
+    /// Final report hook (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion { config: Config { sample_size: 3, test_mode: false } };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Elements(10));
+        let mut ran = 0u64;
+        group.bench_with_input(BenchmarkId::new("f", 10), &10u64, |b, &n| {
+            b.iter(|| {
+                ran += 1;
+                black_box(n * 2)
+            })
+        });
+        group.finish();
+        assert!(ran > 0, "the routine must actually run");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { config: Config { sample_size: 5, test_mode: true } };
+        let mut runs = 0u64;
+        c.bench_function("once", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1, "test mode executes the routine exactly once");
+    }
+
+    #[test]
+    fn id_and_time_formatting() {
+        assert_eq!(BenchmarkId::new("f", 32).name, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").name, "x");
+        assert_eq!(human_time(12.3), "12.3 ns");
+        assert_eq!(human_time(12_300.0), "12.30 µs");
+        assert_eq!(human_time(12_300_000.0), "12.30 ms");
+        assert_eq!(human_time(2_500_000_000.0), "2.50 s");
+    }
+}

@@ -6,13 +6,11 @@
 //! the attribute types the Dublin SDE schemas need (plus JSON-friendly
 //! serialisation for file sources and sinks).
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// An attribute value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(untagged)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// Null / absent marker.
     Null,
@@ -105,8 +103,7 @@ impl From<String> for Value {
 }
 
 /// A set of key-value pairs travelling through the data-flow graph.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DataItem {
     attrs: BTreeMap<String, Value>,
 }
@@ -185,12 +182,14 @@ impl DataItem {
 
     /// Serialises the item as one JSON object line.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(&self.attrs).expect("DataItem is always serialisable")
+        crate::json::object_to_string(&self.attrs)
     }
 
     /// Parses an item from a JSON object.
     pub fn from_json(s: &str) -> Result<DataItem, crate::error::StreamsError> {
-        serde_json::from_str(s).map_err(|e| crate::error::StreamsError::Io { detail: e.to_string() })
+        crate::json::parse_object(s)
+            .map(|attrs| DataItem { attrs })
+            .map_err(|detail| crate::error::StreamsError::Io { detail })
     }
 }
 

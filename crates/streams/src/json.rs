@@ -1,0 +1,336 @@
+//! Minimal JSON reading/writing for flat attribute maps.
+//!
+//! The build environment has no access to crates.io, so instead of `serde`
+//! this module hand-rolls exactly what the middleware needs: serialising a
+//! [`DataItem`](crate::item::DataItem)'s flat `string → scalar` map to one
+//! JSON object per line and parsing it back. Floats are written with Rust's
+//! shortest-roundtrip formatting (so `1.0` keeps its decimal point and the
+//! int/float distinction survives a round trip); non-finite floats become
+//! `null`.
+
+use crate::item::Value;
+use std::collections::BTreeMap;
+
+/// Appends `s` as a JSON string literal (with quotes) to `out`.
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a finite float in shortest-roundtrip form (`1.0`, not `1`);
+/// NaN/infinities have no JSON representation and are written as `null`.
+pub fn float_into(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` is Rust's shortest round-trip form and always keeps a
+        // decimal point or exponent, so floats re-parse as floats.
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends one scalar [`Value`] to `out`.
+pub fn value_into(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => float_into(out, *f),
+        Value::Str(s) => escape_into(out, s),
+    }
+}
+
+/// Serialises a flat attribute map as one JSON object.
+pub fn object_to_string(attrs: &BTreeMap<String, Value>) -> String {
+    let mut out = String::with_capacity(16 + attrs.len() * 16);
+    out.push('{');
+    for (i, (k, v)) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_into(&mut out, k);
+        out.push(':');
+        value_into(&mut out, v);
+    }
+    out.push('}');
+    out
+}
+
+/// Parses one JSON object of scalar values. Nested arrays/objects are
+/// rejected: data items are flat by construction.
+pub fn parse_object(s: &str) -> Result<BTreeMap<String, Value>, String> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let map = p.object()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing characters at byte {}", p.pos));
+    }
+    Ok(map)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<BTreeMap<String, Value>, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(map);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(map);
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(b'{') | Some(b'[') => {
+                Err(format!("nested values are not supported (byte {})", self.pos))
+            }
+            _ => Err(format!("expected a value at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'+' | b'-' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-utf8 number".to_string())?;
+        if is_float {
+            text.parse::<f64>().map(Value::Float).map_err(|_| format!("bad number '{text}'"))
+        } else {
+            text.parse::<i64>().map(Value::Int).map_err(|_| format!("bad number '{text}'"))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "non-utf8 string".to_string())?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                // High surrogate: must pair with \uXXXX low.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("unpaired surrogate".to_string());
+                                }
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| "bad surrogate pair".to_string())?
+                            } else {
+                                char::from_u32(cp).ok_or_else(|| "bad \\u escape".to_string())?
+                            };
+                            out.push(c);
+                            continue; // hex4 leaves pos past the escape
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    /// Reads 4 hex digits; leaves `pos` past them.
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err("truncated \\u escape".to_string());
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| "non-utf8 \\u escape".to_string())?;
+        let cp = u32::from_str_radix(text, 16).map_err(|_| "bad \\u escape".to_string())?;
+        self.pos = end;
+        Ok(cp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(attrs: BTreeMap<String, Value>) {
+        let json = object_to_string(&attrs);
+        assert_eq!(parse_object(&json).unwrap(), attrs, "roundtrip of {json}");
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        roundtrip(BTreeMap::new());
+        roundtrip(BTreeMap::from([
+            ("int".to_string(), Value::Int(-42)),
+            ("float".to_string(), Value::Float(53.35)),
+            ("whole_float".to_string(), Value::Float(1.0)),
+            ("bool".to_string(), Value::Bool(true)),
+            ("null".to_string(), Value::Null),
+            ("str".to_string(), Value::Str("r10".to_string())),
+        ]));
+    }
+
+    #[test]
+    fn floats_keep_their_type() {
+        let attrs = BTreeMap::from([("x".to_string(), Value::Float(2.0))]);
+        let json = object_to_string(&attrs);
+        assert!(json.contains("2.0"), "whole floats keep a decimal point: {json}");
+        assert_eq!(parse_object(&json).unwrap()["x"], Value::Float(2.0));
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        roundtrip(BTreeMap::from([(
+            "s".to_string(),
+            Value::Str("a\"b\\c\nd\te\u{1}é€𝄞".to_string()),
+        )]));
+        // Parse-side escapes we never emit.
+        let parsed = parse_object(r#"{"s":"A𝄞\/"}"#).unwrap();
+        assert_eq!(parsed["s"], Value::Str("A𝄞/".to_string()));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let attrs = BTreeMap::from([("x".to_string(), Value::Float(f64::NAN))]);
+        assert_eq!(object_to_string(&attrs), r#"{"x":null}"#);
+    }
+
+    #[test]
+    fn accepts_whitespace_and_exponents() {
+        let parsed = parse_object(" { \"a\" : 1 , \"b\" : 2.5e3 } ").unwrap();
+        assert_eq!(parsed["a"], Value::Int(1));
+        assert_eq!(parsed["b"], Value::Float(2500.0));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "not json",
+            "{",
+            r#"{"a":}"#,
+            r#"{"a":1"#,
+            r#"{"a":1} extra"#,
+            r#"{"a":[1]}"#,
+            r#"{"a":{"b":1}}"#,
+            r#"{"a":truth}"#,
+            r#"{"a":"unterminated}"#,
+            r#"{"a":"\uD800"}"#,
+            "[1,2]",
+        ] {
+            assert!(parse_object(bad).is_err(), "should reject: {bad}");
+        }
+    }
+}

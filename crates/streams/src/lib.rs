@@ -46,6 +46,8 @@
 
 pub mod error;
 pub mod item;
+pub mod json;
+pub mod metrics;
 pub mod processor;
 pub mod queue;
 pub mod runtime;
@@ -59,6 +61,7 @@ pub mod xml;
 pub mod prelude {
     pub use crate::error::StreamsError;
     pub use crate::item::{DataItem, Value};
+    pub use crate::metrics::{MetricsRegistry, MetricsSnapshot};
     pub use crate::processor::{Context, FnProcessor, Processor};
     pub use crate::runtime::Runtime;
     pub use crate::service::{Service, ServiceRegistry};

@@ -1,0 +1,601 @@
+//! Pipeline observability: lock-light counters, gauges and histograms.
+//!
+//! Every hot-path operation (recording an item, a latency sample or a queue
+//! depth change) is a handful of `Relaxed` atomic operations on
+//! pre-registered instruments — no locks, no allocation. The only lock in
+//! the module guards instrument *registration* (cold path: once per stage or
+//! queue at topology start-up).
+//!
+//! Instruments are grouped in a [`MetricsRegistry`], registered as a Streams
+//! service so every processor can reach it through its
+//! [`Context`](crate::processor::Context). [`MetricsRegistry::snapshot`]
+//! returns a plain-data [`MetricsSnapshot`] that renders to JSON
+//! ([`MetricsSnapshot::to_json`]) or a human-readable per-stage table
+//! ([`MetricsSnapshot::render_table`]).
+
+use crate::json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// An instantaneous level (e.g. queue depth) with a high-water mark.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+    high_water: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Moves the level by `delta` (positive or negative).
+    pub fn add(&self, delta: i64) {
+        let new = self.value.fetch_add(delta, Relaxed) + delta;
+        if delta > 0 {
+            self.high_water.fetch_max(new, Relaxed);
+        }
+    }
+
+    /// Sets the level outright.
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Relaxed);
+        self.high_water.fetch_max(value, Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Relaxed)
+    }
+
+    /// Highest level ever observed.
+    pub fn high_water(&self) -> i64 {
+        self.high_water.load(Relaxed)
+    }
+}
+
+/// Number of power-of-two latency buckets (bucket `i` covers
+/// `[2^i, 2^(i+1))` nanoseconds; the last one is open-ended ≈ 9 minutes+).
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A fixed-bucket latency histogram (power-of-two nanosecond buckets).
+///
+/// Recording is four `Relaxed` atomic adds/maxes — no locks, suitable for
+/// per-item hot paths.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records one latency sample in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.count.fetch_add(1, Relaxed);
+        self.sum_ns.fetch_add(ns, Relaxed);
+        self.min_ns.fetch_min(ns, Relaxed);
+        self.max_ns.fetch_max(ns, Relaxed);
+        let idx = (63 - ns.max(1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram's state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Relaxed);
+        let min = self.min_ns.load(Relaxed);
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Relaxed);
+        }
+        HistogramSnapshot {
+            count,
+            sum_ns: self.sum_ns.load(Relaxed),
+            min_ns: if count == 0 { 0 } else { min },
+            max_ns: self.max_ns.load(Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples, nanoseconds.
+    pub sum_ns: u64,
+    /// Smallest sample (0 when empty).
+    pub min_ns: u64,
+    /// Largest sample.
+    pub max_ns: u64,
+    /// Power-of-two bucket counts (bucket `i` = `[2^i, 2^(i+1))` ns).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): the upper bound of the bucket
+    /// holding the q-th sample, clamped to the observed max.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = 1u64 << (i + 1).min(63);
+                return upper.min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    fn json_into(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{},\"mean_ns\":",
+            self.count, self.sum_ns, self.min_ns, self.max_ns
+        ));
+        json::float_into(out, self.mean_ns());
+        out.push_str(&format!(
+            ",\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{}}}",
+            self.quantile_ns(0.50),
+            self.quantile_ns(0.90),
+            self.quantile_ns(0.99)
+        ));
+    }
+}
+
+/// Per-processor instruments: item flow and per-call latency.
+#[derive(Debug, Default)]
+pub struct StageMetrics {
+    /// Items entering the stage.
+    pub items_in: Counter,
+    /// Items leaving the stage (after filtering/fan-out).
+    pub items_out: Counter,
+    /// Latency of each `process`/`finish` call.
+    pub process_ns: Histogram,
+}
+
+/// Per-queue instruments: depth, throughput, backpressure stalls.
+#[derive(Debug, Default)]
+pub struct QueueMetrics {
+    /// Current number of buffered items (high-water mark retained).
+    pub depth: Gauge,
+    /// Items pushed.
+    pub sent: Counter,
+    /// Items popped.
+    pub received: Counter,
+    /// Sends that found the queue full and had to block.
+    pub send_stalls: Counter,
+    /// Total time producers spent blocked on a full queue, nanoseconds.
+    pub stall_ns: Counter,
+}
+
+/// The per-run instrument registry.
+///
+/// Cheap to share (`Arc` per instrument group); instrument lookup takes a
+/// short-lived registration lock, so fetch instruments once at start-up and
+/// hold the `Arc` on the hot path.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    stages: Mutex<BTreeMap<String, Arc<StageMetrics>>>,
+    queues: Mutex<BTreeMap<String, Arc<QueueMetrics>>>,
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl crate::service::Service for MetricsRegistry {}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The instruments of stage `name` (created on first use).
+    pub fn stage(&self, name: &str) -> Arc<StageMetrics> {
+        let mut stages = self.stages.lock().unwrap();
+        Arc::clone(stages.entry(name.to_string()).or_default())
+    }
+
+    /// The instruments of queue `name` (created on first use).
+    pub fn queue(&self, name: &str) -> Arc<QueueMetrics> {
+        let mut queues = self.queues.lock().unwrap();
+        Arc::clone(queues.entry(name.to_string()).or_default())
+    }
+
+    /// A free-standing named counter (created on first use).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut counters = self.counters.lock().unwrap();
+        Arc::clone(counters.entry(name.to_string()).or_default())
+    }
+
+    /// A free-standing named histogram (created on first use).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut histograms = self.histograms.lock().unwrap();
+        Arc::clone(histograms.entry(name.to_string()).or_default())
+    }
+
+    /// A point-in-time plain-data copy of every instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            stages: self
+                .stages
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(name, m)| {
+                    (
+                        name.clone(),
+                        StageSnapshot {
+                            items_in: m.items_in.get(),
+                            items_out: m.items_out.get(),
+                            process_ns: m.process_ns.snapshot(),
+                        },
+                    )
+                })
+                .collect(),
+            queues: self
+                .queues
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(name, m)| {
+                    (
+                        name.clone(),
+                        QueueSnapshot {
+                            depth: m.depth.get(),
+                            depth_high_water: m.depth.high_water(),
+                            sent: m.sent.get(),
+                            received: m.received.get(),
+                            send_stalls: m.send_stalls.get(),
+                            stall_ns: m.stall_ns.get(),
+                        },
+                    )
+                })
+                .collect(),
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(name, h)| (name.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Plain-data copy of one stage's instruments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSnapshot {
+    /// Items entering the stage.
+    pub items_in: u64,
+    /// Items leaving the stage.
+    pub items_out: u64,
+    /// Per-call latency distribution.
+    pub process_ns: HistogramSnapshot,
+}
+
+/// Plain-data copy of one queue's instruments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueSnapshot {
+    /// Buffered items at snapshot time.
+    pub depth: i64,
+    /// Highest depth ever observed.
+    pub depth_high_water: i64,
+    /// Items pushed.
+    pub sent: u64,
+    /// Items popped.
+    pub received: u64,
+    /// Sends that blocked on a full queue.
+    pub send_stalls: u64,
+    /// Total producer blocking time, nanoseconds.
+    pub stall_ns: u64,
+}
+
+/// Point-in-time copy of a whole [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Per-stage flow and latency, keyed by stage name.
+    pub stages: BTreeMap<String, StageSnapshot>,
+    /// Per-queue depth and backpressure, keyed by queue name.
+    pub queues: BTreeMap<String, QueueSnapshot>,
+    /// Free-standing counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Free-standing histograms.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Serialises the snapshot as one JSON object (schema documented in the
+    /// repository README under *Metrics snapshot schema*).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"stages\":{");
+        for (i, (name, s)) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::escape_into(&mut out, name);
+            out.push_str(&format!(
+                ":{{\"items_in\":{},\"items_out\":{},\"process_ns\":",
+                s.items_in, s.items_out
+            ));
+            s.process_ns.json_into(&mut out);
+            out.push('}');
+        }
+        out.push_str("},\"queues\":{");
+        for (i, (name, q)) in self.queues.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::escape_into(&mut out, name);
+            out.push_str(&format!(
+                ":{{\"depth\":{},\"depth_high_water\":{},\"sent\":{},\"received\":{},\"send_stalls\":{},\"stall_ns\":{}}}",
+                q.depth, q.depth_high_water, q.sent, q.received, q.send_stalls, q.stall_ns
+            ));
+        }
+        out.push_str("},\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::escape_into(&mut out, name);
+            out.push_str(&format!(":{v}"));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::escape_into(&mut out, name);
+            out.push(':');
+            h.json_into(&mut out);
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders a fixed-width per-stage/per-queue summary table.
+    pub fn render_table(&self) -> String {
+        fn ms(ns: f64) -> String {
+            format!("{:.3}", ns / 1e6)
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            "stage", "in", "out", "mean ms", "p99 ms", "max ms"
+        ));
+        for (name, s) in &self.stages {
+            out.push_str(&format!(
+                "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                name,
+                s.items_in,
+                s.items_out,
+                ms(s.process_ns.mean_ns()),
+                ms(s.process_ns.quantile_ns(0.99) as f64),
+                ms(s.process_ns.max_ns as f64),
+            ));
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            "queue", "sent", "received", "hwm", "stalls", "stall ms"
+        ));
+        for (name, q) in &self.queues {
+            out.push_str(&format!(
+                "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                name,
+                q.sent,
+                q.received,
+                q.depth_high_water,
+                q.send_stalls,
+                ms(q.stall_ns as f64),
+            ));
+        }
+        if !self.histograms.is_empty() {
+            out.push('\n');
+            out.push_str(&format!(
+                "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                "timer", "count", "mean ms", "p50 ms", "p99 ms", "max ms"
+            ));
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                    name,
+                    h.count,
+                    ms(h.mean_ns()),
+                    ms(h.quantile_ns(0.50) as f64),
+                    ms(h.quantile_ns(0.99) as f64),
+                    ms(h.max_ns as f64),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::new();
+        g.add(3);
+        g.add(2);
+        g.add(-4);
+        assert_eq!(g.get(), 1);
+        assert_eq!(g.high_water(), 5);
+        g.set(10);
+        assert_eq!((g.get(), g.high_water()), (10, 10));
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().quantile_ns(0.5), 0, "empty histogram");
+        for ns in [100, 200, 400, 800, 100_000] {
+            h.record_ns(ns);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min_ns, 100);
+        assert_eq!(s.max_ns, 100_000);
+        assert_eq!(s.sum_ns, 101_500);
+        assert!((s.mean_ns() - 20_300.0).abs() < 1e-9);
+        // p50 is the 3rd sample (400 ns) → bucket [256, 512) → upper 512.
+        assert_eq!(s.quantile_ns(0.5), 512);
+        // p99 lands in the top sample's bucket, clamped to the observed max.
+        assert_eq!(s.quantile_ns(0.99), 100_000);
+    }
+
+    #[test]
+    fn histogram_extremes_do_not_panic() {
+        let h = Histogram::new();
+        h.record_ns(0); // clamps into the first bucket
+        h.record_ns(u64::MAX); // clamps into the last bucket
+        h.record(Duration::from_secs(1));
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn registry_reuses_instruments() {
+        let r = MetricsRegistry::new();
+        r.stage("rtec").items_in.add(7);
+        r.stage("rtec").items_in.inc();
+        r.queue("sde").depth.add(3);
+        r.counter("alerts").add(2);
+        r.histogram("window").record_ns(1000);
+        let snap = r.snapshot();
+        assert_eq!(snap.stages["rtec"].items_in, 8);
+        assert_eq!(snap.queues["sde"].depth_high_water, 3);
+        assert_eq!(snap.counters["alerts"], 2);
+        assert_eq!(snap.histograms["window"].count, 1);
+    }
+
+    #[test]
+    fn instruments_are_thread_safe() {
+        let r = Arc::new(MetricsRegistry::new());
+        let stage = r.stage("s");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let stage = Arc::clone(&stage);
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        stage.items_in.inc();
+                        stage.process_ns.record_ns(50);
+                    }
+                });
+            }
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.stages["s"].items_in, 40_000);
+        assert_eq!(snap.stages["s"].process_ns.count, 40_000);
+    }
+
+    #[test]
+    fn snapshot_serialises_and_renders() {
+        let r = MetricsRegistry::new();
+        r.stage("rtec-north").items_in.add(10);
+        r.stage("rtec-north").items_out.add(2);
+        r.stage("rtec-north").process_ns.record_ns(2_000_000);
+        r.queue("sde-north").sent.add(10);
+        r.histogram("rtec.window_ns").record_ns(5_000_000);
+        let snap = r.snapshot();
+
+        let json = snap.to_json();
+        for needle in [
+            "\"stages\":{\"rtec-north\":{\"items_in\":10,\"items_out\":2",
+            "\"queues\":{\"sde-north\":{\"depth\":0",
+            "\"histograms\":{\"rtec.window_ns\":{\"count\":1",
+            "\"p99_ns\":",
+        ] {
+            assert!(json.contains(needle), "JSON missing {needle}: {json}");
+        }
+
+        let table = snap.render_table();
+        assert!(table.contains("rtec-north"));
+        assert!(table.contains("sde-north"));
+        assert!(table.contains("rtec.window_ns"));
+    }
+}

@@ -44,8 +44,11 @@ impl Context {
 /// A function applied to every item of a stream.
 pub trait Processor: Send {
     /// Handles one item; `Ok(None)` drops it.
-    fn process(&mut self, item: DataItem, ctx: &mut Context)
-        -> Result<Option<DataItem>, StreamsError>;
+    fn process(
+        &mut self,
+        item: DataItem,
+        ctx: &mut Context,
+    ) -> Result<Option<DataItem>, StreamsError>;
 
     /// Called once after the input is exhausted; may emit trailing items
     /// (e.g. final aggregates). Default: nothing.

@@ -4,10 +4,20 @@
 //! outputs derived events are emitted to (the RTEC processor of the paper
 //! emits CEs "to a queue in the Streams framework"). Queues are bounded,
 //! providing backpressure, multi-producer and single-consumer.
+//!
+//! Termination accounting: the queue is created for a declared number of
+//! *logical producers*, each expected to call [`QueueSender::finish`]. The
+//! consumer additionally tracks live sender handles, so a cloned sender
+//! dropped without `finish()` (e.g. a producer thread that panicked) cannot
+//! wedge [`QueueReceiver::recv`]: once every handle is gone, the stream ends
+//! after the buffered items drain, regardless of missing end-of-stream
+//! markers.
 
 use crate::item::DataItem;
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use std::time::Duration;
+use crate::metrics::QueueMetrics;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Messages travelling through a queue: items plus per-producer end-of-stream
 /// markers.
@@ -20,61 +30,146 @@ pub enum Message {
     Eos,
 }
 
+struct Inner {
+    buffer: VecDeque<DataItem>,
+    /// `finish()` calls seen so far.
+    eos_seen: usize,
+    /// Live `QueueSender` handles (clones included).
+    handles: usize,
+    consumer_alive: bool,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    producers: usize,
+    metrics: Arc<QueueMetrics>,
+}
+
+impl Shared {
+    /// End of stream: every declared producer finished, or no sender handle
+    /// is left alive to ever produce more.
+    fn stream_ended(&self, inner: &Inner) -> bool {
+        inner.eos_seen >= self.producers || inner.handles == 0
+    }
+}
+
 /// Producer handle of a queue (cloneable: queues are multi-producer).
-#[derive(Clone)]
 pub struct QueueSender {
-    tx: Sender<Message>,
+    shared: Arc<Shared>,
+}
+
+impl Clone for QueueSender {
+    fn clone(&self) -> QueueSender {
+        self.shared.inner.lock().unwrap().handles += 1;
+        QueueSender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl Drop for QueueSender {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().unwrap();
+        inner.handles -= 1;
+        if inner.handles == 0 {
+            // Last handle gone: wake a consumer waiting on a queue that will
+            // never receive the outstanding finish() markers.
+            self.shared.not_empty.notify_all();
+        }
+    }
 }
 
 impl QueueSender {
     /// Sends one item, blocking while the queue is full. Returns `false` if
     /// the consumer is gone.
     pub fn send(&self, item: DataItem) -> bool {
-        self.tx.send(Message::Item(item)).is_ok()
+        let metrics = &self.shared.metrics;
+        let mut inner = self.shared.inner.lock().unwrap();
+        if inner.buffer.len() >= self.shared.capacity && inner.consumer_alive {
+            metrics.send_stalls.inc();
+            let stalled_at = Instant::now();
+            while inner.buffer.len() >= self.shared.capacity && inner.consumer_alive {
+                inner = self.shared.not_full.wait(inner).unwrap();
+            }
+            metrics.stall_ns.add(stalled_at.elapsed().as_nanos() as u64);
+        }
+        if !inner.consumer_alive {
+            return false;
+        }
+        inner.buffer.push_back(item);
+        metrics.sent.inc();
+        metrics.depth.add(1);
+        self.shared.not_empty.notify_one();
+        true
     }
 
     /// Signals that this producer is done.
     pub fn finish(&self) {
-        let _ = self.tx.send(Message::Eos);
+        let mut inner = self.shared.inner.lock().unwrap();
+        inner.eos_seen += 1;
+        if inner.eos_seen >= self.shared.producers {
+            self.shared.not_empty.notify_all();
+        }
     }
 }
 
 /// Consumer handle of a queue (single consumer).
 pub struct QueueReceiver {
-    rx: Receiver<Message>,
-    producers: usize,
-    eos_seen: usize,
+    shared: Arc<Shared>,
+}
+
+impl Drop for QueueReceiver {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().unwrap();
+        inner.consumer_alive = false;
+        // Unblock producers stuck on a full queue.
+        self.shared.not_full.notify_all();
+    }
 }
 
 impl QueueReceiver {
+    fn pop(&self, inner: &mut Inner) -> DataItem {
+        let item = inner.buffer.pop_front().expect("pop on non-empty buffer");
+        self.shared.metrics.received.inc();
+        self.shared.metrics.depth.add(-1);
+        self.shared.not_full.notify_one();
+        item
+    }
+
     /// Receives the next item, blocking until one is available or every
     /// producer finished (`None`).
     pub fn recv(&mut self) -> Option<DataItem> {
+        let mut inner = self.shared.inner.lock().unwrap();
         loop {
-            if self.eos_seen >= self.producers {
+            if !inner.buffer.is_empty() {
+                return Some(self.pop(&mut inner));
+            }
+            if self.shared.stream_ended(&inner) {
                 return None;
             }
-            match self.rx.recv() {
-                Ok(Message::Item(item)) => return Some(item),
-                Ok(Message::Eos) => self.eos_seen += 1,
-                Err(_) => return None, // all senders dropped
-            }
+            inner = self.shared.not_empty.wait(inner).unwrap();
         }
     }
 
     /// Like [`QueueReceiver::recv`] with a timeout; `Ok(None)` = end of
     /// stream, `Err(Timeout)` = nothing arrived in time.
     pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<DataItem>, Timeout> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.inner.lock().unwrap();
         loop {
-            if self.eos_seen >= self.producers {
+            if !inner.buffer.is_empty() {
+                return Ok(Some(self.pop(&mut inner)));
+            }
+            if self.shared.stream_ended(&inner) {
                 return Ok(None);
             }
-            match self.rx.recv_timeout(timeout) {
-                Ok(Message::Item(item)) => return Ok(Some(item)),
-                Ok(Message::Eos) => self.eos_seen += 1,
-                Err(RecvTimeoutError::Timeout) => return Err(Timeout),
-                Err(RecvTimeoutError::Disconnected) => return Ok(None),
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(Timeout);
             }
+            let (guard, _) = self.shared.not_empty.wait_timeout(inner, deadline - now).unwrap();
+            inner = guard;
         }
     }
 }
@@ -85,8 +180,31 @@ pub struct Timeout;
 
 /// Creates a bounded queue for `producers` producers.
 pub fn queue(capacity: usize, producers: usize) -> (QueueSender, QueueReceiver) {
-    let (tx, rx) = bounded(capacity.max(1));
-    (QueueSender { tx }, QueueReceiver { rx, producers, eos_seen: 0 })
+    queue_with_metrics(capacity, producers, Arc::new(QueueMetrics::default()))
+}
+
+/// Like [`queue`], recording depth/throughput/backpressure into the given
+/// instruments (typically obtained from a
+/// [`MetricsRegistry`](crate::metrics::MetricsRegistry)).
+pub fn queue_with_metrics(
+    capacity: usize,
+    producers: usize,
+    metrics: Arc<QueueMetrics>,
+) -> (QueueSender, QueueReceiver) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            buffer: VecDeque::new(),
+            eos_seen: 0,
+            handles: 1,
+            consumer_alive: true,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity: capacity.max(1),
+        producers,
+        metrics,
+    });
+    (QueueSender { shared: Arc::clone(&shared) }, QueueReceiver { shared })
 }
 
 #[cfg(test)]
@@ -127,6 +245,35 @@ mod tests {
     }
 
     #[test]
+    fn dropped_clone_without_finish_does_not_wedge() {
+        // Regression: a cloned sender dropped without finish() (e.g. its
+        // producer thread panicked) used to leave the consumer blocked
+        // forever waiting for an EOS marker that can no longer arrive.
+        let (tx1, mut rx) = queue(4, 2);
+        let tx2 = tx1.clone();
+        tx2.send(DataItem::new().with("n", 7i64));
+        drop(tx2); // vanishes without finish()
+        tx1.finish();
+        std::thread::spawn(move || drop(tx1));
+        assert_eq!(rx.recv().unwrap().get_i64("n"), Some(7), "buffered items still drain");
+        assert!(rx.recv().is_none(), "stream ends once all handles are gone");
+    }
+
+    #[test]
+    fn dropped_clone_after_finish_keeps_counting_once() {
+        let (tx1, mut rx) = queue(4, 2);
+        let tx2 = tx1.clone();
+        tx2.finish();
+        drop(tx2); // finish + drop of the same handle counts once
+        assert!(
+            rx.recv_timeout(Duration::from_millis(20)).is_err(),
+            "one declared producer is still alive, stream must stay open"
+        );
+        tx1.finish();
+        assert!(rx.recv().is_none());
+    }
+
+    #[test]
     fn timeout_variant() {
         let (tx, mut rx) = queue(4, 1);
         assert!(rx.recv_timeout(Duration::from_millis(10)).is_err(), "times out while empty");
@@ -150,5 +297,33 @@ mod tests {
         assert_eq!(rx.recv().unwrap().get_i64("n"), Some(2));
         assert!(rx.recv().is_none());
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_returns_false() {
+        let (tx, rx) = queue(1, 1);
+        tx.send(DataItem::new().with("n", 1i64));
+        drop(rx);
+        assert!(!tx.send(DataItem::new().with("n", 2i64)), "consumer is gone");
+    }
+
+    #[test]
+    fn metrics_track_depth_throughput_and_stalls() {
+        let metrics = Arc::new(QueueMetrics::default());
+        let (tx, mut rx) = queue_with_metrics(1, 1, Arc::clone(&metrics));
+        tx.send(DataItem::new().with("n", 1i64));
+        let blocked = std::thread::spawn(move || {
+            tx.send(DataItem::new().with("n", 2i64));
+            tx.finish();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        while rx.recv().is_some() {}
+        blocked.join().unwrap();
+        assert_eq!(metrics.sent.get(), 2);
+        assert_eq!(metrics.received.get(), 2);
+        assert_eq!(metrics.depth.get(), 0);
+        assert_eq!(metrics.depth.high_water(), 1);
+        assert_eq!(metrics.send_stalls.get(), 1);
+        assert!(metrics.stall_ns.get() > 0, "the blocked send waited measurably");
     }
 }

@@ -9,13 +9,16 @@
 
 use crate::error::StreamsError;
 use crate::item::DataItem;
+use crate::metrics::{MetricsRegistry, StageMetrics};
 use crate::processor::{Context, Processor};
-use crate::queue::{queue, QueueReceiver, QueueSender};
+use crate::queue::{queue_with_metrics, QueueReceiver, QueueSender};
 use crate::sink::Sink;
 use crate::source::Source;
 use crate::topology::{Input, Output, Topology};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
 
 /// Statistics of one completed run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -50,18 +53,36 @@ enum ProcOutput {
 /// Executes a [`Topology`].
 pub struct Runtime {
     topology: Topology,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Runtime {
-    /// Wraps a topology for execution.
+    /// Wraps a topology for execution (with a fresh metrics registry).
     pub fn new(topology: Topology) -> Runtime {
-        Runtime { topology }
+        Runtime { topology, metrics: Arc::new(MetricsRegistry::new()) }
+    }
+
+    /// Uses an externally owned metrics registry, so the caller can snapshot
+    /// instruments after (or while) the topology runs.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Runtime {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The registry this runtime records into.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
     }
 
     /// Validates and runs the topology to completion.
     pub fn run(self) -> Result<RunStats, StreamsError> {
         self.topology.validate()?;
+        let metrics = self.metrics;
         let Topology { mut sources, queues, processes, services } = self.topology;
+        // Processors can reach the instruments through their Context.
+        if !services.contains("metrics") {
+            services.register_arc("metrics", Arc::clone(&metrics));
+        }
 
         // Count producers per queue to size the EOS protocol.
         let mut producers: HashMap<&str, usize> = HashMap::new();
@@ -83,7 +104,7 @@ impl Runtime {
                 // skip it entirely.
                 continue;
             }
-            let (tx, rx) = queue(*cap, n_prod);
+            let (tx, rx) = queue_with_metrics(*cap, n_prod, metrics.queue(name));
             senders.insert(name.clone(), tx);
             receivers.insert(name.clone(), rx);
         }
@@ -111,6 +132,7 @@ impl Runtime {
                 })
                 .collect();
             workers.push(Worker {
+                stage: metrics.stage(&p.name),
                 name: p.name,
                 input,
                 chain: p.processors,
@@ -150,6 +172,7 @@ struct Worker {
     chain: Vec<Box<dyn Processor>>,
     outputs: Vec<ProcOutput>,
     ctx: Context,
+    stage: Arc<StageMetrics>,
 }
 
 impl Worker {
@@ -177,22 +200,28 @@ impl Worker {
             };
             let Some(item) = next else { break };
             consumed += 1;
-            if let Some(out) =
-                run_chain(&mut self.chain, 0, item, &mut self.ctx, &self.name)?
-            {
+            self.stage.items_in.inc();
+            let started = Instant::now();
+            let out = run_chain(&mut self.chain, 0, item, &mut self.ctx, &self.name)?;
+            self.stage.process_ns.record(started.elapsed());
+            if let Some(out) = out {
                 emitted += 1;
+                self.stage.items_out.inc();
                 emit(&mut self.outputs, out)?;
             }
         }
         // Flush processor chain: finish() items of processor i traverse the
         // rest of the chain.
         for i in 0..self.chain.len() {
+            let started = Instant::now();
             let trailing = self.chain[i].finish(&mut self.ctx).map_err(|e| wrap(&self.name, e))?;
+            self.stage.process_ns.record(started.elapsed());
             for item in trailing {
                 if let Some(out) =
                     run_chain(&mut self.chain, i + 1, item, &mut self.ctx, &self.name)?
                 {
                     emitted += 1;
+                    self.stage.items_out.inc();
                     emit(&mut self.outputs, out)?;
                 }
             }
@@ -204,7 +233,10 @@ impl Worker {
 fn wrap(process: &str, e: StreamsError) -> StreamsError {
     match e {
         StreamsError::ProcessorFailed { .. } => e,
-        other => StreamsError::ProcessorFailed { process: process.to_string(), message: other.to_string() },
+        other => StreamsError::ProcessorFailed {
+            process: process.to_string(),
+            message: other.to_string(),
+        },
     }
 }
 
@@ -305,8 +337,14 @@ mod tests {
         t.add_source("a", numbers(10));
         t.add_source("b", numbers(20));
         t.add_queue("merged", 4);
-        t.process("pa").input(Input::Stream("a".into())).output(Output::Queue("merged".into())).done();
-        t.process("pb").input(Input::Stream("b".into())).output(Output::Queue("merged".into())).done();
+        t.process("pa")
+            .input(Input::Stream("a".into()))
+            .output(Output::Queue("merged".into()))
+            .done();
+        t.process("pb")
+            .input(Input::Stream("b".into()))
+            .output(Output::Queue("merged".into()))
+            .done();
         let sink = CountSink::shared();
         t.process("sum")
             .input(Input::Queue("merged".into()))
@@ -329,8 +367,14 @@ mod tests {
             .done();
         let s1 = CountSink::shared();
         let s2 = CountSink::shared();
-        t.process("c1").input(Input::Queue("q1".into())).output(Output::Sink(Box::new(s1.clone()))).done();
-        t.process("c2").input(Input::Queue("q2".into())).output(Output::Sink(Box::new(s2.clone()))).done();
+        t.process("c1")
+            .input(Input::Queue("q1".into()))
+            .output(Output::Sink(Box::new(s1.clone())))
+            .done();
+        t.process("c2")
+            .input(Input::Queue("q2".into()))
+            .output(Output::Sink(Box::new(s2.clone())))
+            .done();
         Runtime::new(t).run().unwrap();
         assert_eq!(s1.count(), 5);
         assert_eq!(s2.count(), 5);
@@ -342,10 +386,16 @@ mod tests {
         t.add_source("nums", numbers(50));
         t.add_queue("q1", 4);
         t.add_queue("q2", 4);
-        t.process("s1").input(Input::Stream("nums".into())).output(Output::Queue("q1".into())).done();
+        t.process("s1")
+            .input(Input::Stream("nums".into()))
+            .output(Output::Queue("q1".into()))
+            .done();
         t.process("s2").input(Input::Queue("q1".into())).output(Output::Queue("q2".into())).done();
         let sink = CountSink::shared();
-        t.process("s3").input(Input::Queue("q2".into())).output(Output::Sink(Box::new(sink.clone()))).done();
+        t.process("s3")
+            .input(Input::Queue("q2".into()))
+            .output(Output::Sink(Box::new(sink.clone())))
+            .done();
         let stats = Runtime::new(t).run().unwrap();
         assert_eq!(sink.count(), 50);
         assert_eq!(stats.total_consumed(), 150);
@@ -368,7 +418,10 @@ mod tests {
             .output(Output::Queue("q".into()))
             .done();
         let sink = CountSink::shared();
-        t.process("down").input(Input::Queue("q".into())).output(Output::Sink(Box::new(sink.clone()))).done();
+        t.process("down")
+            .input(Input::Queue("q".into()))
+            .output(Output::Sink(Box::new(sink.clone())))
+            .done();
         let err = Runtime::new(t).run().unwrap_err();
         assert!(matches!(err, StreamsError::ProcessorFailed { .. }));
         // Downstream received the items before the failure and terminated.
@@ -407,6 +460,57 @@ mod tests {
         assert_eq!(items.len(), 3);
         let summary = items.iter().find(|i| i.contains("summary")).unwrap();
         assert_eq!(summary.get_bool("tagged"), Some(true), "finish items traverse the rest");
+    }
+
+    #[test]
+    fn metrics_record_stage_flow_and_queue_traffic() {
+        let mut t = Topology::new();
+        t.add_source("nums", numbers(100));
+        t.add_queue("q", 8);
+        t.process("halve")
+            .input(Input::Stream("nums".into()))
+            .processor(FnProcessor::new(|item: DataItem, _| {
+                Ok((item.get_i64("n").unwrap() % 2 == 0).then_some(item))
+            }))
+            .output(Output::Queue("q".into()))
+            .done();
+        let sink = CountSink::shared();
+        t.process("collect")
+            .input(Input::Queue("q".into()))
+            .output(Output::Sink(Box::new(sink.clone())))
+            .done();
+        let rt = Runtime::new(t);
+        let metrics = rt.metrics();
+        rt.run().unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.stages["halve"].items_in, 100);
+        assert_eq!(snap.stages["halve"].items_out, 50);
+        assert!(snap.stages["halve"].process_ns.count >= 100, "every call timed");
+        assert_eq!(snap.stages["collect"].items_in, 50);
+        assert_eq!(snap.queues["q"].sent, 50);
+        assert_eq!(snap.queues["q"].received, 50);
+        assert_eq!(snap.queues["q"].depth, 0, "queue fully drained");
+        assert!(snap.queues["q"].depth_high_water >= 1);
+    }
+
+    #[test]
+    fn metrics_registry_is_exposed_as_a_service() {
+        let mut t = Topology::new();
+        t.add_source("nums", numbers(3));
+        let sink = CountSink::shared();
+        t.process("p")
+            .input(Input::Stream("nums".into()))
+            .processor(FnProcessor::new(|item: DataItem, ctx: &mut Context| {
+                let m = ctx.services().get::<MetricsRegistry>("metrics")?;
+                m.counter("custom.seen").inc();
+                Ok(Some(item))
+            }))
+            .output(Output::Sink(Box::new(sink.clone())))
+            .done();
+        let rt = Runtime::new(t);
+        let metrics = rt.metrics();
+        rt.run().unwrap();
+        assert_eq!(metrics.snapshot().counters["custom.seen"], 3);
     }
 
     #[test]

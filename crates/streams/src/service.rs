@@ -10,10 +10,9 @@
 //! processor asks for exactly the concrete service type it expects.
 
 use crate::error::StreamsError;
-use parking_lot::RwLock;
 use std::any::Any;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// Marker trait for service implementations.
 ///
@@ -39,13 +38,13 @@ impl ServiceRegistry {
 
     /// Registers an already shared service.
     pub fn register_arc<S: Service>(&self, name: &str, service: Arc<S>) {
-        self.inner.write().insert(name.to_string(), service);
+        self.inner.write().unwrap().insert(name.to_string(), service);
     }
 
     /// Retrieves the service registered under `name` as concrete type `S`.
     pub fn get<S: Service>(&self, name: &str) -> Result<Arc<S>, StreamsError> {
         let service = {
-            let guard = self.inner.read();
+            let guard = self.inner.read().unwrap();
             Arc::clone(guard.get(name).ok_or_else(|| StreamsError::ServiceError {
                 detail: format!("no service registered under `{name}`"),
             })?)
@@ -57,14 +56,14 @@ impl ServiceRegistry {
 
     /// Names of all registered services, sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.inner.read().keys().cloned().collect();
+        let mut v: Vec<String> = self.inner.read().unwrap().keys().cloned().collect();
         v.sort();
         v
     }
 
     /// Whether a service is registered under `name`.
     pub fn contains(&self, name: &str) -> bool {
-        self.inner.read().contains_key(name)
+        self.inner.read().unwrap().contains_key(name)
     }
 }
 

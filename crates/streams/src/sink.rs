@@ -2,10 +2,9 @@
 
 use crate::error::StreamsError;
 use crate::item::DataItem;
-use parking_lot::Mutex;
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A consumer of data items at the edge of the topology.
 pub trait Sink: Send {
@@ -32,23 +31,23 @@ impl CollectSink {
 
     /// Snapshot of the collected items.
     pub fn items(&self) -> Vec<DataItem> {
-        self.items.lock().clone()
+        self.items.lock().unwrap().clone()
     }
 
     /// Number of collected items.
     pub fn len(&self) -> usize {
-        self.items.lock().len()
+        self.items.lock().unwrap().len()
     }
 
     /// Whether nothing was collected.
     pub fn is_empty(&self) -> bool {
-        self.items.lock().is_empty()
+        self.items.lock().unwrap().is_empty()
     }
 }
 
 impl Sink for CollectSink {
     fn write_item(&mut self, item: DataItem) -> Result<(), StreamsError> {
-        self.items.lock().push(item);
+        self.items.lock().unwrap().push(item);
         Ok(())
     }
 }

@@ -88,7 +88,8 @@ mod tests {
 
     #[test]
     fn vec_source_drains() {
-        let mut s = VecSource::new([DataItem::new().with("a", 1i64), DataItem::new().with("a", 2i64)]);
+        let mut s =
+            VecSource::new([DataItem::new().with("a", 1i64), DataItem::new().with("a", 2i64)]);
         assert_eq!(s.next_item().unwrap().unwrap().get_i64("a"), Some(1));
         assert_eq!(s.next_item().unwrap().unwrap().get_i64("a"), Some(2));
         assert!(s.next_item().unwrap().is_none());

@@ -229,7 +229,10 @@ mod tests {
         t.add_source("in", items(3));
         t.add_queue("q", 8);
         t.process("a").input(Input::Stream("in".into())).output(Output::Queue("q".into())).done();
-        t.process("b").input(Input::Queue("q".into())).output(Output::Sink(Box::new(NullSink))).done();
+        t.process("b")
+            .input(Input::Queue("q".into()))
+            .output(Output::Sink(Box::new(NullSink)))
+            .done();
         t.validate().unwrap();
     }
 
@@ -244,7 +247,10 @@ mod tests {
     fn unknown_queue_rejected() {
         let mut t = Topology::new();
         t.add_source("in", items(1));
-        t.process("a").input(Input::Stream("in".into())).output(Output::Queue("ghost".into())).done();
+        t.process("a")
+            .input(Input::Stream("in".into()))
+            .output(Output::Queue("ghost".into()))
+            .done();
         assert!(matches!(t.validate(), Err(StreamsError::UnknownEndpoint { .. })));
     }
 

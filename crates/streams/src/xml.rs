@@ -475,7 +475,8 @@ mod tests {
         assert!(err.to_string().contains("Nope"));
 
         // unbound sink
-        let doc = r#"<container><process id="p" input="stream:s" output="sink:ghost"/></container>"#;
+        let doc =
+            r#"<container><process id="p" input="stream:s" output="sink:ghost"/></container>"#;
         let mut t = Topology::new();
         let err = compile_into(&mut t, doc, &factories, &mut bound_sinks(&sink)).unwrap_err();
         assert!(err.to_string().contains("ghost"));

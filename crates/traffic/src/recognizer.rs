@@ -57,11 +57,10 @@ impl TrafficRecognizer {
                 .map(|i| vec![Term::int(i.id), Term::float(i.lon), Term::float(i.lat)])
                 .collect(),
         )?;
-        let mut areas: Vec<Vec<Term>> = intersections
-            .iter()
-            .map(|i| vec![Term::float(i.lon), Term::float(i.lat)])
-            .collect();
-        areas.extend(extra_areas.iter().map(|&(lon, lat)| vec![Term::float(lon), Term::float(lat)]));
+        let mut areas: Vec<Vec<Term>> =
+            intersections.iter().map(|i| vec![Term::float(i.lon), Term::float(i.lat)]).collect();
+        areas
+            .extend(extra_areas.iter().map(|&(lon, lat)| vec![Term::float(lon), Term::float(lat)]));
         engine.set_relation(rel::AREA, areas)?;
         Ok(TrafficRecognizer { engine, config })
     }
@@ -167,10 +166,7 @@ pub struct TrafficRecognition {
     pub raw: Recognition,
 }
 
-fn location_entries<'a>(
-    raw: &'a Recognition,
-    fluent: &str,
-) -> Vec<((f64, f64), &'a IntervalList)> {
+fn location_entries<'a>(raw: &'a Recognition, fluent: &str) -> Vec<((f64, f64), &'a IntervalList)> {
     raw.fluent_entries(fluent)
         .iter()
         .filter_map(|e| match (e.args.first()?.as_f64(), e.args.get(1)?.as_f64()) {
@@ -303,13 +299,8 @@ mod tests {
             "disagreeing buses should be marked noisy under the pessimistic variant"
         );
         // Noisy buses are predominantly the faulty ones.
-        let faulty: Vec<i64> = scenario
-            .fleet
-            .buses
-            .iter()
-            .filter(|b| b.faulty)
-            .map(|b| b.id as i64)
-            .collect();
+        let faulty: Vec<i64> =
+            scenario.fleet.buses.iter().filter(|b| b.faulty).map(|b| b.id as i64).collect();
         let noisy_ids: Vec<i64> = result.noisy_buses().iter().map(|&(b, _)| b).collect();
         let hits = noisy_ids.iter().filter(|b| faulty.contains(b)).count();
         assert!(
@@ -322,13 +313,9 @@ mod tests {
     #[test]
     fn crowd_input_flows_into_recognition() {
         let intersections = [IntersectionInfo { id: 1, lon: -6.26, lat: 53.35 }];
-        let mut rec = TrafficRecognizer::new(
-            TrafficRulesConfig::default(),
-            window(),
-            &intersections,
-            &[],
-        )
-        .unwrap();
+        let mut rec =
+            TrafficRecognizer::new(TrafficRulesConfig::default(), window(), &intersections, &[])
+                .unwrap();
         rec.ingest_crowd(-6.26, 53.35, true, 100).unwrap();
         let result = rec.query(1800).unwrap();
         // The crowd event itself is an input; recognition just must accept it.

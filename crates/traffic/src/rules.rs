@@ -151,14 +151,16 @@ fn delay_increase(b: &mut RuleSetBuilder, config: &TrafficRulesConfig) {
         t2,
         [
             happens(event_pat(names::MOVE, [pat(bus), any(), any(), pat(d1)]), t1),
-            holds(fluent_pat(names::GPS, [pat(bus), pat(lon1), pat(lat1), any(), any()], val(true)), t1),
+            holds(
+                fluent_pat(names::GPS, [pat(bus), pat(lon1), pat(lat1), any(), any()], val(true)),
+                t1,
+            ),
             happens(event_pat(names::MOVE, [pat(bus), any(), any(), pat(d2)]), t2),
-            holds(fluent_pat(names::GPS, [pat(bus), pat(lon2), pat(lat2), any(), any()], val(true)), t2),
-            guard(cmp(
-                NumExpr::sub(d2.into(), d1.into()),
-                CmpOp::Gt,
-                config.delay_increase_d,
-            )),
+            holds(
+                fluent_pat(names::GPS, [pat(bus), pat(lon2), pat(lat2), any(), any()], val(true)),
+                t2,
+            ),
+            guard(cmp(NumExpr::sub(d2.into(), d1.into()), CmpOp::Gt, config.delay_increase_d)),
             guard(cmp(NumExpr::sub(t2.into(), t1.into()), CmpOp::Gt, 0.0)),
             guard(cmp(NumExpr::sub(t2.into(), t1.into()), CmpOp::Lt, config.delay_increase_t)),
         ],
@@ -210,11 +212,7 @@ fn scats_int_congestion(b: &mut RuleSetBuilder) {
     b.static_fluent(
         fluent(ce::SCATS_INT_CONGESTION, [pat(lon), pat(lat)], val(true)),
         [relation(rel::SCATS_INTERSECTION, [pat(int), pat(lon), pat(lat)])],
-        IntervalExpr::Fluent(fluent_pat(
-            ce::SCATS_CONGESTION,
-            [pat(int), any(), any()],
-            val(true),
-        )),
+        IntervalExpr::Fluent(fluent_pat(ce::SCATS_CONGESTION, [pat(int), any(), any()], val(true))),
     );
 }
 
@@ -241,7 +239,11 @@ fn bus_near(b: &mut RuleSetBuilder, head_name: &str, relation_name: &str) {
         [
             happens(event_pat(names::MOVE, [pat(bus), any(), any(), any()]), t),
             holds(
-                fluent_pat(names::GPS, [pat(bus), pat(lon_b), pat(lat_b), any(), pat(cong)], val(true)),
+                fluent_pat(
+                    names::GPS,
+                    [pat(bus), pat(lon_b), pat(lat_b), any(), pat(cong)],
+                    val(true),
+                ),
                 t,
             ),
             relation(relation_name, rel_args),
@@ -263,10 +265,8 @@ fn bus_congestion(b: &mut RuleSetBuilder, filter_noisy: bool, near_event: &str) 
 
     for (flag, initiate) in [(1i64, true), (0i64, false)] {
         let t = b.var(if initiate { "bc_Ti" } else { "bc_Tt" });
-        let mut body = vec![happens(
-            event_pat(near_event, [pat(bus), pat(lon), pat(lat), cnst(flag)]),
-            t,
-        )];
+        let mut body =
+            vec![happens(event_pat(near_event, [pat(bus), pat(lon), pat(lat), cnst(flag)]), t)];
         if filter_noisy {
             body.push(not_holds(fluent_pat(ce::NOISY, [pat(bus)], val(true)), t));
         }
@@ -412,28 +412,24 @@ fn noisy_scats(b: &mut RuleSetBuilder) {
     let scats_pat = || fluent_pat(ce::SCATS_INT_CONGESTION, [pat(lon), pat(lat)], val(true));
 
     // Crowd contradicts the sensors → the intersection's sensors are noisy.
-    for (i, (crowd_val, congested)) in [("positive", false), ("negative", true)].into_iter().enumerate()
+    for (i, (crowd_val, congested)) in
+        [("positive", false), ("negative", true)].into_iter().enumerate()
     {
         let t = b.var(&format!("ns_Ti{i}"));
         let mut body = vec![
-            happens(
-                event_pat(names::CROWD, [pat(lon), pat(lat), cnst(Term::sym(crowd_val))]),
-                t,
-            ),
+            happens(event_pat(names::CROWD, [pat(lon), pat(lat), cnst(Term::sym(crowd_val))]), t),
             relation(rel::SCATS_INTERSECTION, [pat(int), pat(lon), pat(lat)]),
         ];
         body.push(if congested { holds(scats_pat(), t) } else { not_holds(scats_pat(), t) });
         b.initiated(head(), t, body);
     }
     // Crowd confirms the sensors → reliability restored.
-    for (i, (crowd_val, congested)) in [("positive", true), ("negative", false)].into_iter().enumerate()
+    for (i, (crowd_val, congested)) in
+        [("positive", true), ("negative", false)].into_iter().enumerate()
     {
         let t = b.var(&format!("ns_Tt{i}"));
         let mut body = vec![
-            happens(
-                event_pat(names::CROWD, [pat(lon), pat(lat), cnst(Term::sym(crowd_val))]),
-                t,
-            ),
+            happens(event_pat(names::CROWD, [pat(lon), pat(lat), cnst(Term::sym(crowd_val))]), t),
             relation(rel::SCATS_INTERSECTION, [pat(int), pat(lon), pat(lat)]),
         ];
         body.push(if congested { holds(scats_pat(), t) } else { not_holds(scats_pat(), t) });
@@ -543,8 +539,14 @@ fn trends(b: &mut RuleSetBuilder, config: &TrafficRulesConfig) {
             ),
             t2,
             [
-                happens(event_pat(names::TRAFFIC, [pat(int), pat(a), pat(s), pat(d1), pat(f1)]), t1),
-                happens(event_pat(names::TRAFFIC, [pat(int), pat(a), pat(s), pat(d2), pat(f2)]), t2),
+                happens(
+                    event_pat(names::TRAFFIC, [pat(int), pat(a), pat(s), pat(d1), pat(f1)]),
+                    t1,
+                ),
+                happens(
+                    event_pat(names::TRAFFIC, [pat(int), pat(a), pat(s), pat(d2), pat(f2)]),
+                    t2,
+                ),
                 guard(cmp(NumExpr::sub(hi.into(), lo.into()), CmpOp::Ge, delta)),
                 guard(cmp(NumExpr::sub(t2.into(), t1.into()), CmpOp::Gt, 0.0)),
                 guard(cmp(NumExpr::sub(t2.into(), t1.into()), CmpOp::Le, config.trend_window_s)),
@@ -573,12 +575,19 @@ mod tests {
             vec![vec![Term::int(1), Term::float(INT_LON), Term::float(INT_LAT)]],
         )
         .unwrap();
-        e.set_relation(rel::AREA, vec![vec![Term::float(INT_LON), Term::float(INT_LAT)]])
-            .unwrap();
+        e.set_relation(rel::AREA, vec![vec![Term::float(INT_LON), Term::float(INT_LAT)]]).unwrap();
         e
     }
 
-    fn bus_emission(e: &mut Engine, bus: i64, t: i64, lon: f64, lat: f64, congestion: i64, delay: i64) {
+    fn bus_emission(
+        e: &mut Engine,
+        bus: i64,
+        t: i64,
+        lon: f64,
+        lat: f64,
+        congestion: i64,
+        delay: i64,
+    ) {
         e.add_event(Event::new(
             names::MOVE,
             [Term::int(bus), Term::int(10), Term::int(7), Term::int(delay)],
@@ -587,7 +596,13 @@ mod tests {
         .unwrap();
         e.add_obs(FluentObs::new(
             names::GPS,
-            [Term::int(bus), Term::float(lon), Term::float(lat), Term::int(0), Term::int(congestion)],
+            [
+                Term::int(bus),
+                Term::float(lon),
+                Term::float(lat),
+                Term::int(0),
+                Term::int(congestion),
+            ],
             true,
             t,
         ))
@@ -637,9 +652,8 @@ mod tests {
             .unwrap();
         assert_eq!(ivs.as_slice(), &[Interval::span(360, 720)]);
         // Intersection-level congestion mirrors its single congested sensor.
-        let int_ivs = rec
-            .intervals_of(ce::SCATS_INT_CONGESTION, &int_args(), &Term::truth())
-            .unwrap();
+        let int_ivs =
+            rec.intervals_of(ce::SCATS_INT_CONGESTION, &int_args(), &Term::truth()).unwrap();
         assert_eq!(int_ivs.as_slice(), &[Interval::span(360, 720)]);
     }
 
@@ -677,8 +691,7 @@ mod tests {
         scats_reading(&mut e, 360, 100.0, 900.0);
         scats_reading(&mut e, 720, 40.0, 1700.0);
         let rec = e.query(10_000).unwrap();
-        let ivs =
-            rec.intervals_of(ce::SOURCE_DISAGREEMENT, &int_args(), &Term::truth()).unwrap();
+        let ivs = rec.intervals_of(ce::SOURCE_DISAGREEMENT, &int_args(), &Term::truth()).unwrap();
         assert_eq!(ivs.as_slice(), &[Interval::span(100, 360)]);
     }
 
@@ -805,10 +818,23 @@ mod tests {
         assert_eq!(densities.len(), 2);
     }
 
-    fn scats_reading_for(e: &mut Engine, sensor: i64, approach: i64, t: i64, density: f64, flow: f64) {
+    fn scats_reading_for(
+        e: &mut Engine,
+        sensor: i64,
+        approach: i64,
+        t: i64,
+        density: f64,
+        flow: f64,
+    ) {
         e.add_event(Event::new(
             names::TRAFFIC,
-            [Term::int(1), Term::int(approach), Term::int(sensor), Term::float(density), Term::float(flow)],
+            [
+                Term::int(1),
+                Term::int(approach),
+                Term::int(sensor),
+                Term::float(density),
+                Term::float(flow),
+            ],
             t,
         ))
         .unwrap();
@@ -833,9 +859,7 @@ mod tests {
         scats_reading_for(&mut e, 6, 1, 1800, 30.0, 1700.0);
         let rec = e.query(10_000).unwrap();
         // n=2: congested only while BOTH sensors are.
-        let ivs = rec
-            .intervals_of(ce::SCATS_INT_CONGESTION, &int_args(), &Term::truth())
-            .unwrap();
+        let ivs = rec.intervals_of(ce::SCATS_INT_CONGESTION, &int_args(), &Term::truth()).unwrap();
         assert_eq!(ivs.as_slice(), &[Interval::span(720, 1440)]);
     }
 
@@ -847,9 +871,7 @@ mod tests {
         scats_reading_for(&mut e, 6, 1, 720, 100.0, 900.0);
         scats_reading_for(&mut e, 6, 1, 1800, 30.0, 1700.0);
         let rec = e.query(10_000).unwrap();
-        let ivs = rec
-            .intervals_of(ce::SCATS_INT_CONGESTION, &int_args(), &Term::truth())
-            .unwrap();
+        let ivs = rec.intervals_of(ce::SCATS_INT_CONGESTION, &int_args(), &Term::truth()).unwrap();
         assert_eq!(ivs.as_slice(), &[Interval::span(360, 1800)]);
     }
 
@@ -896,8 +918,7 @@ mod tests {
         ))
         .unwrap();
         let rec = e.query(10_000).unwrap();
-        let ivs =
-            rec.intervals_of(ce::CITIZEN_CONGESTION, &int_args(), &Term::truth()).unwrap();
+        let ivs = rec.intervals_of(ce::CITIZEN_CONGESTION, &int_args(), &Term::truth()).unwrap();
         assert_eq!(ivs.as_slice(), &[Interval::span(100, 500)]);
     }
 

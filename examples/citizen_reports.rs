@@ -20,20 +20,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scenario = Scenario::generate(ScenarioConfig::small(3600, 7))?;
     let (start, end) = scenario.window();
 
-    let citizen_cfg = CitizenConfig {
-        n_users: 400,
-        reports_per_hour: 6.0,
-        topicality: 0.6,
-        accuracy: 0.97,
-    };
-    let reports = generate(
-        &scenario.network,
-        &scenario.field,
-        &citizen_cfg,
-        start,
-        end - start,
-        7,
-    );
+    let citizen_cfg =
+        CitizenConfig { n_users: 400, reports_per_hour: 6.0, topicality: 0.6, accuracy: 0.97 };
+    let reports = generate(&scenario.network, &scenario.field, &citizen_cfg, start, end - start, 7);
     let classified = reports.iter().filter(|r| classify(&r.text).is_some()).count();
     println!(
         "{} citizen reports generated; {} classified as traffic-related, {} chatter",
@@ -73,10 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Validate interval onsets against the ground truth.
     let (mut correct, mut total) = (0usize, 0usize);
     for e in citizen_entries {
-        let (lon, lat) = (
-            e.args[0].as_f64().expect("lon"),
-            e.args[1].as_f64().expect("lat"),
-        );
+        let (lon, lat) = (e.args[0].as_f64().expect("lon"), e.args[1].as_f64().expect("lat"));
         for iv in e.ivs.iter() {
             total += 1;
             if scenario.truth_congested(lon, lat, iv.start()) {

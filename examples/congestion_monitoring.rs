@@ -12,9 +12,7 @@
 
 use insight_repro::datagen::scenario::{Scenario, ScenarioConfig};
 use insight_repro::rtec::window::WindowConfig;
-use insight_repro::traffic::{
-    DistributedRecognizer, NoisyVariant, TrafficRulesConfig,
-};
+use insight_repro::traffic::{DistributedRecognizer, NoisyVariant, TrafficRulesConfig};
 
 fn run_mode(
     scenario: &Scenario,
@@ -74,19 +72,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("source disagreement intervals: {disagree_s}");
 
     println!("\n--- self-adaptive recognition (rule-sets 3' + 5) ---");
-    let (bus_cong_a, disagree_a, noisy) = run_mode(
-        &scenario,
-        TrafficRulesConfig::self_adaptive(NoisyVariant::Pessimistic),
-    )?;
+    let (bus_cong_a, disagree_a, noisy) =
+        run_mode(&scenario, TrafficRulesConfig::self_adaptive(NoisyVariant::Pessimistic))?;
     println!("bus congestion intervals:     {bus_cong_a}");
     println!("source disagreement intervals: {disagree_a}");
     println!("buses marked noisy:            {}", noisy.len());
 
     let true_positive = noisy.iter().filter(|b| faulty.contains(b)).count();
-    println!(
-        "  of which actually faulty:    {true_positive} ({} faulty in total)",
-        faulty.len()
-    );
+    println!("  of which actually faulty:    {true_positive} ({} faulty in total)", faulty.len());
     println!(
         "\nself-adaptive mode suppressed {} bus-congestion intervals contributed by unreliable vehicles",
         bus_cong_s.saturating_sub(bus_cong_a)

@@ -51,10 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "\nordering of participants by reliability recovered: {}",
-        trace.ordering_correct(
-            &cohort.iter().map(|p| p.p_err).collect::<Vec<_>>(),
-            0.06
-        )
+        trace.ordering_correct(&cohort.iter().map(|p| p.p_err).collect::<Vec<_>>(), 0.06)
     );
     println!(
         "posteriors with one label above 0.99: {:.1} % (the paper reports ~94 %)",
@@ -63,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- query execution engine latency (Figure 6) ---
     println!("\nquery execution engine latency (10 task executions per connection):");
-    println!("{:<6} {:>12} {:>12} {:>12} {:>12}", "conn", "trigger ms", "push ms", "comm ms", "total ms");
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>12}",
+        "conn", "trigger ms", "push ms", "comm ms", "total ms"
+    );
     for connection in ConnectionType::ALL {
         let mut engine = QueryExecutionEngine::new();
         for i in 0..10u64 {

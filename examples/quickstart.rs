@@ -44,9 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("SDEs recognised over:     {total_sdes}");
     let max_rec = report.windows.iter().map(|w| w.recognition_time).max().unwrap_or_default();
     println!("max recognition time:     {max_rec:?}");
-    let disagreements = report
-        .alerts_where(|a| matches!(a, OperatorAlert::SourceDisagreement { .. }))
-        .len();
+    let disagreements =
+        report.alerts_where(|a| matches!(a, OperatorAlert::SourceDisagreement { .. })).len();
     println!("source disagreements:     {disagreements}");
     match report.crowd_accuracy {
         Some(acc) => println!("crowd verdict accuracy:   {:.1} %", acc * 100.0),

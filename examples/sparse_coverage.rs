@@ -55,19 +55,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Fit on all observations, predict the uncovered junctions.
     let gp = GpRegression::fit(&graph, &search.best, &observations, 0.1, true)?;
     let posterior = gp.predict_unobserved()?;
-    let truth_pairs: Vec<(usize, f64)> =
-        posterior.targets.iter().map(|&v| (v, truth[v])).collect();
+    let truth_pairs: Vec<(usize, f64)> = posterior.targets.iter().map(|&v| (v, truth[v])).collect();
     let gp_rmse = rmse(&posterior, &truth_pairs).unwrap();
 
     // Baselines.
-    let mean_flow =
-        observations.iter().map(|&(_, f)| f).sum::<f64>() / observations.len() as f64;
-    let mean_rmse = (truth_pairs
-        .iter()
-        .map(|&(_, f)| (f - mean_flow) * (f - mean_flow))
-        .sum::<f64>()
-        / truth_pairs.len() as f64)
-        .sqrt();
+    let mean_flow = observations.iter().map(|&(_, f)| f).sum::<f64>() / observations.len() as f64;
+    let mean_rmse =
+        (truth_pairs.iter().map(|&(_, f)| (f - mean_flow) * (f - mean_flow)).sum::<f64>()
+            / truth_pairs.len() as f64)
+            .sqrt();
     let nn_rmse = {
         let mut sum = 0.0;
         for &(v, f) in &truth_pairs {

@@ -87,10 +87,7 @@ fn static_and_adaptive_recognition_agree_on_scats_congestion() {
             .per_region
             .iter()
             .map(|(_, r)| {
-                r.congested_intersections()
-                    .iter()
-                    .map(|(_, ivs)| ivs.len())
-                    .sum::<usize>()
+                r.congested_intersections().iter().map(|(_, ivs)| ivs.len()).sum::<usize>()
             })
             .sum::<usize>()
     };
@@ -106,9 +103,8 @@ fn proactive_controller_reacts_to_recognised_congestion() {
     // core, so the controller must issue at least a signal-priority action.
     let mut system = InsightSystem::new(SystemConfig::small(2700, 42)).unwrap();
     let report = system.run().unwrap();
-    let congestion_alerts = report
-        .alerts_where(|a| matches!(a, OperatorAlert::IntersectionCongestion { .. }))
-        .len();
+    let congestion_alerts =
+        report.alerts_where(|a| matches!(a, OperatorAlert::IntersectionCongestion { .. })).len();
     assert!(congestion_alerts > 0, "rush hour congests the instrumented core");
     assert!(
         report.control_actions.iter().any(|(_, a)| matches!(
