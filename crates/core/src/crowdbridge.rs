@@ -44,6 +44,9 @@ pub struct CrowdBridgeConfig {
     pub initial_p: f64,
     /// Step-size schedule of the online EM.
     pub schedule: GammaSchedule,
+    /// Deadline-missed tasks re-assigned to the next-fastest unused worker
+    /// this many times per query before a `deadline_miss` is counted.
+    pub retry_budget: u64,
 }
 
 impl Default for CrowdBridgeConfig {
@@ -57,6 +60,7 @@ impl Default for CrowdBridgeConfig {
             workers_per_query: 5,
             initial_p: 0.25,
             schedule: GammaSchedule::default(),
+            retry_budget: 1,
         }
     }
 }
@@ -69,6 +73,7 @@ pub struct CrowdBridge {
     labels: LabelSet,
     rng: StdRng,
     workers_per_query: usize,
+    retry_budget: u64,
 }
 
 impl CrowdBridge {
@@ -112,6 +117,7 @@ impl CrowdBridge {
             labels,
             rng,
             workers_per_query: config.workers_per_query,
+            retry_budget: config.retry_budget,
         })
     }
 
@@ -163,7 +169,7 @@ impl CrowdBridge {
         let participants = &self.participants;
         let labels = &self.labels;
         let mut answer_rng = StdRng::seed_from_u64(self.rng.random());
-        let execution = self.engine.execute(
+        let execution = self.engine.execute_with_retry(
             &query,
             &selected,
             |id| {
@@ -172,6 +178,7 @@ impl CrowdBridge {
                     .and_then(|p| p.answer(truth_label, labels, &mut answer_rng).ok())
             },
             &mut self.rng,
+            self.retry_budget,
         )?;
 
         let prior = prior.unwrap_or_else(|| self.labels.uniform_prior());

@@ -18,7 +18,9 @@ use crate::items::{item_to_sde, sde_to_item};
 use insight_datagen::regions::Region;
 use insight_datagen::scenario::Scenario;
 use insight_rtec::window::WindowConfig;
+use insight_streams::chaos::{ChaosConfig, ChaosSource, ChaosStats};
 use insight_streams::error::StreamsError;
+use insight_streams::fault::FaultPolicy;
 use insight_streams::item::DataItem;
 use insight_streams::metrics::{Counter, Histogram, MetricsRegistry};
 use insight_streams::processor::{Context, Processor};
@@ -43,6 +45,8 @@ pub struct RtecProcessor {
     /// Per-window RTEC query latency, fetched lazily from the runtime's
     /// metrics service (absent when the processor runs outside a runtime).
     window_ns: Option<Arc<Histogram>>,
+    /// Items that failed SDE schema validation and were skipped.
+    malformed: Option<Arc<Counter>>,
 }
 
 impl RtecProcessor {
@@ -61,6 +65,7 @@ impl RtecProcessor {
             region,
             pending: VecDeque::new(),
             window_ns: None,
+            malformed: None,
         }
     }
 
@@ -74,9 +79,20 @@ impl RtecProcessor {
         self.window_ns.clone()
     }
 
+    fn malformed_counter(&mut self, ctx: &Context) -> Option<Arc<Counter>> {
+        if self.malformed.is_none() {
+            if let Ok(registry) = ctx.services().get::<MetricsRegistry>("metrics") {
+                self.malformed =
+                    Some(registry.counter(&format!("rtec.{}.malformed_sdes", self.region)));
+            }
+        }
+        self.malformed.clone()
+    }
+
     fn run_query(&mut self, q: i64, ctx: &Context) -> Result<(), StreamsError> {
         let result = self.recognizer.query(q).map_err(|e| StreamsError::ProcessorFailed {
             process: format!("rtec-{}", self.region),
+            processor: None,
             message: e.to_string(),
         })?;
         let query_ns = result.raw.timing.total.as_nanos().min(i64::MAX as u128) as i64;
@@ -111,16 +127,27 @@ impl Processor for RtecProcessor {
         item: DataItem,
         ctx: &mut Context,
     ) -> Result<Option<DataItem>, StreamsError> {
-        if let Some(sde) = item_to_sde(&item) {
-            while sde.arrival >= self.next_query {
-                let q = self.next_query;
-                self.run_query(q, ctx)?;
-                self.next_query += self.step;
+        match item_to_sde(&item) {
+            Some(sde) => {
+                while sde.arrival >= self.next_query {
+                    let q = self.next_query;
+                    self.run_query(q, ctx)?;
+                    self.next_query += self.step;
+                }
+                self.recognizer.ingest(&sde).map_err(|e| StreamsError::ProcessorFailed {
+                    process: format!("rtec-{}", self.region),
+                    processor: None,
+                    message: e.to_string(),
+                })?;
             }
-            self.recognizer.ingest(&sde).map_err(|e| StreamsError::ProcessorFailed {
-                process: format!("rtec-{}", self.region),
-                message: e.to_string(),
-            })?;
+            // Graceful degradation: a malformed SDE (schema violation,
+            // corrupted field) is skipped and counted rather than failing
+            // the recognition stage.
+            None => {
+                if let Some(counter) = self.malformed_counter(ctx) {
+                    counter.inc();
+                }
+            }
         }
         Ok(self.pending.pop_front())
     }
@@ -151,6 +178,7 @@ pub struct CrowdProcessor<F> {
     /// Latency of each `resolve` call; lazily fetched from the metrics service.
     resolve_ns: Option<Arc<Histogram>>,
     resolutions: Option<Arc<Counter>>,
+    fallbacks: Option<Arc<Counter>>,
 }
 
 impl<F> CrowdProcessor<F>
@@ -159,7 +187,7 @@ where
 {
     /// Wraps a crowd bridge and a ground-truth oracle.
     pub fn new(bridge: crate::crowdbridge::CrowdBridge, truth_of: F) -> CrowdProcessor<F> {
-        CrowdProcessor { bridge, truth_of, resolve_ns: None, resolutions: None }
+        CrowdProcessor { bridge, truth_of, resolve_ns: None, resolutions: None, fallbacks: None }
     }
 
     fn instruments(&mut self, ctx: &Context) -> Option<(Arc<Histogram>, Arc<Counter>)> {
@@ -167,6 +195,7 @@ where
             if let Ok(registry) = ctx.services().get::<MetricsRegistry>("metrics") {
                 self.resolve_ns = Some(registry.histogram("crowd.resolve_ns"));
                 self.resolutions = Some(registry.counter("crowd.resolutions"));
+                self.fallbacks = Some(registry.counter("crowd.fallbacks"));
             }
         }
         self.resolve_ns.clone().zip(self.resolutions.clone())
@@ -189,19 +218,29 @@ where
         ) {
             let truth = (self.truth_of)(lon, lat, q);
             let resolve_started = Instant::now();
-            let resolution = self.bridge.resolve(lon, lat, truth, None).map_err(|e| {
-                StreamsError::ProcessorFailed {
-                    process: "crowdsourcing".into(),
-                    message: e.to_string(),
+            match self.bridge.resolve(lon, lat, truth, None) {
+                Ok(resolution) => {
+                    if let Some((hist, count)) = self.instruments(ctx) {
+                        hist.record(resolve_started.elapsed());
+                        count.inc();
+                    }
+                    item.set("crowd_verdict_congested", resolution.congested);
+                    item.set("crowd_confidence", resolution.confidence);
+                    item.set("crowd_answers", resolution.answers as i64);
                 }
-            })?;
-            if let Some((hist, count)) = self.instruments(ctx) {
-                hist.record(resolve_started.elapsed());
-                count.inc();
+                // Graceful degradation: when the crowd engine cannot
+                // resolve the disagreement (no eligible workers, engine
+                // error), fall back to the sensor-only summary instead of
+                // failing the stage — the paper's pipeline keeps reporting
+                // from SCATS/bus data alone.
+                Err(_) => {
+                    self.instruments(ctx);
+                    if let Some(fallbacks) = &self.fallbacks {
+                        fallbacks.inc();
+                    }
+                    item.set("crowd_fallback", true);
+                }
             }
-            item.set("crowd_verdict_congested", resolution.congested);
-            item.set("crowd_confidence", resolution.confidence);
-            item.set("crowd_answers", resolution.answers as i64);
         }
         Ok(Some(item))
     }
@@ -229,22 +268,87 @@ pub fn build_pipeline(
     rules: TrafficRulesConfig,
     window: WindowConfig,
 ) -> Result<(Topology, CollectSink), StreamsError> {
+    let (topology, sink, _) = build_pipeline_inner(scenario, rules, window, None)?;
+    Ok((topology, sink))
+}
+
+/// Per-source chaos counters returned by [`build_chaos_pipeline`], keyed by
+/// source name.
+pub type SourceChaosStats = Vec<(String, Arc<ChaosStats>)>;
+
+/// [`build_pipeline`] with deterministic fault injection and supervision:
+/// every source is wrapped in a [`ChaosSource`] (seeded per source from
+/// `chaos.seed`), the RTEC processes run under `Skip` so corrupted or
+/// erroring items are dropped instead of aborting the region, and the
+/// crowdsourcing process dead-letters failed summaries for post-mortem
+/// (read them via [`Topology::dead_letters`] before `Runtime::new`).
+///
+/// Also returns one [`ChaosStats`] handle per wrapped source so callers can
+/// report how much chaos was actually injected.
+pub fn build_chaos_pipeline(
+    scenario: &Scenario,
+    rules: TrafficRulesConfig,
+    window: WindowConfig,
+    chaos: ChaosConfig,
+) -> Result<(Topology, CollectSink, SourceChaosStats), StreamsError> {
+    build_pipeline_inner(scenario, rules, window, Some(chaos))
+}
+
+/// Adds `items` as a source named `name`, wrapped in a [`ChaosSource`] when
+/// chaos is enabled (the per-source seed is salted so streams fault
+/// independently).
+fn add_source(
+    topology: &mut Topology,
+    name: &str,
+    items: Vec<DataItem>,
+    chaos: &Option<ChaosConfig>,
+    salt: u64,
+    stats: &mut SourceChaosStats,
+) {
+    let source = VecSource::new(items);
+    match chaos {
+        Some(cfg) => {
+            let cfg = ChaosConfig { seed: cfg.seed.wrapping_add(salt), ..cfg.clone() };
+            let chaotic = ChaosSource::new(source, cfg);
+            stats.push((name.to_string(), chaotic.stats()));
+            topology.add_source(name, chaotic);
+        }
+        None => {
+            topology.add_source(name, source);
+        }
+    }
+}
+
+fn build_pipeline_inner(
+    scenario: &Scenario,
+    rules: TrafficRulesConfig,
+    window: WindowConfig,
+    chaos: Option<ChaosConfig>,
+) -> Result<(Topology, CollectSink, SourceChaosStats), StreamsError> {
     let mut topology = Topology::new();
+    let mut chaos_stats: SourceChaosStats = Vec::new();
     let (start, _) = scenario.window();
     let first_query = start + window.step();
 
     // Input handling: one bus stream, four SCATS region streams.
     let bus_items: Vec<DataItem> =
         scenario.sdes.iter().filter(|s| s.is_bus()).map(sde_to_item).collect();
-    topology.add_source("bus", VecSource::new(bus_items));
-    for region in Region::ALL {
+    add_source(&mut topology, "bus", bus_items, &chaos, 0, &mut chaos_stats);
+    for (i, region) in Region::ALL.into_iter().enumerate() {
         let items: Vec<DataItem> = scenario
             .sdes
             .iter()
             .filter(|s| !s.is_bus() && s.region() == region)
             .map(sde_to_item)
             .collect();
-        topology.add_source(&format!("scats-{region}"), VecSource::new(items));
+        add_source(
+            &mut topology,
+            &format!("scats-{region}"),
+            items,
+            &chaos,
+            1 + i as u64,
+            &mut chaos_stats,
+        );
     }
 
     // Per-region queues fed by the bus splitter and the region's SCATS stream.
@@ -281,13 +385,20 @@ pub fn build_pipeline(
             TrafficRecognizer::new(rules.clone(), window, &infos, &[]).map_err(|e| {
                 StreamsError::ProcessorFailed {
                     process: format!("rtec-{region}"),
+                    processor: None,
                     message: e.to_string(),
                 }
             })?;
         let region_name = region.to_string();
-        topology
+        let mut builder = topology
             .process(&format!("rtec-{region}"))
-            .input(Input::Queue(format!("sde-{region}")))
+            .input(Input::Queue(format!("sde-{region}")));
+        if chaos.is_some() {
+            // Under injected faults a corrupted SDE must cost one item, not
+            // the whole region engine.
+            builder = builder.fault_policy(FaultPolicy::Skip { max_consecutive: usize::MAX });
+        }
+        builder
             .processor(insight_streams::processor::FnProcessor::new(
                 move |item: DataItem, _ctx: &mut Context| {
                     // Keep only this region's SDEs (the bus stream is
@@ -311,6 +422,7 @@ pub fn build_pipeline(
         )
         .map_err(|e| StreamsError::ProcessorFailed {
             process: "crowdsourcing".into(),
+            processor: None,
             message: e.to_string(),
         })?
     };
@@ -319,14 +431,18 @@ pub fn build_pipeline(
     let truth_of = move |lon: f64, lat: f64, t: i64| {
         network.nearest_junction(lon, lat).map(|j| field.is_congested(j, t)).unwrap_or(false)
     };
-    topology
-        .process("crowdsourcing")
-        .input(Input::Queue("recognitions".into()))
+    let mut builder = topology.process("crowdsourcing").input(Input::Queue("recognitions".into()));
+    if chaos.is_some() {
+        // Failed summaries are preserved for post-mortem instead of
+        // aborting the run.
+        builder = builder.dead_letter();
+    }
+    builder
         .processor(CrowdProcessor::new(bridge, truth_of))
         .output(Output::Sink(Box::new(sink.clone())))
         .done();
 
-    Ok((topology, sink))
+    Ok((topology, sink, chaos_stats))
 }
 
 #[cfg(test)]
@@ -419,6 +535,59 @@ mod tests {
         }
         // This heavily faulty scenario reliably produces at least one.
         assert!(annotated > 0, "no disagreement summary produced");
+    }
+
+    #[test]
+    fn chaos_pipeline_survives_injected_corruption() {
+        let scenario = Scenario::generate(ScenarioConfig::small(1200, 77)).unwrap();
+        let window = WindowConfig::new(600, 300).unwrap();
+        let chaos = ChaosConfig {
+            corrupt_rate: 0.05,
+            drop_rate: 0.02,
+            delay_rate: 0.02,
+            ..ChaosConfig::new(9)
+        };
+        let (topology, sink, stats) =
+            build_chaos_pipeline(&scenario, TrafficRulesConfig::default(), window, chaos).unwrap();
+        let dead_letters = topology.dead_letters();
+        let runtime = Runtime::new(topology);
+        let metrics = runtime.metrics();
+        runtime.run().expect("supervised run completes despite injected faults");
+
+        assert!(!sink.items().is_empty(), "recognition summaries still produced");
+        let corrupted: u64 = stats.iter().map(|(_, s)| s.corrupted.get()).sum();
+        assert!(corrupted > 0, "the harness actually injected corruption");
+        // Corrupted SDEs are counted, not fatal; the run aborts nowhere.
+        let snap = metrics.snapshot();
+        let malformed: u64 = snap
+            .counters
+            .iter()
+            .filter(|(name, _)| name.ends_with(".malformed_sdes"))
+            .map(|(_, v)| *v)
+            .sum();
+        assert!(malformed > 0, "RTEC skipped the corrupted SDEs");
+        // Nothing in this run errors inside a processor, so the dead-letter
+        // queue stays empty even though the crowd stage is armed with it.
+        assert!(dead_letters.is_empty());
+    }
+
+    #[test]
+    fn chaos_pipeline_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let scenario = Scenario::generate(ScenarioConfig::small(900, 42)).unwrap();
+            let window = WindowConfig::new(300, 300).unwrap();
+            let chaos = ChaosConfig { corrupt_rate: 0.1, drop_rate: 0.1, ..ChaosConfig::new(seed) };
+            let (topology, sink, stats) =
+                build_chaos_pipeline(&scenario, TrafficRulesConfig::static_mode(), window, chaos)
+                    .unwrap();
+            Runtime::new(topology).run().unwrap();
+            let injected: (u64, u64) = (
+                stats.iter().map(|(_, s)| s.dropped.get()).sum(),
+                stats.iter().map(|(_, s)| s.corrupted.get()).sum(),
+            );
+            (sink.len(), injected)
+        };
+        assert_eq!(run(5), run(5), "same seed, same chaos, same output");
     }
 
     #[test]

@@ -122,6 +122,102 @@ pub struct WindowStats {
     pub resolutions: usize,
 }
 
+/// Fault counters of one stage, extracted from a [`MetricsSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageFaults {
+    /// Failed processor invocations (errors + panics).
+    pub faults: u64,
+    /// The subset of `faults` that were isolated panics.
+    pub panics: u64,
+    /// Re-invocations performed by a `Retry` policy.
+    pub retries: u64,
+    /// Items dropped by a `Skip` policy.
+    pub skipped: u64,
+    /// Items moved to the dead-letter queue.
+    pub dead_letters: u64,
+}
+
+/// Aggregated fault/degradation picture of a run: per-stage supervision
+/// counters plus the pipeline-level graceful-degradation counters (malformed
+/// SDEs skipped by RTEC, sensor-only crowd fallbacks, crowd task retries).
+#[derive(Debug, Clone, Default)]
+pub struct FaultReport {
+    /// Stages that recorded at least one fault, retry, skip, or dead letter.
+    pub per_stage: std::collections::BTreeMap<String, StageFaults>,
+    /// SDE items that failed schema validation and were skipped by RTEC
+    /// (summed over the `rtec.<region>.malformed_sdes` counters).
+    pub malformed_sdes: u64,
+    /// Disagreements resolved sensor-only because the crowd engine errored.
+    pub crowd_fallbacks: u64,
+    /// Deadline-missed crowd tasks re-assigned to a faster worker.
+    pub crowd_retries: u64,
+}
+
+impl FaultReport {
+    /// Extracts the fault picture from a metrics snapshot (works for both
+    /// [`InsightSystem::run`] reports and Streams runtime registries).
+    pub fn from_snapshot(snap: &MetricsSnapshot) -> FaultReport {
+        let mut report = FaultReport::default();
+        for (name, stage) in &snap.stages {
+            let faults = StageFaults {
+                faults: stage.faults,
+                panics: stage.panics,
+                retries: stage.retries,
+                skipped: stage.skipped,
+                dead_letters: stage.dead_letters,
+            };
+            if faults != StageFaults::default() {
+                report.per_stage.insert(name.clone(), faults);
+            }
+        }
+        for (name, &value) in &snap.counters {
+            if name.ends_with(".malformed_sdes") {
+                report.malformed_sdes += value;
+            }
+        }
+        report.crowd_fallbacks = snap.counters.get("crowd.fallbacks").copied().unwrap_or(0);
+        report.crowd_retries = snap.counters.get("crowd.retries").copied().unwrap_or(0);
+        report
+    }
+
+    /// Total failed processor invocations across all stages.
+    pub fn total_faults(&self) -> u64 {
+        self.per_stage.values().map(|s| s.faults).sum()
+    }
+
+    /// True when the run saw no faults and no degradation at all.
+    pub fn is_clean(&self) -> bool {
+        self.per_stage.is_empty()
+            && self.malformed_sdes == 0
+            && self.crowd_fallbacks == 0
+            && self.crowd_retries == 0
+    }
+}
+
+impl fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "no faults");
+        }
+        writeln!(
+            f,
+            "{} stage faults, {} malformed SDEs, {} crowd fallbacks, {} crowd retries",
+            self.total_faults(),
+            self.malformed_sdes,
+            self.crowd_fallbacks,
+            self.crowd_retries
+        )?;
+        for (stage, s) in &self.per_stage {
+            writeln!(
+                f,
+                "  {stage}: faults {} (panics {}), retries {}, skipped {}, dead-letters {}",
+                s.faults, s.panics, s.retries, s.skipped, s.dead_letters
+            )?;
+        }
+        Ok(())
+    }
+}
+
 /// The report of a completed run.
 #[derive(Debug, Clone)]
 pub struct SystemReport {
@@ -140,6 +236,8 @@ pub struct SystemReport {
     /// latencies, SDE/crowd counters. JSON-serialisable via
     /// [`MetricsSnapshot::to_json`].
     pub metrics: MetricsSnapshot,
+    /// Fault and graceful-degradation counters extracted from `metrics`.
+    pub faults: FaultReport,
 }
 
 impl SystemReport {
@@ -241,6 +339,7 @@ impl InsightSystem {
         let windows_run = self.metrics.counter("system.windows");
         let disagreements_open = self.metrics.counter("rtec.open_disagreements");
         let crowd_resolutions = self.metrics.counter("crowd.resolutions");
+        let crowd_fallbacks = self.metrics.counter("crowd.fallbacks");
 
         let mut sde_idx = 0usize;
         let mut q = start + step;
@@ -310,7 +409,23 @@ impl InsightSystem {
                     }
                     let truth = self.scenario.truth_congested(lon, lat, q);
                     let resolve_started = Instant::now();
-                    let resolution = self.crowd.resolve(lon, lat, truth, None)?;
+                    let resolution = match self.crowd.resolve(lon, lat, truth, None) {
+                        Ok(r) => r,
+                        Err(_) => {
+                            // Sensor-only fallback: the disagreement is
+                            // alerted without a crowd verdict and no crowd
+                            // feedback enters RTEC or the traffic model.
+                            crowd_fallbacks.inc();
+                            alerts.push(OperatorAlert::SourceDisagreement {
+                                lon,
+                                lat,
+                                since: q,
+                                crowd_verdict: None,
+                                confidence: None,
+                            });
+                            continue;
+                        }
+                    };
                     resolve_ns.record(resolve_started.elapsed());
                     crowd_resolutions.inc();
                     resolutions += 1;
@@ -364,6 +479,8 @@ impl InsightSystem {
         answers.add(engine.answers.saturating_sub(answers.get()));
         let misses = self.metrics.counter("crowd.deadline_misses");
         misses.add(engine.deadline_misses.saturating_sub(misses.get()));
+        let retries = self.metrics.counter("crowd.retries");
+        retries.add(engine.retries.saturating_sub(retries.get()));
 
         // Final sparsity estimate over the whole network.
         let observed = self.model.observed_count();
@@ -373,6 +490,8 @@ impl InsightSystem {
             0
         };
 
+        let metrics = self.metrics.snapshot();
+        let faults = FaultReport::from_snapshot(&metrics);
         Ok(SystemReport {
             alerts,
             control_actions,
@@ -380,7 +499,8 @@ impl InsightSystem {
             crowd_accuracy: (crowd_checked > 0)
                 .then(|| crowd_correct as f64 / crowd_checked as f64),
             model_coverage: (observed, estimated),
-            metrics: self.metrics.snapshot(),
+            metrics,
+            faults,
         })
     }
 }
@@ -441,6 +561,39 @@ mod tests {
                 .alerts_where(|a| matches!(a, OperatorAlert::SourceDisagreement { .. }))
                 .is_empty());
         }
+    }
+
+    #[test]
+    fn clean_run_reports_no_faults() {
+        let mut system = InsightSystem::new(SystemConfig::small(1200, 11)).unwrap();
+        let report = system.run().unwrap();
+        assert!(report.faults.is_clean(), "unexpected faults: {}", report.faults);
+        assert_eq!(report.faults.to_string(), "no faults");
+        assert_eq!(report.faults.total_faults(), 0);
+    }
+
+    #[test]
+    fn fault_report_extracts_degradation_counters() {
+        let registry = MetricsRegistry::new();
+        registry.counter("rtec.north.malformed_sdes").add(3);
+        registry.counter("rtec.south.malformed_sdes").add(2);
+        registry.counter("crowd.fallbacks").add(1);
+        registry.counter("crowd.retries").add(4);
+        let stage = registry.stage("rtec-north");
+        stage.faults.add(2);
+        stage.panics.inc();
+        stage.skipped.add(2);
+        let report = FaultReport::from_snapshot(&registry.snapshot());
+        assert!(!report.is_clean());
+        assert_eq!(report.malformed_sdes, 5);
+        assert_eq!(report.crowd_fallbacks, 1);
+        assert_eq!(report.crowd_retries, 4);
+        assert_eq!(report.total_faults(), 2);
+        let s = report.per_stage.get("rtec-north").expect("faulted stage listed");
+        assert_eq!((s.faults, s.panics, s.skipped), (2, 1, 2));
+        let rendered = report.to_string();
+        assert!(rendered.contains("rtec-north"), "{rendered}");
+        assert!(rendered.contains("5 malformed SDEs"), "{rendered}");
     }
 
     #[test]

@@ -90,6 +90,7 @@ struct EngineCounters {
     tasks: AtomicU64,
     answers: AtomicU64,
     deadline_misses: AtomicU64,
+    retries: AtomicU64,
     /// Summed simulated end-to-end latency of all tasks, microseconds.
     latency_us: AtomicU64,
 }
@@ -105,6 +106,9 @@ pub struct EngineStats {
     pub answers: u64,
     /// Tasks dropped because the worker's latency exceeded the deadline.
     pub deadline_misses: u64,
+    /// Deadline-missed tasks re-assigned to a faster worker under a retry
+    /// budget (see [`QueryExecutionEngine::execute_with_retry`]).
+    pub retries: u64,
     /// Mean simulated end-to-end task latency, milliseconds.
     pub mean_latency_ms: f64,
 }
@@ -147,6 +151,7 @@ impl QueryExecutionEngine {
             tasks,
             answers: self.counters.answers.load(Relaxed),
             deadline_misses: self.counters.deadline_misses.load(Relaxed),
+            retries: self.counters.retries.load(Relaxed),
             mean_latency_ms: if tasks == 0 {
                 0.0
             } else {
@@ -245,40 +250,99 @@ impl QueryExecutionEngine {
         &self,
         query: &CrowdQuery,
         selected: &[WorkerId],
-        mut answer_of: impl FnMut(WorkerId) -> Option<usize>,
+        answer_of: impl FnMut(WorkerId) -> Option<usize>,
         rng: &mut R,
     ) -> Result<QueryExecution, CrowdError> {
+        self.execute_with_retry(query, selected, answer_of, rng, 0)
+    }
+
+    /// [`execute`](Self::execute) with a *retry budget*: a deadline-missed
+    /// task is re-assigned once to the fastest not-yet-used worker (ranked
+    /// by expected end-to-end latency + expected computation time) before a
+    /// `deadline_miss` is counted, while the budget lasts. The miss is only
+    /// recorded if the replacement also fails; each re-assignment is counted
+    /// in [`EngineStats::retries`]. The missed task's trace stays in the
+    /// execution (with `answer: None`) so latency accounting is unchanged.
+    pub fn execute_with_retry<R: Rng + ?Sized>(
+        &self,
+        query: &CrowdQuery,
+        selected: &[WorkerId],
+        mut answer_of: impl FnMut(WorkerId) -> Option<usize>,
+        rng: &mut R,
+        retry_budget: u64,
+    ) -> Result<QueryExecution, CrowdError> {
         self.counters.queries.fetch_add(1, Relaxed);
+        let mut budget = retry_budget;
+        let mut used: std::collections::HashSet<WorkerId> = selected.iter().copied().collect();
         let mut tasks = Vec::with_capacity(selected.len());
         let mut answers = Vec::new();
         for &id in selected {
-            let worker = self.workers.get(&id).ok_or(CrowdError::UnknownWorker { id: id.0 })?;
-            let latency = self.latency.sample(worker.connection, rng);
-            self.counters.tasks.fetch_add(1, Relaxed);
-            self.counters.latency_us.fetch_add((latency.total_ms() * 1000.0) as u64, Relaxed);
-            let mut answer = answer_of(id);
-            if let Some(deadline) = query.deadline_ms {
-                if latency.total_ms() + worker.avg_comp_ms > deadline {
-                    if answer.is_some() {
-                        self.counters.deadline_misses.fetch_add(1, Relaxed);
-                    }
-                    answer = None;
+            let (mut task, mut missed) = self.dispatch(query, id, &mut answer_of, rng)?;
+            if missed && budget > 0 {
+                if let Some(next) = self.next_fastest(&used) {
+                    budget -= 1;
+                    used.insert(next);
+                    self.counters.retries.fetch_add(1, Relaxed);
+                    tasks.push(task); // keep the missed task's trace
+                    (task, missed) = self.dispatch(query, next, &mut answer_of, rng)?;
                 }
             }
-            if let Some(label) = answer {
-                if label >= query.answers.len() {
-                    return Err(CrowdError::LabelOutOfRange {
-                        label,
-                        n_labels: query.answers.len(),
-                    });
-                }
-                self.counters.answers.fetch_add(1, Relaxed);
-                answers.push((id, label));
+            if missed {
+                self.counters.deadline_misses.fetch_add(1, Relaxed);
             }
-            tasks.push(TaskExecution { worker: id, latency, answer });
+            if let Some(label) = task.answer {
+                answers.push((task.worker, label));
+            }
+            tasks.push(task);
         }
         let votes = count_votes(answers.iter().map(|&(_, l)| l));
         Ok(QueryExecution { tasks, votes, answers })
+    }
+
+    /// Pushes one map task to `id`; returns its trace and whether the
+    /// worker would have answered but missed the deadline.
+    fn dispatch<R: Rng + ?Sized>(
+        &self,
+        query: &CrowdQuery,
+        id: WorkerId,
+        answer_of: &mut impl FnMut(WorkerId) -> Option<usize>,
+        rng: &mut R,
+    ) -> Result<(TaskExecution, bool), CrowdError> {
+        let worker = self.workers.get(&id).ok_or(CrowdError::UnknownWorker { id: id.0 })?;
+        let latency = self.latency.sample(worker.connection, rng);
+        self.counters.tasks.fetch_add(1, Relaxed);
+        self.counters.latency_us.fetch_add((latency.total_ms() * 1000.0) as u64, Relaxed);
+        let mut answer = answer_of(id);
+        let mut missed = false;
+        if let Some(deadline) = query.deadline_ms {
+            if latency.total_ms() + worker.avg_comp_ms > deadline {
+                missed = answer.is_some();
+                answer = None;
+            }
+        }
+        if let Some(label) = answer {
+            if label >= query.answers.len() {
+                return Err(CrowdError::LabelOutOfRange { label, n_labels: query.answers.len() });
+            }
+            self.counters.answers.fetch_add(1, Relaxed);
+        }
+        Ok((TaskExecution { worker: id, latency, answer }, missed))
+    }
+
+    /// The not-yet-used registered worker with the lowest expected
+    /// end-to-end latency (network expectation + learned computation time);
+    /// ties break on worker id for determinism.
+    fn next_fastest(&self, used: &std::collections::HashSet<WorkerId>) -> Option<WorkerId> {
+        self.workers
+            .values()
+            .filter(|w| !used.contains(&w.id))
+            .map(|w| (self.latency.expected_total_ms(w.connection) + w.avg_comp_ms, w.id))
+            .min_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.1.cmp(&b.1))
+            })
+            .map(|(_, id)| id)
     }
 }
 
@@ -412,6 +476,75 @@ mod tests {
         assert_eq!(stats.deadline_misses, 1);
         assert_eq!(stats.answers, 5);
         assert!(stats.mean_latency_ms > 0.0);
+    }
+
+    #[test]
+    fn retry_budget_reassigns_deadline_misses() {
+        let mut q = query();
+        q.deadline_ms = Some(800.0); // 2G ≈ 1035 ms > deadline; WiFi/3G fit
+
+        // Without a budget the 2G worker's miss is simply counted.
+        let e = engine_with_fleet();
+        let mut rng = StdRng::seed_from_u64(3);
+        let exec = e.execute_with_retry(&q, &[WorkerId(2)], |_| Some(0), &mut rng, 0).unwrap();
+        assert!(exec.answers.is_empty());
+        let s = e.stats();
+        assert_eq!((s.tasks, s.deadline_misses, s.retries), (1, 1, 0));
+
+        // With a budget the task is re-assigned to the fastest unused
+        // worker and no miss is recorded. Per the paper's Figure 6 means the
+        // 3G worker (169 + 171 ms) edges out WiFi (184 + 182 ms).
+        let e = engine_with_fleet();
+        let mut rng = StdRng::seed_from_u64(3);
+        let exec = e.execute_with_retry(&q, &[WorkerId(2)], |_| Some(0), &mut rng, 1).unwrap();
+        assert_eq!(exec.tasks.len(), 2, "the missed task's trace is kept");
+        assert_eq!(exec.tasks[0].worker, WorkerId(2));
+        assert_eq!(exec.tasks[0].answer, None);
+        assert_eq!(exec.tasks[1].worker, WorkerId(1), "next-fastest is the 3G worker");
+        assert_eq!(exec.answers, vec![(WorkerId(1), 0)]);
+        let s = e.stats();
+        assert_eq!((s.queries, s.tasks, s.answers, s.deadline_misses, s.retries), (1, 2, 1, 0, 1));
+    }
+
+    #[test]
+    fn retry_budget_counts_miss_when_replacement_also_fails() {
+        // A fleet of only 2G workers: the replacement misses too, so the
+        // miss is recorded exactly once alongside the retry.
+        let mut e = QueryExecutionEngine::new();
+        for i in 0..2u64 {
+            e.register(Worker {
+                id: WorkerId(i),
+                lon: -6.26,
+                lat: 53.35,
+                connection: ConnectionType::TwoG,
+                avg_comp_ms: 100.0,
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut q = query();
+        q.deadline_ms = Some(800.0);
+        let exec = e.execute_with_retry(&q, &[WorkerId(0)], |_| Some(0), &mut rng, 5).unwrap();
+        assert!(exec.answers.is_empty());
+        let s = e.stats();
+        assert_eq!((s.tasks, s.deadline_misses, s.retries), (2, 1, 1));
+    }
+
+    #[test]
+    fn retry_budget_without_spare_workers_counts_miss() {
+        let mut e = QueryExecutionEngine::new();
+        e.register(Worker {
+            id: WorkerId(0),
+            lon: -6.26,
+            lat: 53.35,
+            connection: ConnectionType::TwoG,
+            avg_comp_ms: 100.0,
+        });
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut q = query();
+        q.deadline_ms = Some(800.0);
+        e.execute_with_retry(&q, &[WorkerId(0)], |_| Some(0), &mut rng, 3).unwrap();
+        let s = e.stats();
+        assert_eq!((s.tasks, s.deadline_misses, s.retries), (1, 1, 0));
     }
 
     #[test]

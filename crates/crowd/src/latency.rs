@@ -104,6 +104,14 @@ impl LatencyModel {
         Self::pick(self.comm_mean_ms, c)
     }
 
+    /// Expected (mean) end-to-end network latency for a connection type:
+    /// trigger-range midpoint + mean push + mean communication. Used to rank
+    /// workers by speed without sampling.
+    pub fn expected_total_ms(&self, c: ConnectionType) -> f64 {
+        let trigger = (self.trigger_range_ms.0 + self.trigger_range_ms.1) / 2.0;
+        trigger + self.push_mean(c) + self.comm_mean(c)
+    }
+
     /// Samples the three steps for one task execution.
     pub fn sample<R: Rng + ?Sized>(&self, connection: ConnectionType, rng: &mut R) -> StepLatency {
         let jitter = |mean: f64, rng: &mut R| -> f64 {

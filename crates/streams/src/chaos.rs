@@ -1,0 +1,408 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! The paper's inputs misbehave in predictable ways — sensors drop readings,
+//! bus GPS arrives late, out of order or corrupted (§3) — and this module
+//! reproduces those failure modes *on demand and deterministically*, so a
+//! test or CI smoke-run can assert that a topology under a given
+//! [`FaultPolicy`](crate::fault::FaultPolicy) still produces correct output.
+//! All randomness comes from the seeded workspace `rand` shim
+//! (xoshiro256++), so the same [`ChaosConfig`] always injects the same
+//! faults at the same positions.
+//!
+//! Two injection points:
+//!
+//! * [`ChaosSource`] wraps any [`Source`] and applies *stream-level* chaos:
+//!   drop, duplicate, delay/reorder, corrupt.
+//! * [`ChaosInjector`] is a [`Processor`] slotted into a chain to apply
+//!   *processor-level* chaos: drop, corrupt, error, panic — the latter two
+//!   exercising the runtime's supervision layer.
+//!
+//! [`PanicEvery`] is the deterministic counterpart for regression tests
+//! ("panics on every Nth item").
+
+use crate::error::StreamsError;
+use crate::item::DataItem;
+use crate::metrics::Counter;
+use crate::processor::{Context, Processor};
+use crate::source::Source;
+use rand::{Rng, SeedableRng, StdRng};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The value a corrupted field is scrambled to (U+FFFD makes the damage
+/// obvious in dumps and reliably breaks numeric schema expectations).
+pub const CORRUPTED_VALUE: &str = "\u{fffd}chaos";
+
+/// Injection rates and determinism seed shared by [`ChaosSource`] and
+/// [`ChaosInjector`]. All rates are probabilities in `[0, 1]`; a
+/// default-constructed config injects nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed for the deterministic generator.
+    pub seed: u64,
+    /// Probability an item is silently dropped.
+    pub drop_rate: f64,
+    /// Probability an item is emitted twice (source only).
+    pub duplicate_rate: f64,
+    /// Probability an item is held back and re-emitted later, i.e. delivered
+    /// out of order (source only).
+    pub delay_rate: f64,
+    /// Maximum number of subsequent items a delayed item is held behind
+    /// (at least 1 when `delay_rate > 0`).
+    pub delay_max: usize,
+    /// Probability one field of the item is scrambled to [`CORRUPTED_VALUE`].
+    pub corrupt_rate: f64,
+    /// Probability the processor returns an error (injector only).
+    pub error_rate: f64,
+    /// Probability the processor panics (injector only).
+    pub panic_rate: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            seed: 0,
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            delay_rate: 0.0,
+            delay_max: 4,
+            corrupt_rate: 0.0,
+            error_rate: 0.0,
+            panic_rate: 0.0,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// A config that injects nothing, with the given seed.
+    pub fn new(seed: u64) -> ChaosConfig {
+        ChaosConfig { seed, ..ChaosConfig::default() }
+    }
+}
+
+/// Counters of injected faults (shared: clone the `Arc` handle before the
+/// run, read after).
+#[derive(Debug, Default)]
+pub struct ChaosStats {
+    /// Items silently dropped.
+    pub dropped: Counter,
+    /// Items emitted twice.
+    pub duplicated: Counter,
+    /// Items delivered out of order.
+    pub delayed: Counter,
+    /// Items with one scrambled field.
+    pub corrupted: Counter,
+    /// Injected processor errors.
+    pub errors: Counter,
+    /// Injected processor panics.
+    pub panics: Counter,
+}
+
+fn corrupt(item: &mut DataItem, rng: &mut StdRng) {
+    if item.is_empty() {
+        return;
+    }
+    let idx = rng.random_range(0..item.len());
+    let key = item.iter().nth(idx).map(|(k, _)| k.to_string()).expect("index in range");
+    item.set(key, CORRUPTED_VALUE);
+}
+
+/// A [`Source`] adapter injecting stream-level chaos (drop, duplicate,
+/// delay/reorder, corrupt) at the configured rates, deterministically.
+pub struct ChaosSource {
+    inner: Box<dyn Source>,
+    cfg: ChaosConfig,
+    rng: StdRng,
+    stats: Arc<ChaosStats>,
+    /// Items ready to emit (matured delays, duplicates).
+    ready: VecDeque<DataItem>,
+    /// Held-back items with the number of pulls they still sit out.
+    delayed: Vec<(usize, DataItem)>,
+    exhausted: bool,
+}
+
+impl ChaosSource {
+    /// Wraps `inner` with the given chaos config.
+    pub fn new<S: Source + 'static>(inner: S, cfg: ChaosConfig) -> ChaosSource {
+        ChaosSource {
+            inner: Box::new(inner),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            stats: Arc::new(ChaosStats::default()),
+            ready: VecDeque::new(),
+            delayed: Vec::new(),
+            exhausted: false,
+        }
+    }
+
+    /// Handle to the injection counters.
+    pub fn stats(&self) -> Arc<ChaosStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Ages held-back items by one pull; matured ones become ready.
+    fn tick_delayed(&mut self) {
+        let mut i = 0;
+        while i < self.delayed.len() {
+            if self.delayed[i].0 <= 1 {
+                let (_, item) = self.delayed.remove(i);
+                self.ready.push_back(item);
+            } else {
+                self.delayed[i].0 -= 1;
+                i += 1;
+            }
+        }
+    }
+
+    /// Releases every still-delayed item (at end of stream), shortest
+    /// remaining hold first so relative delay order is preserved.
+    fn flush_delayed(&mut self) {
+        self.delayed.sort_by_key(|(hold, _)| *hold);
+        for (_, item) in self.delayed.drain(..) {
+            self.ready.push_back(item);
+        }
+    }
+}
+
+impl Source for ChaosSource {
+    fn next_item(&mut self) -> Result<Option<DataItem>, StreamsError> {
+        loop {
+            if let Some(item) = self.ready.pop_front() {
+                return Ok(Some(item));
+            }
+            if self.exhausted {
+                return Ok(None);
+            }
+            match self.inner.next_item()? {
+                None => {
+                    self.exhausted = true;
+                    self.flush_delayed();
+                }
+                Some(mut item) => {
+                    self.tick_delayed();
+                    if self.rng.random_bool(self.cfg.drop_rate) {
+                        self.stats.dropped.inc();
+                        continue;
+                    }
+                    if self.rng.random_bool(self.cfg.corrupt_rate) {
+                        corrupt(&mut item, &mut self.rng);
+                        self.stats.corrupted.inc();
+                    }
+                    if self.rng.random_bool(self.cfg.delay_rate) {
+                        let hold = self.rng.random_range(1..=self.cfg.delay_max.max(1));
+                        self.delayed.push((hold, item));
+                        self.stats.delayed.inc();
+                        continue;
+                    }
+                    if self.rng.random_bool(self.cfg.duplicate_rate) {
+                        self.ready.push_back(item.clone());
+                        self.stats.duplicated.inc();
+                    }
+                    self.ready.push_back(item);
+                }
+            }
+        }
+    }
+}
+
+/// A [`Processor`] injecting processor-level chaos: per item it may panic
+/// (`panic_rate`), fail (`error_rate`), drop (`drop_rate`) or corrupt one
+/// field (`corrupt_rate`); otherwise the item passes through untouched.
+/// Panics and errors exercise the process's fault policy.
+pub struct ChaosInjector {
+    cfg: ChaosConfig,
+    rng: StdRng,
+    stats: Arc<ChaosStats>,
+}
+
+impl ChaosInjector {
+    /// An injector with the given chaos config.
+    pub fn new(cfg: ChaosConfig) -> ChaosInjector {
+        ChaosInjector {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            stats: Arc::new(ChaosStats::default()),
+        }
+    }
+
+    /// Handle to the injection counters.
+    pub fn stats(&self) -> Arc<ChaosStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+impl Processor for ChaosInjector {
+    fn process(
+        &mut self,
+        mut item: DataItem,
+        _ctx: &mut Context,
+    ) -> Result<Option<DataItem>, StreamsError> {
+        if self.rng.random_bool(self.cfg.panic_rate) {
+            self.stats.panics.inc();
+            panic!("chaos: injected panic");
+        }
+        if self.rng.random_bool(self.cfg.error_rate) {
+            self.stats.errors.inc();
+            return Err(StreamsError::ServiceError { detail: "chaos: injected error".into() });
+        }
+        if self.rng.random_bool(self.cfg.drop_rate) {
+            self.stats.dropped.inc();
+            return Ok(None);
+        }
+        if self.rng.random_bool(self.cfg.corrupt_rate) {
+            corrupt(&mut item, &mut self.rng);
+            self.stats.corrupted.inc();
+        }
+        Ok(Some(item))
+    }
+}
+
+/// A [`Processor`] that panics on every `n`-th item it sees — the
+/// deterministic fixture for supervision regression tests.
+pub struct PanicEvery {
+    n: u64,
+    seen: u64,
+}
+
+impl PanicEvery {
+    /// Panics on items number `n`, `2n`, `3n`, ... (1-based).
+    ///
+    /// # Panics
+    /// Panics immediately if `n` is 0.
+    pub fn new(n: u64) -> PanicEvery {
+        assert!(n > 0, "PanicEvery requires n >= 1");
+        PanicEvery { n, seen: 0 }
+    }
+}
+
+impl Processor for PanicEvery {
+    fn process(
+        &mut self,
+        item: DataItem,
+        _ctx: &mut Context,
+    ) -> Result<Option<DataItem>, StreamsError> {
+        self.seen += 1;
+        if self.seen.is_multiple_of(self.n) {
+            panic!("chaos: scheduled panic on item {}", self.seen);
+        }
+        Ok(Some(item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::VecSource;
+
+    fn numbered(n: i64) -> VecSource {
+        VecSource::new((0..n).map(|i| DataItem::new().with("n", i)))
+    }
+
+    fn drain(src: &mut ChaosSource) -> Vec<DataItem> {
+        let mut out = Vec::new();
+        while let Some(item) = src.next_item().unwrap() {
+            out.push(item);
+        }
+        out
+    }
+
+    #[test]
+    fn zero_rates_are_a_no_op() {
+        let mut src = ChaosSource::new(numbered(50), ChaosConfig::new(7));
+        let out = drain(&mut src);
+        assert_eq!(out.len(), 50);
+        let ns: Vec<i64> = out.iter().map(|i| i.get_i64("n").unwrap()).collect();
+        assert_eq!(ns, (0..50).collect::<Vec<_>>(), "order untouched");
+        let stats = src.stats();
+        assert_eq!(stats.dropped.get() + stats.corrupted.get() + stats.delayed.get(), 0);
+    }
+
+    #[test]
+    fn same_seed_injects_identically() {
+        let cfg = ChaosConfig {
+            seed: 42,
+            drop_rate: 0.1,
+            duplicate_rate: 0.1,
+            delay_rate: 0.2,
+            corrupt_rate: 0.1,
+            ..ChaosConfig::default()
+        };
+        let a = drain(&mut ChaosSource::new(numbered(200), cfg.clone()));
+        let b = drain(&mut ChaosSource::new(numbered(200), cfg.clone()));
+        assert_eq!(a, b, "identical seeds → identical streams");
+        let c = drain(&mut ChaosSource::new(numbered(200), ChaosConfig { seed: 43, ..cfg }));
+        assert_ne!(a, c, "different seed → different injection pattern");
+    }
+
+    #[test]
+    fn drops_duplicates_and_delays_account_for_every_item() {
+        let cfg = ChaosConfig {
+            seed: 5,
+            drop_rate: 0.15,
+            duplicate_rate: 0.1,
+            delay_rate: 0.25,
+            delay_max: 3,
+            ..ChaosConfig::default()
+        };
+        let mut src = ChaosSource::new(numbered(400), cfg);
+        let out = drain(&mut src);
+        let stats = src.stats();
+        assert!(stats.dropped.get() > 0 && stats.duplicated.get() > 0 && stats.delayed.get() > 0);
+        assert_eq!(
+            out.len() as u64,
+            400 - stats.dropped.get() + stats.duplicated.get(),
+            "emitted = input - dropped + duplicated (delays only reorder)"
+        );
+        // Delays reorder but never lose: every surviving value appears.
+        let ns: std::collections::BTreeSet<i64> =
+            out.iter().map(|i| i.get_i64("n").unwrap()).collect();
+        assert!(ns.len() as u64 >= 400 - stats.dropped.get());
+    }
+
+    #[test]
+    fn corruption_scrambles_one_field() {
+        let cfg = ChaosConfig { seed: 9, corrupt_rate: 1.0, ..ChaosConfig::default() };
+        let mut src = ChaosSource::new(numbered(10), cfg);
+        let out = drain(&mut src);
+        assert_eq!(out.len(), 10);
+        assert!(out.iter().all(|i| i.get_str("n") == Some(CORRUPTED_VALUE)));
+        assert_eq!(src.stats().corrupted.get(), 10);
+    }
+
+    #[test]
+    fn injector_is_deterministic_and_counts() {
+        let cfg =
+            ChaosConfig { seed: 11, drop_rate: 0.2, error_rate: 0.2, ..ChaosConfig::default() };
+        let run = |cfg: ChaosConfig| {
+            let mut inj = ChaosInjector::new(cfg);
+            let stats = inj.stats();
+            let mut ctx = Context::new(crate::service::ServiceRegistry::default(), "t");
+            let outcomes: Vec<i8> = (0..100)
+                .map(|i| match inj.process(DataItem::new().with("n", i as i64), &mut ctx) {
+                    Ok(Some(_)) => 0,
+                    Ok(None) => 1,
+                    Err(_) => 2,
+                })
+                .collect();
+            (outcomes, stats.dropped.get(), stats.errors.get())
+        };
+        let (a, dropped, errors) = run(cfg.clone());
+        let (b, _, _) = run(cfg);
+        assert_eq!(a, b);
+        assert!(dropped > 0 && errors > 0);
+        assert_eq!(a.iter().filter(|&&o| o == 1).count() as u64, dropped);
+        assert_eq!(a.iter().filter(|&&o| o == 2).count() as u64, errors);
+    }
+
+    #[test]
+    fn panic_every_schedules_exactly() {
+        let mut p = PanicEvery::new(3);
+        let mut ctx = Context::new(crate::service::ServiceRegistry::default(), "t");
+        for i in 1..=10u64 {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                p.process(DataItem::new().with("n", i as i64), &mut ctx)
+            }));
+            assert_eq!(result.is_err(), i % 3 == 0, "item {i}");
+        }
+    }
+}

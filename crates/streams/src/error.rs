@@ -32,8 +32,20 @@ pub enum StreamsError {
     ProcessorFailed {
         /// The process in which it ran.
         process: String,
+        /// Position of the failing processor in the process's chain, when
+        /// known (dead-letter records use it to identify the exact stage).
+        processor: Option<usize>,
         /// The processor's error message.
         message: String,
+    },
+    /// A processor panicked while handling an item; the runtime isolates the
+    /// panic and converts it into this policy-governed fault.
+    ProcessorPanicked {
+        /// The process in which it ran.
+        process: String,
+        /// The panic payload rendered to a string (`&str`/`String` payloads
+        /// are preserved, anything else becomes a placeholder).
+        payload: String,
     },
     /// XML syntax error.
     XmlSyntax {
@@ -70,8 +82,12 @@ impl fmt::Display for StreamsError {
                 write!(f, "queue `{queue}` has more than one consumer")
             }
             StreamsError::Disconnected { detail } => write!(f, "disconnected topology: {detail}"),
-            StreamsError::ProcessorFailed { process, message } => {
-                write!(f, "processor in `{process}` failed: {message}")
+            StreamsError::ProcessorFailed { process, processor, message } => match processor {
+                Some(i) => write!(f, "processor #{i} in `{process}` failed: {message}"),
+                None => write!(f, "processor in `{process}` failed: {message}"),
+            },
+            StreamsError::ProcessorPanicked { process, payload } => {
+                write!(f, "processor in `{process}` panicked: {payload}")
             }
             StreamsError::XmlSyntax { offset, detail } => {
                 write!(f, "XML syntax error at byte {offset}: {detail}")
@@ -101,6 +117,22 @@ mod tests {
         assert!(e.to_string().contains("q1"));
         let e = StreamsError::MultipleConsumers { queue: "shared".into() };
         assert!(e.to_string().contains("shared"));
+    }
+
+    #[test]
+    fn processor_errors_identify_the_stage() {
+        let e = StreamsError::ProcessorFailed {
+            process: "rtec-north".into(),
+            processor: Some(2),
+            message: "bad SDE".into(),
+        };
+        assert_eq!(e.to_string(), "processor #2 in `rtec-north` failed: bad SDE");
+        let e = StreamsError::ProcessorPanicked {
+            process: "rtec-north".into(),
+            payload: "index out of bounds".into(),
+        };
+        assert!(e.to_string().contains("panicked"));
+        assert!(e.to_string().contains("index out of bounds"));
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Fault policies: per-process supervision of processor failures.
+//!
+//! The paper's inputs are inherently unreliable — SCATS sensors drop
+//! readings, bus GPS arrives late or corrupted (§3), crowd workers miss
+//! deadlines (§5) — so component failure is a steady-state condition, not an
+//! exception. A [`FaultPolicy`] tells the runtime what to do when a
+//! processor returns an error **or panics** while handling an item:
+//!
+//! | policy | behaviour |
+//! |---|---|
+//! | [`FaultPolicy::FailFast`] | abort the process on the first fault (the pre-supervision behaviour) |
+//! | [`FaultPolicy::Skip`] | drop the faulted item and continue; more than `max_consecutive` consecutive faulted items escalates to failure |
+//! | [`FaultPolicy::Retry`] | re-run the failing processor on a pristine copy of the item up to `attempts` times with linear backoff, then fail |
+//! | [`FaultPolicy::DeadLetter`] | move the offending item plus its error context to a [`DeadLetterQueue`] for post-mortem and continue |
+//!
+//! Policies are set per process on the topology builder
+//! ([`crate::topology::ProcessBuilder::fault_policy`]) or via the
+//! `fault-policy` attribute of a `<process>` element in the XML data-flow
+//! language ([`FaultPolicy::parse`] documents the attribute grammar).
+
+use crate::error::StreamsError;
+use crate::item::DataItem;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// What the runtime does when a processor errors or panics on an item.
+#[derive(Debug, Clone, Default)]
+pub enum FaultPolicy {
+    /// Abort the whole run on the first fault (the default).
+    #[default]
+    FailFast,
+    /// Drop the faulted item and keep consuming. Output order is preserved:
+    /// the output stream equals the input stream minus the faulted items.
+    Skip {
+        /// A run of more than this many *consecutive* faulted items
+        /// escalates to a process failure — a stage that faults on every
+        /// item is broken, not unlucky. `usize::MAX` never escalates.
+        max_consecutive: usize,
+    },
+    /// Re-invoke the failing processor with a pristine copy of the item.
+    Retry {
+        /// Additional attempts after the initial failure; when all are
+        /// exhausted the fault escalates to a process failure.
+        attempts: usize,
+        /// Sleep `backoff × attempt_number` before each re-attempt (linear
+        /// backoff; `Duration::ZERO` retries immediately).
+        backoff: Duration,
+    },
+    /// Preserve the offending item plus error context in a dead-letter
+    /// queue and continue with the next item.
+    DeadLetter {
+        /// The shared queue receiving [`DeadLetterRecord`]s.
+        queue: DeadLetterQueue,
+    },
+}
+
+impl FaultPolicy {
+    /// Parses the `fault-policy` XML attribute. Grammar:
+    ///
+    /// * `fail-fast`
+    /// * `skip` (unlimited) or `skip:N` (escalate after N consecutive)
+    /// * `retry:N` or `retry:N:MS` (N attempts, MS milliseconds backoff)
+    /// * `dead-letter` (records land in `dead_letters`, typically the
+    ///   topology's shared queue)
+    pub fn parse(spec: &str, dead_letters: &DeadLetterQueue) -> Result<FaultPolicy, StreamsError> {
+        let bad = |detail: String| StreamsError::XmlSemantics { detail };
+        let mut parts = spec.split(':');
+        let head = parts.next().unwrap_or_default();
+        let args: Vec<&str> = parts.collect();
+        let int = |s: &str, what: &str| {
+            s.parse::<u64>().map_err(|_| {
+                bad(format!("fault-policy `{spec}`: `{what}` must be a non-negative integer"))
+            })
+        };
+        match (head, args.as_slice()) {
+            ("fail-fast", []) => Ok(FaultPolicy::FailFast),
+            ("skip", []) => Ok(FaultPolicy::Skip { max_consecutive: usize::MAX }),
+            ("skip", [n]) => Ok(FaultPolicy::Skip { max_consecutive: int(n, "N")? as usize }),
+            ("retry", [n]) => {
+                Ok(FaultPolicy::Retry { attempts: int(n, "N")? as usize, backoff: Duration::ZERO })
+            }
+            ("retry", [n, ms]) => Ok(FaultPolicy::Retry {
+                attempts: int(n, "N")? as usize,
+                backoff: Duration::from_millis(int(ms, "MS")?),
+            }),
+            ("dead-letter", []) => Ok(FaultPolicy::DeadLetter { queue: dead_letters.clone() }),
+            _ => Err(bad(format!(
+                "unknown fault-policy `{spec}` (expected fail-fast, skip[:N], \
+                 retry:N[:MS] or dead-letter)"
+            ))),
+        }
+    }
+}
+
+/// One item that a [`FaultPolicy::DeadLetter`] policy moved aside, with the
+/// context needed for post-mortem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadLetterRecord {
+    /// The process the fault happened in.
+    pub process: String,
+    /// Position of the failing processor in the process's chain.
+    pub processor: Option<usize>,
+    /// The offending item as it entered the failing processor (`None` for
+    /// faults during the end-of-stream `finish` phase, which has no input
+    /// item).
+    pub item: Option<DataItem>,
+    /// The fault itself ([`StreamsError::ProcessorPanicked`] for isolated
+    /// panics).
+    pub error: StreamsError,
+}
+
+/// A shared, unbounded queue of [`DeadLetterRecord`]s; clones observe the
+/// same buffer (like [`crate::sink::CollectSink`]).
+#[derive(Debug, Clone, Default)]
+pub struct DeadLetterQueue {
+    records: Arc<Mutex<Vec<DeadLetterRecord>>>,
+}
+
+impl DeadLetterQueue {
+    /// A fresh shared queue.
+    pub fn shared() -> DeadLetterQueue {
+        DeadLetterQueue::default()
+    }
+
+    /// Appends one record (called by the runtime).
+    pub fn push(&self, record: DeadLetterRecord) {
+        self.records.lock().unwrap().push(record);
+    }
+
+    /// Snapshot of the records accumulated so far.
+    pub fn records(&self) -> Vec<DeadLetterRecord> {
+        self.records.lock().unwrap().clone()
+    }
+
+    /// Removes and returns every record.
+    pub fn drain(&self) -> Vec<DeadLetterRecord> {
+        std::mem::take(&mut *self.records.lock().unwrap())
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.lock().unwrap().len()
+    }
+
+    /// Whether no item was dead-lettered.
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().unwrap().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_grammar() {
+        let dl = DeadLetterQueue::shared();
+        assert!(matches!(FaultPolicy::parse("fail-fast", &dl), Ok(FaultPolicy::FailFast)));
+        assert!(matches!(
+            FaultPolicy::parse("skip", &dl),
+            Ok(FaultPolicy::Skip { max_consecutive: usize::MAX })
+        ));
+        assert!(matches!(
+            FaultPolicy::parse("skip:5", &dl),
+            Ok(FaultPolicy::Skip { max_consecutive: 5 })
+        ));
+        match FaultPolicy::parse("retry:3", &dl) {
+            Ok(FaultPolicy::Retry { attempts: 3, backoff }) => assert_eq!(backoff, Duration::ZERO),
+            other => panic!("unexpected {other:?}"),
+        }
+        match FaultPolicy::parse("retry:2:10", &dl) {
+            Ok(FaultPolicy::Retry { attempts: 2, backoff }) => {
+                assert_eq!(backoff, Duration::from_millis(10))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            FaultPolicy::parse("dead-letter", &dl),
+            Ok(FaultPolicy::DeadLetter { .. })
+        ));
+        for bad in ["", "skippy", "skip:x", "retry", "retry:a", "retry:1:b", "dead-letter:1"] {
+            assert!(FaultPolicy::parse(bad, &dl).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn parsed_dead_letter_shares_the_queue() {
+        let dl = DeadLetterQueue::shared();
+        let policy = FaultPolicy::parse("dead-letter", &dl).unwrap();
+        let FaultPolicy::DeadLetter { queue } = policy else { panic!("wrong variant") };
+        queue.push(DeadLetterRecord {
+            process: "p".into(),
+            processor: Some(0),
+            item: Some(DataItem::new().with("n", 1i64)),
+            error: StreamsError::ServiceError { detail: "boom".into() },
+        });
+        assert_eq!(dl.len(), 1, "records are visible through the original handle");
+    }
+
+    #[test]
+    fn queue_snapshot_and_drain() {
+        let dl = DeadLetterQueue::shared();
+        assert!(dl.is_empty());
+        let record = DeadLetterRecord {
+            process: "p".into(),
+            processor: None,
+            item: None,
+            error: StreamsError::ServiceError { detail: "x".into() },
+        };
+        dl.push(record.clone());
+        assert_eq!(dl.records(), vec![record.clone()]);
+        assert_eq!(dl.drain(), vec![record]);
+        assert!(dl.is_empty());
+    }
+}

@@ -16,7 +16,10 @@
 //! * an **XML description language** for data-flow graphs ([`xml`]), compiled
 //!   into a runnable topology;
 //! * a **multi-threaded runtime** executing one process per thread
-//!   ([`runtime`]).
+//!   ([`runtime`]);
+//! * **fault supervision** — per-process fault policies, panic isolation and
+//!   dead-letter queues ([`fault`]), plus a deterministic fault-injection
+//!   harness for robustness testing ([`chaos`]).
 //!
 //! ```
 //! use insight_streams::prelude::*;
@@ -44,7 +47,9 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod error;
+pub mod fault;
 pub mod item;
 pub mod json;
 pub mod metrics;
@@ -60,6 +65,7 @@ pub mod xml;
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::error::StreamsError;
+    pub use crate::fault::{DeadLetterQueue, DeadLetterRecord, FaultPolicy};
     pub use crate::item::{DataItem, Value};
     pub use crate::metrics::{MetricsRegistry, MetricsSnapshot};
     pub use crate::processor::{Context, FnProcessor, Processor};

@@ -209,7 +209,8 @@ impl HistogramSnapshot {
     }
 }
 
-/// Per-processor instruments: item flow and per-call latency.
+/// Per-processor instruments: item flow, per-call latency and fault
+/// supervision outcomes (see [`crate::fault::FaultPolicy`]).
 #[derive(Debug, Default)]
 pub struct StageMetrics {
     /// Items entering the stage.
@@ -218,6 +219,17 @@ pub struct StageMetrics {
     pub items_out: Counter,
     /// Latency of each `process`/`finish` call.
     pub process_ns: Histogram,
+    /// Failed processor invocations (errors and panics; each re-attempt
+    /// under `Retry` that fails counts again).
+    pub faults: Counter,
+    /// The subset of `faults` that were isolated panics.
+    pub panics: Counter,
+    /// Re-invocations performed by a `Retry` policy.
+    pub retries: Counter,
+    /// Items dropped by a `Skip` policy.
+    pub skipped: Counter,
+    /// Items moved to the dead-letter queue by a `DeadLetter` policy.
+    pub dead_letters: Counter,
 }
 
 /// Per-queue instruments: depth, throughput, backpressure stalls.
@@ -295,6 +307,11 @@ impl MetricsRegistry {
                             items_in: m.items_in.get(),
                             items_out: m.items_out.get(),
                             process_ns: m.process_ns.snapshot(),
+                            faults: m.faults.get(),
+                            panics: m.panics.get(),
+                            retries: m.retries.get(),
+                            skipped: m.skipped.get(),
+                            dead_letters: m.dead_letters.get(),
                         },
                     )
                 })
@@ -345,6 +362,16 @@ pub struct StageSnapshot {
     pub items_out: u64,
     /// Per-call latency distribution.
     pub process_ns: HistogramSnapshot,
+    /// Failed processor invocations (errors + panics).
+    pub faults: u64,
+    /// The subset of `faults` that were isolated panics.
+    pub panics: u64,
+    /// Re-invocations performed by a `Retry` policy.
+    pub retries: u64,
+    /// Items dropped by a `Skip` policy.
+    pub skipped: u64,
+    /// Items moved to the dead-letter queue.
+    pub dead_letters: u64,
 }
 
 /// Plain-data copy of one queue's instruments.
@@ -393,7 +420,10 @@ impl MetricsSnapshot {
                 s.items_in, s.items_out
             ));
             s.process_ns.json_into(&mut out);
-            out.push('}');
+            out.push_str(&format!(
+                ",\"faults\":{},\"panics\":{},\"retries\":{},\"skipped\":{},\"dead_letters\":{}}}",
+                s.faults, s.panics, s.retries, s.skipped, s.dead_letters
+            ));
         }
         out.push_str("},\"queues\":{");
         for (i, (name, q)) in self.queues.iter().enumerate() {
@@ -434,18 +464,19 @@ impl MetricsSnapshot {
         }
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
-            "stage", "in", "out", "mean ms", "p99 ms", "max ms"
+            "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}\n",
+            "stage", "in", "out", "mean ms", "p99 ms", "max ms", "faults"
         ));
         for (name, s) in &self.stages {
             out.push_str(&format!(
-                "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}\n",
                 name,
                 s.items_in,
                 s.items_out,
                 ms(s.process_ns.mean_ns()),
                 ms(s.process_ns.quantile_ns(0.99) as f64),
                 ms(s.process_ns.max_ns as f64),
+                s.faults,
             ));
         }
         out.push('\n');

@@ -134,6 +134,38 @@ impl Processor for RequireKey {
     }
 }
 
+/// Fails (rather than filters) items missing the configured key.
+///
+/// The erroring twin of [`RequireKey`]: it turns a schema violation into a
+/// processor fault, so the process's [`crate::fault::FaultPolicy`] decides
+/// whether to abort, skip, retry or dead-letter the item.
+pub struct AssertKey {
+    key: String,
+}
+
+impl AssertKey {
+    /// Fault on items lacking `key`.
+    pub fn new(key: &str) -> AssertKey {
+        AssertKey { key: key.to_string() }
+    }
+}
+
+impl Processor for AssertKey {
+    fn process(
+        &mut self,
+        item: DataItem,
+        _ctx: &mut Context,
+    ) -> Result<Option<DataItem>, StreamsError> {
+        if item.contains(&self.key) {
+            Ok(Some(item))
+        } else {
+            Err(StreamsError::ServiceError {
+                detail: format!("item is missing required key `{}`", self.key),
+            })
+        }
+    }
+}
+
 /// Sets a constant attribute on every item.
 pub struct SetValue {
     key: String,
@@ -330,6 +362,7 @@ pub type ProcessorFactory =
 /// |---|---|
 /// | `FilterEquals` | `key`, `value` |
 /// | `RequireKey` | `key` |
+/// | `AssertKey` | `key` (faults instead of filtering) |
 /// | `SetValue` | `key`, `value` (string) |
 /// | `RenameKey` | `from`, `to` |
 /// | `SelectKeys` | `keys` (comma-separated) |
@@ -357,6 +390,10 @@ pub fn default_factories() -> HashMap<String, ProcessorFactory> {
     m.insert(
         "RequireKey".into(),
         Box::new(|attrs| Ok(Box::new(RequireKey::new(required(attrs, "key", "RequireKey")?)))),
+    );
+    m.insert(
+        "AssertKey".into(),
+        Box::new(|attrs| Ok(Box::new(AssertKey::new(required(attrs, "key", "AssertKey")?)))),
     );
     m.insert(
         "SetValue".into(),

@@ -3,11 +3,18 @@
 //! Sources are drained, items flow through processor chains, survivors are
 //! cloned to every output. End-of-stream propagates through queues via
 //! per-producer markers, so the whole graph drains and terminates
-//! deterministically. Any processor error aborts its process — end-of-stream
-//! is still propagated downstream so no thread deadlocks — and `run` returns
-//! the first error.
+//! deterministically.
+//!
+//! Every processor invocation is *supervised*: errors and panics
+//! (`catch_unwind`) become faults governed by the process's
+//! [`FaultPolicy`] — fail the run, skip the item, retry the failing
+//! processor, or dead-letter the item — with outcomes counted in the
+//! process's [`StageMetrics`]. Under the default [`FaultPolicy::FailFast`]
+//! the first fault aborts its process; end-of-stream is still propagated
+//! downstream so no thread deadlocks, and `run` returns the first error.
 
 use crate::error::StreamsError;
+use crate::fault::{DeadLetterQueue, DeadLetterRecord, FaultPolicy};
 use crate::item::DataItem;
 use crate::metrics::{MetricsRegistry, StageMetrics};
 use crate::processor::{Context, Processor};
@@ -16,6 +23,7 @@ use crate::sink::Sink;
 use crate::source::Source;
 use crate::topology::{Input, Output, Topology};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
@@ -78,7 +86,7 @@ impl Runtime {
     pub fn run(self) -> Result<RunStats, StreamsError> {
         self.topology.validate()?;
         let metrics = self.metrics;
-        let Topology { mut sources, queues, processes, services } = self.topology;
+        let Topology { mut sources, queues, processes, services, dead_letters: _ } = self.topology;
         // Processors can reach the instruments through their Context.
         if !services.contains("metrics") {
             services.register_arc("metrics", Arc::clone(&metrics));
@@ -138,6 +146,8 @@ impl Runtime {
                 chain: p.processors,
                 outputs,
                 ctx: Context::new(services.clone(), ""),
+                policy: p.fault_policy,
+                consecutive_faults: 0,
             });
         }
         // Drop the runtime's own sender clones so queues can disconnect.
@@ -146,17 +156,27 @@ impl Runtime {
         let mut handles = Vec::new();
         for mut w in workers {
             w.ctx = Context::new(services.clone(), &w.name);
-            handles.push(thread::spawn(move || w.run()));
+            let name = w.name.clone();
+            handles.push((name, thread::spawn(move || w.run())));
         }
 
         let mut stats = RunStats::default();
         let mut first_error = None;
-        for h in handles {
-            match h.join().expect("process thread panicked") {
-                Ok((name, consumed, emitted)) => {
+        for (process, h) in handles {
+            match h.join() {
+                Ok(Ok((name, consumed, emitted))) => {
                     stats.per_process.insert(name, (consumed, emitted));
                 }
-                Err(e) => first_error = first_error.or(Some(e)),
+                Ok(Err(e)) => first_error = first_error.or(Some(e)),
+                // A panic that escaped the per-invocation supervision (a bug
+                // in the worker itself, a panicking sink, ...) still must not
+                // abort the caller: surface it as an error.
+                Err(payload) => {
+                    first_error = first_error.or(Some(StreamsError::ProcessorPanicked {
+                        process,
+                        payload: panic_message(payload),
+                    }))
+                }
             }
         }
         match first_error {
@@ -173,6 +193,8 @@ struct Worker {
     outputs: Vec<ProcOutput>,
     ctx: Context,
     stage: Arc<StageMetrics>,
+    policy: FaultPolicy,
+    consecutive_faults: usize,
 }
 
 impl Worker {
@@ -202,9 +224,9 @@ impl Worker {
             consumed += 1;
             self.stage.items_in.inc();
             let started = Instant::now();
-            let out = run_chain(&mut self.chain, 0, item, &mut self.ctx, &self.name)?;
+            let out = self.run_chain(0, item);
             self.stage.process_ns.record(started.elapsed());
-            if let Some(out) = out {
+            if let Some(out) = out? {
                 emitted += 1;
                 self.stage.items_out.inc();
                 emit(&mut self.outputs, out)?;
@@ -214,12 +236,10 @@ impl Worker {
         // rest of the chain.
         for i in 0..self.chain.len() {
             let started = Instant::now();
-            let trailing = self.chain[i].finish(&mut self.ctx).map_err(|e| wrap(&self.name, e))?;
+            let trailing = self.run_finish(i);
             self.stage.process_ns.record(started.elapsed());
-            for item in trailing {
-                if let Some(out) =
-                    run_chain(&mut self.chain, i + 1, item, &mut self.ctx, &self.name)?
-                {
+            for item in trailing? {
+                if let Some(out) = self.run_chain(i + 1, item)? {
                     emitted += 1;
                     self.stage.items_out.inc();
                     emit(&mut self.outputs, out)?;
@@ -228,33 +248,203 @@ impl Worker {
         }
         Ok((consumed, emitted))
     }
+
+    /// Runs `item` through the chain from processor `from` under the fault
+    /// policy. `Ok(None)` covers both a filtering processor and a faulted
+    /// item the policy dropped (skipped or dead-lettered).
+    fn run_chain(&mut self, from: usize, item: DataItem) -> Result<Option<DataItem>, StreamsError> {
+        // Preserve the item as it entered each processor so Retry can re-run
+        // it and DeadLetter can record it; FailFast skips the clone tax.
+        let preserve = !matches!(self.policy, FaultPolicy::FailFast);
+        let mut cur = item;
+        for i in from..self.chain.len() {
+            let entered = preserve.then(|| cur.clone());
+            match invoke(&mut self.chain[i], cur, &mut self.ctx, &self.name, i) {
+                Ok(Some(next)) => cur = next,
+                Ok(None) => {
+                    self.consecutive_faults = 0;
+                    return Ok(None);
+                }
+                Err(e) => return self.on_fault(i, entered, e),
+            }
+        }
+        self.consecutive_faults = 0;
+        Ok(Some(cur))
+    }
+
+    /// Applies the fault policy to a failed invocation of processor `i`.
+    /// `entered` is the item as it entered that processor (`None` under
+    /// `FailFast`, which never needs it, and for `finish` faults).
+    fn on_fault(
+        &mut self,
+        i: usize,
+        entered: Option<DataItem>,
+        error: StreamsError,
+    ) -> Result<Option<DataItem>, StreamsError> {
+        self.record_fault(&error);
+        match self.policy.clone() {
+            FaultPolicy::FailFast => Err(error),
+            FaultPolicy::Skip { max_consecutive } => {
+                self.consecutive_faults += 1;
+                if self.consecutive_faults > max_consecutive {
+                    return Err(error);
+                }
+                self.stage.skipped.inc();
+                Ok(None)
+            }
+            FaultPolicy::Retry { attempts, backoff } => {
+                let mut last = error;
+                for attempt in 1..=attempts {
+                    if !backoff.is_zero() {
+                        thread::sleep(backoff * attempt as u32);
+                    }
+                    self.stage.retries.inc();
+                    let again = entered.clone().expect("Retry preserves the input item");
+                    match invoke(&mut self.chain[i], again, &mut self.ctx, &self.name, i) {
+                        Ok(Some(next)) => {
+                            self.consecutive_faults = 0;
+                            return self.run_chain(i + 1, next);
+                        }
+                        Ok(None) => {
+                            self.consecutive_faults = 0;
+                            return Ok(None);
+                        }
+                        Err(e) => {
+                            self.record_fault(&e);
+                            last = e;
+                        }
+                    }
+                }
+                Err(last)
+            }
+            FaultPolicy::DeadLetter { queue } => {
+                self.dead_letter(&queue, Some(i), entered, error);
+                Ok(None)
+            }
+        }
+    }
+
+    /// Supervised `finish` of processor `i`; a fault during the flush phase
+    /// has no input item, so Skip/DeadLetter drop the trailing items.
+    fn run_finish(&mut self, i: usize) -> Result<Vec<DataItem>, StreamsError> {
+        match invoke_finish(&mut self.chain[i], &mut self.ctx, &self.name, i) {
+            Ok(trailing) => {
+                self.consecutive_faults = 0;
+                Ok(trailing)
+            }
+            Err(error) => {
+                self.record_fault(&error);
+                match self.policy.clone() {
+                    FaultPolicy::FailFast => Err(error),
+                    FaultPolicy::Skip { max_consecutive } => {
+                        self.consecutive_faults += 1;
+                        if self.consecutive_faults > max_consecutive {
+                            return Err(error);
+                        }
+                        Ok(Vec::new())
+                    }
+                    FaultPolicy::Retry { attempts, backoff } => {
+                        let mut last = error;
+                        for attempt in 1..=attempts {
+                            if !backoff.is_zero() {
+                                thread::sleep(backoff * attempt as u32);
+                            }
+                            self.stage.retries.inc();
+                            match invoke_finish(&mut self.chain[i], &mut self.ctx, &self.name, i) {
+                                Ok(trailing) => {
+                                    self.consecutive_faults = 0;
+                                    return Ok(trailing);
+                                }
+                                Err(e) => {
+                                    self.record_fault(&e);
+                                    last = e;
+                                }
+                            }
+                        }
+                        Err(last)
+                    }
+                    FaultPolicy::DeadLetter { queue } => {
+                        self.dead_letter(&queue, Some(i), None, error);
+                        Ok(Vec::new())
+                    }
+                }
+            }
+        }
+    }
+
+    fn record_fault(&self, error: &StreamsError) {
+        self.stage.faults.inc();
+        if matches!(error, StreamsError::ProcessorPanicked { .. }) {
+            self.stage.panics.inc();
+        }
+    }
+
+    fn dead_letter(
+        &self,
+        queue: &DeadLetterQueue,
+        processor: Option<usize>,
+        item: Option<DataItem>,
+        error: StreamsError,
+    ) {
+        self.stage.dead_letters.inc();
+        queue.push(DeadLetterRecord { process: self.name.clone(), processor, item, error });
+    }
 }
 
-fn wrap(process: &str, e: StreamsError) -> StreamsError {
+fn wrap(process: &str, processor: usize, e: StreamsError) -> StreamsError {
     match e {
-        StreamsError::ProcessorFailed { .. } => e,
+        StreamsError::ProcessorFailed { .. } | StreamsError::ProcessorPanicked { .. } => e,
         other => StreamsError::ProcessorFailed {
             process: process.to_string(),
+            processor: Some(processor),
             message: other.to_string(),
         },
     }
 }
 
-fn run_chain(
-    chain: &mut [Box<dyn Processor>],
-    from: usize,
+/// Renders a caught panic payload (`&str`/`String` survive verbatim).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One supervised `process` call: panics are isolated via `catch_unwind` and
+/// surfaced as [`StreamsError::ProcessorPanicked`].
+fn invoke(
+    p: &mut Box<dyn Processor>,
     item: DataItem,
     ctx: &mut Context,
     process: &str,
+    index: usize,
 ) -> Result<Option<DataItem>, StreamsError> {
-    let mut cur = item;
-    for p in &mut chain[from..] {
-        match p.process(cur, ctx).map_err(|e| wrap(process, e))? {
-            Some(next) => cur = next,
-            None => return Ok(None),
-        }
+    match catch_unwind(AssertUnwindSafe(|| p.process(item, ctx))) {
+        Ok(result) => result.map_err(|e| wrap(process, index, e)),
+        Err(payload) => Err(StreamsError::ProcessorPanicked {
+            process: process.to_string(),
+            payload: panic_message(payload),
+        }),
     }
-    Ok(Some(cur))
+}
+
+/// One supervised `finish` call (see [`invoke`]).
+fn invoke_finish(
+    p: &mut Box<dyn Processor>,
+    ctx: &mut Context,
+    process: &str,
+    index: usize,
+) -> Result<Vec<DataItem>, StreamsError> {
+    match catch_unwind(AssertUnwindSafe(|| p.finish(ctx))) {
+        Ok(result) => result.map_err(|e| wrap(process, index, e)),
+        Err(payload) => Err(StreamsError::ProcessorPanicked {
+            process: process.to_string(),
+            payload: panic_message(payload),
+        }),
+    }
 }
 
 fn deliver(output: &mut ProcOutput, item: DataItem) -> Result<(), StreamsError> {

@@ -7,6 +7,7 @@
 //! validated topology into one thread per process.
 
 use crate::error::StreamsError;
+use crate::fault::{DeadLetterQueue, FaultPolicy};
 use crate::processor::Processor;
 use crate::service::ServiceRegistry;
 use crate::sink::Sink;
@@ -40,6 +41,7 @@ pub(crate) struct ProcessDef {
     pub(crate) input: Input,
     pub(crate) processors: Vec<Box<dyn Processor>>,
     pub(crate) outputs: Vec<Output>,
+    pub(crate) fault_policy: FaultPolicy,
 }
 
 /// A data-flow graph under construction.
@@ -49,6 +51,7 @@ pub struct Topology {
     pub(crate) queues: HashMap<String, usize>,
     pub(crate) processes: Vec<ProcessDef>,
     pub(crate) services: ServiceRegistry,
+    pub(crate) dead_letters: DeadLetterQueue,
 }
 
 impl Topology {
@@ -74,6 +77,14 @@ impl Topology {
         &self.services
     }
 
+    /// The topology-wide dead-letter queue. Processes whose fault policy is
+    /// [`FaultPolicy::DeadLetter`] (set via `.fault_policy(...)` or the
+    /// `fault-policy="dead-letter"` XML attribute) record into it; keep a
+    /// clone to inspect the records after the run.
+    pub fn dead_letters(&self) -> DeadLetterQueue {
+        self.dead_letters.clone()
+    }
+
     /// Starts defining a process; finish with [`ProcessBuilder::done`].
     pub fn process(&mut self, name: &str) -> ProcessBuilder<'_> {
         ProcessBuilder {
@@ -83,6 +94,7 @@ impl Topology {
                 input: Input::Stream(String::new()),
                 processors: Vec::new(),
                 outputs: Vec::new(),
+                fault_policy: FaultPolicy::FailFast,
             },
             input_set: false,
         }
@@ -199,6 +211,19 @@ impl<'a> ProcessBuilder<'a> {
     pub fn output(mut self, output: Output) -> Self {
         self.def.outputs.push(output);
         self
+    }
+
+    /// Sets the process's fault policy (default: [`FaultPolicy::FailFast`]).
+    pub fn fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.def.fault_policy = policy;
+        self
+    }
+
+    /// Shorthand: dead-letter faulted items into the topology's shared
+    /// [`DeadLetterQueue`] (see [`Topology::dead_letters`]).
+    pub fn dead_letter(self) -> Self {
+        let queue = self.topology.dead_letters.clone();
+        self.fault_policy(FaultPolicy::DeadLetter { queue })
     }
 
     /// Registers the process with the topology.

@@ -40,6 +40,7 @@
 //! ```
 
 use crate::error::StreamsError;
+use crate::fault::FaultPolicy;
 use crate::processor::ProcessorFactory;
 use crate::sink::Sink;
 use crate::topology::{Input, Output, Topology, DEFAULT_QUEUE_CAPACITY};
@@ -342,7 +343,17 @@ pub fn compile_into(
             "process" => {
                 let id = child.required_attr("id")?.to_string();
                 let input = parse_input(child.required_attr("input")?)?;
+                // Resolve the policy before `topology.process()` takes the
+                // mutable borrow; `dead-letter` binds to the topology's
+                // shared queue.
+                let policy = match child.attr("fault-policy") {
+                    Some(spec) => Some(FaultPolicy::parse(spec, &topology.dead_letters())?),
+                    None => None,
+                };
                 let mut builder = topology.process(&id).input(input);
+                if let Some(policy) = policy {
+                    builder = builder.fault_policy(policy);
+                }
                 for proc_el in child.children_named("processor") {
                     let class = proc_el.required_attr("class")?;
                     let factory =
@@ -486,6 +497,48 @@ mod tests {
         let mut t = Topology::new();
         let err = compile_into(&mut t, doc, &factories, &mut bound_sinks(&sink)).unwrap_err();
         assert!(matches!(err, StreamsError::XmlSemantics { .. }));
+    }
+
+    #[test]
+    fn fault_policy_attribute_is_compiled() {
+        let doc = r#"
+            <container>
+                <process id="strict" input="stream:s" output="sink:out"
+                         fault-policy="dead-letter">
+                    <processor class="AssertKey" key="n"/>
+                </process>
+            </container>
+        "#;
+        let mut t = Topology::new();
+        t.add_source(
+            "s",
+            VecSource::new([
+                DataItem::new().with("n", 1i64),
+                DataItem::new().with("other", 2i64),
+                DataItem::new().with("n", 3i64),
+            ]),
+        );
+        let out = CollectSink::shared();
+        compile_into(&mut t, doc, &default_factories(), &mut bound_sinks(&out)).unwrap();
+        let dead = t.dead_letters();
+        Runtime::new(t).run().unwrap();
+        assert_eq!(out.len(), 2, "good items pass");
+        let records = dead.records();
+        assert_eq!(records.len(), 1, "the keyless item was dead-lettered");
+        assert_eq!(records[0].process, "strict");
+        assert_eq!(records[0].item.as_ref().unwrap().get_i64("other"), Some(2));
+    }
+
+    #[test]
+    fn bad_fault_policy_is_rejected() {
+        let doc = r#"<container>
+            <process id="p" input="stream:s" fault-policy="sometimes"/>
+        </container>"#;
+        let mut t = Topology::new();
+        let sink = CollectSink::shared();
+        let err =
+            compile_into(&mut t, doc, &default_factories(), &mut bound_sinks(&sink)).unwrap_err();
+        assert!(err.to_string().contains("fault-policy") || err.to_string().contains("sometimes"));
     }
 
     #[test]
