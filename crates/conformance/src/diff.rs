@@ -1,0 +1,136 @@
+//! Divergence reporting: when the windowed engine and the reference oracle
+//! disagree, print the *minimal* difference — which grounding, which
+//! time-points, which derived events — together with everything needed to
+//! replay the failing case (the stream seed and label).
+//!
+//! Reports render via `Display`; [`write_report`] additionally persists them
+//! under `$CONFORMANCE_REPORT_DIR` (or `target/conformance/`) so CI can
+//! upload them as artifacts.
+
+use insight_rtec::term::Term;
+use insight_rtec::time::Time;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Which side an event instance is missing from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The engine reported it; the oracle does not derive it.
+    SpuriousInEngine,
+    /// The oracle derives it inside the window; the engine missed it.
+    MissingFromEngine,
+}
+
+/// One fluent grounding on which `holdsAt` disagrees inside a window.
+#[derive(Debug, Clone)]
+pub struct FluentDiff {
+    /// Fluent name.
+    pub fluent: String,
+    /// Ground arguments.
+    pub args: Vec<Term>,
+    /// Fluent value.
+    pub value: Term,
+    /// First window time-point where the sides disagree.
+    pub first_tick: Time,
+    /// Last window time-point where the sides disagree.
+    pub last_tick: Time,
+    /// Number of disagreeing time-points in the window.
+    pub mismatching_ticks: usize,
+    /// The engine's answer at `first_tick` (the oracle answers the opposite).
+    pub engine_holds_at_first: bool,
+}
+
+/// One derived event instance present on only one side.
+#[derive(Debug, Clone)]
+pub struct EventDiff {
+    /// Event kind.
+    pub kind: String,
+    /// Ground arguments.
+    pub args: Vec<Term>,
+    /// Occurrence time.
+    pub time: Time,
+    /// Which side is missing it.
+    pub side: Side,
+}
+
+/// A divergence between the windowed engine and the oracle at one query.
+#[derive(Debug, Clone)]
+pub struct DivergenceReport {
+    /// Human-readable label of the generated stream (scenario / generator).
+    pub label: String,
+    /// The seed that regenerates the exact failing stream.
+    pub seed: u64,
+    /// The query time at which the divergence appeared.
+    pub query_time: Time,
+    /// The window start (`query_time − WM`).
+    pub window_start: Time,
+    /// Disagreeing fluent groundings (minimal: one entry per grounding).
+    pub fluent_diffs: Vec<FluentDiff>,
+    /// Derived event instances present on only one side.
+    pub event_diffs: Vec<EventDiff>,
+}
+
+impl DivergenceReport {
+    /// True when the report carries no differences (not a divergence).
+    pub fn is_empty(&self) -> bool {
+        self.fluent_diffs.is_empty() && self.event_diffs.is_empty()
+    }
+}
+
+fn fmt_args(args: &[Term]) -> String {
+    let inner: Vec<String> = args.iter().map(|t| t.to_string()).collect();
+    inner.join(", ")
+}
+
+impl fmt::Display for DivergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ORACLE DIVERGENCE at query {} (window ({}, {}])",
+            self.query_time, self.window_start, self.query_time
+        )?;
+        writeln!(f, "  stream: {} — replay with seed {}", self.label, self.seed)?;
+        for d in &self.fluent_diffs {
+            writeln!(
+                f,
+                "  holdsAt({}({}) = {}): engine={} oracle={} at t={} \
+                 ({} of the window's time-points disagree, t={}..={})",
+                d.fluent,
+                fmt_args(&d.args),
+                d.value,
+                d.engine_holds_at_first,
+                !d.engine_holds_at_first,
+                d.first_tick,
+                d.mismatching_ticks,
+                d.first_tick,
+                d.last_tick,
+            )?;
+        }
+        for d in &self.event_diffs {
+            let what = match d.side {
+                Side::SpuriousInEngine => "engine reports it; oracle does not derive it",
+                Side::MissingFromEngine => "oracle derives it in-window; engine missed it",
+            };
+            writeln!(f, "  happensAt({}({}), {}): {}", d.kind, fmt_args(&d.args), d.time, what)?;
+        }
+        Ok(())
+    }
+}
+
+/// Writes the report to `$CONFORMANCE_REPORT_DIR` (or `target/conformance/`
+/// as a fallback). Returns the path on success; IO failures are swallowed —
+/// reporting must never mask the underlying assertion failure.
+pub fn write_report(report: &DivergenceReport) -> Option<PathBuf> {
+    let dir = std::env::var_os("CONFORMANCE_REPORT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/conformance"));
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(format!(
+        "divergence-{}-seed{}-q{}.txt",
+        report.label.replace(|c: char| !c.is_ascii_alphanumeric(), "_"),
+        report.seed,
+        report.query_time
+    ));
+    std::fs::write(&path, report.to_string()).ok()?;
+    Some(path)
+}

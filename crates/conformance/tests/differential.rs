@@ -1,0 +1,148 @@
+//! The tentpole differential suite: the windowed `insight_rtec::Engine`
+//! against the naive full-history oracle, over ≥ 256 seeded SDE streams per
+//! run.
+//!
+//! Two proptests (128 cases each by default; `PROPTEST_CASES=512` in the
+//! nightly CI variant) cover the fixture rule set under adversarial arrival
+//! schedules and three different query grids; deterministic tests pin the
+//! two hardest schedules (occurrences exactly on the `Qi − WM` boundary,
+//! arrivals beyond the working memory) and run the *real* Dublin traffic
+//! rule library over perturbed scenario traces.
+
+use insight_conformance::{
+    fixture_grid, fixture_harness, fixture_stream, seed_offset, Harness, StimulusConfig, Stream,
+};
+use insight_datagen::adversarial::{perturb_sdes, LatenessMix, QueryGrid};
+use insight_datagen::scenario::{Scenario, ScenarioConfig};
+use insight_traffic::config::TrafficRulesConfig;
+use insight_traffic::geo::close_builtin;
+use insight_traffic::rules::{build_ruleset, rel};
+use insight_traffic::sde::to_rtec;
+use proptest::prelude::*;
+
+fn run(harness: &Harness, stream: &Stream) {
+    match harness.check(stream) {
+        Ok(stats) => {
+            assert!(stats.queries > 0, "no queries executed");
+            assert!(stats.ticks > 0, "no time-points compared");
+        }
+        Err(report) => panic!("{report}"),
+    }
+}
+
+proptest! {
+    /// The default overlapping grid (WM = 2·step) under a seed-drawn
+    /// lateness mix, duplicates included.
+    #[test]
+    fn overlapping_window_streams_match_oracle(
+        seed in any::<u64>(),
+        late_heavy in any::<bool>(),
+    ) {
+        let grid = fixture_grid();
+        let mix = if late_heavy {
+            LatenessMix { on_time: 0.3, within_wm: 0.3, beyond_wm: 0.2, boundary: 0.2 }
+        } else {
+            LatenessMix::default()
+        };
+        let cfg = StimulusConfig { mix, ..StimulusConfig::default() };
+        let harness = fixture_harness(grid);
+        run(&harness, &fixture_stream(seed, grid, &cfg));
+    }
+
+    /// Tumbling (WM = step) and long-memory (WM = 3·step) grids: the window
+    /// arithmetic differs, the recognition must not.
+    #[test]
+    fn alternate_grids_match_oracle(seed in any::<u64>(), tumbling in any::<bool>()) {
+        let grid = if tumbling {
+            QueryGrid { first: 60, step: 60, wm: 60, last: 540 }
+        } else {
+            QueryGrid { first: 120, step: 40, wm: 120, last: 560 }
+        };
+        let cfg = StimulusConfig::default();
+        let harness = fixture_harness(grid);
+        run(&harness, &fixture_stream(seed, grid, &cfg));
+    }
+}
+
+/// Occurrences exactly on `Qi − WM` (excluded by the half-open window) and
+/// on `Qi − WM + 1` (the first included tick) dominate these streams.
+#[test]
+fn boundary_occurrences_match_oracle() {
+    let grid = fixture_grid();
+    let harness = fixture_harness(grid);
+    let mix = LatenessMix { on_time: 0.1, within_wm: 0.0, beyond_wm: 0.0, boundary: 0.9 };
+    let cfg = StimulusConfig { mix, ..StimulusConfig::default() };
+    let base = 1000 + seed_offset() * 100_000;
+    for seed in base..base + 16 {
+        run(&harness, &fixture_stream(seed, grid, &cfg));
+    }
+}
+
+/// Arrivals after the occurrence time left the working memory must be
+/// irrevocably dropped — by the engine and by the oracle's knowledge base.
+#[test]
+fn beyond_wm_arrivals_match_oracle() {
+    let grid = fixture_grid();
+    let harness = fixture_harness(grid);
+    let mix = LatenessMix { on_time: 0.3, within_wm: 0.1, beyond_wm: 0.6, boundary: 0.0 };
+    let cfg = StimulusConfig { mix, ..StimulusConfig::default() };
+    let base = 2000 + seed_offset() * 100_000;
+    for seed in base..base + 16 {
+        run(&harness, &fixture_stream(seed, grid, &cfg));
+    }
+}
+
+/// The real Dublin rule library over mediated scenario traces whose arrival
+/// times were adversarially perturbed (delays within and beyond WM, plus
+/// duplicates).
+#[test]
+fn traffic_scenario_streams_match_oracle() {
+    let grid = QueryGrid { first: 600, step: 300, wm: 600, last: 1200 };
+    for (seed, config) in
+        [(3u64, TrafficRulesConfig::static_mode()), (11u64, TrafficRulesConfig::default())]
+    {
+        let mut cfg = ScenarioConfig::small(1200, seed);
+        cfg.fleet.n_buses = 10;
+        cfg.n_scats_sensors = 12;
+        let scenario = Scenario::generate(cfg).expect("scenario generates");
+        let mut sdes = scenario.sdes.clone();
+        perturb_sdes(&mut sdes, seed, &grid, &LatenessMix::default(), 0.05);
+
+        let mut events = Vec::new();
+        let mut obs = Vec::new();
+        for sde in &sdes {
+            let (e, o) = to_rtec(sde);
+            events.extend(e);
+            obs.extend(o);
+        }
+        let stream = Stream { label: format!("traffic-small-{seed}"), seed, events, obs };
+
+        let rules = build_ruleset(&config).expect("traffic rule set builds");
+        let close = close_builtin(config.close_threshold_m);
+        let intersections: Vec<Vec<insight_rtec::term::Term>> = scenario
+            .scats
+            .intersections()
+            .iter()
+            .map(|i| {
+                vec![
+                    insight_rtec::term::Term::int(i.id as i64),
+                    insight_rtec::term::Term::float(i.lon),
+                    insight_rtec::term::Term::float(i.lat),
+                ]
+            })
+            .collect();
+        let areas: Vec<Vec<insight_rtec::term::Term>> = scenario
+            .scats
+            .intersections()
+            .iter()
+            .map(|i| {
+                vec![insight_rtec::term::Term::float(i.lon), insight_rtec::term::Term::float(i.lat)]
+            })
+            .collect();
+        let harness = Harness::new(rules, grid)
+            .builtin("close", move |args| close(args))
+            .relation(rel::SCATS_INTERSECTION, intersections)
+            .relation(rel::AREA, areas);
+        run(&harness, &stream);
+    }
+}

@@ -1,0 +1,124 @@
+//! The harness must *detect* divergence, not just bless agreement.
+//!
+//! A simple fluent initiated by a **spanning** derived event is the textbook
+//! case where windowed recognition genuinely differs from naive
+//! recomputation: once the earlier half of the evidence slides out of the
+//! working memory, the engine can no longer re-derive the initiating event
+//! and the fluent's state is lost, while the full-history oracle keeps it.
+//! The differential harness must flag exactly that, with a replayable seed
+//! and a minimal fluent diff.
+
+use insight_conformance::{diff, Harness, Stream};
+use insight_datagen::adversarial::QueryGrid;
+use insight_rtec::dsl::{
+    cmp, event_head, event_pat, fluent, guard, happens, pat, term_ne, val, RuleSet, RuleSetBuilder,
+};
+use insight_rtec::event::{Event, Stamped};
+use insight_rtec::rule::{CmpOp, NumExpr};
+use insight_rtec::term::Term;
+
+/// `hop(Bus, From, To)` spans two `enter` events; `tracking(Bus)` is
+/// initiated by it — deliberately violating the co-timed-evidence discipline
+/// the real rule library keeps.
+fn state_from_spanning_event_rules() -> RuleSet {
+    let mut b = RuleSetBuilder::new();
+    b.declare_event("enter", 2);
+    let bus = b.var("Bus");
+    let s1 = b.var("S1");
+    let s2 = b.var("S2");
+    let t = b.var("T");
+    let t1 = b.var("T1");
+    b.derived_event(
+        event_head("hop", [pat(bus), pat(s1), pat(s2)]),
+        t,
+        [
+            happens(event_pat("enter", [pat(bus), pat(s1)]), t1),
+            happens(event_pat("enter", [pat(bus), pat(s2)]), t),
+            guard(term_ne(s1, s2)),
+            guard(cmp(
+                NumExpr::Sub(Box::new(NumExpr::Var(t)), Box::new(NumExpr::Var(t1))),
+                CmpOp::Gt,
+                0.0,
+            )),
+        ],
+    );
+    b.initiated(
+        fluent("tracking", [pat(bus)], val(true)),
+        t,
+        [happens(event_pat("hop", [pat(bus), pat(s1), pat(s2)]), t)],
+    );
+    b.build().expect("rule set builds")
+}
+
+#[test]
+fn windowed_state_loss_is_detected_and_reported() {
+    let grid = QueryGrid { first: 100, step: 50, wm: 100, last: 300 };
+    let harness = Harness::new(state_from_spanning_event_rules(), grid);
+    // Evidence span (190, 210]: both halves are inside the window of q=250,
+    // so `tracking(9)` initiates at 210. At q=300 the window is (200, 300]
+    // — the first `enter` is gone, `hop` cannot be re-derived, and the
+    // engine has no cached interval covering the window start, so the
+    // engine drops `tracking(9)` while the oracle keeps it by inertia.
+    let stream = Stream {
+        label: "state-from-spanning-event".into(),
+        seed: 77,
+        events: vec![
+            Stamped::arriving_at(Event::new("enter", vec![Term::int(9), Term::int(1)], 190), 190),
+            Stamped::arriving_at(Event::new("enter", vec![Term::int(9), Term::int(2)], 210), 210),
+        ],
+        obs: vec![],
+    };
+    let report = harness.check(&stream).expect_err("divergence must be detected");
+    assert_eq!(report.seed, 77);
+    assert_eq!(report.query_time, 300);
+    assert!(!report.fluent_diffs.is_empty(), "fluent diff expected: {report}");
+    let d = &report.fluent_diffs[0];
+    assert_eq!(d.fluent, "tracking");
+    assert_eq!(d.args, vec![Term::int(9)]);
+    assert!(!d.engine_holds_at_first, "the engine side lost the state");
+    assert_eq!(d.first_tick, 210);
+    assert_eq!(d.last_tick, 300);
+
+    // The rendered report carries everything needed to replay the case.
+    let rendered = report.to_string();
+    assert!(rendered.contains("replay with seed 77"), "{rendered}");
+    assert!(rendered.contains("ORACLE DIVERGENCE at query 300"), "{rendered}");
+    assert!(rendered.contains("tracking"), "{rendered}");
+
+    // And it persists for CI artifact upload.
+    let path = diff::write_report(&report).expect("report written");
+    let on_disk = std::fs::read_to_string(&path).expect("report readable");
+    assert_eq!(on_disk, rendered);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn spurious_engine_events_would_be_reported() {
+    // Sanity-check the event-diff side of the report type: render both
+    // directions and make sure the wording distinguishes them.
+    let report = diff::DivergenceReport {
+        label: "synthetic".into(),
+        seed: 5,
+        query_time: 100,
+        window_start: 0,
+        fluent_diffs: vec![],
+        event_diffs: vec![
+            diff::EventDiff {
+                kind: "alert".into(),
+                args: vec![Term::int(1)],
+                time: 40,
+                side: diff::Side::SpuriousInEngine,
+            },
+            diff::EventDiff {
+                kind: "alert".into(),
+                args: vec![Term::int(2)],
+                time: 60,
+                side: diff::Side::MissingFromEngine,
+            },
+        ],
+    };
+    let rendered = report.to_string();
+    assert!(rendered.contains("oracle does not derive it"), "{rendered}");
+    assert!(rendered.contains("engine missed it"), "{rendered}");
+    assert!(!report.is_empty());
+}

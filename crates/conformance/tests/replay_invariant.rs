@@ -1,0 +1,73 @@
+//! Tentpole part 3: the Dublin topology's recognition output must be
+//! invariant under the process interleaving.
+//!
+//! Each seed drives the deterministic replay scheduler
+//! (`insight_streams::replay::ReplayRuntime`) through one exact single-
+//! threaded interleaving of the §3 topology — bus splitter, four region
+//! RTEC engines, crowdsourcing — and the canonical (sorted, wall-clock-
+//! stripped) recognition output must be byte-identical across all of them.
+//! A failure names the two diverging seeds, which replay the interleavings
+//! exactly.
+
+use insight_conformance::seed_offset;
+use insight_core::replay::{assert_schedule_invariant, replay_recognitions};
+use insight_datagen::scenario::{Scenario, ScenarioConfig};
+use insight_rtec::window::WindowConfig;
+use insight_traffic::TrafficRulesConfig;
+
+/// `n` scheduler seeds starting at `CONFORMANCE_SEED * 1000` (0 by default),
+/// so each CI seed pin exercises a disjoint family of interleavings.
+fn scheduler_seeds(n: u64) -> Vec<u64> {
+    let base = seed_offset() * 1000;
+    (base..base + n).collect()
+}
+
+#[test]
+fn dublin_topology_recognitions_are_schedule_invariant() {
+    let scenario = Scenario::generate(ScenarioConfig::small(1200, 77)).expect("scenario");
+    let window = WindowConfig::new(600, 300).expect("window");
+    assert_schedule_invariant(
+        &scenario,
+        TrafficRulesConfig::default(),
+        window,
+        &scheduler_seeds(9),
+    );
+}
+
+#[test]
+fn schedule_invariance_holds_with_crowd_resolutions_in_the_loop() {
+    // A faulty fleet produces source disagreements, so the crowd stage's
+    // order-sensitive resolve path actually runs; rule-set (4) surfaces
+    // the disagreements as CEs.
+    let mut cfg = ScenarioConfig::small(2400, 91);
+    cfg.fleet.faulty_fraction = 0.5;
+    cfg.fleet.n_buses = 40;
+    let scenario = Scenario::generate(cfg).expect("scenario");
+    let window = WindowConfig::new(900, 450).expect("window");
+    let rules = TrafficRulesConfig::self_adaptive(insight_traffic::NoisyVariant::CrowdValidated);
+    let out = replay_recognitions(&scenario, rules.clone(), window, 0).expect("replay runs");
+    assert!(
+        out.lines().any(|l| l.contains("crowd_verdict_congested")),
+        "the crowd stage must have resolved at least one disagreement:\n{out}"
+    );
+    assert_schedule_invariant(&scenario, rules, window, &scheduler_seeds(8));
+}
+
+#[test]
+fn replay_output_matches_threaded_runtime_content() {
+    // The replay scheduler is not a parallel implementation to trust
+    // separately: its canonical output must equal what the threaded runtime
+    // produces for the same scenario.
+    use insight_core::pipeline::build_pipeline;
+    use insight_core::replay::canonical_recognitions;
+    use insight_streams::runtime::Runtime;
+
+    let scenario = Scenario::generate(ScenarioConfig::small(900, 42)).expect("scenario");
+    let window = WindowConfig::new(300, 300).expect("window");
+    let rules = TrafficRulesConfig::static_mode();
+    let (topology, sink) = build_pipeline(&scenario, rules.clone(), window).expect("topology");
+    Runtime::new(topology).run().expect("threaded run");
+    let threaded = canonical_recognitions(&sink.items());
+    let replayed = replay_recognitions(&scenario, rules, window, 123).expect("replayed run");
+    assert_eq!(threaded, replayed, "replay and threaded runtimes recognise identically");
+}

@@ -1,0 +1,19 @@
+//! First-light differential check: a handful of fixed seeds.
+
+use insight_conformance::{fixture_grid, fixture_harness, fixture_stream, StimulusConfig};
+
+#[test]
+fn fixed_seeds_agree() {
+    let grid = fixture_grid();
+    let harness = fixture_harness(grid);
+    let cfg = StimulusConfig::default();
+    for seed in 0..4u64 {
+        let stream = fixture_stream(seed, grid, &cfg);
+        match harness.check(&stream) {
+            Ok(stats) => {
+                assert!(stats.queries > 0 && stats.ticks > 0, "vacuous check: {stats:?}");
+            }
+            Err(report) => panic!("{report}"),
+        }
+    }
+}

@@ -23,6 +23,9 @@
 //!   GP regression over the street graph from the latest SCATS readings;
 //! * [`pipeline`] — the Streams topology of §3 (input handling, event
 //!   processing, crowdsourcing processes);
+//! * [`replay`] — schedule-invariance checking: the §3 topology under the
+//!   deterministic replay scheduler, asserting byte-identical canonical
+//!   recognitions across scheduler seeds;
 //! * [`system`] — [`system::InsightSystem`]: the closed recognition loop
 //!   driving windows, crowdsourcing and feedback, used by the experiments.
 
@@ -34,6 +37,7 @@ pub mod items;
 pub mod modelsvc;
 pub mod pipeline;
 pub mod proactive;
+pub mod replay;
 pub mod system;
 
 pub use alerts::OperatorAlert;

@@ -29,18 +29,45 @@ use insight_streams::source::VecSource;
 use insight_streams::topology::{Input, Output, Topology};
 use insight_traffic::recognizer::{IntersectionInfo, TrafficRecognizer};
 use insight_traffic::TrafficRulesConfig;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Embeds a [`TrafficRecognizer`] as a Streams processor ("we integrated
 /// RTEC by a dedicated processor in Streams", §3).
+///
+/// # Schedule-independence
+///
+/// The processor's input queue merges two producers — the broadcast bus
+/// stream and the region's SCATS stream — whose interleaving is up to the
+/// thread scheduler. To make recognition output a pure function of the two
+/// *per-producer* subsequences (which the queues preserve in FIFO order)
+/// rather than of their merge, query `Qi` fires only once the **arrival
+/// watermark of each input class** (bus, SCATS) has strictly passed `Qi`:
+/// each producer emits in nondecreasing arrival order, so a watermark beyond
+/// `Qi` proves every SDE with `arrival ≤ Qi` of that class has been
+/// ingested. Region filtering of the broadcast bus stream happens *inside*
+/// the processor — after the watermark update — so foreign-region bus SDEs
+/// still advance the bus watermark. Queries whose gate never opens
+/// in-stream (e.g. a region without SCATS sensors) are flushed at
+/// end-of-stream, where the knowledge is complete by definition. The
+/// deterministic replay scheduler
+/// ([`insight_streams::replay::ReplayRuntime`]) relies on exactly this
+/// property to assert byte-identical recognitions across interleavings.
 pub struct RtecProcessor {
     recognizer: TrafficRecognizer,
     next_query: i64,
     step: i64,
     last_query: i64,
     region: Region,
+    /// Highest arrival time seen on the bus input class (`i64::MIN` before
+    /// the first bus SDE).
+    bus_watermark: i64,
+    /// Highest arrival time seen on the SCATS input class.
+    scats_watermark: i64,
+    /// Highest arrival time seen on any input item, bounding the queries
+    /// flushed at end-of-stream.
+    max_arrival: i64,
     pending: VecDeque<DataItem>,
     /// Per-window RTEC query latency, fetched lazily from the runtime's
     /// metrics service (absent when the processor runs outside a runtime).
@@ -63,6 +90,9 @@ impl RtecProcessor {
             step,
             last_query: i64::MIN,
             region,
+            bus_watermark: i64::MIN,
+            scats_watermark: i64::MIN,
+            max_arrival: i64::MIN,
             pending: VecDeque::new(),
             window_ns: None,
             malformed: None,
@@ -129,20 +159,36 @@ impl Processor for RtecProcessor {
     ) -> Result<Option<DataItem>, StreamsError> {
         match item_to_sde(&item) {
             Some(sde) => {
-                while sde.arrival >= self.next_query {
+                // Watermarks advance on *every* well-formed SDE, including
+                // foreign-region bus SDEs that are filtered out below — they
+                // still prove how far their producer has progressed.
+                if sde.is_bus() {
+                    self.bus_watermark = self.bus_watermark.max(sde.arrival);
+                } else {
+                    self.scats_watermark = self.scats_watermark.max(sde.arrival);
+                }
+                self.max_arrival = self.max_arrival.max(sde.arrival);
+                if sde.region() == self.region {
+                    self.recognizer.ingest(&sde).map_err(|e| StreamsError::ProcessorFailed {
+                        process: format!("rtec-{}", self.region),
+                        processor: None,
+                        message: e.to_string(),
+                    })?;
+                }
+                // Fire every query both classes have strictly passed; SDEs
+                // already ingested with later arrivals are invisible to
+                // those queries, so ingestion order never leaks into the
+                // result.
+                while self.bus_watermark.min(self.scats_watermark) > self.next_query {
                     let q = self.next_query;
                     self.run_query(q, ctx)?;
                     self.next_query += self.step;
                 }
-                self.recognizer.ingest(&sde).map_err(|e| StreamsError::ProcessorFailed {
-                    process: format!("rtec-{}", self.region),
-                    processor: None,
-                    message: e.to_string(),
-                })?;
             }
             // Graceful degradation: a malformed SDE (schema violation,
             // corrupted field) is skipped and counted rather than failing
-            // the recognition stage.
+            // the recognition stage. It carries no trustworthy arrival time,
+            // so it does not advance the watermarks either.
             None => {
                 if let Some(counter) = self.malformed_counter(ctx) {
                     counter.inc();
@@ -153,7 +199,15 @@ impl Processor for RtecProcessor {
     }
 
     fn finish(&mut self, ctx: &mut Context) -> Result<Vec<DataItem>, StreamsError> {
-        // One final query covering the tail of the stream.
+        // End-of-stream: the knowledge is complete, so every query the
+        // watermark gate still held back fires now, up to the last grid
+        // point the stream reached...
+        while self.next_query <= self.max_arrival {
+            let q = self.next_query;
+            self.run_query(q, ctx)?;
+            self.next_query += self.step;
+        }
+        // ...plus one final query covering the tail of the stream.
         let q = self.next_query;
         if q > self.last_query {
             self.run_query(q, ctx)?;
@@ -172,9 +226,34 @@ impl Processor for RtecProcessor {
 /// closed loop lives in [`crate::system::InsightSystem`]. `truth_of`
 /// supplies the simulated participants' ground truth, as in the paper's
 /// own crowdsourcing evaluation.
+///
+/// # Schedule-independence
+///
+/// [`crate::crowdbridge::CrowdBridge::resolve`] is stateful — participant
+/// selection and simulated answers depend on the *order* of resolve calls —
+/// while the `recognitions` queue merges one producer per region in
+/// scheduler-determined order. To keep crowd verdicts a pure function of
+/// the region streams, summaries carrying a disagreement are buffered and
+/// resolved in canonical `(query_time, region)` order, releasing an entry
+/// only once every declared region's **query-time watermark** has reached
+/// its query time (each region emits summaries in strictly increasing query
+/// time, so the watermark proves no earlier-keyed summary can still
+/// arrive). Whatever the gate still holds at end-of-stream is resolved, in
+/// the same canonical order, in `finish`. Summaries without a disagreement
+/// never touch the bridge and pass through immediately.
 pub struct CrowdProcessor<F> {
     bridge: crate::crowdbridge::CrowdBridge,
     truth_of: F,
+    /// The regions expected to produce summaries; the resolve gate waits
+    /// for all of them. Empty ⇒ every resolution happens at end-of-stream.
+    regions: Vec<String>,
+    /// Per-region highest `query_time` seen so far.
+    watermarks: HashMap<String, i64>,
+    /// Disagreement summaries awaiting ordered resolution, keyed by
+    /// `(query_time, region)`.
+    held: BTreeMap<(i64, String), Vec<DataItem>>,
+    /// Items ready to leave the stage (one per `process` call).
+    pending: VecDeque<DataItem>,
     /// Latency of each `resolve` call; lazily fetched from the metrics service.
     resolve_ns: Option<Arc<Histogram>>,
     resolutions: Option<Arc<Counter>>,
@@ -185,9 +264,59 @@ impl<F> CrowdProcessor<F>
 where
     F: Fn(f64, f64, i64) -> bool + Send,
 {
-    /// Wraps a crowd bridge and a ground-truth oracle.
+    /// Wraps a crowd bridge and a ground-truth oracle. Without
+    /// [`CrowdProcessor::with_regions`] every disagreement resolves at
+    /// end-of-stream.
     pub fn new(bridge: crate::crowdbridge::CrowdBridge, truth_of: F) -> CrowdProcessor<F> {
-        CrowdProcessor { bridge, truth_of, resolve_ns: None, resolutions: None, fallbacks: None }
+        CrowdProcessor {
+            bridge,
+            truth_of,
+            regions: Vec::new(),
+            watermarks: HashMap::new(),
+            held: BTreeMap::new(),
+            pending: VecDeque::new(),
+            resolve_ns: None,
+            resolutions: None,
+            fallbacks: None,
+        }
+    }
+
+    /// Declares the upstream regions whose watermarks gate in-stream
+    /// resolution.
+    pub fn with_regions<I, S>(mut self, regions: I) -> CrowdProcessor<F>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.regions = regions.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// The lowest per-region watermark — summaries keyed at or below it are
+    /// complete. `None` while some declared region has not reported yet.
+    fn safe_frontier(&self) -> Option<i64> {
+        if self.regions.is_empty() {
+            return None;
+        }
+        self.regions
+            .iter()
+            .map(|r| self.watermarks.get(r).copied())
+            .try_fold(i64::MAX, |acc, wm| wm.map(|w| acc.min(w)))
+    }
+
+    /// Resolves and releases every held summary whose key the watermark
+    /// frontier has passed.
+    fn release_ready(&mut self, ctx: &Context) {
+        let Some(frontier) = self.safe_frontier() else { return };
+        while let Some(entry) = self.held.first_entry() {
+            if entry.key().0 > frontier {
+                break;
+            }
+            for item in entry.remove() {
+                let resolved = self.resolve(item, ctx);
+                self.pending.push_back(resolved);
+            }
+        }
     }
 
     fn instruments(&mut self, ctx: &Context) -> Option<(Arc<Histogram>, Arc<Counter>)> {
@@ -200,6 +329,43 @@ where
         }
         self.resolve_ns.clone().zip(self.resolutions.clone())
     }
+
+    /// One crowd resolution, annotating the summary with the verdict.
+    fn resolve(&mut self, mut item: DataItem, ctx: &Context) -> DataItem {
+        let (Some(lon), Some(lat), Some(q)) = (
+            item.get_f64("disagreement_lon"),
+            item.get_f64("disagreement_lat"),
+            item.get_i64("query_time"),
+        ) else {
+            return item;
+        };
+        let truth = (self.truth_of)(lon, lat, q);
+        let resolve_started = Instant::now();
+        match self.bridge.resolve(lon, lat, truth, None) {
+            Ok(resolution) => {
+                if let Some((hist, count)) = self.instruments(ctx) {
+                    hist.record(resolve_started.elapsed());
+                    count.inc();
+                }
+                item.set("crowd_verdict_congested", resolution.congested);
+                item.set("crowd_confidence", resolution.confidence);
+                item.set("crowd_answers", resolution.answers as i64);
+            }
+            // Graceful degradation: when the crowd engine cannot
+            // resolve the disagreement (no eligible workers, engine
+            // error), fall back to the sensor-only summary instead of
+            // failing the stage — the paper's pipeline keeps reporting
+            // from SCATS/bus data alone.
+            Err(_) => {
+                self.instruments(ctx);
+                if let Some(fallbacks) = &self.fallbacks {
+                    fallbacks.inc();
+                }
+                item.set("crowd_fallback", true);
+            }
+        }
+        item
+    }
 }
 
 impl<F> Processor for CrowdProcessor<F>
@@ -208,44 +374,37 @@ where
 {
     fn process(
         &mut self,
-        mut item: DataItem,
+        item: DataItem,
         ctx: &mut Context,
     ) -> Result<Option<DataItem>, StreamsError> {
-        if let (Some(lon), Some(lat), Some(q)) = (
-            item.get_f64("disagreement_lon"),
-            item.get_f64("disagreement_lat"),
-            item.get_i64("query_time"),
-        ) {
-            let truth = (self.truth_of)(lon, lat, q);
-            let resolve_started = Instant::now();
-            match self.bridge.resolve(lon, lat, truth, None) {
-                Ok(resolution) => {
-                    if let Some((hist, count)) = self.instruments(ctx) {
-                        hist.record(resolve_started.elapsed());
-                        count.inc();
-                    }
-                    item.set("crowd_verdict_congested", resolution.congested);
-                    item.set("crowd_confidence", resolution.confidence);
-                    item.set("crowd_answers", resolution.answers as i64);
-                }
-                // Graceful degradation: when the crowd engine cannot
-                // resolve the disagreement (no eligible workers, engine
-                // error), fall back to the sensor-only summary instead of
-                // failing the stage — the paper's pipeline keeps reporting
-                // from SCATS/bus data alone.
-                Err(_) => {
-                    self.instruments(ctx);
-                    if let Some(fallbacks) = &self.fallbacks {
-                        fallbacks.inc();
-                    }
-                    item.set("crowd_fallback", true);
+        match (item.get_str("region").map(str::to_string), item.get_i64("query_time")) {
+            (Some(region), Some(q)) => {
+                let wm = self.watermarks.entry(region.clone()).or_insert(i64::MIN);
+                *wm = (*wm).max(q);
+                if item.contains("disagreement_lon") {
+                    self.held.entry((q, region)).or_default().push(item);
+                } else {
+                    // No disagreement: nothing touches the bridge state, so
+                    // the summary can pass through unordered.
+                    self.pending.push_back(item);
                 }
             }
+            _ => self.pending.push_back(item),
         }
-        Ok(Some(item))
+        self.release_ready(ctx);
+        Ok(self.pending.pop_front())
     }
 
     fn finish(&mut self, ctx: &mut Context) -> Result<Vec<DataItem>, StreamsError> {
+        // Resolve whatever the watermark gate still holds, in the same
+        // canonical (query_time, region) order the in-stream path uses.
+        let held = std::mem::take(&mut self.held);
+        for (_, items) in held {
+            for item in items {
+                let resolved = self.resolve(item, ctx);
+                self.pending.push_back(resolved);
+            }
+        }
         // Publish the engine's cumulative counters once the stream ends;
         // the engine aggregates internally, so a final copy is exact.
         if let Ok(registry) = ctx.services().get::<MetricsRegistry>("metrics") {
@@ -255,7 +414,7 @@ where
             registry.counter("crowd.answers").add(stats.answers);
             registry.counter("crowd.deadline_misses").add(stats.deadline_misses);
         }
-        Ok(Vec::new())
+        Ok(self.pending.drain(..).collect())
     }
 }
 
@@ -389,7 +548,6 @@ fn build_pipeline_inner(
                     message: e.to_string(),
                 }
             })?;
-        let region_name = region.to_string();
         let mut builder = topology
             .process(&format!("rtec-{region}"))
             .input(Input::Queue(format!("sde-{region}")));
@@ -398,14 +556,10 @@ fn build_pipeline_inner(
             // the whole region engine.
             builder = builder.fault_policy(FaultPolicy::Skip { max_consecutive: usize::MAX });
         }
+        // Region filtering of the broadcast bus stream happens inside the
+        // RTEC processor, which needs to observe foreign-region arrivals to
+        // advance its bus watermark (see [`RtecProcessor`]).
         builder
-            .processor(insight_streams::processor::FnProcessor::new(
-                move |item: DataItem, _ctx: &mut Context| {
-                    // Keep only this region's SDEs (the bus stream is
-                    // broadcast to every region queue).
-                    Ok((item.get_str("region") == Some(region_name.as_str())).then_some(item))
-                },
-            ))
             .processor(RtecProcessor::new(recognizer, first_query, window.step(), region))
             .output(Output::Queue("recognitions".into()))
             .done();
@@ -438,7 +592,10 @@ fn build_pipeline_inner(
         builder = builder.dead_letter();
     }
     builder
-        .processor(CrowdProcessor::new(bridge, truth_of))
+        .processor(
+            CrowdProcessor::new(bridge, truth_of)
+                .with_regions(Region::ALL.into_iter().map(|r| r.to_string())),
+        )
         .output(Output::Sink(Box::new(sink.clone())))
         .done();
 

@@ -1,0 +1,157 @@
+//! Schedule-invariance checking for the §3 pipeline.
+//!
+//! The paper's dataflow decomposition is only sound if the recognition
+//! output does not depend on how the processes happen to interleave. This
+//! module turns that claim into an executable assertion: run the Dublin
+//! topology under the deterministic replay scheduler
+//! ([`insight_streams::replay::ReplayRuntime`]) once per seed — each seed is
+//! one exact interleaving — canonicalise each run's recognition summaries,
+//! and require the canonical forms to be byte-identical.
+//!
+//! Canonicalisation removes the two legitimate sources of run-to-run
+//! variation that carry no information: the *order* in which summaries reach
+//! the collecting sink (regions race each other by design; the summaries are
+//! sorted by `(query_time, region)`), and wall-clock measurements
+//! (`recognition_ns`, which times the host, not the data).
+
+use crate::pipeline::build_pipeline;
+use insight_datagen::scenario::Scenario;
+use insight_rtec::window::WindowConfig;
+use insight_streams::error::StreamsError;
+use insight_streams::item::DataItem;
+use insight_streams::replay::ReplayRuntime;
+use insight_traffic::TrafficRulesConfig;
+
+/// Attributes that measure the host rather than the data; stripped before
+/// comparison.
+const WALL_CLOCK_ATTRS: [&str; 1] = ["recognition_ns"];
+
+/// Canonical textual form of a batch of recognition summaries: wall-clock
+/// attributes removed, one JSON object per line, lines sorted by
+/// `(query_time, region)` and then lexicographically. Two runs recognised
+/// the same thing iff their canonical forms are byte-identical.
+pub fn canonical_recognitions(items: &[DataItem]) -> String {
+    let mut lines: Vec<((i64, String), String)> = items
+        .iter()
+        .map(|item| {
+            let mut item = item.clone();
+            for attr in WALL_CLOCK_ATTRS {
+                item.remove(attr);
+            }
+            let key = (
+                item.get_i64("query_time").unwrap_or(i64::MIN),
+                item.get_str("region").unwrap_or("").to_string(),
+            );
+            (key, item.to_json())
+        })
+        .collect();
+    lines.sort();
+    let mut out = String::new();
+    for (_, line) in lines {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Runs the full §3 topology over `scenario` under the replay scheduler with
+/// `seed` and returns the canonical recognition output.
+pub fn replay_recognitions(
+    scenario: &Scenario,
+    rules: TrafficRulesConfig,
+    window: WindowConfig,
+    seed: u64,
+) -> Result<String, StreamsError> {
+    let (topology, sink) = build_pipeline(scenario, rules.clone(), window)?;
+    ReplayRuntime::new(topology, seed).run()?;
+    Ok(canonical_recognitions(&sink.items()))
+}
+
+/// Asserts that the Dublin topology produces byte-identical canonical
+/// recognition output under every scheduler seed in `seeds`.
+///
+/// Panics with the offending seed pair and a line-level diff summary on the
+/// first divergence, so a failure is immediately replayable:
+/// `ReplayRuntime::new(topology, seed)` reproduces the exact interleaving.
+pub fn assert_schedule_invariant(
+    scenario: &Scenario,
+    rules: TrafficRulesConfig,
+    window: WindowConfig,
+    seeds: &[u64],
+) {
+    assert!(!seeds.is_empty(), "at least one seed required");
+    let mut baseline: Option<(u64, String)> = None;
+    for &seed in seeds {
+        let output = replay_recognitions(scenario, rules.clone(), window, seed)
+            .unwrap_or_else(|e| panic!("replay under seed {seed} failed: {e}"));
+        match &baseline {
+            None => baseline = Some((seed, output)),
+            Some((base_seed, base)) => {
+                if output != *base {
+                    let diff = first_line_diff(base, &output);
+                    panic!(
+                        "SCHEDULE DIVERGENCE: seeds {base_seed} and {seed} disagree \
+                         ({} vs {} canonical lines){diff}\n\
+                         replay with ReplayRuntime::new(topology, {base_seed}) vs \
+                         ReplayRuntime::new(topology, {seed})",
+                        base.lines().count(),
+                        output.lines().count(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Renders the first differing canonical line of two outputs.
+fn first_line_diff(a: &str, b: &str) -> String {
+    for (i, pair) in a.lines().zip(b.lines()).enumerate() {
+        if pair.0 != pair.1 {
+            return format!("\nfirst differing line {}:\n  - {}\n  + {}", i + 1, pair.0, pair.1);
+        }
+    }
+    let (short, long, side) =
+        if a.lines().count() < b.lines().count() { (a, b, "second") } else { (b, a, "first") };
+    match long.lines().nth(short.lines().count()) {
+        Some(extra) => format!("\nextra line only in the {side} output:\n  + {extra}"),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalisation_sorts_and_strips_wall_clock() {
+        let items = vec![
+            DataItem::new()
+                .with("kind", "recognition")
+                .with("query_time", 600i64)
+                .with("region", "north")
+                .with("recognition_ns", 12345i64),
+            DataItem::new()
+                .with("kind", "recognition")
+                .with("query_time", 300i64)
+                .with("region", "south")
+                .with("recognition_ns", 999i64),
+        ];
+        let canon = canonical_recognitions(&items);
+        let lines: Vec<&str> = canon.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("300"), "sorted by query_time first: {canon}");
+        assert!(!canon.contains("recognition_ns"), "wall clock stripped: {canon}");
+        // Reordering the input does not change the canonical form.
+        let reversed: Vec<DataItem> = items.iter().rev().cloned().collect();
+        assert_eq!(canon, canonical_recognitions(&reversed));
+    }
+
+    #[test]
+    fn line_diff_pinpoints_first_divergence() {
+        let d = first_line_diff("a\nb\nc\n", "a\nX\nc\n");
+        assert!(d.contains("line 2"), "{d}");
+        assert!(d.contains("- b") && d.contains("+ X"), "{d}");
+        let d = first_line_diff("a\n", "a\nb\n");
+        assert!(d.contains("extra line"), "{d}");
+    }
+}

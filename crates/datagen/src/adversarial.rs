@@ -1,0 +1,354 @@
+//! Adversarial arrival-time generators for windowed-recognition testing.
+//!
+//! RTEC's working-memory semantics (§4.2 of the paper) are exercised hardest
+//! by *when* SDEs arrive relative to the query grid, not by what they say:
+//! late arrivals inside the working memory must be amended into later
+//! windows, arrivals beyond the working memory must be irrevocably ignored,
+//! and occurrence times landing exactly on a `Qi − WM` boundary must fall
+//! outside the half-open window `(Qi − WM, Qi]`. This module generates those
+//! schedules deterministically from a seed, plus the pure arithmetic
+//! ([`QueryGrid`]) that predicts which events a correct engine can ever see.
+
+use crate::stream::Sde;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The query grid of a windowed recognition run: queries at
+/// `first, first + step, …` up to `last`, each looking back `wm`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryGrid {
+    /// First query time.
+    pub first: i64,
+    /// Distance between consecutive queries (the window *step*/slide).
+    pub step: i64,
+    /// Working-memory size (window length).
+    pub wm: i64,
+    /// Last query time (inclusive; the grid stops at the largest
+    /// `first + k·step ≤ last`).
+    pub last: i64,
+}
+
+impl QueryGrid {
+    /// All query times of the grid, in increasing order.
+    pub fn queries(&self) -> Vec<i64> {
+        let mut out = Vec::new();
+        let mut q = self.first;
+        while q <= self.last {
+            out.push(q);
+            q += self.step;
+        }
+        out
+    }
+
+    /// Whether an item with the given occurrence and arrival time is inside
+    /// the window evaluated at query `q`: it must have arrived, and its
+    /// occurrence time must lie in the half-open working memory `(q − wm, q]`.
+    pub fn visible_at(&self, time: i64, arrival: i64, q: i64) -> bool {
+        arrival <= q && time > q - self.wm && time <= q
+    }
+
+    /// Whether any query of the grid up to `horizon` (inclusive) can see the
+    /// item. Items for which this is `false` are *irrevocably lost* to a
+    /// correct windowed engine — they arrived after their occurrence time
+    /// slid out of the working memory.
+    pub fn ever_visible_by(&self, time: i64, arrival: i64, horizon: i64) -> bool {
+        let mut q = self.first;
+        while q <= self.last && q <= horizon {
+            if self.visible_at(time, arrival, q) {
+                return true;
+            }
+            q += self.step;
+        }
+        false
+    }
+
+    /// [`QueryGrid::ever_visible_by`] over the whole grid.
+    pub fn ever_visible(&self, time: i64, arrival: i64) -> bool {
+        self.ever_visible_by(time, arrival, self.last)
+    }
+
+    /// The largest query time strictly before `time + wm` (the last query
+    /// that could still admit an occurrence at `time`), if any.
+    fn last_admitting_query(&self, time: i64) -> Option<i64> {
+        let mut candidate = None;
+        let mut q = self.first;
+        while q <= self.last {
+            if q < time + self.wm && time <= q {
+                candidate = Some(q);
+            }
+            q += self.step;
+        }
+        candidate
+    }
+}
+
+/// How an adversarially scheduled item relates to the query grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lateness {
+    /// Arrives before the first query that covers its occurrence time.
+    OnTime,
+    /// Arrives one or more queries late, but while its occurrence time is
+    /// still inside the working memory — must be amended in.
+    WithinWm,
+    /// Arrives after its occurrence time left the working memory — must be
+    /// dropped by every query.
+    BeyondWm,
+    /// Occurrence time exactly on a `Qi − WM` boundary (excluded by the
+    /// half-open window) or exactly one tick inside it (included).
+    Boundary,
+}
+
+/// Sampling weights for the lateness classes (normalised internally).
+#[derive(Debug, Clone, Copy)]
+pub struct LatenessMix {
+    /// Weight of [`Lateness::OnTime`].
+    pub on_time: f64,
+    /// Weight of [`Lateness::WithinWm`].
+    pub within_wm: f64,
+    /// Weight of [`Lateness::BeyondWm`].
+    pub beyond_wm: f64,
+    /// Weight of [`Lateness::Boundary`].
+    pub boundary: f64,
+}
+
+impl Default for LatenessMix {
+    fn default() -> LatenessMix {
+        LatenessMix { on_time: 0.55, within_wm: 0.2, beyond_wm: 0.1, boundary: 0.15 }
+    }
+}
+
+impl LatenessMix {
+    fn sample(&self, rng: &mut StdRng) -> Lateness {
+        let total = self.on_time + self.within_wm + self.beyond_wm + self.boundary;
+        let mut x = rng.random::<f64>() * total.max(f64::MIN_POSITIVE);
+        for (w, class) in [
+            (self.on_time, Lateness::OnTime),
+            (self.within_wm, Lateness::WithinWm),
+            (self.beyond_wm, Lateness::BeyondWm),
+            (self.boundary, Lateness::Boundary),
+        ] {
+            if x < w {
+                return class;
+            }
+            x -= w;
+        }
+        Lateness::OnTime
+    }
+}
+
+/// One adversarially scheduled time-point: occurrence, arrival, class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SdePoint {
+    /// Occurrence time.
+    pub time: i64,
+    /// Arrival time (`≥ time` except for `OnTime` points, which may arrive
+    /// in the same instant they occur).
+    pub arrival: i64,
+    /// The scheduled lateness class.
+    pub class: Lateness,
+}
+
+/// Generates `n` deterministic adversarial `(time, arrival)` points against
+/// the grid. Every class is constructed, not sampled-and-hoped: `WithinWm`
+/// points are guaranteed ever-visible, `BeyondWm` points are guaranteed
+/// never-visible, and `Boundary` points alternate between `Qi − WM` exactly
+/// (excluded) and `Qi − WM + 1` (the first included tick).
+pub fn adversarial_points(
+    seed: u64,
+    n: usize,
+    grid: &QueryGrid,
+    mix: &LatenessMix,
+) -> Vec<SdePoint> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xad5e_7a51);
+    let queries = grid.queries();
+    let mut out = Vec::with_capacity(n);
+    let lo = grid.first - grid.wm + 1; // earliest occurrence the first window sees
+    let hi = grid.last;
+    let mut boundary_inside = false;
+    for _ in 0..n {
+        let class = mix.sample(&mut rng);
+        let point = match class {
+            Lateness::OnTime => {
+                let time = rng.random_range(lo..=hi);
+                let arrival = time + rng.random_range(0..grid.step.max(1));
+                SdePoint { time, arrival, class }
+            }
+            Lateness::WithinWm => {
+                let time = rng.random_range(lo..=hi);
+                match grid.last_admitting_query(time) {
+                    Some(qmax) if qmax > time => {
+                        let arrival = rng.random_range(time + 1..=qmax);
+                        SdePoint { time, arrival, class }
+                    }
+                    _ => SdePoint { time, arrival: time, class: Lateness::OnTime },
+                }
+            }
+            Lateness::BeyondWm => {
+                let time = rng.random_range(lo..=hi);
+                // Arrive strictly after the last query that could admit the
+                // occurrence; every remaining query's working memory starts
+                // at or past `time`.
+                let too_late = match grid.last_admitting_query(time) {
+                    Some(qmax) => qmax + 1,
+                    None => time + 1,
+                };
+                let arrival = too_late + rng.random_range(0..grid.step.max(1));
+                SdePoint { time, arrival, class }
+            }
+            Lateness::Boundary => {
+                let q = queries[rng.random_range(0..queries.len())];
+                boundary_inside = !boundary_inside;
+                let time = q - grid.wm + i64::from(boundary_inside);
+                // Arrive in time for query `q` itself.
+                let arrival = q - rng.random_range(0..grid.step.max(1));
+                SdePoint { time, arrival: arrival.max(time), class }
+            }
+        };
+        out.push(point);
+    }
+    out
+}
+
+/// Counters of one [`perturb_sdes`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerturbStats {
+    /// Items left with their mediated arrival time.
+    pub on_time: usize,
+    /// Items delayed but still inside the working memory.
+    pub within_wm: usize,
+    /// Items delayed past the working memory (lost to recognition).
+    pub beyond_wm: usize,
+    /// Items duplicated (same occurrence *and* arrival).
+    pub duplicates: usize,
+}
+
+/// Rewrites the arrival times of a scenario SDE trace adversarially:
+/// a deterministic fraction of items is delayed within the working memory,
+/// a fraction beyond it, and a fraction duplicated outright. The trace is
+/// re-sorted by arrival afterwards (the convention every consumer of
+/// `Scenario::sdes` relies on).
+pub fn perturb_sdes(
+    sdes: &mut Vec<Sde>,
+    seed: u64,
+    grid: &QueryGrid,
+    mix: &LatenessMix,
+    duplicate_rate: f64,
+) -> PerturbStats {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5de_ad71);
+    let mut stats = PerturbStats::default();
+    let mut duplicated: Vec<Sde> = Vec::new();
+    for sde in sdes.iter_mut() {
+        match mix.sample(&mut rng) {
+            Lateness::WithinWm => match grid.last_admitting_query(sde.time) {
+                Some(qmax) if qmax > sde.time => {
+                    sde.arrival = rng.random_range(sde.time + 1..=qmax);
+                    stats.within_wm += 1;
+                }
+                _ => stats.on_time += 1,
+            },
+            Lateness::BeyondWm => {
+                let too_late = match grid.last_admitting_query(sde.time) {
+                    Some(qmax) => qmax + 1,
+                    None => sde.time + 1,
+                };
+                sde.arrival = too_late + rng.random_range(0..grid.step.max(1));
+                stats.beyond_wm += 1;
+            }
+            // `Boundary` needs control over occurrence times, which a
+            // scenario trace fixes; treat it as on-time here.
+            Lateness::OnTime | Lateness::Boundary => stats.on_time += 1,
+        }
+        if rng.random_bool(duplicate_rate.clamp(0.0, 1.0)) {
+            duplicated.push(sde.clone());
+            stats.duplicates += 1;
+        }
+    }
+    sdes.extend(duplicated);
+    sdes.sort_by_key(|s| s.arrival);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> QueryGrid {
+        QueryGrid { first: 100, step: 50, wm: 100, last: 400 }
+    }
+
+    #[test]
+    fn grid_queries_and_visibility() {
+        let g = grid();
+        assert_eq!(g.queries(), vec![100, 150, 200, 250, 300, 350, 400]);
+        // Half-open window: the boundary tick is excluded, the next included.
+        assert!(!g.visible_at(0, 50, 100));
+        assert!(g.visible_at(1, 50, 100));
+        // Not yet arrived.
+        assert!(!g.visible_at(90, 120, 100));
+        assert!(g.visible_at(90, 120, 150));
+    }
+
+    #[test]
+    fn classes_honour_their_contracts() {
+        let g = grid();
+        let points = adversarial_points(7, 500, &g, &LatenessMix::default());
+        assert_eq!(points.len(), 500);
+        let mut seen = [0usize; 4];
+        for p in &points {
+            match p.class {
+                Lateness::OnTime => seen[0] += 1,
+                Lateness::WithinWm => {
+                    seen[1] += 1;
+                    assert!(p.arrival > p.time, "within-wm must be late");
+                    assert!(g.ever_visible(p.time, p.arrival), "within-wm must stay visible");
+                }
+                Lateness::BeyondWm => {
+                    seen[2] += 1;
+                    assert!(!g.ever_visible(p.time, p.arrival), "beyond-wm must be lost: {p:?}");
+                }
+                Lateness::Boundary => seen[3] += 1,
+            }
+        }
+        assert!(seen.iter().all(|&c| c > 0), "all classes generated: {seen:?}");
+    }
+
+    #[test]
+    fn boundary_points_split_exactly_on_the_edge() {
+        let g = grid();
+        let points = adversarial_points(11, 400, &g, &LatenessMix::default());
+        let boundary: Vec<_> = points.iter().filter(|p| p.class == Lateness::Boundary).collect();
+        assert!(!boundary.is_empty());
+        let excluded =
+            boundary.iter().filter(|p| g.queries().iter().any(|&q| p.time == q - g.wm)).count();
+        let included =
+            boundary.iter().filter(|p| g.queries().iter().any(|&q| p.time == q - g.wm + 1)).count();
+        assert!(excluded > 0 && included > 0, "both edge flavours present");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let g = grid();
+        let a = adversarial_points(99, 200, &g, &LatenessMix::default());
+        let b = adversarial_points(99, 200, &g, &LatenessMix::default());
+        assert_eq!(a, b);
+        let c = adversarial_points(100, 200, &g, &LatenessMix::default());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn perturbation_keeps_occurrences_and_sorts_arrivals() {
+        use crate::scenario::{Scenario, ScenarioConfig};
+        let scenario = Scenario::generate(ScenarioConfig::small(600, 3)).unwrap();
+        let mut sdes = scenario.sdes.clone();
+        let g = QueryGrid { first: 300, step: 300, wm: 600, last: 600 };
+        let before: Vec<i64> = {
+            let mut t: Vec<i64> = sdes.iter().map(|s| s.time).collect();
+            t.sort_unstable();
+            t
+        };
+        let stats = perturb_sdes(&mut sdes, 5, &g, &LatenessMix::default(), 0.1);
+        assert_eq!(sdes.len(), before.len() + stats.duplicates);
+        assert!(sdes.windows(2).all(|w| w[0].arrival <= w[1].arrival), "sorted by arrival");
+        assert!(stats.within_wm + stats.beyond_wm > 0, "some items actually delayed");
+    }
+}

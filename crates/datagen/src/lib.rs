@@ -32,6 +32,7 @@
 // out-of-range values, which `x <= 0.0` would not.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+pub mod adversarial;
 pub mod buses;
 pub mod citizens;
 pub mod congestion;

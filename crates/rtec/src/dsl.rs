@@ -183,6 +183,29 @@ impl RuleSet {
     pub fn rule_counts(&self) -> (usize, usize, usize) {
         (self.sf_rules.len(), self.ev_rules.len(), self.static_rules.len())
     }
+
+    /// The compiled simple-fluent rules, indexable by [`Stratum::rule_indices`].
+    ///
+    /// Exposed for external interpreters (e.g. the conformance oracle) that
+    /// re-evaluate the same rule AST with different semantics.
+    pub fn sf_rules(&self) -> &[SimpleFluentRule] {
+        &self.sf_rules
+    }
+
+    /// The compiled event rules, indexable by [`Stratum::rule_indices`].
+    pub fn ev_rules(&self) -> &[EventRule] {
+        &self.ev_rules
+    }
+
+    /// The compiled static-fluent rules, indexable by [`Stratum::rule_indices`].
+    pub fn static_rules(&self) -> &[StaticRule] {
+        &self.static_rules
+    }
+
+    /// Human-readable variable names, indexed by `VarId`.
+    pub fn var_names(&self) -> &[String] {
+        &self.var_names
+    }
 }
 
 // ---------------------------------------------------------------------------

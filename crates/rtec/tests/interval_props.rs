@@ -149,6 +149,59 @@ proptest! {
     }
 
     #[test]
+    fn union_all_matches_pointwise_any(
+        lists in proptest::collection::vec(arb_list(), 0..5)
+    ) {
+        let u = IntervalList::union_all(lists.iter());
+        prop_assert!(u.is_normalised());
+        let models: Vec<Vec<bool>> = lists.iter().map(model).collect();
+        let expected: Vec<bool> = (0..2 * UNIVERSE as usize)
+            .map(|t| models.iter().any(|m| m[t]))
+            .collect();
+        assert_matches_model(&u, &expected);
+        // n-ary == left fold of the binary operation.
+        let folded = lists.iter().fold(IntervalList::empty(), |acc, l| acc.union(l));
+        prop_assert_eq!(u, folded);
+    }
+
+    #[test]
+    fn intersect_all_matches_pointwise_all(
+        lists in proptest::collection::vec(arb_list(), 0..5)
+    ) {
+        let i = IntervalList::intersect_all(lists.iter());
+        prop_assert!(i.is_normalised());
+        // Zero lists intersect to the empty list (no paper rule ever
+        // intersects an empty conjunction, so empty — not the universe —
+        // is the defined result).
+        let models: Vec<Vec<bool>> = lists.iter().map(model).collect();
+        let expected: Vec<bool> = (0..2 * UNIVERSE as usize)
+            .map(|t| !models.is_empty() && models.iter().all(|m| m[t]))
+            .collect();
+        assert_matches_model(&i, &expected);
+        if let Some((first, rest)) = lists.split_first() {
+            let folded = rest.iter().fold(first.clone(), |acc, l| acc.intersect(l));
+            prop_assert_eq!(i, folded);
+        }
+    }
+
+    #[test]
+    fn relative_complement_all_matches_base_minus_any(
+        base in arb_list(),
+        lists in proptest::collection::vec(arb_list(), 0..5)
+    ) {
+        let d = IntervalList::relative_complement_all(&base, lists.iter());
+        prop_assert!(d.is_normalised());
+        let mb = model(&base);
+        let models: Vec<Vec<bool>> = lists.iter().map(model).collect();
+        let expected: Vec<bool> = (0..2 * UNIVERSE as usize)
+            .map(|t| mb[t] && !models.iter().any(|m| m[t]))
+            .collect();
+        assert_matches_model(&d, &expected);
+        // Same thing as subtracting the n-ary union in one step.
+        prop_assert_eq!(d, base.difference(&IntervalList::union_all(lists.iter())));
+    }
+
+    #[test]
     fn total_duration_counts_points(a in arb_list()) {
         let now = UNIVERSE;
         let count = (0..now).filter(|&t| a.contains(t)).count() as i64;

@@ -69,6 +69,14 @@ pub enum StreamsError {
         /// Stringified I/O error (kept as a string so the error stays `Clone`).
         detail: String,
     },
+    /// The deterministic replay scheduler found no runnable process: every
+    /// unfinished process is blocked on an empty or full queue. A validated
+    /// acyclic topology cannot reach this state; it guards against cyclic
+    /// graphs and scheduler bugs.
+    ReplayDeadlock {
+        /// Names of the blocked processes.
+        blocked: Vec<String>,
+    },
 }
 
 impl fmt::Display for StreamsError {
@@ -95,6 +103,9 @@ impl fmt::Display for StreamsError {
             StreamsError::XmlSemantics { detail } => write!(f, "XML semantic error: {detail}"),
             StreamsError::ServiceError { detail } => write!(f, "service error: {detail}"),
             StreamsError::Io { detail } => write!(f, "I/O error: {detail}"),
+            StreamsError::ReplayDeadlock { blocked } => {
+                write!(f, "replay deadlock: no runnable process (blocked: {})", blocked.join(", "))
+            }
         }
     }
 }

@@ -16,7 +16,8 @@
 //! * an **XML description language** for data-flow graphs ([`xml`]), compiled
 //!   into a runnable topology;
 //! * a **multi-threaded runtime** executing one process per thread
-//!   ([`runtime`]);
+//!   ([`runtime`]), plus a **deterministic replay runtime** driving the same
+//!   workers single-threaded under a seeded scheduler ([`replay`]);
 //! * **fault supervision** — per-process fault policies, panic isolation and
 //!   dead-letter queues ([`fault`]), plus a deterministic fault-injection
 //!   harness for robustness testing ([`chaos`]).
@@ -55,6 +56,7 @@ pub mod json;
 pub mod metrics;
 pub mod processor;
 pub mod queue;
+pub mod replay;
 pub mod runtime;
 pub mod service;
 pub mod sink;
@@ -69,6 +71,7 @@ pub mod prelude {
     pub use crate::item::{DataItem, Value};
     pub use crate::metrics::{MetricsRegistry, MetricsSnapshot};
     pub use crate::processor::{Context, FnProcessor, Processor};
+    pub use crate::replay::ReplayRuntime;
     pub use crate::runtime::Runtime;
     pub use crate::service::{Service, ServiceRegistry};
     pub use crate::sink::{CollectSink, CountSink, NullSink, Sink};

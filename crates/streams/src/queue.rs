@@ -5,17 +5,34 @@
 //! emits CEs "to a queue in the Streams framework"). Queues are bounded,
 //! providing backpressure, multi-producer and single-consumer.
 //!
-//! Termination accounting: the queue is created for a declared number of
-//! *logical producers*, each expected to call [`QueueSender::finish`]. The
-//! consumer additionally tracks live sender handles, so a cloned sender
-//! dropped without `finish()` (e.g. a producer thread that panicked) cannot
-//! wedge [`QueueReceiver::recv`]: once every handle is gone, the stream ends
-//! after the buffered items drain, regardless of missing end-of-stream
-//! markers.
+//! # Termination accounting
+//!
+//! The queue is created for a declared number of *logical producers*, each
+//! expected to call [`QueueSender::finish`] exactly once. Two mechanisms
+//! decide end-of-stream, and **both** only take effect once the buffer has
+//! drained:
+//!
+//! 1. **EOS markers** — `finish()` increments `eos_seen`; the stream ends
+//!    when `eos_seen ≥ producers`. `finish()` is idempotent *per handle*: a
+//!    handle that finishes twice (e.g. a worker that flushes and is then
+//!    dropped by supervision code that finishes again) still counts as one
+//!    producer, so a double `finish()` cannot terminate the stream while
+//!    another declared producer is still live.
+//! 2. **Handle liveness** — every live [`QueueSender`] (clones included) is
+//!    counted; when the count reaches zero the stream ends even if EOS
+//!    markers are missing (a producer thread that panicked can never send
+//!    again, so waiting for its marker would wedge the consumer forever).
+//!
+//! Items buffered before *any* `finish()` call are never lost: `recv`
+//! returns `None` only once the buffer is empty **and** one of the two
+//! conditions above holds, so concurrent `finish()` calls racing with
+//! in-flight `send`s cannot reorder or drop the already-buffered prefix —
+//! the per-producer FIFO order of the buffer is exactly send order.
 
 use crate::item::DataItem;
 use crate::metrics::QueueMetrics;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -59,12 +76,16 @@ impl Shared {
 /// Producer handle of a queue (cloneable: queues are multi-producer).
 pub struct QueueSender {
     shared: Arc<Shared>,
+    /// Whether *this handle* already delivered its EOS marker; makes
+    /// [`QueueSender::finish`] idempotent per handle (see the module docs on
+    /// termination accounting).
+    finished: AtomicBool,
 }
 
 impl Clone for QueueSender {
     fn clone(&self) -> QueueSender {
         self.shared.inner.lock().unwrap().handles += 1;
-        QueueSender { shared: Arc::clone(&self.shared) }
+        QueueSender { shared: Arc::clone(&self.shared), finished: AtomicBool::new(false) }
     }
 }
 
@@ -104,8 +125,42 @@ impl QueueSender {
         true
     }
 
-    /// Signals that this producer is done.
+    /// Sends one item without blocking. `Ok(true)` means the item was
+    /// enqueued; `Ok(false)` means the consumer is gone and the item was
+    /// discarded (matching [`QueueSender::send`]); `Err(item)` returns the
+    /// item because the queue is full. Backpressure stalls are *not*
+    /// recorded: a rejected `try_send` costs the caller nothing, unlike a
+    /// blocked `send` (used by the deterministic replay scheduler, which
+    /// must never block).
+    pub fn try_send(&self, item: DataItem) -> Result<bool, DataItem> {
+        let mut inner = self.shared.inner.lock().unwrap();
+        if !inner.consumer_alive {
+            return Ok(false);
+        }
+        if inner.buffer.len() >= self.shared.capacity {
+            return Err(item);
+        }
+        inner.buffer.push_back(item);
+        self.shared.metrics.sent.inc();
+        self.shared.metrics.depth.add(1);
+        self.shared.not_empty.notify_one();
+        Ok(true)
+    }
+
+    /// Whether a `try_send` would currently be accepted (the consumer is
+    /// alive and the buffer has room). Advisory under concurrency; exact
+    /// under a single-threaded scheduler.
+    pub fn has_capacity(&self) -> bool {
+        let inner = self.shared.inner.lock().unwrap();
+        inner.consumer_alive && inner.buffer.len() < self.shared.capacity
+    }
+
+    /// Signals that this producer is done. Idempotent per handle: only the
+    /// first call on a given handle counts towards the queue's EOS total.
     pub fn finish(&self) {
+        if self.finished.swap(true, Ordering::SeqCst) {
+            return;
+        }
         let mut inner = self.shared.inner.lock().unwrap();
         inner.eos_seen += 1;
         if inner.eos_seen >= self.shared.producers {
@@ -152,6 +207,22 @@ impl QueueReceiver {
         }
     }
 
+    /// Receives without blocking: the front item if one is buffered,
+    /// [`TryRecv::Ended`] once every producer finished (or vanished) and the
+    /// buffer drained, [`TryRecv::Empty`] when the queue is merely empty but
+    /// the stream is still open. Used by the deterministic replay scheduler,
+    /// where a blocked `recv` on the single thread would deadlock the graph.
+    pub fn try_recv(&mut self) -> TryRecv {
+        let mut inner = self.shared.inner.lock().unwrap();
+        if !inner.buffer.is_empty() {
+            TryRecv::Item(self.pop(&mut inner))
+        } else if self.shared.stream_ended(&inner) {
+            TryRecv::Ended
+        } else {
+            TryRecv::Empty
+        }
+    }
+
     /// Like [`QueueReceiver::recv`] with a timeout; `Ok(None)` = end of
     /// stream, `Err(Timeout)` = nothing arrived in time.
     pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<DataItem>, Timeout> {
@@ -177,6 +248,18 @@ impl QueueReceiver {
 /// Returned by [`QueueReceiver::recv_timeout`] when no item arrived in time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Timeout;
+
+/// Outcome of a non-blocking [`QueueReceiver::try_recv`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TryRecv {
+    /// The front item of the buffer.
+    Item(DataItem),
+    /// Buffer empty, but producers may still send.
+    Empty,
+    /// Buffer empty and the stream is terminated (all EOS markers collected
+    /// or no sender handle left).
+    Ended,
+}
 
 /// Creates a bounded queue for `producers` producers.
 pub fn queue(capacity: usize, producers: usize) -> (QueueSender, QueueReceiver) {
@@ -204,7 +287,10 @@ pub fn queue_with_metrics(
         producers,
         metrics,
     });
-    (QueueSender { shared: Arc::clone(&shared) }, QueueReceiver { shared })
+    (
+        QueueSender { shared: Arc::clone(&shared), finished: AtomicBool::new(false) },
+        QueueReceiver { shared },
+    )
 }
 
 #[cfg(test)]
@@ -271,6 +357,70 @@ mod tests {
         );
         tx1.finish();
         assert!(rx.recv().is_none());
+    }
+
+    #[test]
+    fn double_finish_on_one_handle_counts_once() {
+        // Regression: `finish()` called twice on the same handle used to
+        // count as two producers finishing, terminating the stream while the
+        // second declared producer was still live — its buffered items were
+        // then silently stranded behind a `None`.
+        let (tx1, mut rx) = queue(4, 2);
+        let tx2 = tx1.clone();
+        tx1.finish();
+        tx1.finish(); // idempotent: still only one of two producers done
+        assert!(
+            rx.recv_timeout(Duration::from_millis(20)).is_err(),
+            "stream must stay open for the second producer"
+        );
+        tx2.send(DataItem::new().with("n", 9i64));
+        tx2.finish();
+        assert_eq!(rx.recv().unwrap().get_i64("n"), Some(9), "late producer's item drains");
+        assert!(rx.recv().is_none());
+    }
+
+    #[test]
+    fn concurrent_finish_preserves_buffered_drain_order() {
+        // Items buffered before any finish() must drain in exact send order
+        // even while both producers race their EOS markers against the
+        // consumer. Deterministic: all sends happen before the threads start.
+        let (tx1, mut rx) = queue(8, 2);
+        let tx2 = tx1.clone();
+        for n in 0..3i64 {
+            tx1.send(DataItem::new().with("n", n));
+        }
+        tx2.send(DataItem::new().with("n", 3i64));
+        let h1 = std::thread::spawn(move || tx1.finish());
+        let h2 = std::thread::spawn(move || tx2.finish());
+        let drained: Vec<i64> =
+            std::iter::from_fn(|| rx.recv()).map(|i| i.get_i64("n").unwrap()).collect();
+        h1.join().unwrap();
+        h2.join().unwrap();
+        assert_eq!(drained, vec![0, 1, 2, 3], "FIFO order survives concurrent finish()");
+    }
+
+    #[test]
+    fn try_send_and_try_recv_never_block() {
+        let (tx, mut rx) = queue(1, 1);
+        assert_eq!(rx.try_recv(), TryRecv::Empty);
+        assert_eq!(tx.try_send(DataItem::new().with("n", 1i64)), Ok(true));
+        assert!(!tx.has_capacity());
+        // Full queue: the item comes back instead of blocking.
+        let bounced = tx.try_send(DataItem::new().with("n", 2i64)).unwrap_err();
+        assert_eq!(bounced.get_i64("n"), Some(2));
+        assert_eq!(rx.try_recv(), TryRecv::Item(DataItem::new().with("n", 1i64)));
+        assert!(tx.has_capacity());
+        assert_eq!(rx.try_recv(), TryRecv::Empty, "open stream, empty buffer");
+        tx.finish();
+        assert_eq!(rx.try_recv(), TryRecv::Ended);
+        assert_eq!(rx.try_recv(), TryRecv::Ended, "stays terminated");
+    }
+
+    #[test]
+    fn try_send_to_dropped_receiver_discards() {
+        let (tx, rx) = queue(1, 1);
+        drop(rx);
+        assert_eq!(tx.try_send(DataItem::new()), Ok(false), "consumer gone, item dropped");
     }
 
     #[test]

@@ -47,12 +47,12 @@ impl RunStats {
     }
 }
 
-enum ProcInput {
+pub(crate) enum ProcInput {
     Source(Box<dyn Source>),
     Queue(QueueReceiver),
 }
 
-enum ProcOutput {
+pub(crate) enum ProcOutput {
     Queue(QueueSender),
     Sink(Box<dyn Sink>),
     Discard,
@@ -84,78 +84,11 @@ impl Runtime {
 
     /// Validates and runs the topology to completion.
     pub fn run(self) -> Result<RunStats, StreamsError> {
-        self.topology.validate()?;
         let metrics = self.metrics;
-        let Topology { mut sources, queues, processes, services, dead_letters: _ } = self.topology;
-        // Processors can reach the instruments through their Context.
-        if !services.contains("metrics") {
-            services.register_arc("metrics", Arc::clone(&metrics));
-        }
-
-        // Count producers per queue to size the EOS protocol.
-        let mut producers: HashMap<&str, usize> = HashMap::new();
-        for p in &processes {
-            for o in &p.outputs {
-                if let Output::Queue(q) = o {
-                    *producers.entry(q.as_str()).or_default() += 1;
-                }
-            }
-        }
-
-        // Create channels.
-        let mut senders: HashMap<String, QueueSender> = HashMap::new();
-        let mut receivers: HashMap<String, QueueReceiver> = HashMap::new();
-        for (name, cap) in &queues {
-            let n_prod = producers.get(name.as_str()).copied().unwrap_or(0);
-            if n_prod == 0 {
-                // validate() guarantees such a queue also has no consumer;
-                // skip it entirely.
-                continue;
-            }
-            let (tx, rx) = queue_with_metrics(*cap, n_prod, metrics.queue(name));
-            senders.insert(name.clone(), tx);
-            receivers.insert(name.clone(), rx);
-        }
-
-        // Materialise process workers.
-        let mut workers = Vec::new();
-        for p in processes {
-            let input = match &p.input {
-                Input::Stream(s) => ProcInput::Source(
-                    sources.remove(s).expect("validated: source exists and is unique"),
-                ),
-                Input::Queue(q) => ProcInput::Queue(
-                    receivers.remove(q).expect("validated: queue exists with one consumer"),
-                ),
-            };
-            let outputs: Vec<ProcOutput> = p
-                .outputs
-                .into_iter()
-                .map(|o| match o {
-                    Output::Queue(q) => {
-                        ProcOutput::Queue(senders.get(&q).expect("validated").clone())
-                    }
-                    Output::Sink(s) => ProcOutput::Sink(s),
-                    Output::Discard => ProcOutput::Discard,
-                })
-                .collect();
-            workers.push(Worker {
-                stage: metrics.stage(&p.name),
-                name: p.name,
-                input,
-                chain: p.processors,
-                outputs,
-                ctx: Context::new(services.clone(), ""),
-                policy: p.fault_policy,
-                consecutive_faults: 0,
-            });
-        }
-        // Drop the runtime's own sender clones so queues can disconnect.
-        drop(senders);
+        let workers = materialize(self.topology, &metrics)?;
 
         let mut handles = Vec::new();
-        for mut w in workers {
-            w.ctx = Context::new(services.clone(), &w.name);
+        for w in workers {
             let name = w.name.clone();
             handles.push((name, thread::spawn(move || w.run())));
         }
@@ -186,15 +119,91 @@ impl Runtime {
     }
 }
 
-struct Worker {
-    name: String,
-    input: ProcInput,
-    chain: Vec<Box<dyn Processor>>,
-    outputs: Vec<ProcOutput>,
-    ctx: Context,
-    stage: Arc<StageMetrics>,
-    policy: FaultPolicy,
-    consecutive_faults: usize,
+/// Validates a topology and builds one [`Worker`] per process, wired up with
+/// its queues, metrics and fault policy. Shared by the threaded [`Runtime`]
+/// and the single-threaded [`crate::replay::ReplayRuntime`] so both execute
+/// exactly the same supervised per-item semantics.
+pub(crate) fn materialize(
+    topology: Topology,
+    metrics: &Arc<MetricsRegistry>,
+) -> Result<Vec<Worker>, StreamsError> {
+    topology.validate()?;
+    let Topology { mut sources, queues, processes, services, dead_letters: _ } = topology;
+    // Processors can reach the instruments through their Context.
+    if !services.contains("metrics") {
+        services.register_arc("metrics", Arc::clone(metrics));
+    }
+
+    // Count producers per queue to size the EOS protocol.
+    let mut producers: HashMap<&str, usize> = HashMap::new();
+    for p in &processes {
+        for o in &p.outputs {
+            if let Output::Queue(q) = o {
+                *producers.entry(q.as_str()).or_default() += 1;
+            }
+        }
+    }
+
+    // Create channels.
+    let mut senders: HashMap<String, QueueSender> = HashMap::new();
+    let mut receivers: HashMap<String, QueueReceiver> = HashMap::new();
+    for (name, cap) in &queues {
+        let n_prod = producers.get(name.as_str()).copied().unwrap_or(0);
+        if n_prod == 0 {
+            // validate() guarantees such a queue also has no consumer;
+            // skip it entirely.
+            continue;
+        }
+        let (tx, rx) = queue_with_metrics(*cap, n_prod, metrics.queue(name));
+        senders.insert(name.clone(), tx);
+        receivers.insert(name.clone(), rx);
+    }
+
+    // Materialise process workers.
+    let mut workers = Vec::new();
+    for p in processes {
+        let input = match &p.input {
+            Input::Stream(s) => ProcInput::Source(
+                sources.remove(s).expect("validated: source exists and is unique"),
+            ),
+            Input::Queue(q) => ProcInput::Queue(
+                receivers.remove(q).expect("validated: queue exists with one consumer"),
+            ),
+        };
+        let outputs: Vec<ProcOutput> = p
+            .outputs
+            .into_iter()
+            .map(|o| match o {
+                Output::Queue(q) => ProcOutput::Queue(senders.get(&q).expect("validated").clone()),
+                Output::Sink(s) => ProcOutput::Sink(s),
+                Output::Discard => ProcOutput::Discard,
+            })
+            .collect();
+        workers.push(Worker {
+            stage: metrics.stage(&p.name),
+            ctx: Context::new(services.clone(), &p.name),
+            name: p.name,
+            input,
+            chain: p.processors,
+            outputs,
+            policy: p.fault_policy,
+            consecutive_faults: 0,
+        });
+    }
+    // Drop the construction-time sender clones so queues can disconnect.
+    drop(senders);
+    Ok(workers)
+}
+
+pub(crate) struct Worker {
+    pub(crate) name: String,
+    pub(crate) input: ProcInput,
+    pub(crate) chain: Vec<Box<dyn Processor>>,
+    pub(crate) outputs: Vec<ProcOutput>,
+    pub(crate) ctx: Context,
+    pub(crate) stage: Arc<StageMetrics>,
+    pub(crate) policy: FaultPolicy,
+    pub(crate) consecutive_faults: usize,
 }
 
 impl Worker {
@@ -252,7 +261,11 @@ impl Worker {
     /// Runs `item` through the chain from processor `from` under the fault
     /// policy. `Ok(None)` covers both a filtering processor and a faulted
     /// item the policy dropped (skipped or dead-lettered).
-    fn run_chain(&mut self, from: usize, item: DataItem) -> Result<Option<DataItem>, StreamsError> {
+    pub(crate) fn run_chain(
+        &mut self,
+        from: usize,
+        item: DataItem,
+    ) -> Result<Option<DataItem>, StreamsError> {
         // Preserve the item as it entered each processor so Retry can re-run
         // it and DeadLetter can record it; FailFast skips the clone tax.
         let preserve = !matches!(self.policy, FaultPolicy::FailFast);
@@ -326,7 +339,7 @@ impl Worker {
 
     /// Supervised `finish` of processor `i`; a fault during the flush phase
     /// has no input item, so Skip/DeadLetter drop the trailing items.
-    fn run_finish(&mut self, i: usize) -> Result<Vec<DataItem>, StreamsError> {
+    pub(crate) fn run_finish(&mut self, i: usize) -> Result<Vec<DataItem>, StreamsError> {
         match invoke_finish(&mut self.chain[i], &mut self.ctx, &self.name, i) {
             Ok(trailing) => {
                 self.consecutive_faults = 0;

@@ -27,6 +27,7 @@
 
 pub mod config;
 pub mod distributed;
+pub mod fixtures;
 pub mod geo;
 pub mod recognizer;
 pub mod rules;

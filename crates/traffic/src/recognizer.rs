@@ -166,14 +166,30 @@ pub struct TrafficRecognition {
     pub raw: Recognition,
 }
 
+// The engine's grounding enumeration order depends on its internal hash
+// maps, so every typed accessor below sorts by a value-based key — callers
+// (alert feeds, the proactive controller, golden snapshots) see the same
+// order on every run.
 fn location_entries<'a>(raw: &'a Recognition, fluent: &str) -> Vec<((f64, f64), &'a IntervalList)> {
-    raw.fluent_entries(fluent)
+    let mut entries: Vec<((f64, f64), &IntervalList)> = raw
+        .fluent_entries(fluent)
         .iter()
         .filter_map(|e| match (e.args.first()?.as_f64(), e.args.get(1)?.as_f64()) {
             (Some(lon), Some(lat)) => Some(((lon, lat), &e.ivs)),
             _ => None,
         })
-        .collect()
+        .collect();
+    entries.sort_by(|a, b| a.0 .0.total_cmp(&b.0 .0).then(a.0 .1.total_cmp(&b.0 .1)));
+    entries
+}
+
+/// Sorts events by `(time, rendered args)` — a value-based key, unlike the
+/// interned-symbol `Ord` on [`Event`]'s fields, whose order depends on
+/// process-global interning order.
+fn sorted_events(mut events: Vec<&Event>) -> Vec<&Event> {
+    events
+        .sort_by_cached_key(|e| (e.time, e.args.iter().map(|a| a.to_string()).collect::<Vec<_>>()));
+    events
 }
 
 impl TrafficRecognition {
@@ -193,45 +209,54 @@ impl TrafficRecognition {
     }
 
     /// Source disagreements whose intervals are still open at the query
-    /// time — the ones worth crowdsourcing about right now.
+    /// time — the ones worth crowdsourcing about right now. Sorted by
+    /// `(lon, lat)` so the list (and in particular which disagreement a
+    /// caller picks "first") is independent of the engine's internal
+    /// grounding order, which varies with SDE ingestion order.
     pub fn open_disagreements(&self) -> Vec<(f64, f64)> {
         let q = self.raw.query_time;
-        self.source_disagreements()
+        let mut open: Vec<(f64, f64)> = self
+            .source_disagreements()
             .into_iter()
             .filter(|(_, ivs)| ivs.contains(q) || ivs.iter().any(|iv| iv.is_open()))
             .map(|(loc, _)| loc)
-            .collect()
+            .collect();
+        open.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        open
     }
 
-    /// `noisy(Bus)` intervals per bus id.
+    /// `noisy(Bus)` intervals per bus id, sorted by bus id.
     pub fn noisy_buses(&self) -> Vec<(i64, &IntervalList)> {
-        self.raw
+        let mut buses: Vec<(i64, &IntervalList)> = self
+            .raw
             .fluent_entries(ce::NOISY)
             .iter()
             .filter_map(|e| e.args.first()?.as_i64().map(|b| (b, &e.ivs)))
-            .collect()
+            .collect();
+        buses.sort_by_key(|(b, _)| *b);
+        buses
     }
 
-    /// `delayIncrease` events.
+    /// `delayIncrease` events, time-sorted.
     pub fn delay_increases(&self) -> Vec<&Event> {
-        self.raw.events_of(ce::DELAY_INCREASE)
+        sorted_events(self.raw.events_of(ce::DELAY_INCREASE))
     }
 
-    /// `disagree` events.
+    /// `disagree` events, time-sorted.
     pub fn disagreements(&self) -> Vec<&Event> {
-        self.raw.events_of(ce::DISAGREE)
+        sorted_events(self.raw.events_of(ce::DISAGREE))
     }
 
-    /// `agree` events.
+    /// `agree` events, time-sorted.
     pub fn agreements(&self) -> Vec<&Event> {
-        self.raw.events_of(ce::AGREE)
+        sorted_events(self.raw.events_of(ce::AGREE))
     }
 
-    /// Flow/density trend events.
+    /// Flow/density trend events, time-sorted.
     pub fn trend_events(&self) -> Vec<&Event> {
         let mut v = self.raw.events_of(ce::FLOW_TREND);
         v.extend(self.raw.events_of(ce::DENSITY_TREND));
-        v
+        sorted_events(v)
     }
 
     /// Number of input SDE facts inside this window.
