@@ -1,0 +1,299 @@
+//! Performance report for the two PR-level optimisations: incremental
+//! (delta-aware) windowed recognition and batched queue transfer.
+//!
+//! The recognition benchmark sweeps the window-overlap ratio step/WM over
+//! {1, 1/2, 1/4, 1/8} and measures the mean per-query recognition time with
+//! incremental evaluation on and off. Ratio 1 means disjoint windows (no
+//! reusable work — incremental mode must not regress); ratio 1/8 means 7/8
+//! of each window is shared with the previous query (maximal reuse). Full
+//! re-evaluation is the engine's behaviour before the incremental rewrite,
+//! so the "full" column doubles as the pre-PR baseline.
+//!
+//! The streams benchmark pushes a fixed item count through a bounded queue
+//! with a producer thread and measures throughput for per-item transfer
+//! versus `send_batch`/`recv_batch` at several batch sizes.
+//!
+//! Results are written to `BENCH_recognition.json` and `BENCH_streams.json`
+//! in the current directory (run from the repo root) and printed as tables.
+//!
+//! ```sh
+//! cargo run --release -p insight-bench --bin bench_report [--quick] [--check]
+//! ```
+//!
+//! `--check` exits non-zero if either optimisation *regresses* by more than
+//! 25% against its reference path — a CI smoke guard, deliberately lenient
+//! to tolerate noisy shared runners.
+
+use insight_bench::ResultsWriter;
+use insight_datagen::scenario::{Scenario, ScenarioConfig};
+use insight_streams::item::DataItem;
+use insight_streams::queue::queue;
+use insight_traffic::{TrafficRecognizer, TrafficRulesConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One step/WM ratio measured in both evaluation modes.
+struct RatioPoint {
+    label: &'static str,
+    ratio: f64,
+    step: i64,
+    queries: usize,
+    full_ms: f64,
+    incremental_ms: f64,
+}
+
+impl RatioPoint {
+    fn speedup(&self) -> f64 {
+        if self.incremental_ms > 0.0 {
+            self.full_ms / self.incremental_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// One queue batch size and its measured throughput.
+struct BatchPoint {
+    batch: usize,
+    elapsed_ms: f64,
+    items_per_sec: f64,
+}
+
+/// Mean per-query wall-clock recognition time (ms) over `n_queries` fully
+/// populated windows, with incremental evaluation toggled as requested.
+fn mean_query_ms(
+    scenario: &Scenario,
+    wm: i64,
+    step: i64,
+    n_queries: usize,
+    incremental: bool,
+) -> Result<(f64, usize), Box<dyn std::error::Error>> {
+    let window = insight_rtec::window::WindowConfig::new(wm, step)?;
+    let mut rec =
+        TrafficRecognizer::from_deployment(TrafficRulesConfig::default(), window, &scenario.scats)?;
+    rec.set_incremental(incremental);
+    let (start, end) = scenario.window();
+
+    let mut sde_idx = 0usize;
+    let mut total_ms = 0.0f64;
+    let mut queries = 0usize;
+    let mut q = start + wm;
+    while queries < n_queries && q <= end {
+        while sde_idx < scenario.sdes.len() && scenario.sdes[sde_idx].arrival <= q {
+            rec.ingest(&scenario.sdes[sde_idx])?;
+            sde_idx += 1;
+        }
+        let t = Instant::now();
+        rec.query(q)?;
+        total_ms += t.elapsed().as_secs_f64() * 1e3;
+        queries += 1;
+        q += step;
+    }
+    if queries == 0 {
+        return Err("scenario shorter than one working memory".into());
+    }
+    Ok((total_ms / queries as f64, queries))
+}
+
+/// Pushes `n` items through a bounded queue with a producer thread; the
+/// consumer drains on the calling thread. `batch == 1` uses the per-item
+/// `send`/`recv` path, larger batches use `send_batch`/`recv_batch`.
+fn queue_throughput_ms(n: usize, capacity: usize, batch: usize) -> f64 {
+    let (tx, mut rx) = queue(capacity, 1);
+    let t = Instant::now();
+    let producer = std::thread::spawn(move || {
+        if batch <= 1 {
+            for i in 0..n {
+                tx.send(DataItem::new().with("n", i as i64));
+            }
+        } else {
+            let mut chunk = Vec::with_capacity(batch);
+            for i in 0..n {
+                chunk.push(DataItem::new().with("n", i as i64));
+                if chunk.len() == batch {
+                    tx.send_batch(std::mem::take(&mut chunk));
+                }
+            }
+            if !chunk.is_empty() {
+                tx.send_batch(chunk);
+            }
+        }
+        tx.finish();
+    });
+    let mut received = 0usize;
+    if batch <= 1 {
+        while rx.recv().is_some() {
+            received += 1;
+        }
+    } else {
+        while let Some(items) = rx.recv_batch(batch) {
+            received += items.len();
+        }
+    }
+    producer.join().expect("producer thread panicked");
+    assert_eq!(received, n, "queue dropped items");
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// Best of `reps` runs — throughput microbenchmarks want the least-noisy
+/// sample, not the mean.
+fn best_of(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+fn write_json(path: &str, body: &str) -> std::io::Result<()> {
+    std::fs::write(path, body)?;
+    eprintln!("wrote {path}");
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let check = std::env::args().any(|a| a == "--check");
+    let profile = if quick { "quick" } else { "standard" };
+
+    // ---- recognition: incremental vs full re-evaluation --------------------
+    let wm: i64 = if quick { 480 } else { 1200 };
+    let n_queries = if quick { 4 } else { 6 };
+    // Enough data for the widest sweep: WM plus n_queries steps at ratio 1.
+    let duration = wm + wm * n_queries as i64 + 120;
+    let mut out = ResultsWriter::new("bench_report");
+    out.line(format!("=== bench_report ({profile} profile) ==="));
+    out.line(format!(
+        "recognition: WM {wm} s, {n_queries} queries per point, scenario small/{duration} s"
+    ));
+    let scenario = Scenario::generate(ScenarioConfig::small(duration, 7))?;
+    out.line(format!("  {} SDEs total", scenario.sdes.len()));
+    out.line(String::new());
+    out.line(format!(
+        "{:>9} {:>8} {:>9} {:>12} {:>14} {:>9}",
+        "step/WM", "step s", "queries", "full (ms)", "incr (ms)", "speedup"
+    ));
+
+    let ratios: &[(&'static str, i64)] = &[("1", 1), ("1/2", 2), ("1/4", 4), ("1/8", 8)];
+    let mut points = Vec::new();
+    for &(label, den) in ratios {
+        let step = wm / den;
+        let (full_ms, queries) = mean_query_ms(&scenario, wm, step, n_queries, false)?;
+        let (incremental_ms, _) = mean_query_ms(&scenario, wm, step, n_queries, true)?;
+        let p =
+            RatioPoint { label, ratio: 1.0 / den as f64, step, queries, full_ms, incremental_ms };
+        out.line(format!(
+            "{:>9} {:>8} {:>9} {:>12.3} {:>14.3} {:>8.2}x",
+            p.label,
+            p.step,
+            p.queries,
+            p.full_ms,
+            p.incremental_ms,
+            p.speedup()
+        ));
+        points.push(p);
+    }
+
+    let mut rec_json = String::new();
+    write!(
+        rec_json,
+        "{{\n  \"benchmark\": \"incremental_recognition\",\n  \"profile\": \"{profile}\",\n  \
+         \"baseline\": \"full per-window re-evaluation (engine behaviour before the incremental rewrite)\",\n  \
+         \"scenario\": {{\"preset\": \"small\", \"duration_s\": {duration}, \"sdes\": {}}},\n  \
+         \"wm_s\": {wm},\n  \"points\": [\n",
+        scenario.sdes.len()
+    )?;
+    for (i, p) in points.iter().enumerate() {
+        writeln!(
+            rec_json,
+            "    {{\"step_over_wm\": \"{}\", \"ratio\": {}, \"step_s\": {}, \"queries\": {}, \
+             \"full_ms\": {:.3}, \"incremental_ms\": {:.3}, \"speedup\": {:.3}}}{}",
+            p.label,
+            p.ratio,
+            p.step,
+            p.queries,
+            p.full_ms,
+            p.incremental_ms,
+            p.speedup(),
+            if i + 1 < points.len() { "," } else { "" }
+        )?;
+    }
+    rec_json.push_str("  ]\n}\n");
+    write_json("BENCH_recognition.json", &rec_json)?;
+
+    // ---- streams: per-item vs batched queue transfer ------------------------
+    let items = if quick { 50_000 } else { 200_000 };
+    let capacity = 1024;
+    let reps = if quick { 3 } else { 5 };
+    out.line(String::new());
+    out.line(format!("streams: {items} items through a capacity-{capacity} queue, best of {reps}"));
+    out.line(format!(
+        "{:>11} {:>13} {:>14} {:>9}",
+        "batch size", "elapsed (ms)", "items/s", "speedup"
+    ));
+
+    let mut batch_points = Vec::new();
+    for &batch in &[1usize, 4, 16, 64] {
+        let elapsed_ms = best_of(reps, || queue_throughput_ms(items, capacity, batch));
+        let items_per_sec = items as f64 / (elapsed_ms / 1e3);
+        batch_points.push(BatchPoint { batch, elapsed_ms, items_per_sec });
+    }
+    let unbatched_ms = batch_points[0].elapsed_ms;
+    for p in &batch_points {
+        out.line(format!(
+            "{:>11} {:>13.2} {:>14.0} {:>8.2}x",
+            p.batch,
+            p.elapsed_ms,
+            p.items_per_sec,
+            unbatched_ms / p.elapsed_ms
+        ));
+    }
+
+    let mut str_json = String::new();
+    write!(
+        str_json,
+        "{{\n  \"benchmark\": \"queue_batching\",\n  \"profile\": \"{profile}\",\n  \
+         \"items\": {items},\n  \"capacity\": {capacity},\n  \"reps\": {reps},\n  \"points\": [\n"
+    )?;
+    for (i, p) in batch_points.iter().enumerate() {
+        writeln!(
+            str_json,
+            "    {{\"batch_size\": {}, \"elapsed_ms\": {:.3}, \"items_per_sec\": {:.0}, \
+             \"speedup_vs_unbatched\": {:.3}}}{}",
+            p.batch,
+            p.elapsed_ms,
+            p.items_per_sec,
+            unbatched_ms / p.elapsed_ms,
+            if i + 1 < batch_points.len() { "," } else { "" }
+        )?;
+    }
+    str_json.push_str("  ]\n}\n");
+    write_json("BENCH_streams.json", &str_json)?;
+
+    let path = out.finish()?;
+    eprintln!("results saved to {}", path.display());
+
+    if check {
+        let mut failures = Vec::new();
+        for p in &points {
+            if p.incremental_ms > p.full_ms * 1.25 {
+                failures.push(format!(
+                    "recognition regression at step/WM={}: incremental {:.3} ms vs full {:.3} ms",
+                    p.label, p.incremental_ms, p.full_ms
+                ));
+            }
+        }
+        for p in &batch_points[1..] {
+            if p.elapsed_ms > unbatched_ms * 1.25 {
+                failures.push(format!(
+                    "batching regression at batch={}: {:.2} ms vs per-item {:.2} ms",
+                    p.batch, p.elapsed_ms, unbatched_ms
+                ));
+            }
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("CHECK FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("check passed: no regression beyond the 25% guard band");
+    }
+    Ok(())
+}

@@ -190,10 +190,10 @@ impl Harness {
 
             let mut fluent_diffs: Vec<FluentDiff> = Vec::new();
             for &name in &fluent_names {
-                let name_str = name.as_str();
+                let name_str = name.as_str().to_string();
                 let mut groundings: BTreeSet<(Vec<Term>, Term)> =
-                    reference.groundings(&name_str).into_iter().collect();
-                for e in rec.fluent_entries(&name_str) {
+                    reference.groundings(name_str.as_str()).into_iter().collect();
+                for e in rec.fluent_entries(name_str.as_str()) {
                     groundings.insert((e.args.clone(), e.value.clone()));
                 }
                 for (args, value) in groundings {
@@ -205,8 +205,8 @@ impl Harness {
                     // The window is half-open: (start, q].
                     for t in (start + 1)..=q {
                         stats.ticks += 1;
-                        let eh = rec.holds_at(&name_str, &args, &value, t);
-                        let oh = reference.holds_at(&name_str, &args, &value, t);
+                        let eh = rec.holds_at(name_str.as_str(), &args, &value, t);
+                        let oh = reference.holds_at(name_str.as_str(), &args, &value, t);
                         if eh != oh {
                             if first.is_none() {
                                 first = Some(t);
@@ -241,7 +241,7 @@ impl Harness {
             let mut event_diffs: Vec<EventDiff> = Vec::new();
             for (kind, args, time) in expected_set.difference(&actual_set) {
                 event_diffs.push(EventDiff {
-                    kind: kind.as_str(),
+                    kind: kind.as_str().to_string(),
                     args: args.clone(),
                     time: *time,
                     side: Side::MissingFromEngine,
@@ -249,7 +249,7 @@ impl Harness {
             }
             for (kind, args, time) in actual_set.difference(&expected_set) {
                 event_diffs.push(EventDiff {
-                    kind: kind.as_str(),
+                    kind: kind.as_str().to_string(),
                     args: args.clone(),
                     time: *time,
                     side: Side::SpuriousInEngine,

@@ -164,7 +164,7 @@ mod tests {
         let cfg = StimulusConfig { n_points: 400, ..StimulusConfig::default() };
         let s = fixture_stream(7, grid, &cfg);
         let kinds: std::collections::HashSet<String> =
-            s.events.iter().map(|e| e.item.kind.as_str()).collect();
+            s.events.iter().map(|e| e.item.kind.as_str().to_string()).collect();
         for k in ["enter", "leave", "spike", "calm", "all_clear"] {
             assert!(kinds.contains(k), "missing {k}");
         }

@@ -74,6 +74,10 @@ pub struct RtecProcessor {
     window_ns: Option<Arc<Histogram>>,
     /// Items that failed SDE schema validation and were skipped.
     malformed: Option<Arc<Counter>>,
+    /// Incremental-evaluation effort: strata actually re-evaluated and
+    /// fluent groundings recomputed, summed over queries (clean cache hits
+    /// add nothing, so these expose how much work delta-awareness saved).
+    eval_counters: Option<(Arc<Counter>, Arc<Counter>)>,
 }
 
 impl RtecProcessor {
@@ -96,6 +100,7 @@ impl RtecProcessor {
             pending: VecDeque::new(),
             window_ns: None,
             malformed: None,
+            eval_counters: None,
         }
     }
 
@@ -119,6 +124,18 @@ impl RtecProcessor {
         self.malformed.clone()
     }
 
+    fn evaluation_counters(&mut self, ctx: &Context) -> Option<(Arc<Counter>, Arc<Counter>)> {
+        if self.eval_counters.is_none() {
+            if let Ok(registry) = ctx.services().get::<MetricsRegistry>("metrics") {
+                self.eval_counters = Some((
+                    registry.counter(&format!("rtec.{}.strata_evaluated", self.region)),
+                    registry.counter(&format!("rtec.{}.groundings_recomputed", self.region)),
+                ));
+            }
+        }
+        self.eval_counters.clone()
+    }
+
     fn run_query(&mut self, q: i64, ctx: &Context) -> Result<(), StreamsError> {
         let result = self.recognizer.query(q).map_err(|e| StreamsError::ProcessorFailed {
             process: format!("rtec-{}", self.region),
@@ -128,6 +145,10 @@ impl RtecProcessor {
         let query_ns = result.raw.timing.total.as_nanos().min(i64::MAX as u128) as i64;
         if let Some(hist) = self.window_histogram(ctx) {
             hist.record_ns(query_ns as u64);
+        }
+        if let Some((strata, groundings)) = self.evaluation_counters(ctx) {
+            strata.add(result.raw.timing.strata_evaluated as u64);
+            groundings.add(result.raw.timing.groundings_recomputed as u64);
         }
         let mut item = DataItem::new()
             .with("kind", "recognition")
@@ -659,6 +680,21 @@ mod tests {
             .map(|(_, h)| h.count)
             .sum();
         assert!(rtec_windows > 0, "RTEC window timings recorded");
+
+        // Incremental-evaluation effort counters were recorded per region.
+        let strata: u64 = snap
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("rtec.") && name.ends_with(".strata_evaluated"))
+            .map(|(_, v)| *v)
+            .sum();
+        assert!(strata > 0, "windows with fresh SDEs re-evaluate strata");
+        assert!(
+            snap.counters
+                .keys()
+                .any(|name| name.starts_with("rtec.") && name.ends_with(".groundings_recomputed")),
+            "grounding-recompute counters registered"
+        );
 
         // Every summary carries its own recognition latency.
         for item in sink.items() {

@@ -369,9 +369,11 @@ impl RuleSetBuilder {
 
         let record =
             |map: &mut HashMap<Symbol, usize>, sym: Symbol, arity: usize| match map.get(&sym) {
-                Some(&a) if a != arity => {
-                    Err(RtecError::ArityMismatch { symbol: sym.as_str(), declared: a, used: arity })
-                }
+                Some(&a) if a != arity => Err(RtecError::ArityMismatch {
+                    symbol: sym.as_str().to_string(),
+                    declared: a,
+                    used: arity,
+                }),
                 _ => {
                     map.insert(sym, arity);
                     Ok(())
@@ -385,7 +387,7 @@ impl RuleSetBuilder {
         for r in &self.static_rules {
             if simple_heads.contains(&r.head.name) {
                 return Err(RtecError::SymbolClash {
-                    symbol: r.head.name.as_str(),
+                    symbol: r.head.name.as_str().to_string(),
                     detail: "defined both as simple and statically-determined fluent".into(),
                 });
             }
@@ -400,13 +402,13 @@ impl RuleSetBuilder {
         for &s in derived_fluents.keys() {
             if self.input_fluents.contains_key(&s) {
                 return Err(RtecError::SymbolClash {
-                    symbol: s.as_str(),
+                    symbol: s.as_str().to_string(),
                     detail: "derived fluent shadows an input fluent".into(),
                 });
             }
             if derived_events.contains_key(&s) || self.input_events.contains_key(&s) {
                 return Err(RtecError::SymbolClash {
-                    symbol: s.as_str(),
+                    symbol: s.as_str().to_string(),
                     detail: "symbol used both as fluent and as event".into(),
                 });
             }
@@ -414,13 +416,13 @@ impl RuleSetBuilder {
         for &s in derived_events.keys() {
             if self.input_events.contains_key(&s) {
                 return Err(RtecError::SymbolClash {
-                    symbol: s.as_str(),
+                    symbol: s.as_str().to_string(),
                     detail: "derived event shadows an input event".into(),
                 });
             }
             if self.input_fluents.contains_key(&s) {
                 return Err(RtecError::SymbolClash {
-                    symbol: s.as_str(),
+                    symbol: s.as_str().to_string(),
                     detail: "symbol used both as event and as input fluent".into(),
                 });
             }
@@ -448,12 +450,12 @@ impl RuleSetBuilder {
                     BodyAtom::Happens { pat, .. } => {
                         let arity =
                             ev_arity(&self, pat.kind).ok_or_else(|| RtecError::Undeclared {
-                                symbol: pat.kind.as_str(),
+                                symbol: pat.kind.as_str().to_string(),
                                 context: format!("happensAt in {label}"),
                             })?;
                         if arity != pat.args.len() {
                             return Err(RtecError::ArityMismatch {
-                                symbol: pat.kind.as_str(),
+                                symbol: pat.kind.as_str().to_string(),
                                 declared: arity,
                                 used: pat.args.len(),
                             });
@@ -462,39 +464,36 @@ impl RuleSetBuilder {
                     BodyAtom::Holds { pat, .. } => {
                         let arity =
                             fl_arity(&self, pat.name).ok_or_else(|| RtecError::Undeclared {
-                                symbol: pat.name.as_str(),
+                                symbol: pat.name.as_str().to_string(),
                                 context: format!("holdsAt in {label}"),
                             })?;
                         if arity != pat.args.len() {
                             return Err(RtecError::ArityMismatch {
-                                symbol: pat.name.as_str(),
+                                symbol: pat.name.as_str().to_string(),
                                 declared: arity,
                                 used: pat.args.len(),
                             });
                         }
                     }
                     BodyAtom::Relation { name, args } => {
-                        let arity =
-                            self.relations.get(name).copied().ok_or_else(|| {
-                                RtecError::UnknownRelation { name: name.as_str() }
-                            })?;
+                        let arity = self.relations.get(name).copied().ok_or_else(|| {
+                            RtecError::UnknownRelation { name: name.as_str().to_string() }
+                        })?;
                         if arity != args.len() {
                             return Err(RtecError::ArityMismatch {
-                                symbol: name.as_str(),
+                                symbol: name.as_str().to_string(),
                                 declared: arity,
                                 used: args.len(),
                             });
                         }
                     }
                     BodyAtom::Builtin { name, args } => {
-                        let arity = self
-                            .builtins
-                            .get(name)
-                            .copied()
-                            .ok_or_else(|| RtecError::UnknownBuiltin { name: name.as_str() })?;
+                        let arity = self.builtins.get(name).copied().ok_or_else(|| {
+                            RtecError::UnknownBuiltin { name: name.as_str().to_string() }
+                        })?;
                         if arity != args.len() {
                             return Err(RtecError::ArityMismatch {
-                                symbol: name.as_str(),
+                                symbol: name.as_str().to_string(),
                                 declared: arity,
                                 used: args.len(),
                             });
@@ -512,7 +511,7 @@ impl RuleSetBuilder {
             for leaf in leaves {
                 if !derived_fluents.contains_key(&leaf) {
                     return Err(RtecError::Undeclared {
-                        symbol: leaf.as_str(),
+                        symbol: leaf.as_str().to_string(),
                         context: format!(
                             "interval expression of {} (leaves must be derived fluents)",
                             r.label

@@ -25,15 +25,12 @@ use crate::interval::IntervalList;
 use crate::pattern::{
     match_args, unbind_all, ArgPat, Bindings, EventPattern, FluentPattern, VarId,
 };
-use crate::rule::{
-    BodyAtom, EventRule, GuardExpr, IntervalExpr, NumExpr, SfKind, SimpleFluentRule, StaticRule,
-    ValRef,
-};
-use crate::stratify::HeadKind;
+use crate::rule::{BodyAtom, GuardExpr, IntervalExpr, NumExpr, SfKind, StaticRule, ValRef};
+use crate::stratify::{body_deps, HeadKind};
 use crate::term::{Symbol, Term};
-use crate::time::Time;
+use crate::time::{Time, TIME_MAX, TIME_MIN};
 use crate::window::WindowConfig;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
 /// A registered boolean builtin predicate (e.g. the spatial `close/4`).
@@ -223,6 +220,14 @@ pub struct QueryTiming {
     pub windowing: std::time::Duration,
     /// Stratified rule evaluation (events, simple fluents, static fluents).
     pub evaluation: std::time::Duration,
+    /// Strata on which rule bodies were actually (re-)solved this query; a
+    /// stratum whose input delta is empty reuses its cached results and is
+    /// not counted.
+    pub strata_evaluated: usize,
+    /// Fluent groundings whose interval lists were recomputed (inertia
+    /// reconstruction or static interval expressions); groundings untouched
+    /// by the delta reuse their previous intervals and are not counted.
+    pub groundings_recomputed: usize,
 }
 
 /// The result of one recognition query.
@@ -288,16 +293,159 @@ impl Recognition {
 // Engine
 // ---------------------------------------------------------------------------
 
+/// A buffered input item plus whether it has been visible to a query yet.
+/// Items never seen by any query are the *delta* when they become visible
+/// (new arrivals and late amendments alike).
+struct Seen<T> {
+    item: Stamped<T>,
+    seen: bool,
+}
+
+/// One cached derivation of a derived event: the ground head plus the
+/// *evidence span* — the min/max of every event/fluent time on the solution
+/// path. The derivation stays valid exactly while its whole span is inside
+/// the window (`span_min > window_start`) and below the change frontier
+/// (`span_max < frontier`), because everything the body consulted at those
+/// times is unchanged.
+#[derive(Clone)]
+struct CachedDeriv {
+    args: Vec<Term>,
+    time: Time,
+    span_min: Time,
+    span_max: Time,
+}
+
+/// One cached initiation/termination point of a simple fluent grounding,
+/// with the evidence span of the rule body that produced it.
+#[derive(Clone)]
+struct CachedPoint {
+    kind: SfKind,
+    time: Time,
+    span_min: Time,
+    span_max: Time,
+}
+
+/// Role of a body atom inside one pivoted evaluation plan (see
+/// [`pivot_plans`]). Only `Happens` atoms carry a non-`Free` role.
+#[derive(Clone, Copy)]
+enum HappensRole {
+    /// The pivot: its event time must be `>= frontier`.
+    Pivot,
+    /// A happens atom preceding the pivot in the original body: its event
+    /// time must be `< frontier` (so the union over all plans partitions
+    /// the delta-reachable derivations without duplicates).
+    Before,
+    /// No time restriction.
+    Free,
+}
+
+/// Cached initiation/termination points per fluent symbol, keyed by the
+/// grounding's `(args, value)` pair.
+type PointsCache = HashMap<Symbol, HashMap<(Vec<Term>, Term), Vec<CachedPoint>>>;
+
+/// One semi-naive evaluation plan: the body with one `Happens` atom moved to
+/// the front (safe — pattern atoms only *add* bindings, and all other atoms
+/// keep their relative order, so binding prerequisites still hold) plus the
+/// per-atom time roles.
+struct PivotPlan {
+    atoms: Vec<BodyAtom>,
+    roles: Vec<HappensRole>,
+}
+
+/// Whether pivoted (delta-bounded) evaluation is complete for `body`: every
+/// `Holds` atom must read its fluent at a time bound by a preceding
+/// `happensAt` condition. A time taken from an event argument or a relation
+/// tuple can reach upstream changes that no happens-time bound sees, so such
+/// rules must be fully re-solved when their stratum is dirty.
+fn body_pivotable(body: &[BodyAtom]) -> bool {
+    let mut happens_times: Vec<VarId> = Vec::new();
+    for atom in body {
+        match atom {
+            BodyAtom::Happens { time, .. } => happens_times.push(*time),
+            BodyAtom::Holds { time, .. } if !happens_times.contains(time) => return false,
+            _ => {}
+        }
+    }
+    true
+}
+
+/// Builds one plan per `Happens` atom in `body`. Plan `k` enumerates exactly
+/// the derivations whose *first* happens atom (in body order) with event time
+/// `>= frontier` is atom `k`; the union over plans is exactly the set of
+/// derivations touching the delta, each found once.
+fn pivot_plans(body: &[BodyAtom]) -> Vec<PivotPlan> {
+    let mut plans = Vec::new();
+    for (pi, pivot) in body.iter().enumerate() {
+        if !matches!(pivot, BodyAtom::Happens { .. }) {
+            continue;
+        }
+        let mut atoms = Vec::with_capacity(body.len());
+        let mut roles = Vec::with_capacity(body.len());
+        atoms.push(pivot.clone());
+        roles.push(HappensRole::Pivot);
+        for (j, a) in body.iter().enumerate() {
+            if j == pi {
+                continue;
+            }
+            atoms.push(a.clone());
+            roles.push(if j < pi && matches!(a, BodyAtom::Happens { .. }) {
+                HappensRole::Before
+            } else {
+                HappensRole::Free
+            });
+        }
+        plans.push(PivotPlan { atoms, roles });
+    }
+    plans
+}
+
 /// A windowed RTEC recognition engine for one rule set.
+///
+/// Evaluation is *incremental* by default: between queries the engine tracks
+/// which input SDEs became newly visible (fresh arrivals and late amendments
+/// inside the window overlap), derives a per-symbol change frontier, and
+/// re-solves rule bodies only for derivations that can reach the delta.
+/// Cached derivations whose evidence span is unaffected are reused verbatim,
+/// which makes the cost of a query proportional to the window *delta* rather
+/// than the window size. The first query, relation/builtin changes and
+/// [`Engine::set_incremental`]`(false)` fall back to full re-evaluation.
 pub struct Engine {
     ruleset: RuleSet,
     window: WindowConfig,
-    buffered_events: Vec<Stamped<Event>>,
-    buffered_obs: Vec<Stamped<FluentObs>>,
+    buffered_events: Vec<Seen<Event>>,
+    buffered_obs: Vec<Seen<FluentObs>>,
     relations: HashMap<Symbol, Vec<Vec<Term>>>,
     builtins: HashMap<Symbol, BuiltinFn>,
     prev_fluents: HashMap<FluentKey, IntervalList>,
+    /// Cached static-fluent outputs of the previous query (clamp-reused when
+    /// every dependency is clean).
+    prev_static: HashMap<FluentKey, IntervalList>,
+    /// Cached derived-event derivations with evidence spans, per head symbol.
+    event_cache: HashMap<Symbol, Vec<CachedDeriv>>,
+    /// Cached initiation/termination points with evidence spans, per fluent
+    /// symbol and grounding.
+    points_cache: PointsCache,
+    /// Direct body dependencies (event/fluent symbols) of each stratum,
+    /// aligned with `ruleset.strata`.
+    stratum_deps: Vec<Vec<Symbol>>,
+    /// Whether a static stratum's rule domains are free of `Happens`/`Holds`
+    /// atoms (pure relation/guard domains can be clamp-reused; event-driven
+    /// domains must be re-solved because expiry can shrink them silently).
+    static_pure: Vec<bool>,
+    /// Pivoted evaluation plans per event rule / simple-fluent rule.
+    ev_pivots: Vec<Vec<PivotPlan>>,
+    sf_pivots: Vec<Vec<PivotPlan>>,
+    /// Whether every rule of the stratum can be evaluated by happens-time
+    /// pivoting (all `Holds` times are happens times). Strata with rules
+    /// that read fluents at times taken from event arguments or relation
+    /// tuples fall back to full re-evaluation when dirty.
+    stratum_pivotable: Vec<bool>,
     last_query: Option<Time>,
+    first_query: Option<Time>,
+    /// Relations/builtins changed since the last query: every stratum must
+    /// re-evaluate because those dependencies are outside frontier tracking.
+    dirty_all: bool,
+    incremental: bool,
 }
 
 struct EvalCtx<'a> {
@@ -312,6 +460,67 @@ struct EvalCtx<'a> {
 impl Engine {
     /// Creates an engine for `ruleset` with the given window configuration.
     pub fn new(ruleset: RuleSet, window: WindowConfig) -> Engine {
+        let stratum_deps: Vec<Vec<Symbol>> = ruleset
+            .strata
+            .iter()
+            .map(|s| {
+                let mut deps: HashSet<Symbol> = HashSet::new();
+                match s.kind {
+                    HeadKind::Event => {
+                        for &i in &s.rule_indices {
+                            body_deps(&ruleset.ev_rules[i].body, &mut deps);
+                        }
+                    }
+                    HeadKind::SimpleFluent => {
+                        for &i in &s.rule_indices {
+                            body_deps(&ruleset.sf_rules[i].body, &mut deps);
+                        }
+                    }
+                    HeadKind::StaticFluent => {
+                        for &i in &s.rule_indices {
+                            let r = &ruleset.static_rules[i];
+                            body_deps(&r.domain, &mut deps);
+                            let mut fluents = Vec::new();
+                            r.expr.collect_fluents(&mut fluents);
+                            deps.extend(fluents);
+                        }
+                    }
+                }
+                let mut v: Vec<Symbol> = deps.into_iter().collect();
+                v.sort();
+                v
+            })
+            .collect();
+        let static_pure: Vec<bool> = ruleset
+            .strata
+            .iter()
+            .map(|s| match s.kind {
+                HeadKind::StaticFluent => s.rule_indices.iter().all(|&i| {
+                    ruleset.static_rules[i]
+                        .domain
+                        .iter()
+                        .all(|a| !matches!(a, BodyAtom::Happens { .. } | BodyAtom::Holds { .. }))
+                }),
+                _ => true,
+            })
+            .collect();
+        let ev_pivots: Vec<Vec<PivotPlan>> =
+            ruleset.ev_rules.iter().map(|r| pivot_plans(&r.body)).collect();
+        let sf_pivots: Vec<Vec<PivotPlan>> =
+            ruleset.sf_rules.iter().map(|r| pivot_plans(&r.body)).collect();
+        let stratum_pivotable: Vec<bool> = ruleset
+            .strata
+            .iter()
+            .map(|s| match s.kind {
+                HeadKind::Event => {
+                    s.rule_indices.iter().all(|&i| body_pivotable(&ruleset.ev_rules[i].body))
+                }
+                HeadKind::SimpleFluent => {
+                    s.rule_indices.iter().all(|&i| body_pivotable(&ruleset.sf_rules[i].body))
+                }
+                HeadKind::StaticFluent => true,
+            })
+            .collect();
         Engine {
             ruleset,
             window,
@@ -320,8 +529,27 @@ impl Engine {
             relations: HashMap::new(),
             builtins: HashMap::new(),
             prev_fluents: HashMap::new(),
+            prev_static: HashMap::new(),
+            event_cache: HashMap::new(),
+            points_cache: HashMap::new(),
+            stratum_deps,
+            static_pure,
+            ev_pivots,
+            sf_pivots,
+            stratum_pivotable,
             last_query: None,
+            first_query: None,
+            dirty_all: false,
+            incremental: true,
         }
+    }
+
+    /// Enables or disables incremental (delta-aware) evaluation. With `false`
+    /// every query re-evaluates the full window, which is the reference
+    /// behaviour incremental mode must reproduce exactly — useful for A/B
+    /// correctness tests and benchmarks.
+    pub fn set_incremental(&mut self, on: bool) {
+        self.incremental = on;
     }
 
     /// The window configuration.
@@ -344,6 +572,8 @@ impl Engine {
             return Err(RtecError::UnknownBuiltin { name: name.to_string() });
         }
         self.builtins.insert(sym, Arc::new(f));
+        // Builtin results are outside frontier tracking; invalidate caches.
+        self.dirty_all = true;
         Ok(())
     }
 
@@ -363,6 +593,8 @@ impl Engine {
             });
         }
         self.relations.insert(sym, tuples);
+        // Relation tuples are outside frontier tracking; invalidate caches.
+        self.dirty_all = true;
         Ok(())
     }
 
@@ -376,8 +608,8 @@ impl Engine {
         args: Vec<Term>,
         value: Term,
     ) -> Result<(), RtecError> {
-        if let Some(previous) = self.last_query {
-            return Err(RtecError::NonMonotonicQuery { previous, requested: previous });
+        if let Some(first_query) = self.first_query {
+            return Err(RtecError::EngineAlreadyStarted { first_query });
         }
         let sym = Symbol::new(name);
         if !self.ruleset.derived_fluents.contains(&sym) {
@@ -402,16 +634,16 @@ impl Engine {
     pub fn add_stamped_event(&mut self, ev: Stamped<Event>) -> Result<(), RtecError> {
         match self.ruleset.input_events.get(&ev.item.kind) {
             Some(&arity) if arity == ev.item.args.len() => {
-                self.buffered_events.push(ev);
+                self.buffered_events.push(Seen { item: ev, seen: false });
                 Ok(())
             }
             Some(&arity) => Err(RtecError::ArityMismatch {
-                symbol: ev.item.kind.as_str(),
+                symbol: ev.item.kind.as_str().to_string(),
                 declared: arity,
                 used: ev.item.args.len(),
             }),
             None => Err(RtecError::Undeclared {
-                symbol: ev.item.kind.as_str(),
+                symbol: ev.item.kind.as_str().to_string(),
                 context: "add_event (declare it with declare_event)".into(),
             }),
         }
@@ -426,16 +658,16 @@ impl Engine {
     pub fn add_stamped_obs(&mut self, obs: Stamped<FluentObs>) -> Result<(), RtecError> {
         match self.ruleset.input_fluents.get(&obs.item.name) {
             Some(&arity) if arity == obs.item.args.len() => {
-                self.buffered_obs.push(obs);
+                self.buffered_obs.push(Seen { item: obs, seen: false });
                 Ok(())
             }
             Some(&arity) => Err(RtecError::ArityMismatch {
-                symbol: obs.item.name.as_str(),
+                symbol: obs.item.name.as_str().to_string(),
                 declared: arity,
                 used: obs.item.args.len(),
             }),
             None => Err(RtecError::Undeclared {
-                symbol: obs.item.name.as_str(),
+                symbol: obs.item.name.as_str().to_string(),
                 context: "add_obs (declare it with declare_input_fluent)".into(),
             }),
         }
@@ -460,32 +692,51 @@ impl Engine {
         // All declared builtins must have implementations.
         for name in self.ruleset.builtins.keys() {
             if !self.builtins.contains_key(name) {
-                return Err(RtecError::UnknownBuiltin { name: name.as_str() });
+                return Err(RtecError::UnknownBuiltin { name: name.as_str().to_string() });
             }
         }
 
         let query_started = std::time::Instant::now();
         let start = self.window.window_start(q);
 
-        // Select the visible window contents.
-        let visible_events: Vec<Event> = self
-            .buffered_events
-            .iter()
-            .filter(|s| s.arrival <= q && s.item.time > start && s.item.time <= q)
-            .map(|s| s.item.clone())
-            .collect();
-        let visible_obs: Vec<FluentObs> = self
-            .buffered_obs
-            .iter()
-            .filter(|s| s.arrival <= q && s.item.time > start && s.item.time <= q)
-            .map(|s| s.item.clone())
-            .collect();
+        // Select the visible window contents, classifying the delta: items
+        // never seen by any previous query (fresh arrivals and late
+        // amendments alike) push the per-symbol change frontier down to
+        // their occurrence time. Below the frontier the inputs are exactly
+        // what the previous query saw — in-window items are never mutated,
+        // only added (tracked here) or expired (tracked by evidence spans).
+        let mut input_frontiers: HashMap<Symbol, Time> = HashMap::new();
+        let mut visible_events: Vec<Event> = Vec::new();
+        for s in &mut self.buffered_events {
+            if s.item.arrival <= q && s.item.item.time > start && s.item.item.time <= q {
+                if !s.seen {
+                    s.seen = true;
+                    let f = input_frontiers.entry(s.item.item.kind).or_insert(TIME_MAX);
+                    *f = (*f).min(s.item.item.time);
+                }
+                visible_events.push(s.item.item.clone());
+            }
+        }
+        let mut visible_obs: Vec<FluentObs> = Vec::new();
+        for s in &mut self.buffered_obs {
+            if s.item.arrival <= q && s.item.item.time > start && s.item.item.time <= q {
+                if !s.seen {
+                    s.seen = true;
+                    let f = input_frontiers.entry(s.item.item.name).or_insert(TIME_MAX);
+                    *f = (*f).min(s.item.item.time);
+                }
+                visible_obs.push(s.item.item.clone());
+            }
+        }
         let sde_count = visible_events.len() + visible_obs.len();
 
         // Drop items that can never be in a future window (occurrence behind
         // the current window start; window starts only move forward).
-        self.buffered_events.retain(|s| s.item.time > start);
-        self.buffered_obs.retain(|s| s.item.time > start);
+        self.buffered_events.retain(|s| s.item.item.time > start);
+        self.buffered_obs.retain(|s| s.item.item.time > start);
+
+        let full_eval = !self.incremental || self.first_query.is_none() || self.dirty_all;
+        self.dirty_all = false;
 
         let mut events = EventStore::build(visible_events);
         let obs = ObsStore::build(visible_obs);
@@ -493,83 +744,299 @@ impl Engine {
         let evaluation_started = std::time::Instant::now();
         let mut fluents = FluentStore::default();
         let mut derived_events_all: Vec<Event> = Vec::new();
-        let mut new_cache: HashMap<FluentKey, IntervalList> = HashMap::new();
 
-        for stratum in self.ruleset.strata.clone() {
+        // Change frontiers per symbol: seeded with the input delta, extended
+        // with each derived stratum's first output divergence as it is
+        // evaluated. Absent symbols are clean (frontier = TIME_MAX).
+        let mut frontiers = input_frontiers;
+        let mut new_event_cache: HashMap<Symbol, Vec<CachedDeriv>> = HashMap::new();
+        let mut new_points_cache: PointsCache = HashMap::new();
+        let mut new_prev_fluents: HashMap<FluentKey, IntervalList> = HashMap::new();
+        let mut new_prev_static: HashMap<FluentKey, IntervalList> = HashMap::new();
+        let mut strata_evaluated = 0usize;
+        let mut groundings_recomputed = 0usize;
+
+        for (si, stratum) in self.ruleset.strata.iter().enumerate() {
+            // Everything strictly below the stratum frontier is untouched by
+            // this query's delta; TIME_MAX means the stratum is clean.
+            let mut frontier = if full_eval {
+                TIME_MIN
+            } else {
+                self.stratum_deps[si]
+                    .iter()
+                    .map(|d| frontiers.get(d).copied().unwrap_or(TIME_MAX))
+                    .min()
+                    .unwrap_or(TIME_MAX)
+            };
+            if frontier < TIME_MAX && !self.stratum_pivotable[si] {
+                // Delta-bounded solving would be incomplete; re-solve fully.
+                frontier = TIME_MIN;
+            }
+            let ctx = EvalCtx {
+                events: &events,
+                obs: &obs,
+                fluents: &fluents,
+                relations: &self.relations,
+                builtins: &self.builtins,
+                input_fluents: &self.ruleset.input_fluents,
+            };
             match stratum.kind {
                 HeadKind::Event => {
-                    let rules: Vec<&EventRule> =
-                        stratum.rule_indices.iter().map(|&i| &self.ruleset.ev_rules[i]).collect();
-                    let ctx = EvalCtx {
-                        events: &events,
-                        obs: &obs,
-                        fluents: &fluents,
-                        relations: &self.relations,
-                        builtins: &self.builtins,
-                        input_fluents: &self.ruleset.input_fluents,
-                    };
-                    let new_events = eval_event_stratum(&rules, &ctx);
-                    derived_events_all.extend(new_events.iter().cloned());
-                    events.add_derived(new_events);
+                    // Survivors: cached derivations whose whole evidence span
+                    // is in-window and below the frontier stay valid.
+                    let old_derivs =
+                        self.event_cache.get(&stratum.symbol).map(Vec::as_slice).unwrap_or(&[]);
+                    let mut new_derivs: Vec<CachedDeriv> = old_derivs
+                        .iter()
+                        .filter(|d| d.span_min > start && d.span_max < frontier)
+                        .cloned()
+                        .collect();
+                    if frontier < TIME_MAX {
+                        strata_evaluated += 1;
+                        for &i in &stratum.rule_indices {
+                            let rule = &self.ruleset.ev_rules[i];
+                            solve_frontier(
+                                &ctx,
+                                &rule.body,
+                                &self.ev_pivots[i],
+                                rule.n_vars,
+                                frontier,
+                                start,
+                                &mut |b, spans| {
+                                    let t = b
+                                        .get(rule.time)
+                                        .and_then(term_time)
+                                        .expect("head time bound (validated at build)");
+                                    let args = instantiate_args(&rule.head.args, b);
+                                    let (mn, mx) = span_bounds(spans);
+                                    new_derivs.push(CachedDeriv {
+                                        args,
+                                        time: t,
+                                        span_min: mn,
+                                        span_max: mx,
+                                    });
+                                },
+                            );
+                        }
+                    }
+                    // Materialise the deduplicated event set and diff it
+                    // against the previous one for the output frontier.
+                    let old_mat = materialized_events(old_derivs, stratum.symbol, start);
+                    let new_mat = materialized_events(&new_derivs, stratum.symbol, start);
+                    frontiers.insert(stratum.symbol, first_event_divergence(&old_mat, &new_mat));
+                    if !new_derivs.is_empty() {
+                        new_event_cache.insert(stratum.symbol, new_derivs);
+                    }
+                    derived_events_all.extend(new_mat.iter().cloned());
+                    events.add_derived(new_mat);
                 }
                 HeadKind::SimpleFluent => {
-                    let rules: Vec<&SimpleFluentRule> =
-                        stratum.rule_indices.iter().map(|&i| &self.ruleset.sf_rules[i]).collect();
-                    let ctx = EvalCtx {
-                        events: &events,
-                        obs: &obs,
-                        fluents: &fluents,
-                        relations: &self.relations,
-                        builtins: &self.builtins,
-                        input_fluents: &self.ruleset.input_fluents,
-                    };
-                    let computed = eval_simple_fluent_stratum(
-                        stratum.symbol,
-                        &rules,
-                        &ctx,
-                        &self.prev_fluents,
-                        start,
-                    );
-                    for (key, ivs) in computed {
+                    let sym = stratum.symbol;
+                    // Fresh initiation/termination points from the delta.
+                    let mut fresh: HashMap<(Vec<Term>, Term), Vec<CachedPoint>> = HashMap::new();
+                    if frontier < TIME_MAX {
+                        strata_evaluated += 1;
+                        for &i in &stratum.rule_indices {
+                            let rule = &self.ruleset.sf_rules[i];
+                            solve_frontier(
+                                &ctx,
+                                &rule.body,
+                                &self.sf_pivots[i],
+                                rule.n_vars,
+                                frontier,
+                                start,
+                                &mut |b, spans| {
+                                    let t = b
+                                        .get(rule.time)
+                                        .and_then(term_time)
+                                        .expect("head time bound (validated at build)");
+                                    let args = instantiate_args(&rule.head.args, b);
+                                    let value = match &rule.head.value {
+                                        ArgPat::Const(c) => c.clone(),
+                                        ArgPat::Var(v) => {
+                                            b.get(*v).expect("head value bound").clone()
+                                        }
+                                        ArgPat::Any => unreachable!("validated at build"),
+                                    };
+                                    let (mn, mx) = span_bounds(spans);
+                                    fresh.entry((args, value)).or_default().push(CachedPoint {
+                                        kind: rule.kind,
+                                        time: t,
+                                        span_min: mn,
+                                        span_max: mx,
+                                    });
+                                },
+                            );
+                        }
+                    }
+
+                    // Grounding universe: groundings with fresh or cached
+                    // points, plus groundings carried by inertia.
+                    let empty_pts: HashMap<(Vec<Term>, Term), Vec<CachedPoint>> = HashMap::new();
+                    let old_pts_all = self.points_cache.get(&sym).unwrap_or(&empty_pts);
+                    let mut keys: BTreeSet<(Vec<Term>, Term)> = fresh.keys().cloned().collect();
+                    keys.extend(old_pts_all.keys().cloned());
+                    for (name, args, value) in self.prev_fluents.keys() {
+                        if *name == sym {
+                            keys.insert((args.clone(), value.clone()));
+                        }
+                    }
+
+                    let mut new_pts_map: HashMap<(Vec<Term>, Term), Vec<CachedPoint>> =
+                        HashMap::new();
+                    let mut f_out = TIME_MAX;
+                    for key in keys {
+                        let old_pts: &[CachedPoint] =
+                            old_pts_all.get(&key).map(Vec::as_slice).unwrap_or(&[]);
+                        let mut new_pts: Vec<CachedPoint> = old_pts
+                            .iter()
+                            .filter(|p| p.span_min > start && p.span_max < frontier)
+                            .cloned()
+                            .collect();
+                        if let Some(f) = fresh.remove(&key) {
+                            new_pts.extend(f);
+                        }
+                        // `from_points` has set semantics, so compare the
+                        // in-window point sets to decide whether the grounding
+                        // changed at all.
+                        let old_set: BTreeSet<(Time, bool)> = old_pts
+                            .iter()
+                            .filter(|p| p.time > start)
+                            .map(|p| (p.time, matches!(p.kind, SfKind::Initiated)))
+                            .collect();
+                        let new_set: BTreeSet<(Time, bool)> = new_pts
+                            .iter()
+                            .map(|p| (p.time, matches!(p.kind, SfKind::Initiated)))
+                            .collect();
+                        let full_key: FluentKey = (sym, key.0.clone(), key.1.clone());
+                        let prev_out = self.prev_fluents.get(&full_key);
+                        let ivs = if old_set == new_set && !full_eval {
+                            // Unchanged in-window points: the previous
+                            // intervals clipped to the new window start are
+                            // exactly what a recompute would produce.
+                            prev_out.map(|l| l.after(start)).unwrap_or_default()
+                        } else {
+                            let initially = prev_out.is_some_and(|l| l.contains(start));
+                            if !new_set.is_empty() || initially {
+                                groundings_recomputed += 1;
+                            }
+                            let inits: Vec<Time> =
+                                new_set.iter().filter(|(_, init)| *init).map(|(t, _)| *t).collect();
+                            let terms: Vec<Time> = new_set
+                                .iter()
+                                .filter(|(_, init)| !*init)
+                                .map(|(t, _)| *t)
+                                .collect();
+                            let computed =
+                                IntervalList::from_points(&inits, &terms, initially, start);
+                            let old_clamped = prev_out.map(|l| l.after(start)).unwrap_or_default();
+                            if let Some(d) = old_clamped.first_divergence(&computed) {
+                                f_out = f_out.min(d);
+                            }
+                            computed
+                        };
                         if !ivs.is_empty() {
                             fluents.insert(
-                                key.0,
+                                sym,
                                 FluentEntry {
-                                    args: key.1.clone(),
-                                    value: key.2.clone(),
+                                    args: key.0.clone(),
+                                    value: key.1.clone(),
                                     ivs: ivs.clone(),
                                 },
                             );
-                            new_cache.insert(key, ivs);
+                            new_prev_fluents.insert(full_key, ivs);
+                        }
+                        if !new_pts.is_empty() {
+                            new_pts_map.insert(key, new_pts);
                         }
                     }
+                    if !new_pts_map.is_empty() {
+                        new_points_cache.insert(sym, new_pts_map);
+                    }
+                    frontiers.insert(sym, f_out);
                 }
                 HeadKind::StaticFluent => {
-                    let rules: Vec<&StaticRule> = stratum
-                        .rule_indices
-                        .iter()
-                        .map(|&i| &self.ruleset.static_rules[i])
-                        .collect();
-                    let ctx = EvalCtx {
-                        events: &events,
-                        obs: &obs,
-                        fluents: &fluents,
-                        relations: &self.relations,
-                        builtins: &self.builtins,
-                        input_fluents: &self.ruleset.input_fluents,
-                    };
-                    let computed = eval_static_stratum(&rules, &ctx);
-                    for (key, ivs) in computed {
-                        if !ivs.is_empty() {
-                            fluents.insert(key.0, FluentEntry { args: key.1, value: key.2, ivs });
+                    let sym = stratum.symbol;
+                    if frontier == TIME_MAX && self.static_pure[si] {
+                        // Clean dependencies and a pure relation/guard
+                        // domain: every grounding's interval expression
+                        // distributes over the window clip, so the cached
+                        // result clamped to the new start is exact.
+                        for (key, ivs) in &self.prev_static {
+                            if key.0 != sym {
+                                continue;
+                            }
+                            let clamped = ivs.after(start);
+                            if !clamped.is_empty() {
+                                fluents.insert(
+                                    sym,
+                                    FluentEntry {
+                                        args: key.1.clone(),
+                                        value: key.2.clone(),
+                                        ivs: clamped.clone(),
+                                    },
+                                );
+                                new_prev_static.insert(key.clone(), clamped);
+                            }
                         }
+                        frontiers.insert(sym, TIME_MAX);
+                    } else {
+                        strata_evaluated += 1;
+                        let rules: Vec<&StaticRule> = stratum
+                            .rule_indices
+                            .iter()
+                            .map(|&i| &self.ruleset.static_rules[i])
+                            .collect();
+                        let computed: HashMap<FluentKey, IntervalList> =
+                            eval_static_stratum(&rules, &ctx).into_iter().collect();
+                        groundings_recomputed += computed.len();
+                        let mut f_out = TIME_MAX;
+                        for (key, old) in &self.prev_static {
+                            if key.0 != sym || computed.contains_key(key) {
+                                continue;
+                            }
+                            // Grounding disappeared entirely.
+                            if let Some(d) =
+                                old.after(start).first_divergence(&IntervalList::empty())
+                            {
+                                f_out = f_out.min(d);
+                            }
+                        }
+                        for (key, ivs) in computed {
+                            let old_clamped = self
+                                .prev_static
+                                .get(&key)
+                                .map(|l| l.after(start))
+                                .unwrap_or_default();
+                            if let Some(d) = old_clamped.first_divergence(&ivs) {
+                                f_out = f_out.min(d);
+                            }
+                            if !ivs.is_empty() {
+                                fluents.insert(
+                                    sym,
+                                    FluentEntry {
+                                        args: key.1.clone(),
+                                        value: key.2.clone(),
+                                        ivs: ivs.clone(),
+                                    },
+                                );
+                                new_prev_static.insert(key, ivs);
+                            }
+                        }
+                        frontiers.insert(sym, f_out);
                     }
                 }
             }
         }
 
-        self.prev_fluents = new_cache;
+        self.event_cache = new_event_cache;
+        self.points_cache = new_points_cache;
+        self.prev_fluents = new_prev_fluents;
+        self.prev_static = new_prev_static;
         self.last_query = Some(q);
+        if self.first_query.is_none() {
+            self.first_query = Some(q);
+        }
 
         derived_events_all.sort_by_key(|a| (a.time, a.kind));
         let evaluation = evaluation_started.elapsed();
@@ -578,9 +1045,89 @@ impl Engine {
             query_time: q,
             window_start: start,
             sde_count,
-            timing: QueryTiming { total: query_started.elapsed(), windowing, evaluation },
+            timing: QueryTiming {
+                total: query_started.elapsed(),
+                windowing,
+                evaluation,
+                strata_evaluated,
+                groundings_recomputed,
+            },
             fluents,
         })
+    }
+}
+
+/// Min/max of the evidence times on one solution path. Every rule body has
+/// at least one `happensAt` condition (validated at build), so the span is
+/// never empty.
+fn span_bounds(spans: &[Time]) -> (Time, Time) {
+    let mut mn = TIME_MAX;
+    let mut mx = TIME_MIN;
+    for &t in spans {
+        mn = mn.min(t);
+        mx = mx.max(t);
+    }
+    debug_assert!(mn <= mx, "evidence span must be non-empty");
+    (mn, mx)
+}
+
+/// Deduplicates cached derivations into the concrete time-sorted event set
+/// visible downstream, keeping only events after the window start.
+fn materialized_events(derivs: &[CachedDeriv], kind: Symbol, after: Time) -> Vec<Event> {
+    let mut set: BTreeSet<(Time, &Vec<Term>)> = BTreeSet::new();
+    for d in derivs {
+        if d.time > after {
+            set.insert((d.time, &d.args));
+        }
+    }
+    set.into_iter().map(|(time, args)| Event { kind, args: args.clone(), time }).collect()
+}
+
+/// Earliest time at which two materialised event sets (both sorted by
+/// `(time, args)`) differ; `TIME_MAX` when identical.
+fn first_event_divergence(a: &[Event], b: &[Event]) -> Time {
+    let (mut i, mut j) = (0, 0);
+    loop {
+        match (a.get(i), b.get(j)) {
+            (Some(x), Some(y)) => {
+                if x.time == y.time && x.args == y.args {
+                    i += 1;
+                    j += 1;
+                } else {
+                    return x.time.min(y.time);
+                }
+            }
+            (Some(x), None) => return x.time,
+            (None, Some(y)) => return y.time,
+            (None, None) => return TIME_MAX,
+        }
+    }
+}
+
+/// Solves one rule body relative to a change frontier: a full solve when the
+/// frontier is at or below the window start (nothing cacheable), otherwise
+/// one pivoted pass per happens atom enumerating exactly the derivations
+/// that touch the delta.
+fn solve_frontier(
+    ctx: &EvalCtx<'_>,
+    body: &[BodyAtom],
+    plans: &[PivotPlan],
+    n_vars: usize,
+    frontier: Time,
+    window_start: Time,
+    out: &mut dyn FnMut(&mut Bindings, &[Time]),
+) {
+    if frontier <= window_start {
+        let roles = vec![HappensRole::Free; body.len()];
+        let mut b = Bindings::new(n_vars);
+        let mut spans = Vec::new();
+        solve_spanned(ctx, body, &roles, TIME_MIN, &mut b, &mut spans, out);
+    } else {
+        for plan in plans {
+            let mut b = Bindings::new(n_vars);
+            let mut spans = Vec::new();
+            solve_spanned(ctx, &plan.atoms, &plan.roles, frontier, &mut b, &mut spans, out);
+        }
     }
 }
 
@@ -664,20 +1211,61 @@ fn solve(
     b: &mut Bindings,
     out: &mut dyn FnMut(&mut Bindings),
 ) {
+    let roles = vec![HappensRole::Free; atoms.len()];
+    let mut spans = Vec::new();
+    solve_spanned(ctx, atoms, &roles, TIME_MIN, b, &mut spans, &mut |b, _| out(b));
+}
+
+/// Sub-range of a time-sorted index list whose events fall in `[lo, hi]`.
+fn bounded_idx_range(idxs: &[u32], items: &[Event], lo: Time, hi: Time) -> std::ops::Range<usize> {
+    let a = idxs.partition_point(|&i| items[i as usize].time < lo);
+    let z = idxs.partition_point(|&i| items[i as usize].time <= hi);
+    a..z
+}
+
+/// Depth-first body resolution tracking the evidence times of the current
+/// partial solution in `spans` (every matched event time and every fluent
+/// read time). `roles` constrains each happens atom relative to `frontier`:
+/// a `Pivot` atom must match at or after it, a `Before` atom strictly below
+/// it, and `Free` atoms are unconstrained.
+fn solve_spanned(
+    ctx: &EvalCtx<'_>,
+    atoms: &[BodyAtom],
+    roles: &[HappensRole],
+    frontier: Time,
+    b: &mut Bindings,
+    spans: &mut Vec<Time>,
+    out: &mut dyn FnMut(&mut Bindings, &[Time]),
+) {
     let Some((atom, rest)) = atoms.split_first() else {
-        out(b);
+        out(b, spans);
         return;
     };
+    let (role, rest_roles) = (roles[0], &roles[1..]);
     match atom {
         BodyAtom::Happens { pat, time } => {
             let Some(ks) = ctx.events.by_kind.get(&pat.kind) else { return };
+            let (lo, hi) = match role {
+                HappensRole::Pivot => (frontier, TIME_MAX),
+                HappensRole::Before => (TIME_MIN, frontier.saturating_sub(1)),
+                HappensRole::Free => (TIME_MIN, TIME_MAX),
+            };
+            if lo > hi {
+                return;
+            }
             // Narrow enumeration by bound time, else by bound first arg.
             if let Some(t) = b.get(*time).and_then(term_time) {
-                // Clone candidates? No — use index ranges.
-                let lo = ks.items.partition_point(|e| e.time < t);
-                let hi = ks.items.partition_point(|e| e.time <= t);
-                for e in &ks.items[lo..hi] {
-                    with_event_match(pat, *time, e, b, &mut |b| solve(ctx, rest, b, out));
+                if t < lo || t > hi {
+                    return;
+                }
+                let a = ks.items.partition_point(|e| e.time < t);
+                let z = ks.items.partition_point(|e| e.time <= t);
+                for e in &ks.items[a..z] {
+                    spans.push(e.time);
+                    with_event_match(pat, *time, e, b, &mut |b| {
+                        solve_spanned(ctx, rest, rest_roles, frontier, b, spans, out)
+                    });
+                    spans.pop();
                 }
             } else {
                 let first_bound: Option<Term> = match pat.args.first() {
@@ -688,17 +1276,25 @@ fn solve(
                 match first_bound {
                     Some(first) => {
                         if let Some(idxs) = ks.by_first.get(&first) {
-                            for &i in idxs {
+                            for &i in &idxs[bounded_idx_range(idxs, &ks.items, lo, hi)] {
                                 let e = &ks.items[i as usize];
+                                spans.push(e.time);
                                 with_event_match(pat, *time, e, b, &mut |b| {
-                                    solve(ctx, rest, b, out)
+                                    solve_spanned(ctx, rest, rest_roles, frontier, b, spans, out)
                                 });
+                                spans.pop();
                             }
                         }
                     }
                     None => {
-                        for e in &ks.items {
-                            with_event_match(pat, *time, e, b, &mut |b| solve(ctx, rest, b, out));
+                        let a = ks.items.partition_point(|e| e.time < lo);
+                        let z = ks.items.partition_point(|e| e.time <= hi);
+                        for e in &ks.items[a..z] {
+                            spans.push(e.time);
+                            with_event_match(pat, *time, e, b, &mut |b| {
+                                solve_spanned(ctx, rest, rest_roles, frontier, b, spans, out)
+                            });
+                            spans.pop();
                         }
                     }
                 }
@@ -706,17 +1302,21 @@ fn solve(
         }
         BodyAtom::Holds { pat, time, negated } => {
             let Some(t) = b.get(*time).and_then(term_time) else { return };
+            spans.push(t);
+            let mut cont =
+                |b: &mut Bindings| solve_spanned(ctx, rest, rest_roles, frontier, b, spans, out);
             if ctx.input_fluents.contains_key(&pat.name) {
-                solve_holds_input(ctx, pat, t, *negated, b, rest, out);
+                solve_holds_input(ctx, pat, t, *negated, b, &mut cont);
             } else {
-                solve_holds_derived(ctx, pat, t, *negated, b, rest, out);
+                solve_holds_derived(ctx, pat, t, *negated, b, &mut cont);
             }
+            spans.pop();
         }
         BodyAtom::Relation { name, args } => {
             if let Some(tuples) = ctx.relations.get(name) {
                 for tuple in tuples {
                     if let Some(bound) = match_args(args, tuple, b) {
-                        solve(ctx, rest, b, out);
+                        solve_spanned(ctx, rest, rest_roles, frontier, b, spans, out);
                         unbind_all(&bound, b);
                     }
                 }
@@ -727,13 +1327,13 @@ fn solve(
             let resolved: Option<Vec<Term>> = args.iter().map(|a| resolve(a, b)).collect();
             if let Some(terms) = resolved {
                 if f(&terms) {
-                    solve(ctx, rest, b, out);
+                    solve_spanned(ctx, rest, rest_roles, frontier, b, spans, out);
                 }
             }
         }
         BodyAtom::Guard(g) => {
             if eval_guard(g, b) {
-                solve(ctx, rest, b, out);
+                solve_spanned(ctx, rest, rest_roles, frontier, b, spans, out);
             }
         }
     }
@@ -745,12 +1345,11 @@ fn solve_holds_input(
     t: Time,
     negated: bool,
     b: &mut Bindings,
-    rest: &[BodyAtom],
-    out: &mut dyn FnMut(&mut Bindings),
+    cont: &mut dyn FnMut(&mut Bindings),
 ) {
     let Some(ks) = ctx.obs.by_name.get(&pat.name) else {
         if negated {
-            solve(ctx, rest, b, out);
+            cont(b);
         }
         return;
     };
@@ -775,7 +1374,7 @@ fn solve_holds_input(
             None => false,
         });
         if !exists {
-            solve(ctx, rest, b, out);
+            cont(b);
         }
         return;
     }
@@ -784,7 +1383,7 @@ fn solve_holds_input(
             if let Some(bound_val) =
                 match_args(std::slice::from_ref(&pat.value), std::slice::from_ref(&o.value), b)
             {
-                solve(ctx, rest, b, out);
+                cont(b);
                 unbind_all(&bound_val, b);
             }
             unbind_all(&bound_args, b);
@@ -817,8 +1416,7 @@ fn solve_holds_derived(
     t: Time,
     negated: bool,
     b: &mut Bindings,
-    rest: &[BodyAtom],
-    out: &mut dyn FnMut(&mut Bindings),
+    cont: &mut dyn FnMut(&mut Bindings),
 ) {
     let entries = ctx.fluents.entries(pat.name);
     // Narrow by a bound first argument where possible.
@@ -845,7 +1443,7 @@ fn solve_holds_derived(
             }
         };
         if !exists {
-            solve(ctx, rest, b, out);
+            cont(b);
         }
         return;
     }
@@ -858,7 +1456,7 @@ fn solve_holds_derived(
             if let Some(bound_val) =
                 match_args(std::slice::from_ref(&pat.value), std::slice::from_ref(&e.value), b)
             {
-                solve(ctx, rest, b, out);
+                cont(b);
                 unbind_all(&bound_val, b);
             }
             unbind_all(&bound_args, b);
@@ -894,74 +1492,6 @@ fn instantiate_args(pats: &[ArgPat], b: &Bindings) -> Vec<Term> {
 // ---------------------------------------------------------------------------
 // Stratum evaluation
 // ---------------------------------------------------------------------------
-
-fn eval_event_stratum(rules: &[&EventRule], ctx: &EvalCtx<'_>) -> Vec<Event> {
-    let mut seen: HashSet<(Symbol, Vec<Term>, Time)> = HashSet::new();
-    let mut events = Vec::new();
-    for rule in rules {
-        let mut b = Bindings::new(rule.n_vars);
-        solve(ctx, &rule.body, &mut b, &mut |b| {
-            let t =
-                b.get(rule.time).and_then(term_time).expect("head time bound (validated at build)");
-            let args = instantiate_args(&rule.head.args, b);
-            if seen.insert((rule.head.kind, args.clone(), t)) {
-                events.push(Event { kind: rule.head.kind, args, time: t });
-            }
-        });
-    }
-    events
-}
-
-/// Initiation/termination time-points collected per fluent grounding.
-type PointsByGrounding = HashMap<(Vec<Term>, Term), (Vec<Time>, Vec<Time>)>;
-
-fn eval_simple_fluent_stratum(
-    symbol: Symbol,
-    rules: &[&SimpleFluentRule],
-    ctx: &EvalCtx<'_>,
-    prev: &HashMap<FluentKey, IntervalList>,
-    window_start: Time,
-) -> Vec<(FluentKey, IntervalList)> {
-    // Collect initiation/termination points per grounding.
-    let mut points: PointsByGrounding = HashMap::new();
-    for rule in rules {
-        let mut b = Bindings::new(rule.n_vars);
-        solve(ctx, &rule.body, &mut b, &mut |b| {
-            let t =
-                b.get(rule.time).and_then(term_time).expect("head time bound (validated at build)");
-            let args = instantiate_args(&rule.head.args, b);
-            let value = match &rule.head.value {
-                ArgPat::Const(c) => c.clone(),
-                ArgPat::Var(v) => b.get(*v).expect("head value bound").clone(),
-                ArgPat::Any => unreachable!("validated at build"),
-            };
-            let entry = points.entry((args, value)).or_default();
-            match rule.kind {
-                SfKind::Initiated => entry.0.push(t),
-                SfKind::Terminated => entry.1.push(t),
-            }
-        });
-    }
-
-    // Groundings to (re)compute: those with points now, plus cached
-    // groundings of this fluent that still hold at the window start.
-    let mut keys: HashSet<(Vec<Term>, Term)> = points.keys().cloned().collect();
-    for ((name, args, value), ivs) in prev {
-        if *name == symbol && ivs.contains(window_start) {
-            keys.insert((args.clone(), value.clone()));
-        }
-    }
-
-    let mut out = Vec::with_capacity(keys.len());
-    for key in keys {
-        let (inits, terms) = points.get(&key).cloned().unwrap_or_default();
-        let full_key: FluentKey = (symbol, key.0.clone(), key.1.clone());
-        let initially = prev.get(&full_key).is_some_and(|l| l.contains(window_start));
-        let ivs = IntervalList::from_points(&inits, &terms, initially, window_start);
-        out.push((full_key, ivs));
-    }
-    out
-}
 
 fn eval_interval_expr(expr: &IntervalExpr, b: &Bindings, fluents: &FluentStore) -> IntervalList {
     match expr {
@@ -1534,5 +2064,139 @@ mod tests {
         assert_eq!(l5.as_slice(), &[crate::interval::Interval::span(10, 50)]);
         let l9 = rec.intervals_of("level", &[Term::int(1)], &Term::int(9)).unwrap();
         assert_eq!(l9.as_slice(), &[crate::interval::Interval::open_from(50)]);
+    }
+
+    #[test]
+    fn initially_after_first_query_reports_start_time() {
+        let mut e = Engine::new(on_off_ruleset(), WindowConfig::new(100, 100).unwrap());
+        e.query(100).unwrap();
+        let err = e.set_initially("on", vec![Term::sym("x")], Term::truth()).unwrap_err();
+        assert_eq!(err, RtecError::EngineAlreadyStarted { first_query: 100 });
+        assert_eq!(
+            err.to_string(),
+            "operation must precede the first query (recognition started at 100)"
+        );
+    }
+
+    #[test]
+    fn no_delta_tick_reuses_all_cached_results() {
+        let mut e = Engine::new(on_off_ruleset(), WindowConfig::new(100, 50).unwrap());
+        e.add_event(Event::new("switch_on", [Term::sym("lamp")], 10)).unwrap();
+        let rec = e.query(100).unwrap();
+        assert!(rec.timing.strata_evaluated > 0);
+        // Second query: the one buffered event was already seen and nothing
+        // new arrived, so no stratum is re-solved and no grounding rebuilt.
+        let rec = e.query(150).unwrap();
+        assert_eq!(rec.timing.strata_evaluated, 0);
+        assert_eq!(rec.timing.groundings_recomputed, 0);
+        assert!(rec.holds_at("on", &[Term::sym("lamp")], &Term::truth(), 120));
+    }
+
+    #[test]
+    fn amendment_at_window_start_forces_full_recompute() {
+        let mut e = Engine::new(on_off_ruleset(), WindowConfig::new(100, 50).unwrap());
+        e.add_event(Event::new("switch_on", [Term::sym("lamp")], 60)).unwrap();
+        e.query(100).unwrap();
+        // A late event lands at the earliest still-visible time of the next
+        // window (just above its start at 50): the frontier drops below all
+        // cached evidence, so the affected stratum recomputes its grounding.
+        e.add_stamped_event(Stamped::arriving_at(
+            Event::new("switch_off", [Term::sym("lamp")], 51),
+            140,
+        ))
+        .unwrap();
+        let rec = e.query(150).unwrap();
+        assert_eq!(rec.timing.strata_evaluated, 1);
+        assert_eq!(rec.timing.groundings_recomputed, 1);
+        let ivs = rec.intervals_of("on", &[Term::sym("lamp")], &Term::truth()).unwrap();
+        assert_eq!(ivs.as_slice(), &[crate::interval::Interval::open_from(60)]);
+    }
+
+    #[test]
+    fn incremental_matches_full_reevaluation_on_random_schedules() {
+        // Differential test: the incremental engine must be indistinguishable
+        // from full re-evaluation over arbitrary arrival schedules, including
+        // delayed events amended into overlapping windows.
+        let mut seed: u64 = 0x9e3779b97f4a7c15;
+        let mut next = move || {
+            // xorshift64* — deterministic, dependency-free pseudo-randomness.
+            seed ^= seed >> 12;
+            seed ^= seed << 25;
+            seed ^= seed >> 27;
+            seed.wrapping_mul(0x2545f4914f6cdd1d)
+        };
+        // delayIncrease (two-happens join + guards) feeding an inertial
+        // fluent terminated by low-delay moves.
+        let ruleset = || {
+            let mut b = RuleSetBuilder::new();
+            b.declare_event("move", 2);
+            let bus = b.var("Bus");
+            let d1 = b.var("D1");
+            let d2 = b.var("D2");
+            let t1 = b.var("T1");
+            let t2 = b.var("T2");
+            b.derived_event(
+                event_head("delayIncrease", [pat(bus)]),
+                t2,
+                [
+                    happens(event_pat("move", [pat(bus), pat(d1)]), t1),
+                    happens(event_pat("move", [pat(bus), pat(d2)]), t2),
+                    guard(cmp(NumExpr::sub(d2.into(), d1.into()), CmpOp::Gt, 300.0)),
+                    guard(cmp(NumExpr::sub(t2.into(), t1.into()), CmpOp::Gt, 0.0)),
+                    guard(cmp(NumExpr::sub(t2.into(), t1.into()), CmpOp::Lt, 60.0)),
+                ],
+            );
+            let t3 = b.var("T3");
+            b.initiated(
+                fluent("congested", [pat(bus)], val(true)),
+                t3,
+                [happens(event_pat("delayIncrease", [pat(bus)]), t3)],
+            );
+            let t4 = b.var("T4");
+            let d3 = b.var("D3");
+            b.terminated(
+                fluent("congested", [pat(bus)], val(true)),
+                t4,
+                [
+                    happens(event_pat("move", [pat(bus), pat(d3)]), t4),
+                    guard(cmp(d3, CmpOp::Lt, 100.0)),
+                ],
+            );
+            b.build().unwrap()
+        };
+        for _case in 0..20 {
+            let mut inc = Engine::new(ruleset(), WindowConfig::new(80, 40).unwrap());
+            let mut full = Engine::new(ruleset(), WindowConfig::new(80, 40).unwrap());
+            full.set_incremental(false);
+            let n_events = 10 + (next() % 30) as i64;
+            for _ in 0..n_events {
+                let bus = Term::sym(if next() % 2 == 0 { "b1" } else { "b2" });
+                let t = (next() % 400) as Time;
+                let delay = (next() % 800) as i64;
+                let arrival = t + (next() % 120) as Time;
+                let ev = Event::new("move", [bus, Term::int(delay)], t);
+                inc.add_stamped_event(Stamped::arriving_at(ev.clone(), arrival)).unwrap();
+                full.add_stamped_event(Stamped::arriving_at(ev, arrival)).unwrap();
+            }
+            for q in (40..=520).step_by(40) {
+                let a = inc.query(q).unwrap();
+                let b = full.query(q).unwrap();
+                assert_eq!(a.derived_events, b.derived_events, "events diverged at q={q}");
+                let name = "congested";
+                let mut ga: Vec<_> = a
+                    .fluent_entries(name)
+                    .iter()
+                    .map(|e| (e.args.clone(), e.value.clone(), e.ivs.clone()))
+                    .collect();
+                let mut gb: Vec<_> = b
+                    .fluent_entries(name)
+                    .iter()
+                    .map(|e| (e.args.clone(), e.value.clone(), e.ivs.clone()))
+                    .collect();
+                ga.sort_by(|x, y| (&x.0, &x.1).cmp(&(&y.0, &y.1)));
+                gb.sort_by(|x, y| (&x.0, &x.1).cmp(&(&y.0, &y.1)));
+                assert_eq!(ga, gb, "fluent `{name}` diverged at q={q}");
+            }
+        }
     }
 }

@@ -48,6 +48,12 @@ pub enum RtecError {
         /// Description of the problem.
         detail: String,
     },
+    /// An operation that must precede the first query (e.g. `set_initially`)
+    /// was attempted after recognition had already started.
+    EngineAlreadyStarted {
+        /// The first query time the engine answered.
+        first_query: crate::time::Time,
+    },
     /// A query time was not ahead of the previous query time.
     NonMonotonicQuery {
         /// The previous query time.
@@ -93,6 +99,10 @@ impl fmt::Display for RtecError {
             RtecError::UnknownBuiltin { name } => write!(f, "unknown builtin predicate `{name}`"),
             RtecError::UnknownRelation { name } => write!(f, "unknown relation `{name}`"),
             RtecError::InvalidWindow { detail } => write!(f, "invalid window: {detail}"),
+            RtecError::EngineAlreadyStarted { first_query } => write!(
+                f,
+                "operation must precede the first query (recognition started at {first_query})"
+            ),
             RtecError::NonMonotonicQuery { previous, requested } => write!(
                 f,
                 "query times must be strictly increasing (previous {previous}, requested {requested})"

@@ -319,6 +319,29 @@ impl IntervalList {
         result
     }
 
+    /// Earliest time at which `self` and `other` disagree about membership,
+    /// or `None` when the lists are identical. Used by the incremental engine
+    /// to propagate the smallest change frontier downstream.
+    pub fn first_divergence(&self, other: &IntervalList) -> Option<Time> {
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            let (a, b) = (&self.items[i], &other.items[j]);
+            if a.start != b.start {
+                return Some(a.start.min(b.start));
+            }
+            if a.end_raw != b.end_raw {
+                return Some(a.end_raw.min(b.end_raw));
+            }
+            i += 1;
+            j += 1;
+        }
+        match (self.items.get(i), other.items.get(j)) {
+            (Some(a), None) => Some(a.start),
+            (None, Some(b)) => Some(b.start),
+            _ => None,
+        }
+    }
+
     /// `union_all(L, I)`: union of several interval lists (Table 1).
     pub fn union_all<'a, I: IntoIterator<Item = &'a IntervalList>>(lists: I) -> IntervalList {
         IntervalList::from_intervals(lists.into_iter().flat_map(|l| l.items.iter().copied()))

@@ -36,7 +36,7 @@ pub struct Stratum {
     pub rule_indices: Vec<usize>,
 }
 
-fn body_deps(body: &[BodyAtom], out: &mut HashSet<Symbol>) {
+pub(crate) fn body_deps(body: &[BodyAtom], out: &mut HashSet<Symbol>) {
     for atom in body {
         match atom {
             BodyAtom::Happens { pat, .. } => {
@@ -98,7 +98,9 @@ pub fn stratify(
                 dependents.entry(d).or_default().push(head);
             } else if d == head && !inputs.contains(&d) {
                 // Self-recursion is a cycle of length one.
-                return Err(RtecError::CyclicRuleSet { cycle: vec![head.as_str(), head.as_str()] });
+                return Err(RtecError::CyclicRuleSet {
+                    cycle: vec![head.as_str().to_string(), head.as_str().to_string()],
+                });
             }
         }
     }
@@ -129,7 +131,7 @@ pub fn stratify(
 
     if order.len() != derived.len() {
         let mut cycle: Vec<String> =
-            derived.iter().filter(|s| !order.contains(s)).map(|s| s.as_str()).collect();
+            derived.iter().filter(|s| !order.contains(s)).map(|s| s.as_str().to_string()).collect();
         cycle.sort();
         return Err(RtecError::CyclicRuleSet { cycle });
     }

@@ -18,8 +18,8 @@ use std::sync::{OnceLock, RwLock};
 pub struct Symbol(u32);
 
 struct Interner {
-    lookup: HashMap<Box<str>, u32>,
-    strings: Vec<Box<str>>,
+    lookup: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
 }
 
 static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
@@ -42,15 +42,19 @@ impl Symbol {
             return Symbol(id);
         }
         let id = u32::try_from(guard.strings.len()).expect("interner overflow");
-        guard.strings.push(text.into());
-        guard.lookup.insert(text.into(), id);
+        // The arena is process-global and append-only, so leaking each
+        // distinct string once makes `as_str` a borrow instead of an
+        // allocation on every call.
+        let stored: &'static str = Box::leak(text.into());
+        guard.strings.push(stored);
+        guard.lookup.insert(stored, id);
         Symbol(id)
     }
 
-    /// Returns the interned text.
-    pub fn as_str(&self) -> String {
+    /// Returns the interned text, borrowed from the intern arena.
+    pub fn as_str(&self) -> &'static str {
         let guard = interner().read().expect("interner lock poisoned");
-        guard.strings[self.0 as usize].to_string()
+        guard.strings[self.0 as usize]
     }
 }
 

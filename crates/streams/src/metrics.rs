@@ -245,6 +245,9 @@ pub struct QueueMetrics {
     pub send_stalls: Counter,
     /// Total time producers spent blocked on a full queue, nanoseconds.
     pub stall_ns: Counter,
+    /// Sizes of batched transfers (`send_batch`/`recv_batch`). Samples are
+    /// item counts, not nanoseconds; the power-of-two buckets still apply.
+    pub batch_sizes: Histogram,
 }
 
 /// The per-run instrument registry.
@@ -331,6 +334,7 @@ impl MetricsRegistry {
                             received: m.received.get(),
                             send_stalls: m.send_stalls.get(),
                             stall_ns: m.stall_ns.get(),
+                            batch_sizes: m.batch_sizes.snapshot(),
                         },
                     )
                 })
@@ -375,7 +379,7 @@ pub struct StageSnapshot {
 }
 
 /// Plain-data copy of one queue's instruments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueueSnapshot {
     /// Buffered items at snapshot time.
     pub depth: i64,
@@ -389,6 +393,8 @@ pub struct QueueSnapshot {
     pub send_stalls: u64,
     /// Total producer blocking time, nanoseconds.
     pub stall_ns: u64,
+    /// Batched-transfer size distribution (samples are item counts).
+    pub batch_sizes: HistogramSnapshot,
 }
 
 /// Point-in-time copy of a whole [`MetricsRegistry`].
@@ -432,8 +438,21 @@ impl MetricsSnapshot {
             }
             json::escape_into(&mut out, name);
             out.push_str(&format!(
-                ":{{\"depth\":{},\"depth_high_water\":{},\"sent\":{},\"received\":{},\"send_stalls\":{},\"stall_ns\":{}}}",
+                ":{{\"depth\":{},\"depth_high_water\":{},\"sent\":{},\"received\":{},\"send_stalls\":{},\"stall_ns\":{}",
                 q.depth, q.depth_high_water, q.sent, q.received, q.send_stalls, q.stall_ns
+            ));
+            // Batch sizes count items, not nanoseconds, so they get their own
+            // compact object instead of the `*_ns` histogram schema.
+            let b = &q.batch_sizes;
+            out.push_str(&format!(
+                ",\"batch_sizes\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":",
+                b.count, b.sum_ns, b.min_ns, b.max_ns
+            ));
+            json::float_into(&mut out, b.mean_ns());
+            out.push_str(&format!(
+                ",\"p50\":{},\"p99\":{}}}}}",
+                b.quantile_ns(0.50),
+                b.quantile_ns(0.99)
             ));
         }
         out.push_str("},\"counters\":{");
@@ -481,18 +500,19 @@ impl MetricsSnapshot {
         }
         out.push('\n');
         out.push_str(&format!(
-            "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
-            "queue", "sent", "received", "hwm", "stalls", "stall ms"
+            "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9}\n",
+            "queue", "sent", "received", "hwm", "stalls", "stall ms", "avg batch"
         ));
         for (name, q) in &self.queues {
             out.push_str(&format!(
-                "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9.1}\n",
                 name,
                 q.sent,
                 q.received,
                 q.depth_high_water,
                 q.send_stalls,
                 ms(q.stall_ns as f64),
+                q.batch_sizes.mean_ns(),
             ));
         }
         if !self.histograms.is_empty() {
@@ -611,6 +631,7 @@ mod tests {
         r.stage("rtec-north").items_out.add(2);
         r.stage("rtec-north").process_ns.record_ns(2_000_000);
         r.queue("sde-north").sent.add(10);
+        r.queue("sde-north").batch_sizes.record_ns(4);
         r.histogram("rtec.window_ns").record_ns(5_000_000);
         let snap = r.snapshot();
 
@@ -618,6 +639,7 @@ mod tests {
         for needle in [
             "\"stages\":{\"rtec-north\":{\"items_in\":10,\"items_out\":2",
             "\"queues\":{\"sde-north\":{\"depth\":0",
+            "\"batch_sizes\":{\"count\":1,\"sum\":4,\"min\":4,\"max\":4",
             "\"histograms\":{\"rtec.window_ns\":{\"count\":1",
             "\"p99_ns\":",
         ] {

@@ -125,6 +125,46 @@ impl QueueSender {
         true
     }
 
+    /// Sends a batch of items under a single lock acquisition, blocking in
+    /// chunks while the queue is full. Items land in the buffer in vector
+    /// order, indistinguishable from the same sequence of [`QueueSender::send`]
+    /// calls — batching changes lock traffic, never observable FIFO order.
+    /// Returns `false` (discarding the remainder) if the consumer is gone.
+    pub fn send_batch(&self, items: Vec<DataItem>) -> bool {
+        if items.is_empty() {
+            return true;
+        }
+        let n = items.len();
+        let metrics = &self.shared.metrics;
+        let mut inner = self.shared.inner.lock().unwrap();
+        let mut sent = 0u64;
+        for item in items {
+            if inner.buffer.len() >= self.shared.capacity && inner.consumer_alive {
+                metrics.send_stalls.inc();
+                let stalled_at = Instant::now();
+                while inner.buffer.len() >= self.shared.capacity && inner.consumer_alive {
+                    // The prefix pushed so far has not been announced yet —
+                    // wake the consumer so it can drain and make room.
+                    self.shared.not_empty.notify_one();
+                    inner = self.shared.not_full.wait(inner).unwrap();
+                }
+                metrics.stall_ns.add(stalled_at.elapsed().as_nanos() as u64);
+            }
+            if !inner.consumer_alive {
+                break;
+            }
+            inner.buffer.push_back(item);
+            sent += 1;
+        }
+        if sent > 0 {
+            metrics.sent.add(sent);
+            metrics.depth.add(sent as i64);
+            metrics.batch_sizes.record_ns(sent);
+            self.shared.not_empty.notify_one();
+        }
+        sent == n as u64
+    }
+
     /// Sends one item without blocking. `Ok(true)` means the item was
     /// enqueued; `Ok(false)` means the consumer is gone and the item was
     /// discarded (matching [`QueueSender::send`]); `Err(item)` returns the
@@ -199,6 +239,32 @@ impl QueueReceiver {
         loop {
             if !inner.buffer.is_empty() {
                 return Some(self.pop(&mut inner));
+            }
+            if self.shared.stream_ended(&inner) {
+                return None;
+            }
+            inner = self.shared.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Receives up to `max` items under a single lock acquisition, blocking
+    /// until at least one item is available or the stream ends (`None`). The
+    /// call never waits for a *full* batch: whatever is buffered when the
+    /// first item becomes available is drained, so batching adds no latency
+    /// over repeated [`QueueReceiver::recv`] calls.
+    pub fn recv_batch(&mut self, max: usize) -> Option<Vec<DataItem>> {
+        let max = max.max(1);
+        let mut inner = self.shared.inner.lock().unwrap();
+        loop {
+            if !inner.buffer.is_empty() {
+                let n = inner.buffer.len().min(max);
+                let batch: Vec<DataItem> = inner.buffer.drain(..n).collect();
+                let metrics = &self.shared.metrics;
+                metrics.received.add(n as u64);
+                metrics.depth.add(-(n as i64));
+                metrics.batch_sizes.record_ns(n as u64);
+                self.shared.not_full.notify_all();
+                return Some(batch);
             }
             if self.shared.stream_ended(&inner) {
                 return None;
@@ -455,6 +521,52 @@ mod tests {
         tx.send(DataItem::new().with("n", 1i64));
         drop(rx);
         assert!(!tx.send(DataItem::new().with("n", 2i64)), "consumer is gone");
+    }
+
+    #[test]
+    fn batch_roundtrip_preserves_fifo_and_records_sizes() {
+        let metrics = Arc::new(QueueMetrics::default());
+        let (tx, mut rx) = queue_with_metrics(8, 1, Arc::clone(&metrics));
+        assert!(tx.send_batch((0..5).map(|n| DataItem::new().with("n", n as i64)).collect()));
+        assert!(tx.send_batch(Vec::new()), "empty batch is a no-op");
+        let first = rx.recv_batch(3).unwrap();
+        assert_eq!(first.iter().map(|i| i.get_i64("n").unwrap()).collect::<Vec<_>>(), [0, 1, 2]);
+        let rest = rx.recv_batch(10).unwrap();
+        assert_eq!(rest.iter().map(|i| i.get_i64("n").unwrap()).collect::<Vec<_>>(), [3, 4]);
+        tx.finish();
+        assert!(rx.recv_batch(4).is_none());
+        assert_eq!(metrics.sent.get(), 5);
+        assert_eq!(metrics.received.get(), 5);
+        let sizes = metrics.batch_sizes.snapshot();
+        // One send batch (5) + two recv batches (3, 2); the empty send did
+        // not record a sample.
+        assert_eq!(sizes.count, 3);
+        assert_eq!(sizes.sum_ns, 10);
+        assert_eq!(sizes.max_ns, 5);
+    }
+
+    #[test]
+    fn send_batch_larger_than_capacity_drains_through() {
+        // A batch bigger than the queue must interleave with the consumer
+        // without deadlock and still arrive in order.
+        let (tx, mut rx) = queue(2, 1);
+        let producer = std::thread::spawn(move || {
+            assert!(tx.send_batch((0..20).map(|n| DataItem::new().with("n", n as i64)).collect()));
+            tx.finish();
+        });
+        let mut seen = Vec::new();
+        while let Some(batch) = rx.recv_batch(4) {
+            seen.extend(batch.iter().map(|i| i.get_i64("n").unwrap()));
+        }
+        producer.join().unwrap();
+        assert_eq!(seen, (0..20).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn send_batch_to_dropped_receiver_returns_false() {
+        let (tx, rx) = queue(4, 1);
+        drop(rx);
+        assert!(!tx.send_batch(vec![DataItem::new()]));
     }
 
     #[test]

@@ -178,26 +178,31 @@ impl StepWorker {
     }
 
     /// Delivers outbox items in order until one hits a full queue. Returns
-    /// whether the outbox fully drained.
+    /// whether *any* item was delivered — a partial flush is progress, and
+    /// reporting it as blocked could convince the scheduler of a deadlock
+    /// that the already-polled downstream consumer would have resolved.
     fn flush_outbox(&mut self) -> bool {
+        let mut delivered = false;
         while let Some((idx, item)) = self.outbox.pop_front() {
             match &mut self.worker.outputs[idx] {
                 ProcOutput::Queue(tx) => {
                     if let Err(item) = tx.try_send(item) {
                         self.outbox.push_front((idx, item));
-                        return false;
+                        return delivered;
                     }
+                    delivered = true;
                 }
                 ProcOutput::Sink(s) => {
                     if let Err(e) = s.write_item(item) {
                         self.fail(e);
                         return true;
                     }
+                    delivered = true;
                 }
-                ProcOutput::Discard => {}
+                ProcOutput::Discard => delivered = true,
             }
         }
-        true
+        delivered
     }
 
     fn step(&mut self) -> Step {
@@ -206,34 +211,58 @@ impl StepWorker {
         }
         match self.phase {
             Phase::Pump => {
-                let next = match &mut self.worker.input {
-                    ProcInput::Source(s) => match s.next_item() {
-                        Ok(next) => next,
+                // One step consumes up to `batch_size` items (like the
+                // threaded batched pump, whatever is available counts as a
+                // batch — the step never waits for a full one). With the
+                // default batch size of 1 this is the classic one-item step.
+                let batch = self.worker.batch_size.max(1);
+                let mut drained = Vec::new();
+                let mut ended = false;
+                while drained.len() < batch {
+                    match &mut self.worker.input {
+                        ProcInput::Source(s) => match s.next_item() {
+                            Ok(Some(item)) => drained.push(item),
+                            Ok(None) => {
+                                ended = true;
+                                break;
+                            }
+                            Err(e) => {
+                                self.fail(e);
+                                return Step::Progressed;
+                            }
+                        },
+                        ProcInput::Queue(q) => match q.try_recv() {
+                            TryRecv::Item(item) => drained.push(item),
+                            TryRecv::Ended => {
+                                ended = true;
+                                break;
+                            }
+                            TryRecv::Empty => break,
+                        },
+                    }
+                }
+                if drained.is_empty() && !ended {
+                    return Step::Blocked;
+                }
+                for item in drained {
+                    self.consumed += 1;
+                    self.worker.stage.items_in.inc();
+                    let started = Instant::now();
+                    let out = self.worker.run_chain(0, item);
+                    self.worker.stage.process_ns.record(started.elapsed());
+                    match out {
+                        Ok(Some(out)) => self.emit(out),
+                        Ok(None) => {}
                         Err(e) => {
+                            // The rest of the batch is dropped, exactly like
+                            // the threaded pump unwinding mid-batch.
                             self.fail(e);
                             return Step::Progressed;
                         }
-                    },
-                    ProcInput::Queue(q) => match q.try_recv() {
-                        TryRecv::Item(item) => Some(item),
-                        TryRecv::Ended => None,
-                        TryRecv::Empty => return Step::Blocked,
-                    },
-                };
-                match next {
-                    Some(item) => {
-                        self.consumed += 1;
-                        self.worker.stage.items_in.inc();
-                        let started = Instant::now();
-                        let out = self.worker.run_chain(0, item);
-                        self.worker.stage.process_ns.record(started.elapsed());
-                        match out {
-                            Ok(Some(out)) => self.emit(out),
-                            Ok(None) => {}
-                            Err(e) => self.fail(e),
-                        }
                     }
-                    None => self.phase = Phase::Finish(0),
+                }
+                if ended {
+                    self.phase = Phase::Finish(0);
                 }
                 Step::Progressed
             }

@@ -188,6 +188,7 @@ pub(crate) fn materialize(
             outputs,
             policy: p.fault_policy,
             consecutive_faults: 0,
+            batch_size: p.batch_size,
         });
     }
     // Drop the construction-time sender clones so queues can disconnect.
@@ -204,6 +205,7 @@ pub(crate) struct Worker {
     pub(crate) stage: Arc<StageMetrics>,
     pub(crate) policy: FaultPolicy,
     pub(crate) consecutive_faults: usize,
+    pub(crate) batch_size: usize,
 }
 
 impl Worker {
@@ -224,21 +226,63 @@ impl Worker {
     fn pump(&mut self) -> Result<(u64, u64), StreamsError> {
         let mut consumed = 0u64;
         let mut emitted = 0u64;
-        loop {
-            let next = match &mut self.input {
-                ProcInput::Source(s) => s.next_item()?,
-                ProcInput::Queue(q) => q.recv(),
-            };
-            let Some(item) = next else { break };
-            consumed += 1;
-            self.stage.items_in.inc();
-            let started = Instant::now();
-            let out = self.run_chain(0, item);
-            self.stage.process_ns.record(started.elapsed());
-            if let Some(out) = out? {
-                emitted += 1;
-                self.stage.items_out.inc();
-                emit(&mut self.outputs, out)?;
+        if self.batch_size <= 1 {
+            // Per-item path: one lock round-trip per item, kept verbatim so
+            // the default `batch_size(1)` is bit-identical to the pre-batch
+            // runtime (including metrics: no batch-size samples).
+            loop {
+                let next = match &mut self.input {
+                    ProcInput::Source(s) => s.next_item()?,
+                    ProcInput::Queue(q) => q.recv(),
+                };
+                let Some(item) = next else { break };
+                consumed += 1;
+                self.stage.items_in.inc();
+                let started = Instant::now();
+                let out = self.run_chain(0, item);
+                self.stage.process_ns.record(started.elapsed());
+                if let Some(out) = out? {
+                    emitted += 1;
+                    self.stage.items_out.inc();
+                    emit(&mut self.outputs, out)?;
+                }
+            }
+        } else {
+            // Batched path: drain up to `batch_size` items per input lock,
+            // process them one at a time (identical results), forward the
+            // survivors of each input batch in one batched send.
+            let batch_size = self.batch_size;
+            loop {
+                let next = match &mut self.input {
+                    ProcInput::Source(s) => {
+                        let mut batch = Vec::new();
+                        while batch.len() < batch_size {
+                            match s.next_item()? {
+                                Some(item) => batch.push(item),
+                                None => break,
+                            }
+                        }
+                        (!batch.is_empty()).then_some(batch)
+                    }
+                    ProcInput::Queue(q) => q.recv_batch(batch_size),
+                };
+                let Some(items) = next else { break };
+                let mut survivors = Vec::with_capacity(items.len());
+                for item in items {
+                    consumed += 1;
+                    self.stage.items_in.inc();
+                    let started = Instant::now();
+                    let out = self.run_chain(0, item);
+                    self.stage.process_ns.record(started.elapsed());
+                    if let Some(out) = out? {
+                        emitted += 1;
+                        self.stage.items_out.inc();
+                        survivors.push(out);
+                    }
+                }
+                if !survivors.is_empty() {
+                    emit_batch(&mut self.outputs, survivors)?;
+                }
             }
         }
         // Flush processor chain: finish() items of processor i traverse the
@@ -479,6 +523,29 @@ fn emit(outputs: &mut [ProcOutput], item: DataItem) -> Result<(), StreamsError> 
     deliver(&mut outputs[last], item)
 }
 
+fn deliver_batch(output: &mut ProcOutput, items: Vec<DataItem>) -> Result<(), StreamsError> {
+    match output {
+        ProcOutput::Queue(tx) => {
+            tx.send_batch(items);
+        }
+        ProcOutput::Sink(s) => {
+            for item in items {
+                s.write_item(item)?;
+            }
+        }
+        ProcOutput::Discard => {}
+    }
+    Ok(())
+}
+
+fn emit_batch(outputs: &mut [ProcOutput], items: Vec<DataItem>) -> Result<(), StreamsError> {
+    let Some(last) = outputs.len().checked_sub(1) else { return Ok(()) };
+    for o in &mut outputs[..last] {
+        deliver_batch(o, items.clone())?;
+    }
+    deliver_batch(&mut outputs[last], items)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -714,6 +781,50 @@ mod tests {
         let metrics = rt.metrics();
         rt.run().unwrap();
         assert_eq!(metrics.snapshot().counters["custom.seen"], 3);
+    }
+
+    #[test]
+    fn batched_pipeline_matches_per_item_results() {
+        let build = |batch: usize| {
+            let mut t = Topology::new();
+            t.add_source("nums", numbers(97));
+            t.add_queue("q", 8);
+            t.process("halve")
+                .input(Input::Stream("nums".into()))
+                .processor(FnProcessor::new(|item: DataItem, _| {
+                    Ok((item.get_i64("n").unwrap() % 2 == 0).then_some(item))
+                }))
+                .output(Output::Queue("q".into()))
+                .batch_size(batch)
+                .done();
+            let sink = CollectSink::shared();
+            t.process("collect")
+                .input(Input::Queue("q".into()))
+                .output(Output::Sink(Box::new(sink.clone())))
+                .batch_size(batch)
+                .done();
+            (t, sink)
+        };
+        let mut outcomes = Vec::new();
+        for batch in [1usize, 16] {
+            let (t, sink) = build(batch);
+            let rt = Runtime::new(t);
+            let metrics = rt.metrics();
+            let stats = rt.run().unwrap();
+            let values: Vec<i64> = sink.items().iter().map(|i| i.get_i64("n").unwrap()).collect();
+            let snap = metrics.snapshot();
+            assert_eq!(snap.queues["q"].sent, 49);
+            assert_eq!(snap.queues["q"].received, 49);
+            if batch > 1 {
+                let sizes = &snap.queues["q"].batch_sizes;
+                assert!(sizes.count > 0, "batched transfers were recorded");
+                assert!(sizes.max_ns <= 16, "never exceeds the configured size");
+            } else {
+                assert_eq!(snap.queues["q"].batch_sizes.count, 0, "default records nothing");
+            }
+            outcomes.push((values, stats.per_process["halve"], stats.per_process["collect"]));
+        }
+        assert_eq!(outcomes[0], outcomes[1], "batching never changes results");
     }
 
     #[test]

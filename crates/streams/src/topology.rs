@@ -42,6 +42,7 @@ pub(crate) struct ProcessDef {
     pub(crate) processors: Vec<Box<dyn Processor>>,
     pub(crate) outputs: Vec<Output>,
     pub(crate) fault_policy: FaultPolicy,
+    pub(crate) batch_size: usize,
 }
 
 /// A data-flow graph under construction.
@@ -95,6 +96,7 @@ impl Topology {
                 processors: Vec::new(),
                 outputs: Vec::new(),
                 fault_policy: FaultPolicy::FailFast,
+                batch_size: 1,
             },
             input_set: false,
         }
@@ -224,6 +226,17 @@ impl<'a> ProcessBuilder<'a> {
     pub fn dead_letter(self) -> Self {
         let queue = self.topology.dead_letters.clone();
         self.fault_policy(FaultPolicy::DeadLetter { queue })
+    }
+
+    /// Sets the transfer batch size (default 1). A process with batch size
+    /// `n > 1` drains up to `n` items from its input queue per lock
+    /// acquisition and forwards survivors to queue outputs in one batched
+    /// send. Items are still processed one at a time, so results are
+    /// identical to `batch_size(1)` — only lock traffic changes. Values
+    /// below 1 are clamped to 1.
+    pub fn batch_size(mut self, n: usize) -> Self {
+        self.def.batch_size = n.max(1);
+        self
     }
 
     /// Registers the process with the topology.

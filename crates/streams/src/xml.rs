@@ -350,9 +350,25 @@ pub fn compile_into(
                     Some(spec) => Some(FaultPolicy::parse(spec, &topology.dead_letters())?),
                     None => None,
                 };
+                let batch_size = match child.attr("batch-size") {
+                    Some(raw) => {
+                        Some(raw.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            StreamsError::XmlSemantics {
+                                detail: format!(
+                                    "process `{id}` has an invalid batch-size `{raw}` \
+                                     (expected an integer ≥ 1)"
+                                ),
+                            }
+                        })?)
+                    }
+                    None => None,
+                };
                 let mut builder = topology.process(&id).input(input);
                 if let Some(policy) = policy {
                     builder = builder.fault_policy(policy);
+                }
+                if let Some(n) = batch_size {
+                    builder = builder.batch_size(n);
                 }
                 for proc_el in child.children_named("processor") {
                     let class = proc_el.required_attr("class")?;
@@ -497,6 +513,35 @@ mod tests {
         let mut t = Topology::new();
         let err = compile_into(&mut t, doc, &factories, &mut bound_sinks(&sink)).unwrap_err();
         assert!(matches!(err, StreamsError::XmlSemantics { .. }));
+    }
+
+    #[test]
+    fn batch_size_attribute_is_compiled() {
+        let doc = r#"
+            <container>
+                <queue id="q" capacity="4"/>
+                <process id="p" input="stream:s" output="queue:q" batch-size="16"/>
+                <process id="c" input="queue:q" output="sink:out" batch-size="16"/>
+            </container>
+        "#;
+        let mut t = Topology::new();
+        t.add_source("s", VecSource::new((0..40).map(|i| DataItem::new().with("n", i as i64))));
+        let out = CollectSink::shared();
+        compile_into(&mut t, doc, &default_factories(), &mut bound_sinks(&out)).unwrap();
+        Runtime::new(t).run().unwrap();
+        let values: Vec<i64> = out.items().iter().map(|i| i.get_i64("n").unwrap()).collect();
+        assert_eq!(values, (0..40).collect::<Vec<i64>>(), "batched transfer keeps FIFO order");
+
+        for bad in ["0", "-1", "lots"] {
+            let doc = format!(
+                r#"<container><process id="p" input="stream:s" batch-size="{bad}"/></container>"#
+            );
+            let mut t = Topology::new();
+            let sink = CollectSink::shared();
+            let err = compile_into(&mut t, &doc, &default_factories(), &mut bound_sinks(&sink))
+                .unwrap_err();
+            assert!(err.to_string().contains("batch-size"), "rejects `{bad}`: {err}");
+        }
     }
 
     #[test]

@@ -71,6 +71,14 @@ impl DistributedRecognizer {
         self.partitions.len()
     }
 
+    /// Enables or disables incremental (delta-aware) evaluation on every
+    /// region engine.
+    pub fn set_incremental(&mut self, on: bool) {
+        for (_, rec) in &mut self.partitions {
+            rec.set_incremental(on);
+        }
+    }
+
     /// Routes one SDE to the engine of its region. SDEs of regions without
     /// an engine are dropped (mirrors sensors outside any partition).
     pub fn ingest(&mut self, sde: &Sde) -> Result<(), RtecError> {

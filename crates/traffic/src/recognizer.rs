@@ -112,6 +112,13 @@ impl TrafficRecognizer {
         &self.config
     }
 
+    /// Enables or disables incremental (delta-aware) evaluation on the
+    /// underlying engine. Disabling re-evaluates the full window at every
+    /// query — the reference behaviour, useful for A/B benchmarks.
+    pub fn set_incremental(&mut self, on: bool) {
+        self.engine.set_incremental(on);
+    }
+
     /// Ingests one scenario SDE (move+gps or traffic), preserving its
     /// arrival time.
     pub fn ingest(&mut self, record: &Sde) -> Result<(), RtecError> {
