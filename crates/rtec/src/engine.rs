@@ -438,7 +438,11 @@ pub struct Engine {
     /// Whether every rule of the stratum can be evaluated by happens-time
     /// pivoting (all `Holds` times are happens times). Strata with rules
     /// that read fluents at times taken from event arguments or relation
-    /// tuples fall back to full re-evaluation when dirty.
+    /// tuples re-solve fully whenever the window start has advanced: such a
+    /// read can flip with *no* input delta once its time falls behind the
+    /// new window start (e.g. a negated `holdsAt` at an expired time-point
+    /// becomes true), so neither cached derivations nor a clean-dependency
+    /// skip are sound for them.
     stratum_pivotable: Vec<bool>,
     last_query: Option<Time>,
     first_query: Option<Time>,
@@ -737,6 +741,11 @@ impl Engine {
 
         let full_eval = !self.incremental || self.first_query.is_none() || self.dirty_all;
         self.dirty_all = false;
+        // Window-start advance changes what non-pivotable strata can read
+        // even with an empty input delta (their fluent reads may target
+        // times that just expired), so it dirties them unconditionally.
+        let window_advanced =
+            self.last_query.is_some_and(|prev| self.window.window_start(prev) < start);
 
         let mut events = EventStore::build(visible_events);
         let obs = ObsStore::build(visible_obs);
@@ -768,8 +777,11 @@ impl Engine {
                     .min()
                     .unwrap_or(TIME_MAX)
             };
-            if frontier < TIME_MAX && !self.stratum_pivotable[si] {
-                // Delta-bounded solving would be incomplete; re-solve fully.
+            if !self.stratum_pivotable[si] && (window_advanced || frontier < TIME_MAX) {
+                // Delta-bounded solving would be incomplete, and a clean
+                // skip is unsound once the window start moved: a holdsAt
+                // read at an event-argument time can change truth value
+                // purely because that time left the window. Re-solve fully.
                 frontier = TIME_MIN;
             }
             let ctx = EvalCtx {
@@ -2110,6 +2122,118 @@ mod tests {
         assert_eq!(rec.timing.groundings_recomputed, 1);
         let ivs = rec.intervals_of("on", &[Term::sym("lamp")], &Term::truth()).unwrap();
         assert_eq!(ivs.as_slice(), &[crate::interval::Interval::open_from(60)]);
+    }
+
+    /// `alarm(X)@T ← happensAt(probe(X,T2),T), not holdsAt(active(X),T2)`:
+    /// the negated read targets a time taken from an event *argument*, so
+    /// the stratum is not pivotable. Once T2 falls behind the window start
+    /// the read flips to true with no input delta — the stratum must be
+    /// re-solved on every window advance, not clean-skipped.
+    fn probe_alarm_ruleset() -> RuleSet {
+        let mut b = RuleSetBuilder::new();
+        b.declare_event("probe", 2).declare_event("activate", 1).declare_event("deactivate", 1);
+        let x = b.var("X");
+        let t1 = b.var("T1");
+        b.initiated(
+            fluent("active", [pat(x)], val(true)),
+            t1,
+            [happens(event_pat("activate", [pat(x)]), t1)],
+        );
+        let t2 = b.var("T2");
+        b.terminated(
+            fluent("active", [pat(x)], val(true)),
+            t2,
+            [happens(event_pat("deactivate", [pat(x)]), t2)],
+        );
+        let t = b.var("T");
+        let tp = b.var("Tp");
+        b.derived_event(
+            event_head("alarm", [pat(x)]),
+            t,
+            [
+                happens(event_pat("probe", [pat(x), pat(tp)]), t),
+                not_holds(fluent_pat("active", [pat(x)], val(true)), tp),
+            ],
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn window_advance_rederives_event_arg_holds_reads() {
+        let mut inc = Engine::new(probe_alarm_ruleset(), WindowConfig::new(40, 20).unwrap());
+        let mut full = Engine::new(probe_alarm_ruleset(), WindowConfig::new(40, 20).unwrap());
+        full.set_incremental(false);
+        for e in [
+            Event::new("activate", [Term::sym("s")], 5),
+            Event::new("probe", [Term::sym("s"), Term::int(10)], 30),
+        ] {
+            inc.add_event(e.clone()).unwrap();
+            full.add_event(e).unwrap();
+        }
+        // Q1 = 40 (window (0, 40]): active(s) holds at 10, no alarm.
+        let (a, b) = (inc.query(40).unwrap(), full.query(40).unwrap());
+        assert_eq!(a.derived_events, b.derived_events, "diverged at q=40");
+        assert!(a.events_of("alarm").is_empty());
+        // Q2 = 60 (window (20, 60]): no new input, but T2 = 10 has left the
+        // window, so `not holdsAt(active(s), 10)` is now true and the alarm
+        // at 30 must appear — the delta-empty skip would silently drop it.
+        let (a, b) = (inc.query(60).unwrap(), full.query(60).unwrap());
+        assert_eq!(a.derived_events, b.derived_events, "diverged at q=60");
+        assert_eq!(a.events_of("alarm").len(), 1);
+        assert_eq!(a.events_of("alarm")[0].time, 30);
+    }
+
+    #[test]
+    fn incremental_matches_full_on_event_arg_holds_times() {
+        // Differential over random arrival schedules for the non-pivotable
+        // rule set: probes carry arbitrary read times (in-window, boundary
+        // and expired), and the incremental engine must stay exactly equal
+        // to full re-evaluation at every query.
+        let mut seed: u64 = 0x0b5e_57f1_c0ff_ee11;
+        let mut next = move || {
+            seed ^= seed >> 12;
+            seed ^= seed << 25;
+            seed ^= seed >> 27;
+            seed.wrapping_mul(0x2545f4914f6cdd1d)
+        };
+        for _case in 0..20 {
+            let mut inc = Engine::new(probe_alarm_ruleset(), WindowConfig::new(80, 40).unwrap());
+            let mut full = Engine::new(probe_alarm_ruleset(), WindowConfig::new(80, 40).unwrap());
+            full.set_incremental(false);
+            let n_events = 10 + (next() % 30) as i64;
+            for _ in 0..n_events {
+                let x = Term::sym(if next() % 2 == 0 { "a" } else { "b" });
+                let t = (next() % 400) as Time;
+                let arrival = t + (next() % 120) as Time;
+                let ev = match next() % 3 {
+                    0 => Event::new("activate", [x], t),
+                    1 => Event::new("deactivate", [x], t),
+                    // Read times biased toward the recent past so they
+                    // regularly cross the window-start boundary.
+                    _ => Event::new("probe", [x, Term::int(t.saturating_sub((next() % 120) as i64))], t),
+                };
+                inc.add_stamped_event(Stamped::arriving_at(ev.clone(), arrival)).unwrap();
+                full.add_stamped_event(Stamped::arriving_at(ev, arrival)).unwrap();
+            }
+            for q in (40..=520).step_by(40) {
+                let a = inc.query(q).unwrap();
+                let b = full.query(q).unwrap();
+                assert_eq!(a.derived_events, b.derived_events, "events diverged at q={q}");
+                let mut ga: Vec<_> = a
+                    .fluent_entries("active")
+                    .iter()
+                    .map(|e| (e.args.clone(), e.value.clone(), e.ivs.clone()))
+                    .collect();
+                let mut gb: Vec<_> = b
+                    .fluent_entries("active")
+                    .iter()
+                    .map(|e| (e.args.clone(), e.value.clone(), e.ivs.clone()))
+                    .collect();
+                ga.sort_by(|x, y| (&x.0, &x.1).cmp(&(&y.0, &y.1)));
+                gb.sort_by(|x, y| (&x.0, &x.1).cmp(&(&y.0, &y.1)));
+                assert_eq!(ga, gb, "fluent `active` diverged at q={q}");
+            }
+        }
     }
 
     #[test]

@@ -30,6 +30,17 @@ fn interner() -> &'static RwLock<Interner> {
 
 impl Symbol {
     /// Interns `text` and returns its symbol.
+    ///
+    /// The intern arena is append-only and **never freed**: every distinct
+    /// string interned here stays allocated for the process lifetime (that
+    /// is what makes [`Symbol::as_str`] a `&'static` borrow). Symbols are
+    /// meant for the *vocabulary* — event/fluent/relation names declared by
+    /// rule sets, whose cardinality is small and fixed. Avoid interning
+    /// per-item payload strings of unbounded cardinality (e.g. per-entity
+    /// ids minted by a live stream) in long-running pipelines — every
+    /// distinct id grows the arena forever; prefer numeric ids
+    /// ([`Term::Int`]) for such data and keep [`Term::Sym`] for labels
+    /// drawn from a bounded set.
     pub fn new(text: &str) -> Symbol {
         {
             let guard = interner().read().expect("interner lock poisoned");

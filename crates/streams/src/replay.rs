@@ -211,11 +211,15 @@ impl StepWorker {
         }
         match self.phase {
             Phase::Pump => {
-                // One step consumes up to `batch_size` items (like the
-                // threaded batched pump, whatever is available counts as a
-                // batch — the step never waits for a full one). With the
-                // default batch size of 1 this is the classic one-item step.
-                let batch = self.worker.batch_size.max(1);
+                // One step consumes up to `batch_size` queued items (like
+                // the threaded batched pump, whatever is available counts as
+                // a batch — the step never waits for a full one). Sources
+                // mirror the threaded runtime too: always one item per step,
+                // since only queues batch there.
+                let batch = match self.worker.input {
+                    ProcInput::Source(_) => 1,
+                    ProcInput::Queue(_) => self.worker.batch_size.max(1),
+                };
                 let mut drained = Vec::new();
                 let mut ended = false;
                 while drained.len() < batch {

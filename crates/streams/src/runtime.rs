@@ -226,7 +226,13 @@ impl Worker {
     fn pump(&mut self) -> Result<(u64, u64), StreamsError> {
         let mut consumed = 0u64;
         let mut emitted = 0u64;
-        if self.batch_size <= 1 {
+        // Only queue inputs batch: `recv_batch` drains what is already
+        // available without waiting for the batch to fill, so it never adds
+        // latency. A source's `next_item` may block on live input, and
+        // looping on it would hold earlier items unprocessed until the
+        // batch fills — sources are always pumped item-at-a-time.
+        let batched = self.batch_size > 1 && matches!(self.input, ProcInput::Queue(_));
+        if !batched {
             // Per-item path: one lock round-trip per item, kept verbatim so
             // the default `batch_size(1)` is bit-identical to the pre-batch
             // runtime (including metrics: no batch-size samples).
@@ -248,22 +254,13 @@ impl Worker {
                 }
             }
         } else {
-            // Batched path: drain up to `batch_size` items per input lock,
+            // Batched path: drain up to `batch_size` items per queue lock,
             // process them one at a time (identical results), forward the
             // survivors of each input batch in one batched send.
             let batch_size = self.batch_size;
             loop {
                 let next = match &mut self.input {
-                    ProcInput::Source(s) => {
-                        let mut batch = Vec::new();
-                        while batch.len() < batch_size {
-                            match s.next_item()? {
-                                Some(item) => batch.push(item),
-                                None => break,
-                            }
-                        }
-                        (!batch.is_empty()).then_some(batch)
-                    }
+                    ProcInput::Source(_) => unreachable!("sources are pumped per item"),
                     ProcInput::Queue(q) => q.recv_batch(batch_size),
                 };
                 let Some(items) = next else { break };
