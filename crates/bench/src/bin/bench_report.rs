@@ -13,8 +13,18 @@
 //! with a producer thread and measures throughput for per-item transfer
 //! versus `send_batch`/`recv_batch` at several batch sizes.
 //!
-//! Results are written to `BENCH_recognition.json` and `BENCH_streams.json`
-//! in the current directory (run from the repo root) and printed as tables.
+//! The shard-scaling benchmark runs the full Dublin pipeline end to end
+//! under the threaded runtime, sweeping the replica count of the two
+//! partitioned stages (RTEC sharded by `region`, crowd tasks sharded by
+//! `(query_time, region)`) from 1 up to the core count — always including
+//! the 4-replica point — and reports SDEs/s. A second A/B toggles parallel
+//! stratum evaluation inside a single RTEC engine against the serial
+//! reference order. Wall-clock speedup from sharding requires real cores;
+//! the report records the host's core count alongside the numbers.
+//!
+//! Results are written to `BENCH_recognition.json`, `BENCH_streams.json`
+//! and `BENCH_parallel.json` in the current directory (run from the repo
+//! root) and printed as tables.
 //!
 //! ```sh
 //! cargo run --release -p insight-bench --bin bench_report [--quick] [--check]
@@ -25,9 +35,12 @@
 //! to tolerate noisy shared runners.
 
 use insight_bench::ResultsWriter;
+use insight_core::pipeline::{build_pipeline_with, PipelineOptions};
 use insight_datagen::scenario::{Scenario, ScenarioConfig};
+use insight_rtec::window::WindowConfig;
 use insight_streams::item::DataItem;
 use insight_streams::queue::queue;
+use insight_streams::runtime::Runtime;
 use insight_traffic::{TrafficRecognizer, TrafficRulesConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -59,19 +72,30 @@ struct BatchPoint {
     items_per_sec: f64,
 }
 
+/// One replica count of the partitioned pipeline stages and its measured
+/// end-to-end run time.
+struct ShardPoint {
+    replicas: usize,
+    elapsed_ms: f64,
+    sdes_per_sec: f64,
+}
+
 /// Mean per-query wall-clock recognition time (ms) over `n_queries` fully
-/// populated windows, with incremental evaluation toggled as requested.
+/// populated windows, with incremental evaluation and parallel stratum
+/// evaluation toggled as requested.
 fn mean_query_ms(
     scenario: &Scenario,
     wm: i64,
     step: i64,
     n_queries: usize,
     incremental: bool,
+    parallel_strata: bool,
 ) -> Result<(f64, usize), Box<dyn std::error::Error>> {
-    let window = insight_rtec::window::WindowConfig::new(wm, step)?;
+    let window = WindowConfig::new(wm, step)?;
     let mut rec =
         TrafficRecognizer::from_deployment(TrafficRulesConfig::default(), window, &scenario.scats)?;
     rec.set_incremental(incremental);
+    rec.set_parallel_strata(parallel_strata);
     let (start, end) = scenario.window();
 
     let mut sde_idx = 0usize;
@@ -135,6 +159,24 @@ fn queue_throughput_ms(n: usize, capacity: usize, batch: usize) -> f64 {
     t.elapsed().as_secs_f64() * 1e3
 }
 
+/// Wall-clock time (ms) of one end-to-end threaded run of the Dublin
+/// pipeline with `replicas` replicas of both partitioned stages. Topology
+/// construction is excluded; only `Runtime::run` is timed.
+fn pipeline_run_ms(
+    scenario: &Scenario,
+    window: WindowConfig,
+    replicas: usize,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let options = PipelineOptions { rtec_replicas: replicas, crowd_replicas: replicas };
+    let (topology, sink) =
+        build_pipeline_with(scenario, TrafficRulesConfig::default(), window, &options)?;
+    let t = Instant::now();
+    Runtime::new(topology).run()?;
+    let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert!(!sink.items().is_empty(), "pipeline produced no recognitions");
+    Ok(elapsed_ms)
+}
+
 /// Best of `reps` runs — throughput microbenchmarks want the least-noisy
 /// sample, not the mean.
 fn best_of(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
@@ -174,8 +216,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut points = Vec::new();
     for &(label, den) in ratios {
         let step = wm / den;
-        let (full_ms, queries) = mean_query_ms(&scenario, wm, step, n_queries, false)?;
-        let (incremental_ms, _) = mean_query_ms(&scenario, wm, step, n_queries, true)?;
+        let (full_ms, queries) = mean_query_ms(&scenario, wm, step, n_queries, false, false)?;
+        let (incremental_ms, _) = mean_query_ms(&scenario, wm, step, n_queries, true, false)?;
         let p =
             RatioPoint { label, ratio: 1.0 / den as f64, step, queries, full_ms, incremental_ms };
         out.line(format!(
@@ -266,6 +308,87 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     str_json.push_str("  ]\n}\n");
     write_json("BENCH_streams.json", &str_json)?;
 
+    // ---- shard-parallel stages: replica scaling + strata A/B ----------------
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // Sweep 1..=cores, but always include the 4-replica point so the report
+    // is comparable across hosts; cap at 8 (the RTEC stage shards by the 4
+    // regions, so scaling flattens well before that).
+    let max_replicas = cores.clamp(4, 8);
+    let pipe_duration: i64 = if quick { 1200 } else { 2400 };
+    let pipe_reps = if quick { 1 } else { 3 };
+    let pipe_window = WindowConfig::new(600, 300)?;
+    let pipe_scenario = Scenario::generate(ScenarioConfig::small(pipe_duration, 7))?;
+    let n_sdes = pipe_scenario.sdes.len();
+    out.line(String::new());
+    out.line(format!(
+        "shard scaling: Dublin pipeline end to end, {n_sdes} SDEs, WM 600 s / step 300 s, \
+         best of {pipe_reps}, {cores} core(s)"
+    ));
+    out.line(format!("{:>9} {:>13} {:>12} {:>9}", "replicas", "elapsed (ms)", "SDEs/s", "speedup"));
+
+    let mut shard_points = Vec::new();
+    for replicas in 1..=max_replicas {
+        let elapsed_ms = best_of(pipe_reps, || {
+            pipeline_run_ms(&pipe_scenario, pipe_window, replicas).expect("pipeline run")
+        });
+        let sdes_per_sec = n_sdes as f64 / (elapsed_ms / 1e3);
+        shard_points.push(ShardPoint { replicas, elapsed_ms, sdes_per_sec });
+    }
+    let serial_pipeline_ms = shard_points[0].elapsed_ms;
+    for p in &shard_points {
+        out.line(format!(
+            "{:>9} {:>13.1} {:>12.0} {:>8.2}x",
+            p.replicas,
+            p.elapsed_ms,
+            p.sdes_per_sec,
+            serial_pipeline_ms / p.elapsed_ms
+        ));
+    }
+
+    // Parallel vs serial stratum evaluation inside one engine, incremental
+    // mode on in both arms. Reuses the recognition scenario at the 1/4
+    // overlap ratio.
+    let ab_step = wm / 4;
+    let (serial_strata_ms, ab_queries) =
+        mean_query_ms(&scenario, wm, ab_step, n_queries, true, false)?;
+    let (parallel_strata_ms, _) = mean_query_ms(&scenario, wm, ab_step, n_queries, true, true)?;
+    out.line(String::new());
+    out.line(format!(
+        "strata A/B ({ab_queries} queries, WM {wm} s / step {ab_step} s): serial {serial_strata_ms:.3} ms, \
+         parallel {parallel_strata_ms:.3} ms, speedup {:.2}x",
+        serial_strata_ms / parallel_strata_ms
+    ));
+
+    let mut par_json = String::new();
+    write!(
+        par_json,
+        "{{\n  \"benchmark\": \"shard_scaling\",\n  \"profile\": \"{profile}\",\n  \
+         \"cores\": {cores},\n  \
+         \"scenario\": {{\"preset\": \"small\", \"duration_s\": {pipe_duration}, \"sdes\": {n_sdes}}},\n  \
+         \"window\": {{\"wm_s\": 600, \"step_s\": 300}},\n  \
+         \"reps\": {pipe_reps},\n  \"points\": [\n"
+    )?;
+    for (i, p) in shard_points.iter().enumerate() {
+        writeln!(
+            par_json,
+            "    {{\"replicas\": {}, \"elapsed_ms\": {:.3}, \"sdes_per_sec\": {:.0}, \
+             \"speedup_vs_1\": {:.3}}}{}",
+            p.replicas,
+            p.elapsed_ms,
+            p.sdes_per_sec,
+            serial_pipeline_ms / p.elapsed_ms,
+            if i + 1 < shard_points.len() { "," } else { "" }
+        )?;
+    }
+    write!(
+        par_json,
+        "  ],\n  \"strata_ab\": {{\"queries\": {ab_queries}, \"wm_s\": {wm}, \"step_s\": {ab_step}, \
+         \"serial_ms\": {serial_strata_ms:.3}, \"parallel_ms\": {parallel_strata_ms:.3}, \
+         \"speedup\": {:.3}}}\n}}\n",
+        serial_strata_ms / parallel_strata_ms
+    )?;
+    write_json("BENCH_parallel.json", &par_json)?;
+
     let path = out.finish()?;
     eprintln!("results saved to {}", path.display());
 
@@ -286,6 +409,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     p.batch, p.elapsed_ms, unbatched_ms
                 ));
             }
+        }
+        // Sharding is pure plumbing on a starved host, a speedup on real
+        // cores; either way extra replicas must never cost more than the
+        // guard band over the single-replica run.
+        for p in &shard_points[1..] {
+            if p.elapsed_ms > serial_pipeline_ms * 1.25 {
+                failures.push(format!(
+                    "shard regression at replicas={}: {:.1} ms vs single-replica {:.1} ms",
+                    p.replicas, p.elapsed_ms, serial_pipeline_ms
+                ));
+            }
+        }
+        if parallel_strata_ms > serial_strata_ms * 1.25 {
+            failures.push(format!(
+                "parallel strata regression: {parallel_strata_ms:.3} ms vs serial \
+                 {serial_strata_ms:.3} ms"
+            ));
         }
         if !failures.is_empty() {
             for f in &failures {

@@ -3,11 +3,12 @@
 //!
 //! Each seed drives the deterministic replay scheduler
 //! (`insight_streams::replay::ReplayRuntime`) through one exact single-
-//! threaded interleaving of the §3 topology — bus splitter, four region
-//! RTEC engines, crowdsourcing — and the canonical (sorted, wall-clock-
-//! stripped) recognition output must be byte-identical across all of them.
-//! A failure names the two diverging seeds, which replay the interleavings
-//! exactly.
+//! threaded interleaving of the §3 topology — feed processes, the sharded
+//! RTEC stage, the sharded crowd task stage and the EM merge — and the
+//! canonical (sorted, wall-clock-stripped) recognition output must be
+//! byte-identical across all of them, and across every shard count of the
+//! partitioned stages. A failure names the two diverging seeds, which
+//! replay the interleavings exactly.
 
 use insight_conformance::seed_offset;
 use insight_core::replay::{assert_schedule_invariant, replay_recognitions};
@@ -51,6 +52,37 @@ fn schedule_invariance_holds_with_crowd_resolutions_in_the_loop() {
         "the crowd stage must have resolved at least one disagreement:\n{out}"
     );
     assert_schedule_invariant(&scenario, rules, window, &scheduler_seeds(8));
+}
+
+#[test]
+fn recognitions_invariant_in_shard_count_under_replay() {
+    // The keyed shard-parallel stages must be pure plumbing: for every
+    // scheduler seed, running the same scenario with 1, 2, or 4 replicas of
+    // the RTEC and crowd task stages yields byte-identical canonical output.
+    use insight_core::pipeline::PipelineOptions;
+    use insight_core::replay::replay_recognitions_with;
+
+    let scenario = Scenario::generate(ScenarioConfig::small(1200, 77)).expect("scenario");
+    let window = WindowConfig::new(600, 300).expect("window");
+    let rules = TrafficRulesConfig::default();
+    for seed in [0, 77, 777] {
+        let shapes = [
+            PipelineOptions { rtec_replicas: 1, crowd_replicas: 1 },
+            PipelineOptions { rtec_replicas: 2, crowd_replicas: 2 },
+            PipelineOptions { rtec_replicas: 4, crowd_replicas: 3 },
+        ];
+        let outputs: Vec<String> = shapes
+            .iter()
+            .map(|o| {
+                replay_recognitions_with(&scenario, rules.clone(), window, seed, o)
+                    .expect("replay runs")
+            })
+            .collect();
+        assert!(!outputs[0].is_empty(), "seed {seed} produced recognitions");
+        for (o, shape) in outputs.iter().zip(&shapes) {
+            assert_eq!(o, &outputs[0], "seed {seed}, shape {shape:?} diverged");
+        }
+    }
 }
 
 #[test]

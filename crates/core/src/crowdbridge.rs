@@ -18,6 +18,18 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
+/// The shardable first phase of a resolution: worker selection plus the
+/// selected workers' simulated answers, produced by
+/// [`CrowdBridge::simulate_task`] without touching the EM state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulatedTask {
+    /// `(participant index, label index)` pairs in dispatch order — the
+    /// input [`CrowdBridge::merge_task`] expects.
+    pub answers: Vec<(usize, usize)>,
+    /// Mean per-step latency of the answering workers.
+    pub latency: Option<StepLatency>,
+}
+
 /// The outcome of resolving one disagreement through the crowd.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CrowdResolution {
@@ -132,6 +144,95 @@ impl CrowdBridge {
         self.engine.stats()
     }
 
+    /// The crowd query asking about the traffic situation at a location.
+    fn query_at(&self, lon: f64, lat: f64) -> CrowdQuery {
+        CrowdQuery {
+            question: format!("Traffic situation near ({lon:.5}, {lat:.5})?"),
+            answers: (0..self.labels.len())
+                .map(|i| self.labels.name(i).expect("in range").to_string())
+                .collect(),
+            lon,
+            lat,
+            deadline_ms: None,
+        }
+    }
+
+    /// The label index matching a ground-truth congestion flag.
+    fn truth_label(&self, truth_congested: bool) -> usize {
+        if truth_congested {
+            self.labels.index_of("Traffic congestion").expect("static label")
+        } else {
+            self.labels.index_of("Free flowing").expect("static label")
+        }
+    }
+
+    /// Phase one of a resolution, safe to run on keyed shard replicas:
+    /// selects workers over the *current* reliability estimates and
+    /// simulates their answers, leaving the EM state untouched.
+    ///
+    /// Every random draw derives from `task_seed`, so on a bridge whose EM
+    /// estimates have not been advanced (as in the sharded task stage, where
+    /// [`CrowdBridge::merge_task`] runs downstream on a different instance)
+    /// the outcome is a pure function of `(lon, lat, truth_congested,
+    /// task_seed)` — independent of call order and therefore of how
+    /// disagreements are distributed over shards.
+    pub fn simulate_task(
+        &self,
+        lon: f64,
+        lat: f64,
+        truth_congested: bool,
+        task_seed: u64,
+    ) -> Result<SimulatedTask, CrowdError> {
+        let query = self.query_at(lon, lat);
+        let reliability: HashMap<WorkerId, f64> =
+            self.em.estimates().iter().enumerate().map(|(i, &p)| (WorkerId(i as u64), p)).collect();
+        let selected = self.engine.select(
+            &SelectionPolicy::MostReliableK(self.workers_per_query),
+            &query,
+            Some(&reliability),
+        )?;
+        let truth_label = self.truth_label(truth_congested);
+        let participants = &self.participants;
+        let labels = &self.labels;
+        let mut task_rng = StdRng::seed_from_u64(task_seed);
+        let mut answer_rng = StdRng::seed_from_u64(task_seed ^ 0x9e37_79b9_7f4a_7c15);
+        let execution = self.engine.execute_with_retry(
+            &query,
+            &selected,
+            |id| {
+                participants
+                    .get(id.0 as usize)
+                    .and_then(|p| p.answer(truth_label, labels, &mut answer_rng).ok())
+            },
+            &mut task_rng,
+            self.retry_budget,
+        )?;
+        Ok(SimulatedTask {
+            answers: execution.answers.iter().map(|&(w, l)| (w.0 as usize, l)).collect(),
+            latency: execution.mean_latency(),
+        })
+    }
+
+    /// Phase two of a resolution: merges simulated answers into the online
+    /// EM, updating the reliability estimates. Order-sensitive — the EM
+    /// state evolves with every call — so callers must fix a canonical merge
+    /// order (the pipeline uses `(query_time, region)`).
+    pub fn merge_task(
+        &mut self,
+        answers: &[(usize, usize)],
+        prior: Option<Vec<f64>>,
+    ) -> Result<CrowdResolution, CrowdError> {
+        let prior = prior.unwrap_or_else(|| self.labels.uniform_prior());
+        let outcome = self.em.process(&prior, answers)?;
+        Ok(CrowdResolution {
+            congested: outcome.map_label
+                == self.labels.index_of("Traffic congestion").expect("static label"),
+            confidence: outcome.confidence,
+            latency: None,
+            answers: answers.len(),
+        })
+    }
+
     /// Resolves one source disagreement: queries workers near the location;
     /// `truth_congested` drives the simulated participants' answers.
     pub fn resolve(
@@ -141,15 +242,7 @@ impl CrowdBridge {
         truth_congested: bool,
         prior: Option<Vec<f64>>,
     ) -> Result<CrowdResolution, CrowdError> {
-        let query = CrowdQuery {
-            question: format!("Traffic situation near ({lon:.5}, {lat:.5})?"),
-            answers: (0..self.labels.len())
-                .map(|i| self.labels.name(i).expect("in range").to_string())
-                .collect(),
-            lon,
-            lat,
-            deadline_ms: None,
-        };
+        let query = self.query_at(lon, lat);
         // Reliability-aware selection: prefer the workers the EM currently
         // trusts most.
         let reliability: HashMap<WorkerId, f64> =
@@ -160,11 +253,7 @@ impl CrowdBridge {
             Some(&reliability),
         )?;
 
-        let truth_label = if truth_congested {
-            self.labels.index_of("Traffic congestion").expect("static label")
-        } else {
-            self.labels.index_of("Free flowing").expect("static label")
-        };
+        let truth_label = self.truth_label(truth_congested);
 
         let participants = &self.participants;
         let labels = &self.labels;
@@ -247,6 +336,50 @@ mod tests {
         let prior = vec![0.97, 0.01, 0.01, 0.01];
         let r = b.resolve(-6.26, 53.35, true, Some(prior)).unwrap();
         assert!(r.congested, "strong congestion prior plus congested ground truth");
+    }
+
+    #[test]
+    fn simulate_task_is_call_order_independent() {
+        // Two bridges built identically; interleaving the same tasks in
+        // different orders must yield identical per-task answers, because
+        // each task's randomness derives from its seed alone.
+        let a = bridge();
+        let b = bridge();
+        let tasks: Vec<(f64, f64, bool, u64)> = (0..20)
+            .map(|i| (-6.26 + i as f64 * 1e-3, 53.35, i % 3 == 0, 0xfeed ^ i as u64))
+            .collect();
+        let out_a: Vec<_> = tasks
+            .iter()
+            .map(|&(lon, lat, t, s)| a.simulate_task(lon, lat, t, s).unwrap())
+            .collect();
+        let out_b: Vec<_> = tasks
+            .iter()
+            .rev()
+            .map(|&(lon, lat, t, s)| b.simulate_task(lon, lat, t, s).unwrap())
+            .collect();
+        for (task, rev) in out_a.iter().zip(out_b.iter().rev()) {
+            assert_eq!(task, rev, "same seed, same task, any order");
+        }
+    }
+
+    #[test]
+    fn split_phases_track_ground_truth_and_update_estimates() {
+        let tasker = bridge();
+        let mut merger = bridge();
+        let before = merger.reliability_estimates().to_vec();
+        let mut correct = 0;
+        let total = 100;
+        for i in 0..total {
+            let truth = i % 2 == 0;
+            let task = tasker.simulate_task(-6.26, 53.35, truth, 31 * i as u64).unwrap();
+            assert!(!task.answers.is_empty());
+            let r = merger.merge_task(&task.answers, None).unwrap();
+            if r.congested == truth {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / total as f64 > 0.85, "crowd accuracy too low: {correct}/{total}");
+        assert_ne!(before, merger.reliability_estimates(), "EM estimates must move");
     }
 
     #[test]

@@ -3,16 +3,28 @@
 //! Reproduces the paper's stream processing component layout:
 //!
 //! * **input handling processes** — all bus SDEs form one stream; SCATS SDEs
-//!   are referenced by four streams, one per region of Dublin city;
+//!   are referenced by four streams, one per region of Dublin city; the feed
+//!   processes forward every SDE into one `sde` queue;
 //! * **event processing processes** — the CE definitions are wrapped by a
-//!   processor embedding the RTEC engine in the Streams environment; derived
-//!   CEs are emitted to a queue;
-//! * a collector process forwards the recognition summaries to a sink.
+//!   processor embedding the RTEC engine in the Streams environment; the
+//!   RTEC stage runs as keyed shard replicas partitioned by `region`
+//!   ([`insight_streams::partition`]), realising the paper's one-engine-per-
+//!   region decomposition as data parallelism; derived CEs are emitted to a
+//!   queue;
+//! * **crowdsourcing processes** — disagreement summaries pass a sharded
+//!   *task* stage (worker selection + simulated answers, partitioned by
+//!   `(query_time, region)`) and a single *merge* stage feeding the online
+//!   EM in canonical order, then reach the collecting sink.
 //!
 //! The RTEC processor buffers SDE items, and whenever the arrival time
 //! crosses the next query time it runs recognition and emits one summary
 //! item per window (CE counts + the disagreement locations to be
 //! crowdsourced).
+//!
+//! Shard counts are controlled by [`PipelineOptions`]; the recognition
+//! output is identical (in the canonical form of
+//! [`crate::replay::canonical_recognitions`]) for every shard count,
+//! including 1.
 
 use crate::items::{item_to_sde, sde_to_item};
 use insight_datagen::regions::Region;
@@ -38,22 +50,23 @@ use std::time::Instant;
 ///
 /// # Schedule-independence
 ///
-/// The processor's input queue merges two producers — the broadcast bus
-/// stream and the region's SCATS stream — whose interleaving is up to the
-/// thread scheduler. To make recognition output a pure function of the two
-/// *per-producer* subsequences (which the queues preserve in FIFO order)
-/// rather than of their merge, query `Qi` fires only once the **arrival
-/// watermark of each input class** (bus, SCATS) has strictly passed `Qi`:
-/// each producer emits in nondecreasing arrival order, so a watermark beyond
+/// The items a region worker sees interleave two producers — the bus feed
+/// and the region's SCATS feed — in scheduler-determined order (the `sde`
+/// queue merges the feeds; the partitioner and merge of the sharded stage
+/// preserve each producer's FIFO order end to end). To make recognition
+/// output a pure function of the two *per-producer* subsequences rather
+/// than of their merge, query `Qi` fires only once the **arrival watermark
+/// of each input class** (bus, SCATS) has strictly passed `Qi`: each
+/// producer emits in nondecreasing arrival order, so a watermark beyond
 /// `Qi` proves every SDE with `arrival ≤ Qi` of that class has been
-/// ingested. Region filtering of the broadcast bus stream happens *inside*
-/// the processor — after the watermark update — so foreign-region bus SDEs
-/// still advance the bus watermark. Queries whose gate never opens
-/// in-stream (e.g. a region without SCATS sensors) are flushed at
-/// end-of-stream, where the knowledge is complete by definition. The
-/// deterministic replay scheduler
-/// ([`insight_streams::replay::ReplayRuntime`]) relies on exactly this
-/// property to assert byte-identical recognitions across interleavings.
+/// ingested. Queries whose gate never opens in-stream (e.g. a region
+/// without SCATS sensors, or whose bus watermark never passes the last grid
+/// point) are flushed at end-of-stream, where the knowledge is complete by
+/// definition — so the *set* of fired queries depends only on the region's
+/// data, never on the schedule or the shard count. The deterministic replay
+/// scheduler ([`insight_streams::replay::ReplayRuntime`]) relies on exactly
+/// this property to assert byte-identical recognitions across
+/// interleavings.
 pub struct RtecProcessor {
     recognizer: TrafficRecognizer,
     next_query: i64,
@@ -234,6 +247,108 @@ impl Processor for RtecProcessor {
             self.run_query(q, ctx)?;
         }
         Ok(self.pending.drain(..).collect())
+    }
+}
+
+/// One replica of the sharded RTEC stage: routes each SDE to a per-region
+/// [`RtecProcessor`] worker, created lazily on the region's first item.
+///
+/// The stage partitions by the `region` attribute, so with collision-free
+/// hashing each replica hosts a disjoint subset of the four region engines.
+/// Routing here is by the *semantic* region (recomputed from the SDE's
+/// coordinates, exactly what [`crate::items::sde_to_item`] derived the
+/// routing attribute from), so an item whose routing attribute was
+/// corrupted in flight still reaches a correct region engine on whatever
+/// shard it landed on — the two engines then hold disjoint subsequences of
+/// that region's stream, each individually watermark-sound.
+///
+/// Because every region's items carry the same partition key, the region's
+/// entire stream — and therefore its engine, watermarks, and query grid —
+/// lives behind a single replica's FIFO input for any replica count, which
+/// is what makes the recognition output shard-count-invariant.
+pub struct MultiRegionRtecProcessor {
+    rules: Arc<TrafficRulesConfig>,
+    window: WindowConfig,
+    /// Intersection metadata per region, shared across replicas.
+    infos: Arc<HashMap<Region, Vec<IntersectionInfo>>>,
+    first_query: i64,
+    /// Lazily created per-region workers, in deterministic region order for
+    /// the end-of-stream flush.
+    states: BTreeMap<Region, RtecProcessor>,
+    /// Items that failed SDE schema validation, counted stage-wide (a
+    /// malformed item has no trustworthy region).
+    malformed: Option<Arc<Counter>>,
+}
+
+impl MultiRegionRtecProcessor {
+    /// A replica serving queries at `first_query, first_query + step, …` per
+    /// region (step taken from `window`).
+    pub fn new(
+        rules: Arc<TrafficRulesConfig>,
+        window: WindowConfig,
+        infos: Arc<HashMap<Region, Vec<IntersectionInfo>>>,
+        first_query: i64,
+    ) -> MultiRegionRtecProcessor {
+        MultiRegionRtecProcessor {
+            rules,
+            window,
+            infos,
+            first_query,
+            states: BTreeMap::new(),
+            malformed: None,
+        }
+    }
+
+    fn state_for(&mut self, region: Region) -> Result<&mut RtecProcessor, StreamsError> {
+        if !self.states.contains_key(&region) {
+            let infos = self.infos.get(&region).map(Vec::as_slice).unwrap_or(&[]);
+            let recognizer = TrafficRecognizer::new((*self.rules).clone(), self.window, infos, &[])
+                .map_err(|e| StreamsError::ProcessorFailed {
+                    process: format!("rtec[{region}]"),
+                    processor: None,
+                    message: e.to_string(),
+                })?;
+            self.states.insert(
+                region,
+                RtecProcessor::new(recognizer, self.first_query, self.window.step(), region),
+            );
+        }
+        Ok(self.states.get_mut(&region).expect("just inserted"))
+    }
+
+    fn malformed_counter(&mut self, ctx: &Context) -> Option<Arc<Counter>> {
+        if self.malformed.is_none() {
+            if let Ok(registry) = ctx.services().get::<MetricsRegistry>("metrics") {
+                self.malformed = Some(registry.counter("rtec.malformed_sdes"));
+            }
+        }
+        self.malformed.clone()
+    }
+}
+
+impl Processor for MultiRegionRtecProcessor {
+    fn process(
+        &mut self,
+        item: DataItem,
+        ctx: &mut Context,
+    ) -> Result<Option<DataItem>, StreamsError> {
+        match item_to_sde(&item) {
+            Some(sde) => self.state_for(sde.region())?.process(item, ctx),
+            None => {
+                if let Some(counter) = self.malformed_counter(ctx) {
+                    counter.inc();
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    fn finish(&mut self, ctx: &mut Context) -> Result<Vec<DataItem>, StreamsError> {
+        let mut out = Vec::new();
+        for state in self.states.values_mut() {
+            out.extend(state.finish(ctx)?);
+        }
+        Ok(out)
     }
 }
 
@@ -439,8 +554,322 @@ where
     }
 }
 
+/// The ground-truth oracle fed to the crowd stage, shared by every task
+/// replica.
+pub type TruthOracle = Arc<dyn Fn(f64, f64, i64) -> bool + Send + Sync>;
+
+/// FNV-1a over the identifying fields of a crowd task; combined with the
+/// scenario seed this keys all randomness of one simulated task, so the
+/// outcome is independent of which shard runs it and in which order.
+fn crowd_task_seed(query_time: i64, region: &str, lon: f64, lat: f64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    eat(&query_time.to_le_bytes());
+    eat(region.as_bytes());
+    eat(&lon.to_bits().to_le_bytes());
+    eat(&lat.to_bits().to_le_bytes());
+    h
+}
+
+/// One replica of the sharded crowd *task* stage (partitioned by
+/// `(query_time, region)`): for each summary carrying an open disagreement
+/// it selects workers and simulates their answers via
+/// [`crate::crowdbridge::CrowdBridge::simulate_task`], attaching the raw
+/// answers for the downstream EM merge. Summaries without a disagreement
+/// pass through untouched.
+///
+/// Each replica owns a bridge built from the same configuration and seed,
+/// and never advances its EM state — so worker placement and reliability
+/// estimates are identical on every replica, and each task's outcome is a
+/// pure function of its `(query_time, region, lon, lat)` key and the
+/// scenario seed. That is what makes the stage safe to shard: the crowd
+/// verdicts do not depend on the replica count or on how tasks interleave.
+pub struct CrowdTaskProcessor {
+    bridge: crate::crowdbridge::CrowdBridge,
+    truth_of: TruthOracle,
+    seed: u64,
+    /// Latency of each task simulation; lazily fetched from the metrics
+    /// service.
+    task_ns: Option<Arc<Histogram>>,
+    fallbacks: Option<Arc<Counter>>,
+}
+
+impl CrowdTaskProcessor {
+    /// Wraps a (freshly built, EM-untouched) bridge and a ground-truth
+    /// oracle; `seed` salts every task's RNG streams.
+    pub fn new(
+        bridge: crate::crowdbridge::CrowdBridge,
+        truth_of: TruthOracle,
+        seed: u64,
+    ) -> CrowdTaskProcessor {
+        CrowdTaskProcessor { bridge, truth_of, seed, task_ns: None, fallbacks: None }
+    }
+
+    fn instruments(&mut self, ctx: &Context) -> Option<Arc<Histogram>> {
+        if self.task_ns.is_none() {
+            if let Ok(registry) = ctx.services().get::<MetricsRegistry>("metrics") {
+                self.task_ns = Some(registry.histogram("crowd.task_ns"));
+                self.fallbacks = Some(registry.counter("crowd.fallbacks"));
+            }
+        }
+        self.task_ns.clone()
+    }
+}
+
+impl Processor for CrowdTaskProcessor {
+    fn process(
+        &mut self,
+        mut item: DataItem,
+        ctx: &mut Context,
+    ) -> Result<Option<DataItem>, StreamsError> {
+        let (Some(lon), Some(lat), Some(q)) = (
+            item.get_f64("disagreement_lon"),
+            item.get_f64("disagreement_lat"),
+            item.get_i64("query_time"),
+        ) else {
+            return Ok(Some(item));
+        };
+        let region = item.get_str("region").unwrap_or("").to_string();
+        let truth = (self.truth_of)(lon, lat, q);
+        let task_seed = crowd_task_seed(q, &region, lon, lat) ^ self.seed;
+        let started = Instant::now();
+        match self.bridge.simulate_task(lon, lat, truth, task_seed) {
+            Ok(task) => {
+                if let Some(hist) = self.instruments(ctx) {
+                    hist.record(started.elapsed());
+                }
+                let raw = task
+                    .answers
+                    .iter()
+                    .map(|&(w, l)| format!("{w}:{l}"))
+                    .collect::<Vec<_>>()
+                    .join(";");
+                item.set("crowd_answers_raw", raw);
+            }
+            // Graceful degradation: when the engine cannot run the task (no
+            // eligible workers, engine error), the summary keeps reporting
+            // from sensor data alone.
+            Err(_) => {
+                self.instruments(ctx);
+                if let Some(fallbacks) = &self.fallbacks {
+                    fallbacks.inc();
+                }
+                item.set("crowd_fallback", true);
+            }
+        }
+        Ok(Some(item))
+    }
+
+    fn finish(&mut self, ctx: &mut Context) -> Result<Vec<DataItem>, StreamsError> {
+        // Per-replica engine counters add up across shards under the shared
+        // registry names.
+        if let Ok(registry) = ctx.services().get::<MetricsRegistry>("metrics") {
+            let stats = self.bridge.engine_stats();
+            registry.counter("crowd.queries").add(stats.queries);
+            registry.counter("crowd.tasks").add(stats.tasks);
+            registry.counter("crowd.answers").add(stats.answers);
+            registry.counter("crowd.deadline_misses").add(stats.deadline_misses);
+        }
+        Ok(Vec::new())
+    }
+}
+
+/// The post-merge crowd *EM* stage: feeds each disagreement's simulated
+/// answers (attached upstream by [`CrowdTaskProcessor`]) into the online EM
+/// in canonical `(query_time, region)` order and annotates the summary with
+/// the verdict.
+///
+/// # Schedule-independence
+///
+/// The EM state evolves with every merge, so merge order must not depend on
+/// the schedule. The same watermark gate as [`CrowdProcessor`] is used:
+/// summaries are buffered and released in canonical key order once every
+/// declared region's query-time watermark has passed their key (each region
+/// emits summaries in strictly increasing query time, and the sharded
+/// stages preserve per-region FIFO order end to end), with the remainder
+/// flushed — in the same canonical order — at end-of-stream.
+pub struct CrowdEmProcessor {
+    bridge: crate::crowdbridge::CrowdBridge,
+    /// The regions expected to produce summaries; the merge gate waits for
+    /// all of them. Empty ⇒ every merge happens at end-of-stream.
+    regions: Vec<String>,
+    /// Per-region highest `query_time` seen so far.
+    watermarks: HashMap<String, i64>,
+    /// Disagreement summaries awaiting ordered EM merges, keyed by
+    /// `(query_time, region)`.
+    held: BTreeMap<(i64, String), Vec<DataItem>>,
+    /// Items ready to leave the stage (one per `process` call).
+    pending: VecDeque<DataItem>,
+    resolve_ns: Option<Arc<Histogram>>,
+    resolutions: Option<Arc<Counter>>,
+    fallbacks: Option<Arc<Counter>>,
+}
+
+impl CrowdEmProcessor {
+    /// Wraps a bridge used only for its EM estimator. Without
+    /// [`CrowdEmProcessor::with_regions`] every merge happens at
+    /// end-of-stream.
+    pub fn new(bridge: crate::crowdbridge::CrowdBridge) -> CrowdEmProcessor {
+        CrowdEmProcessor {
+            bridge,
+            regions: Vec::new(),
+            watermarks: HashMap::new(),
+            held: BTreeMap::new(),
+            pending: VecDeque::new(),
+            resolve_ns: None,
+            resolutions: None,
+            fallbacks: None,
+        }
+    }
+
+    /// Declares the upstream regions whose watermarks gate in-stream merges.
+    pub fn with_regions<I, S>(mut self, regions: I) -> CrowdEmProcessor
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.regions = regions.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// The lowest per-region watermark — summaries keyed at or below it are
+    /// complete. `None` while some declared region has not reported yet.
+    fn safe_frontier(&self) -> Option<i64> {
+        if self.regions.is_empty() {
+            return None;
+        }
+        self.regions
+            .iter()
+            .map(|r| self.watermarks.get(r).copied())
+            .try_fold(i64::MAX, |acc, wm| wm.map(|w| acc.min(w)))
+    }
+
+    /// Merges and releases every held summary whose key the watermark
+    /// frontier has passed.
+    fn release_ready(&mut self, ctx: &Context) {
+        let Some(frontier) = self.safe_frontier() else { return };
+        while let Some(entry) = self.held.first_entry() {
+            if entry.key().0 > frontier {
+                break;
+            }
+            for item in entry.remove() {
+                let merged = self.merge(item, ctx);
+                self.pending.push_back(merged);
+            }
+        }
+    }
+
+    fn instruments(&mut self, ctx: &Context) -> Option<(Arc<Histogram>, Arc<Counter>)> {
+        if self.resolve_ns.is_none() {
+            if let Ok(registry) = ctx.services().get::<MetricsRegistry>("metrics") {
+                self.resolve_ns = Some(registry.histogram("crowd.resolve_ns"));
+                self.resolutions = Some(registry.counter("crowd.resolutions"));
+                self.fallbacks = Some(registry.counter("crowd.fallbacks"));
+            }
+        }
+        self.resolve_ns.clone().zip(self.resolutions.clone())
+    }
+
+    /// One EM merge, annotating the summary with the verdict. Summaries the
+    /// task stage already degraded (no `crowd_answers_raw`) pass through.
+    fn merge(&mut self, mut item: DataItem, ctx: &Context) -> DataItem {
+        let Some(raw) = item.get_str("crowd_answers_raw").map(str::to_string) else {
+            return item;
+        };
+        item.remove("crowd_answers_raw");
+        let answers: Vec<(usize, usize)> = raw
+            .split(';')
+            .filter_map(|pair| {
+                let (w, l) = pair.split_once(':')?;
+                Some((w.parse().ok()?, l.parse().ok()?))
+            })
+            .collect();
+        let started = Instant::now();
+        match self.bridge.merge_task(&answers, None) {
+            Ok(resolution) => {
+                if let Some((hist, count)) = self.instruments(ctx) {
+                    hist.record(started.elapsed());
+                    count.inc();
+                }
+                item.set("crowd_verdict_congested", resolution.congested);
+                item.set("crowd_confidence", resolution.confidence);
+                item.set("crowd_answers", resolution.answers as i64);
+            }
+            Err(_) => {
+                self.instruments(ctx);
+                if let Some(fallbacks) = &self.fallbacks {
+                    fallbacks.inc();
+                }
+                item.set("crowd_fallback", true);
+            }
+        }
+        item
+    }
+}
+
+impl Processor for CrowdEmProcessor {
+    fn process(
+        &mut self,
+        item: DataItem,
+        ctx: &mut Context,
+    ) -> Result<Option<DataItem>, StreamsError> {
+        match (item.get_str("region").map(str::to_string), item.get_i64("query_time")) {
+            (Some(region), Some(q)) => {
+                let wm = self.watermarks.entry(region.clone()).or_insert(i64::MIN);
+                *wm = (*wm).max(q);
+                if item.contains("disagreement_lon") {
+                    self.held.entry((q, region)).or_default().push(item);
+                } else {
+                    // No disagreement: nothing touches the EM state, so the
+                    // summary can pass through unordered.
+                    self.pending.push_back(item);
+                }
+            }
+            _ => self.pending.push_back(item),
+        }
+        self.release_ready(ctx);
+        Ok(self.pending.pop_front())
+    }
+
+    fn finish(&mut self, ctx: &mut Context) -> Result<Vec<DataItem>, StreamsError> {
+        // Merge whatever the watermark gate still holds, in the same
+        // canonical (query_time, region) order the in-stream path uses.
+        let held = std::mem::take(&mut self.held);
+        for (_, items) in held {
+            for item in items {
+                let merged = self.merge(item, ctx);
+                self.pending.push_back(merged);
+            }
+        }
+        Ok(self.pending.drain(..).collect())
+    }
+}
+
+/// Shard counts of the §3 topology's data-parallel stages.
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Replicas of the RTEC stage, partitioned by `region` (values below 1
+    /// are clamped to 1; 1 means an ordinary unsharded process).
+    pub rtec_replicas: usize,
+    /// Replicas of the crowd task stage, partitioned by
+    /// `(query_time, region)`.
+    pub crowd_replicas: usize,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> PipelineOptions {
+        PipelineOptions { rtec_replicas: 4, crowd_replicas: 2 }
+    }
+}
+
 /// Builds the full §3 topology over a generated scenario and returns it
-/// together with the sink collecting the recognition summaries.
+/// together with the sink collecting the recognition summaries, using the
+/// default shard counts ([`PipelineOptions::default`]).
 ///
 /// `window` controls the RTEC working memory/step of every region engine.
 pub fn build_pipeline(
@@ -448,7 +877,19 @@ pub fn build_pipeline(
     rules: TrafficRulesConfig,
     window: WindowConfig,
 ) -> Result<(Topology, CollectSink), StreamsError> {
-    let (topology, sink, _) = build_pipeline_inner(scenario, rules, window, None)?;
+    build_pipeline_with(scenario, rules, window, &PipelineOptions::default())
+}
+
+/// [`build_pipeline`] with explicit shard counts. The recognition output is
+/// identical in canonical form ([`crate::replay::canonical_recognitions`])
+/// for every choice of `options`.
+pub fn build_pipeline_with(
+    scenario: &Scenario,
+    rules: TrafficRulesConfig,
+    window: WindowConfig,
+    options: &PipelineOptions,
+) -> Result<(Topology, CollectSink), StreamsError> {
+    let (topology, sink, _) = build_pipeline_inner(scenario, rules, window, None, options)?;
     Ok((topology, sink))
 }
 
@@ -458,10 +899,10 @@ pub type SourceChaosStats = Vec<(String, Arc<ChaosStats>)>;
 
 /// [`build_pipeline`] with deterministic fault injection and supervision:
 /// every source is wrapped in a [`ChaosSource`] (seeded per source from
-/// `chaos.seed`), the RTEC processes run under `Skip` so corrupted or
-/// erroring items are dropped instead of aborting the region, and the
-/// crowdsourcing process dead-letters failed summaries for post-mortem
-/// (read them via [`Topology::dead_letters`] before `Runtime::new`).
+/// `chaos.seed`), the RTEC replicas run under `Skip` so corrupted or
+/// erroring items are dropped instead of aborting a shard, and the crowd
+/// stages dead-letter failed summaries for post-mortem (read them via
+/// [`Topology::dead_letters`] before `Runtime::new`).
 ///
 /// Also returns one [`ChaosStats`] handle per wrapped source so callers can
 /// report how much chaos was actually injected.
@@ -471,7 +912,20 @@ pub fn build_chaos_pipeline(
     window: WindowConfig,
     chaos: ChaosConfig,
 ) -> Result<(Topology, CollectSink, SourceChaosStats), StreamsError> {
-    build_pipeline_inner(scenario, rules, window, Some(chaos))
+    build_pipeline_inner(scenario, rules, window, Some(chaos), &PipelineOptions::default())
+}
+
+/// [`build_chaos_pipeline`] with explicit shard counts, so the fault
+/// injection harness can exercise the partition/merge machinery at any
+/// replica count.
+pub fn build_chaos_pipeline_with(
+    scenario: &Scenario,
+    rules: TrafficRulesConfig,
+    window: WindowConfig,
+    chaos: ChaosConfig,
+    options: &PipelineOptions,
+) -> Result<(Topology, CollectSink, SourceChaosStats), StreamsError> {
+    build_pipeline_inner(scenario, rules, window, Some(chaos), options)
 }
 
 /// Adds `items` as a source named `name`, wrapped in a [`ChaosSource`] when
@@ -504,13 +958,15 @@ fn build_pipeline_inner(
     rules: TrafficRulesConfig,
     window: WindowConfig,
     chaos: Option<ChaosConfig>,
+    options: &PipelineOptions,
 ) -> Result<(Topology, CollectSink, SourceChaosStats), StreamsError> {
     let mut topology = Topology::new();
     let mut chaos_stats: SourceChaosStats = Vec::new();
     let (start, _) = scenario.window();
     let first_query = start + window.step();
 
-    // Input handling: one bus stream, four SCATS region streams.
+    // Input handling: one bus stream, four SCATS region streams, all
+    // feeding the shared `sde` queue that the sharded RTEC stage consumes.
     let bus_items: Vec<DataItem> =
         scenario.sdes.iter().filter(|s| s.is_bus()).map(sde_to_item).collect();
     add_source(&mut topology, "bus", bus_items, &chaos, 0, &mut chaos_stats);
@@ -531,92 +987,123 @@ fn build_pipeline_inner(
         );
     }
 
-    // Per-region queues fed by the bus splitter and the region's SCATS stream.
-    for region in Region::ALL {
-        topology.add_queue(&format!("sde-{region}"), 4096);
-    }
-    let mut splitter = topology.process("bus-split").input(Input::Stream("bus".into()));
-    for region in Region::ALL {
-        splitter = splitter.output(Output::Queue(format!("sde-{region}")));
-    }
-    // The splitter broadcasts; each region's RTEC processor ignores items
-    // of other regions via a filtering pre-processor.
-    splitter.done();
+    topology.add_queue("sde", 8192);
+    topology
+        .process("bus-feed")
+        .input(Input::Stream("bus".into()))
+        .output(Output::Queue("sde".into()))
+        .done();
     for region in Region::ALL {
         topology
             .process(&format!("scats-feed-{region}"))
             .input(Input::Stream(format!("scats-{region}")))
-            .output(Output::Queue(format!("sde-{region}")))
+            .output(Output::Queue("sde".into()))
             .done();
     }
 
-    // Event processing processes: one RTEC engine per region.
-    let sink = CollectSink::shared();
-    topology.add_queue("recognitions", 4096);
-    for region in Region::ALL {
-        let infos: Vec<IntersectionInfo> = scenario
-            .scats
-            .intersections()
-            .iter()
-            .filter(|i| i.region == region)
-            .map(|i| IntersectionInfo { id: i.id as i64, lon: i.lon, lat: i.lat })
-            .collect();
-        let recognizer =
-            TrafficRecognizer::new(rules.clone(), window, &infos, &[]).map_err(|e| {
-                StreamsError::ProcessorFailed {
-                    process: format!("rtec-{region}"),
-                    processor: None,
-                    message: e.to_string(),
-                }
-            })?;
-        let mut builder = topology
-            .process(&format!("rtec-{region}"))
-            .input(Input::Queue(format!("sde-{region}")));
-        if chaos.is_some() {
-            // Under injected faults a corrupted SDE must cost one item, not
-            // the whole region engine.
-            builder = builder.fault_policy(FaultPolicy::Skip { max_consecutive: usize::MAX });
-        }
-        // Region filtering of the broadcast bus stream happens inside the
-        // RTEC processor, which needs to observe foreign-region arrivals to
-        // advance its bus watermark (see [`RtecProcessor`]).
-        builder
-            .processor(RtecProcessor::new(recognizer, first_query, window.step(), region))
-            .output(Output::Queue("recognitions".into()))
-            .done();
-    }
-
-    // Crowdsourcing processes: annotate summaries that carry an open
-    // disagreement with a crowd verdict, then collect.
-    let bridge = {
-        let (x0, y0, x1, y1) = scenario.network.bbox();
-        crate::crowdbridge::CrowdBridge::new(
-            &crate::crowdbridge::CrowdBridgeConfig::default(),
-            ((x0 + x1) / 2.0, (y0 + y1) / 2.0),
-            scenario.config.seed,
-        )
-        .map_err(|e| StreamsError::ProcessorFailed {
-            process: "crowdsourcing".into(),
+    // Event processing: one sharded RTEC stage partitioned by region. Every
+    // item of a region lands on the same replica, so each region engine
+    // sees its full stream in FIFO order (see [`MultiRegionRtecProcessor`]).
+    // Validate the rule set once here so a bad configuration fails at build
+    // time rather than inside a replica.
+    TrafficRecognizer::new(rules.clone(), window, &[], &[]).map_err(|e| {
+        StreamsError::ProcessorFailed {
+            process: "rtec".into(),
             processor: None,
             message: e.to_string(),
-        })?
-    };
+        }
+    })?;
+    let mut infos_by_region: HashMap<Region, Vec<IntersectionInfo>> = HashMap::new();
+    for i in scenario.scats.intersections() {
+        infos_by_region.entry(i.region).or_default().push(IntersectionInfo {
+            id: i.id as i64,
+            lon: i.lon,
+            lat: i.lat,
+        });
+    }
+    let infos = Arc::new(infos_by_region);
+    let rules_shared = Arc::new(rules);
+    let sink = CollectSink::shared();
+    topology.add_queue("recognitions", 4096);
+    let mut builder = topology
+        .process("rtec")
+        .input(Input::Queue("sde".into()))
+        .replicas(options.rtec_replicas.max(1))
+        .partition_by(["region"]);
+    if chaos.is_some() {
+        // Under injected faults a corrupted SDE must cost one item, not a
+        // whole shard.
+        builder = builder.fault_policy(FaultPolicy::Skip { max_consecutive: usize::MAX });
+    }
+    builder
+        .processor_factory({
+            let rules = rules_shared.clone();
+            let infos = infos.clone();
+            move || {
+                Box::new(MultiRegionRtecProcessor::new(
+                    rules.clone(),
+                    window,
+                    infos.clone(),
+                    first_query,
+                ))
+            }
+        })
+        .output(Output::Queue("recognitions".into()))
+        .done();
+
+    // Crowdsourcing: a sharded task stage (worker selection + simulated
+    // answers, key-pure per (query_time, region)) followed by one EM merge
+    // stage consuming the restored-order stream.
+    let bridge_config = crate::crowdbridge::CrowdBridgeConfig::default();
+    let (x0, y0, x1, y1) = scenario.network.bbox();
+    let centre = ((x0 + x1) / 2.0, (y0 + y1) / 2.0);
+    let seed = scenario.config.seed;
+    // Build the EM-stage bridge eagerly: it both validates the bridge
+    // configuration (so the replica factory below cannot fail) and carries
+    // the online EM state.
+    let em_bridge =
+        crate::crowdbridge::CrowdBridge::new(&bridge_config, centre, seed).map_err(|e| {
+            StreamsError::ProcessorFailed {
+                process: "crowd-em".into(),
+                processor: None,
+                message: e.to_string(),
+            }
+        })?;
     let network = scenario.network.clone();
     let field = scenario.field.clone();
-    let truth_of = move |lon: f64, lat: f64, t: i64| {
+    let truth_of: TruthOracle = Arc::new(move |lon: f64, lat: f64, t: i64| {
         network.nearest_junction(lon, lat).map(|j| field.is_congested(j, t)).unwrap_or(false)
-    };
-    let mut builder = topology.process("crowdsourcing").input(Input::Queue("recognitions".into()));
+    });
+    topology.add_queue("crowd-tasks", 4096);
+    let mut builder = topology
+        .process("crowd")
+        .input(Input::Queue("recognitions".into()))
+        .replicas(options.crowd_replicas.max(1))
+        .partition_by(["query_time", "region"]);
     if chaos.is_some() {
         // Failed summaries are preserved for post-mortem instead of
         // aborting the run.
         builder = builder.dead_letter();
     }
     builder
-        .processor(
-            CrowdProcessor::new(bridge, truth_of)
-                .with_regions(Region::ALL.into_iter().map(|r| r.to_string())),
-        )
+        .processor_factory(move || {
+            let bridge = crate::crowdbridge::CrowdBridge::new(&bridge_config, centre, seed)
+                .expect("bridge configuration validated at build time");
+            Box::new(CrowdTaskProcessor::new(bridge, truth_of.clone(), seed))
+        })
+        .output(Output::Queue("crowd-tasks".into()))
+        .done();
+
+    // Only regions that actually produce SDEs emit summaries; gating on
+    // anything else would defer every merge to end-of-stream.
+    let active_regions: std::collections::BTreeSet<String> =
+        scenario.sdes.iter().map(|s| s.region().to_string()).collect();
+    let mut builder = topology.process("crowd-em").input(Input::Queue("crowd-tasks".into()));
+    if chaos.is_some() {
+        builder = builder.dead_letter();
+    }
+    builder
+        .processor(CrowdEmProcessor::new(em_bridge).with_regions(active_regions))
         .output(Output::Sink(Box::new(sink.clone())))
         .done();
 
@@ -661,9 +1148,23 @@ mod tests {
         let snap = metrics.snapshot();
 
         // Per-stage item counts are non-zero where data flowed.
-        let split = snap.stages.get("bus-split").expect("stage registered");
-        assert!(split.items_in > 0, "bus SDEs entered the splitter");
-        assert!(split.items_out >= split.items_in, "broadcast fans out");
+        let feed = snap.stages.get("bus-feed").expect("stage registered");
+        assert!(feed.items_in > 0, "bus SDEs entered the feed");
+        assert_eq!(feed.items_out, feed.items_in, "the feed forwards 1:1");
+
+        // The RTEC stage expanded into partitioner, shard replicas, and
+        // merge, each with its own metrics label; the rollup groups them
+        // back under the stage name.
+        assert!(snap.stages.contains_key("rtec[part]"), "partitioner labelled");
+        assert!(snap.stages.contains_key("rtec[merge]"), "merge labelled");
+        let rollup = snap.rollup_stages();
+        let rtec = rollup.get("rtec").expect("replicated stage rolls up");
+        assert_eq!(
+            rtec.replicas.keys().filter(|k| k.parse::<usize>().is_ok()).count(),
+            4,
+            "four shard replicas reported"
+        );
+        assert!(rtec.combined.items_in > 0, "shards consumed items");
 
         // Queue throughput balances and the high-water mark moved.
         let recs = snap.queues.get("recognitions").expect("queue registered");
@@ -723,6 +1224,10 @@ mod tests {
             if item.contains("disagreement_lon") {
                 assert!(item.get_bool("crowd_verdict_congested").is_some());
                 assert!(item.get_f64("crowd_confidence").unwrap() > 0.0);
+                assert!(
+                    !item.contains("crowd_answers_raw"),
+                    "stage-internal attribute must not reach the sink"
+                );
                 annotated += 1;
             }
         }
@@ -781,6 +1286,57 @@ mod tests {
             (sink.len(), injected)
         };
         assert_eq!(run(5), run(5), "same seed, same chaos, same output");
+    }
+
+    #[test]
+    fn recognitions_identical_across_shard_counts() {
+        let canonical = |options: &PipelineOptions| {
+            let scenario = Scenario::generate(ScenarioConfig::small(1200, 77)).unwrap();
+            let window = WindowConfig::new(600, 300).unwrap();
+            let rules =
+                TrafficRulesConfig::self_adaptive(insight_traffic::NoisyVariant::CrowdValidated);
+            let (topology, sink) = build_pipeline_with(&scenario, rules, window, options).unwrap();
+            Runtime::new(topology).run().unwrap();
+            crate::replay::canonical_recognitions(&sink.items())
+        };
+        let base = canonical(&PipelineOptions { rtec_replicas: 1, crowd_replicas: 1 });
+        assert!(!base.is_empty());
+        for options in [
+            PipelineOptions { rtec_replicas: 2, crowd_replicas: 3 },
+            PipelineOptions { rtec_replicas: 4, crowd_replicas: 2 },
+            PipelineOptions { rtec_replicas: 8, crowd_replicas: 4 },
+        ] {
+            assert_eq!(
+                canonical(&options),
+                base,
+                "recognition output must not depend on shard counts ({options:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_pipeline_output_invariant_across_shard_counts() {
+        // Fault injection happens at the sources, upstream of the
+        // partitioner — so even a degraded run must produce canonically
+        // identical output for every shard count.
+        let canonical = |options: &PipelineOptions| {
+            let scenario = Scenario::generate(ScenarioConfig::small(900, 42)).unwrap();
+            let window = WindowConfig::new(300, 300).unwrap();
+            let chaos = ChaosConfig { corrupt_rate: 0.1, drop_rate: 0.1, ..ChaosConfig::new(11) };
+            let (topology, sink, _) = build_chaos_pipeline_with(
+                &scenario,
+                TrafficRulesConfig::static_mode(),
+                window,
+                chaos,
+                options,
+            )
+            .unwrap();
+            Runtime::new(topology).run().unwrap();
+            crate::replay::canonical_recognitions(&sink.items())
+        };
+        let base = canonical(&PipelineOptions { rtec_replicas: 1, crowd_replicas: 1 });
+        assert!(!base.is_empty());
+        assert_eq!(canonical(&PipelineOptions { rtec_replicas: 4, crowd_replicas: 2 }), base);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! sorted by `(query_time, region)`), and wall-clock measurements
 //! (`recognition_ns`, which times the host, not the data).
 
-use crate::pipeline::build_pipeline;
+use crate::pipeline::{build_pipeline, build_pipeline_with, PipelineOptions};
 use insight_datagen::scenario::Scenario;
 use insight_rtec::window::WindowConfig;
 use insight_streams::error::StreamsError;
@@ -63,6 +63,21 @@ pub fn replay_recognitions(
     seed: u64,
 ) -> Result<String, StreamsError> {
     let (topology, sink) = build_pipeline(scenario, rules.clone(), window)?;
+    ReplayRuntime::new(topology, seed).run()?;
+    Ok(canonical_recognitions(&sink.items()))
+}
+
+/// [`replay_recognitions`] with explicit shard counts, so conformance can
+/// assert that the canonical output is also invariant in the replica counts
+/// of the partitioned stages.
+pub fn replay_recognitions_with(
+    scenario: &Scenario,
+    rules: TrafficRulesConfig,
+    window: WindowConfig,
+    seed: u64,
+    options: &PipelineOptions,
+) -> Result<String, StreamsError> {
+    let (topology, sink) = build_pipeline_with(scenario, rules.clone(), window, options)?;
     ReplayRuntime::new(topology, seed).run()?;
     Ok(canonical_recognitions(&sink.items()))
 }

@@ -444,12 +444,19 @@ pub struct Engine {
     /// becomes true), so neither cached derivations nor a clean-dependency
     /// skip are sound for them.
     stratum_pivotable: Vec<bool>,
+    /// Strata grouped by dependency depth: level 0 depends only on inputs,
+    /// level `k+1` only on inputs and strata of levels `≤ k`. Strata within
+    /// one level are mutually independent — no body of one references the
+    /// head symbol of another — so they can be evaluated in any order, or in
+    /// parallel, without changing any output.
+    stratum_levels: Vec<Vec<usize>>,
     last_query: Option<Time>,
     first_query: Option<Time>,
     /// Relations/builtins changed since the last query: every stratum must
     /// re-evaluate because those dependencies are outside frontier tracking.
     dirty_all: bool,
     incremental: bool,
+    parallel_strata: bool,
 }
 
 struct EvalCtx<'a> {
@@ -525,6 +532,26 @@ impl Engine {
                 HeadKind::StaticFluent => true,
             })
             .collect();
+        // Dependency depth of each stratum: 0 for input-only bodies, else one
+        // more than the deepest derived dependency. Stratification orders
+        // strata topologically, so every derived dependency has a smaller
+        // stratum index and its level is already known.
+        let sym_to_idx: HashMap<Symbol, usize> =
+            ruleset.strata.iter().enumerate().map(|(i, s)| (s.symbol, i)).collect();
+        let mut level = vec![0usize; ruleset.strata.len()];
+        for i in 0..ruleset.strata.len() {
+            level[i] = stratum_deps[i]
+                .iter()
+                .filter_map(|d| sym_to_idx.get(d).copied().filter(|&j| j < i))
+                .map(|j| level[j] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+        let depth = level.iter().copied().max().map_or(0, |m| m + 1);
+        let mut stratum_levels: Vec<Vec<usize>> = vec![Vec::new(); depth];
+        for (i, &l) in level.iter().enumerate() {
+            stratum_levels[l].push(i);
+        }
         Engine {
             ruleset,
             window,
@@ -541,10 +568,12 @@ impl Engine {
             ev_pivots,
             sf_pivots,
             stratum_pivotable,
+            stratum_levels,
             last_query: None,
             first_query: None,
             dirty_all: false,
             incremental: true,
+            parallel_strata: true,
         }
     }
 
@@ -554,6 +583,17 @@ impl Engine {
     /// correctness tests and benchmarks.
     pub fn set_incremental(&mut self, on: bool) {
         self.incremental = on;
+    }
+
+    /// Enables or disables parallel evaluation of independent strata. Strata
+    /// at the same dependency level never reference each other's head
+    /// symbols, so they are evaluated on scoped threads and their outputs
+    /// merged in stratum order — every result is identical to serial
+    /// evaluation. Parallelism is only used while incremental mode is on
+    /// (`set_incremental(false)` implies serial evaluation, the reference
+    /// behaviour), and only for levels holding more than one stratum.
+    pub fn set_parallel_strata(&mut self, on: bool) {
+        self.parallel_strata = on;
     }
 
     /// The window configuration.
@@ -765,25 +805,40 @@ impl Engine {
         let mut strata_evaluated = 0usize;
         let mut groundings_recomputed = 0usize;
 
-        for (si, stratum) in self.ruleset.strata.iter().enumerate() {
-            // Everything strictly below the stratum frontier is untouched by
-            // this query's delta; TIME_MAX means the stratum is clean.
-            let mut frontier = if full_eval {
-                TIME_MIN
-            } else {
-                self.stratum_deps[si]
-                    .iter()
-                    .map(|d| frontiers.get(d).copied().unwrap_or(TIME_MAX))
-                    .min()
-                    .unwrap_or(TIME_MAX)
-            };
-            if !self.stratum_pivotable[si] && (window_advanced || frontier < TIME_MAX) {
-                // Delta-bounded solving would be incomplete, and a clean
-                // skip is unsound once the window start moved: a holdsAt
-                // read at an event-argument time can change truth value
-                // purely because that time left the window. Re-solve fully.
-                frontier = TIME_MIN;
-            }
+        // Strata are processed level by level (see `stratum_levels`): the
+        // frontiers and outputs a stratum reads all belong to lower levels,
+        // so every stratum of one level can be evaluated against the same
+        // pre-level stores — in any order, or on parallel threads — and the
+        // outputs merged in stratum index order, reproducing the sequential
+        // result exactly.
+        let parallel = self.parallel_strata && self.incremental;
+        for level in &self.stratum_levels {
+            let level_frontiers: Vec<Time> = level
+                .iter()
+                .map(|&si| {
+                    // Everything strictly below the stratum frontier is
+                    // untouched by this query's delta; TIME_MAX means the
+                    // stratum is clean.
+                    let mut frontier = if full_eval {
+                        TIME_MIN
+                    } else {
+                        self.stratum_deps[si]
+                            .iter()
+                            .map(|d| frontiers.get(d).copied().unwrap_or(TIME_MAX))
+                            .min()
+                            .unwrap_or(TIME_MAX)
+                    };
+                    if !self.stratum_pivotable[si] && (window_advanced || frontier < TIME_MAX) {
+                        // Delta-bounded solving would be incomplete, and a
+                        // clean skip is unsound once the window start moved:
+                        // a holdsAt read at an event-argument time can change
+                        // truth value purely because that time left the
+                        // window. Re-solve fully.
+                        frontier = TIME_MIN;
+                    }
+                    frontier
+                })
+                .collect();
             let ctx = EvalCtx {
                 events: &events,
                 obs: &obs,
@@ -792,250 +847,73 @@ impl Engine {
                 builtins: &self.builtins,
                 input_fluents: &self.ruleset.input_fluents,
             };
-            match stratum.kind {
-                HeadKind::Event => {
-                    // Survivors: cached derivations whose whole evidence span
-                    // is in-window and below the frontier stay valid.
-                    let old_derivs =
-                        self.event_cache.get(&stratum.symbol).map(Vec::as_slice).unwrap_or(&[]);
-                    let mut new_derivs: Vec<CachedDeriv> = old_derivs
+            let outs: Vec<StratumOut> = if parallel && level.len() > 1 {
+                let this = &*self;
+                let ctx = &ctx;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = level
                         .iter()
-                        .filter(|d| d.span_min > start && d.span_max < frontier)
-                        .cloned()
+                        .zip(&level_frontiers)
+                        .map(|(&si, &fr)| {
+                            scope.spawn(move || this.eval_stratum(si, fr, start, full_eval, ctx))
+                        })
                         .collect();
-                    if frontier < TIME_MAX {
-                        strata_evaluated += 1;
-                        for &i in &stratum.rule_indices {
-                            let rule = &self.ruleset.ev_rules[i];
-                            solve_frontier(
-                                &ctx,
-                                &rule.body,
-                                &self.ev_pivots[i],
-                                rule.n_vars,
-                                frontier,
-                                start,
-                                &mut |b, spans| {
-                                    let t = b
-                                        .get(rule.time)
-                                        .and_then(term_time)
-                                        .expect("head time bound (validated at build)");
-                                    let args = instantiate_args(&rule.head.args, b);
-                                    let (mn, mx) = span_bounds(spans);
-                                    new_derivs.push(CachedDeriv {
-                                        args,
-                                        time: t,
-                                        span_min: mn,
-                                        span_max: mx,
-                                    });
-                                },
-                            );
-                        }
-                    }
-                    // Materialise the deduplicated event set and diff it
-                    // against the previous one for the output frontier.
-                    let old_mat = materialized_events(old_derivs, stratum.symbol, start);
-                    let new_mat = materialized_events(&new_derivs, stratum.symbol, start);
-                    frontiers.insert(stratum.symbol, first_event_divergence(&old_mat, &new_mat));
-                    if !new_derivs.is_empty() {
-                        new_event_cache.insert(stratum.symbol, new_derivs);
-                    }
-                    derived_events_all.extend(new_mat.iter().cloned());
-                    events.add_derived(new_mat);
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("stratum evaluation panicked"))
+                        .collect()
+                })
+            } else {
+                level
+                    .iter()
+                    .zip(&level_frontiers)
+                    .map(|(&si, &fr)| self.eval_stratum(si, fr, start, full_eval, &ctx))
+                    .collect()
+            };
+
+            for (&si, out) in level.iter().zip(outs) {
+                let sym = self.ruleset.strata[si].symbol;
+                if out.evaluated {
+                    strata_evaluated += 1;
                 }
-                HeadKind::SimpleFluent => {
-                    let sym = stratum.symbol;
-                    // Fresh initiation/termination points from the delta.
-                    let mut fresh: HashMap<(Vec<Term>, Term), Vec<CachedPoint>> = HashMap::new();
-                    if frontier < TIME_MAX {
-                        strata_evaluated += 1;
-                        for &i in &stratum.rule_indices {
-                            let rule = &self.ruleset.sf_rules[i];
-                            solve_frontier(
-                                &ctx,
-                                &rule.body,
-                                &self.sf_pivots[i],
-                                rule.n_vars,
-                                frontier,
-                                start,
-                                &mut |b, spans| {
-                                    let t = b
-                                        .get(rule.time)
-                                        .and_then(term_time)
-                                        .expect("head time bound (validated at build)");
-                                    let args = instantiate_args(&rule.head.args, b);
-                                    let value = match &rule.head.value {
-                                        ArgPat::Const(c) => c.clone(),
-                                        ArgPat::Var(v) => {
-                                            b.get(*v).expect("head value bound").clone()
-                                        }
-                                        ArgPat::Any => unreachable!("validated at build"),
-                                    };
-                                    let (mn, mx) = span_bounds(spans);
-                                    fresh.entry((args, value)).or_default().push(CachedPoint {
-                                        kind: rule.kind,
-                                        time: t,
-                                        span_min: mn,
-                                        span_max: mx,
-                                    });
-                                },
-                            );
+                groundings_recomputed += out.groundings;
+                frontiers.insert(sym, out.frontier_out);
+                match out.kind {
+                    StratumOutKind::Event { new_derivs, new_mat } => {
+                        if !new_derivs.is_empty() {
+                            new_event_cache.insert(sym, new_derivs);
                         }
+                        derived_events_all.extend(new_mat.iter().cloned());
+                        events.add_derived(new_mat);
                     }
-
-                    // Grounding universe: groundings with fresh or cached
-                    // points, plus groundings carried by inertia.
-                    let empty_pts: HashMap<(Vec<Term>, Term), Vec<CachedPoint>> = HashMap::new();
-                    let old_pts_all = self.points_cache.get(&sym).unwrap_or(&empty_pts);
-                    let mut keys: BTreeSet<(Vec<Term>, Term)> = fresh.keys().cloned().collect();
-                    keys.extend(old_pts_all.keys().cloned());
-                    for (name, args, value) in self.prev_fluents.keys() {
-                        if *name == sym {
-                            keys.insert((args.clone(), value.clone()));
-                        }
-                    }
-
-                    let mut new_pts_map: HashMap<(Vec<Term>, Term), Vec<CachedPoint>> =
-                        HashMap::new();
-                    let mut f_out = TIME_MAX;
-                    for key in keys {
-                        let old_pts: &[CachedPoint] =
-                            old_pts_all.get(&key).map(Vec::as_slice).unwrap_or(&[]);
-                        let mut new_pts: Vec<CachedPoint> = old_pts
-                            .iter()
-                            .filter(|p| p.span_min > start && p.span_max < frontier)
-                            .cloned()
-                            .collect();
-                        if let Some(f) = fresh.remove(&key) {
-                            new_pts.extend(f);
-                        }
-                        // `from_points` has set semantics, so compare the
-                        // in-window point sets to decide whether the grounding
-                        // changed at all.
-                        let old_set: BTreeSet<(Time, bool)> = old_pts
-                            .iter()
-                            .filter(|p| p.time > start)
-                            .map(|p| (p.time, matches!(p.kind, SfKind::Initiated)))
-                            .collect();
-                        let new_set: BTreeSet<(Time, bool)> = new_pts
-                            .iter()
-                            .map(|p| (p.time, matches!(p.kind, SfKind::Initiated)))
-                            .collect();
-                        let full_key: FluentKey = (sym, key.0.clone(), key.1.clone());
-                        let prev_out = self.prev_fluents.get(&full_key);
-                        let ivs = if old_set == new_set && !full_eval {
-                            // Unchanged in-window points: the previous
-                            // intervals clipped to the new window start are
-                            // exactly what a recompute would produce.
-                            prev_out.map(|l| l.after(start)).unwrap_or_default()
-                        } else {
-                            let initially = prev_out.is_some_and(|l| l.contains(start));
-                            if !new_set.is_empty() || initially {
-                                groundings_recomputed += 1;
-                            }
-                            let inits: Vec<Time> =
-                                new_set.iter().filter(|(_, init)| *init).map(|(t, _)| *t).collect();
-                            let terms: Vec<Time> = new_set
-                                .iter()
-                                .filter(|(_, init)| !*init)
-                                .map(|(t, _)| *t)
-                                .collect();
-                            let computed =
-                                IntervalList::from_points(&inits, &terms, initially, start);
-                            let old_clamped = prev_out.map(|l| l.after(start)).unwrap_or_default();
-                            if let Some(d) = old_clamped.first_divergence(&computed) {
-                                f_out = f_out.min(d);
-                            }
-                            computed
-                        };
-                        if !ivs.is_empty() {
+                    StratumOutKind::Simple { entries, new_pts_map } => {
+                        for (args, value, ivs) in entries {
                             fluents.insert(
                                 sym,
                                 FluentEntry {
-                                    args: key.0.clone(),
-                                    value: key.1.clone(),
+                                    args: args.clone(),
+                                    value: value.clone(),
                                     ivs: ivs.clone(),
                                 },
                             );
-                            new_prev_fluents.insert(full_key, ivs);
+                            new_prev_fluents.insert((sym, args, value), ivs);
                         }
-                        if !new_pts.is_empty() {
-                            new_pts_map.insert(key, new_pts);
+                        if !new_pts_map.is_empty() {
+                            new_points_cache.insert(sym, new_pts_map);
                         }
                     }
-                    if !new_pts_map.is_empty() {
-                        new_points_cache.insert(sym, new_pts_map);
-                    }
-                    frontiers.insert(sym, f_out);
-                }
-                HeadKind::StaticFluent => {
-                    let sym = stratum.symbol;
-                    if frontier == TIME_MAX && self.static_pure[si] {
-                        // Clean dependencies and a pure relation/guard
-                        // domain: every grounding's interval expression
-                        // distributes over the window clip, so the cached
-                        // result clamped to the new start is exact.
-                        for (key, ivs) in &self.prev_static {
-                            if key.0 != sym {
-                                continue;
-                            }
-                            let clamped = ivs.after(start);
-                            if !clamped.is_empty() {
-                                fluents.insert(
-                                    sym,
-                                    FluentEntry {
-                                        args: key.1.clone(),
-                                        value: key.2.clone(),
-                                        ivs: clamped.clone(),
-                                    },
-                                );
-                                new_prev_static.insert(key.clone(), clamped);
-                            }
+                    StratumOutKind::Static { entries } => {
+                        for (args, value, ivs) in entries {
+                            fluents.insert(
+                                sym,
+                                FluentEntry {
+                                    args: args.clone(),
+                                    value: value.clone(),
+                                    ivs: ivs.clone(),
+                                },
+                            );
+                            new_prev_static.insert((sym, args, value), ivs);
                         }
-                        frontiers.insert(sym, TIME_MAX);
-                    } else {
-                        strata_evaluated += 1;
-                        let rules: Vec<&StaticRule> = stratum
-                            .rule_indices
-                            .iter()
-                            .map(|&i| &self.ruleset.static_rules[i])
-                            .collect();
-                        let computed: HashMap<FluentKey, IntervalList> =
-                            eval_static_stratum(&rules, &ctx).into_iter().collect();
-                        groundings_recomputed += computed.len();
-                        let mut f_out = TIME_MAX;
-                        for (key, old) in &self.prev_static {
-                            if key.0 != sym || computed.contains_key(key) {
-                                continue;
-                            }
-                            // Grounding disappeared entirely.
-                            if let Some(d) =
-                                old.after(start).first_divergence(&IntervalList::empty())
-                            {
-                                f_out = f_out.min(d);
-                            }
-                        }
-                        for (key, ivs) in computed {
-                            let old_clamped = self
-                                .prev_static
-                                .get(&key)
-                                .map(|l| l.after(start))
-                                .unwrap_or_default();
-                            if let Some(d) = old_clamped.first_divergence(&ivs) {
-                                f_out = f_out.min(d);
-                            }
-                            if !ivs.is_empty() {
-                                fluents.insert(
-                                    sym,
-                                    FluentEntry {
-                                        args: key.1.clone(),
-                                        value: key.2.clone(),
-                                        ivs: ivs.clone(),
-                                    },
-                                );
-                                new_prev_static.insert(key, ivs);
-                            }
-                        }
-                        frontiers.insert(sym, f_out);
                     }
                 }
             }
@@ -1067,6 +945,284 @@ impl Engine {
             fluents,
         })
     }
+
+    /// Evaluates one stratum against the pre-level stores without touching
+    /// shared state — the caller merges the returned [`StratumOut`] in
+    /// stratum index order. Pure with respect to `&self` and `ctx`, so
+    /// same-level strata can run this concurrently.
+    fn eval_stratum(
+        &self,
+        si: usize,
+        frontier: Time,
+        start: Time,
+        full_eval: bool,
+        ctx: &EvalCtx<'_>,
+    ) -> StratumOut {
+        let stratum = &self.ruleset.strata[si];
+        match stratum.kind {
+            HeadKind::Event => {
+                // Survivors: cached derivations whose whole evidence span
+                // is in-window and below the frontier stay valid.
+                let old_derivs =
+                    self.event_cache.get(&stratum.symbol).map(Vec::as_slice).unwrap_or(&[]);
+                let mut new_derivs: Vec<CachedDeriv> = old_derivs
+                    .iter()
+                    .filter(|d| d.span_min > start && d.span_max < frontier)
+                    .cloned()
+                    .collect();
+                let mut evaluated = false;
+                if frontier < TIME_MAX {
+                    evaluated = true;
+                    for &i in &stratum.rule_indices {
+                        let rule = &self.ruleset.ev_rules[i];
+                        solve_frontier(
+                            ctx,
+                            &rule.body,
+                            &self.ev_pivots[i],
+                            rule.n_vars,
+                            frontier,
+                            start,
+                            &mut |b, spans| {
+                                let t = b
+                                    .get(rule.time)
+                                    .and_then(term_time)
+                                    .expect("head time bound (validated at build)");
+                                let args = instantiate_args(&rule.head.args, b);
+                                let (mn, mx) = span_bounds(spans);
+                                new_derivs.push(CachedDeriv {
+                                    args,
+                                    time: t,
+                                    span_min: mn,
+                                    span_max: mx,
+                                });
+                            },
+                        );
+                    }
+                }
+                // Materialise the deduplicated event set and diff it
+                // against the previous one for the output frontier.
+                let old_mat = materialized_events(old_derivs, stratum.symbol, start);
+                let new_mat = materialized_events(&new_derivs, stratum.symbol, start);
+                let frontier_out = first_event_divergence(&old_mat, &new_mat);
+                StratumOut {
+                    evaluated,
+                    groundings: 0,
+                    frontier_out,
+                    kind: StratumOutKind::Event { new_derivs, new_mat },
+                }
+            }
+            HeadKind::SimpleFluent => {
+                let sym = stratum.symbol;
+                let mut entries: Vec<(Vec<Term>, Term, IntervalList)> = Vec::new();
+                let mut groundings = 0usize;
+                let mut evaluated = false;
+                // Fresh initiation/termination points from the delta.
+                let mut fresh: HashMap<(Vec<Term>, Term), Vec<CachedPoint>> = HashMap::new();
+                if frontier < TIME_MAX {
+                    evaluated = true;
+                    for &i in &stratum.rule_indices {
+                        let rule = &self.ruleset.sf_rules[i];
+                        solve_frontier(
+                            ctx,
+                            &rule.body,
+                            &self.sf_pivots[i],
+                            rule.n_vars,
+                            frontier,
+                            start,
+                            &mut |b, spans| {
+                                let t = b
+                                    .get(rule.time)
+                                    .and_then(term_time)
+                                    .expect("head time bound (validated at build)");
+                                let args = instantiate_args(&rule.head.args, b);
+                                let value = match &rule.head.value {
+                                    ArgPat::Const(c) => c.clone(),
+                                    ArgPat::Var(v) => b.get(*v).expect("head value bound").clone(),
+                                    ArgPat::Any => unreachable!("validated at build"),
+                                };
+                                let (mn, mx) = span_bounds(spans);
+                                fresh.entry((args, value)).or_default().push(CachedPoint {
+                                    kind: rule.kind,
+                                    time: t,
+                                    span_min: mn,
+                                    span_max: mx,
+                                });
+                            },
+                        );
+                    }
+                }
+
+                // Grounding universe: groundings with fresh or cached
+                // points, plus groundings carried by inertia.
+                let empty_pts: HashMap<(Vec<Term>, Term), Vec<CachedPoint>> = HashMap::new();
+                let old_pts_all = self.points_cache.get(&sym).unwrap_or(&empty_pts);
+                let mut keys: BTreeSet<(Vec<Term>, Term)> = fresh.keys().cloned().collect();
+                keys.extend(old_pts_all.keys().cloned());
+                for (name, args, value) in self.prev_fluents.keys() {
+                    if *name == sym {
+                        keys.insert((args.clone(), value.clone()));
+                    }
+                }
+
+                let mut new_pts_map: HashMap<(Vec<Term>, Term), Vec<CachedPoint>> = HashMap::new();
+                let mut f_out = TIME_MAX;
+                for key in keys {
+                    let old_pts: &[CachedPoint] =
+                        old_pts_all.get(&key).map(Vec::as_slice).unwrap_or(&[]);
+                    let mut new_pts: Vec<CachedPoint> = old_pts
+                        .iter()
+                        .filter(|p| p.span_min > start && p.span_max < frontier)
+                        .cloned()
+                        .collect();
+                    if let Some(f) = fresh.remove(&key) {
+                        new_pts.extend(f);
+                    }
+                    // `from_points` has set semantics, so compare the
+                    // in-window point sets to decide whether the grounding
+                    // changed at all.
+                    let old_set: BTreeSet<(Time, bool)> = old_pts
+                        .iter()
+                        .filter(|p| p.time > start)
+                        .map(|p| (p.time, matches!(p.kind, SfKind::Initiated)))
+                        .collect();
+                    let new_set: BTreeSet<(Time, bool)> = new_pts
+                        .iter()
+                        .map(|p| (p.time, matches!(p.kind, SfKind::Initiated)))
+                        .collect();
+                    let full_key: FluentKey = (sym, key.0.clone(), key.1.clone());
+                    let prev_out = self.prev_fluents.get(&full_key);
+                    let ivs = if old_set == new_set && !full_eval {
+                        // Unchanged in-window points: the previous
+                        // intervals clipped to the new window start are
+                        // exactly what a recompute would produce.
+                        prev_out.map(|l| l.after(start)).unwrap_or_default()
+                    } else {
+                        let initially = prev_out.is_some_and(|l| l.contains(start));
+                        if !new_set.is_empty() || initially {
+                            groundings += 1;
+                        }
+                        let inits: Vec<Time> =
+                            new_set.iter().filter(|(_, init)| *init).map(|(t, _)| *t).collect();
+                        let terms: Vec<Time> =
+                            new_set.iter().filter(|(_, init)| !*init).map(|(t, _)| *t).collect();
+                        let computed = IntervalList::from_points(&inits, &terms, initially, start);
+                        let old_clamped = prev_out.map(|l| l.after(start)).unwrap_or_default();
+                        if let Some(d) = old_clamped.first_divergence(&computed) {
+                            f_out = f_out.min(d);
+                        }
+                        computed
+                    };
+                    if !ivs.is_empty() {
+                        entries.push((key.0.clone(), key.1.clone(), ivs));
+                    }
+                    if !new_pts.is_empty() {
+                        new_pts_map.insert(key, new_pts);
+                    }
+                }
+                StratumOut {
+                    evaluated,
+                    groundings,
+                    frontier_out: f_out,
+                    kind: StratumOutKind::Simple { entries, new_pts_map },
+                }
+            }
+            HeadKind::StaticFluent => {
+                let sym = stratum.symbol;
+                let mut entries: Vec<(Vec<Term>, Term, IntervalList)> = Vec::new();
+                if frontier == TIME_MAX && self.static_pure[si] {
+                    // Clean dependencies and a pure relation/guard
+                    // domain: every grounding's interval expression
+                    // distributes over the window clip, so the cached
+                    // result clamped to the new start is exact.
+                    for (key, ivs) in &self.prev_static {
+                        if key.0 != sym {
+                            continue;
+                        }
+                        let clamped = ivs.after(start);
+                        if !clamped.is_empty() {
+                            entries.push((key.1.clone(), key.2.clone(), clamped));
+                        }
+                    }
+                    StratumOut {
+                        evaluated: false,
+                        groundings: 0,
+                        frontier_out: TIME_MAX,
+                        kind: StratumOutKind::Static { entries },
+                    }
+                } else {
+                    let rules: Vec<&StaticRule> = stratum
+                        .rule_indices
+                        .iter()
+                        .map(|&i| &self.ruleset.static_rules[i])
+                        .collect();
+                    let computed: HashMap<FluentKey, IntervalList> =
+                        eval_static_stratum(&rules, ctx).into_iter().collect();
+                    let groundings = computed.len();
+                    let mut f_out = TIME_MAX;
+                    for (key, old) in &self.prev_static {
+                        if key.0 != sym || computed.contains_key(key) {
+                            continue;
+                        }
+                        // Grounding disappeared entirely.
+                        if let Some(d) = old.after(start).first_divergence(&IntervalList::empty()) {
+                            f_out = f_out.min(d);
+                        }
+                    }
+                    for (key, ivs) in computed {
+                        let old_clamped =
+                            self.prev_static.get(&key).map(|l| l.after(start)).unwrap_or_default();
+                        if let Some(d) = old_clamped.first_divergence(&ivs) {
+                            f_out = f_out.min(d);
+                        }
+                        if !ivs.is_empty() {
+                            let (_, args, value) = key;
+                            entries.push((args, value, ivs));
+                        }
+                    }
+                    StratumOut {
+                        evaluated: true,
+                        groundings,
+                        frontier_out: f_out,
+                        kind: StratumOutKind::Static { entries },
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The shared-state-free result of evaluating one stratum: what the
+/// sequential loop used to write directly into the query's accumulators,
+/// returned as data so independent strata can be evaluated on parallel
+/// threads and merged deterministically afterwards.
+struct StratumOut {
+    /// Whether rule bodies were actually (re-)solved (`strata_evaluated`).
+    evaluated: bool,
+    /// Groundings recomputed (`groundings_recomputed`).
+    groundings: usize,
+    /// The stratum's output change frontier.
+    frontier_out: Time,
+    kind: StratumOutKind,
+}
+
+enum StratumOutKind {
+    Event {
+        /// Replacement derivation cache for the head symbol.
+        new_derivs: Vec<CachedDeriv>,
+        /// Materialised (deduplicated, in-window) derived events.
+        new_mat: Vec<Event>,
+    },
+    Simple {
+        /// `(args, value, intervals)` per non-empty grounding, in
+        /// deterministic grounding order.
+        entries: Vec<(Vec<Term>, Term, IntervalList)>,
+        /// Replacement point cache for the head symbol.
+        new_pts_map: HashMap<(Vec<Term>, Term), Vec<CachedPoint>>,
+    },
+    Static {
+        /// `(args, value, intervals)` per non-empty grounding.
+        entries: Vec<(Vec<Term>, Term, IntervalList)>,
+    },
 }
 
 /// Min/max of the evidence times on one solution path. Every rule body has
@@ -1590,6 +1746,103 @@ mod tests {
             [happens(event_pat("switch_off", [pat(dev)]), t2)],
         );
         b.build().unwrap()
+    }
+
+    /// Several mutually independent fluents (each driven by its own input
+    /// events) plus a derived event reading one of them: the independent
+    /// strata share a dependency level while the event sits one level up.
+    fn multi_strata_ruleset() -> RuleSet {
+        let mut b = RuleSetBuilder::new();
+        for name in ["on", "hot", "busy"] {
+            let on_ev = format!("{name}_set");
+            let off_ev = format!("{name}_clear");
+            b.declare_event(&on_ev, 1).declare_event(&off_ev, 1);
+            let dev = b.var(&format!("Dev_{name}"));
+            let t1 = b.var(&format!("T1_{name}"));
+            b.initiated(
+                fluent(name, [pat(dev)], val(true)),
+                t1,
+                [happens(event_pat(&on_ev, [pat(dev)]), t1)],
+            );
+            let t2 = b.var(&format!("T2_{name}"));
+            b.terminated(
+                fluent(name, [pat(dev)], val(true)),
+                t2,
+                [happens(event_pat(&off_ev, [pat(dev)]), t2)],
+            );
+        }
+        b.declare_event("check", 1);
+        let dev = b.var("DevA");
+        let t = b.var("TA");
+        b.derived_event(
+            event_head("alert", [pat(dev)]),
+            t,
+            [
+                happens(event_pat("check", [pat(dev)]), t),
+                holds(fluent_pat("on", [pat(dev)], val(true)), t),
+            ],
+        );
+        b.build().unwrap()
+    }
+
+    fn canonical(rec: &Recognition) -> Vec<String> {
+        let mut out: Vec<String> = rec.derived_events.iter().map(|e| format!("ev {e:?}")).collect();
+        let mut names: Vec<Symbol> = rec.fluent_store().names().collect();
+        names.sort();
+        for name in names {
+            for e in rec.fluent_store().entries(name) {
+                out.push(format!("fl {name:?} {:?} {:?} {:?}", e.args, e.value, e.ivs));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn independent_strata_share_a_level() {
+        let e = Engine::new(multi_strata_ruleset(), WindowConfig::new(100, 50).unwrap());
+        let sizes: Vec<usize> = e.stratum_levels.iter().map(Vec::len).collect();
+        assert_eq!(sizes, [3, 1], "three independent fluents, then the alert event");
+    }
+
+    #[test]
+    fn parallel_strata_match_serial_exactly() {
+        let window = WindowConfig::new(60, 20).unwrap();
+        let mut par = Engine::new(multi_strata_ruleset(), window);
+        let mut ser = Engine::new(multi_strata_ruleset(), window);
+        ser.set_parallel_strata(false);
+
+        let feed = |e: &mut Engine| {
+            for i in 0..120i64 {
+                let dev = Term::sym(["a", "b", "c"][(i % 3) as usize]);
+                let kind = [
+                    "on_set",
+                    "hot_set",
+                    "busy_set",
+                    "on_clear",
+                    "hot_clear",
+                    "busy_clear",
+                    "check",
+                ][(i % 7) as usize];
+                // A third of the items arrive one window step late to
+                // exercise amendment paths.
+                let arrival = if i % 3 == 0 { i + 20 } else { i };
+                e.add_stamped_event(Stamped::arriving_at(Event::new(kind, [dev], i), arrival))
+                    .unwrap();
+            }
+        };
+        feed(&mut par);
+        feed(&mut ser);
+
+        for q in [20, 40, 60, 80, 100, 120, 140] {
+            let rp = par.query(q).unwrap();
+            let rs = ser.query(q).unwrap();
+            assert_eq!(canonical(&rp), canonical(&rs), "divergence at query {q}");
+            assert_eq!(
+                rp.timing.strata_evaluated, rs.timing.strata_evaluated,
+                "incremental skipping must not change at query {q}"
+            );
+        }
     }
 
     #[test]
@@ -2210,7 +2463,11 @@ mod tests {
                     1 => Event::new("deactivate", [x], t),
                     // Read times biased toward the recent past so they
                     // regularly cross the window-start boundary.
-                    _ => Event::new("probe", [x, Term::int(t.saturating_sub((next() % 120) as i64))], t),
+                    _ => Event::new(
+                        "probe",
+                        [x, Term::int(t.saturating_sub((next() % 120) as i64))],
+                        t,
+                    ),
                 };
                 inc.add_stamped_event(Stamped::arriving_at(ev.clone(), arrival)).unwrap();
                 full.add_stamped_event(Stamped::arriving_at(ev, arrival)).unwrap();

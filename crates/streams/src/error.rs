@@ -59,6 +59,14 @@ pub enum StreamsError {
         /// Description.
         detail: String,
     },
+    /// A replicated process is misconfigured (missing partition keys,
+    /// processors added outside the per-replica factory, ...).
+    InvalidPartition {
+        /// The offending process.
+        process: String,
+        /// Description.
+        detail: String,
+    },
     /// A service lookup failed (missing name or wrong type).
     ServiceError {
         /// Description.
@@ -101,6 +109,9 @@ impl fmt::Display for StreamsError {
                 write!(f, "XML syntax error at byte {offset}: {detail}")
             }
             StreamsError::XmlSemantics { detail } => write!(f, "XML semantic error: {detail}"),
+            StreamsError::InvalidPartition { process, detail } => {
+                write!(f, "invalid partitioning on `{process}`: {detail}")
+            }
             StreamsError::ServiceError { detail } => write!(f, "service error: {detail}"),
             StreamsError::Io { detail } => write!(f, "I/O error: {detail}"),
             StreamsError::ReplayDeadlock { blocked } => {

@@ -5,7 +5,13 @@
 //! in a sorted map so that items have a canonical form, and [`Value`] covers
 //! the attribute types the Dublin SDE schemas need (plus JSON-friendly
 //! serialisation for file sources and sinks).
+//!
+//! Keys are interned [`Key`]s (see [`crate::intern`]): attribute names come
+//! from a bounded schema vocabulary, so cloning an item copies pointers
+//! instead of allocating a `String` per attribute, and key equality on the
+//! hot path is a pointer compare.
 
+use crate::intern::Key;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -105,7 +111,7 @@ impl From<String> for Value {
 /// A set of key-value pairs travelling through the data-flow graph.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct DataItem {
-    attrs: BTreeMap<String, Value>,
+    attrs: BTreeMap<Key, Value>,
 }
 
 impl DataItem {
@@ -115,13 +121,13 @@ impl DataItem {
     }
 
     /// Builder-style attribute insertion.
-    pub fn with<K: Into<String>, V: Into<Value>>(mut self, key: K, value: V) -> DataItem {
+    pub fn with<K: Into<Key>, V: Into<Value>>(mut self, key: K, value: V) -> DataItem {
         self.attrs.insert(key.into(), value.into());
         self
     }
 
     /// Inserts/replaces an attribute.
-    pub fn set<K: Into<String>, V: Into<Value>>(&mut self, key: K, value: V) {
+    pub fn set<K: Into<Key>, V: Into<Value>>(&mut self, key: K, value: V) {
         self.attrs.insert(key.into(), value.into());
     }
 
@@ -182,13 +188,13 @@ impl DataItem {
 
     /// Serialises the item as one JSON object line.
     pub fn to_json(&self) -> String {
-        crate::json::object_to_string(&self.attrs)
+        crate::json::object_to_string(self.iter())
     }
 
     /// Parses an item from a JSON object.
     pub fn from_json(s: &str) -> Result<DataItem, crate::error::StreamsError> {
         crate::json::parse_object(s)
-            .map(|attrs| DataItem { attrs })
+            .map(|attrs| attrs.into_iter().collect())
             .map_err(|detail| crate::error::StreamsError::Io { detail })
     }
 }
@@ -208,6 +214,12 @@ impl fmt::Display for DataItem {
 
 impl FromIterator<(String, Value)> for DataItem {
     fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        DataItem { attrs: iter.into_iter().map(|(k, v)| (Key::from(k), v)).collect() }
+    }
+}
+
+impl FromIterator<(Key, Value)> for DataItem {
+    fn from_iter<I: IntoIterator<Item = (Key, Value)>>(iter: I) -> Self {
         DataItem { attrs: iter.into_iter().collect() }
     }
 }

@@ -53,11 +53,15 @@ pub fn value_into(out: &mut String, value: &Value) {
     }
 }
 
-/// Serialises a flat attribute map as one JSON object.
-pub fn object_to_string(attrs: &BTreeMap<String, Value>) -> String {
-    let mut out = String::with_capacity(16 + attrs.len() * 16);
+/// Serialises a flat attribute sequence (already in canonical key order) as
+/// one JSON object.
+pub fn object_to_string<'a, I>(attrs: I) -> String
+where
+    I: IntoIterator<Item = (&'a str, &'a Value)>,
+{
+    let mut out = String::with_capacity(64);
     out.push('{');
-    for (i, (k, v)) in attrs.iter().enumerate() {
+    for (i, (k, v)) in attrs.into_iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -265,8 +269,12 @@ impl<'a> Parser<'a> {
 mod tests {
     use super::*;
 
+    fn to_json(attrs: &BTreeMap<String, Value>) -> String {
+        object_to_string(attrs.iter().map(|(k, v)| (k.as_str(), v)))
+    }
+
     fn roundtrip(attrs: BTreeMap<String, Value>) {
-        let json = object_to_string(&attrs);
+        let json = to_json(&attrs);
         assert_eq!(parse_object(&json).unwrap(), attrs, "roundtrip of {json}");
     }
 
@@ -286,7 +294,7 @@ mod tests {
     #[test]
     fn floats_keep_their_type() {
         let attrs = BTreeMap::from([("x".to_string(), Value::Float(2.0))]);
-        let json = object_to_string(&attrs);
+        let json = to_json(&attrs);
         assert!(json.contains("2.0"), "whole floats keep a decimal point: {json}");
         assert_eq!(parse_object(&json).unwrap()["x"], Value::Float(2.0));
     }
@@ -305,7 +313,7 @@ mod tests {
     #[test]
     fn non_finite_floats_become_null() {
         let attrs = BTreeMap::from([("x".to_string(), Value::Float(f64::NAN))]);
-        assert_eq!(object_to_string(&attrs), r#"{"x":null}"#);
+        assert_eq!(to_json(&attrs), r#"{"x":null}"#);
     }
 
     #[test]

@@ -51,9 +51,11 @@
 pub mod chaos;
 pub mod error;
 pub mod fault;
+pub mod intern;
 pub mod item;
 pub mod json;
 pub mod metrics;
+pub mod partition;
 pub mod processor;
 pub mod queue;
 pub mod replay;

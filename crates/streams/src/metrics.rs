@@ -166,6 +166,18 @@ pub struct HistogramSnapshot {
     pub buckets: [u64; HISTOGRAM_BUCKETS],
 }
 
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: 0,
+            sum_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
 impl HistogramSnapshot {
     /// Mean sample in nanoseconds (0 when empty).
     pub fn mean_ns(&self) -> f64 {
@@ -192,6 +204,22 @@ impl HistogramSnapshot {
             }
         }
         self.max_ns
+    }
+
+    /// Folds another histogram's samples into this one (bucket-wise sums;
+    /// min/max widen). Quantiles of the merge are as approximate as the
+    /// operands' — buckets align, so no extra error is introduced.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        self.min_ns = if self.count == 0 { other.min_ns } else { self.min_ns.min(other.min_ns) };
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        for (slot, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *slot += b;
+        }
     }
 
     fn json_into(&self, out: &mut String) {
@@ -358,7 +386,7 @@ impl MetricsRegistry {
 }
 
 /// Plain-data copy of one stage's instruments.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StageSnapshot {
     /// Items entering the stage.
     pub items_in: u64,
@@ -376,6 +404,33 @@ pub struct StageSnapshot {
     pub skipped: u64,
     /// Items moved to the dead-letter queue.
     pub dead_letters: u64,
+}
+
+impl StageSnapshot {
+    /// Folds another stage's counters and latency histogram into this one.
+    pub fn merge(&mut self, other: &StageSnapshot) {
+        self.items_in += other.items_in;
+        self.items_out += other.items_out;
+        self.process_ns.merge(&other.process_ns);
+        self.faults += other.faults;
+        self.panics += other.panics;
+        self.retries += other.retries;
+        self.skipped += other.skipped;
+        self.dead_letters += other.dead_letters;
+    }
+}
+
+/// One logical stage's metrics after replica rollup: the combined shard
+/// totals plus the per-role breakdown (see [`MetricsSnapshot::rollup_stages`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRollup {
+    /// Sum over the numeric shard replicas (`name[0]`, `name[1]`, ...). For
+    /// an unreplicated stage this is the stage snapshot itself.
+    pub combined: StageSnapshot,
+    /// Every sub-stage keyed by its replica dimension — `"0"`, `"1"`, ...
+    /// for the shards plus `"part"`/`"merge"` for the synthesized
+    /// partitioner and merge. Empty for unreplicated stages.
+    pub replicas: BTreeMap<String, StageSnapshot>,
 }
 
 /// Plain-data copy of one queue's instruments.
@@ -411,6 +466,50 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Groups replicated-stage metrics under their logical stage name.
+    ///
+    /// A process declared with `.replicas(n)` runs as sub-stages labelled
+    /// `name[part]`, `name[0]`..`name[n-1]` and `name[merge]` (see
+    /// [`crate::partition`]); each gets its own instruments so replicas never
+    /// alias one counter. This helper re-groups those labels by `name`,
+    /// summing the numeric shard replicas into
+    /// [`StageRollup::combined`] (the partitioner and merge stay visible in
+    /// [`StageRollup::replicas`] but are bookkeeping, not shard work, so
+    /// they are excluded from the combined totals). Unreplicated stages pass
+    /// through unchanged with an empty replica map.
+    ///
+    /// Note: shard `items_in` counts include the periodic watermark
+    /// broadcasts every replica observes, so combined totals can slightly
+    /// exceed the stage's logical input count.
+    pub fn rollup_stages(&self) -> BTreeMap<String, StageRollup> {
+        let mut out: BTreeMap<String, StageRollup> = BTreeMap::new();
+        for (name, snap) in &self.stages {
+            let split = name
+                .strip_suffix(']')
+                .and_then(|n| n.split_once('['))
+                .map(|(base, dim)| (base.to_string(), dim.to_string()));
+            match split {
+                Some((base, dim)) => {
+                    let entry = out.entry(base).or_insert_with(|| StageRollup {
+                        combined: StageSnapshot::default(),
+                        replicas: BTreeMap::new(),
+                    });
+                    if dim.parse::<usize>().is_ok() {
+                        entry.combined.merge(snap);
+                    }
+                    entry.replicas.insert(dim, snap.clone());
+                }
+                None => {
+                    out.insert(
+                        name.clone(),
+                        StageRollup { combined: snap.clone(), replicas: BTreeMap::new() },
+                    );
+                }
+            }
+        }
+        out
+    }
+
     /// Serialises the snapshot as one JSON object (schema documented in the
     /// repository README under *Metrics snapshot schema*).
     pub fn to_json(&self) -> String {
@@ -622,6 +721,38 @@ mod tests {
         let snap = r.snapshot();
         assert_eq!(snap.stages["s"].items_in, 40_000);
         assert_eq!(snap.stages["s"].process_ns.count, 40_000);
+    }
+
+    #[test]
+    fn rollup_groups_replicated_stages() {
+        let r = MetricsRegistry::new();
+        r.stage("rtec[part]").items_in.add(100);
+        r.stage("rtec[0]").items_in.add(60);
+        r.stage("rtec[0]").process_ns.record_ns(100);
+        r.stage("rtec[1]").items_in.add(40);
+        r.stage("rtec[1]").process_ns.record_ns(300);
+        r.stage("rtec[1]").faults.add(2);
+        r.stage("rtec[merge]").items_in.add(100);
+        r.stage("plain").items_in.add(5);
+        let rollup = r.snapshot().rollup_stages();
+
+        let rtec = &rollup["rtec"];
+        assert_eq!(rtec.combined.items_in, 100, "shards only; part/merge excluded");
+        assert_eq!(rtec.combined.faults, 2);
+        assert_eq!(rtec.combined.process_ns.count, 2);
+        assert_eq!(rtec.combined.process_ns.sum_ns, 400);
+        assert_eq!(rtec.combined.process_ns.min_ns, 100);
+        assert_eq!(rtec.combined.process_ns.max_ns, 300);
+        assert_eq!(
+            rtec.replicas.keys().collect::<Vec<_>>(),
+            ["0", "1", "merge", "part"],
+            "every role keeps its own row"
+        );
+        assert_eq!(rtec.replicas["part"].items_in, 100);
+
+        let plain = &rollup["plain"];
+        assert_eq!(plain.combined.items_in, 5);
+        assert!(plain.replicas.is_empty());
     }
 
     #[test]

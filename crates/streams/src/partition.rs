@@ -1,0 +1,707 @@
+//! Keyed shard parallelism: partition / replicate / merge.
+//!
+//! A process declared with [`replicas(n)`](crate::topology::ProcessBuilder::replicas)
+//! and [`partition_by`](crate::topology::ProcessBuilder::partition_by) is
+//! expanded — transparently, inside the runtimes — into an ordinary sub-graph
+//! of `n + 2` processes:
+//!
+//! ```text
+//!            ┌─ P[shard:0] ─ P[0] ─┐
+//! input ─ P[part] ─ P[shard:1] ─ P[1] ─┼─ P[merge:q] ─ P[merge] ─ outputs
+//!            └─ P[shard:2] ─ P[2] ─┘
+//! ```
+//!
+//! * **`P[part]`** ([`PartitionStamp`]) stamps every item with a monotone
+//!   sequence number and a shard id (a stable hash of the partition-key
+//!   values), and the runtime routes it to exactly that shard's queue.
+//! * **`P[0]`‥`P[n-1]`** ([`ReplicaShell`]) each own a private clone of the
+//!   processor chain. The shell hides the partition bookkeeping from the user
+//!   chain and re-stamps whatever the chain emits.
+//! * **`P[merge]`** ([`MergeProcessor`]) restores the *exact* input order: it
+//!   buffers per shard and releases the globally smallest sequence number
+//!   once every shard is known to be past it.
+//!
+//! ## Determinism
+//!
+//! The merge emits data items in strictly increasing sequence order, which
+//! *is* the partitioner's input order — independent of thread scheduling and
+//! of the shard count. A replicated stage with a stateless chain is therefore
+//! byte-identical to the unreplicated stage for any `n`. Items a chain emits
+//! from `finish` carry no sequence number; the merge appends them after all
+//! sequenced data, grouped by shard index (each shard's trailing items keep
+//! their FIFO order), so they too are schedule-independent — but their
+//! grouping depends on the shard count, which is why stages with stateful
+//! end-of-stream output should be compared in canonical (sorted) form across
+//! shard counts.
+//!
+//! Progress does not depend on luck: sequence numbers of items *filtered*
+//! inside a replica never reach the merge, so the partitioner broadcasts a
+//! low **watermark** item to every shard every [`WM_EVERY`] routed items
+//! ("all sequence numbers below `w` are settled"), and each replica forwards
+//! it with its shard id attached. A replica that finishes cleanly sends a
+//! final **fin** marker releasing its shard entirely. The merge itself never
+//! blocks — it always drains its input and buffers internally — so the
+//! expanded sub-graph is acyclic and deadlock-free even when watermarks or
+//! fin markers are lost to a faulted replica: queue end-of-stream still
+//! reaches the merge, whose `finish` drains every buffer in sequence order.
+//!
+//! ## Reserved attributes
+//!
+//! The bookkeeping travels *in* the items, in attributes prefixed `__`
+//! ([`SEQ_ATTR`], [`SHARD_ATTR`], [`WM_ATTR`], [`FIN_ATTR`],
+//! [`FIN_ITEM_ATTR`]). The `__` prefix is reserved: user chains inside a
+//! replicated stage never see these attributes (the shell strips them on the
+//! way in and re-attaches them on the way out), but items *dead-lettered* by
+//! a replica carry them, which is deliberate — the record shows where the
+//! item was in the partition protocol.
+
+use crate::error::StreamsError;
+use crate::item::DataItem;
+use crate::processor::{Context, Processor};
+use crate::topology::{Input, Output, ProcessDef, Topology, DEFAULT_QUEUE_CAPACITY};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Monotone per-partitioner sequence number (`i64`).
+pub const SEQ_ATTR: &str = "__seq";
+/// Shard index the item was routed to / emitted by (`i64`).
+pub const SHARD_ATTR: &str = "__shard";
+/// Low watermark: all sequence numbers `< value` are settled (`i64`).
+pub const WM_ATTR: &str = "__wm";
+/// End-of-shard marker sent by a replica that finished cleanly (`bool`).
+pub const FIN_ATTR: &str = "__fin";
+/// Marks an item emitted by a replica chain's `finish` (no sequence number).
+pub const FIN_ITEM_ATTR: &str = "__fin_item";
+
+/// The partitioner broadcasts a watermark to every shard after this many
+/// routed items, bounding how long the merge must buffer past sequence
+/// numbers whose items were filtered inside a replica.
+pub const WM_EVERY: usize = 32;
+
+/// Stable shard assignment: FNV-1a over the rendered partition-key values.
+///
+/// Missing keys hash as a distinct sentinel, so items without the key still
+/// land deterministically on one shard. The hash depends only on the item's
+/// key values — never on the replica count in any way other than the final
+/// modulo — so `same key ⇒ same shard` holds for every `shards` value.
+pub fn shard_for(item: &DataItem, keys: &[String], shards: usize) -> usize {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn feed(mut h: u64, bytes: &[u8]) -> u64 {
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(PRIME);
+        }
+        h
+    }
+    let mut h = OFFSET;
+    for key in keys {
+        match item.get(key) {
+            Some(v) => h = feed(h, v.to_string().as_bytes()),
+            None => h = feed(h, b"\x00<missing>"),
+        }
+        h = feed(h, &[0x1f]);
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
+/// The synthesized `P[part]` processor: stamps [`SEQ_ATTR`] and
+/// [`SHARD_ATTR`] on every item. The runtime's shard dispatch does the actual
+/// routing (and the periodic watermark broadcast).
+pub(crate) struct PartitionStamp {
+    keys: Vec<String>,
+    shards: usize,
+    next_seq: i64,
+}
+
+impl PartitionStamp {
+    pub(crate) fn new(keys: Vec<String>, shards: usize) -> PartitionStamp {
+        PartitionStamp { keys, shards, next_seq: 0 }
+    }
+}
+
+impl Processor for PartitionStamp {
+    fn process(
+        &mut self,
+        mut item: DataItem,
+        _ctx: &mut Context,
+    ) -> Result<Option<DataItem>, StreamsError> {
+        let shard = shard_for(&item, &self.keys, self.shards);
+        item.set(SEQ_ATTR, self.next_seq);
+        item.set(SHARD_ATTR, shard as i64);
+        self.next_seq += 1;
+        Ok(Some(item))
+    }
+}
+
+/// The synthesized `P[i]` processor: wraps one private clone of the user's
+/// processor chain, hiding the partition bookkeeping from it.
+///
+/// Faults inside the inner chain surface as faults of the shell (processor
+/// index 0 of `P[i]`), so the replica's fault policy governs the *whole*
+/// chain invocation — Skip drops the item (its sequence number is settled by
+/// the next watermark), Retry re-runs the shell on the preserved input,
+/// DeadLetter records the item including its `__` bookkeeping attributes.
+pub(crate) struct ReplicaShell {
+    inner: Vec<Box<dyn Processor>>,
+    index: usize,
+}
+
+impl ReplicaShell {
+    pub(crate) fn new(inner: Vec<Box<dyn Processor>>, index: usize) -> ReplicaShell {
+        ReplicaShell { inner, index }
+    }
+}
+
+impl Processor for ReplicaShell {
+    fn process(
+        &mut self,
+        mut item: DataItem,
+        ctx: &mut Context,
+    ) -> Result<Option<DataItem>, StreamsError> {
+        // Watermarks pass through untouched by the user chain; the shell only
+        // attributes them to its shard so the merge knows who forwarded them.
+        if item.contains(WM_ATTR) {
+            item.set(SHARD_ATTR, self.index as i64);
+            return Ok(Some(item));
+        }
+        let seq = item.remove(SEQ_ATTR).and_then(|v| v.as_i64()).ok_or_else(|| {
+            StreamsError::ServiceError {
+                detail: "replica received an item without a sequence stamp".into(),
+            }
+        })?;
+        item.remove(SHARD_ATTR);
+        let mut cur = item;
+        for p in &mut self.inner {
+            match p.process(cur, ctx)? {
+                Some(next) => cur = next,
+                None => return Ok(None),
+            }
+        }
+        cur.set(SEQ_ATTR, seq);
+        cur.set(SHARD_ATTR, self.index as i64);
+        Ok(Some(cur))
+    }
+
+    fn finish(&mut self, ctx: &mut Context) -> Result<Vec<DataItem>, StreamsError> {
+        // Inner finishes cascade like the runtime's own chain flush: trailing
+        // items of inner processor i traverse inner processors i+1‥.
+        let mut out = Vec::new();
+        for i in 0..self.inner.len() {
+            'item: for mut item in self.inner[i].finish(ctx)? {
+                for p in &mut self.inner[i + 1..] {
+                    match p.process(item, ctx)? {
+                        Some(next) => item = next,
+                        None => continue 'item,
+                    }
+                }
+                item.set(FIN_ITEM_ATTR, true);
+                item.set(SHARD_ATTR, self.index as i64);
+                out.push(item);
+            }
+        }
+        // The fin marker is last, after this shard's trailing items.
+        out.push(DataItem::new().with(FIN_ATTR, true).with(SHARD_ATTR, self.index as i64));
+        Ok(out)
+    }
+}
+
+/// The synthesized `P[merge]` processor: demultiplexes per-shard streams back
+/// into the partitioner's input order (see the module docs for the
+/// determinism argument).
+///
+/// A shard's *frontier* is the smallest sequence number it might still emit:
+/// a data item with sequence `s` raises it to `s + 1`, a watermark `w` raises
+/// it to `w`, a fin marker settles the shard entirely. The globally smallest
+/// buffered sequence number is released once every shard is fin or past it;
+/// sequence numbers are unique, so no tie-break is needed.
+pub(crate) struct MergeProcessor {
+    buffers: Vec<BTreeMap<i64, DataItem>>,
+    frontier: Vec<i64>,
+    fin: Vec<bool>,
+    trailing: Vec<Vec<DataItem>>,
+    /// Released items not yet emitted: `process` returns at most one item per
+    /// call, so a watermark releasing a burst parks the rest here and
+    /// subsequent calls (or `finish`) drain it.
+    ready: VecDeque<DataItem>,
+}
+
+impl MergeProcessor {
+    pub(crate) fn new(shards: usize) -> MergeProcessor {
+        MergeProcessor {
+            buffers: (0..shards).map(|_| BTreeMap::new()).collect(),
+            frontier: vec![0; shards],
+            fin: vec![false; shards],
+            trailing: (0..shards).map(|_| Vec::new()).collect(),
+            ready: VecDeque::new(),
+        }
+    }
+
+    fn shard_of(&self, item: &DataItem) -> Result<usize, StreamsError> {
+        let shard = item.get_i64(SHARD_ATTR).ok_or_else(|| StreamsError::ServiceError {
+            detail: "merge received an item without a shard stamp".into(),
+        })?;
+        let shard = shard as usize;
+        if shard >= self.buffers.len() {
+            return Err(StreamsError::ServiceError {
+                detail: format!("merge received shard {shard} of {}", self.buffers.len()),
+            });
+        }
+        Ok(shard)
+    }
+
+    /// Moves every releasable buffered item (in global sequence order) into
+    /// the ready queue.
+    fn collect_ready(&mut self) {
+        while let Some((shard, seq)) = self
+            .buffers
+            .iter()
+            .enumerate()
+            .filter_map(|(j, b)| b.keys().next().map(|&s| (j, s)))
+            .min_by_key(|&(_, s)| s)
+        {
+            let releasable =
+                self.fin.iter().zip(&self.frontier).all(|(&fin, &frontier)| fin || frontier > seq);
+            if !releasable {
+                break;
+            }
+            let item = self.buffers[shard].remove(&seq).expect("first key exists");
+            self.ready.push_back(item);
+        }
+    }
+}
+
+impl Processor for MergeProcessor {
+    fn process(
+        &mut self,
+        mut item: DataItem,
+        _ctx: &mut Context,
+    ) -> Result<Option<DataItem>, StreamsError> {
+        let shard = self.shard_of(&item)?;
+        if let Some(wm) = item.get_i64(WM_ATTR) {
+            self.frontier[shard] = self.frontier[shard].max(wm);
+        } else if item.contains(FIN_ATTR) {
+            self.fin[shard] = true;
+        } else if item.contains(FIN_ITEM_ATTR) {
+            item.remove(FIN_ITEM_ATTR);
+            item.remove(SHARD_ATTR);
+            self.trailing[shard].push(item);
+        } else {
+            let seq = item.remove(SEQ_ATTR).and_then(|v| v.as_i64()).ok_or_else(|| {
+                StreamsError::ServiceError {
+                    detail: "merge received a data item without a sequence stamp".into(),
+                }
+            })?;
+            item.remove(SHARD_ATTR);
+            self.frontier[shard] = self.frontier[shard].max(seq + 1);
+            self.buffers[shard].insert(seq, item);
+        }
+        self.collect_ready();
+        Ok(self.ready.pop_front())
+    }
+
+    fn finish(&mut self, _ctx: &mut Context) -> Result<Vec<DataItem>, StreamsError> {
+        // All upstream replicas have finished (their queues ended), so every
+        // remaining buffered item is final: drain in global sequence order,
+        // then the per-shard trailing items.
+        let mut out: Vec<DataItem> = self.ready.drain(..).collect();
+        let mut remaining: BTreeMap<i64, DataItem> = BTreeMap::new();
+        for buffer in &mut self.buffers {
+            remaining.append(buffer);
+        }
+        out.extend(remaining.into_values());
+        for trailing in &mut self.trailing {
+            out.append(trailing);
+        }
+        Ok(out)
+    }
+}
+
+/// Expands every process declared with `replicas(n > 1)` into the
+/// partition / replicate / merge sub-graph described in the module docs.
+/// Processes with `replicas(1)` (or none) are untouched — their behaviour is
+/// bit-identical to a plain process. Called by the runtimes before
+/// validation, so the expanded graph is what gets validated, scheduled and
+/// measured.
+pub(crate) fn expand_replicas(topology: &mut Topology) -> Result<(), StreamsError> {
+    let processes = std::mem::take(&mut topology.processes);
+    for mut p in processes {
+        if p.replicas <= 1 {
+            // Collapse the (single) replica chain into the direct chain.
+            if let Some(chain) = p.replica_chains.pop() {
+                assert!(
+                    p.processors.is_empty(),
+                    "process `{}` mixes processor() and processor_factory()",
+                    p.name
+                );
+                p.processors = chain;
+            }
+            topology.processes.push(p);
+            continue;
+        }
+        let n = p.replicas;
+        if p.partition_keys.is_empty() {
+            return Err(StreamsError::InvalidPartition {
+                process: p.name,
+                detail: format!("replicas({n}) requires partition_by(...)"),
+            });
+        }
+        if !p.processors.is_empty() {
+            return Err(StreamsError::InvalidPartition {
+                process: p.name,
+                detail: "replicated processors must be added via processor_factory(), \
+                         not processor()"
+                    .into(),
+            });
+        }
+        let mut chains = std::mem::take(&mut p.replica_chains);
+        if chains.is_empty() {
+            chains = (0..n).map(|_| Vec::new()).collect();
+        }
+        assert_eq!(chains.len(), n, "one replica chain per replica");
+
+        let merge_queue = format!("{}[merge:q]", p.name);
+        topology.queues.insert(merge_queue.clone(), DEFAULT_QUEUE_CAPACITY);
+        let shard_queues: Vec<String> = (0..n).map(|i| format!("{}[shard:{i}]", p.name)).collect();
+        for q in &shard_queues {
+            topology.queues.insert(q.clone(), DEFAULT_QUEUE_CAPACITY);
+        }
+
+        // P[part]: stamp + shard-dispatch to the shard queues.
+        topology.processes.push(ProcessDef {
+            name: format!("{}[part]", p.name),
+            input: p.input.clone(),
+            processors: vec![Box::new(PartitionStamp::new(p.partition_keys.clone(), n))],
+            outputs: shard_queues.iter().cloned().map(Output::Queue).collect(),
+            fault_policy: crate::fault::FaultPolicy::FailFast,
+            batch_size: 1,
+            replicas: 1,
+            partition_keys: Vec::new(),
+            replica_chains: Vec::new(),
+            shard_dispatch: true,
+        });
+
+        // P[i]: one shell per replica, each with its private chain clone and
+        // its own copy of the user's fault policy.
+        for (i, chain) in chains.into_iter().enumerate() {
+            topology.processes.push(ProcessDef {
+                name: format!("{}[{i}]", p.name),
+                input: Input::Queue(shard_queues[i].clone()),
+                processors: vec![Box::new(ReplicaShell::new(chain, i))],
+                outputs: vec![Output::Queue(merge_queue.clone())],
+                fault_policy: p.fault_policy.clone(),
+                batch_size: p.batch_size,
+                replicas: 1,
+                partition_keys: Vec::new(),
+                replica_chains: Vec::new(),
+                shard_dispatch: false,
+            });
+        }
+
+        // P[merge]: restore order, then feed the original outputs.
+        topology.processes.push(ProcessDef {
+            name: format!("{}[merge]", p.name),
+            input: Input::Queue(merge_queue),
+            processors: vec![Box::new(MergeProcessor::new(n))],
+            outputs: std::mem::take(&mut p.outputs),
+            fault_policy: crate::fault::FaultPolicy::FailFast,
+            batch_size: p.batch_size,
+            replicas: 1,
+            partition_keys: Vec::new(),
+            replica_chains: Vec::new(),
+            shard_dispatch: false,
+        });
+    }
+    Ok(())
+}
+
+/// How a worker distributes chain survivors to its outputs.
+pub(crate) enum Dispatch {
+    /// Clone to every output (the default process semantics).
+    Broadcast,
+    /// Route each item to the output named by its [`SHARD_ATTR`] stamp, and
+    /// broadcast a watermark to *all* outputs every [`WM_EVERY`] items.
+    Shard { since_wm: usize, next_wm: i64 },
+}
+
+impl Dispatch {
+    /// Plans the `(output index, item)` deliveries for one chain survivor,
+    /// in delivery order. Shared by the threaded runtime (which delivers
+    /// immediately) and the replay scheduler (which parks them in its
+    /// outbox), so both produce identical per-queue item sequences.
+    pub(crate) fn plan(&mut self, n_outputs: usize, item: DataItem) -> Vec<(usize, DataItem)> {
+        match self {
+            Dispatch::Broadcast => {
+                let mut plan = Vec::with_capacity(n_outputs);
+                for idx in 0..n_outputs.saturating_sub(1) {
+                    plan.push((idx, item.clone()));
+                }
+                if n_outputs > 0 {
+                    plan.push((n_outputs - 1, item));
+                }
+                plan
+            }
+            Dispatch::Shard { since_wm, next_wm } => {
+                let shard =
+                    item.get_i64(SHARD_ATTR).map(|s| (s as usize) % n_outputs.max(1)).unwrap_or(0);
+                if let Some(seq) = item.get_i64(SEQ_ATTR) {
+                    *next_wm = (*next_wm).max(seq + 1);
+                }
+                let mut plan = vec![(shard, item)];
+                *since_wm += 1;
+                if *since_wm >= WM_EVERY {
+                    *since_wm = 0;
+                    let wm = DataItem::new().with(WM_ATTR, *next_wm);
+                    for idx in 0..n_outputs {
+                        plan.push((idx, wm.clone()));
+                    }
+                }
+                plan
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::processor::FnProcessor;
+    use crate::service::ServiceRegistry;
+
+    fn ctx() -> Context {
+        Context::new(ServiceRegistry::default(), "test")
+    }
+
+    #[test]
+    fn shard_for_is_stable_and_covers_missing_keys() {
+        let keys = vec!["region".to_string()];
+        let item = DataItem::new().with("region", "north");
+        assert_eq!(shard_for(&item, &keys, 4), shard_for(&item, &keys, 4));
+        // Items without the key still land somewhere deterministic.
+        let bare = DataItem::new().with("x", 1i64);
+        assert!(shard_for(&bare, &keys, 4) < 4);
+        assert_eq!(shard_for(&bare, &keys, 4), shard_for(&bare, &keys, 4));
+    }
+
+    #[test]
+    fn partition_stamp_assigns_monotone_sequence() {
+        let mut p = PartitionStamp::new(vec!["k".into()], 3);
+        let mut c = ctx();
+        for expect in 0..5i64 {
+            let out = p.process(DataItem::new().with("k", expect), &mut c).unwrap().unwrap();
+            assert_eq!(out.get_i64(SEQ_ATTR), Some(expect));
+            let shard = out.get_i64(SHARD_ATTR).unwrap();
+            assert!((0..3).contains(&shard));
+        }
+    }
+
+    #[test]
+    fn replica_shell_hides_bookkeeping_from_inner_chain() {
+        let inner = FnProcessor::new(|item: DataItem, _: &mut Context| {
+            assert!(!item.contains(SEQ_ATTR) && !item.contains(SHARD_ATTR));
+            Ok(Some(item.with("seen", true)))
+        });
+        let mut shell = ReplicaShell::new(vec![Box::new(inner)], 2);
+        let mut c = ctx();
+        let item = DataItem::new().with("n", 1i64).with(SEQ_ATTR, 9i64).with(SHARD_ATTR, 2i64);
+        let out = shell.process(item, &mut c).unwrap().unwrap();
+        assert_eq!(out.get_i64(SEQ_ATTR), Some(9));
+        assert_eq!(out.get_i64(SHARD_ATTR), Some(2));
+        assert_eq!(out.get_bool("seen"), Some(true));
+    }
+
+    #[test]
+    fn replica_shell_finish_tags_trailing_and_appends_fin() {
+        struct Tail;
+        impl Processor for Tail {
+            fn process(
+                &mut self,
+                item: DataItem,
+                _: &mut Context,
+            ) -> Result<Option<DataItem>, StreamsError> {
+                Ok(Some(item))
+            }
+            fn finish(&mut self, _: &mut Context) -> Result<Vec<DataItem>, StreamsError> {
+                Ok(vec![DataItem::new().with("summary", true)])
+            }
+        }
+        let mut shell = ReplicaShell::new(vec![Box::new(Tail)], 1);
+        let out = shell.finish(&mut ctx()).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].get_bool(FIN_ITEM_ATTR), Some(true));
+        assert_eq!(out[0].get_i64(SHARD_ATTR), Some(1));
+        assert_eq!(out[1].get_bool(FIN_ATTR), Some(true), "fin marker comes last");
+    }
+
+    #[test]
+    fn merge_restores_sequence_order_across_shards() {
+        let mut m = MergeProcessor::new(2);
+        let mut c = ctx();
+        let data = |seq: i64, shard: i64| {
+            DataItem::new().with("n", seq).with(SEQ_ATTR, seq).with(SHARD_ATTR, shard)
+        };
+        // Shard 1 delivers seq 1 first; nothing can be released until shard 0
+        // accounts for seq 0.
+        assert_eq!(m.process(data(1, 1), &mut c).unwrap(), None);
+        let first = m.process(data(0, 0), &mut c).unwrap().unwrap();
+        assert_eq!(first.get_i64("n"), Some(0));
+        assert!(!first.contains(SEQ_ATTR), "bookkeeping is stripped");
+        // seq 1 is already releasable (frontiers are 2 and 2).
+        let fin = DataItem::new().with(FIN_ATTR, true).with(SHARD_ATTR, 0i64);
+        let second = m.process(fin, &mut c).unwrap().unwrap();
+        assert_eq!(second.get_i64("n"), Some(1));
+    }
+
+    #[test]
+    fn merge_watermark_releases_filtered_gaps() {
+        let mut m = MergeProcessor::new(2);
+        let mut c = ctx();
+        // Shard 0 emitted seq 5 but seqs 0..5 were filtered on shard 1.
+        let item = DataItem::new().with("n", 5i64).with(SEQ_ATTR, 5i64).with(SHARD_ATTR, 0i64);
+        assert_eq!(m.process(item, &mut c).unwrap(), None, "shard 1 frontier unknown");
+        let wm = DataItem::new().with(WM_ATTR, 6i64).with(SHARD_ATTR, 1i64);
+        let out = m.process(wm, &mut c).unwrap().unwrap();
+        assert_eq!(out.get_i64("n"), Some(5));
+    }
+
+    #[test]
+    fn merge_finish_drains_buffers_then_trailing() {
+        let mut m = MergeProcessor::new(2);
+        let mut c = ctx();
+        let data = |seq: i64, shard: i64| {
+            DataItem::new().with("n", seq).with(SEQ_ATTR, seq).with(SHARD_ATTR, shard)
+        };
+        assert_eq!(m.process(data(3, 1), &mut c).unwrap(), None, "shard 0 frontier unknown");
+        // seq 2 becomes releasable the moment shard 0 accounts for it; seq 3
+        // stays buffered because shard 0's frontier (3) is not *past* it.
+        let released = m.process(data(2, 0), &mut c).unwrap().unwrap();
+        assert_eq!(released.get_i64("n"), Some(2));
+        let t = DataItem::new().with("t", true).with(FIN_ITEM_ATTR, true).with(SHARD_ATTR, 1i64);
+        assert_eq!(m.process(t, &mut c).unwrap(), None);
+        let out = m.finish(&mut c).unwrap();
+        let ns: Vec<Option<i64>> = out.iter().map(|i| i.get_i64("n")).collect();
+        assert_eq!(ns, vec![Some(3), None], "remaining seq order, then trailing");
+        assert!(!out[1].contains(FIN_ITEM_ATTR) && !out[1].contains(SHARD_ATTR));
+    }
+
+    #[test]
+    fn merge_rejects_unstamped_items() {
+        let mut m = MergeProcessor::new(1);
+        assert!(m.process(DataItem::new().with("n", 1i64), &mut ctx()).is_err());
+        let bad_shard = DataItem::new().with(SEQ_ATTR, 0i64).with(SHARD_ATTR, 9i64);
+        assert!(m.process(bad_shard, &mut ctx()).is_err());
+    }
+
+    fn replicated_topology(
+        n_items: i64,
+        replicas: usize,
+        sink: &crate::sink::CollectSink,
+    ) -> Topology {
+        use crate::source::VecSource;
+        let mut t = Topology::new();
+        t.add_source(
+            "nums",
+            VecSource::new((0..n_items).map(|i| DataItem::new().with("n", i).with("key", i % 7))),
+        );
+        t.add_queue("out", 8);
+        t.process("square")
+            .input(Input::Stream("nums".into()))
+            .replicas(replicas)
+            .partition_by(["key"])
+            .processor_factory(|| {
+                Box::new(FnProcessor::new(|mut item: DataItem, _: &mut Context| {
+                    let n = item.get_i64("n").unwrap();
+                    if n % 5 == 3 {
+                        return Ok(None); // filtered: creates sequence gaps
+                    }
+                    item.set("sq", n * n);
+                    Ok(Some(item))
+                }))
+            })
+            .output(Output::Queue("out".into()))
+            .done();
+        t.process("collect")
+            .input(Input::Queue("out".into()))
+            .output(Output::Sink(Box::new(sink.clone())))
+            .done();
+        t
+    }
+
+    #[test]
+    fn replicated_stage_preserves_input_order_threaded_and_replay() {
+        let expected: Vec<(i64, i64)> =
+            (0..200).filter(|n| n % 5 != 3).map(|n| (n, n * n)).collect();
+        for replicas in [1usize, 2, 4, 8] {
+            let sink = crate::sink::CollectSink::shared();
+            crate::runtime::Runtime::new(replicated_topology(200, replicas, &sink)).run().unwrap();
+            let got: Vec<(i64, i64)> = sink
+                .items()
+                .iter()
+                .map(|i| (i.get_i64("n").unwrap(), i.get_i64("sq").unwrap()))
+                .collect();
+            assert_eq!(got, expected, "threaded, replicas={replicas}");
+            for item in sink.items() {
+                assert!(
+                    !item.contains(SEQ_ATTR) && !item.contains(SHARD_ATTR),
+                    "bookkeeping never escapes the merge"
+                );
+            }
+
+            let sink = crate::sink::CollectSink::shared();
+            crate::replay::ReplayRuntime::new(replicated_topology(200, replicas, &sink), 42)
+                .run()
+                .unwrap();
+            let got: Vec<(i64, i64)> = sink
+                .items()
+                .iter()
+                .map(|i| (i.get_i64("n").unwrap(), i.get_i64("sq").unwrap()))
+                .collect();
+            assert_eq!(got, expected, "replay, replicas={replicas}");
+        }
+    }
+
+    #[test]
+    fn replicas_without_partition_keys_rejected() {
+        let sink = crate::sink::CollectSink::shared();
+        let mut t = replicated_topology(10, 2, &sink);
+        t.processes[0].partition_keys.clear();
+        assert!(matches!(
+            crate::runtime::Runtime::new(t).run(),
+            Err(StreamsError::InvalidPartition { .. })
+        ));
+    }
+
+    #[test]
+    fn replicated_stage_metrics_have_distinct_labels() {
+        let sink = crate::sink::CollectSink::shared();
+        let rt = crate::runtime::Runtime::new(replicated_topology(100, 2, &sink));
+        let metrics = rt.metrics();
+        rt.run().unwrap();
+        let snap = metrics.snapshot();
+        for stage in ["square[part]", "square[0]", "square[1]", "square[merge]"] {
+            assert!(snap.stages.contains_key(stage), "stage `{stage}` missing");
+        }
+        assert!(!snap.stages.contains_key("square"), "no aliased unsuffixed stage");
+        // Every input item went through the partitioner exactly once, and the
+        // two replicas split it: per-replica counters never alias.
+        assert_eq!(snap.stages["square[part]"].items_in, 100);
+        let r0 = snap.stages["square[0]"].items_in;
+        let r1 = snap.stages["square[1]"].items_in;
+        assert!(r0 > 0 && r1 > 0, "both shards saw traffic: {r0}/{r1}");
+        // Replica input = data items + watermark broadcasts (each replica
+        // sees every watermark).
+        let wms = (100 / WM_EVERY as u64) * 2;
+        assert_eq!(r0 + r1, 100 + wms);
+    }
+
+    #[test]
+    fn shard_dispatch_routes_and_emits_watermarks() {
+        let mut d = Dispatch::Shard { since_wm: 0, next_wm: 0 };
+        let mut seen_wm = 0usize;
+        for seq in 0..(WM_EVERY as i64) {
+            let item = DataItem::new().with(SEQ_ATTR, seq).with(SHARD_ATTR, seq % 3);
+            let plan = d.plan(3, item);
+            assert_eq!(plan[0].0 as i64, seq % 3, "routed to the stamped shard");
+            seen_wm += plan.len() - 1;
+        }
+        assert_eq!(seen_wm, 3, "one watermark broadcast to all 3 outputs per WM_EVERY items");
+    }
+}

@@ -166,13 +166,18 @@ impl StepWorker {
         self.phase = Phase::Eos;
     }
 
-    /// Queues one chain-emitted item for every output, then delivers as much
-    /// as currently fits.
+    /// Queues one chain-emitted item for delivery (every output under
+    /// broadcast dispatch; the stamped shard's output — plus periodic
+    /// watermark broadcasts — on a synthesized partitioner), then delivers as
+    /// much as currently fits. The delivery plan is computed by the same
+    /// [`Dispatch`](crate::partition::Dispatch) logic the threaded runtime
+    /// uses, so per-queue item sequences are identical across runtimes.
     fn emit(&mut self, item: DataItem) {
         self.emitted += 1;
         self.worker.stage.items_out.inc();
-        for idx in 0..self.worker.outputs.len() {
-            self.outbox.push_back((idx, item.clone()));
+        let n_outputs = self.worker.outputs.len();
+        for (idx, it) in self.worker.dispatch.plan(n_outputs, item) {
+            self.outbox.push_back((idx, it));
         }
         self.flush_outbox();
     }

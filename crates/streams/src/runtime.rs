@@ -17,6 +17,7 @@ use crate::error::StreamsError;
 use crate::fault::{DeadLetterQueue, DeadLetterRecord, FaultPolicy};
 use crate::item::DataItem;
 use crate::metrics::{MetricsRegistry, StageMetrics};
+use crate::partition::Dispatch;
 use crate::processor::{Context, Processor};
 use crate::queue::{queue_with_metrics, QueueReceiver, QueueSender};
 use crate::sink::Sink;
@@ -124,9 +125,13 @@ impl Runtime {
 /// and the single-threaded [`crate::replay::ReplayRuntime`] so both execute
 /// exactly the same supervised per-item semantics.
 pub(crate) fn materialize(
-    topology: Topology,
+    mut topology: Topology,
     metrics: &Arc<MetricsRegistry>,
 ) -> Result<Vec<Worker>, StreamsError> {
+    // Replicated processes become ordinary partition/replica/merge processes
+    // first, so validation, queue accounting, metrics and scheduling all see
+    // the real (expanded) graph.
+    crate::partition::expand_replicas(&mut topology)?;
     topology.validate()?;
     let Topology { mut sources, queues, processes, services, dead_letters: _ } = topology;
     // Processors can reach the instruments through their Context.
@@ -189,6 +194,11 @@ pub(crate) fn materialize(
             policy: p.fault_policy,
             consecutive_faults: 0,
             batch_size: p.batch_size,
+            dispatch: if p.shard_dispatch {
+                Dispatch::Shard { since_wm: 0, next_wm: 0 }
+            } else {
+                Dispatch::Broadcast
+            },
         });
     }
     // Drop the construction-time sender clones so queues can disconnect.
@@ -206,6 +216,7 @@ pub(crate) struct Worker {
     pub(crate) policy: FaultPolicy,
     pub(crate) consecutive_faults: usize,
     pub(crate) batch_size: usize,
+    pub(crate) dispatch: Dispatch,
 }
 
 impl Worker {
@@ -231,7 +242,9 @@ impl Worker {
         // latency. A source's `next_item` may block on live input, and
         // looping on it would hold earlier items unprocessed until the
         // batch fills — sources are always pumped item-at-a-time.
-        let batched = self.batch_size > 1 && matches!(self.input, ProcInput::Queue(_));
+        let batched = self.batch_size > 1
+            && matches!(self.input, ProcInput::Queue(_))
+            && matches!(self.dispatch, Dispatch::Broadcast);
         if !batched {
             // Per-item path: one lock round-trip per item, kept verbatim so
             // the default `batch_size(1)` is bit-identical to the pre-batch
@@ -250,7 +263,7 @@ impl Worker {
                 if let Some(out) = out? {
                     emitted += 1;
                     self.stage.items_out.inc();
-                    emit(&mut self.outputs, out)?;
+                    self.dispatch_emit(out)?;
                 }
             }
         } else {
@@ -292,11 +305,24 @@ impl Worker {
                 if let Some(out) = self.run_chain(i + 1, item)? {
                     emitted += 1;
                     self.stage.items_out.inc();
-                    emit(&mut self.outputs, out)?;
+                    self.dispatch_emit(out)?;
                 }
             }
         }
         Ok((consumed, emitted))
+    }
+
+    /// Delivers one chain survivor according to this worker's [`Dispatch`]:
+    /// broadcast to every output, or (on a synthesized partitioner) routed to
+    /// the output its shard stamp names, with periodic watermark broadcasts.
+    fn dispatch_emit(&mut self, item: DataItem) -> Result<(), StreamsError> {
+        if matches!(self.dispatch, Dispatch::Broadcast) {
+            return emit(&mut self.outputs, item);
+        }
+        for (idx, it) in self.dispatch.plan(self.outputs.len(), item) {
+            deliver(&mut self.outputs[idx], it)?;
+        }
+        Ok(())
     }
 
     /// Runs `item` through the chain from processor `from` under the fault

@@ -43,6 +43,16 @@ pub(crate) struct ProcessDef {
     pub(crate) outputs: Vec<Output>,
     pub(crate) fault_policy: FaultPolicy,
     pub(crate) batch_size: usize,
+    /// Shard count; 1 means an ordinary (unreplicated) process.
+    pub(crate) replicas: usize,
+    /// Attribute names whose values select the shard (see [`crate::partition`]).
+    pub(crate) partition_keys: Vec<String>,
+    /// One pre-instantiated processor chain per replica (filled by
+    /// [`ProcessBuilder::processor_factory`] / [`ProcessBuilder::replica_processors`]).
+    pub(crate) replica_chains: Vec<Vec<Box<dyn Processor>>>,
+    /// Set on the synthesized partitioner: route each survivor to the output
+    /// named by its shard stamp instead of broadcasting.
+    pub(crate) shard_dispatch: bool,
 }
 
 /// A data-flow graph under construction.
@@ -97,6 +107,10 @@ impl Topology {
                 outputs: Vec::new(),
                 fault_policy: FaultPolicy::FailFast,
                 batch_size: 1,
+                replicas: 1,
+                partition_keys: Vec::new(),
+                replica_chains: Vec::new(),
+                shard_dispatch: false,
             },
             input_set: false,
         }
@@ -226,6 +240,80 @@ impl<'a> ProcessBuilder<'a> {
     pub fn dead_letter(self) -> Self {
         let queue = self.topology.dead_letters.clone();
         self.fault_policy(FaultPolicy::DeadLetter { queue })
+    }
+
+    /// Runs this process as `n` keyed shard replicas (default 1 = ordinary
+    /// process). The runtimes expand such a process into a partitioner, `n`
+    /// replica processes (each owning a private processor chain) and an
+    /// order-restoring merge — see [`crate::partition`] for the protocol and
+    /// the determinism guarantees. Requires [`partition_by`](Self::partition_by),
+    /// and processors must be added through
+    /// [`processor_factory`](Self::processor_factory) (each replica needs its
+    /// own instance). Call `replicas` *before* adding processors.
+    ///
+    /// # Panics
+    /// Panics if replica chains were already populated (factory calls must
+    /// come after `replicas`).
+    pub fn replicas(mut self, n: usize) -> Self {
+        assert!(
+            self.def.replica_chains.is_empty(),
+            "process `{}`: call replicas() before processor_factory()",
+            self.def.name
+        );
+        self.def.replicas = n.max(1);
+        self
+    }
+
+    /// Sets the partition key(s) for a replicated process: items whose listed
+    /// attributes render to the same values always land on the same shard,
+    /// for any replica count.
+    pub fn partition_by<I, S>(mut self, keys: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.def.partition_keys = keys.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends one processor *per replica*, instantiated by calling `make`
+    /// once for each replica. For `replicas(1)` (the default) this is
+    /// equivalent to [`processor`](Self::processor) with `make()`'s result.
+    pub fn processor_factory<F>(mut self, make: F) -> Self
+    where
+        F: Fn() -> Box<dyn Processor>,
+    {
+        if self.def.replica_chains.is_empty() {
+            self.def.replica_chains = (0..self.def.replicas).map(|_| Vec::new()).collect();
+        }
+        for chain in &mut self.def.replica_chains {
+            chain.push(make());
+        }
+        self
+    }
+
+    /// Appends one pre-instantiated processor per replica (`instances.len()`
+    /// must equal the replica count). Used where a factory closure is
+    /// impractical — e.g. the XML compiler, whose processor factories are
+    /// borrowed — and by callers that build per-replica instances that differ
+    /// only in construction-time state.
+    ///
+    /// # Panics
+    /// Panics if `instances.len()` differs from the replica count.
+    pub fn replica_processors(mut self, instances: Vec<Box<dyn Processor>>) -> Self {
+        assert_eq!(
+            instances.len(),
+            self.def.replicas,
+            "process `{}`: one processor instance per replica",
+            self.def.name
+        );
+        if self.def.replica_chains.is_empty() {
+            self.def.replica_chains = (0..self.def.replicas).map(|_| Vec::new()).collect();
+        }
+        for (chain, p) in self.def.replica_chains.iter_mut().zip(instances) {
+            chain.push(p);
+        }
+        self
     }
 
     /// Sets the transfer batch size (default 1). A process with batch size

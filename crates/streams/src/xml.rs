@@ -363,7 +363,40 @@ pub fn compile_into(
                     }
                     None => None,
                 };
-                let mut builder = topology.process(&id).input(input);
+                let replicas = match child.attr("replicas") {
+                    Some(raw) => {
+                        raw.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            StreamsError::XmlSemantics {
+                                detail: format!(
+                                    "process `{id}` has an invalid replicas `{raw}` \
+                                     (expected an integer ≥ 1)"
+                                ),
+                            }
+                        })?
+                    }
+                    None => 1,
+                };
+                let partition_keys: Vec<String> = match child.attr("partition-key") {
+                    Some(spec) => spec
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect(),
+                    None => Vec::new(),
+                };
+                if replicas > 1 && partition_keys.is_empty() {
+                    return Err(StreamsError::XmlSemantics {
+                        detail: format!(
+                            "process `{id}` declares replicas=\"{replicas}\" but no \
+                             partition-key attribute"
+                        ),
+                    });
+                }
+                let mut builder = topology.process(&id).input(input).replicas(replicas);
+                if !partition_keys.is_empty() {
+                    builder = builder.partition_by(partition_keys);
+                }
                 if let Some(policy) = policy {
                     builder = builder.fault_policy(policy);
                 }
@@ -378,7 +411,16 @@ pub fn compile_into(
                         })?;
                     let mut attrs = proc_el.attrs.clone();
                     attrs.remove("class");
-                    builder = builder.boxed_processor(factory(&attrs)?);
+                    if replicas > 1 {
+                        // Each replica owns a private processor instance, so
+                        // run the class factory once per shard.
+                        let instances = (0..replicas)
+                            .map(|_| factory(&attrs))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        builder = builder.replica_processors(instances);
+                    } else {
+                        builder = builder.boxed_processor(factory(&attrs)?);
+                    }
                 }
                 match child.attr("output") {
                     Some(spec) => {
@@ -541,6 +583,53 @@ mod tests {
             let err = compile_into(&mut t, &doc, &default_factories(), &mut bound_sinks(&sink))
                 .unwrap_err();
             assert!(err.to_string().contains("batch-size"), "rejects `{bad}`: {err}");
+        }
+    }
+
+    #[test]
+    fn replicas_attribute_compiles_a_sharded_stage() {
+        let doc = r#"
+            <container>
+                <queue id="tagged" capacity="32"/>
+                <process id="tag" input="stream:s" output="queue:tagged"
+                         replicas="3" partition-key="region">
+                    <processor class="SetValue" key="seen" value="yes"/>
+                </process>
+                <process id="collect" input="queue:tagged" output="sink:out"/>
+            </container>
+        "#;
+        let mut t = Topology::new();
+        let regions = ["north", "south", "east", "west"];
+        t.add_source(
+            "s",
+            VecSource::new((0..60).map(|i| {
+                DataItem::new().with("n", i as i64).with("region", regions[i % regions.len()])
+            })),
+        );
+        let out = CollectSink::shared();
+        compile_into(&mut t, doc, &default_factories(), &mut bound_sinks(&out)).unwrap();
+        Runtime::new(t).run().unwrap();
+        let items = out.items();
+        let values: Vec<i64> = items.iter().map(|i| i.get_i64("n").unwrap()).collect();
+        assert_eq!(values, (0..60).collect::<Vec<i64>>(), "merge restores input order");
+        assert!(items.iter().all(|i| i.get_str("seen") == Some("yes")));
+    }
+
+    #[test]
+    fn bad_replica_specs_are_rejected() {
+        let factories = default_factories();
+        for (attrs, needle) in [
+            (r#"replicas="0" partition-key="k""#, "replicas"),
+            (r#"replicas="many" partition-key="k""#, "replicas"),
+            (r#"replicas="2""#, "partition-key"),
+            (r#"replicas="2" partition-key=" , ""#, "partition-key"),
+        ] {
+            let doc =
+                format!(r#"<container><process id="p" input="stream:s" {attrs}/></container>"#);
+            let mut t = Topology::new();
+            let sink = CollectSink::shared();
+            let err = compile_into(&mut t, &doc, &factories, &mut bound_sinks(&sink)).unwrap_err();
+            assert!(err.to_string().contains(needle), "rejects `{attrs}`: {err}");
         }
     }
 

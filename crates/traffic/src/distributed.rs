@@ -79,6 +79,14 @@ impl DistributedRecognizer {
         }
     }
 
+    /// Enables or disables parallel stratum evaluation on every region
+    /// engine.
+    pub fn set_parallel_strata(&mut self, on: bool) {
+        for (_, rec) in &mut self.partitions {
+            rec.set_parallel_strata(on);
+        }
+    }
+
     /// Routes one SDE to the engine of its region. SDEs of regions without
     /// an engine are dropped (mirrors sensors outside any partition).
     pub fn ingest(&mut self, sde: &Sde) -> Result<(), RtecError> {

@@ -119,6 +119,13 @@ impl TrafficRecognizer {
         self.engine.set_incremental(on);
     }
 
+    /// Enables or disables parallel evaluation of independent strata on the
+    /// underlying engine. Off by default; the serial order is the reference
+    /// behaviour for A/B benchmarks.
+    pub fn set_parallel_strata(&mut self, on: bool) {
+        self.engine.set_parallel_strata(on);
+    }
+
     /// Ingests one scenario SDE (move+gps or traffic), preserving its
     /// arrival time.
     pub fn ingest(&mut self, record: &Sde) -> Result<(), RtecError> {

@@ -23,9 +23,9 @@ fn full_streams_pipeline_over_scenario() {
         build_pipeline(&scenario, TrafficRulesConfig::default(), window).unwrap();
     let stats = Runtime::new(topology).run().unwrap();
 
-    // The bus splitter broadcast every bus SDE to four region queues.
+    // The bus feed forwarded every bus SDE into the shared `sde` queue.
     let bus_records = scenario.sdes.iter().filter(|s| s.is_bus()).count();
-    assert_eq!(stats.per_process["bus-split"].0 as usize, bus_records);
+    assert_eq!(stats.per_process["bus-feed"].0 as usize, bus_records);
     assert!(!sink.items().is_empty());
 }
 
