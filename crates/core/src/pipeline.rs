@@ -253,14 +253,16 @@ impl Processor for RtecProcessor {
 /// One replica of the sharded RTEC stage: routes each SDE to a per-region
 /// [`RtecProcessor`] worker, created lazily on the region's first item.
 ///
-/// The stage partitions by the `region` attribute, so with collision-free
-/// hashing each replica hosts a disjoint subset of the four region engines.
-/// Routing here is by the *semantic* region (recomputed from the SDE's
-/// coordinates, exactly what [`crate::items::sde_to_item`] derived the
-/// routing attribute from), so an item whose routing attribute was
-/// corrupted in flight still reaches a correct region engine on whatever
-/// shard it landed on — the two engines then hold disjoint subsequences of
-/// that region's stream, each individually watermark-sound.
+/// The stage partitions by the `region` attribute (with the four region
+/// names declared as partition hints, so each replica hosts a disjoint
+/// subset of the four region engines for every replica count). An item
+/// whose routing attribute disagrees with the *semantic* region recomputed
+/// from its coordinates (what [`crate::items::sde_to_item`] derived the
+/// attribute from) was corrupted in flight: it is counted as malformed and
+/// dropped rather than processed, because which shard a corrupted key
+/// routes to is an accident of the hash — honouring it would split one
+/// region's stream across two replicas' engines and make the summary set
+/// depend on the replica count.
 ///
 /// Because every region's items carry the same partition key, the region's
 /// entire stream — and therefore its engine, watermarks, and query grid —
@@ -332,7 +334,16 @@ impl Processor for MultiRegionRtecProcessor {
         item: DataItem,
         ctx: &mut Context,
     ) -> Result<Option<DataItem>, StreamsError> {
-        match item_to_sde(&item) {
+        // The `region` routing attribute must agree with the semantic
+        // region derived from the coordinates. A mismatch means the item
+        // was corrupted in flight, and which shard it then lands on is an
+        // accident of the routing function — honouring it would let the
+        // same region's stream split across two replicas' engines, making
+        // the summary set depend on the replica count. Rejecting it here is
+        // a per-item decision, identical for every shard shape.
+        let valid = item_to_sde(&item)
+            .filter(|sde| item.get_str("region") == Some(sde.region().name()));
+        match valid {
             Some(sde) => self.state_for(sde.region())?.process(item, ctx),
             None => {
                 if let Some(counter) = self.malformed_counter(ctx) {
@@ -1029,7 +1040,18 @@ fn build_pipeline_inner(
         .process("rtec")
         .input(Input::Queue("sde".into()))
         .replicas(options.rtec_replicas.max(1))
-        .partition_by(["region"]);
+        .partition_by(["region"])
+        // The region key has exactly four values; hashing four values into
+        // a handful of shards routinely collides the heavy ones onto a
+        // single replica (with the FNV route, *all four* regions share one
+        // shard at two replicas). Enumerating them round-robins regions
+        // over replicas — at four replicas this is exactly the paper's
+        // one-engine-per-region decomposition.
+        .partition_hints(Region::ALL.map(|r| r.to_string()))
+        // SDEs arrive in bursts per query window; draining them in batches
+        // amortises queue lock/wake traffic through the partitioner, the
+        // shards and the merge alike.
+        .batch_size(32);
     if chaos.is_some() {
         // Under injected faults a corrupted SDE must cost one item, not a
         // whole shard.
@@ -1079,7 +1101,10 @@ fn build_pipeline_inner(
         .process("crowd")
         .input(Input::Queue("recognitions".into()))
         .replicas(options.crowd_replicas.max(1))
-        .partition_by(["query_time", "region"]);
+        .partition_by(["query_time", "region"])
+        // Summaries are far sparser than SDEs; a small batch keeps latency
+        // low while still coalescing queue transfers.
+        .batch_size(16);
     if chaos.is_some() {
         // Failed summaries are preserved for post-mortem instead of
         // aborting the run.

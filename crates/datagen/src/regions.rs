@@ -68,15 +68,21 @@ impl Region {
     }
 }
 
-impl fmt::Display for Region {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
+impl Region {
+    /// The region's stable lowercase name, as used for stream routing keys.
+    pub fn name(self) -> &'static str {
+        match self {
             Region::Central => "central",
             Region::North => "north",
             Region::West => "west",
             Region::South => "south",
-        };
-        write!(f, "{name}")
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
     }
 }
 

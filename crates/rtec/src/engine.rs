@@ -848,21 +848,27 @@ impl Engine {
                 input_fluents: &self.ruleset.input_fluents,
             };
             let outs: Vec<StratumOut> = if parallel && level.len() > 1 {
+                // Same-level strata are independent; evaluate them on the
+                // persistent pool instead of spawning a thread per stratum
+                // per window. Results land in per-stratum slots so the
+                // downstream merge still sees them in level order.
                 let this = &*self;
                 let ctx = &ctx;
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = level
-                        .iter()
-                        .zip(&level_frontiers)
-                        .map(|(&si, &fr)| {
-                            scope.spawn(move || this.eval_stratum(si, fr, start, full_eval, ctx))
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("stratum evaluation panicked"))
-                        .collect()
-                })
+                let slots: Vec<std::sync::Mutex<Option<StratumOut>>> =
+                    level.iter().map(|_| std::sync::Mutex::new(None)).collect();
+                crate::pool::run_tasks(level.len(), |i| {
+                    let out =
+                        this.eval_stratum(level[i], level_frontiers[i], start, full_eval, ctx);
+                    *slots[i].lock().unwrap() = Some(out);
+                });
+                slots
+                    .into_iter()
+                    .map(|s| {
+                        s.into_inner()
+                            .unwrap()
+                            .expect("every stratum task filled its slot")
+                    })
+                    .collect()
             } else {
                 level
                     .iter()
@@ -1101,11 +1107,28 @@ impl Engine {
                         if !new_set.is_empty() || initially {
                             groundings += 1;
                         }
-                        let inits: Vec<Time> =
-                            new_set.iter().filter(|(_, init)| *init).map(|(t, _)| *t).collect();
-                        let terms: Vec<Time> =
-                            new_set.iter().filter(|(_, init)| !*init).map(|(t, _)| *t).collect();
-                        let computed = IntervalList::from_points(&inits, &terms, initially, start);
+                        // Reuse per-thread scratch for the initiation /
+                        // termination point splits instead of allocating two
+                        // Vecs per grounding per window. Each pool worker
+                        // (and the caller thread) keeps its own buffers, so
+                        // parallel strata never contend here.
+                        thread_local! {
+                            static POINT_SCRATCH: std::cell::RefCell<(Vec<Time>, Vec<Time>)> =
+                                const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+                        }
+                        let computed = POINT_SCRATCH.with(|scratch| {
+                            let (inits, terms) = &mut *scratch.borrow_mut();
+                            inits.clear();
+                            terms.clear();
+                            for &(t, init) in &new_set {
+                                if init {
+                                    inits.push(t);
+                                } else {
+                                    terms.push(t);
+                                }
+                            }
+                            IntervalList::from_points(inits, terms, initially, start)
+                        });
                         let old_clamped = prev_out.map(|l| l.after(start)).unwrap_or_default();
                         if let Some(d) = old_clamped.first_divergence(&computed) {
                             f_out = f_out.min(d);

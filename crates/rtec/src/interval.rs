@@ -21,6 +21,7 @@
 
 use crate::time::{Time, TIME_MAX};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// A non-empty half-open interval `[start, end)`; `end = None` means the
 /// interval is ongoing (right-open to infinity).
@@ -104,20 +105,38 @@ impl fmt::Display for Interval {
 ///
 /// All constructors normalise, so the invariant holds for every reachable
 /// value; the algebra operations exploit it for linear-time merges.
-#[derive(Clone, PartialEq, Eq, Default, Hash)]
+///
+/// The interval storage is shared behind an [`Arc`]: `clone()` is a
+/// reference-count bump, never a copy of the intervals. Lists are immutable
+/// once built (every operation returns a new list), so sharing is safe and
+/// makes the engine's cache snapshots and windowed merge loops allocation
+/// free on unchanged fluents.
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct IntervalList {
-    items: Vec<Interval>,
+    items: Arc<Vec<Interval>>,
+}
+
+impl Default for IntervalList {
+    fn default() -> IntervalList {
+        IntervalList::empty()
+    }
+}
+
+/// The one shared allocation behind every empty list.
+fn empty_items() -> Arc<Vec<Interval>> {
+    static EMPTY: OnceLock<Arc<Vec<Interval>>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new())))
 }
 
 impl IntervalList {
     /// The empty list.
     pub fn empty() -> IntervalList {
-        IntervalList { items: Vec::new() }
+        IntervalList { items: empty_items() }
     }
 
     /// A list holding a single interval.
     pub fn single(iv: Interval) -> IntervalList {
-        IntervalList { items: vec![iv] }
+        IntervalList { items: Arc::new(vec![iv]) }
     }
 
     /// Builds a normalised list from arbitrary intervals (sorts, merges
@@ -134,7 +153,7 @@ impl IntervalList {
                 _ => out.push(iv),
             }
         }
-        IntervalList { items: out }
+        IntervalList { items: Arc::new(out) }
     }
 
     /// Reconstructs maximal intervals from initiation and termination
@@ -252,7 +271,7 @@ impl IntervalList {
                 j += 1;
             }
         }
-        let result = IntervalList { items: out };
+        let result = IntervalList { items: Arc::new(out) };
         debug_assert!(result.is_normalised(), "intersect broke normalisation: {result:?}");
         result
     }
@@ -261,7 +280,7 @@ impl IntervalList {
     pub fn difference(&self, other: &IntervalList) -> IntervalList {
         let mut out = Vec::new();
         let mut j = 0;
-        for a in &self.items {
+        for a in self.items.iter() {
             let mut cur = *a;
             // Skip intervals of `other` entirely before `cur`.
             while j < other.items.len() && other.items[j].end_raw <= cur.start {
@@ -285,7 +304,7 @@ impl IntervalList {
                 out.push(cur);
             }
         }
-        let result = IntervalList { items: out };
+        let result = IntervalList { items: Arc::new(out) };
         debug_assert!(result.is_normalised(), "difference broke normalisation: {result:?}");
         result
     }
@@ -297,7 +316,7 @@ impl IntervalList {
         }
         let window = Interval { start: lo, end_raw: hi };
         let result = IntervalList {
-            items: self.items.iter().filter_map(|iv| iv.intersect_raw(&window)).collect(),
+            items: Arc::new(self.items.iter().filter_map(|iv| iv.intersect_raw(&window)).collect()),
         };
         debug_assert!(result.is_normalised(), "clip broke normalisation: {result:?}");
         result
@@ -307,13 +326,22 @@ impl IntervalList {
     /// truncating any interval that straddles `t` to start no earlier than
     /// `t`. Used to discard history that fell out of the working memory.
     pub fn after(&self, t: Time) -> IntervalList {
+        // Identity fast path: the list is sorted, so if the first interval
+        // starts at or after `t` nothing is dropped or truncated — share the
+        // existing storage instead of copying it.
+        match self.items.first() {
+            None => return self.clone(),
+            Some(first) if first.start >= t => return self.clone(),
+            _ => {}
+        }
         let result = IntervalList {
-            items: self
-                .items
-                .iter()
-                .filter(|iv| iv.end_raw > t)
-                .map(|iv| Interval { start: iv.start.max(t), end_raw: iv.end_raw })
-                .collect(),
+            items: Arc::new(
+                self.items
+                    .iter()
+                    .filter(|iv| iv.end_raw > t)
+                    .map(|iv| Interval { start: iv.start.max(t), end_raw: iv.end_raw })
+                    .collect(),
+            ),
         };
         debug_assert!(result.is_normalised(), "after broke normalisation: {result:?}");
         result

@@ -67,6 +67,7 @@ pub mod error;
 pub mod event;
 pub mod interval;
 pub mod pattern;
+pub mod pool;
 pub mod pretty;
 pub mod rule;
 pub mod stratify;

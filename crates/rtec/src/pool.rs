@@ -1,0 +1,259 @@
+//! Persistent worker pool for same-level stratum evaluation.
+//!
+//! Each windowed evaluation of a stratification level used to open a fresh
+//! `std::thread::scope` and spawn one OS thread per stratum — at one window
+//! per SDE batch that is thousands of thread spawns per run, costing more
+//! than the work they parallelise. This pool spawns its threads **once**
+//! (lazily, on first use) and reuses them for every window.
+//!
+//! # Borrowed closures on long-lived threads
+//!
+//! The tasks borrow from the caller's stack (`&Engine`, `&WindowCtx`), but a
+//! pool thread outlives the call. [`run_tasks`] makes this sound the same way
+//! `thread::scope` does: the closure lifetime is erased for the transfer, and
+//! a completion latch guarantees every task has finished (or panicked)
+//! before `run_tasks` returns — no task can touch the borrows after the
+//! caller resumes. Panics are caught per task and re-thrown at the caller
+//! once all tasks settled, matching `scope`'s join-then-propagate behaviour.
+//!
+//! # Degenerate cases
+//!
+//! With fewer than two tasks, or on a single-core host (where
+//! `available_parallelism() == 1` leaves the pool empty), tasks run inline
+//! on the caller thread in index order — no queueing, no wakeups, and
+//! deterministic output order either way (results land in a slot per task).
+//! The caller always executes task 0 itself, so a level of `n` strata
+//! occupies the caller plus at most `n - 1` pool workers.
+//!
+//! [`stats`] exposes process-wide spawn/dispatch counters so benchmarks can
+//! demonstrate the reduction in thread churn.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A lifetime-erased borrowed task. Soundness: the latch in [`run_tasks`]
+/// proves the borrow outlives the execution.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// OS threads ever spawned by the pool (0 or its fixed size, once warmed).
+static SPAWNED: AtomicU64 = AtomicU64::new(0);
+/// Tasks handed to pool threads (inline executions not counted).
+static DISPATCHED: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide pool counters: `(threads_spawned, tasks_dispatched)`.
+/// Spawns saturate at the pool size for the process lifetime — the
+/// spawn-per-window regression this pool fixes would instead grow them
+/// linearly with the window count.
+pub fn stats() -> (u64, u64) {
+    (SPAWNED.load(Ordering::Relaxed), DISPATCHED.load(Ordering::Relaxed))
+}
+
+struct PoolShared {
+    queue: Mutex<Vec<Task>>,
+    available: Condvar,
+}
+
+struct Pool {
+    shared: Arc<PoolShared>,
+    workers: usize,
+}
+
+impl Pool {
+    fn new() -> Pool {
+        // One worker per extra core: the caller thread participates in every
+        // run_tasks call, so `cores - 1` workers saturate the machine. On a
+        // 1-core host the pool is empty and everything runs inline.
+        let workers = std::thread::available_parallelism().map_or(0, |n| n.get() - 1);
+        let shared = Arc::new(PoolShared { queue: Mutex::new(Vec::new()), available: Condvar::new() });
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            SPAWNED.fetch_add(1, Ordering::Relaxed);
+            std::thread::Builder::new()
+                .name(format!("rtec-pool-{i}"))
+                .spawn(move || worker_loop(shared))
+                .expect("spawn rtec pool worker");
+        }
+        Pool { shared, workers }
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>) {
+    loop {
+        let task = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(task) = queue.pop() {
+                    break task;
+                }
+                queue = shared.available.wait(queue).unwrap();
+            }
+        };
+        // The task's own latch/catch_unwind handles panics; a panic can
+        // never escape into this loop.
+        task();
+    }
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(Pool::new)
+}
+
+/// Tracks outstanding tasks of one `run_tasks` call and collects the first
+/// panic payload.
+struct Latch {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Latch {
+    fn arrive(&self) {
+        let mut pending = self.pending.lock().unwrap();
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut pending = self.pending.lock().unwrap();
+        while *pending > 0 {
+            pending = self.done.wait(pending).unwrap();
+        }
+    }
+}
+
+/// Runs `tasks(i)` for every `i < n` — task 0 inline on the caller, the rest
+/// on pool workers — and returns once **all** of them finished. The task
+/// closure may borrow caller-local state (see the module docs for why that
+/// is sound). A panicking task is re-thrown here after every sibling
+/// settled, like a `thread::scope` join.
+pub(crate) fn run_tasks<F>(n: usize, task: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let pool = pool();
+    if n < 2 || pool.workers == 0 {
+        for i in 0..n {
+            task(i);
+        }
+        return;
+    }
+
+    let latch = Arc::new(Latch {
+        pending: Mutex::new(n - 1),
+        done: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+    let task_ref: &(dyn Fn(usize) + Sync) = &task;
+    {
+        let mut queue = pool.shared.queue.lock().unwrap();
+        for i in 1..n {
+            let latch = Arc::clone(&latch);
+            // Erase the borrow lifetime for the transfer; the latch.wait()
+            // below keeps `task` (and everything it borrows) alive until the
+            // worker has called arrive().
+            let erased: &(dyn Fn(usize) + Sync) = task_ref;
+            let erased: &'static (dyn Fn(usize) + Sync) =
+                unsafe { std::mem::transmute(erased) };
+            DISPATCHED.fetch_add(1, Ordering::Relaxed);
+            queue.push(Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| erased(i)));
+                if let Err(payload) = result {
+                    latch.panic.lock().unwrap().get_or_insert(payload);
+                }
+                latch.arrive();
+            }));
+        }
+        pool.shared.available.notify_all();
+    }
+
+    // The caller works too: task 0 runs here while the workers chew on the
+    // rest, so a level of n strata needs only n - 1 pool threads.
+    let own = catch_unwind(AssertUnwindSafe(|| task(0)));
+    latch.wait();
+    if let Some(payload) = latch.panic.lock().unwrap().take() {
+        resume_unwind(payload);
+    }
+    if let Err(payload) = own {
+        resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicI64;
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let hits: Vec<AtomicI64> = (0..16).map(|_| AtomicI64::new(0)).collect();
+        run_tasks(16, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "task {i}");
+        }
+    }
+
+    #[test]
+    fn borrows_caller_state_mutably_through_slots() {
+        // The thread::scope replacement pattern: results land in per-task
+        // slots borrowed from the caller's stack.
+        let slots: Vec<Mutex<Option<usize>>> = (0..8).map(|_| Mutex::new(None)).collect();
+        run_tasks(8, |i| {
+            *slots[i].lock().unwrap() = Some(i * i);
+        });
+        let got: Vec<usize> = slots.iter().map(|s| s.lock().unwrap().unwrap()).collect();
+        assert_eq!(got, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn zero_and_single_task_run_inline() {
+        run_tasks(0, |_| panic!("never called"));
+        let ran = AtomicI64::new(0);
+        run_tasks(1, |i| {
+            assert_eq!(i, 0);
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn panic_propagates_after_all_tasks_settle() {
+        let settled: Vec<AtomicI64> = (0..6).map(|_| AtomicI64::new(0)).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_tasks(6, |i| {
+                settled[i].fetch_add(1, Ordering::Relaxed);
+                if i == 3 {
+                    panic!("stratum 3 exploded");
+                }
+            });
+        }));
+        assert!(result.is_err(), "the panic reaches the caller");
+        // Tasks up to the panicking one always run. On a multi-core host the
+        // pool runs the rest too before rethrowing; the single-core inline
+        // fallback unwinds immediately, like a plain serial loop would.
+        for (i, s) in settled.iter().enumerate().take(4) {
+            assert_eq!(s.load(Ordering::Relaxed), 1, "task {i} ran");
+        }
+        for (i, s) in settled.iter().enumerate() {
+            assert!(s.load(Ordering::Relaxed) <= 1, "task {i} ran at most once");
+        }
+    }
+
+    #[test]
+    fn reuses_threads_across_calls() {
+        let before = stats().0;
+        for _ in 0..20 {
+            run_tasks(4, |_| {});
+        }
+        let after = stats().0;
+        assert_eq!(after, before, "no spawns after warm-up: the pool persists");
+    }
+}

@@ -10,10 +10,21 @@
 //! from a bounded schema vocabulary, so cloning an item copies pointers
 //! instead of allocating a `String` per attribute, and key equality on the
 //! hot path is a pointer compare.
+//!
+//! The attribute map itself lives behind an [`Arc`] with copy-on-write
+//! mutation: `clone()` is a reference-count bump, and the map is deep-copied
+//! only when a *shared* item is mutated ([`Arc::make_mut`]). Fan-out
+//! broadcasts, watermark bridging, fault-policy snapshots and the partition
+//! merge therefore share one allocation per item instead of copying the map
+//! at every hop. Every deep copy is counted in a process-wide counter
+//! ([`DataItem::deep_copies`]) so tests can pin an allocation budget on a
+//! pipeline shape.
 
 use crate::intern::Key;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// An attribute value.
 #[derive(Debug, Clone, PartialEq)]
@@ -108,10 +119,17 @@ impl From<String> for Value {
     }
 }
 
+/// Process-wide count of attribute-map deep copies forced by copy-on-write
+/// mutation of a shared item (see [`DataItem::deep_copies`]).
+static DEEP_COPIES: AtomicU64 = AtomicU64::new(0);
+
 /// A set of key-value pairs travelling through the data-flow graph.
+///
+/// The map is shared on `clone()` and deep-copied only when a shared item is
+/// mutated (copy-on-write) — see the module docs.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct DataItem {
-    attrs: BTreeMap<Key, Value>,
+    attrs: Arc<BTreeMap<Key, Value>>,
 }
 
 impl DataItem {
@@ -120,20 +138,43 @@ impl DataItem {
         DataItem::default()
     }
 
+    /// Copy-on-write access to the attribute map: exclusive maps are mutated
+    /// in place, shared maps are deep-copied first (counted in
+    /// [`DataItem::deep_copies`]).
+    fn attrs_mut(&mut self) -> &mut BTreeMap<Key, Value> {
+        if Arc::get_mut(&mut self.attrs).is_none() {
+            DEEP_COPIES.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::make_mut(&mut self.attrs)
+    }
+
+    /// Process-wide number of attribute-map deep copies performed so far:
+    /// every mutation of an item whose map is shared with another live clone
+    /// counts once. Monotone over the process lifetime — measure a window of
+    /// work as the difference of two readings. Exclusive-item mutations and
+    /// `clone()` itself never count.
+    pub fn deep_copies() -> u64 {
+        DEEP_COPIES.load(Ordering::Relaxed)
+    }
+
     /// Builder-style attribute insertion.
     pub fn with<K: Into<Key>, V: Into<Value>>(mut self, key: K, value: V) -> DataItem {
-        self.attrs.insert(key.into(), value.into());
+        self.attrs_mut().insert(key.into(), value.into());
         self
     }
 
     /// Inserts/replaces an attribute.
     pub fn set<K: Into<Key>, V: Into<Value>>(&mut self, key: K, value: V) {
-        self.attrs.insert(key.into(), value.into());
+        self.attrs_mut().insert(key.into(), value.into());
     }
 
-    /// Removes an attribute, returning its previous value.
+    /// Removes an attribute, returning its previous value. Removing an
+    /// absent key is a no-op that never forces a copy of a shared map.
     pub fn remove(&mut self, key: &str) -> Option<Value> {
-        self.attrs.remove(key)
+        if !self.attrs.contains_key(key) {
+            return None;
+        }
+        self.attrs_mut().remove(key)
     }
 
     /// Looks up an attribute.
@@ -183,7 +224,10 @@ impl DataItem {
 
     /// Keeps only the listed keys (the Streams `SelectKeys` processor).
     pub fn project(&mut self, keys: &[&str]) {
-        self.attrs.retain(|k, _| keys.contains(&k.as_str()));
+        if self.attrs.keys().all(|k| keys.contains(&k.as_str())) {
+            return;
+        }
+        self.attrs_mut().retain(|k, _| keys.contains(&k.as_str()));
     }
 
     /// Serialises the item as one JSON object line.
@@ -214,13 +258,13 @@ impl fmt::Display for DataItem {
 
 impl FromIterator<(String, Value)> for DataItem {
     fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
-        DataItem { attrs: iter.into_iter().map(|(k, v)| (Key::from(k), v)).collect() }
+        DataItem { attrs: Arc::new(iter.into_iter().map(|(k, v)| (Key::from(k), v)).collect()) }
     }
 }
 
 impl FromIterator<(Key, Value)> for DataItem {
     fn from_iter<I: IntoIterator<Item = (Key, Value)>>(iter: I) -> Self {
-        DataItem { attrs: iter.into_iter().collect() }
+        DataItem { attrs: Arc::new(iter.into_iter().collect()) }
     }
 }
 
@@ -276,6 +320,30 @@ mod tests {
     fn display_is_sorted_by_key() {
         let item = DataItem::new().with("z", 1i64).with("a", 2i64);
         assert_eq!(item.to_string(), "{a=2, z=1}");
+    }
+
+    #[test]
+    fn clone_shares_until_mutated() {
+        // Sharing is observable through the Arc pointer (the global counter
+        // is shared with concurrently running tests, so pointer identity is
+        // the race-free way to assert copy-on-write behaviour here).
+        let a = DataItem::new().with("n", 1i64).with("s", "x");
+        let mut b = a.clone();
+        assert!(Arc::ptr_eq(&a.attrs, &b.attrs), "clone shares the map");
+        let before = DataItem::deep_copies();
+        b.set("n", 2i64);
+        assert!(!Arc::ptr_eq(&a.attrs, &b.attrs), "shared mutation detaches");
+        assert!(DataItem::deep_copies() > before, "the detach was counted");
+        assert_eq!(a.get_i64("n"), Some(1), "the original is untouched");
+        assert_eq!(b.get_i64("n"), Some(2));
+        // Removing an absent key from a shared map stays copy-free.
+        let mut c = a.clone();
+        assert_eq!(c.remove("missing"), None);
+        assert!(Arc::ptr_eq(&a.attrs, &c.attrs), "no-op remove never copies");
+        // Projecting onto a superset of the keys is also copy-free.
+        let mut d = a.clone();
+        d.project(&["n", "s", "extra"]);
+        assert!(Arc::ptr_eq(&a.attrs, &d.attrs), "no-op project never copies");
     }
 
     #[test]

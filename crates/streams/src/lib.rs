@@ -63,6 +63,7 @@ pub mod runtime;
 pub mod service;
 pub mod sink;
 pub mod source;
+pub mod spsc;
 pub mod topology;
 pub mod xml;
 

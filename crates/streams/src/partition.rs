@@ -36,9 +36,13 @@
 //!
 //! Progress does not depend on luck: sequence numbers of items *filtered*
 //! inside a replica never reach the merge, so the partitioner broadcasts a
-//! low **watermark** item to every shard every [`WM_EVERY`] routed items
-//! ("all sequence numbers below `w` are settled"), and each replica forwards
-//! it with its shard id attached. A replica that finishes cleanly sends a
+//! low **watermark** item to every shard every [`WM_EVERY`]` × shards`
+//! routed items ("all sequence numbers below `w` are settled"), and each
+//! replica forwards it with its shard id attached. The cadence scales with
+//! the shard count so the *merge-side* watermark traffic (one forwarded
+//! watermark per shard per broadcast) stays a constant fraction of the data
+//! traffic — a fixed cadence floods the merge at small shard counts, which
+//! is exactly the non-monotonic scaling bug this bounds. A replica that finishes cleanly sends a
 //! final **fin** marker releasing its shard entirely. The merge itself never
 //! blocks — it always drains its input and buffers internally — so the
 //! expanded sub-graph is acyclic and deadlock-free even when watermarks or
@@ -72,9 +76,12 @@ pub const FIN_ATTR: &str = "__fin";
 /// Marks an item emitted by a replica chain's `finish` (no sequence number).
 pub const FIN_ITEM_ATTR: &str = "__fin_item";
 
-/// The partitioner broadcasts a watermark to every shard after this many
-/// routed items, bounding how long the merge must buffer past sequence
-/// numbers whose items were filtered inside a replica.
+/// Base watermark cadence: the partitioner broadcasts a watermark to every
+/// shard after `WM_EVERY × shards` routed items, bounding how long the merge
+/// must buffer past sequence numbers whose items were filtered inside a
+/// replica. Scaling by the shard count keeps the merge's watermark traffic
+/// (`shards` forwarded copies per broadcast) at a constant ≈ `1/WM_EVERY` of
+/// its data traffic for every shard count.
 pub const WM_EVERY: usize = 32;
 
 /// Stable shard assignment: FNV-1a over the rendered partition-key values.
@@ -93,9 +100,22 @@ pub fn shard_for(item: &DataItem, keys: &[String], shards: usize) -> usize {
         h
     }
     let mut h = OFFSET;
+    // Feed the same bytes `Value`'s Display renders, but without building a
+    // String per key — this runs once per item on the partitioned hot path.
+    // String keys (the common case) hash without any allocation; numeric
+    // keys share one reused buffer.
+    let mut numbuf = String::new();
     for key in keys {
         match item.get(key) {
-            Some(v) => h = feed(h, v.to_string().as_bytes()),
+            Some(crate::item::Value::Str(s)) => h = feed(h, s.as_bytes()),
+            Some(crate::item::Value::Null) => h = feed(h, b"null"),
+            Some(crate::item::Value::Bool(b)) => h = feed(h, if *b { b"true" } else { b"false" }),
+            Some(v) => {
+                numbuf.clear();
+                use std::fmt::Write as _;
+                write!(numbuf, "{v}").expect("formatting a number into a String cannot fail");
+                h = feed(h, numbuf.as_bytes());
+            }
             None => h = feed(h, b"\x00<missing>"),
         }
         h = feed(h, &[0x1f]);
@@ -103,18 +123,45 @@ pub fn shard_for(item: &DataItem, keys: &[String], shards: usize) -> usize {
     (h % shards.max(1) as u64) as usize
 }
 
-/// The synthesized `P[part]` processor: stamps [`SEQ_ATTR`] and
-/// [`SHARD_ATTR`] on every item. The runtime's shard dispatch does the actual
-/// routing (and the periodic watermark broadcast).
-pub(crate) struct PartitionStamp {
-    keys: Vec<String>,
+/// [`shard_for`] with declared key values: a single string key whose value
+/// is listed in `hints` routes to `position % shards` — a round-robin over
+/// the enumerated values, the only assignment that cannot collide the
+/// heavy values of a low-cardinality key onto one replica (see
+/// [`crate::topology::ProcessBuilder::partition_hints`]). Anything not
+/// covered by the hints keeps the hash route. Both routes are pure
+/// functions of the key value, so `same key ⇒ same shard` holds either
+/// way.
+pub fn shard_for_hinted(
+    item: &DataItem,
+    keys: &[String],
+    hints: &[String],
     shards: usize,
+) -> usize {
+    if !hints.is_empty() {
+        if let [key] = keys {
+            if let Some(crate::item::Value::Str(s)) = item.get(key) {
+                if let Some(pos) = hints.iter().position(|h| h == s) {
+                    return pos % shards.max(1);
+                }
+            }
+        }
+    }
+    shard_for(item, keys, shards)
+}
+
+/// The synthesized `P[part]` processor: stamps [`SEQ_ATTR`] on every item.
+/// The runtime's shard dispatch computes the keyed route itself (see
+/// [`Dispatch::Shard`]) and handles the periodic watermark broadcast, so the
+/// shard assignment never round-trips through the attribute map — the
+/// [`SHARD_ATTR`] stamp appears only on replica *outputs*, where the merge
+/// needs it for progress attribution.
+pub(crate) struct PartitionStamp {
     next_seq: i64,
 }
 
 impl PartitionStamp {
-    pub(crate) fn new(keys: Vec<String>, shards: usize) -> PartitionStamp {
-        PartitionStamp { keys, shards, next_seq: 0 }
+    pub(crate) fn new() -> PartitionStamp {
+        PartitionStamp { next_seq: 0 }
     }
 }
 
@@ -124,9 +171,7 @@ impl Processor for PartitionStamp {
         mut item: DataItem,
         _ctx: &mut Context,
     ) -> Result<Option<DataItem>, StreamsError> {
-        let shard = shard_for(&item, &self.keys, self.shards);
         item.set(SEQ_ATTR, self.next_seq);
-        item.set(SHARD_ATTR, shard as i64);
         self.next_seq += 1;
         Ok(Some(item))
     }
@@ -358,23 +403,38 @@ pub(crate) fn expand_replicas(topology: &mut Topology) -> Result<(), StreamsErro
         }
         assert_eq!(chains.len(), n, "one replica chain per replica");
 
+        // The synthesized queues size themselves off the stage's input edge:
+        // the partitioner only routes, so it must not impose backpressure
+        // tighter than the edge feeding it — with keyed (skewed) routing a
+        // smaller shard queue fills while its replica is busy and parks the
+        // partitioner even though upstream capacity remains.
+        let inner_capacity = match &p.input {
+            Input::Queue(q) => {
+                topology.queues.get(q).copied().unwrap_or(DEFAULT_QUEUE_CAPACITY)
+            }
+            _ => DEFAULT_QUEUE_CAPACITY,
+        }
+        .max(DEFAULT_QUEUE_CAPACITY);
         let merge_queue = format!("{}[merge:q]", p.name);
-        topology.queues.insert(merge_queue.clone(), DEFAULT_QUEUE_CAPACITY);
+        topology.queues.insert(merge_queue.clone(), inner_capacity);
         let shard_queues: Vec<String> = (0..n).map(|i| format!("{}[shard:{i}]", p.name)).collect();
         for q in &shard_queues {
-            topology.queues.insert(q.clone(), DEFAULT_QUEUE_CAPACITY);
+            topology.queues.insert(q.clone(), inner_capacity);
         }
 
-        // P[part]: stamp + shard-dispatch to the shard queues.
+        // P[part]: stamp + shard-dispatch to the shard queues. The partition
+        // keys ride on the def so the runtime's shard dispatch can compute
+        // the keyed route directly.
         topology.processes.push(ProcessDef {
             name: format!("{}[part]", p.name),
             input: p.input.clone(),
-            processors: vec![Box::new(PartitionStamp::new(p.partition_keys.clone(), n))],
+            processors: vec![Box::new(PartitionStamp::new())],
             outputs: shard_queues.iter().cloned().map(Output::Queue).collect(),
             fault_policy: crate::fault::FaultPolicy::FailFast,
-            batch_size: 1,
+            batch_size: p.batch_size,
             replicas: 1,
-            partition_keys: Vec::new(),
+            partition_keys: std::mem::take(&mut p.partition_keys),
+            partition_hints: std::mem::take(&mut p.partition_hints),
             replica_chains: Vec::new(),
             shard_dispatch: true,
         });
@@ -391,6 +451,7 @@ pub(crate) fn expand_replicas(topology: &mut Topology) -> Result<(), StreamsErro
                 batch_size: p.batch_size,
                 replicas: 1,
                 partition_keys: Vec::new(),
+                partition_hints: Vec::new(),
                 replica_chains: Vec::new(),
                 shard_dispatch: false,
             });
@@ -406,6 +467,7 @@ pub(crate) fn expand_replicas(topology: &mut Topology) -> Result<(), StreamsErro
             batch_size: p.batch_size,
             replicas: 1,
             partition_keys: Vec::new(),
+            partition_hints: Vec::new(),
             replica_chains: Vec::new(),
             shard_dispatch: false,
         });
@@ -417,46 +479,64 @@ pub(crate) fn expand_replicas(topology: &mut Topology) -> Result<(), StreamsErro
 pub(crate) enum Dispatch {
     /// Clone to every output (the default process semantics).
     Broadcast,
-    /// Route each item to the output named by its [`SHARD_ATTR`] stamp, and
-    /// broadcast a watermark to *all* outputs every [`WM_EVERY`] items.
-    Shard { since_wm: usize, next_wm: i64 },
+    /// Route each item to the shard chosen by [`shard_for_hinted`] over the
+    /// partition keys, and broadcast a watermark to *all* outputs every
+    /// [`WM_EVERY`]` × outputs` items.
+    Shard {
+        keys: std::sync::Arc<[String]>,
+        hints: std::sync::Arc<[String]>,
+        since_wm: usize,
+        next_wm: i64,
+    },
 }
 
 impl Dispatch {
     /// Plans the `(output index, item)` deliveries for one chain survivor,
-    /// in delivery order. Shared by the threaded runtime (which delivers
-    /// immediately) and the replay scheduler (which parks them in its
-    /// outbox), so both produce identical per-queue item sequences.
-    pub(crate) fn plan(&mut self, n_outputs: usize, item: DataItem) -> Vec<(usize, DataItem)> {
+    /// in delivery order, appending to a caller-owned buffer so the per-item
+    /// hot path allocates nothing. Shared by the threaded runtime (which
+    /// delivers immediately from a reused buffer) and the replay scheduler
+    /// (via [`Dispatch::plan`]), so both produce identical per-queue item
+    /// sequences. Item clones are `Arc` reference bumps (see
+    /// [`crate::item`]), never attribute-map copies.
+    pub(crate) fn plan_into(
+        &mut self,
+        n_outputs: usize,
+        item: DataItem,
+        plan: &mut Vec<(usize, DataItem)>,
+    ) {
         match self {
             Dispatch::Broadcast => {
-                let mut plan = Vec::with_capacity(n_outputs);
                 for idx in 0..n_outputs.saturating_sub(1) {
                     plan.push((idx, item.clone()));
                 }
                 if n_outputs > 0 {
                     plan.push((n_outputs - 1, item));
                 }
-                plan
             }
-            Dispatch::Shard { since_wm, next_wm } => {
-                let shard =
-                    item.get_i64(SHARD_ATTR).map(|s| (s as usize) % n_outputs.max(1)).unwrap_or(0);
+            Dispatch::Shard { keys, hints, since_wm, next_wm } => {
+                let shard = shard_for_hinted(&item, keys, hints, n_outputs.max(1));
                 if let Some(seq) = item.get_i64(SEQ_ATTR) {
                     *next_wm = (*next_wm).max(seq + 1);
                 }
-                let mut plan = vec![(shard, item)];
+                plan.push((shard, item));
                 *since_wm += 1;
-                if *since_wm >= WM_EVERY {
+                if *since_wm >= WM_EVERY * n_outputs.max(1) {
                     *since_wm = 0;
                     let wm = DataItem::new().with(WM_ATTR, *next_wm);
                     for idx in 0..n_outputs {
                         plan.push((idx, wm.clone()));
                     }
                 }
-                plan
             }
         }
+    }
+
+    /// Allocating convenience over [`Dispatch::plan_into`] for callers that
+    /// park the plan (the replay scheduler's outbox).
+    pub(crate) fn plan(&mut self, n_outputs: usize, item: DataItem) -> Vec<(usize, DataItem)> {
+        let mut plan = Vec::with_capacity(n_outputs);
+        self.plan_into(n_outputs, item, &mut plan);
+        plan
     }
 }
 
@@ -483,13 +563,14 @@ mod tests {
 
     #[test]
     fn partition_stamp_assigns_monotone_sequence() {
-        let mut p = PartitionStamp::new(vec!["k".into()], 3);
+        let mut p = PartitionStamp::new();
         let mut c = ctx();
         for expect in 0..5i64 {
             let out = p.process(DataItem::new().with("k", expect), &mut c).unwrap().unwrap();
             assert_eq!(out.get_i64(SEQ_ATTR), Some(expect));
-            let shard = out.get_i64(SHARD_ATTR).unwrap();
-            assert!((0..3).contains(&shard));
+            // Routing is the dispatch's job now; the stamp leaves no shard
+            // attribute behind.
+            assert!(!out.contains(SHARD_ATTR));
         }
     }
 
@@ -687,21 +768,28 @@ mod tests {
         let r1 = snap.stages["square[1]"].items_in;
         assert!(r0 > 0 && r1 > 0, "both shards saw traffic: {r0}/{r1}");
         // Replica input = data items + watermark broadcasts (each replica
-        // sees every watermark).
-        let wms = (100 / WM_EVERY as u64) * 2;
+        // sees every watermark; the cadence scales with the shard count).
+        let wms = (100 / (WM_EVERY * 2) as u64) * 2;
         assert_eq!(r0 + r1, 100 + wms);
     }
 
     #[test]
     fn shard_dispatch_routes_and_emits_watermarks() {
-        let mut d = Dispatch::Shard { since_wm: 0, next_wm: 0 };
+        let keys: std::sync::Arc<[String]> = vec!["k".to_string()].into();
+        let mut d =
+            Dispatch::Shard { keys: keys.clone(), hints: Vec::new().into(), since_wm: 0, next_wm: 0 };
         let mut seen_wm = 0usize;
-        for seq in 0..(WM_EVERY as i64) {
-            let item = DataItem::new().with(SEQ_ATTR, seq).with(SHARD_ATTR, seq % 3);
+        let cadence = (WM_EVERY * 3) as i64;
+        for seq in 0..cadence {
+            let item = DataItem::new().with("k", seq).with(SEQ_ATTR, seq);
+            let expect = shard_for(&item, &keys, 3);
             let plan = d.plan(3, item);
-            assert_eq!(plan[0].0 as i64, seq % 3, "routed to the stamped shard");
+            assert_eq!(plan[0].0, expect, "routed to the keyed shard");
             seen_wm += plan.len() - 1;
         }
-        assert_eq!(seen_wm, 3, "one watermark broadcast to all 3 outputs per WM_EVERY items");
+        assert_eq!(
+            seen_wm, 3,
+            "one watermark broadcast to all 3 outputs per WM_EVERY*outputs items"
+        );
     }
 }

@@ -73,8 +73,8 @@ impl Shared {
     }
 }
 
-/// Producer handle of a queue (cloneable: queues are multi-producer).
-pub struct QueueSender {
+/// Mutex+Condvar producer handle (cloneable: multi-producer).
+struct MpmcSender {
     shared: Arc<Shared>,
     /// Whether *this handle* already delivered its EOS marker; makes
     /// [`QueueSender::finish`] idempotent per handle (see the module docs on
@@ -82,14 +82,14 @@ pub struct QueueSender {
     finished: AtomicBool,
 }
 
-impl Clone for QueueSender {
-    fn clone(&self) -> QueueSender {
+impl Clone for MpmcSender {
+    fn clone(&self) -> MpmcSender {
         self.shared.inner.lock().unwrap().handles += 1;
-        QueueSender { shared: Arc::clone(&self.shared), finished: AtomicBool::new(false) }
+        MpmcSender { shared: Arc::clone(&self.shared), finished: AtomicBool::new(false) }
     }
 }
 
-impl Drop for QueueSender {
+impl Drop for MpmcSender {
     fn drop(&mut self) {
         let mut inner = self.shared.inner.lock().unwrap();
         inner.handles -= 1;
@@ -101,10 +101,10 @@ impl Drop for QueueSender {
     }
 }
 
-impl QueueSender {
+impl MpmcSender {
     /// Sends one item, blocking while the queue is full. Returns `false` if
     /// the consumer is gone.
-    pub fn send(&self, item: DataItem) -> bool {
+    fn send(&self, item: DataItem) -> bool {
         let metrics = &self.shared.metrics;
         let mut inner = self.shared.inner.lock().unwrap();
         if inner.buffer.len() >= self.shared.capacity && inner.consumer_alive {
@@ -130,7 +130,7 @@ impl QueueSender {
     /// order, indistinguishable from the same sequence of [`QueueSender::send`]
     /// calls — batching changes lock traffic, never observable FIFO order.
     /// Returns `false` (discarding the remainder) if the consumer is gone.
-    pub fn send_batch(&self, items: Vec<DataItem>) -> bool {
+    fn send_batch(&self, items: Vec<DataItem>) -> bool {
         if items.is_empty() {
             return true;
         }
@@ -172,7 +172,7 @@ impl QueueSender {
     /// recorded: a rejected `try_send` costs the caller nothing, unlike a
     /// blocked `send` (used by the deterministic replay scheduler, which
     /// must never block).
-    pub fn try_send(&self, item: DataItem) -> Result<bool, DataItem> {
+    fn try_send(&self, item: DataItem) -> Result<bool, DataItem> {
         let mut inner = self.shared.inner.lock().unwrap();
         if !inner.consumer_alive {
             return Ok(false);
@@ -190,14 +190,14 @@ impl QueueSender {
     /// Whether a `try_send` would currently be accepted (the consumer is
     /// alive and the buffer has room). Advisory under concurrency; exact
     /// under a single-threaded scheduler.
-    pub fn has_capacity(&self) -> bool {
+    fn has_capacity(&self) -> bool {
         let inner = self.shared.inner.lock().unwrap();
         inner.consumer_alive && inner.buffer.len() < self.shared.capacity
     }
 
     /// Signals that this producer is done. Idempotent per handle: only the
     /// first call on a given handle counts towards the queue's EOS total.
-    pub fn finish(&self) {
+    fn finish(&self) {
         if self.finished.swap(true, Ordering::SeqCst) {
             return;
         }
@@ -209,12 +209,12 @@ impl QueueSender {
     }
 }
 
-/// Consumer handle of a queue (single consumer).
-pub struct QueueReceiver {
+/// Mutex+Condvar consumer handle (single consumer).
+struct MpmcReceiver {
     shared: Arc<Shared>,
 }
 
-impl Drop for QueueReceiver {
+impl Drop for MpmcReceiver {
     fn drop(&mut self) {
         let mut inner = self.shared.inner.lock().unwrap();
         inner.consumer_alive = false;
@@ -223,7 +223,7 @@ impl Drop for QueueReceiver {
     }
 }
 
-impl QueueReceiver {
+impl MpmcReceiver {
     fn pop(&self, inner: &mut Inner) -> DataItem {
         let item = inner.buffer.pop_front().expect("pop on non-empty buffer");
         self.shared.metrics.received.inc();
@@ -234,7 +234,7 @@ impl QueueReceiver {
 
     /// Receives the next item, blocking until one is available or every
     /// producer finished (`None`).
-    pub fn recv(&mut self) -> Option<DataItem> {
+    fn recv(&mut self) -> Option<DataItem> {
         let mut inner = self.shared.inner.lock().unwrap();
         loop {
             if !inner.buffer.is_empty() {
@@ -252,7 +252,7 @@ impl QueueReceiver {
     /// call never waits for a *full* batch: whatever is buffered when the
     /// first item becomes available is drained, so batching adds no latency
     /// over repeated [`QueueReceiver::recv`] calls.
-    pub fn recv_batch(&mut self, max: usize) -> Option<Vec<DataItem>> {
+    fn recv_batch(&mut self, max: usize) -> Option<Vec<DataItem>> {
         let max = max.max(1);
         let mut inner = self.shared.inner.lock().unwrap();
         loop {
@@ -278,7 +278,7 @@ impl QueueReceiver {
     /// buffer drained, [`TryRecv::Empty`] when the queue is merely empty but
     /// the stream is still open. Used by the deterministic replay scheduler,
     /// where a blocked `recv` on the single thread would deadlock the graph.
-    pub fn try_recv(&mut self) -> TryRecv {
+    fn try_recv(&mut self) -> TryRecv {
         let mut inner = self.shared.inner.lock().unwrap();
         if !inner.buffer.is_empty() {
             TryRecv::Item(self.pop(&mut inner))
@@ -291,7 +291,7 @@ impl QueueReceiver {
 
     /// Like [`QueueReceiver::recv`] with a timeout; `Ok(None)` = end of
     /// stream, `Err(Timeout)` = nothing arrived in time.
-    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<DataItem>, Timeout> {
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<DataItem>, Timeout> {
         let deadline = Instant::now() + timeout;
         let mut inner = self.shared.inner.lock().unwrap();
         loop {
@@ -327,6 +327,142 @@ pub enum TryRecv {
     Ended,
 }
 
+/// Producer handle of a queue. Cloneable for MPMC queues (multi-producer);
+/// cloning an SPSC sender panics — the ring has exactly one producer by
+/// construction, and a second handle would silently corrupt its ordering
+/// guarantees.
+pub struct QueueSender(SenderImpl);
+
+enum SenderImpl {
+    Mpmc(MpmcSender),
+    Spsc(crate::spsc::SpscSender),
+}
+
+impl Clone for QueueSender {
+    fn clone(&self) -> QueueSender {
+        match &self.0 {
+            SenderImpl::Mpmc(tx) => QueueSender(SenderImpl::Mpmc(tx.clone())),
+            SenderImpl::Spsc(_) => {
+                panic!("SPSC queue senders are single-owner and cannot be cloned")
+            }
+        }
+    }
+}
+
+impl QueueSender {
+    /// Sends one item, blocking while the queue is full. Returns `false` if
+    /// the consumer is gone.
+    pub fn send(&self, item: DataItem) -> bool {
+        match &self.0 {
+            SenderImpl::Mpmc(tx) => tx.send(item),
+            SenderImpl::Spsc(tx) => tx.send(item),
+        }
+    }
+
+    /// Sends a batch of items, blocking while the queue is full. Items land
+    /// in vector order, indistinguishable from the same sequence of
+    /// [`QueueSender::send`] calls — batching changes lock/wake traffic,
+    /// never observable FIFO order. Returns `false` (discarding the
+    /// remainder) if the consumer is gone.
+    pub fn send_batch(&self, items: Vec<DataItem>) -> bool {
+        match &self.0 {
+            SenderImpl::Mpmc(tx) => tx.send_batch(items),
+            SenderImpl::Spsc(tx) => tx.send_batch(items),
+        }
+    }
+
+    /// Sends one item without blocking. `Ok(true)` means the item was
+    /// enqueued; `Ok(false)` means the consumer is gone and the item was
+    /// discarded (matching [`QueueSender::send`]); `Err(item)` returns the
+    /// item because the queue is full. Backpressure stalls are *not*
+    /// recorded: a rejected `try_send` costs the caller nothing, unlike a
+    /// blocked `send` (used by the deterministic replay scheduler, which
+    /// must never block).
+    pub fn try_send(&self, item: DataItem) -> Result<bool, DataItem> {
+        match &self.0 {
+            SenderImpl::Mpmc(tx) => tx.try_send(item),
+            SenderImpl::Spsc(tx) => tx.try_send(item),
+        }
+    }
+
+    /// Whether a `try_send` would currently be accepted (the consumer is
+    /// alive and the buffer has room). Advisory under concurrency; exact
+    /// under a single-threaded scheduler.
+    pub fn has_capacity(&self) -> bool {
+        match &self.0 {
+            SenderImpl::Mpmc(tx) => tx.has_capacity(),
+            SenderImpl::Spsc(tx) => tx.has_capacity(),
+        }
+    }
+
+    /// Signals that this producer is done. Idempotent per handle: only the
+    /// first call on a given handle counts towards the queue's EOS total.
+    pub fn finish(&self) {
+        match &self.0 {
+            SenderImpl::Mpmc(tx) => tx.finish(),
+            SenderImpl::Spsc(tx) => tx.finish(),
+        }
+    }
+
+    /// Whether this sender feeds a lock-free SPSC ring (picked by
+    /// [`materialize`](crate::runtime) for provably single-producer edges).
+    pub fn is_spsc(&self) -> bool {
+        matches!(self.0, SenderImpl::Spsc(_))
+    }
+}
+
+/// Consumer handle of a queue (single consumer).
+pub struct QueueReceiver(ReceiverImpl);
+
+enum ReceiverImpl {
+    Mpmc(MpmcReceiver),
+    Spsc(crate::spsc::SpscReceiver),
+}
+
+impl QueueReceiver {
+    /// Receives the next item, blocking until one is available or every
+    /// producer finished (`None`).
+    pub fn recv(&mut self) -> Option<DataItem> {
+        match &mut self.0 {
+            ReceiverImpl::Mpmc(rx) => rx.recv(),
+            ReceiverImpl::Spsc(rx) => rx.recv(),
+        }
+    }
+
+    /// Receives up to `max` items, blocking until at least one item is
+    /// available or the stream ends (`None`). The call never waits for a
+    /// *full* batch: whatever is buffered when the first item becomes
+    /// available is drained, so batching adds no latency over repeated
+    /// [`QueueReceiver::recv`] calls.
+    pub fn recv_batch(&mut self, max: usize) -> Option<Vec<DataItem>> {
+        match &mut self.0 {
+            ReceiverImpl::Mpmc(rx) => rx.recv_batch(max),
+            ReceiverImpl::Spsc(rx) => rx.recv_batch(max),
+        }
+    }
+
+    /// Receives without blocking: the front item if one is buffered,
+    /// [`TryRecv::Ended`] once every producer finished (or vanished) and the
+    /// buffer drained, [`TryRecv::Empty`] when the queue is merely empty but
+    /// the stream is still open. Used by the deterministic replay scheduler,
+    /// where a blocked `recv` on the single thread would deadlock the graph.
+    pub fn try_recv(&mut self) -> TryRecv {
+        match &mut self.0 {
+            ReceiverImpl::Mpmc(rx) => rx.try_recv(),
+            ReceiverImpl::Spsc(rx) => rx.try_recv(),
+        }
+    }
+
+    /// Like [`QueueReceiver::recv`] with a timeout; `Ok(None)` = end of
+    /// stream, `Err(Timeout)` = nothing arrived in time.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<DataItem>, Timeout> {
+        match &mut self.0 {
+            ReceiverImpl::Mpmc(rx) => rx.recv_timeout(timeout),
+            ReceiverImpl::Spsc(rx) => rx.recv_timeout(timeout),
+        }
+    }
+}
+
 /// Creates a bounded queue for `producers` producers.
 pub fn queue(capacity: usize, producers: usize) -> (QueueSender, QueueReceiver) {
     queue_with_metrics(capacity, producers, Arc::new(QueueMetrics::default()))
@@ -354,9 +490,24 @@ pub fn queue_with_metrics(
         metrics,
     });
     (
-        QueueSender { shared: Arc::clone(&shared), finished: AtomicBool::new(false) },
-        QueueReceiver { shared },
+        QueueSender(SenderImpl::Mpmc(MpmcSender {
+            shared: Arc::clone(&shared),
+            finished: AtomicBool::new(false),
+        })),
+        QueueReceiver(ReceiverImpl::Mpmc(MpmcReceiver { shared })),
     )
+}
+
+/// Creates a lock-free SPSC queue (see [`crate::spsc`]) behind the same
+/// handle types. The runtime picks this flavour for edges with exactly one
+/// declared producer; semantics (blocking, backpressure, termination, FIFO
+/// order, metrics) match the MPMC queue with `producers = 1`.
+pub fn spsc_queue_with_metrics(
+    capacity: usize,
+    metrics: Arc<QueueMetrics>,
+) -> (QueueSender, QueueReceiver) {
+    let (tx, rx) = crate::spsc::ring_with_metrics(capacity, metrics);
+    (QueueSender(SenderImpl::Spsc(tx)), QueueReceiver(ReceiverImpl::Spsc(rx)))
 }
 
 #[cfg(test)]

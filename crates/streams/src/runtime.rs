@@ -149,7 +149,10 @@ pub(crate) fn materialize(
         }
     }
 
-    // Create channels.
+    // Create channels. Queues are single-consumer by validation; an edge
+    // with exactly one producing process is therefore provably SPSC and gets
+    // the lock-free ring (this covers every partition shard queue and every
+    // linear pipeline edge). Fan-in edges keep the MPMC queue.
     let mut senders: HashMap<String, QueueSender> = HashMap::new();
     let mut receivers: HashMap<String, QueueReceiver> = HashMap::new();
     for (name, cap) in &queues {
@@ -159,7 +162,11 @@ pub(crate) fn materialize(
             // skip it entirely.
             continue;
         }
-        let (tx, rx) = queue_with_metrics(*cap, n_prod, metrics.queue(name));
+        let (tx, rx) = if n_prod == 1 {
+            crate::queue::spsc_queue_with_metrics(*cap, metrics.queue(name))
+        } else {
+            queue_with_metrics(*cap, n_prod, metrics.queue(name))
+        };
         senders.insert(name.clone(), tx);
         receivers.insert(name.clone(), rx);
     }
@@ -179,7 +186,16 @@ pub(crate) fn materialize(
             .outputs
             .into_iter()
             .map(|o| match o {
-                Output::Queue(q) => ProcOutput::Queue(senders.get(&q).expect("validated").clone()),
+                Output::Queue(q) => {
+                    // An SPSC sender is single-owner: hand the worker the
+                    // original handle instead of a clone (its sole producer
+                    // is exactly this process).
+                    if senders.get(&q).expect("validated").is_spsc() {
+                        ProcOutput::Queue(senders.remove(&q).expect("validated"))
+                    } else {
+                        ProcOutput::Queue(senders.get(&q).expect("validated").clone())
+                    }
+                }
                 Output::Sink(s) => ProcOutput::Sink(s),
                 Output::Discard => ProcOutput::Discard,
             })
@@ -195,10 +211,16 @@ pub(crate) fn materialize(
             consecutive_faults: 0,
             batch_size: p.batch_size,
             dispatch: if p.shard_dispatch {
-                Dispatch::Shard { since_wm: 0, next_wm: 0 }
+                Dispatch::Shard {
+                    keys: p.partition_keys.into(),
+                    hints: p.partition_hints.into(),
+                    since_wm: 0,
+                    next_wm: 0,
+                }
             } else {
                 Dispatch::Broadcast
             },
+            plan_buf: Vec::new(),
         });
     }
     // Drop the construction-time sender clones so queues can disconnect.
@@ -217,6 +239,9 @@ pub(crate) struct Worker {
     pub(crate) consecutive_faults: usize,
     pub(crate) batch_size: usize,
     pub(crate) dispatch: Dispatch,
+    /// Reused dispatch-plan buffer: the per-item hot path plans into this
+    /// instead of allocating a fresh `Vec` per survivor.
+    pub(crate) plan_buf: Vec<(usize, DataItem)>,
 }
 
 impl Worker {
@@ -242,9 +267,7 @@ impl Worker {
         // latency. A source's `next_item` may block on live input, and
         // looping on it would hold earlier items unprocessed until the
         // batch fills — sources are always pumped item-at-a-time.
-        let batched = self.batch_size > 1
-            && matches!(self.input, ProcInput::Queue(_))
-            && matches!(self.dispatch, Dispatch::Broadcast);
+        let batched = self.batch_size > 1 && matches!(self.input, ProcInput::Queue(_));
         if !batched {
             // Per-item path: one lock round-trip per item, kept verbatim so
             // the default `batch_size(1)` is bit-identical to the pre-batch
@@ -269,8 +292,15 @@ impl Worker {
         } else {
             // Batched path: drain up to `batch_size` items per queue lock,
             // process them one at a time (identical results), forward the
-            // survivors of each input batch in one batched send.
+            // survivors of each input batch in one batched send. Shard
+            // dispatch buckets the plan per output first — bucketing keeps
+            // each queue's sub-sequence in plan order, so per-queue FIFO
+            // (and with it merge determinism) is untouched.
             let batch_size = self.batch_size;
+            let mut buckets: Vec<Vec<DataItem>> = Vec::new();
+            if matches!(self.dispatch, Dispatch::Shard { .. }) {
+                buckets = (0..self.outputs.len()).map(|_| Vec::new()).collect();
+            }
             loop {
                 let next = match &mut self.input {
                     ProcInput::Source(_) => unreachable!("sources are pumped per item"),
@@ -290,8 +320,25 @@ impl Worker {
                         survivors.push(out);
                     }
                 }
-                if !survivors.is_empty() {
+                if survivors.is_empty() {
+                    continue;
+                }
+                if matches!(self.dispatch, Dispatch::Broadcast) {
                     emit_batch(&mut self.outputs, survivors)?;
+                } else {
+                    let n_outputs = self.outputs.len();
+                    self.plan_buf.clear();
+                    for item in survivors {
+                        self.dispatch.plan_into(n_outputs, item, &mut self.plan_buf);
+                    }
+                    for (idx, it) in self.plan_buf.drain(..) {
+                        buckets[idx].push(it);
+                    }
+                    for (idx, bucket) in buckets.iter_mut().enumerate() {
+                        if !bucket.is_empty() {
+                            deliver_batch(&mut self.outputs[idx], std::mem::take(bucket))?;
+                        }
+                    }
                 }
             }
         }
@@ -319,7 +366,9 @@ impl Worker {
         if matches!(self.dispatch, Dispatch::Broadcast) {
             return emit(&mut self.outputs, item);
         }
-        for (idx, it) in self.dispatch.plan(self.outputs.len(), item) {
+        self.plan_buf.clear();
+        self.dispatch.plan_into(self.outputs.len(), item, &mut self.plan_buf);
+        for (idx, it) in self.plan_buf.drain(..) {
             deliver(&mut self.outputs[idx], it)?;
         }
         Ok(())

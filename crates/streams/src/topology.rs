@@ -47,6 +47,9 @@ pub(crate) struct ProcessDef {
     pub(crate) replicas: usize,
     /// Attribute names whose values select the shard (see [`crate::partition`]).
     pub(crate) partition_keys: Vec<String>,
+    /// Known key values, round-robined over the shards by list position
+    /// (see [`ProcessBuilder::partition_hints`]).
+    pub(crate) partition_hints: Vec<String>,
     /// One pre-instantiated processor chain per replica (filled by
     /// [`ProcessBuilder::processor_factory`] / [`ProcessBuilder::replica_processors`]).
     pub(crate) replica_chains: Vec<Vec<Box<dyn Processor>>>,
@@ -109,6 +112,7 @@ impl Topology {
                 batch_size: 1,
                 replicas: 1,
                 partition_keys: Vec::new(),
+                partition_hints: Vec::new(),
                 replica_chains: Vec::new(),
                 shard_dispatch: false,
             },
@@ -273,6 +277,29 @@ impl<'a> ProcessBuilder<'a> {
         S: Into<String>,
     {
         self.def.partition_keys = keys.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Declares the key values this stage expects, for balanced routing of
+    /// low-cardinality keys: a single string partition key whose value
+    /// appears in this list is routed to shard `position % replicas`
+    /// instead of by hash. With only a handful of distinct key values a
+    /// hash assigns each value an independent random shard, and the odds
+    /// that the heavy values collide on one replica are substantial — this
+    /// is how a sharded stage ends up *slower* than serial. Enumerating the
+    /// values spreads them as evenly as arithmetic allows, for every
+    /// replica count, while values outside the list still fall back to the
+    /// hash. Routing stays a pure function of the key value, so the
+    /// same-key-same-shard guarantee (and with it merge determinism) is
+    /// unchanged.
+    ///
+    /// Ignored for multi-key partitions and non-string key values.
+    pub fn partition_hints<I, S>(mut self, hints: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.def.partition_hints = hints.into_iter().map(Into::into).collect();
         self
     }
 

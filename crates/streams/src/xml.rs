@@ -393,9 +393,23 @@ pub fn compile_into(
                         ),
                     });
                 }
+                // Optional enumeration of expected key values for balanced
+                // low-cardinality routing (see `ProcessBuilder::partition_hints`).
+                let partition_hints: Vec<String> = match child.attr("partition-hints") {
+                    Some(spec) => spec
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect(),
+                    None => Vec::new(),
+                };
                 let mut builder = topology.process(&id).input(input).replicas(replicas);
                 if !partition_keys.is_empty() {
                     builder = builder.partition_by(partition_keys);
+                }
+                if !partition_hints.is_empty() {
+                    builder = builder.partition_hints(partition_hints);
                 }
                 if let Some(policy) = policy {
                     builder = builder.fault_policy(policy);

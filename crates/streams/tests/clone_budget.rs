@@ -1,0 +1,93 @@
+//! Regression tests for the payload clone budget of the partition protocol.
+//!
+//! PR 5's hot-path fix put `DataItem` payloads behind a copy-on-write
+//! `Arc`, so planning, watermark bridging and the merge share payloads
+//! instead of deep-cloning them. The process-global
+//! [`DataItem::deep_copies`] counter makes that budget testable: a sharded
+//! run may detach a payload a constant number of times per item (a write to
+//! a still-shared map), but the count must not scale with the replica
+//! count — that was exactly the bug where every extra shard re-cloned every
+//! item it never even saw.
+//!
+//! These tests live in their own integration-test binary because the
+//! counter is process-global: sibling tests running on other harness
+//! threads would otherwise bleed their own detaches into the deltas
+//! measured here. Keep this file to a single `#[test]` for that reason.
+
+use insight_streams::item::DataItem;
+use insight_streams::processor::{Context, FnProcessor, Processor};
+use insight_streams::runtime::Runtime;
+use insight_streams::sink::CollectSink;
+use insight_streams::source::VecSource;
+use insight_streams::topology::{Input, Output, Topology};
+
+const ITEMS: usize = 400;
+
+fn items() -> Vec<DataItem> {
+    (0..ITEMS as i64)
+        .map(|n| {
+            DataItem::new()
+                .with("key", n % 7)
+                .with("n", n)
+                .with("payload", format!("payload-{n}"))
+        })
+        .collect()
+}
+
+fn square_factory() -> Box<dyn Processor> {
+    Box::new(FnProcessor::new(|mut item: DataItem, _: &mut Context| {
+        let n = item.get_i64("n").unwrap();
+        item.set("sq", n * n);
+        Ok(Some(item))
+    }))
+}
+
+/// Runs the canonical `P[part]` → replicas → `P[merge]` stage and returns
+/// how many payload deep-copies the whole run performed.
+fn deep_copies_for(replicas: usize) -> u64 {
+    let sink = CollectSink::shared();
+    let mut t = Topology::new();
+    t.add_source("in", VecSource::new(items()));
+    t.add_queue("out", 8);
+    t.process("stage")
+        .input(Input::Stream("in".into()))
+        .replicas(replicas)
+        .partition_by(["key"])
+        .processor_factory(square_factory)
+        .output(Output::Queue("out".into()))
+        .done();
+    t.process("collect")
+        .input(Input::Queue("out".into()))
+        .output(Output::Sink(Box::new(sink.clone())))
+        .done();
+    let before = DataItem::deep_copies();
+    Runtime::new(t).run().unwrap();
+    let after = DataItem::deep_copies();
+    assert_eq!(sink.items().len(), ITEMS, "replicas={replicas}: all items arrive");
+    after - before
+}
+
+/// The per-item deep-copy budget is O(1) and independent of the replica
+/// count: 8 shards may not clone more than 1 shard does, beyond a small
+/// constant slack for the extra per-replica bookkeeping items (watermarks).
+#[test]
+fn deep_copies_stay_constant_in_replica_count() {
+    let base = deep_copies_for(1);
+    assert!(
+        base <= 2 * ITEMS as u64,
+        "single-replica run stays within 2 deep-copies per item, got {base} for {ITEMS} items"
+    );
+    for replicas in [2usize, 4, 8] {
+        let copies = deep_copies_for(replicas);
+        // The slack term covers per-replica control items (one watermark
+        // bridge per shard per cadence), which is O(replicas) items each
+        // with an O(1) budget — NOT O(items × replicas).
+        let budget = base + 4 * replicas as u64 + 16;
+        assert!(
+            copies <= budget,
+            "replicas={replicas}: {copies} deep copies exceed budget {budget} \
+             (base {base} at 1 replica, {ITEMS} items) — the partition path \
+             is deep-cloning payloads again"
+        );
+    }
+}

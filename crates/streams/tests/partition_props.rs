@@ -157,6 +157,50 @@ proptest! {
         }
     }
 
+    /// Batched transfers over the SPSC partition edges compose with the
+    /// MPMC queue edge downstream: for any batch size (including ones larger
+    /// than the queue capacity, which forces the partial-drain path) the
+    /// merged output is unchanged and every schedule terminates — the replay
+    /// scheduler treats "batch not fully drained" as progress, not as a
+    /// deadlocked process.
+    #[test]
+    fn batched_spsc_and_mpmc_edges_replay_without_false_deadlocks(
+        keys in proptest::collection::vec(0i64..12, 1..80),
+        batch_idx in 0usize..4,
+        capacity_idx in 0usize..3,
+        replicas in 1usize..=6,
+        seed in any::<u64>(),
+    ) {
+        let batch = [1usize, 3, 16, 64][batch_idx];
+        let capacity = [2usize, 8, 64][capacity_idx];
+        let build = |sink: &CollectSink| {
+            let mut t = Topology::new();
+            t.add_source("in", VecSource::new(items_from_keys(&keys)));
+            t.add_queue("out", capacity);
+            t.process("stage")
+                .input(Input::Stream("in".into()))
+                .replicas(replicas)
+                .partition_by(["key"])
+                .batch_size(batch)
+                .processor_factory(square_factory(0))
+                .output(Output::Queue("out".into()))
+                .done();
+            t.process("collect")
+                .input(Input::Queue("out".into()))
+                .batch_size(batch)
+                .output(Output::Sink(Box::new(sink.clone())))
+                .done();
+            t
+        };
+        let expected = expected_squares(keys.len(), 0);
+        let threaded_sink = CollectSink::shared();
+        Runtime::new(build(&threaded_sink)).run().unwrap();
+        prop_assert_eq!(&collected(&threaded_sink), &expected, "threaded");
+        let replay_sink = CollectSink::shared();
+        ReplayRuntime::new(build(&replay_sink), seed).run().unwrap();
+        prop_assert_eq!(&collected(&replay_sink), &expected, "replay");
+    }
+
     /// `Skip` drops exactly the faulted items, keeps the survivors in input
     /// order, and the run terminates even when one shard (or all of them)
     /// faults on every single item.

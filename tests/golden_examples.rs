@@ -256,11 +256,22 @@ fn scrub_wall_clock(mut snap: MetricsSnapshot) -> MetricsSnapshot {
     }
     for queue in snap.queues.values_mut() {
         // Depth high water and stalls depend on the thread schedule, stall
-        // time on the host; none describe the data.
+        // time on the host; none describe the data. The batch-size
+        // distribution is the same kind of measurement: how many items a
+        // consumer finds per wake is a race between producer and consumer,
+        // not a property of the stream (total items flow through `sent` /
+        // `received`, which stay).
         queue.depth = 0;
         queue.depth_high_water = 0;
         queue.send_stalls = 0;
         queue.stall_ns = 0;
+        queue.batch_sizes = HistogramSnapshot {
+            count: 0,
+            sum_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        };
     }
     for (name, hist) in snap.histograms.iter_mut() {
         if name.ends_with("_ns") {
