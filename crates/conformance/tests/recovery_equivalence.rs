@@ -1,0 +1,140 @@
+//! Crash-recovery conformance: a supervised Dublin topology that loses a
+//! stateful worker mid-stream must recognise exactly what the kill-free run
+//! recognises.
+//!
+//! Each case injects a deterministic kill (`insight_streams::chaos::KillAt`
+//! behind a shared `KillSwitch`) into a stage running under
+//! `FaultPolicy::Restart { from_checkpoint: true }`: the supervisor rebuilds
+//! the worker from its factory, restores the latest checkpoint (RTEC engine
+//! snapshot, watermarks, EM estimator, held/pending queues) and silently
+//! replays the logged suffix. The kill point sweeps the whole input range —
+//! including item 1, before any checkpoint exists — and every run executes
+//! under the deterministic replay scheduler with seeds {0, 77, 777}, for
+//! both the plain (1-replica) and the paper's 4-way region-sharded RTEC
+//! stage. Recovery is correct iff the canonical recognition output is
+//! byte-identical to the kill-free baseline in every combination.
+
+use insight_core::pipeline::PipelineOptions;
+use insight_core::replay::replay_recognitions_with;
+use insight_datagen::scenario::{Scenario, ScenarioConfig};
+use insight_rtec::window::WindowConfig;
+use insight_streams::chaos::KillSwitch;
+use insight_traffic::TrafficRulesConfig;
+
+const SCHEDULER_SEEDS: [u64; 3] = [0, 77, 777];
+
+/// Supervision used throughout: checkpoint every 8 items, 2 restarts per
+/// worker lifetime (one kill needs one), single crowd task replica so the
+/// sweep varies exactly one axis.
+fn supervised(rtec_replicas: usize) -> PipelineOptions {
+    PipelineOptions { rtec_replicas, crowd_replicas: 1, ..PipelineOptions::recovering(8, 2) }
+}
+
+/// Kill points covering the input range: the first items (no checkpoint
+/// taken yet, recovery replays from the start), then evenly spaced steps up
+/// to and including the last item.
+fn kill_points(n: u64) -> Vec<u64> {
+    assert!(n >= 2, "stream too short to sweep ({n} items)");
+    let mut points = vec![1, 2];
+    for i in 1..=6 {
+        points.push(n * i / 6);
+    }
+    points.sort_unstable();
+    points.dedup();
+    points.retain(|&k| (1..=n).contains(&k));
+    points
+}
+
+/// Sweeps kills over the RTEC stage of the given shard shape and asserts
+/// recovery equivalence for every scheduler seed.
+fn assert_rtec_kill_sweep_recovers(rtec_replicas: usize) {
+    let scenario = Scenario::generate(ScenarioConfig::small(900, 42)).expect("scenario");
+    let window = WindowConfig::new(300, 300).expect("window");
+    let rules = TrafficRulesConfig::static_mode();
+    // The RTEC stage consumes every SDE of the scenario (the feeds forward
+    // 1:1 into the `sde` queue), so the sweep range is the SDE count.
+    let n = scenario.sdes.len() as u64;
+    for seed in SCHEDULER_SEEDS {
+        let baseline = replay_recognitions_with(
+            &scenario,
+            rules.clone(),
+            window,
+            seed,
+            &supervised(rtec_replicas),
+        )
+        .expect("kill-free replay");
+        assert!(!baseline.is_empty(), "seed {seed} produced recognitions");
+        for k in kill_points(n) {
+            let switch = KillSwitch::new();
+            let options = PipelineOptions {
+                kill_rtec_at: Some((k, switch.clone())),
+                ..supervised(rtec_replicas)
+            };
+            let out = replay_recognitions_with(&scenario, rules.clone(), window, seed, &options)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "seed {seed}, kill at {k}/{n}, {rtec_replicas} replica(s): \
+                         recovery failed: {e}"
+                    )
+                });
+            assert!(switch.fired(), "seed {seed}: kill at {k}/{n} never struck");
+            assert_eq!(
+                out, baseline,
+                "seed {seed}, kill at {k}/{n}, {rtec_replicas} RTEC replica(s): \
+                 recovered output diverged from the kill-free run"
+            );
+        }
+    }
+}
+
+#[test]
+fn plain_rtec_stage_recovers_from_kills_across_the_whole_stream() {
+    assert_rtec_kill_sweep_recovers(1);
+}
+
+#[test]
+fn sharded_rtec_stage_recovers_from_kills_across_the_whole_stream() {
+    // Four replicas — the paper's one-engine-per-region decomposition; the
+    // shared switch kills whichever replica happens to process the k-th
+    // item, so the sweep exercises partitioned recovery too.
+    assert_rtec_kill_sweep_recovers(4);
+}
+
+#[test]
+fn crowd_em_stage_recovers_with_its_estimator_state_intact() {
+    // The faulty-fleet scenario produces source disagreements, so the EM
+    // merge stage is genuinely stateful when the kill strikes: a restore
+    // that lost the estimator or the held-summary gate would change the
+    // verdicts downstream of the kill point.
+    let mut cfg = ScenarioConfig::small(2400, 91);
+    cfg.fleet.faulty_fraction = 0.5;
+    cfg.fleet.n_buses = 40;
+    let scenario = Scenario::generate(cfg).expect("scenario");
+    let window = WindowConfig::new(900, 450).expect("window");
+    let rules = TrafficRulesConfig::self_adaptive(insight_traffic::NoisyVariant::CrowdValidated);
+    let supervised =
+        || PipelineOptions { checkpoint_every: 1, ..PipelineOptions::recovering(1, 2) };
+    for seed in SCHEDULER_SEEDS {
+        let baseline =
+            replay_recognitions_with(&scenario, rules.clone(), window, seed, &supervised())
+                .expect("kill-free replay");
+        assert!(
+            baseline.contains("crowd_verdict_congested"),
+            "seed {seed}: baseline resolves at least one disagreement"
+        );
+        // The EM stage consumes exactly the summaries that reach the sink.
+        let n = baseline.lines().count() as u64;
+        for k in [1, n / 2, n] {
+            let switch = KillSwitch::new();
+            let options =
+                PipelineOptions { kill_crowd_em_at: Some((k, switch.clone())), ..supervised() };
+            let out = replay_recognitions_with(&scenario, rules.clone(), window, seed, &options)
+                .unwrap_or_else(|e| panic!("seed {seed}, EM kill at {k}/{n} failed: {e}"));
+            assert!(switch.fired(), "seed {seed}: EM kill at {k}/{n} never struck");
+            assert_eq!(
+                out, baseline,
+                "seed {seed}, EM kill at {k}/{n}: recovered verdicts diverged"
+            );
+        }
+    }
+}

@@ -67,9 +67,9 @@ fn recognitions_invariant_in_shard_count_under_replay() {
     let rules = TrafficRulesConfig::default();
     for seed in [0, 77, 777] {
         let shapes = [
-            PipelineOptions { rtec_replicas: 1, crowd_replicas: 1 },
-            PipelineOptions { rtec_replicas: 2, crowd_replicas: 2 },
-            PipelineOptions { rtec_replicas: 4, crowd_replicas: 3 },
+            PipelineOptions { rtec_replicas: 1, crowd_replicas: 1, ..PipelineOptions::standard() },
+            PipelineOptions { rtec_replicas: 2, crowd_replicas: 2, ..PipelineOptions::standard() },
+            PipelineOptions { rtec_replicas: 4, crowd_replicas: 3, ..PipelineOptions::standard() },
         ];
         let outputs: Vec<String> = shapes
             .iter()

@@ -144,6 +144,21 @@ impl CrowdBridge {
         self.engine.stats()
     }
 
+    /// Serialises the online EM estimator state (the evolving part of the
+    /// bridge) for checkpointing; everything else is reproducible from the
+    /// construction parameters.
+    pub fn export_em_state(&self) -> String {
+        self.em.export_state()
+    }
+
+    /// Restores an estimator state produced by
+    /// [`CrowdBridge::export_em_state`] on a bridge built from the same
+    /// configuration. Fails — leaving the estimator untouched — on a corrupt
+    /// or mismatched snapshot.
+    pub fn import_em_state(&mut self, state: &str) -> Result<(), CrowdError> {
+        self.em.import_state(state)
+    }
+
     /// The crowd query asking about the traffic situation at a location.
     fn query_at(&self, lon: f64, lat: f64) -> CrowdQuery {
         CrowdQuery {

@@ -30,7 +30,8 @@ use crate::items::{item_to_sde, sde_to_item};
 use insight_datagen::regions::Region;
 use insight_datagen::scenario::Scenario;
 use insight_rtec::window::WindowConfig;
-use insight_streams::chaos::{ChaosConfig, ChaosSource, ChaosStats};
+use insight_streams::chaos::{ChaosConfig, ChaosSource, ChaosStats, KillAt, KillSwitch};
+use insight_streams::checkpoint::{Checkpointable, StateBlob};
 use insight_streams::error::StreamsError;
 use insight_streams::fault::FaultPolicy;
 use insight_streams::item::DataItem;
@@ -248,6 +249,65 @@ impl Processor for RtecProcessor {
         }
         Ok(self.pending.drain(..).collect())
     }
+
+    fn as_checkpointable(&mut self) -> Option<&mut dyn Checkpointable> {
+        Some(self)
+    }
+}
+
+/// Serialises a queue of items one JSON object per line (the reverse of
+/// [`items_from_lines`]); items round-trip exactly, floats included, via the
+/// shortest-round-trip encoding of [`insight_streams::json`].
+fn items_to_lines(items: &VecDeque<DataItem>) -> String {
+    items.iter().map(DataItem::to_json).collect::<Vec<_>>().join("\n")
+}
+
+fn items_from_lines(lines: &str) -> Result<VecDeque<DataItem>, StreamsError> {
+    lines.lines().map(DataItem::from_json).collect()
+}
+
+fn corrupt(detail: String) -> StreamsError {
+    StreamsError::Io { detail: format!("corrupt checkpoint: {detail}") }
+}
+
+/// The worker's semantic state is the engine snapshot plus the query grid
+/// cursor, the per-class arrival watermarks and the queue of summaries not
+/// yet emitted; the configuration (`step`, `region`) is rebuilt by the
+/// processor factory and only recorded to detect a blob restored into the
+/// wrong worker.
+impl Checkpointable for RtecProcessor {
+    fn snapshot(&mut self) -> StateBlob {
+        let mut blob = StateBlob::new();
+        blob.set("region", self.region.name());
+        blob.set("engine", self.recognizer.snapshot_state());
+        blob.set("next_query", self.next_query);
+        blob.set("last_query", self.last_query);
+        blob.set("bus_watermark", self.bus_watermark);
+        blob.set("scats_watermark", self.scats_watermark);
+        blob.set("max_arrival", self.max_arrival);
+        blob.set("pending", items_to_lines(&self.pending));
+        blob
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), StreamsError> {
+        let region = blob.require_str("region")?;
+        if region != self.region.name() {
+            return Err(corrupt(format!(
+                "snapshot is for region `{region}`, worker serves `{}`",
+                self.region
+            )));
+        }
+        self.recognizer
+            .restore_state(blob.require_str("engine")?)
+            .map_err(|e| corrupt(e.to_string()))?;
+        self.next_query = blob.require_i64("next_query")?;
+        self.last_query = blob.require_i64("last_query")?;
+        self.bus_watermark = blob.require_i64("bus_watermark")?;
+        self.scats_watermark = blob.require_i64("scats_watermark")?;
+        self.max_arrival = blob.require_i64("max_arrival")?;
+        self.pending = items_from_lines(blob.require_str("pending")?)?;
+        Ok(())
+    }
 }
 
 /// One replica of the sharded RTEC stage: routes each SDE to a per-region
@@ -341,8 +401,8 @@ impl Processor for MultiRegionRtecProcessor {
         // same region's stream split across two replicas' engines, making
         // the summary set depend on the replica count. Rejecting it here is
         // a per-item decision, identical for every shard shape.
-        let valid = item_to_sde(&item)
-            .filter(|sde| item.get_str("region") == Some(sde.region().name()));
+        let valid =
+            item_to_sde(&item).filter(|sde| item.get_str("region") == Some(sde.region().name()));
         match valid {
             Some(sde) => self.state_for(sde.region())?.process(item, ctx),
             None => {
@@ -360,6 +420,53 @@ impl Processor for MultiRegionRtecProcessor {
             out.extend(state.finish(ctx)?);
         }
         Ok(out)
+    }
+
+    fn as_checkpointable(&mut self) -> Option<&mut dyn Checkpointable> {
+        Some(self)
+    }
+}
+
+/// One sub-snapshot per lazily created region worker, folded into the
+/// parent blob under `region.{name}.{field}` keys (field-by-field rather
+/// than as a nested JSON string — snapshots run on the barrier hot path,
+/// and re-escaping a serialised engine would double the cost); restore
+/// rebuilds each worker through the normal lazy path and then overlays its
+/// snapshot, so a region the replica had not seen yet simply has no entry.
+impl Checkpointable for MultiRegionRtecProcessor {
+    fn snapshot(&mut self) -> StateBlob {
+        let mut blob = StateBlob::new();
+        let regions: Vec<&str> = self.states.keys().map(|r| r.name()).collect();
+        blob.set("regions", regions.join(","));
+        for (region, state) in &mut self.states {
+            for (field, value) in state.snapshot().into_fields() {
+                blob.set(&format!("region.{region}.{field}"), value);
+            }
+        }
+        blob
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), StreamsError> {
+        let named = blob.require_str("regions")?.to_string();
+        self.states.clear();
+        for name in named.split(',').filter(|n| !n.is_empty()) {
+            let region = Region::ALL
+                .into_iter()
+                .find(|r| r.name() == name)
+                .ok_or_else(|| corrupt(format!("unknown region `{name}`")))?;
+            let prefix = format!("region.{name}.");
+            let mut sub = StateBlob::new();
+            for (key, value) in blob.iter() {
+                if let Some(field) = key.strip_prefix(&prefix) {
+                    sub.set(field, value.clone());
+                }
+            }
+            if sub.is_empty() {
+                return Err(corrupt(format!("no fields for region `{name}`")));
+            }
+            self.state_for(region)?.restore(&sub)?;
+        }
+        Ok(())
     }
 }
 
@@ -859,9 +966,57 @@ impl Processor for CrowdEmProcessor {
         }
         Ok(self.pending.drain(..).collect())
     }
+
+    fn as_checkpointable(&mut self) -> Option<&mut dyn Checkpointable> {
+        Some(self)
+    }
 }
 
-/// Shard counts of the §3 topology's data-parallel stages.
+/// The evolving state is the EM estimator, the per-region watermarks and
+/// the held/pending item queues. Held entries are keyed by attributes the
+/// items themselves carry (`query_time`, `region`), so restoring re-derives
+/// the map keys from the items; the declared `regions` gate is
+/// configuration, rebuilt by the processor factory.
+impl Checkpointable for CrowdEmProcessor {
+    fn snapshot(&mut self) -> StateBlob {
+        let mut blob = StateBlob::new();
+        blob.set("em", self.bridge.export_em_state());
+        let mut watermarks: Vec<String> =
+            self.watermarks.iter().map(|(r, wm)| format!("{r}={wm}")).collect();
+        watermarks.sort_unstable();
+        blob.set("watermarks", watermarks.join("\n"));
+        let held: VecDeque<DataItem> = self.held.values().flatten().cloned().collect();
+        blob.set("held", items_to_lines(&held));
+        blob.set("pending", items_to_lines(&self.pending));
+        blob
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), StreamsError> {
+        self.bridge.import_em_state(blob.require_str("em")?).map_err(|e| corrupt(e.to_string()))?;
+        self.watermarks.clear();
+        for line in blob.require_str("watermarks")?.lines() {
+            let (region, wm) = line
+                .split_once('=')
+                .ok_or_else(|| corrupt(format!("bad watermark entry `{line}`")))?;
+            let wm =
+                wm.parse::<i64>().map_err(|_| corrupt(format!("bad watermark value `{line}`")))?;
+            self.watermarks.insert(region.to_string(), wm);
+        }
+        self.held.clear();
+        for item in items_from_lines(blob.require_str("held")?)? {
+            let (Some(region), Some(q)) =
+                (item.get_str("region").map(str::to_string), item.get_i64("query_time"))
+            else {
+                return Err(corrupt("held summary lost its (query_time, region) key".into()));
+            };
+            self.held.entry((q, region)).or_default().push(item);
+        }
+        self.pending = items_from_lines(blob.require_str("pending")?)?;
+        Ok(())
+    }
+}
+
+/// Shard counts and crash-recovery knobs of the §3 topology's stages.
 #[derive(Debug, Clone)]
 pub struct PipelineOptions {
     /// Replicas of the RTEC stage, partitioned by `region` (values below 1
@@ -870,11 +1025,55 @@ pub struct PipelineOptions {
     /// Replicas of the crowd task stage, partitioned by
     /// `(query_time, region)`.
     pub crowd_replicas: usize,
+    /// Checkpoint cadence of the stateful stages (RTEC and crowd-EM): a
+    /// barrier every `checkpoint_every` consumed items per worker. 0
+    /// disables checkpointing.
+    pub checkpoint_every: usize,
+    /// Crash supervision: `Some(max)` runs the stateful stages under
+    /// [`FaultPolicy::Restart`] with `max` restarts per worker lifetime,
+    /// restoring from the latest checkpoint and replaying the logged
+    /// suffix. Takes precedence over the chaos-mode `Skip`/dead-letter
+    /// defaults on those stages.
+    pub restarts: Option<usize>,
+    /// Deterministic kill injection on the RTEC stage: panic when the n-th
+    /// item (1-based, counted across all replicas) enters a worker. The
+    /// [`KillSwitch`] is shared with the rebuilt processors so recovery
+    /// traffic never re-fires; `(0, _)` never fires.
+    pub kill_rtec_at: Option<(u64, KillSwitch)>,
+    /// Deterministic kill injection on the crowd-EM stage, same contract as
+    /// [`PipelineOptions::kill_rtec_at`].
+    pub kill_crowd_em_at: Option<(u64, KillSwitch)>,
 }
 
 impl Default for PipelineOptions {
     fn default() -> PipelineOptions {
-        PipelineOptions { rtec_replicas: 4, crowd_replicas: 2 }
+        PipelineOptions::standard()
+    }
+}
+
+impl PipelineOptions {
+    /// The default shard counts (4 RTEC replicas — the paper's one engine
+    /// per region — and 2 crowd task replicas) with recovery disabled.
+    pub fn standard() -> PipelineOptions {
+        PipelineOptions {
+            rtec_replicas: 4,
+            crowd_replicas: 2,
+            checkpoint_every: 0,
+            restarts: None,
+            kill_rtec_at: None,
+            kill_crowd_em_at: None,
+        }
+    }
+
+    /// [`PipelineOptions::standard`] plus checkpointing every
+    /// `checkpoint_every` items and restart supervision on the stateful
+    /// stages.
+    pub fn recovering(checkpoint_every: usize, restarts: usize) -> PipelineOptions {
+        PipelineOptions {
+            checkpoint_every,
+            restarts: Some(restarts),
+            ..PipelineOptions::standard()
+        }
     }
 }
 
@@ -998,7 +1197,15 @@ fn build_pipeline_inner(
         );
     }
 
-    topology.add_queue("sde", 8192);
+    // The capacity must be small enough that a fast producer *blocks* and
+    // yields to the other feeds: the RTEC query gate opens only when every
+    // SDE class's watermark has passed, so if one source can burst its whole
+    // stream ahead of the others (short benches on few cores), queries — and
+    // with them window eviction — defer to end-of-stream and the engines
+    // buffer the entire history. A bounded queue caps that skew at one queue
+    // length, keeping worker state (and checkpoint blobs) at steady-state
+    // window size.
+    topology.add_queue("sde", 512);
     topology
         .process("bus-feed")
         .input(Input::Stream("bus".into()))
@@ -1057,6 +1264,23 @@ fn build_pipeline_inner(
         // whole shard.
         builder = builder.fault_policy(FaultPolicy::Skip { max_consecutive: usize::MAX });
     }
+    if let Some(max) = options.restarts {
+        // Crash supervision overrides the chaos default: a killed worker is
+        // rebuilt from its factory, restored from the latest checkpoint and
+        // caught up by replaying the logged suffix.
+        builder = builder
+            .fault_policy(FaultPolicy::Restart { max, from_checkpoint: true })
+            .checkpoint_every(options.checkpoint_every);
+    } else if options.checkpoint_every > 0 {
+        builder = builder.checkpoint_every(options.checkpoint_every);
+    }
+    if let Some((at, switch)) = options.kill_rtec_at.clone() {
+        // The kill slot precedes the engine slot, so the panic strikes
+        // before the item mutates any state; the shared switch keeps the
+        // rebuilt chain from re-firing on replayed traffic.
+        builder =
+            builder.processor_factory(move || Box::new(KillAt::with_switch(at, switch.clone())));
+    }
     builder
         .processor_factory({
             let rules = rules_shared.clone();
@@ -1080,17 +1304,16 @@ fn build_pipeline_inner(
     let (x0, y0, x1, y1) = scenario.network.bbox();
     let centre = ((x0 + x1) / 2.0, (y0 + y1) / 2.0);
     let seed = scenario.config.seed;
-    // Build the EM-stage bridge eagerly: it both validates the bridge
-    // configuration (so the replica factory below cannot fail) and carries
-    // the online EM state.
-    let em_bridge =
-        crate::crowdbridge::CrowdBridge::new(&bridge_config, centre, seed).map_err(|e| {
-            StreamsError::ProcessorFailed {
-                process: "crowd-em".into(),
-                processor: None,
-                message: e.to_string(),
-            }
-        })?;
+    // Validate the bridge configuration eagerly, so neither the task-replica
+    // factories nor the EM-stage factory below can fail at runtime.
+    crate::crowdbridge::CrowdBridge::new(&bridge_config, centre, seed).map(drop).map_err(|e| {
+        StreamsError::ProcessorFailed {
+            process: "crowd-em".into(),
+            processor: None,
+            message: e.to_string(),
+        }
+    })?;
+    let em_config = bridge_config.clone();
     let network = scenario.network.clone();
     let field = scenario.field.clone();
     let truth_of: TruthOracle = Arc::new(move |lon: f64, lat: f64, t: i64| {
@@ -1127,8 +1350,23 @@ fn build_pipeline_inner(
     if chaos.is_some() {
         builder = builder.dead_letter();
     }
+    if let Some(max) = options.restarts {
+        builder = builder
+            .fault_policy(FaultPolicy::Restart { max, from_checkpoint: true })
+            .checkpoint_every(options.checkpoint_every);
+    } else if options.checkpoint_every > 0 {
+        builder = builder.checkpoint_every(options.checkpoint_every);
+    }
+    if let Some((at, switch)) = options.kill_crowd_em_at.clone() {
+        builder =
+            builder.processor_factory(move || Box::new(KillAt::with_switch(at, switch.clone())));
+    }
     builder
-        .processor(CrowdEmProcessor::new(em_bridge).with_regions(active_regions))
+        .processor_factory(move || {
+            let bridge = crate::crowdbridge::CrowdBridge::new(&em_config, centre, seed)
+                .expect("bridge configuration validated at build time");
+            Box::new(CrowdEmProcessor::new(bridge).with_regions(active_regions.clone()))
+        })
         .output(Output::Sink(Box::new(sink.clone())))
         .done();
 
@@ -1324,12 +1562,16 @@ mod tests {
             Runtime::new(topology).run().unwrap();
             crate::replay::canonical_recognitions(&sink.items())
         };
-        let base = canonical(&PipelineOptions { rtec_replicas: 1, crowd_replicas: 1 });
+        let base = canonical(&PipelineOptions {
+            rtec_replicas: 1,
+            crowd_replicas: 1,
+            ..PipelineOptions::standard()
+        });
         assert!(!base.is_empty());
         for options in [
-            PipelineOptions { rtec_replicas: 2, crowd_replicas: 3 },
-            PipelineOptions { rtec_replicas: 4, crowd_replicas: 2 },
-            PipelineOptions { rtec_replicas: 8, crowd_replicas: 4 },
+            PipelineOptions { rtec_replicas: 2, crowd_replicas: 3, ..PipelineOptions::standard() },
+            PipelineOptions { rtec_replicas: 4, crowd_replicas: 2, ..PipelineOptions::standard() },
+            PipelineOptions { rtec_replicas: 8, crowd_replicas: 4, ..PipelineOptions::standard() },
         ] {
             assert_eq!(
                 canonical(&options),
@@ -1359,9 +1601,97 @@ mod tests {
             Runtime::new(topology).run().unwrap();
             crate::replay::canonical_recognitions(&sink.items())
         };
-        let base = canonical(&PipelineOptions { rtec_replicas: 1, crowd_replicas: 1 });
+        let base = canonical(&PipelineOptions {
+            rtec_replicas: 1,
+            crowd_replicas: 1,
+            ..PipelineOptions::standard()
+        });
         assert!(!base.is_empty());
-        assert_eq!(canonical(&PipelineOptions { rtec_replicas: 4, crowd_replicas: 2 }), base);
+        assert_eq!(
+            canonical(&PipelineOptions {
+                rtec_replicas: 4,
+                crowd_replicas: 2,
+                ..PipelineOptions::standard()
+            }),
+            base
+        );
+    }
+
+    #[test]
+    fn checkpointing_is_output_transparent() {
+        // Barriers snapshot state but must never change what the pipeline
+        // recognises — with no kill the supervised run is byte-identical to
+        // the unsupervised one.
+        let canonical = |options: &PipelineOptions| {
+            let scenario = Scenario::generate(ScenarioConfig::small(1200, 77)).unwrap();
+            let window = WindowConfig::new(600, 300).unwrap();
+            let (topology, sink) =
+                build_pipeline_with(&scenario, TrafficRulesConfig::default(), window, options)
+                    .unwrap();
+            Runtime::new(topology).run().unwrap();
+            crate::replay::canonical_recognitions(&sink.items())
+        };
+        let base = canonical(&PipelineOptions::standard());
+        assert!(!base.is_empty());
+        assert_eq!(canonical(&PipelineOptions::recovering(8, 2)), base);
+    }
+
+    #[test]
+    fn killed_rtec_worker_recovers_to_the_kill_free_output() {
+        let canonical = |kill: Option<(u64, KillSwitch)>| {
+            let scenario = Scenario::generate(ScenarioConfig::small(1200, 77)).unwrap();
+            let window = WindowConfig::new(600, 300).unwrap();
+            let options =
+                PipelineOptions { kill_rtec_at: kill, ..PipelineOptions::recovering(16, 2) };
+            let (topology, sink) =
+                build_pipeline_with(&scenario, TrafficRulesConfig::default(), window, &options)
+                    .unwrap();
+            let runtime = Runtime::new(topology);
+            let metrics = runtime.metrics();
+            runtime.run().unwrap();
+            (crate::replay::canonical_recognitions(&sink.items()), metrics.snapshot())
+        };
+        let (base, _) = canonical(None);
+        assert!(!base.is_empty());
+        let switch = KillSwitch::new();
+        let (recovered, snap) = canonical(Some((40, switch.clone())));
+        assert!(switch.fired(), "the injected kill must actually strike");
+        assert_eq!(recovered, base, "recovery must reproduce the kill-free recognitions");
+        let rtec = snap.rollup_stages().remove("rtec").expect("rtec stage reported");
+        assert!(rtec.combined.checkpoints > 0, "barriers were taken");
+        assert_eq!(rtec.combined.restores, 1, "exactly one worker was restored");
+    }
+
+    #[test]
+    fn killed_crowd_em_stage_recovers_to_the_kill_free_output() {
+        // The faulty-fleet scenario from
+        // `crowd_processor_annotates_disagreement_summaries`, so the EM
+        // state the restore must reconstruct is actually exercised.
+        let canonical = |kill: Option<(u64, KillSwitch)>| {
+            let mut cfg = ScenarioConfig::small(2400, 91);
+            cfg.fleet.faulty_fraction = 0.5;
+            cfg.fleet.n_buses = 40;
+            let scenario = Scenario::generate(cfg).unwrap();
+            let window = WindowConfig::new(900, 450).unwrap();
+            let rules =
+                TrafficRulesConfig::self_adaptive(insight_traffic::NoisyVariant::CrowdValidated);
+            let options =
+                PipelineOptions { kill_crowd_em_at: kill, ..PipelineOptions::recovering(1, 2) };
+            let (topology, sink) = build_pipeline_with(&scenario, rules, window, &options).unwrap();
+            let runtime = Runtime::new(topology);
+            let metrics = runtime.metrics();
+            runtime.run().unwrap();
+            (crate::replay::canonical_recognitions(&sink.items()), metrics.snapshot())
+        };
+        let (base, _) = canonical(None);
+        assert!(base.contains("crowd_verdict_congested"), "baseline resolves disagreements");
+        let switch = KillSwitch::new();
+        let (recovered, snap) = canonical(Some((5, switch.clone())));
+        assert!(switch.fired(), "the injected kill must actually strike");
+        assert_eq!(recovered, base, "recovery must reproduce the kill-free verdicts");
+        let em = snap.stages.get("crowd-em").expect("crowd-em stage reported");
+        assert_eq!(em.restores, 1, "the EM stage was restored once");
+        assert!(em.recovery_ns > 0, "recovery latency recorded");
     }
 
     #[test]

@@ -36,6 +36,12 @@ pub enum CrowdError {
         /// Description of the constraint that failed.
         detail: String,
     },
+    /// A serialised estimator state could not be decoded, or does not fit
+    /// the estimator it is being restored into.
+    CorruptState {
+        /// Description of the problem.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CrowdError {
@@ -52,6 +58,9 @@ impl fmt::Display for CrowdError {
             CrowdError::DegenerateLabelSet => write!(f, "label set needs at least two answers"),
             CrowdError::NoEligibleWorkers { detail } => {
                 write!(f, "no eligible workers: {detail}")
+            }
+            CrowdError::CorruptState { detail } => {
+                write!(f, "corrupt estimator state snapshot: {detail}")
             }
         }
     }

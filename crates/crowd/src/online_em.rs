@@ -135,6 +135,66 @@ impl OnlineEm {
         Ok(alpha)
     }
 
+    /// Exports the mutable estimator state — per-participant estimates and
+    /// query counts — as a line-based text blob for checkpointing.
+    ///
+    /// The label set and γ schedule are *configuration*, not state: import
+    /// the blob into an estimator built with the same configuration. Unlike
+    /// [`OnlineEm::with_estimates`] (which freezes the schedule for batch
+    /// evaluation), an export/import round trip keeps the
+    /// stochastic-approximation steps adapting exactly where they left off,
+    /// because the per-participant query counts that index γ are restored
+    /// too.
+    pub fn export_state(&self) -> String {
+        let mut out = String::from("crowd-em v1\n");
+        for (p, q) in self.p_hat.iter().zip(&self.queries) {
+            out.push_str(&format!("{:016x} {q}\n", p.to_bits()));
+        }
+        out
+    }
+
+    /// Restores state captured by [`OnlineEm::export_state`]. The snapshot
+    /// must cover exactly this estimator's participant count.
+    pub fn import_state(&mut self, state: &str) -> Result<(), CrowdError> {
+        let corrupt = |detail: String| CrowdError::CorruptState { detail };
+        let mut lines = state.lines();
+        match lines.next() {
+            Some("crowd-em v1") => {}
+            other => {
+                return Err(corrupt(format!("unsupported header `{}`", other.unwrap_or_default())))
+            }
+        }
+        let mut p_hat = Vec::with_capacity(self.p_hat.len());
+        let mut queries = Vec::with_capacity(self.queries.len());
+        for (ln, line) in lines.filter(|l| !l.is_empty()).enumerate() {
+            let (bits, count) = line
+                .split_once(' ')
+                .ok_or_else(|| corrupt(format!("line {}: `{line}`", ln + 2)))?;
+            let p = u64::from_str_radix(bits, 16)
+                .map(f64::from_bits)
+                .map_err(|_| corrupt(format!("line {}: bad estimate `{bits}`", ln + 2)))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(CrowdError::InvalidProbability { name: "p_hat", value: p });
+            }
+            p_hat.push(p);
+            queries.push(
+                count
+                    .parse::<usize>()
+                    .map_err(|_| corrupt(format!("line {}: bad query count `{count}`", ln + 2)))?,
+            );
+        }
+        if p_hat.len() != self.p_hat.len() {
+            return Err(corrupt(format!(
+                "snapshot covers {} participants, estimator has {}",
+                p_hat.len(),
+                self.p_hat.len()
+            )));
+        }
+        self.p_hat = p_hat;
+        self.queries = queries;
+        Ok(())
+    }
+
     /// Processes one disagreement event: answers are `(participant, label)`
     /// pairs. Returns the posterior outcome and updates the reliability
     /// estimates of every answering participant.
@@ -290,6 +350,71 @@ mod tests {
         }
         let p = em.estimates()[0];
         assert!(p > 0.0 && p < 1.0);
+    }
+
+    #[test]
+    fn export_import_resumes_adaptation_exactly() {
+        let cohort = SimulatedParticipant::paper_cohort();
+        let labels = LabelSet::traffic_default();
+        let mut live = OnlineEm::paper_default(cohort.len());
+        let mut rng = StdRng::seed_from_u64(11);
+        let events: Vec<Vec<(usize, usize)>> = (0..400u64)
+            .map(|t| {
+                cohort
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (i, p.answer((t % 4) as usize, &labels, &mut rng).unwrap()))
+                    .collect()
+            })
+            .collect();
+        for ev in &events[..200] {
+            live.process(&uniform4(), ev).unwrap();
+        }
+        let snapshot = live.export_state();
+
+        // A rebuilt estimator restored from the snapshot continues the
+        // γ-schedule exactly where the live one left off.
+        let mut restored = OnlineEm::paper_default(cohort.len());
+        restored.import_state(&snapshot).unwrap();
+        assert_eq!(restored.estimates(), live.estimates());
+        assert_eq!(restored.queries_of(0), live.queries_of(0));
+        assert_eq!(restored.export_state(), snapshot, "round trip is lossless");
+        for ev in &events[200..] {
+            let a = live.process(&uniform4(), ev).unwrap();
+            let b = restored.process(&uniform4(), ev).unwrap();
+            assert_eq!(a, b, "post-restore outcomes diverged");
+        }
+        assert_eq!(restored.estimates(), live.estimates());
+    }
+
+    #[test]
+    fn import_rejects_corrupt_and_mismatched_snapshots() {
+        let mut em = OnlineEm::paper_default(3);
+        let before = em.estimates().to_vec();
+        for bad in [
+            "",
+            "crowd-em v0\n",
+            "crowd-em v1\nzz 1\n",
+            "crowd-em v1\n0000000000000000\n",
+            "crowd-em v1\n3fd0000000000000 x\n",
+        ] {
+            assert!(
+                matches!(em.import_state(bad), Err(CrowdError::CorruptState { .. })),
+                "accepted {bad:?}"
+            );
+        }
+        // Wrong participant count.
+        let other = OnlineEm::paper_default(5).export_state();
+        assert!(em.import_state(&other).is_err());
+        // Out-of-range estimate.
+        let nan = format!(
+            "crowd-em v1\n{:016x} 1\n{:016x} 1\n{:016x} 1\n",
+            2.0f64.to_bits(),
+            0.5f64.to_bits(),
+            0.5f64.to_bits()
+        );
+        assert!(matches!(em.import_state(&nan), Err(CrowdError::InvalidProbability { .. })));
+        assert_eq!(em.estimates(), before, "failed imports leave state untouched");
     }
 
     #[test]

@@ -863,11 +863,7 @@ impl Engine {
                 });
                 slots
                     .into_iter()
-                    .map(|s| {
-                        s.into_inner()
-                            .unwrap()
-                            .expect("every stratum task filled its slot")
-                    })
+                    .map(|s| s.into_inner().unwrap().expect("every stratum task filled its slot"))
                     .collect()
             } else {
                 level
@@ -1211,6 +1207,319 @@ impl Engine {
                 }
             }
         }
+    }
+
+    // -- checkpoint/restore -------------------------------------------------
+
+    /// Serialises the engine's windowed recognition state into a stable,
+    /// line-based text snapshot.
+    ///
+    /// The snapshot captures exactly the state that inertia and windowing
+    /// carry across queries: the buffered (unexpired) input items with their
+    /// seen flags, the previous window's fluent intervals, and the query
+    /// clock. Derivation caches are deliberately *excluded* — they are a
+    /// pure performance artefact, and [`Engine::restore_state`] marks the
+    /// engine dirty so the next query re-derives them in full. Because
+    /// incremental and full evaluation are output-equivalent, a restored
+    /// engine answers every future query exactly like the engine the
+    /// snapshot was taken from (and like a cold engine replaying the full
+    /// input history).
+    ///
+    /// Rule sets, relations, builtins and window configuration are *not*
+    /// part of the snapshot: restore into an engine rebuilt with the same
+    /// configuration.
+    pub fn snapshot_state(&self) -> String {
+        use std::fmt::Write as _;
+        // Serialisation happens on the worker's hot path (a checkpoint
+        // barrier blocks input consumption), so every line is appended in
+        // place — no per-line or per-token allocations.
+        let mut out =
+            String::with_capacity(64 * (self.buffered_events.len() + self.buffered_obs.len() + 1));
+        out.push_str("rtec-state v1\n");
+        if let Some(t) = self.first_query {
+            let _ = writeln!(out, "first {t}");
+        }
+        if let Some(t) = self.last_query {
+            let _ = writeln!(out, "last {t}");
+        }
+        for s in &self.buffered_events {
+            let _ = write!(out, "ev {} {} {} ", u8::from(s.seen), s.item.arrival, s.item.item.time);
+            state_escape_into(&mut out, s.item.item.kind.as_str());
+            for a in &s.item.item.args {
+                out.push(' ');
+                term_token_into(&mut out, a);
+            }
+            out.push('\n');
+        }
+        for s in &self.buffered_obs {
+            let _ =
+                write!(out, "obs {} {} {} ", u8::from(s.seen), s.item.arrival, s.item.item.time);
+            state_escape_into(&mut out, s.item.item.name.as_str());
+            out.push(' ');
+            term_token_into(&mut out, &s.item.item.value);
+            for a in &s.item.item.args {
+                out.push(' ');
+                term_token_into(&mut out, a);
+            }
+            out.push('\n');
+        }
+        // Sorted so identical states serialise to identical bytes even
+        // though the backing map iterates in arbitrary order.
+        let mut fluent_lines: Vec<String> = self
+            .prev_fluents
+            .iter()
+            .filter(|(_, ivs)| !ivs.is_empty())
+            .map(|((name, args, value), ivs)| {
+                let mut line = String::with_capacity(48);
+                line.push_str("pf ");
+                state_escape_into(&mut line, name.as_str());
+                line.push(' ');
+                term_token_into(&mut line, value);
+                let _ = write!(line, " {}", args.len());
+                for a in args {
+                    line.push(' ');
+                    term_token_into(&mut line, a);
+                }
+                for iv in ivs.iter() {
+                    match iv.end() {
+                        Some(e) => {
+                            let _ = write!(line, " {}:{e}", iv.start());
+                        }
+                        None => {
+                            let _ = write!(line, " {}:inf", iv.start());
+                        }
+                    }
+                }
+                line.push('\n');
+                line
+            })
+            .collect();
+        fluent_lines.sort_unstable();
+        for line in fluent_lines {
+            out.push_str(&line);
+        }
+        out
+    }
+
+    /// Restores state captured by [`Engine::snapshot_state`] into this
+    /// engine, replacing any buffered inputs and previous-window fluents.
+    ///
+    /// The engine must have been built with the same rule set (input
+    /// declarations are re-validated here), relations, builtins and window
+    /// configuration as the snapshot's origin. On success the engine is
+    /// marked dirty, so the next query performs a full re-evaluation —
+    /// differentially equal to what a cold engine replaying the entire
+    /// history would produce.
+    pub fn restore_state(&mut self, snapshot: &str) -> Result<(), RtecError> {
+        let corrupt = |detail: String| RtecError::CorruptState { detail };
+        let mut lines = snapshot.lines();
+        match lines.next() {
+            Some("rtec-state v1") => {}
+            other => {
+                return Err(corrupt(format!("unsupported header `{}`", other.unwrap_or_default())))
+            }
+        }
+        let mut first_query = None;
+        let mut last_query = None;
+        let mut events: Vec<Seen<Event>> = Vec::new();
+        let mut obs: Vec<Seen<FluentObs>> = Vec::new();
+        let mut fluents: HashMap<FluentKey, IntervalList> = HashMap::new();
+        for (ln, line) in lines.enumerate() {
+            let mut toks = line.split(' ');
+            let tag = toks.next().unwrap_or_default();
+            let bad = |what: &str| corrupt(format!("line {}: bad {what}: `{line}`", ln + 2));
+            let parse_time = |tok: Option<&str>, what: &str| -> Result<Time, RtecError> {
+                tok.and_then(|t| t.parse::<Time>().ok())
+                    .ok_or_else(|| corrupt(format!("line {}: bad {what}: `{line}`", ln + 2)))
+            };
+            match tag {
+                "first" => first_query = Some(parse_time(toks.next(), "first-query time")?),
+                "last" => last_query = Some(parse_time(toks.next(), "last-query time")?),
+                "ev" | "obs" => {
+                    let seen = match toks.next() {
+                        Some("0") => false,
+                        Some("1") => true,
+                        _ => return Err(bad("seen flag")),
+                    };
+                    let arrival = parse_time(toks.next(), "arrival time")?;
+                    let time = parse_time(toks.next(), "occurrence time")?;
+                    let name = state_unescape(toks.next().ok_or_else(|| bad("symbol"))?)
+                        .ok_or_else(|| bad("symbol"))?;
+                    let value = if tag == "obs" {
+                        Some(
+                            toks.next()
+                                .and_then(token_to_term)
+                                .ok_or_else(|| bad("fluent value"))?,
+                        )
+                    } else {
+                        None
+                    };
+                    let args: Vec<Term> = toks
+                        .map(|t| token_to_term(t).ok_or_else(|| bad("argument term")))
+                        .collect::<Result<_, _>>()?;
+                    if tag == "ev" {
+                        let item = Event::new(name.as_str(), args, time);
+                        self.check_declared(
+                            &self.ruleset.input_events,
+                            &item.kind,
+                            item.args.len(),
+                            "event",
+                        )?;
+                        events.push(Seen { item: Stamped::arriving_at(item, arrival), seen });
+                    } else {
+                        let value = value.expect("obs parsed a value");
+                        let item = FluentObs::new(name.as_str(), args, value, time);
+                        self.check_declared(
+                            &self.ruleset.input_fluents,
+                            &item.name,
+                            item.args.len(),
+                            "input fluent",
+                        )?;
+                        obs.push(Seen { item: Stamped::arriving_at(item, arrival), seen });
+                    }
+                }
+                "pf" => {
+                    let name = state_unescape(toks.next().ok_or_else(|| bad("fluent name"))?)
+                        .ok_or_else(|| bad("fluent name"))?;
+                    let value =
+                        toks.next().and_then(token_to_term).ok_or_else(|| bad("fluent value"))?;
+                    let n_args: usize = toks
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("argument count"))?;
+                    let args: Vec<Term> = (0..n_args)
+                        .map(|_| {
+                            toks.next().and_then(token_to_term).ok_or_else(|| bad("argument term"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    let intervals: Vec<crate::interval::Interval> = toks
+                        .map(|pair| {
+                            let (s, e) = pair.split_once(':').ok_or_else(|| bad("interval"))?;
+                            let start = s.parse::<Time>().map_err(|_| bad("interval start"))?;
+                            match e {
+                                "inf" => Ok(crate::interval::Interval::open_from(start)),
+                                _ => {
+                                    let end = e.parse::<Time>().map_err(|_| bad("interval end"))?;
+                                    crate::interval::Interval::try_span(start, end)
+                                        .ok_or_else(|| bad("interval span"))
+                                }
+                            }
+                        })
+                        .collect::<Result<_, _>>()?;
+                    fluents.insert(
+                        (Symbol::new(&name), args, value),
+                        IntervalList::from_intervals(intervals),
+                    );
+                }
+                "" => {}
+                other => return Err(corrupt(format!("line {}: unknown tag `{other}`", ln + 2))),
+            }
+        }
+        self.buffered_events = events;
+        self.buffered_obs = obs;
+        self.prev_fluents = fluents;
+        self.first_query = first_query;
+        self.last_query = last_query;
+        // Derivation caches are not serialised: force the next query to
+        // re-derive everything (output-equivalent, per the incremental
+        // contract).
+        self.prev_static.clear();
+        self.event_cache.clear();
+        self.points_cache.clear();
+        self.dirty_all = true;
+        Ok(())
+    }
+
+    /// Restore-time re-validation of one input symbol against the rule set.
+    fn check_declared(
+        &self,
+        declared: &HashMap<Symbol, usize>,
+        sym: &Symbol,
+        used: usize,
+        what: &str,
+    ) -> Result<(), RtecError> {
+        match declared.get(sym) {
+            Some(&arity) if arity == used => Ok(()),
+            Some(&arity) => Err(RtecError::CorruptState {
+                detail: format!(
+                    "{what} `{sym}` snapshot arity {used} does not match declared arity {arity}"
+                ),
+            }),
+            None => Err(RtecError::CorruptState {
+                detail: format!("{what} `{sym}` is not declared by this rule set"),
+            }),
+        }
+    }
+}
+
+/// Escapes a symbol for embedding as one space-separated snapshot token.
+fn state_escape_into(out: &mut String, s: &str) {
+    if !s.bytes().any(|b| matches!(b, b'%' | b' ' | b'\t' | b'\n' | b'\r')) {
+        out.push_str(s);
+        return;
+    }
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            ' ' => out.push_str("%20"),
+            '\t' => out.push_str("%09"),
+            '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Inverse of [`state_escape`]; `None` on a malformed escape.
+fn state_unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let hi = chars.next()?.to_digit(16)?;
+        let lo = chars.next()?.to_digit(16)?;
+        out.push(char::from_u32(hi * 16 + lo)?);
+    }
+    Some(out)
+}
+
+/// Encodes one ground term as a typed snapshot token, appended to `out`.
+/// Floats are stored as their IEEE bit pattern so the round trip is exact.
+fn term_token_into(out: &mut String, t: &Term) {
+    use std::fmt::Write as _;
+    match t {
+        Term::Int(v) => {
+            let _ = write!(out, "i:{v}");
+        }
+        Term::Float(v) => {
+            let _ = write!(out, "f:{:016x}", v.0.to_bits());
+        }
+        Term::Sym(s) => {
+            out.push_str("s:");
+            state_escape_into(out, s.as_str());
+        }
+        Term::Bool(v) => {
+            let _ = write!(out, "b:{}", u8::from(*v));
+        }
+    }
+}
+
+/// Inverse of [`term_to_token`]; `None` on a malformed token.
+fn token_to_term(tok: &str) -> Option<Term> {
+    let (kind, rest) = tok.split_once(':')?;
+    match kind {
+        "i" => rest.parse().ok().map(Term::Int),
+        "f" => u64::from_str_radix(rest, 16).ok().map(|bits| Term::float(f64::from_bits(bits))),
+        "s" => state_unescape(rest).map(|s| Term::sym(&s)),
+        "b" => match rest {
+            "0" => Some(Term::Bool(false)),
+            "1" => Some(Term::Bool(true)),
+            _ => None,
+        },
+        _ => None,
     }
 }
 
@@ -2602,5 +2911,152 @@ mod tests {
                 assert_eq!(ga, gb, "fluent `{name}` diverged at q={q}");
             }
         }
+    }
+
+    /// Feeds the multi-strata stream of [`parallel_strata_match_serial_exactly`]
+    /// (with late arrivals) into `e`.
+    fn feed_multi_strata(e: &mut Engine) {
+        for i in 0..120i64 {
+            let dev = Term::sym(["a", "b", "c"][(i % 3) as usize]);
+            let kind =
+                ["on_set", "hot_set", "busy_set", "on_clear", "hot_clear", "busy_clear", "check"]
+                    [(i % 7) as usize];
+            let arrival = if i % 3 == 0 { i + 20 } else { i };
+            e.add_stamped_event(Stamped::arriving_at(Event::new(kind, [dev], i), arrival)).unwrap();
+        }
+    }
+
+    #[test]
+    fn restored_engine_matches_live_continuation_and_cold_replay() {
+        let window = WindowConfig::new(60, 20).unwrap();
+        let grid: Vec<Time> = (20..=140).step_by(20).collect();
+        let crash_after = 60;
+
+        // Live engine: runs the whole grid uninterrupted.
+        let mut live = Engine::new(multi_strata_ruleset(), window);
+        feed_multi_strata(&mut live);
+        let mut snapshot = None;
+        let mut live_out = Vec::new();
+        for &q in &grid {
+            live_out.push(canonical(&live.query(q).unwrap()));
+            if q == crash_after {
+                snapshot = Some(live.snapshot_state());
+            }
+        }
+        let snapshot = snapshot.unwrap();
+
+        // Restored engine: a fresh build of the same configuration restored
+        // from the mid-stream snapshot must answer the remaining queries
+        // exactly like the live engine did.
+        let mut restored = Engine::new(multi_strata_ruleset(), window);
+        restored.restore_state(&snapshot).unwrap();
+        assert_eq!(restored.snapshot_state(), snapshot, "snapshot round trip is lossless");
+        assert!(
+            matches!(restored.query(crash_after), Err(RtecError::NonMonotonicQuery { .. })),
+            "the restored query clock keeps monotonicity"
+        );
+        for (i, &q) in grid.iter().enumerate() {
+            if q <= crash_after {
+                continue;
+            }
+            let rec = restored.query(q).unwrap();
+            assert_eq!(canonical(&rec), live_out[i], "restored run diverged at q={q}");
+        }
+
+        // Cold replay oracle: a fresh engine replaying the *entire* history
+        // over the same grid agrees with both.
+        let mut cold = Engine::new(multi_strata_ruleset(), window);
+        feed_multi_strata(&mut cold);
+        for (i, &q) in grid.iter().enumerate() {
+            assert_eq!(canonical(&cold.query(q).unwrap()), live_out[i], "cold replay at q={q}");
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_observations_floats_and_inertia() {
+        let mut b = RuleSetBuilder::new();
+        b.declare_event("move", 1);
+        b.declare_input_fluent("gps", 2);
+        let bus = b.var("Bus");
+        let t = b.var("T");
+        b.initiated(
+            fluent("busCong", [pat(bus)], val(true)),
+            t,
+            [
+                happens(event_pat("move", [pat(bus)]), t),
+                holds(fluent_pat("gps", [pat(bus), cnst(1i64)], val(true)), t),
+            ],
+        );
+        let t2 = b.var("T2");
+        b.terminated(
+            fluent("busCong", [pat(bus)], val(true)),
+            t2,
+            [
+                happens(event_pat("move", [pat(bus)]), t2),
+                holds(fluent_pat("gps", [pat(bus), cnst(0i64)], val(true)), t2),
+            ],
+        );
+        let rules = b.build().unwrap();
+        let window = WindowConfig::new(100, 50).unwrap();
+
+        let mut a = Engine::new(rules.clone(), window);
+        // Awkward payloads: a float with a non-terminating decimal expansion,
+        // a negative zero, and a symbol needing escaping.
+        a.add_event(Event::new("move", [Term::sym("bus 7%")], 10)).unwrap();
+        a.add_obs(FluentObs::new("gps", [Term::sym("bus 7%"), Term::int(1)], true, 10)).unwrap();
+        a.add_event(Event::new("move", [Term::float(0.1 + 0.2)], 20)).unwrap();
+        a.add_obs(FluentObs::new("gps", [Term::float(0.1 + 0.2), Term::int(1)], true, 20)).unwrap();
+        a.add_event(Event::new("move", [Term::float(-0.0)], 30)).unwrap();
+        let rec_a = a.query(50).unwrap();
+
+        let mut c = Engine::new(rules, window);
+        c.restore_state(&a.snapshot_state()).unwrap();
+        // The restored engine keeps accepting input and the open busCong
+        // interval persists by inertia, exactly as on the live engine.
+        for e in [&mut a, &mut c] {
+            e.add_event(Event::new("move", [Term::sym("bus 7%")], 60)).unwrap();
+            e.add_obs(FluentObs::new("gps", [Term::sym("bus 7%"), Term::int(0)], true, 60))
+                .unwrap();
+        }
+        let (ra, rc) = (a.query(100).unwrap(), c.query(100).unwrap());
+        assert_eq!(canonical(&ra), canonical(&rc), "post-restore window diverged");
+        let ivs = rc.intervals_of("busCong", &[Term::sym("bus 7%")], &Term::truth()).unwrap();
+        assert_eq!(ivs.as_slice(), &[crate::interval::Interval::span(10, 60)]);
+        assert!(
+            !canonical(&rec_a).is_empty() && !canonical(&ra).is_empty(),
+            "the scenario actually derives fluents"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_and_mismatched_snapshots() {
+        let window = WindowConfig::new(60, 20).unwrap();
+        let mut e = Engine::new(multi_strata_ruleset(), window);
+        for bad in [
+            "",
+            "rtec-state v0\n",
+            "rtec-state v1\nwat 1 2 3\n",
+            "rtec-state v1\nev 2 0 0 check i:1\n",
+            "rtec-state v1\nev 0 0 nope check i:1\n",
+            "rtec-state v1\npf on b:1 1 s:a 5:3\n",
+        ] {
+            let err = e.restore_state(bad).unwrap_err();
+            assert!(matches!(err, RtecError::CorruptState { .. }), "accepted: {bad:?} -> {err}");
+        }
+        // Undeclared symbols and arity mismatches are caught even though the
+        // snapshot itself is well-formed.
+        let undeclared = "rtec-state v1\nev 0 0 5 ghost i:1\n";
+        assert!(matches!(
+            e.restore_state(undeclared),
+            Err(RtecError::CorruptState { detail }) if detail.contains("ghost")
+        ));
+        let wrong_arity = "rtec-state v1\nev 0 0 5 check i:1 i:2\n";
+        assert!(matches!(
+            e.restore_state(wrong_arity),
+            Err(RtecError::CorruptState { detail }) if detail.contains("arity")
+        ));
+        // A failed restore leaves the engine usable.
+        feed_multi_strata(&mut e);
+        assert!(e.query(60).is_ok());
     }
 }

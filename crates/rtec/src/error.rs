@@ -78,6 +78,12 @@ pub enum RtecError {
         /// Arity at the use site.
         used: usize,
     },
+    /// A serialised engine state (see [`crate::engine::Engine::restore_state`])
+    /// could not be decoded, or does not fit the engine's rule set.
+    CorruptState {
+        /// Description of the problem.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RtecError {
@@ -114,6 +120,9 @@ impl fmt::Display for RtecError {
                 f,
                 "symbol `{symbol}` declared with arity {declared} but used with arity {used}"
             ),
+            RtecError::CorruptState { detail } => {
+                write!(f, "corrupt engine state snapshot: {detail}")
+            }
         }
     }
 }

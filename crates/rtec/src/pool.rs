@@ -65,7 +65,8 @@ impl Pool {
         // run_tasks call, so `cores - 1` workers saturate the machine. On a
         // 1-core host the pool is empty and everything runs inline.
         let workers = std::thread::available_parallelism().map_or(0, |n| n.get() - 1);
-        let shared = Arc::new(PoolShared { queue: Mutex::new(Vec::new()), available: Condvar::new() });
+        let shared =
+            Arc::new(PoolShared { queue: Mutex::new(Vec::new()), available: Condvar::new() });
         for i in 0..workers {
             let shared = Arc::clone(&shared);
             SPAWNED.fetch_add(1, Ordering::Relaxed);
@@ -159,8 +160,7 @@ where
             // below keeps `task` (and everything it borrows) alive until the
             // worker has called arrive().
             let erased: &(dyn Fn(usize) + Sync) = task_ref;
-            let erased: &'static (dyn Fn(usize) + Sync) =
-                unsafe { std::mem::transmute(erased) };
+            let erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(erased) };
             DISPATCHED.fetch_add(1, Ordering::Relaxed);
             queue.push(Box::new(move || {
                 let result = catch_unwind(AssertUnwindSafe(|| erased(i)));

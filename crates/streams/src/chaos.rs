@@ -289,6 +289,82 @@ impl Processor for PanicEvery {
     }
 }
 
+/// Shared one-shot trigger for [`KillAt`]: instances cloned from the same
+/// switch (e.g. by a restart factory rebuilding the processor) share the
+/// item count and the fired flag, so the kill fires exactly once per run.
+#[derive(Debug, Clone, Default)]
+pub struct KillSwitch {
+    seen: Arc<std::sync::atomic::AtomicU64>,
+    fired: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl KillSwitch {
+    /// A fresh, un-fired switch.
+    pub fn new() -> KillSwitch {
+        KillSwitch::default()
+    }
+
+    /// Whether the kill has fired.
+    pub fn fired(&self) -> bool {
+        self.fired.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Items observed across every [`KillAt`] sharing this switch.
+    pub fn seen(&self) -> u64 {
+        self.seen.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
+/// A [`Processor`] that panics exactly once, when the `at`-th item (1-based)
+/// passes through — the injected *kill* for crash-recovery tests. The count
+/// and the fired flag live in a shared [`KillSwitch`], so the processor a
+/// restart supervisor rebuilds from its factory (holding a clone of the same
+/// switch) passes items through: replayed and resumed traffic never re-fires
+/// the kill. `at == 0` never fires. The trigger is `>=` rather than `==`, so
+/// a kill point landing inside an already-skipped stretch still fires on the
+/// next item instead of being missed.
+pub struct KillAt {
+    at: u64,
+    switch: KillSwitch,
+}
+
+impl KillAt {
+    /// Kills on the `at`-th item (1-based); 0 disables.
+    pub fn new(at: u64) -> KillAt {
+        KillAt { at, switch: KillSwitch::new() }
+    }
+
+    /// A kill sharing an external switch — hand the same switch to the
+    /// processor factory so rebuilt instances know the kill already fired.
+    pub fn with_switch(at: u64, switch: KillSwitch) -> KillAt {
+        KillAt { at, switch }
+    }
+
+    /// Handle to the shared trigger state.
+    pub fn switch(&self) -> KillSwitch {
+        self.switch.clone()
+    }
+}
+
+impl Processor for KillAt {
+    fn process(
+        &mut self,
+        item: DataItem,
+        _ctx: &mut Context,
+    ) -> Result<Option<DataItem>, StreamsError> {
+        use std::sync::atomic::Ordering;
+        if self.at == 0 || self.switch.fired.load(Ordering::SeqCst) {
+            return Ok(Some(item));
+        }
+        let n = self.switch.seen.fetch_add(1, Ordering::SeqCst) + 1;
+        if n >= self.at {
+            self.switch.fired.store(true, Ordering::SeqCst);
+            panic!("chaos: injected kill at item {n}");
+        }
+        Ok(Some(item))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,6 +468,29 @@ mod tests {
         assert!(dropped > 0 && errors > 0);
         assert_eq!(a.iter().filter(|&&o| o == 1).count() as u64, dropped);
         assert_eq!(a.iter().filter(|&&o| o == 2).count() as u64, errors);
+    }
+
+    #[test]
+    fn kill_at_fires_exactly_once_across_rebuilds() {
+        let mut k = KillAt::new(3);
+        let switch = k.switch();
+        let mut ctx = Context::new(crate::service::ServiceRegistry::default(), "t");
+        for i in 1..=2u64 {
+            assert!(k.process(DataItem::new().with("n", i as i64), &mut ctx).is_ok());
+        }
+        assert!(!switch.fired());
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            k.process(DataItem::new().with("n", 3i64), &mut ctx)
+        }));
+        assert!(boom.is_err(), "third item kills");
+        assert!(switch.fired());
+        // A rebuilt instance sharing the switch never re-fires — replayed
+        // and resumed traffic passes through.
+        let mut rebuilt = KillAt::with_switch(3, switch.clone());
+        for i in 1..=10u64 {
+            assert!(rebuilt.process(DataItem::new().with("n", i as i64), &mut ctx).is_ok());
+        }
+        assert_eq!(switch.seen(), 3, "counting stopped at the kill");
     }
 
     #[test]

@@ -12,21 +12,36 @@ use crate::item::Value;
 use std::collections::BTreeMap;
 
 /// Appends `s` as a JSON string literal (with quotes) to `out`.
+///
+/// Clean runs are copied as slices rather than char by char — checkpoint
+/// blobs push multi-hundred-KB engine snapshots through here (twice, for
+/// nested blobs), so this is a measured hot path. Every byte that needs
+/// escaping is ASCII, so splitting the string at those byte offsets always
+/// lands on a char boundary.
 pub fn escape_into(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+    let mut start = 0;
+    for (i, b) in s.bytes().enumerate() {
+        let escaped: Option<&str> = match b {
+            b'"' => Some("\\\""),
+            b'\\' => Some("\\\\"),
+            b'\n' => Some("\\n"),
+            b'\r' => Some("\\r"),
+            b'\t' => Some("\\t"),
+            b if b < 0x20 => None,
+            _ => continue,
+        };
+        out.push_str(&s[start..i]);
+        match escaped {
+            Some(e) => out.push_str(e),
+            None => {
+                let _ = write!(out, "\\u{:04x}", b as u32);
             }
-            c => out.push(c),
         }
+        start = i + 1;
     }
+    out.push_str(&s[start..]);
     out.push('"');
 }
 

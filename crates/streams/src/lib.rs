@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod checkpoint;
 pub mod error;
 pub mod fault;
 pub mod intern;
@@ -69,6 +70,7 @@ pub mod xml;
 
 /// Convenience re-exports.
 pub mod prelude {
+    pub use crate::checkpoint::{Checkpoint, CheckpointStore, Checkpointable, StateBlob};
     pub use crate::error::StreamsError;
     pub use crate::fault::{DeadLetterQueue, DeadLetterRecord, FaultPolicy};
     pub use crate::item::{DataItem, Value};

@@ -258,6 +258,16 @@ pub struct StageMetrics {
     pub skipped: Counter,
     /// Items moved to the dead-letter queue by a `DeadLetter` policy.
     pub dead_letters: Counter,
+    /// Checkpoint barriers that snapshotted at least one chain slot.
+    pub checkpoints: Counter,
+    /// State restores: `Restart` recoveries plus checkpoint rollbacks
+    /// performed before a `Retry` re-invocation.
+    pub restores: Counter,
+    /// Logged items replayed through the chain during recoveries.
+    pub replayed_items: Counter,
+    /// Total wall-clock time spent in recovery (rebuild + restore + replay),
+    /// nanoseconds.
+    pub recovery_ns: Counter,
 }
 
 /// Per-queue instruments: depth, throughput, backpressure stalls.
@@ -343,6 +353,10 @@ impl MetricsRegistry {
                             retries: m.retries.get(),
                             skipped: m.skipped.get(),
                             dead_letters: m.dead_letters.get(),
+                            checkpoints: m.checkpoints.get(),
+                            restores: m.restores.get(),
+                            replayed_items: m.replayed_items.get(),
+                            recovery_ns: m.recovery_ns.get(),
                         },
                     )
                 })
@@ -404,6 +418,14 @@ pub struct StageSnapshot {
     pub skipped: u64,
     /// Items moved to the dead-letter queue.
     pub dead_letters: u64,
+    /// Checkpoint barriers taken.
+    pub checkpoints: u64,
+    /// State restores performed (`Restart` recoveries + `Retry` rollbacks).
+    pub restores: u64,
+    /// Logged items replayed during recoveries.
+    pub replayed_items: u64,
+    /// Total recovery wall-clock, nanoseconds.
+    pub recovery_ns: u64,
 }
 
 impl StageSnapshot {
@@ -417,6 +439,10 @@ impl StageSnapshot {
         self.retries += other.retries;
         self.skipped += other.skipped;
         self.dead_letters += other.dead_letters;
+        self.checkpoints += other.checkpoints;
+        self.restores += other.restores;
+        self.replayed_items += other.replayed_items;
+        self.recovery_ns += other.recovery_ns;
     }
 }
 
@@ -526,8 +552,9 @@ impl MetricsSnapshot {
             ));
             s.process_ns.json_into(&mut out);
             out.push_str(&format!(
-                ",\"faults\":{},\"panics\":{},\"retries\":{},\"skipped\":{},\"dead_letters\":{}}}",
-                s.faults, s.panics, s.retries, s.skipped, s.dead_letters
+                ",\"faults\":{},\"panics\":{},\"retries\":{},\"skipped\":{},\"dead_letters\":{},\"checkpoints\":{},\"restores\":{},\"replayed_items\":{},\"recovery_ns\":{}}}",
+                s.faults, s.panics, s.retries, s.skipped, s.dead_letters,
+                s.checkpoints, s.restores, s.replayed_items, s.recovery_ns
             ));
         }
         out.push_str("},\"queues\":{");
@@ -596,6 +623,28 @@ impl MetricsSnapshot {
                 ms(s.process_ns.max_ns as f64),
                 s.faults,
             ));
+        }
+        let recovering: Vec<(&String, &StageSnapshot)> = self
+            .stages
+            .iter()
+            .filter(|(_, s)| s.checkpoints > 0 || s.restores > 0 || s.replayed_items > 0)
+            .collect();
+        if !recovering.is_empty() {
+            out.push('\n');
+            out.push_str(&format!(
+                "{:<28} {:>10} {:>10} {:>10} {:>12}\n",
+                "recovery", "ckpts", "restores", "replayed", "recovery ms"
+            ));
+            for (name, s) in recovering {
+                out.push_str(&format!(
+                    "{:<28} {:>10} {:>10} {:>10} {:>12}\n",
+                    name,
+                    s.checkpoints,
+                    s.restores,
+                    s.replayed_items,
+                    ms(s.recovery_ns as f64),
+                ));
+            }
         }
         out.push('\n');
         out.push_str(&format!(

@@ -59,11 +59,16 @@
 //! a replica carry them, which is deliberate — the record shows where the
 //! item was in the partition protocol.
 
+use crate::checkpoint::{Checkpointable, StateBlob};
 use crate::error::StreamsError;
+use crate::fault::FaultPolicy;
 use crate::item::DataItem;
 use crate::processor::{Context, Processor};
-use crate::topology::{Input, Output, ProcessDef, Topology, DEFAULT_QUEUE_CAPACITY};
+use crate::topology::{
+    Input, Output, ProcessDef, SharedProcessorFactory, Topology, DEFAULT_QUEUE_CAPACITY,
+};
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 /// Monotone per-partitioner sequence number (`i64`).
 pub const SEQ_ATTR: &str = "__seq";
@@ -175,6 +180,23 @@ impl Processor for PartitionStamp {
         self.next_seq += 1;
         Ok(Some(item))
     }
+
+    fn as_checkpointable(&mut self) -> Option<&mut dyn Checkpointable> {
+        Some(self)
+    }
+}
+
+impl Checkpointable for PartitionStamp {
+    fn snapshot(&mut self) -> StateBlob {
+        let mut blob = StateBlob::new();
+        blob.set("next_seq", self.next_seq);
+        blob
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), StreamsError> {
+        self.next_seq = blob.require_i64("next_seq")?;
+        Ok(())
+    }
 }
 
 /// The synthesized `P[i]` processor: wraps one private clone of the user's
@@ -246,6 +268,39 @@ impl Processor for ReplicaShell {
         // The fin marker is last, after this shard's trailing items.
         out.push(DataItem::new().with(FIN_ATTR, true).with(SHARD_ATTR, self.index as i64));
         Ok(out)
+    }
+
+    fn as_checkpointable(&mut self) -> Option<&mut dyn Checkpointable> {
+        Some(self)
+    }
+}
+
+impl Checkpointable for ReplicaShell {
+    /// Delegates to the inner chain: each checkpointable slot `i` is stored
+    /// string-encoded under `inner.{i}`. Slots without state contribute
+    /// nothing and are left fresh on restore.
+    fn snapshot(&mut self) -> StateBlob {
+        let mut blob = StateBlob::new();
+        for (i, p) in self.inner.iter_mut().enumerate() {
+            if let Some(c) = p.as_checkpointable() {
+                blob.set(&format!("inner.{i}"), c.snapshot().to_json());
+            }
+        }
+        blob
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), StreamsError> {
+        for (i, p) in self.inner.iter_mut().enumerate() {
+            let Some(encoded) = blob.get_str(&format!("inner.{i}")) else { continue };
+            let inner_blob = StateBlob::from_json(encoded)?;
+            let c = p.as_checkpointable().ok_or_else(|| StreamsError::Io {
+                detail: format!(
+                    "corrupt checkpoint: inner slot {i} has state but is not checkpointable"
+                ),
+            })?;
+            c.restore(&inner_blob)?;
+        }
+        Ok(())
     }
 }
 
@@ -358,6 +413,77 @@ impl Processor for MergeProcessor {
         }
         Ok(out)
     }
+
+    fn as_checkpointable(&mut self) -> Option<&mut dyn Checkpointable> {
+        Some(self)
+    }
+}
+
+/// Newline-joins item JSONs (JSON strings escape embedded newlines, so the
+/// join is unambiguous).
+fn encode_items<'a, I: IntoIterator<Item = &'a DataItem>>(items: I) -> String {
+    items.into_iter().map(DataItem::to_json).collect::<Vec<_>>().join("\n")
+}
+
+fn decode_items(encoded: &str) -> Result<Vec<DataItem>, StreamsError> {
+    encoded.lines().map(DataItem::from_json).collect()
+}
+
+impl Checkpointable for MergeProcessor {
+    /// Per shard `j`: release frontier (`frontier.{j}`), fin flag (`fin.{j}`),
+    /// the buffered out-of-order items (`buf.{j}`, lines of `seq\tjson`) and
+    /// the trailing finish items (`trail.{j}`); plus the released-but-unemitted
+    /// `ready` queue. Restoring reproduces the exact release state, so a
+    /// recovered merge continues the same global sequence order.
+    fn snapshot(&mut self) -> StateBlob {
+        let mut blob = StateBlob::new();
+        blob.set("shards", self.buffers.len() as i64);
+        for j in 0..self.buffers.len() {
+            blob.set(&format!("frontier.{j}"), self.frontier[j]);
+            blob.set(&format!("fin.{j}"), self.fin[j]);
+            let buf = self.buffers[j]
+                .iter()
+                .map(|(seq, item)| format!("{seq}\t{}", item.to_json()))
+                .collect::<Vec<_>>()
+                .join("\n");
+            blob.set(&format!("buf.{j}"), buf);
+            blob.set(&format!("trail.{j}"), encode_items(&self.trailing[j]));
+        }
+        blob.set("ready", encode_items(&self.ready));
+        blob
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), StreamsError> {
+        let shards = blob.require_i64("shards")? as usize;
+        if shards != self.buffers.len() {
+            return Err(StreamsError::Io {
+                detail: format!(
+                    "corrupt checkpoint: merge has {} shards, checkpoint has {shards}",
+                    self.buffers.len()
+                ),
+            });
+        }
+        for j in 0..shards {
+            self.frontier[j] = blob.require_i64(&format!("frontier.{j}"))?;
+            self.fin[j] = blob.get_bool(&format!("fin.{j}")).ok_or_else(|| StreamsError::Io {
+                detail: format!("corrupt checkpoint: missing field `fin.{j}`"),
+            })?;
+            let mut buffer = BTreeMap::new();
+            for line in blob.require_str(&format!("buf.{j}"))?.lines() {
+                let (seq, json) = line.split_once('\t').ok_or_else(|| StreamsError::Io {
+                    detail: "corrupt checkpoint: merge buffer line lacks a sequence".into(),
+                })?;
+                let seq: i64 = seq.parse().map_err(|_| StreamsError::Io {
+                    detail: format!("corrupt checkpoint: bad merge sequence `{seq}`"),
+                })?;
+                buffer.insert(seq, DataItem::from_json(json)?);
+            }
+            self.buffers[j] = buffer;
+            self.trailing[j] = decode_items(blob.require_str(&format!("trail.{j}"))?)?;
+        }
+        self.ready = decode_items(blob.require_str("ready")?)?.into();
+        Ok(())
+    }
 }
 
 /// Expands every process declared with `replicas(n > 1)` into the
@@ -402,6 +528,17 @@ pub(crate) fn expand_replicas(topology: &mut Topology) -> Result<(), StreamsErro
             chains = (0..n).map(|_| Vec::new()).collect();
         }
         assert_eq!(chains.len(), n, "one replica chain per replica");
+        let slot_factories = std::mem::take(&mut p.factories);
+
+        // The synthesized infrastructure stages inherit the stage's Restart
+        // policy (they are part of the stage, and both are rebuildable from
+        // their factories); under any other policy they keep the historical
+        // fail-fast behaviour — a lost partitioner or merge cannot be skipped
+        // without corrupting the sequence protocol.
+        let infra_policy = |of: &FaultPolicy| match of {
+            FaultPolicy::Restart { .. } => of.clone(),
+            _ => FaultPolicy::FailFast,
+        };
 
         // The synthesized queues size themselves off the stage's input edge:
         // the partitioner only routes, so it must not impose backpressure
@@ -409,9 +546,7 @@ pub(crate) fn expand_replicas(topology: &mut Topology) -> Result<(), StreamsErro
         // smaller shard queue fills while its replica is busy and parks the
         // partitioner even though upstream capacity remains.
         let inner_capacity = match &p.input {
-            Input::Queue(q) => {
-                topology.queues.get(q).copied().unwrap_or(DEFAULT_QUEUE_CAPACITY)
-            }
+            Input::Queue(q) => topology.queues.get(q).copied().unwrap_or(DEFAULT_QUEUE_CAPACITY),
             _ => DEFAULT_QUEUE_CAPACITY,
         }
         .max(DEFAULT_QUEUE_CAPACITY);
@@ -430,17 +565,31 @@ pub(crate) fn expand_replicas(topology: &mut Topology) -> Result<(), StreamsErro
             input: p.input.clone(),
             processors: vec![Box::new(PartitionStamp::new())],
             outputs: shard_queues.iter().cloned().map(Output::Queue).collect(),
-            fault_policy: crate::fault::FaultPolicy::FailFast,
+            fault_policy: infra_policy(&p.fault_policy),
             batch_size: p.batch_size,
             replicas: 1,
             partition_keys: std::mem::take(&mut p.partition_keys),
             partition_hints: std::mem::take(&mut p.partition_hints),
             replica_chains: Vec::new(),
             shard_dispatch: true,
+            factories: vec![Some(
+                Arc::new(|| Box::new(PartitionStamp::new()) as Box<dyn Processor>)
+                    as SharedProcessorFactory,
+            )],
+            checkpoint_every: p.checkpoint_every,
         });
 
         // P[i]: one shell per replica, each with its private chain clone and
-        // its own copy of the user's fault policy.
+        // its own copy of the user's fault policy. A shell is rebuildable
+        // only when *every* inner slot came from a factory.
+        let shell_factory = |i: usize| -> Option<SharedProcessorFactory> {
+            let inner: Vec<SharedProcessorFactory> =
+                slot_factories.iter().cloned().collect::<Option<_>>()?;
+            Some(Arc::new(move || {
+                Box::new(ReplicaShell::new(inner.iter().map(|make| make()).collect(), i))
+                    as Box<dyn Processor>
+            }))
+        };
         for (i, chain) in chains.into_iter().enumerate() {
             topology.processes.push(ProcessDef {
                 name: format!("{}[{i}]", p.name),
@@ -454,6 +603,8 @@ pub(crate) fn expand_replicas(topology: &mut Topology) -> Result<(), StreamsErro
                 partition_hints: Vec::new(),
                 replica_chains: Vec::new(),
                 shard_dispatch: false,
+                factories: vec![shell_factory(i)],
+                checkpoint_every: p.checkpoint_every,
             });
         }
 
@@ -463,13 +614,17 @@ pub(crate) fn expand_replicas(topology: &mut Topology) -> Result<(), StreamsErro
             input: Input::Queue(merge_queue),
             processors: vec![Box::new(MergeProcessor::new(n))],
             outputs: std::mem::take(&mut p.outputs),
-            fault_policy: crate::fault::FaultPolicy::FailFast,
+            fault_policy: infra_policy(&p.fault_policy),
             batch_size: p.batch_size,
             replicas: 1,
             partition_keys: Vec::new(),
             partition_hints: Vec::new(),
             replica_chains: Vec::new(),
             shard_dispatch: false,
+            factories: vec![Some(Arc::new(move || {
+                Box::new(MergeProcessor::new(n)) as Box<dyn Processor>
+            }) as SharedProcessorFactory)],
+            checkpoint_every: p.checkpoint_every,
         });
     }
     Ok(())
@@ -776,8 +931,12 @@ mod tests {
     #[test]
     fn shard_dispatch_routes_and_emits_watermarks() {
         let keys: std::sync::Arc<[String]> = vec!["k".to_string()].into();
-        let mut d =
-            Dispatch::Shard { keys: keys.clone(), hints: Vec::new().into(), since_wm: 0, next_wm: 0 };
+        let mut d = Dispatch::Shard {
+            keys: keys.clone(),
+            hints: Vec::new().into(),
+            since_wm: 0,
+            next_wm: 0,
+        };
         let mut seen_wm = 0usize;
         let cadence = (WM_EVERY * 3) as i64;
         for seq in 0..cadence {
@@ -791,5 +950,67 @@ mod tests {
             seen_wm, 3,
             "one watermark broadcast to all 3 outputs per WM_EVERY*outputs items"
         );
+    }
+
+    /// Satellite regression: killing the *merge* stage itself under
+    /// `Restart` must neither wedge end-of-stream propagation nor corrupt
+    /// the watermark release frontier — the restored merge re-buffers the
+    /// replayed suffix and keeps releasing in global sequence order.
+    #[test]
+    fn restart_policy_recovers_a_killed_merge_without_wedging_eos() {
+        use crate::chaos::{KillAt, KillSwitch};
+        use std::sync::Arc;
+
+        let run = |kill_at: u64| -> (Vec<(i64, i64)>, bool) {
+            let sink = crate::sink::CollectSink::shared();
+            let mut t = replicated_topology(200, 3, &sink);
+            t.processes[0].fault_policy = FaultPolicy::Restart { max: 2, from_checkpoint: true };
+            t.processes[0].checkpoint_every = 1;
+            expand_replicas(&mut t).unwrap();
+            let switch = KillSwitch::new();
+            let merge = t
+                .processes
+                .iter_mut()
+                .find(|p| p.name == "square[merge]")
+                .expect("expansion synthesizes the merge");
+            assert!(
+                matches!(merge.fault_policy, FaultPolicy::Restart { .. }),
+                "the merge inherits the stage's Restart policy"
+            );
+            let sw = switch.clone();
+            merge.processors.insert(0, Box::new(KillAt::with_switch(kill_at, switch.clone())));
+            merge.factories.insert(
+                0,
+                Some(Arc::new(move || {
+                    Box::new(KillAt::with_switch(kill_at, sw.clone())) as Box<dyn Processor>
+                })),
+            );
+            crate::runtime::Runtime::new(t).run().unwrap();
+            let got: Vec<(i64, i64)> = sink
+                .items()
+                .iter()
+                .map(|i| (i.get_i64("n").unwrap(), i.get_i64("sq").unwrap()))
+                .collect();
+            for item in sink.items() {
+                assert!(
+                    !item.contains(SEQ_ATTR) && !item.contains(SHARD_ATTR),
+                    "bookkeeping never escapes the recovered merge"
+                );
+            }
+            (got, switch.fired())
+        };
+
+        let (baseline, fired) = run(0);
+        assert!(!fired, "kill_at=0 is a no-op injector");
+        let expected: Vec<(i64, i64)> =
+            (0..200).filter(|n| n % 5 != 3).map(|n| (n, n * n)).collect();
+        assert_eq!(baseline, expected, "kill-free merge releases in input order");
+        // Kill early (frontier mostly unknown), mid-stream, and late (most
+        // sequence numbers already released).
+        for kill_at in [3u64, 80, 150] {
+            let (got, fired) = run(kill_at);
+            assert!(fired, "kill_at={kill_at}: the injected kill must fire");
+            assert_eq!(got, baseline, "kill_at={kill_at}: recovered merge diverged");
+        }
     }
 }

@@ -42,6 +42,27 @@ impl Context {
 }
 
 /// A function applied to every item of a stream.
+///
+/// # State contract under fault supervision
+///
+/// A `process` call that fails (error or isolated panic) may already have
+/// mutated the processor's internal state — the runtime cannot roll that
+/// back. Policies that re-invoke the processor
+/// ([`Retry`](crate::fault::FaultPolicy::Retry),
+/// [`Restart`](crate::fault::FaultPolicy::Restart)) therefore interact with
+/// state as follows:
+///
+/// * a *stateless* processor (or one whose mutations are idempotent) is
+///   always safe to re-invoke;
+/// * a *stateful* processor should implement
+///   [`Checkpointable`](crate::checkpoint::Checkpointable) and expose itself
+///   through [`Processor::as_checkpointable`]: `Retry` then restores the
+///   last checkpoint before each re-attempt (when one covering the current
+///   position exists), and `Restart` rebuilds the processor from its factory,
+///   restores the checkpoint and replays the logged items — so a failed
+///   attempt's partial mutations never double-apply;
+/// * a stateful processor without checkpoint support must tolerate partial
+///   application of the failed item, or use `Skip`/`DeadLetter`/`FailFast`.
 pub trait Processor: Send {
     /// Handles one item; `Ok(None)` drops it.
     fn process(
@@ -54,6 +75,14 @@ pub trait Processor: Send {
     /// (e.g. final aggregates). Default: nothing.
     fn finish(&mut self, _ctx: &mut Context) -> Result<Vec<DataItem>, StreamsError> {
         Ok(Vec::new())
+    }
+
+    /// The checkpoint hook: stateful processors return `Some(self)` to opt
+    /// into checkpoint barriers and checkpoint-based recovery (see
+    /// [`crate::checkpoint`]). Default: `None` (stateless — rebuilding from
+    /// the factory is recovery enough).
+    fn as_checkpointable(&mut self) -> Option<&mut dyn crate::checkpoint::Checkpointable> {
+        None
     }
 }
 

@@ -255,11 +255,7 @@ impl StepWorker {
                 }
                 for item in drained {
                     self.consumed += 1;
-                    self.worker.stage.items_in.inc();
-                    let started = Instant::now();
-                    let out = self.worker.run_chain(0, item);
-                    self.worker.stage.process_ns.record(started.elapsed());
-                    match out {
+                    match self.worker.process_input(item) {
                         Ok(Some(out)) => self.emit(out),
                         Ok(None) => {}
                         Err(e) => {
@@ -271,6 +267,9 @@ impl StepWorker {
                     }
                 }
                 if ended {
+                    // Trailing items must not be confused with the last
+                    // consumed item by a restart (mirrors the threaded pump).
+                    self.worker.entry_item = None;
                     self.phase = Phase::Finish(0);
                 }
                 Step::Progressed

@@ -13,6 +13,7 @@
 //! the first fault aborts its process; end-of-stream is still propagated
 //! downstream so no thread deadlocks, and `run` returns the first error.
 
+use crate::checkpoint::{Checkpoint, CheckpointStore};
 use crate::error::StreamsError;
 use crate::fault::{DeadLetterQueue, DeadLetterRecord, FaultPolicy};
 use crate::item::DataItem;
@@ -22,12 +23,19 @@ use crate::processor::{Context, Processor};
 use crate::queue::{queue_with_metrics, QueueReceiver, QueueSender};
 use crate::sink::Sink;
 use crate::source::Source;
-use crate::topology::{Input, Output, Topology};
-use std::collections::HashMap;
+use crate::topology::{Input, Output, SharedProcessorFactory, Topology};
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
+
+/// Checkpoint cadence applied when [`FaultPolicy::Restart`] with
+/// `from_checkpoint` is armed but the process declares no explicit
+/// [`checkpoint_every`](crate::topology::ProcessBuilder::checkpoint_every):
+/// the replay log is truncated only at barriers, so supervision without a
+/// cadence would retain every input for the life of the stream.
+pub const DEFAULT_RESTART_CADENCE: usize = 1000;
 
 /// Statistics of one completed run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -133,7 +141,9 @@ pub(crate) fn materialize(
     // the real (expanded) graph.
     crate::partition::expand_replicas(&mut topology)?;
     topology.validate()?;
-    let Topology { mut sources, queues, processes, services, dead_letters: _ } = topology;
+    let Topology { mut sources, queues, processes, services, dead_letters: _, checkpoint_store } =
+        topology;
+    let store = checkpoint_store.unwrap_or_else(CheckpointStore::in_memory);
     // Processors can reach the instruments through their Context.
     if !services.contains("metrics") {
         services.register_arc("metrics", Arc::clone(metrics));
@@ -200,6 +210,18 @@ pub(crate) fn materialize(
                 Output::Discard => ProcOutput::Discard,
             })
             .collect();
+        let mut factories = p.factories;
+        factories.resize(p.processors.len(), None);
+        let log_inputs =
+            matches!(p.fault_policy, FaultPolicy::Restart { from_checkpoint: true, .. });
+        // From-checkpoint restart truncates the replay log only at barriers,
+        // so a zero cadence would let the log grow with the stream. Arm a
+        // default cadence rather than silently keeping every input alive.
+        let checkpoint_every = if log_inputs && p.checkpoint_every == 0 {
+            DEFAULT_RESTART_CADENCE
+        } else {
+            p.checkpoint_every
+        };
         workers.push(Worker {
             stage: metrics.stage(&p.name),
             ctx: Context::new(services.clone(), &p.name),
@@ -221,6 +243,15 @@ pub(crate) fn materialize(
                 Dispatch::Broadcast
             },
             plan_buf: Vec::new(),
+            factories,
+            checkpoint_every,
+            store: store.clone(),
+            consumed_pos: 0,
+            since_ckpt: 0,
+            replay_log: VecDeque::new(),
+            restarts_done: 0,
+            log_inputs,
+            entry_item: None,
         });
     }
     // Drop the construction-time sender clones so queues can disconnect.
@@ -242,6 +273,29 @@ pub(crate) struct Worker {
     /// Reused dispatch-plan buffer: the per-item hot path plans into this
     /// instead of allocating a fresh `Vec` per survivor.
     pub(crate) plan_buf: Vec<(usize, DataItem)>,
+    /// One optional rebuild factory per chain slot (the restart supervisor
+    /// needs every slot rebuildable).
+    pub(crate) factories: Vec<Option<SharedProcessorFactory>>,
+    /// Checkpoint barrier cadence in consumed items; 0 disables barriers.
+    pub(crate) checkpoint_every: usize,
+    /// Shared store the barriers write to and recovery reads from.
+    pub(crate) store: CheckpointStore,
+    /// Items fully applied from the input edge (the checkpoint position).
+    pub(crate) consumed_pos: u64,
+    /// Items consumed since the last barrier.
+    pub(crate) since_ckpt: usize,
+    /// Items consumed since the last barrier, kept for recovery replay
+    /// (clones are `Arc` bumps). Only populated under
+    /// `Restart { from_checkpoint: true }`.
+    pub(crate) replay_log: VecDeque<DataItem>,
+    /// Lifetime restarts performed (bounded by `Restart::max`).
+    pub(crate) restarts_done: usize,
+    /// Whether the policy requires the replay log.
+    pub(crate) log_inputs: bool,
+    /// The current input item as it entered chain slot 0, so a restart can
+    /// re-run it through the *whole* recovered chain. `None` outside the
+    /// per-item phase (e.g. during the finish flush).
+    pub(crate) entry_item: Option<DataItem>,
 }
 
 impl Worker {
@@ -279,11 +333,7 @@ impl Worker {
                 };
                 let Some(item) = next else { break };
                 consumed += 1;
-                self.stage.items_in.inc();
-                let started = Instant::now();
-                let out = self.run_chain(0, item);
-                self.stage.process_ns.record(started.elapsed());
-                if let Some(out) = out? {
+                if let Some(out) = self.process_input(item)? {
                     emitted += 1;
                     self.stage.items_out.inc();
                     self.dispatch_emit(out)?;
@@ -310,11 +360,7 @@ impl Worker {
                 let mut survivors = Vec::with_capacity(items.len());
                 for item in items {
                     consumed += 1;
-                    self.stage.items_in.inc();
-                    let started = Instant::now();
-                    let out = self.run_chain(0, item);
-                    self.stage.process_ns.record(started.elapsed());
-                    if let Some(out) = out? {
+                    if let Some(out) = self.process_input(item)? {
                         emitted += 1;
                         self.stage.items_out.inc();
                         survivors.push(out);
@@ -343,7 +389,9 @@ impl Worker {
             }
         }
         // Flush processor chain: finish() items of processor i traverse the
-        // rest of the chain.
+        // rest of the chain. From here on a restart must not re-run the last
+        // consumed item — trailing items re-enter the chain mid-way instead.
+        self.entry_item = None;
         for i in 0..self.chain.len() {
             let started = Instant::now();
             let trailing = self.run_finish(i);
@@ -372,6 +420,156 @@ impl Worker {
             deliver(&mut self.outputs[idx], it)?;
         }
         Ok(())
+    }
+
+    /// Consumes one input item: counts it, runs it through the chain under
+    /// the fault policy, then advances the checkpoint bookkeeping (position,
+    /// replay log, barrier). Shared by the threaded pump (per-item and
+    /// batched paths) and the replay scheduler's step worker, so recovery
+    /// semantics are identical under both runtimes.
+    pub(crate) fn process_input(
+        &mut self,
+        item: DataItem,
+    ) -> Result<Option<DataItem>, StreamsError> {
+        self.stage.items_in.inc();
+        if matches!(self.policy, FaultPolicy::Restart { .. }) {
+            self.entry_item = Some(item.clone());
+        }
+        let started = Instant::now();
+        let out = self.run_chain(0, item);
+        self.stage.process_ns.record(started.elapsed());
+        let out = out?;
+        self.consumed_pos += 1;
+        if self.log_inputs {
+            // The chain succeeded, so the entry item's only remaining use is
+            // the replay log — move it instead of cloning (the next input
+            // re-arms it before anything can fault).
+            let logged = self.entry_item.take().expect("Restart keeps the entry item");
+            self.replay_log.push_back(logged);
+        }
+        self.maybe_checkpoint()?;
+        Ok(out)
+    }
+
+    /// Takes a checkpoint barrier when the cadence is due. On a sharding
+    /// partitioner the barrier is deferred until the dispatch sits exactly on
+    /// a watermark broadcast, so a restored partitioner and its merge agree
+    /// on the settled frontier (the barrier/watermark alignment rule).
+    fn maybe_checkpoint(&mut self) -> Result<(), StreamsError> {
+        if self.checkpoint_every == 0 {
+            return Ok(());
+        }
+        self.since_ckpt += 1;
+        if self.since_ckpt < self.checkpoint_every {
+            return Ok(());
+        }
+        if let Dispatch::Shard { since_wm, .. } = &self.dispatch {
+            if *since_wm != 0 {
+                return Ok(()); // deferred: retried on the next item
+            }
+        }
+        self.take_checkpoint()
+    }
+
+    /// Snapshots every checkpointable chain slot at the current position and
+    /// truncates the replay log — items before the barrier are covered by the
+    /// stored state and never need replaying again.
+    fn take_checkpoint(&mut self) -> Result<(), StreamsError> {
+        let mut any = false;
+        for i in 0..self.chain.len() {
+            if let Some(c) = self.chain[i].as_checkpointable() {
+                let blob = c.snapshot();
+                self.store.put(&self.name, i, Checkpoint { position: self.consumed_pos, blob })?;
+                any = true;
+            }
+        }
+        if any {
+            self.stage.checkpoints.inc();
+        }
+        self.replay_log.clear();
+        self.since_ckpt = 0;
+        Ok(())
+    }
+
+    /// Rebuilds the whole chain from its factories and — under
+    /// `from_checkpoint` — restores the latest checkpoints and silently
+    /// replays the logged items. Their outputs were already emitted before
+    /// the fault and processors are deterministic, so the regenerated outputs
+    /// are discarded; what matters is that the replayed state catches up to
+    /// the exact pre-fault position. A fault *during* replay escalates: the
+    /// state can no longer be trusted.
+    fn recover(&mut self, from_checkpoint: bool) -> Result<(), StreamsError> {
+        for (i, factory) in self.factories.iter().enumerate() {
+            match factory {
+                Some(make) => self.chain[i] = make(),
+                None => {
+                    return Err(StreamsError::ProcessorFailed {
+                        process: self.name.clone(),
+                        processor: Some(i),
+                        message: "restart requires a processor_factory for every chain slot".into(),
+                    })
+                }
+            }
+        }
+        if !from_checkpoint {
+            self.replay_log.clear();
+            return Ok(());
+        }
+        for i in 0..self.chain.len() {
+            let Some(cp) = self.store.latest(&self.name, i) else { continue };
+            if let Some(c) = self.chain[i].as_checkpointable() {
+                c.restore(&cp.blob)?;
+            }
+        }
+        for k in 0..self.replay_log.len() {
+            self.stage.replayed_items.inc();
+            let mut cur = self.replay_log[k].clone();
+            for i in 0..self.chain.len() {
+                match invoke(&mut self.chain[i], cur, &mut self.ctx, &self.name, i) {
+                    Ok(Some(next)) => cur = next,
+                    Ok(None) => break,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-runs an item through the recovered chain without recursing into the
+    /// fault policy: an error is returned to the restart loop, which decides
+    /// whether the budget allows another recovery.
+    fn rerun_after_recovery(
+        &mut self,
+        from: usize,
+        item: DataItem,
+    ) -> Result<Option<DataItem>, StreamsError> {
+        let mut cur = item;
+        for i in from..self.chain.len() {
+            match invoke(&mut self.chain[i], cur, &mut self.ctx, &self.name, i) {
+                Ok(Some(next)) => cur = next,
+                Ok(None) => return Ok(None),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Some(cur))
+    }
+
+    /// Before a retry re-invokes a stateful processor, roll it back to its
+    /// last checkpoint — *iff* that checkpoint covers exactly the current
+    /// position (i.e. it was taken after the previous item; with
+    /// `checkpoint_every(1)` that is always true). A stale checkpoint would
+    /// silently lose the state applied since the barrier, which is worse than
+    /// retrying on the partially-applied state, so it is left alone.
+    fn restore_for_retry(&mut self, i: usize) {
+        let Some(cp) = self.store.latest(&self.name, i) else { return };
+        if cp.position != self.consumed_pos {
+            return;
+        }
+        if let Some(c) = self.chain[i].as_checkpointable() {
+            if c.restore(&cp.blob).is_ok() {
+                self.stage.restores.inc();
+            }
+        }
     }
 
     /// Runs `item` through the chain from processor `from` under the fault
@@ -428,6 +626,11 @@ impl Worker {
                         thread::sleep(backoff * attempt as u32);
                     }
                     self.stage.retries.inc();
+                    // Roll a checkpointable processor back to its barrier
+                    // state so the retry does not double-apply the mutations
+                    // of the failed attempt (see the `Processor` state
+                    // contract).
+                    self.restore_for_retry(i);
                     let again = entered.clone().expect("Retry preserves the input item");
                     match invoke(&mut self.chain[i], again, &mut self.ctx, &self.name, i) {
                         Ok(Some(next)) => {
@@ -449,6 +652,39 @@ impl Worker {
             FaultPolicy::DeadLetter { queue } => {
                 self.dead_letter(&queue, Some(i), entered, error);
                 Ok(None)
+            }
+            FaultPolicy::Restart { max, from_checkpoint } => {
+                // Recovery rebuilds the WHOLE chain to the state before the
+                // current input item entered slot 0, so a per-item fault
+                // re-runs that item from the top — re-invoking at slot `i`
+                // would skip the rebuilt earlier slots. Trailing (finish
+                // flush) items have no entry item and re-enter where they
+                // faulted.
+                let mut last = error;
+                loop {
+                    if self.restarts_done >= max {
+                        return Err(last);
+                    }
+                    self.restarts_done += 1;
+                    self.stage.restores.inc();
+                    let started = Instant::now();
+                    self.recover(from_checkpoint)?;
+                    self.stage.recovery_ns.add(started.elapsed().as_nanos() as u64);
+                    let (from, again) = match self.entry_item.clone() {
+                        Some(item) => (0, item),
+                        None => (i, entered.clone().expect("Restart preserves the input item")),
+                    };
+                    match self.rerun_after_recovery(from, again) {
+                        Ok(out) => {
+                            self.consecutive_faults = 0;
+                            return Ok(out);
+                        }
+                        Err(e) => {
+                            self.record_fault(&e);
+                            last = e;
+                        }
+                    }
+                }
             }
         }
     }
@@ -495,6 +731,34 @@ impl Worker {
                     FaultPolicy::DeadLetter { queue } => {
                         self.dead_letter(&queue, Some(i), None, error);
                         Ok(Vec::new())
+                    }
+                    FaultPolicy::Restart { max, from_checkpoint } => {
+                        // Recover the chain, then re-run only this slot's
+                        // finish: earlier slots already flushed. Chains with
+                        // a single stateful slot (the supported shape) lose
+                        // nothing; the recovered state includes every
+                        // consumed item.
+                        let mut last = error;
+                        loop {
+                            if self.restarts_done >= max {
+                                return Err(last);
+                            }
+                            self.restarts_done += 1;
+                            self.stage.restores.inc();
+                            let started = Instant::now();
+                            self.recover(from_checkpoint)?;
+                            self.stage.recovery_ns.add(started.elapsed().as_nanos() as u64);
+                            match invoke_finish(&mut self.chain[i], &mut self.ctx, &self.name, i) {
+                                Ok(trailing) => {
+                                    self.consecutive_faults = 0;
+                                    return Ok(trailing);
+                                }
+                                Err(e) => {
+                                    self.record_fault(&e);
+                                    last = e;
+                                }
+                            }
+                        }
                     }
                 }
             }

@@ -6,6 +6,7 @@
 //! outputs (queues and/or sinks). The [`crate::runtime::Runtime`] compiles a
 //! validated topology into one thread per process.
 
+use crate::checkpoint::CheckpointStore;
 use crate::error::StreamsError;
 use crate::fault::{DeadLetterQueue, FaultPolicy};
 use crate::processor::Processor;
@@ -13,9 +14,15 @@ use crate::service::ServiceRegistry;
 use crate::sink::Sink;
 use crate::source::Source;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Default queue capacity when none is given.
 pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
+/// A shareable processor factory, retained per chain slot so the fault
+/// supervisor can rebuild a processor after a crash
+/// (see [`FaultPolicy::Restart`]).
+pub type SharedProcessorFactory = Arc<dyn Fn() -> Box<dyn Processor> + Send + Sync>;
 
 /// The input of a process.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +63,12 @@ pub(crate) struct ProcessDef {
     /// Set on the synthesized partitioner: route each survivor to the output
     /// named by its shard stamp instead of broadcasting.
     pub(crate) shard_dispatch: bool,
+    /// One optional rebuild factory per chain slot (aligned with
+    /// `processors` after expansion); only slots added through
+    /// [`ProcessBuilder::processor_factory`] are restartable.
+    pub(crate) factories: Vec<Option<SharedProcessorFactory>>,
+    /// Checkpoint cadence in consumed items; 0 disables barriers.
+    pub(crate) checkpoint_every: usize,
 }
 
 /// A data-flow graph under construction.
@@ -66,6 +79,7 @@ pub struct Topology {
     pub(crate) processes: Vec<ProcessDef>,
     pub(crate) services: ServiceRegistry,
     pub(crate) dead_letters: DeadLetterQueue,
+    pub(crate) checkpoint_store: Option<CheckpointStore>,
 }
 
 impl Topology {
@@ -99,6 +113,20 @@ impl Topology {
         self.dead_letters.clone()
     }
 
+    /// Installs the checkpoint store workers write barriers into and recover
+    /// from (default: a fresh in-memory store per run). Keep a clone to
+    /// inspect checkpoints after the run, or pass a
+    /// [`CheckpointStore::file_backed`] store to make them durable.
+    pub fn set_checkpoint_store(&mut self, store: CheckpointStore) -> &mut Self {
+        self.checkpoint_store = Some(store);
+        self
+    }
+
+    /// The installed checkpoint store, if any.
+    pub fn checkpoint_store(&self) -> Option<CheckpointStore> {
+        self.checkpoint_store.clone()
+    }
+
     /// Starts defining a process; finish with [`ProcessBuilder::done`].
     pub fn process(&mut self, name: &str) -> ProcessBuilder<'_> {
         ProcessBuilder {
@@ -115,6 +143,8 @@ impl Topology {
                 partition_hints: Vec::new(),
                 replica_chains: Vec::new(),
                 shard_dispatch: false,
+                factories: Vec::new(),
+                checkpoint_every: 0,
             },
             input_set: false,
         }
@@ -218,12 +248,14 @@ impl<'a> ProcessBuilder<'a> {
     /// Appends a processor to the chain.
     pub fn processor<P: Processor + 'static>(mut self, p: P) -> Self {
         self.def.processors.push(Box::new(p));
+        self.def.factories.push(None);
         self
     }
 
     /// Appends an already boxed processor.
     pub fn boxed_processor(mut self, p: Box<dyn Processor>) -> Self {
         self.def.processors.push(p);
+        self.def.factories.push(None);
         self
     }
 
@@ -306,9 +338,14 @@ impl<'a> ProcessBuilder<'a> {
     /// Appends one processor *per replica*, instantiated by calling `make`
     /// once for each replica. For `replicas(1)` (the default) this is
     /// equivalent to [`processor`](Self::processor) with `make()`'s result.
+    ///
+    /// The factory is *retained*: under [`FaultPolicy::Restart`] the fault
+    /// supervisor calls it again to rebuild a crashed processor before
+    /// restoring its latest checkpoint. Only factory-built chain slots are
+    /// restartable.
     pub fn processor_factory<F>(mut self, make: F) -> Self
     where
-        F: Fn() -> Box<dyn Processor>,
+        F: Fn() -> Box<dyn Processor> + Send + Sync + 'static,
     {
         if self.def.replica_chains.is_empty() {
             self.def.replica_chains = (0..self.def.replicas).map(|_| Vec::new()).collect();
@@ -316,6 +353,7 @@ impl<'a> ProcessBuilder<'a> {
         for chain in &mut self.def.replica_chains {
             chain.push(make());
         }
+        self.def.factories.push(Some(Arc::new(make)));
         self
     }
 
@@ -340,6 +378,7 @@ impl<'a> ProcessBuilder<'a> {
         for (chain, p) in self.def.replica_chains.iter_mut().zip(instances) {
             chain.push(p);
         }
+        self.def.factories.push(None);
         self
     }
 
@@ -351,6 +390,21 @@ impl<'a> ProcessBuilder<'a> {
     /// below 1 are clamped to 1.
     pub fn batch_size(mut self, n: usize) -> Self {
         self.def.batch_size = n.max(1);
+        self
+    }
+
+    /// Sets the checkpoint cadence: every `n` consumed items the runtime
+    /// snapshots each [`crate::checkpoint::Checkpointable`] chain slot into
+    /// the topology's [`CheckpointStore`], together with the input-edge
+    /// position, and truncates the recovery replay log. `0` (the default)
+    /// disables barriers — unless `Restart { from_checkpoint: true }` is
+    /// armed, in which case the runtime substitutes
+    /// [`DEFAULT_RESTART_CADENCE`](crate::runtime::DEFAULT_RESTART_CADENCE)
+    /// so the replay log stays bounded. On a sharding partitioner the
+    /// barrier is deferred until the next watermark broadcast so checkpoints
+    /// always align with settled sequence numbers.
+    pub fn checkpoint_every(mut self, n: usize) -> Self {
+        self.def.checkpoint_every = n;
         self
     }
 

@@ -363,6 +363,17 @@ pub fn compile_into(
                     }
                     None => None,
                 };
+                let checkpoint_every = match child.attr("checkpoint-every") {
+                    Some(raw) => Some(raw.parse::<usize>().ok().ok_or_else(|| {
+                        StreamsError::XmlSemantics {
+                            detail: format!(
+                                "process `{id}` has an invalid checkpoint-every `{raw}` \
+                                 (expected an integer ≥ 0; 0 disables barriers)"
+                            ),
+                        }
+                    })?),
+                    None => None,
+                };
                 let replicas = match child.attr("replicas") {
                     Some(raw) => {
                         raw.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
@@ -416,6 +427,9 @@ pub fn compile_into(
                 }
                 if let Some(n) = batch_size {
                     builder = builder.batch_size(n);
+                }
+                if let Some(n) = checkpoint_every {
+                    builder = builder.checkpoint_every(n);
                 }
                 for proc_el in child.children_named("processor") {
                     let class = proc_el.required_attr("class")?;
@@ -598,6 +612,29 @@ mod tests {
                 .unwrap_err();
             assert!(err.to_string().contains("batch-size"), "rejects `{bad}`: {err}");
         }
+    }
+
+    #[test]
+    fn checkpoint_every_attribute_is_compiled() {
+        let doc = r#"
+            <container>
+                <process id="p" input="stream:s" output="sink:out" checkpoint-every="500"/>
+            </container>
+        "#;
+        let mut t = Topology::new();
+        t.add_source("s", VecSource::new([DataItem::new().with("n", 1i64)]));
+        let out = CollectSink::shared();
+        compile_into(&mut t, doc, &default_factories(), &mut bound_sinks(&out)).unwrap();
+        assert_eq!(t.processes[0].checkpoint_every, 500);
+
+        let doc = r#"<container>
+            <process id="p" input="stream:s" checkpoint-every="sometimes"/>
+        </container>"#;
+        let mut t = Topology::new();
+        let sink = CollectSink::shared();
+        let err =
+            compile_into(&mut t, doc, &default_factories(), &mut bound_sinks(&sink)).unwrap_err();
+        assert!(err.to_string().contains("checkpoint-every"), "{err}");
     }
 
     #[test]

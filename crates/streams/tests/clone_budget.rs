@@ -26,10 +26,7 @@ const ITEMS: usize = 400;
 fn items() -> Vec<DataItem> {
     (0..ITEMS as i64)
         .map(|n| {
-            DataItem::new()
-                .with("key", n % 7)
-                .with("n", n)
-                .with("payload", format!("payload-{n}"))
+            DataItem::new().with("key", n % 7).with("n", n).with("payload", format!("payload-{n}"))
         })
         .collect()
 }

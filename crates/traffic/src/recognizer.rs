@@ -126,6 +126,19 @@ impl TrafficRecognizer {
         self.engine.set_parallel_strata(on);
     }
 
+    /// Serialises the underlying engine's windowed recognition state (see
+    /// [`Engine::snapshot_state`]); restore into a recogniser rebuilt with
+    /// the same configuration and intersections.
+    pub fn snapshot_state(&self) -> String {
+        self.engine.snapshot_state()
+    }
+
+    /// Restores state captured by [`TrafficRecognizer::snapshot_state`]
+    /// (see [`Engine::restore_state`]).
+    pub fn restore_state(&mut self, snapshot: &str) -> Result<(), RtecError> {
+        self.engine.restore_state(snapshot)
+    }
+
     /// Ingests one scenario SDE (move+gps or traffic), preserving its
     /// arrival time.
     pub fn ingest(&mut self, record: &Sde) -> Result<(), RtecError> {
