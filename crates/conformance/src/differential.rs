@@ -74,6 +74,9 @@ impl CheckStats {
     }
 }
 
+/// A post-build engine configuration hook (e.g. flipping compiled mode).
+type EngineHook = Box<dyn Fn(&mut Engine) + Send + Sync>;
+
 /// Builds matched engine/oracle pairs and runs differential checks.
 pub struct Harness {
     rules: RuleSet,
@@ -81,12 +84,20 @@ pub struct Harness {
     relations: Vec<(String, Vec<Vec<Term>>)>,
     builtins: Vec<(String, BuiltinFn)>,
     initially: Vec<(String, Vec<Term>, Term)>,
+    engine_config: Option<EngineHook>,
 }
 
 impl Harness {
     /// A harness for one rule set over one query grid.
     pub fn new(rules: RuleSet, grid: QueryGrid) -> Harness {
-        Harness { rules, grid, relations: Vec::new(), builtins: Vec::new(), initially: Vec::new() }
+        Harness {
+            rules,
+            grid,
+            relations: Vec::new(),
+            builtins: Vec::new(),
+            initially: Vec::new(),
+            engine_config: None,
+        }
     }
 
     /// The query grid under test.
@@ -116,6 +127,19 @@ impl Harness {
         self
     }
 
+    /// Installs a hook applied to every engine the harness builds (after
+    /// relations, builtins and initial state). Used to flip evaluation modes
+    /// — e.g. `set_compiled(true)` or `set_incremental(false)` — so the same
+    /// differential runs against any engine configuration. The oracle side is
+    /// untouched by design: it has no modes to configure.
+    pub fn configure_engine<F>(mut self, f: F) -> Harness
+    where
+        F: Fn(&mut Engine) + Send + Sync + 'static,
+    {
+        self.engine_config = Some(Box::new(f));
+        self
+    }
+
     fn build_engine(&self) -> Engine {
         let window = WindowConfig::new(self.grid.wm, self.grid.step).expect("valid grid window");
         let mut engine = Engine::new(self.rules.clone(), window);
@@ -128,6 +152,9 @@ impl Harness {
         }
         for (name, args, value) in &self.initially {
             engine.set_initially(name, args.clone(), value.clone()).expect("declared fluent");
+        }
+        if let Some(cfg) = &self.engine_config {
+            cfg(&mut engine);
         }
         engine
     }
@@ -267,6 +294,88 @@ impl Harness {
                 };
                 write_report(&report);
                 return Err(Box::new(report));
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Runs the same stream through two engines built from this harness —
+    /// one per configuration hook — and requires identical recognitions at
+    /// every query: equal derived-event sets and `holdsAt` agreement at
+    /// every time-point of every window. Unlike [`Harness::check`] there is
+    /// no oracle involved, so this directly pins two engine modes against
+    /// each other (e.g. compiled vs. interpreted). `Err` carries a
+    /// replayable description of the first divergence.
+    pub fn compare_engine_modes<F, G>(
+        &self,
+        stream: &Stream,
+        configure_a: F,
+        configure_b: G,
+    ) -> Result<CheckStats, String>
+    where
+        F: Fn(&mut Engine),
+        G: Fn(&mut Engine),
+    {
+        let mut a = self.build_engine();
+        let mut b = self.build_engine();
+        configure_a(&mut a);
+        configure_b(&mut b);
+        for ev in &stream.events {
+            a.add_stamped_event(ev.clone()).unwrap();
+            b.add_stamped_event(ev.clone()).unwrap();
+        }
+        for ob in &stream.obs {
+            a.add_stamped_obs(ob.clone()).unwrap();
+            b.add_stamped_obs(ob.clone()).unwrap();
+        }
+        let mut stats = CheckStats::default();
+        let fluent_names: BTreeSet<Symbol> = self.rules.derived_fluents().iter().copied().collect();
+        for &q in &self.grid.queries() {
+            let ra = a.query(q).map_err(|e| format!("engine A query {q}: {e}"))?;
+            let rb = b.query(q).map_err(|e| format!("engine B query {q}: {e}"))?;
+            stats.queries += 1;
+            let start = q - self.grid.wm;
+
+            let mut evs_a: Vec<(Symbol, Vec<Term>, Time)> =
+                ra.derived_events.iter().map(|e| (e.kind, e.args.clone(), e.time)).collect();
+            let mut evs_b: Vec<(Symbol, Vec<Term>, Time)> =
+                rb.derived_events.iter().map(|e| (e.kind, e.args.clone(), e.time)).collect();
+            evs_a.sort();
+            evs_a.dedup();
+            evs_b.sort();
+            evs_b.dedup();
+            stats.events_compared += evs_a.len().max(evs_b.len());
+            if evs_a != evs_b {
+                return Err(format!(
+                    "[{} seed {}] derived events diverge at q={q}: A has {}, B has {}",
+                    stream.label,
+                    stream.seed,
+                    evs_a.len(),
+                    evs_b.len()
+                ));
+            }
+
+            for &name in &fluent_names {
+                let name_str = name.as_str();
+                let mut groundings: BTreeSet<(Vec<Term>, Term)> = BTreeSet::new();
+                for e in ra.fluent_entries(name_str).iter().chain(rb.fluent_entries(name_str)) {
+                    groundings.insert((e.args.clone(), e.value.clone()));
+                }
+                for (args, value) in groundings {
+                    stats.groundings += 1;
+                    for t in (start + 1)..=q {
+                        stats.ticks += 1;
+                        let ha = ra.holds_at(name_str, &args, &value, t);
+                        let hb = rb.holds_at(name_str, &args, &value, t);
+                        if ha != hb {
+                            return Err(format!(
+                                "[{} seed {}] {name_str}({args:?})={value:?} diverges at \
+                                 t={t} (q={q}): A={ha}, B={hb}",
+                                stream.label, stream.seed
+                            ));
+                        }
+                    }
+                }
             }
         }
         Ok(stats)

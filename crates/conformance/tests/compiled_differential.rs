@@ -1,0 +1,146 @@
+//! The compiled-plan differential suite: three-way equivalence between the
+//! compiled engine, the interpreted engine and the naive full-history oracle
+//! over **fuzzed rule sets** and seeded adversarial streams.
+//!
+//! Every proptest case draws a fresh well-stratified rule set from
+//! [`insight_datagen::adversarial::fuzz_ruleset`] (mixed pivotable and
+//! non-pivotable bodies, negation over lower strata, multi-stratum chains,
+//! unused fluents) plus a stream with adversarial arrivals, then requires:
+//!
+//! 1. compiled engine == oracle (via [`Harness::check`] with the
+//!    `configure_engine` hook flipping `set_compiled(true)`), and
+//! 2. compiled engine == interpreted engine at every `holdsAt` time-point of
+//!    every window and on every derived-event set (via
+//!    [`Harness::compare_engine_modes`]), in both incremental and
+//!    full-recompute modes.
+//!
+//! Failures replay from the printed seed. Two proptests at 128 cases each
+//! (512 in the nightly `PROPTEST_CASES=512` CI variant) plus the pinned
+//! deterministic families below put the run well past 256 distinct streams.
+
+use insight_conformance::{
+    fixture_grid, fixture_harness, fixture_stream, seed_offset, Harness, StimulusConfig, Stream,
+};
+use insight_datagen::adversarial::{fuzz_ruleset, FuzzCase, FuzzConfig, LatenessMix, QueryGrid};
+use proptest::prelude::*;
+
+fn fuzz_grid() -> QueryGrid {
+    QueryGrid { first: 100, step: 50, wm: 100, last: 500 }
+}
+
+fn stream_of(case: &FuzzCase) -> Stream {
+    Stream {
+        label: case.label.clone(),
+        seed: case.seed,
+        events: case.events.clone(),
+        obs: case.obs.clone(),
+    }
+}
+
+/// Compiled engine against the oracle, then compiled against interpreted in
+/// both evaluation modes, on one fuzzed seed.
+///
+/// The oracle leg uses the caller's config (which must keep
+/// `aux_lookback = 0`: out-of-window `holdsAt` references are answered from
+/// truncated knowledge by *any* windowed engine — designed §4.2 loss, not a
+/// bug). The engine-vs-engine legs rerun the same seed with a real lookback,
+/// so non-pivotable conditions genuinely roam the past: both engines share
+/// the same windowed knowledge, so they must still agree tick-for-tick.
+fn check_three_way(seed: u64, grid: QueryGrid, cfg: &FuzzConfig) {
+    let case = fuzz_ruleset(seed, &grid, cfg);
+    let stream = stream_of(&case);
+    let harness = Harness::new(case.rules.clone(), grid).configure_engine(|e| e.set_compiled(true));
+    match harness.check(&stream) {
+        Ok(stats) => assert!(stats.queries > 0 && stats.ticks > 0),
+        Err(report) => panic!("compiled vs oracle: {report}"),
+    }
+
+    let deep = FuzzConfig { aux_lookback: grid.wm / 2, ..*cfg };
+    let deep_case = fuzz_ruleset(seed, &grid, &deep);
+    let deep_stream = stream_of(&deep_case);
+    let deep_harness = Harness::new(deep_case.rules.clone(), grid);
+    // Compiled vs interpreted, incremental (the default) …
+    deep_harness
+        .compare_engine_modes(&deep_stream, |a| a.set_compiled(true), |b| b.set_compiled(false))
+        .unwrap_or_else(|e| panic!("compiled vs interpreted (incremental): {e}"));
+    // … and full-recompute on both sides.
+    deep_harness
+        .compare_engine_modes(
+            &deep_stream,
+            |a| {
+                a.set_incremental(false);
+                a.set_compiled(true);
+            },
+            |b| b.set_incremental(false),
+        )
+        .unwrap_or_else(|e| panic!("compiled vs interpreted (full): {e}"));
+}
+
+proptest! {
+    /// Fuzzed rule sets under the default lateness mix.
+    #[test]
+    fn fuzzed_rule_sets_three_way_equivalent(seed in any::<u64>()) {
+        let grid = fuzz_grid();
+        check_three_way(seed, grid, &FuzzConfig::default());
+    }
+
+    /// Fuzzed rule sets under late-heavy arrivals (amendment and loss paths)
+    /// and a tumbling grid, which exercises the full-window re-derivation
+    /// path of the compiled plan rather than the incremental deltas.
+    #[test]
+    fn fuzzed_rule_sets_survive_late_arrivals(seed in any::<u64>(), tumbling in any::<bool>()) {
+        let grid = if tumbling {
+            QueryGrid { first: 80, step: 80, wm: 80, last: 480 }
+        } else {
+            fuzz_grid()
+        };
+        let mix = LatenessMix { on_time: 0.3, within_wm: 0.3, beyond_wm: 0.2, boundary: 0.2 };
+        let cfg = FuzzConfig { mix, ..FuzzConfig::default() };
+        check_three_way(seed, grid, &cfg);
+    }
+}
+
+/// A pinned family of fuzzed cases per CI seed job — exactly reproducible
+/// locally with `CONFORMANCE_SEED={0,77,777}`.
+#[test]
+fn pinned_fuzz_family_three_way_equivalent() {
+    let grid = fuzz_grid();
+    let base = 3000 + seed_offset() * 100_000;
+    for seed in base..base + 12 {
+        check_three_way(seed, grid, &FuzzConfig::default());
+    }
+}
+
+/// The fixture rule set (relations, builtins, statically-determined fluents
+/// — vocabulary the fuzzer does not draw) through the compiled engine
+/// against the oracle.
+#[test]
+fn fixture_streams_compiled_match_oracle() {
+    let grid = fixture_grid();
+    let harness = fixture_harness(grid).configure_engine(|e| e.set_compiled(true));
+    let cfg = StimulusConfig::default();
+    let base = 4000 + seed_offset() * 100_000;
+    for seed in base..base + 8 {
+        match harness.check(&fixture_stream(seed, grid, &cfg)) {
+            Ok(stats) => assert!(stats.queries > 0),
+            Err(report) => panic!("{report}"),
+        }
+    }
+}
+
+/// Fixture streams, compiled vs interpreted at every tick: shard replicas
+/// and the single-process pipeline must be able to flip the mode without
+/// changing one recognition.
+#[test]
+fn fixture_streams_compiled_match_interpreted() {
+    let grid = fixture_grid();
+    let harness = fixture_harness(grid);
+    let cfg = StimulusConfig::default();
+    let base = 5000 + seed_offset() * 100_000;
+    for seed in base..base + 8 {
+        let stream = fixture_stream(seed, grid, &cfg);
+        harness
+            .compare_engine_modes(&stream, |a| a.set_compiled(true), |_| {})
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+}

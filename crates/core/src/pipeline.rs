@@ -340,6 +340,9 @@ pub struct MultiRegionRtecProcessor {
     /// Items that failed SDE schema validation, counted stage-wide (a
     /// malformed item has no trustworthy region).
     malformed: Option<Arc<Counter>>,
+    /// Shared compiled execution plan; `Some` switches every region worker
+    /// to compiled evaluation.
+    plan: Option<Arc<insight_rtec::compile::CompiledPlan>>,
 }
 
 impl MultiRegionRtecProcessor {
@@ -358,18 +361,42 @@ impl MultiRegionRtecProcessor {
             first_query,
             states: BTreeMap::new(),
             malformed: None,
+            plan: None,
         }
+    }
+
+    /// Installs a pre-compiled execution plan: every lazily created region
+    /// worker switches its engine to compiled evaluation, sharing this one
+    /// `Arc` (the plan holds no window state, so replicas and regions can
+    /// all read it concurrently).
+    pub fn with_compiled_plan(
+        mut self,
+        plan: Option<Arc<insight_rtec::compile::CompiledPlan>>,
+    ) -> MultiRegionRtecProcessor {
+        self.plan = plan;
+        self
     }
 
     fn state_for(&mut self, region: Region) -> Result<&mut RtecProcessor, StreamsError> {
         if !self.states.contains_key(&region) {
             let infos = self.infos.get(&region).map(Vec::as_slice).unwrap_or(&[]);
-            let recognizer = TrafficRecognizer::new((*self.rules).clone(), self.window, infos, &[])
-                .map_err(|e| StreamsError::ProcessorFailed {
-                    process: format!("rtec[{region}]"),
-                    processor: None,
-                    message: e.to_string(),
+            let mut recognizer =
+                TrafficRecognizer::new((*self.rules).clone(), self.window, infos, &[]).map_err(
+                    |e| StreamsError::ProcessorFailed {
+                        process: format!("rtec[{region}]"),
+                        processor: None,
+                        message: e.to_string(),
+                    },
+                )?;
+            if let Some(plan) = &self.plan {
+                recognizer.set_compiled_plan(Arc::clone(plan)).map_err(|e| {
+                    StreamsError::ProcessorFailed {
+                        process: format!("rtec[{region}]"),
+                        processor: None,
+                        message: format!("installing shared compiled plan: {e}"),
+                    }
                 })?;
+            }
             self.states.insert(
                 region,
                 RtecProcessor::new(recognizer, self.first_query, self.window.step(), region),
@@ -1043,6 +1070,12 @@ pub struct PipelineOptions {
     /// Deterministic kill injection on the crowd-EM stage, same contract as
     /// [`PipelineOptions::kill_rtec_at`].
     pub kill_crowd_em_at: Option<(u64, KillSwitch)>,
+    /// Run every region engine on the pre-compiled RTEC execution plan
+    /// (see [`insight_rtec::compile::CompiledPlan`]). The plan is compiled
+    /// once at build time and the one `Arc` is shared by all replicas'
+    /// region workers; checkpoints are unaffected (the plan is derived
+    /// state, rebuilt rather than serialised).
+    pub compiled_rtec: bool,
 }
 
 impl Default for PipelineOptions {
@@ -1062,6 +1095,7 @@ impl PipelineOptions {
             restarts: None,
             kill_rtec_at: None,
             kill_crowd_em_at: None,
+            compiled_rtec: false,
         }
     }
 
@@ -1223,14 +1257,22 @@ fn build_pipeline_inner(
     // item of a region lands on the same replica, so each region engine
     // sees its full stream in FIFO order (see [`MultiRegionRtecProcessor`]).
     // Validate the rule set once here so a bad configuration fails at build
-    // time rather than inside a replica.
-    TrafficRecognizer::new(rules.clone(), window, &[], &[]).map_err(|e| {
+    // time rather than inside a replica; when the compiled mode is on, this
+    // is also where the one shared execution plan is compiled.
+    let mut probe = TrafficRecognizer::new(rules.clone(), window, &[], &[]).map_err(|e| {
         StreamsError::ProcessorFailed {
             process: "rtec".into(),
             processor: None,
             message: e.to_string(),
         }
     })?;
+    let shared_plan = if options.compiled_rtec {
+        probe.set_compiled(true);
+        probe.compiled_plan().cloned()
+    } else {
+        None
+    };
+    drop(probe);
     let mut infos_by_region: HashMap<Region, Vec<IntersectionInfo>> = HashMap::new();
     for i in scenario.scats.intersections() {
         infos_by_region.entry(i.region).or_default().push(IntersectionInfo {
@@ -1285,13 +1327,17 @@ fn build_pipeline_inner(
         .processor_factory({
             let rules = rules_shared.clone();
             let infos = infos.clone();
+            let plan = shared_plan.clone();
             move || {
-                Box::new(MultiRegionRtecProcessor::new(
-                    rules.clone(),
-                    window,
-                    infos.clone(),
-                    first_query,
-                ))
+                Box::new(
+                    MultiRegionRtecProcessor::new(
+                        rules.clone(),
+                        window,
+                        infos.clone(),
+                        first_query,
+                    )
+                    .with_compiled_plan(plan.clone()),
+                )
             }
         })
         .output(Output::Queue("recognitions".into()))
@@ -1579,6 +1625,37 @@ mod tests {
                 "recognition output must not depend on shard counts ({options:?})"
             );
         }
+    }
+
+    #[test]
+    fn compiled_pipeline_output_identical_to_interpreted() {
+        // One shared execution plan across all replicas' region engines must
+        // be output-invisible — including under checkpoint supervision,
+        // where restored workers rebuild the plan rather than restore it.
+        let canonical = |options: &PipelineOptions| {
+            let scenario = Scenario::generate(ScenarioConfig::small(1200, 77)).unwrap();
+            let window = WindowConfig::new(600, 300).unwrap();
+            let (topology, sink) =
+                build_pipeline_with(&scenario, TrafficRulesConfig::default(), window, options)
+                    .unwrap();
+            Runtime::new(topology).run().unwrap();
+            crate::replay::canonical_recognitions(&sink.items())
+        };
+        let base = canonical(&PipelineOptions::standard());
+        assert!(!base.is_empty());
+        assert_eq!(
+            canonical(&PipelineOptions { compiled_rtec: true, ..PipelineOptions::standard() }),
+            base,
+            "compiled evaluation changed the pipeline output"
+        );
+        assert_eq!(
+            canonical(&PipelineOptions {
+                compiled_rtec: true,
+                ..PipelineOptions::recovering(8, 2)
+            }),
+            base,
+            "compiled evaluation changed the supervised pipeline output"
+        );
     }
 
     #[test]

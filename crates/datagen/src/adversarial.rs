@@ -10,6 +10,13 @@
 //! ([`QueryGrid`]) that predicts which events a correct engine can ever see.
 
 use crate::stream::Sde;
+use insight_rtec::dsl::{
+    cmp, event_head, event_pat, fluent, fluent_pat, guard, happens, holds, not_holds, pat, term_ne,
+    val, RuleSet, RuleSetBuilder,
+};
+use insight_rtec::event::{Event, FluentObs, Stamped};
+use insight_rtec::rule::CmpOp;
+use insight_rtec::term::Term;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -268,6 +275,252 @@ pub fn perturb_sdes(
     stats
 }
 
+/// Knobs of the rule-set fuzzer ([`fuzz_ruleset`]).
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzConfig {
+    /// Number of input event kinds `fz_e{i}` that are actually emitted.
+    pub max_input_events: usize,
+    /// Maximum number of derived simple fluents `fz_f{i}`.
+    pub max_fluents: usize,
+    /// Maximum number of derived events `fz_d{k}`.
+    pub max_derived_events: usize,
+    /// Number of scheduled stream points.
+    pub n_points: usize,
+    /// Arrival lateness mix of the stream.
+    pub mix: LatenessMix,
+    /// How far into the past the time-valued `Aux` argument may point
+    /// (uniform in `[time − aux_lookback, time]`).
+    ///
+    /// Non-pivotable `holdsAt Aux` conditions are evaluated at `Aux`; when
+    /// `Aux` precedes the window start, a windowed engine answers from
+    /// truncated knowledge while a full-history oracle's inertia chain
+    /// reaches arbitrarily far back — a *designed* divergence (§4.2 loss),
+    /// not a bug. Oracle-facing differentials must therefore use `0`
+    /// (`Aux` lands on the anchor tick, always in-window, while the body
+    /// stays **syntactically** non-pivotable and still exercises the
+    /// forced full-re-evaluation path). Engine-vs-engine comparisons can
+    /// use a real lookback: both sides share the same windowed knowledge.
+    pub aux_lookback: i64,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            max_input_events: 3,
+            max_fluents: 4,
+            max_derived_events: 2,
+            n_points: 80,
+            mix: LatenessMix::default(),
+            aux_lookback: 0,
+        }
+    }
+}
+
+/// A fuzzed rule set plus the seeded stream that exercises it.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// Human-readable label (embeds the structural draw).
+    pub label: String,
+    /// The seed that regenerates the whole case.
+    pub seed: u64,
+    /// The fuzzed, well-stratified rule set.
+    pub rules: RuleSet,
+    /// Stamped input events (adversarial arrivals).
+    pub events: Vec<Stamped<Event>>,
+    /// Stamped input fluent observations (co-timed with events).
+    pub obs: Vec<Stamped<FluentObs>>,
+}
+
+const FUZZ_IDS: i64 = 4;
+
+/// Generates a seeded, well-stratified random rule set together with an
+/// adversarial stream over its input vocabulary.
+///
+/// Structural coverage, all drawn deterministically from the seed:
+///
+/// * input events `fz_e{i}(Id, Aux)` where `Aux` is a time-valued argument,
+///   so a `holdsAt` condition at `Aux` makes the body **non-pivotable**
+///   (its evaluation time is not bound by the rule's `happensAt` anchor);
+/// * an optional input fluent `fz_g0(Id)` fed by point observations;
+/// * derived simple fluents `fz_f{i}` whose initiation/termination bodies
+///   mix pivotable `holdsAt`, negation-as-failure over lower strata,
+///   non-pivotable `holdsAt Aux` and guards — `fz_f{i}` may depend on
+///   `fz_f{j<i}`, giving multi-stratum fluent chains;
+/// * derived events `fz_d{k}` anchored on input events or on `fz_d{k-1}`
+///   (event-on-event chains spanning additional strata);
+/// * one fluent `fz_unused` initiated only by a declared but never-emitted
+///   event `fz_e_silent` — its stratum runs and derives nothing.
+pub fn fuzz_ruleset(seed: u64, grid: &QueryGrid, cfg: &FuzzConfig) -> FuzzCase {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xf022_7e57);
+    let ne = rng.random_range(2..=cfg.max_input_events.max(2));
+    let nf = rng.random_range(2..=cfg.max_fluents.max(2));
+    let nd = rng.random_range(1..=cfg.max_derived_events.max(1));
+    let with_input_fluent = rng.random_bool(0.6);
+
+    let mut b = RuleSetBuilder::new();
+    for i in 0..ne {
+        b.declare_event(&format!("fz_e{i}"), 2);
+    }
+    b.declare_event("fz_e_silent", 2);
+    if with_input_fluent {
+        b.declare_input_fluent("fz_g0", 1);
+    }
+
+    // A fresh (Id, Aux, T) variable triple per rule.
+    let mut fresh = {
+        let mut n = 0usize;
+        move |b: &mut RuleSetBuilder| {
+            n += 1;
+            (b.var(&format!("Id{n}")), b.var(&format!("Aux{n}")), b.var(&format!("T{n}")))
+        }
+    };
+
+    // Extra body conditions over strictly lower strata. `lower` holds the
+    // derived fluents defined so far; `fz_g0` (if present) is always fair
+    // game. Returns the number of conditions appended.
+    let extra_conditions = |b: &mut RuleSetBuilder,
+                            body: &mut Vec<insight_rtec::rule::BodyAtom>,
+                            rng: &mut StdRng,
+                            lower: &[String],
+                            id: insight_rtec::pattern::VarId,
+                            aux: insight_rtec::pattern::VarId,
+                            t: insight_rtec::pattern::VarId| {
+        let _ = b;
+        let n = rng.random_range(0..=2usize);
+        for _ in 0..n {
+            let pick_fluent = |rng: &mut StdRng| -> Option<(String, bool)> {
+                let mut pool: Vec<(String, bool)> =
+                    lower.iter().map(|f| (f.clone(), false)).collect();
+                if with_input_fluent {
+                    pool.push(("fz_g0".to_string(), true));
+                }
+                if pool.is_empty() {
+                    None
+                } else {
+                    Some(pool[rng.random_range(0..pool.len())].clone())
+                }
+            };
+            match rng.random_range(0..4u32) {
+                // Pivotable holds at the anchor time.
+                0 => {
+                    if let Some((f, _)) = pick_fluent(rng) {
+                        body.push(holds(fluent_pat(&f, [pat(id)], val(true)), t));
+                    }
+                }
+                // Negation-as-failure over a lower stratum; `Id` is
+                // bound by the anchor, so the condition is safe.
+                1 => {
+                    if let Some((f, _)) = pick_fluent(rng) {
+                        body.push(not_holds(fluent_pat(&f, [pat(id)], val(true)), t));
+                    }
+                }
+                // Non-pivotable: evaluated at the time-valued argument
+                // `Aux`, not at the anchor time. Restricted to derived
+                // fluents, where inertia makes off-anchor queries
+                // meaningful (input fluents are point observations).
+                2 => {
+                    if let Some(f) = lower.get(rng.random_range(0..lower.len().max(1))) {
+                        body.push(holds(fluent_pat(f, [pat(id)], val(true)), aux));
+                    }
+                }
+                // A guard over the bound `Id` argument.
+                _ => {
+                    if rng.random_bool(0.5) {
+                        let c = rng.random_range(0..FUZZ_IDS);
+                        let op = if rng.random_bool(0.5) { CmpOp::Gt } else { CmpOp::Le };
+                        body.push(guard(cmp(id, op, c)));
+                    } else {
+                        body.push(guard(term_ne(id, Term::int(rng.random_range(0..FUZZ_IDS)))));
+                    }
+                }
+            }
+        }
+    };
+
+    let mut lower: Vec<String> = Vec::new();
+    for i in 0..nf {
+        let name = format!("fz_f{i}");
+        let anchor = rng.random_range(0..ne);
+        let (id, aux, t) = fresh(&mut b);
+        let mut body = vec![happens(event_pat(&format!("fz_e{anchor}"), [pat(id), pat(aux)]), t)];
+        extra_conditions(&mut b, &mut body, &mut rng, &lower, id, aux, t);
+        b.initiated(fluent(&name, [pat(id)], val(true)), t, body);
+
+        let anchor2 = rng.random_range(0..ne);
+        let (id2, aux2, t2) = fresh(&mut b);
+        let mut body2 =
+            vec![happens(event_pat(&format!("fz_e{anchor2}"), [pat(id2), pat(aux2)]), t2)];
+        if rng.random_bool(0.4) {
+            extra_conditions(&mut b, &mut body2, &mut rng, &lower, id2, aux2, t2);
+        }
+        b.terminated(fluent(&name, [pat(id2)], val(true)), t2, body2);
+        lower.push(name);
+    }
+
+    // The unused fluent: well-formed rules over an event nobody emits.
+    let (idu, auxu, tu) = fresh(&mut b);
+    let _ = auxu;
+    b.initiated(
+        fluent("fz_unused", [pat(idu)], val(true)),
+        tu,
+        [happens(event_pat("fz_e_silent", [pat(idu), pat(auxu)]), tu)],
+    );
+
+    for k in 0..nd {
+        let name = format!("fz_d{k}");
+        let (id, aux, t) = fresh(&mut b);
+        let chain = k > 0 && rng.random_bool(0.5);
+        let mut body = if chain {
+            // Event-on-event chain: anchored on the previous derived event.
+            vec![happens(event_pat(&format!("fz_d{}", k - 1), [pat(id)]), t)]
+        } else {
+            let anchor = rng.random_range(0..ne);
+            vec![happens(event_pat(&format!("fz_e{anchor}"), [pat(id), pat(aux)]), t)]
+        };
+        // Derived events always carry at least one fluent condition so they
+        // span strata.
+        let f = &lower[rng.random_range(0..lower.len())];
+        if rng.random_bool(0.7) {
+            body.push(holds(fluent_pat(f, [pat(id)], val(true)), t));
+        } else {
+            body.push(not_holds(fluent_pat(f, [pat(id)], val(true)), t));
+        }
+        b.derived_event(event_head(&name, [pat(id)]), t, body);
+    }
+
+    let rules = b.build().expect("fuzzed rule set must be well-formed");
+
+    // The stream: adversarial arrivals over the emitted vocabulary. `Aux`
+    // points up to `aux_lookback` into the past (see [`FuzzConfig`] for why
+    // oracle-facing runs keep it at 0).
+    let points = adversarial_points(seed ^ 0xfeed, cfg.n_points, grid, &cfg.mix);
+    let mut events = Vec::with_capacity(points.len());
+    let mut obs = Vec::new();
+    for p in &points {
+        let kind = format!("fz_e{}", rng.random_range(0..ne));
+        let id = Term::int(rng.random_range(0..FUZZ_IDS));
+        let aux = Term::int((p.time - rng.random_range(0..cfg.aux_lookback.max(0) + 1)).max(0));
+        events.push(Stamped::arriving_at(
+            Event::new(kind.as_str(), [id.clone(), aux], p.time),
+            p.arrival,
+        ));
+        if with_input_fluent && rng.random_bool(0.3) {
+            obs.push(Stamped::arriving_at(
+                FluentObs::new("fz_g0", [id], Term::truth(), p.time),
+                p.arrival,
+            ));
+        }
+    }
+
+    FuzzCase {
+        label: format!("fuzz-e{ne}-f{nf}-d{nd}{}", if with_input_fluent { "-g" } else { "" }),
+        seed,
+        rules,
+        events,
+        obs,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,6 +586,58 @@ mod tests {
         assert_eq!(a, b);
         let c = adversarial_points(100, 200, &g, &LatenessMix::default());
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fuzzed_rule_sets_are_deterministic_and_varied() {
+        let g = grid();
+        let cfg = FuzzConfig::default();
+        let a = fuzz_ruleset(3, &g, &cfg);
+        let b = fuzz_ruleset(3, &g, &cfg);
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.events.len(), b.events.len());
+        assert_eq!(a.rules.strata().len(), b.rules.strata().len());
+        for (x, y) in a.events.iter().zip(&b.events) {
+            assert_eq!((x.arrival, &x.item), (y.arrival, &y.item));
+        }
+        // Different seeds draw different structure somewhere in a family.
+        let labels: std::collections::HashSet<String> =
+            (0..16).map(|s| fuzz_ruleset(s, &g, &cfg).label).collect();
+        assert!(labels.len() > 1, "structural variety across seeds: {labels:?}");
+    }
+
+    #[test]
+    fn fuzzed_rule_sets_cover_the_advertised_structure() {
+        use insight_rtec::rule::BodyAtom;
+        let g = grid();
+        let cfg = FuzzConfig::default();
+        let mut saw_negation = false;
+        let mut saw_non_pivot = false;
+        let mut saw_chain = false;
+        for seed in 0..32 {
+            let case = fuzz_ruleset(seed, &g, &cfg);
+            assert!(case.rules.strata().len() >= 3, "fluents + unused + derived events");
+            for r in case.rules.sf_rules() {
+                let anchor_time = r.time;
+                for a in &r.body {
+                    if let BodyAtom::Holds { negated, time, .. } = a {
+                        saw_negation |= *negated;
+                        saw_non_pivot |= *time != anchor_time;
+                    }
+                }
+            }
+            for r in case.rules.ev_rules() {
+                if let Some(BodyAtom::Happens { pat, .. }) = r.body.first() {
+                    saw_chain |= pat.kind.as_str().starts_with("fz_d");
+                }
+            }
+            // The unused fluent is always defined and never emitted.
+            assert!(case.rules.derived_fluents().iter().any(|f| f.as_str() == "fz_unused"));
+            assert!(case.events.iter().all(|e| e.item.kind.as_str() != "fz_e_silent"));
+        }
+        assert!(saw_negation, "some fuzzed body uses negation");
+        assert!(saw_non_pivot, "some fuzzed body is non-pivotable");
+        assert!(saw_chain, "some derived event chains on a derived event");
     }
 
     #[test]

@@ -1,0 +1,1212 @@
+//! Compile-once lowering of a stratified [`RuleSet`] into an immutable
+//! execution plan.
+//!
+//! The interpreter walks the rule AST on every grounding of every window:
+//! each body atom re-resolves its event kind, fluent name, relation or
+//! builtin through a `HashMap<Symbol, _>` lookup, re-discriminates input
+//! fluents from derived ones, and re-allocates a `Bindings` environment, a
+//! role vector and an evidence-span stack per rule per window. Once deltas
+//! are small (PR 4), those fixed costs dominate.
+//!
+//! [`CompiledPlan::compile`] pays them **once**: every symbol a rule body
+//! can touch is resolved to a dense integer *slot* ([`SlotMap`]), strata are
+//! flattened into a topologically-ordered instruction array grouped by
+//! dependency level, and each rule body is lowered into [`CAtom`] programs —
+//! the PR 4 pivot plans specialised into compiled form, with the
+//! delta-bounding role baked into each `Happens` operand. The plan is
+//! immutable and `Arc`-shared: shard replicas and region engines built from
+//! the same rule set reuse one plan, and checkpoint snapshots exclude it
+//! entirely (it is derived state, rebuilt deterministically from the rule
+//! set on restore).
+//!
+//! At query time the compiled solver ([`solve_c`]) runs over slot-indexed
+//! window stores ([`CEventStore`], [`CObsStore`], [`CFluentStore`]) — array
+//! indexing and binary search only, no string or hash lookups and no
+//! interner locks — and draws all of its scratch (bindings, evidence spans,
+//! binding trail, builtin argument buffer, inertia point splits) from a
+//! per-thread [`SolveScratch`] arena that never allocates in steady state.
+//! [`scratch_allocations`] exposes the arena's growth counter so tests can
+//! assert the zero-allocation property per window.
+
+use crate::dsl::RuleSet;
+use crate::engine::{eval_guard, resolve, term_time, BuiltinFn, FluentEntry, HappensRole};
+use crate::event::{Event, FluentObs};
+use crate::pattern::{
+    match_args_trail, undo_trail, ArgPat, Bindings, EventPattern, FluentPattern, VarId,
+};
+use crate::rule::{BodyAtom, GuardExpr, IntervalExpr, StaticRule, ValRef};
+use crate::stratify::{body_deps, HeadKind};
+use crate::term::{Symbol, Term};
+use crate::time::{Time, TIME_MAX, TIME_MIN};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Index of a pre-resolved symbol in a [`CompiledPlan`]'s dense tables.
+pub type SlotId = u32;
+
+const NO_SLOT: u32 = u32::MAX;
+
+// ---------------------------------------------------------------------------
+// Slot resolution
+// ---------------------------------------------------------------------------
+
+/// Dense symbol → slot map. The table is indexed by the interner id, so a
+/// lookup is one array read — no hashing, no interner lock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SlotMap {
+    table: Vec<u32>,
+    symbols: Vec<Symbol>,
+}
+
+impl SlotMap {
+    fn new() -> SlotMap {
+        SlotMap { table: Vec::new(), symbols: Vec::new() }
+    }
+
+    fn intern(&mut self, sym: Symbol) -> SlotId {
+        let idx = sym.index();
+        if idx >= self.table.len() {
+            self.table.resize(idx + 1, NO_SLOT);
+        }
+        if self.table[idx] != NO_SLOT {
+            return self.table[idx];
+        }
+        let slot = u32::try_from(self.symbols.len()).expect("slot overflow");
+        self.table[idx] = slot;
+        self.symbols.push(sym);
+        slot
+    }
+
+    /// The slot of `sym`, if the compile pass assigned one.
+    pub(crate) fn slot(&self, sym: Symbol) -> Option<SlotId> {
+        match self.table.get(sym.index()) {
+            Some(&s) if s != NO_SLOT => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Number of slots assigned.
+    pub(crate) fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// The symbol occupying `slot`.
+    pub(crate) fn symbol(&self, slot: SlotId) -> Symbol {
+        self.symbols[slot as usize]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lowered rule bodies
+// ---------------------------------------------------------------------------
+
+/// One lowered body atom: the interpreter's [`BodyAtom`] with every name
+/// pre-resolved to a slot, input/derived fluent discrimination done at
+/// compile time, and the PR 4 delta-bounding role baked in.
+#[derive(Debug, Clone)]
+pub(crate) enum CAtom {
+    /// `happensAt(kind(args…), T)` with its pivot role fixed per program.
+    Happens {
+        /// Event-kind slot into [`CEventStore`].
+        slot: SlotId,
+        /// The argument pattern.
+        pat: EventPattern,
+        /// The time variable.
+        time: VarId,
+        /// Delta-bounding role relative to the change frontier.
+        role: HappensRole,
+    },
+    /// `[not] holdsAt(name(args…) = V, T)` on an *input* fluent.
+    HoldsInput {
+        /// Fluent-name slot into [`CObsStore`].
+        slot: SlotId,
+        /// The fluent pattern.
+        pat: FluentPattern,
+        /// The (already bound) read-time variable.
+        time: VarId,
+        /// Negation-as-failure flag.
+        negated: bool,
+    },
+    /// `[not] holdsAt(name(args…) = V, T)` on a *derived* fluent.
+    HoldsDerived {
+        /// Fluent-name slot into [`CFluentStore`].
+        slot: SlotId,
+        /// The fluent pattern.
+        pat: FluentPattern,
+        /// The (already bound) read-time variable.
+        time: VarId,
+        /// Negation-as-failure flag.
+        negated: bool,
+    },
+    /// A finite-relation membership condition.
+    Relation {
+        /// Index into the engine's dense relation table.
+        idx: u32,
+        /// The argument pattern.
+        args: Vec<ArgPat>,
+    },
+    /// A registered boolean builtin.
+    Builtin {
+        /// Index into the engine's dense builtin table.
+        idx: u32,
+        /// Argument value references.
+        args: Vec<ValRef>,
+    },
+    /// A pure guard over bound variables.
+    Guard(GuardExpr),
+}
+
+/// One lowered body: the full-solve program plus one delta-bounded pivot
+/// program per `happensAt` atom (the compiled form of the PR 4 pivot
+/// plans — same partitioning contract, fixed operand slots, no per-window
+/// cloning or role-vector allocation).
+#[derive(Debug, Clone)]
+pub(crate) struct CBody {
+    /// All atoms in body order, every role `Free` (full re-solve).
+    pub full: Vec<CAtom>,
+    /// Pivot programs: program `k` enumerates exactly the derivations whose
+    /// first at-or-after-frontier happens atom is body atom `k`.
+    pub pivots: Vec<Vec<CAtom>>,
+}
+
+/// A lowered interval expression for statically-determined fluents.
+#[derive(Debug, Clone)]
+pub(crate) enum CIntervalExpr {
+    /// Leaf: union of the matching groundings of one derived fluent.
+    Fluent {
+        /// Fluent-name slot into [`CFluentStore`].
+        slot: SlotId,
+        /// The fluent pattern.
+        pat: FluentPattern,
+    },
+    /// `union_all`.
+    Union(Vec<CIntervalExpr>),
+    /// `intersect_all`.
+    Intersect(Vec<CIntervalExpr>),
+    /// `relative_complement_all`.
+    RelComp(Box<CIntervalExpr>, Vec<CIntervalExpr>),
+}
+
+/// One lowered statically-determined fluent rule.
+#[derive(Debug, Clone)]
+pub(crate) struct CStatic {
+    /// Lowered domain atoms (all roles `Free`; statics always solve fully).
+    pub domain: Vec<CAtom>,
+    /// Lowered interval expression.
+    pub expr: CIntervalExpr,
+}
+
+// ---------------------------------------------------------------------------
+// The instruction array
+// ---------------------------------------------------------------------------
+
+/// One instruction of the flat stratum array: everything the evaluator needs
+/// to run one stratum, with all per-engine precomputation folded in.
+#[derive(Debug, Clone)]
+pub(crate) struct StratumInstr {
+    /// Index of the stratum in the rule set's stratification (merge order).
+    pub si: u32,
+    /// The head symbol.
+    pub symbol: Symbol,
+    /// The head symbol's slot.
+    pub slot: SlotId,
+    /// What kind of head this stratum derives.
+    pub kind: HeadKind,
+    /// Rule indices into the rule set's per-kind rule vector.
+    pub rules: Vec<u32>,
+    /// Slots of the stratum's direct body dependencies (frontier reads).
+    pub dep_slots: Vec<SlotId>,
+    /// Whether delta-bounded (pivoted) evaluation is complete for every rule.
+    pub pivotable: bool,
+    /// For static strata: whether the rule domains are free of event/fluent
+    /// atoms (clamp-reuse is sound when clean).
+    pub static_pure: bool,
+}
+
+/// An immutable, `Arc`-shared execution plan compiled once from a
+/// [`RuleSet`].
+///
+/// The plan owns no window state: engines evaluate against it concurrently
+/// (PR 5 shard replicas and region engines share one plan), and it is
+/// excluded from checkpoint snapshots — restoring an engine rebuilds the
+/// plan deterministically from the same rule set (see
+/// [`CompiledPlan::signature`]).
+pub struct CompiledPlan {
+    pub(crate) slots: SlotMap,
+    /// Flat instruction array in level-major topological order.
+    pub(crate) instrs: Vec<StratumInstr>,
+    /// Ranges into `instrs`, one per dependency level.
+    pub(crate) levels: Vec<std::ops::Range<usize>>,
+    /// Lowered bodies per event rule, aligned with `RuleSet::ev_rules`.
+    pub(crate) ev_bodies: Vec<CBody>,
+    /// Lowered bodies per simple-fluent rule, aligned with `sf_rules`.
+    pub(crate) sf_bodies: Vec<CBody>,
+    /// Lowered static rules, aligned with `static_rules`.
+    pub(crate) static_bodies: Vec<CStatic>,
+    /// Relation symbols in dense-index order.
+    pub(crate) relation_syms: Vec<Symbol>,
+    /// Builtin symbols in dense-index order.
+    pub(crate) builtin_syms: Vec<Symbol>,
+    /// Rule counts of the source rule set (for sharing validation).
+    rule_counts: (usize, usize, usize),
+    signature: u64,
+}
+
+impl CompiledPlan {
+    /// Compiles `rules` into an immutable execution plan. The pass is
+    /// deterministic: compiling the same rule set twice yields plans with
+    /// identical instruction arrays and identical [`CompiledPlan::signature`]s.
+    pub fn compile(rules: &RuleSet) -> Arc<CompiledPlan> {
+        let mut slots = SlotMap::new();
+        // Head symbols first (stratum order), then declared inputs (sorted)
+        // — a deterministic assignment independent of HashMap iteration.
+        for s in &rules.strata {
+            slots.intern(s.symbol);
+        }
+        let mut inputs: Vec<Symbol> =
+            rules.input_events.keys().copied().chain(rules.input_fluents.keys().copied()).collect();
+        inputs.sort();
+        for sym in inputs {
+            slots.intern(sym);
+        }
+
+        let mut relation_syms: Vec<Symbol> = rules.relations.keys().copied().collect();
+        relation_syms.sort();
+        let rel_idx: HashMap<Symbol, u32> =
+            relation_syms.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
+        let mut builtin_syms: Vec<Symbol> = rules.builtins.keys().copied().collect();
+        builtin_syms.sort();
+        let bi_idx: HashMap<Symbol, u32> =
+            builtin_syms.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
+
+        let lower_body = |body: &[BodyAtom]| -> CBody {
+            let full: Vec<CAtom> =
+                body.iter().map(|a| lower_atom(a, rules, &slots, &rel_idx, &bi_idx)).collect();
+            let mut pivots = Vec::new();
+            for (pi, atom) in full.iter().enumerate() {
+                if !matches!(atom, CAtom::Happens { .. }) {
+                    continue;
+                }
+                // Same partitioning as the interpreter's pivot plans: the
+                // pivot moves to the front (pattern atoms only add bindings,
+                // so prerequisites still hold), earlier happens atoms become
+                // `Before`, everything else stays `Free`.
+                let mut prog = Vec::with_capacity(full.len());
+                prog.push(with_role(atom.clone(), HappensRole::Pivot));
+                for (j, a) in full.iter().enumerate() {
+                    if j == pi {
+                        continue;
+                    }
+                    let role = if j < pi && matches!(a, CAtom::Happens { .. }) {
+                        HappensRole::Before
+                    } else {
+                        HappensRole::Free
+                    };
+                    prog.push(with_role(a.clone(), role));
+                }
+                pivots.push(prog);
+            }
+            CBody { full, pivots }
+        };
+
+        let ev_bodies: Vec<CBody> = rules.ev_rules.iter().map(|r| lower_body(&r.body)).collect();
+        let sf_bodies: Vec<CBody> = rules.sf_rules.iter().map(|r| lower_body(&r.body)).collect();
+        let static_bodies: Vec<CStatic> = rules
+            .static_rules
+            .iter()
+            .map(|r| CStatic {
+                domain: r
+                    .domain
+                    .iter()
+                    .map(|a| lower_atom(a, rules, &slots, &rel_idx, &bi_idx))
+                    .collect(),
+                expr: lower_expr(&r.expr, &slots),
+            })
+            .collect();
+
+        // Per-stratum metadata, mirroring Engine::new's precomputation.
+        let mut instr_by_si: Vec<StratumInstr> = Vec::with_capacity(rules.strata.len());
+        for (si, s) in rules.strata.iter().enumerate() {
+            let mut deps: HashSet<Symbol> = HashSet::new();
+            let mut pivotable = true;
+            let mut static_pure = true;
+            match s.kind {
+                HeadKind::Event => {
+                    for &i in &s.rule_indices {
+                        body_deps(&rules.ev_rules[i].body, &mut deps);
+                        pivotable &= body_pivotable(&rules.ev_rules[i].body);
+                    }
+                }
+                HeadKind::SimpleFluent => {
+                    for &i in &s.rule_indices {
+                        body_deps(&rules.sf_rules[i].body, &mut deps);
+                        pivotable &= body_pivotable(&rules.sf_rules[i].body);
+                    }
+                }
+                HeadKind::StaticFluent => {
+                    for &i in &s.rule_indices {
+                        let r: &StaticRule = &rules.static_rules[i];
+                        body_deps(&r.domain, &mut deps);
+                        let mut fl = Vec::new();
+                        r.expr.collect_fluents(&mut fl);
+                        deps.extend(fl);
+                        static_pure &= r.domain.iter().all(|a| {
+                            !matches!(a, BodyAtom::Happens { .. } | BodyAtom::Holds { .. })
+                        });
+                    }
+                }
+            }
+            let mut dep_slots: Vec<SlotId> = deps.iter().filter_map(|&d| slots.slot(d)).collect();
+            dep_slots.sort_unstable();
+            instr_by_si.push(StratumInstr {
+                si: si as u32,
+                symbol: s.symbol,
+                slot: slots.slot(s.symbol).expect("head symbol interned above"),
+                kind: s.kind,
+                rules: s.rule_indices.iter().map(|&i| i as u32).collect(),
+                dep_slots,
+                pivotable,
+                static_pure,
+            });
+        }
+
+        // Dependency depth per stratum (identical to Engine::new), then a
+        // level-major flat instruction array.
+        let sym_to_idx: HashMap<Symbol, usize> =
+            rules.strata.iter().enumerate().map(|(i, s)| (s.symbol, i)).collect();
+        let mut level = vec![0usize; rules.strata.len()];
+        for i in 0..rules.strata.len() {
+            level[i] = instr_by_si[i]
+                .dep_slots
+                .iter()
+                .filter_map(|&d| sym_to_idx.get(&slots.symbol(d)).copied().filter(|&j| j < i))
+                .map(|j| level[j] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+        let depth = level.iter().copied().max().map_or(0, |m| m + 1);
+        let mut instrs: Vec<StratumInstr> = Vec::with_capacity(instr_by_si.len());
+        let mut levels: Vec<std::ops::Range<usize>> = Vec::with_capacity(depth);
+        for l in 0..depth {
+            let begin = instrs.len();
+            for (i, instr) in instr_by_si.iter().enumerate() {
+                if level[i] == l {
+                    instrs.push(instr.clone());
+                }
+            }
+            levels.push(begin..instrs.len());
+        }
+
+        let rule_counts = (rules.sf_rules.len(), rules.ev_rules.len(), rules.static_rules.len());
+        let mut plan = CompiledPlan {
+            slots,
+            instrs,
+            levels,
+            ev_bodies,
+            sf_bodies,
+            static_bodies,
+            relation_syms,
+            builtin_syms,
+            rule_counts,
+            signature: 0,
+        };
+        plan.signature = plan.fingerprint();
+        Arc::new(plan)
+    }
+
+    /// A deterministic fingerprint of the plan's structure: two plans
+    /// compiled from the same rule set have equal signatures, which is how
+    /// checkpoint-restore tests prove the plan rebuilds identically.
+    pub fn signature(&self) -> u64 {
+        self.signature
+    }
+
+    /// Number of dense symbol slots.
+    pub fn n_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of strata in the instruction array.
+    pub fn n_strata(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Number of dependency levels (independent strata share a level).
+    pub fn n_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Validates that this plan was compiled from a rule set with the same
+    /// stratification as `rules` (used when sharing one plan across shard
+    /// replicas / region engines).
+    pub(crate) fn matches(&self, rules: &RuleSet) -> Result<(), String> {
+        if rules.strata.len() != self.instrs.len() {
+            return Err(format!(
+                "plan has {} strata, rule set has {}",
+                self.instrs.len(),
+                rules.strata.len()
+            ));
+        }
+        let counts = (rules.sf_rules.len(), rules.ev_rules.len(), rules.static_rules.len());
+        if counts != self.rule_counts {
+            return Err(format!(
+                "plan rule counts {:?} do not match rule set {:?}",
+                self.rule_counts, counts
+            ));
+        }
+        for instr in &self.instrs {
+            let s = &rules.strata[instr.si as usize];
+            if s.symbol != instr.symbol || s.kind != instr.kind {
+                return Err(format!(
+                    "stratum {} is `{}` in the plan but `{}` in the rule set",
+                    instr.si, instr.symbol, s.symbol
+                ));
+            }
+            if s.rule_indices.len() != instr.rules.len()
+                || s.rule_indices.iter().zip(&instr.rules).any(|(&a, &b)| a as u32 != b)
+            {
+                return Err(format!("stratum `{}` has different rule indices", instr.symbol));
+            }
+        }
+        Ok(())
+    }
+
+    fn fingerprint(&self) -> u64 {
+        // FNV-1a over the structural facts that define the plan.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(&(self.slots.len() as u64).to_le_bytes());
+        for instr in &self.instrs {
+            eat(instr.symbol.as_str().as_bytes());
+            eat(&[match instr.kind {
+                HeadKind::Event => 0,
+                HeadKind::SimpleFluent => 1,
+                HeadKind::StaticFluent => 2,
+            }]);
+            eat(&instr.si.to_le_bytes());
+            eat(&instr.slot.to_le_bytes());
+            for &r in &instr.rules {
+                eat(&r.to_le_bytes());
+            }
+            for &d in &instr.dep_slots {
+                eat(&d.to_le_bytes());
+            }
+            eat(&[u8::from(instr.pivotable), u8::from(instr.static_pure)]);
+        }
+        for (i, range) in self.levels.iter().enumerate() {
+            eat(&(i as u32).to_le_bytes());
+            eat(&(range.len() as u32).to_le_bytes());
+        }
+        h
+    }
+}
+
+impl std::fmt::Debug for CompiledPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledPlan")
+            .field("slots", &self.slots.len())
+            .field("strata", &self.instrs.len())
+            .field("levels", &self.levels.len())
+            .field("signature", &format_args!("{:016x}", self.signature))
+            .finish()
+    }
+}
+
+/// Whether pivoted (delta-bounded) evaluation is complete for `body` —
+/// the same predicate the interpreter uses (see `engine::body_pivotable`),
+/// duplicated here so the compile pass is self-contained.
+fn body_pivotable(body: &[BodyAtom]) -> bool {
+    let mut happens_times: Vec<VarId> = Vec::new();
+    for atom in body {
+        match atom {
+            BodyAtom::Happens { time, .. } => happens_times.push(*time),
+            BodyAtom::Holds { time, .. } if !happens_times.contains(time) => return false,
+            _ => {}
+        }
+    }
+    true
+}
+
+fn with_role(atom: CAtom, role: HappensRole) -> CAtom {
+    match atom {
+        CAtom::Happens { slot, pat, time, .. } => CAtom::Happens { slot, pat, time, role },
+        other => other,
+    }
+}
+
+fn lower_atom(
+    atom: &BodyAtom,
+    rules: &RuleSet,
+    slots: &SlotMap,
+    rel_idx: &HashMap<Symbol, u32>,
+    bi_idx: &HashMap<Symbol, u32>,
+) -> CAtom {
+    match atom {
+        BodyAtom::Happens { pat, time } => CAtom::Happens {
+            slot: slots.slot(pat.kind).expect("event kind declared or derived"),
+            pat: pat.clone(),
+            time: *time,
+            role: HappensRole::Free,
+        },
+        BodyAtom::Holds { pat, time, negated } => {
+            let slot = slots.slot(pat.name).expect("fluent declared or derived");
+            if rules.input_fluents.contains_key(&pat.name) {
+                CAtom::HoldsInput { slot, pat: pat.clone(), time: *time, negated: *negated }
+            } else {
+                CAtom::HoldsDerived { slot, pat: pat.clone(), time: *time, negated: *negated }
+            }
+        }
+        BodyAtom::Relation { name, args } => CAtom::Relation {
+            idx: *rel_idx.get(name).expect("relation declared"),
+            args: args.clone(),
+        },
+        BodyAtom::Builtin { name, args } => {
+            CAtom::Builtin { idx: *bi_idx.get(name).expect("builtin declared"), args: args.clone() }
+        }
+        BodyAtom::Guard(g) => CAtom::Guard(g.clone()),
+    }
+}
+
+fn lower_expr(expr: &IntervalExpr, slots: &SlotMap) -> CIntervalExpr {
+    match expr {
+        IntervalExpr::Fluent(pat) => CIntervalExpr::Fluent {
+            slot: slots.slot(pat.name).expect("fluent declared or derived"),
+            pat: pat.clone(),
+        },
+        IntervalExpr::Union(es) => {
+            CIntervalExpr::Union(es.iter().map(|e| lower_expr(e, slots)).collect())
+        }
+        IntervalExpr::Intersect(es) => {
+            CIntervalExpr::Intersect(es.iter().map(|e| lower_expr(e, slots)).collect())
+        }
+        IntervalExpr::RelComp(base, subs) => CIntervalExpr::RelComp(
+            Box::new(lower_expr(base, slots)),
+            subs.iter().map(|e| lower_expr(e, slots)).collect(),
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slot-indexed window stores
+// ---------------------------------------------------------------------------
+
+/// Events of one kind, sorted by time, with a sorted `(first-arg, index)`
+/// side table replacing the interpreter's per-kind `HashMap<Term, Vec<u32>>`
+/// (binary search instead of hashing).
+#[derive(Default)]
+pub(crate) struct CEventKind {
+    pub(crate) items: Vec<Event>,
+    by_first: Vec<(Term, u32)>,
+}
+
+impl CEventKind {
+    fn rebuild(&mut self) {
+        self.items.sort_by_key(|e| e.time);
+        self.by_first.clear();
+        for (i, e) in self.items.iter().enumerate() {
+            if let Some(first) = e.args.first() {
+                self.by_first.push((first.clone(), i as u32));
+            }
+        }
+        // Items are already time-sorted, so a stable sort by term keeps each
+        // term's index run time-sorted too.
+        self.by_first.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+
+    /// Indices of items whose first argument equals `t` and whose time is in
+    /// `[lo, hi]`.
+    fn first_range(&self, t: &Term, lo: Time, hi: Time) -> &[(Term, u32)] {
+        let a = self
+            .by_first
+            .partition_point(|(k, i)| k < t || (k == t && self.items[*i as usize].time < lo));
+        let z = self
+            .by_first
+            .partition_point(|(k, i)| k < t || (k == t && self.items[*i as usize].time <= hi));
+        &self.by_first[a..z]
+    }
+}
+
+/// All window events, slot-indexed by kind.
+pub(crate) struct CEventStore {
+    kinds: Vec<CEventKind>,
+}
+
+impl CEventStore {
+    pub(crate) fn build(n_slots: usize, events: Vec<Event>, slots: &SlotMap) -> CEventStore {
+        let mut kinds: Vec<CEventKind> = Vec::with_capacity(n_slots);
+        kinds.resize_with(n_slots, CEventKind::default);
+        let mut touched: Vec<bool> = vec![false; n_slots];
+        for e in events {
+            let slot = slots.slot(e.kind).expect("declared input event has a slot") as usize;
+            kinds[slot].items.push(e);
+            touched[slot] = true;
+        }
+        for (k, t) in kinds.iter_mut().zip(&touched) {
+            if *t {
+                k.rebuild();
+            }
+        }
+        CEventStore { kinds }
+    }
+
+    pub(crate) fn add_derived(&mut self, slot: SlotId, events: &[Event]) {
+        if events.is_empty() {
+            return;
+        }
+        let k = &mut self.kinds[slot as usize];
+        k.items.extend(events.iter().cloned());
+        k.rebuild();
+    }
+}
+
+/// Input fluent observations of one name, sorted by time.
+#[derive(Default)]
+pub(crate) struct CObsKind {
+    items: Vec<FluentObs>,
+}
+
+impl CObsKind {
+    fn range_at(&self, t: Time) -> &[FluentObs] {
+        let lo = self.items.partition_point(|o| o.time < t);
+        let hi = self.items.partition_point(|o| o.time <= t);
+        &self.items[lo..hi]
+    }
+}
+
+/// All window observations, slot-indexed by fluent name.
+pub(crate) struct CObsStore {
+    kinds: Vec<CObsKind>,
+}
+
+impl CObsStore {
+    pub(crate) fn build(n_slots: usize, obs: Vec<FluentObs>, slots: &SlotMap) -> CObsStore {
+        let mut kinds: Vec<CObsKind> = Vec::with_capacity(n_slots);
+        kinds.resize_with(n_slots, CObsKind::default);
+        let mut touched: Vec<bool> = vec![false; n_slots];
+        for o in obs {
+            let slot = slots.slot(o.name).expect("declared input fluent has a slot") as usize;
+            kinds[slot].items.push(o);
+            touched[slot] = true;
+        }
+        for (k, t) in kinds.iter_mut().zip(&touched) {
+            if *t {
+                k.items.sort_by_key(|o| o.time);
+            }
+        }
+        CObsStore { kinds }
+    }
+}
+
+/// Derived fluent groundings of one name with a sorted first-arg side table.
+#[derive(Default)]
+pub(crate) struct CFluentSlot {
+    pub(crate) entries: Vec<FluentEntry>,
+    by_first: Vec<(Term, u32)>,
+}
+
+impl CFluentSlot {
+    fn first_indices(&self, t: &Term) -> &[(Term, u32)] {
+        let a = self.by_first.partition_point(|(k, _)| k < t);
+        let z = self.by_first.partition_point(|(k, _)| k <= t);
+        &self.by_first[a..z]
+    }
+}
+
+/// All derived fluent groundings computed so far this window, slot-indexed.
+pub(crate) struct CFluentStore {
+    slots: Vec<CFluentSlot>,
+}
+
+impl CFluentStore {
+    pub(crate) fn new(n_slots: usize) -> CFluentStore {
+        let mut slots = Vec::with_capacity(n_slots);
+        slots.resize_with(n_slots, CFluentSlot::default);
+        CFluentStore { slots }
+    }
+
+    /// Appends one stratum's output entries and rebuilds the slot's
+    /// first-arg index (once per stratum, not per lookup).
+    pub(crate) fn insert_entries<'a>(
+        &mut self,
+        slot: SlotId,
+        entries: impl Iterator<Item = &'a FluentEntry>,
+    ) {
+        let fs = &mut self.slots[slot as usize];
+        for e in entries {
+            if let Some(first) = e.args.first() {
+                fs.by_first.push((first.clone(), fs.entries.len() as u32));
+            }
+            fs.entries.push(e.clone());
+        }
+        fs.by_first.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    }
+}
+
+/// The compiled evaluation context: dense stores plus dense operand tables.
+pub(crate) struct CCtx<'a> {
+    pub(crate) events: &'a CEventStore,
+    pub(crate) obs: &'a CObsStore,
+    pub(crate) fluents: &'a CFluentStore,
+    pub(crate) relations: &'a [Vec<Vec<Term>>],
+    pub(crate) builtins: &'a [Option<BuiltinFn>],
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread scratch arena
+// ---------------------------------------------------------------------------
+
+/// Reusable per-thread evaluation scratch: the bindings environment, the
+/// evidence-span stack, the binding trail, the builtin argument buffer and
+/// the inertia point-split buffers. All buffers retain their capacity across
+/// windows, so steady-state evaluation performs **zero** allocations here —
+/// [`scratch_allocations`] counts every capacity growth so tests can prove
+/// it.
+pub(crate) struct SolveScratch {
+    pub(crate) b: Bindings,
+    pub(crate) spans: Vec<Time>,
+    pub(crate) trail: Vec<VarId>,
+    pub(crate) args_buf: Vec<Term>,
+    pub(crate) inits: Vec<Time>,
+    pub(crate) terms: Vec<Time>,
+    active: bool,
+    allocations: u64,
+}
+
+impl SolveScratch {
+    fn new() -> SolveScratch {
+        SolveScratch {
+            b: Bindings::new(0),
+            spans: Vec::new(),
+            trail: Vec::new(),
+            args_buf: Vec::new(),
+            inits: Vec::new(),
+            terms: Vec::new(),
+            active: false,
+            allocations: 0,
+        }
+    }
+
+    fn capacities(&self) -> [usize; 6] {
+        [
+            self.b.capacity(),
+            self.spans.capacity(),
+            self.trail.capacity(),
+            self.args_buf.capacity(),
+            self.inits.capacity(),
+            self.terms.capacity(),
+        ]
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<SolveScratch> = RefCell::new(SolveScratch::new());
+}
+
+/// Runs `f` with this thread's solve scratch checked out. Balanced and
+/// non-reentrant by construction (`RefCell` + debug guard); capacity growth
+/// during `f` is charged to the allocation counter.
+pub(crate) fn with_scratch<R>(f: impl FnOnce(&mut SolveScratch) -> R) -> R {
+    SCRATCH.with(|cell| {
+        let mut s = cell.borrow_mut();
+        debug_assert!(!s.active, "solve scratch checked out twice");
+        s.active = true;
+        let before = s.capacities();
+        let r = f(&mut s);
+        let after = s.capacities();
+        s.allocations += before.iter().zip(&after).filter(|(b, a)| a > b).count() as u64;
+        debug_assert!(s.active, "solve scratch released early");
+        s.active = false;
+        debug_assert!(s.trail.is_empty(), "binding trail must unwind fully");
+        debug_assert!(s.spans.is_empty(), "evidence spans must unwind fully");
+        r
+    })
+}
+
+/// Number of scratch-arena allocations (buffer growths) performed by the
+/// calling thread's compiled evaluation so far. Steady-state compiled
+/// windows leave this counter unchanged — the hot-path allocation
+/// regression test asserts exactly that.
+pub fn scratch_allocations() -> u64 {
+    SCRATCH.with(|cell| cell.borrow().allocations)
+}
+
+// ---------------------------------------------------------------------------
+// The compiled solver
+// ---------------------------------------------------------------------------
+
+/// Solves one lowered body relative to a change frontier: the full program
+/// when the frontier is at or below the window start, otherwise one pivot
+/// program per happens atom (the PR 4 delta-bounding contract, with roles
+/// baked into the instruction stream instead of a per-call role vector).
+pub(crate) fn solve_frontier_c(
+    ctx: &CCtx<'_>,
+    body: &CBody,
+    n_vars: usize,
+    frontier: Time,
+    window_start: Time,
+    out: &mut dyn FnMut(&mut Bindings, &[Time]),
+) {
+    with_scratch(|s| {
+        if frontier <= window_start {
+            s.b.reset(n_vars);
+            let SolveScratch { b, spans, trail, args_buf, .. } = s;
+            solve_c(ctx, &body.full, TIME_MIN, b, spans, trail, args_buf, out);
+        } else {
+            for prog in &body.pivots {
+                s.b.reset(n_vars);
+                let SolveScratch { b, spans, trail, args_buf, .. } = s;
+                solve_c(ctx, prog, frontier, b, spans, trail, args_buf, out);
+            }
+        }
+    });
+}
+
+/// Fully solves a static rule's lowered domain program (statics never
+/// delta-bound — expiry can shrink event-driven domains silently).
+pub(crate) fn solve_domain_c(
+    ctx: &CCtx<'_>,
+    atoms: &[CAtom],
+    n_vars: usize,
+    out: &mut dyn FnMut(&mut Bindings, &[Time]),
+) {
+    with_scratch(|s| {
+        s.b.reset(n_vars);
+        let SolveScratch { b, spans, trail, args_buf, .. } = s;
+        solve_c(ctx, atoms, TIME_MIN, b, spans, trail, args_buf, out);
+    });
+}
+
+/// Splits a set of `(time, is_initiation)` points into the scratch
+/// init/term buffers and builds the inertia intervals — the compiled
+/// equivalent of the interpreter's thread-local `POINT_SCRATCH`.
+pub(crate) fn intervals_from_points(
+    points: impl Iterator<Item = (Time, bool)>,
+    initially: bool,
+    start: Time,
+) -> crate::interval::IntervalList {
+    with_scratch(|s| {
+        s.inits.clear();
+        s.terms.clear();
+        for (t, init) in points {
+            if init {
+                s.inits.push(t);
+            } else {
+                s.terms.push(t);
+            }
+        }
+        crate::interval::IntervalList::from_points(&s.inits, &s.terms, initially, start)
+    })
+}
+
+/// Matches one event against a pattern + time variable using the binding
+/// trail; on success calls `k`, then rolls everything back.
+fn with_event_match_c(
+    pat: &EventPattern,
+    time: VarId,
+    e: &Event,
+    b: &mut Bindings,
+    trail: &mut Vec<VarId>,
+    k: &mut dyn FnMut(&mut Bindings, &mut Vec<VarId>),
+) {
+    let t_term = Term::Int(e.time);
+    let time_was_bound = b.is_bound(time);
+    if time_was_bound {
+        if b.get(time) != Some(&t_term) {
+            return;
+        }
+    } else if !b.bind(time, &t_term) {
+        return;
+    }
+    let mark = trail.len();
+    if match_args_trail(&pat.args, &e.args, b, trail) {
+        k(b, trail);
+        undo_trail(trail, mark, b);
+    }
+    if !time_was_bound {
+        b.unbind(time);
+    }
+}
+
+/// Matches a fluent pattern against `(args, value)` using the trail; calls
+/// `k` on success and rolls back afterwards.
+fn with_fluent_match_c(
+    pat: &FluentPattern,
+    args: &[Term],
+    value: &Term,
+    b: &mut Bindings,
+    trail: &mut Vec<VarId>,
+    k: &mut dyn FnMut(&mut Bindings, &mut Vec<VarId>),
+) {
+    let mark = trail.len();
+    if match_args_trail(&pat.args, args, b, trail) {
+        if match_args_trail(std::slice::from_ref(&pat.value), std::slice::from_ref(value), b, trail)
+        {
+            k(b, trail);
+        }
+        undo_trail(trail, mark, b);
+    }
+}
+
+/// Whether a fluent pattern matches `(args, value)`; always rolls back.
+fn fluent_matches_c(
+    pat: &FluentPattern,
+    args: &[Term],
+    value: &Term,
+    b: &mut Bindings,
+    trail: &mut Vec<VarId>,
+) -> bool {
+    let mark = trail.len();
+    let mut hit = false;
+    with_fluent_match_c(pat, args, value, b, trail, &mut |_, _| hit = true);
+    debug_assert_eq!(trail.len(), mark);
+    hit
+}
+
+/// Depth-first resolution of one compiled program — the allocation-free
+/// twin of the interpreter's `solve_spanned`: roles come baked into the
+/// `Happens` operands, symbol lookups are slot-indexed array reads, newly
+/// bound variables go onto the shared trail, and builtin arguments resolve
+/// into a reusable buffer.
+#[allow(clippy::too_many_arguments)]
+fn solve_c(
+    ctx: &CCtx<'_>,
+    atoms: &[CAtom],
+    frontier: Time,
+    b: &mut Bindings,
+    spans: &mut Vec<Time>,
+    trail: &mut Vec<VarId>,
+    args_buf: &mut Vec<Term>,
+    out: &mut dyn FnMut(&mut Bindings, &[Time]),
+) {
+    let Some((atom, rest)) = atoms.split_first() else {
+        out(b, spans);
+        return;
+    };
+    match atom {
+        CAtom::Happens { slot, pat, time, role } => {
+            let ks = &ctx.events.kinds[*slot as usize];
+            if ks.items.is_empty() {
+                return;
+            }
+            let (lo, hi) = match role {
+                HappensRole::Pivot => (frontier, TIME_MAX),
+                HappensRole::Before => (TIME_MIN, frontier.saturating_sub(1)),
+                HappensRole::Free => (TIME_MIN, TIME_MAX),
+            };
+            if lo > hi {
+                return;
+            }
+            if let Some(t) = b.get(*time).and_then(term_time) {
+                if t < lo || t > hi {
+                    return;
+                }
+                let a = ks.items.partition_point(|e| e.time < t);
+                let z = ks.items.partition_point(|e| e.time <= t);
+                for i in a..z {
+                    let e = &ks.items[i];
+                    spans.push(e.time);
+                    with_event_match_c(pat, *time, e, b, trail, &mut |b, trail| {
+                        solve_c(ctx, rest, frontier, b, spans, trail, args_buf, out)
+                    });
+                    spans.pop();
+                }
+            } else {
+                // Narrow by a bound first argument where possible. Terms are
+                // fully inline (no heap), so this clone is free.
+                let first_bound: Option<Term> = match pat.args.first() {
+                    Some(ArgPat::Const(c)) => Some(c.clone()),
+                    Some(ArgPat::Var(v)) => b.get(*v).cloned(),
+                    _ => None,
+                };
+                match first_bound {
+                    Some(first) => {
+                        for &(_, idx) in ks.first_range(&first, lo, hi) {
+                            let e = &ks.items[idx as usize];
+                            spans.push(e.time);
+                            with_event_match_c(pat, *time, e, b, trail, &mut |b, trail| {
+                                solve_c(ctx, rest, frontier, b, spans, trail, args_buf, out)
+                            });
+                            spans.pop();
+                        }
+                    }
+                    None => {
+                        let a = ks.items.partition_point(|e| e.time < lo);
+                        let z = ks.items.partition_point(|e| e.time <= hi);
+                        for i in a..z {
+                            let e = &ks.items[i];
+                            spans.push(e.time);
+                            with_event_match_c(pat, *time, e, b, trail, &mut |b, trail| {
+                                solve_c(ctx, rest, frontier, b, spans, trail, args_buf, out)
+                            });
+                            spans.pop();
+                        }
+                    }
+                }
+            }
+        }
+        CAtom::HoldsInput { slot, pat, time, negated } => {
+            let Some(t) = b.get(*time).and_then(term_time) else { return };
+            spans.push(t);
+            let ks = &ctx.obs.kinds[*slot as usize];
+            let candidates = ks.range_at(t);
+            if *negated {
+                let exists =
+                    candidates.iter().any(|o| fluent_matches_c(pat, &o.args, &o.value, b, trail));
+                if !exists {
+                    solve_c(ctx, rest, frontier, b, spans, trail, args_buf, out);
+                }
+            } else {
+                for o in candidates {
+                    with_fluent_match_c(pat, &o.args, &o.value, b, trail, &mut |b, trail| {
+                        solve_c(ctx, rest, frontier, b, spans, trail, args_buf, out)
+                    });
+                }
+            }
+            spans.pop();
+        }
+        CAtom::HoldsDerived { slot, pat, time, negated } => {
+            let Some(t) = b.get(*time).and_then(term_time) else { return };
+            spans.push(t);
+            let fs = &ctx.fluents.slots[*slot as usize];
+            let first_bound: Option<Term> = match pat.args.first() {
+                Some(ArgPat::Const(c)) => Some(c.clone()),
+                Some(ArgPat::Var(v)) => b.get(*v).cloned(),
+                _ => None,
+            };
+            if *negated {
+                let exists = match &first_bound {
+                    Some(first) => fs.first_indices(first).iter().any(|&(_, i)| {
+                        let e = &fs.entries[i as usize];
+                        e.ivs.contains(t) && fluent_matches_c(pat, &e.args, &e.value, b, trail)
+                    }),
+                    None => fs.entries.iter().any(|e| {
+                        e.ivs.contains(t) && fluent_matches_c(pat, &e.args, &e.value, b, trail)
+                    }),
+                };
+                if !exists {
+                    solve_c(ctx, rest, frontier, b, spans, trail, args_buf, out);
+                }
+            } else {
+                match &first_bound {
+                    Some(first) => {
+                        for &(_, idx) in fs.first_indices(first) {
+                            let e = &fs.entries[idx as usize];
+                            if !e.ivs.contains(t) {
+                                continue;
+                            }
+                            with_fluent_match_c(
+                                pat,
+                                &e.args,
+                                &e.value,
+                                b,
+                                trail,
+                                &mut |b, trail| {
+                                    solve_c(ctx, rest, frontier, b, spans, trail, args_buf, out)
+                                },
+                            );
+                        }
+                    }
+                    None => {
+                        for e in &fs.entries {
+                            if !e.ivs.contains(t) {
+                                continue;
+                            }
+                            with_fluent_match_c(
+                                pat,
+                                &e.args,
+                                &e.value,
+                                b,
+                                trail,
+                                &mut |b, trail| {
+                                    solve_c(ctx, rest, frontier, b, spans, trail, args_buf, out)
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            spans.pop();
+        }
+        CAtom::Relation { idx, args } => {
+            let tuples = &ctx.relations[*idx as usize];
+            let mark = trail.len();
+            for tuple in tuples {
+                if match_args_trail(args, tuple, b, trail) {
+                    solve_c(ctx, rest, frontier, b, spans, trail, args_buf, out);
+                    undo_trail(trail, mark, b);
+                }
+            }
+        }
+        CAtom::Builtin { idx, args } => {
+            let Some(f) = ctx.builtins[*idx as usize].as_ref() else { return };
+            args_buf.clear();
+            for a in args {
+                match resolve(a, b) {
+                    Some(t) => args_buf.push(t),
+                    None => {
+                        args_buf.clear();
+                        return;
+                    }
+                }
+            }
+            let ok = f(args_buf);
+            // Cleared before recursing so a later builtin in `rest` can
+            // reuse the same buffer.
+            args_buf.clear();
+            if ok {
+                solve_c(ctx, rest, frontier, b, spans, trail, args_buf, out);
+            }
+        }
+        CAtom::Guard(g) => {
+            if eval_guard(g, b) {
+                solve_c(ctx, rest, frontier, b, spans, trail, args_buf, out);
+            }
+        }
+    }
+}
+
+/// Evaluates a lowered interval expression under one solution environment —
+/// the compiled twin of the interpreter's `eval_interval_expr`, probing
+/// entries through the trail instead of cloning the environment per entry.
+pub(crate) fn eval_interval_expr_c(
+    expr: &CIntervalExpr,
+    b: &mut Bindings,
+    trail: &mut Vec<VarId>,
+    fluents: &CFluentStore,
+) -> crate::interval::IntervalList {
+    use crate::interval::IntervalList;
+    match expr {
+        CIntervalExpr::Fluent { slot, pat } => {
+            let fs = &fluents.slots[*slot as usize];
+            let mut acc: Vec<&IntervalList> = Vec::new();
+            for e in &fs.entries {
+                if fluent_matches_c(pat, &e.args, &e.value, b, trail) {
+                    acc.push(&e.ivs);
+                }
+            }
+            IntervalList::union_all(acc)
+        }
+        CIntervalExpr::Union(es) => {
+            let lists: Vec<IntervalList> =
+                es.iter().map(|e| eval_interval_expr_c(e, b, trail, fluents)).collect();
+            IntervalList::union_all(lists.iter())
+        }
+        CIntervalExpr::Intersect(es) => {
+            let lists: Vec<IntervalList> =
+                es.iter().map(|e| eval_interval_expr_c(e, b, trail, fluents)).collect();
+            IntervalList::intersect_all(lists.iter())
+        }
+        CIntervalExpr::RelComp(base, subs) => {
+            let base_l = eval_interval_expr_c(base, b, trail, fluents);
+            let sub_ls: Vec<IntervalList> =
+                subs.iter().map(|e| eval_interval_expr_c(e, b, trail, fluents)).collect();
+            IntervalList::relative_complement_all(&base_l, sub_ls.iter())
+        }
+    }
+}

@@ -308,7 +308,7 @@ struct Seen<T> {
 /// (`span_max < frontier`), because everything the body consulted at those
 /// times is unchanged.
 #[derive(Clone)]
-struct CachedDeriv {
+pub(crate) struct CachedDeriv {
     args: Vec<Term>,
     time: Time,
     span_min: Time,
@@ -327,8 +327,8 @@ struct CachedPoint {
 
 /// Role of a body atom inside one pivoted evaluation plan (see
 /// [`pivot_plans`]). Only `Happens` atoms carry a non-`Free` role.
-#[derive(Clone, Copy)]
-enum HappensRole {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum HappensRole {
     /// The pivot: its event time must be `>= frontier`.
     Pivot,
     /// A happens atom preceding the pivot in the original body: its event
@@ -457,6 +457,17 @@ pub struct Engine {
     dirty_all: bool,
     incremental: bool,
     parallel_strata: bool,
+    /// The compiled execution plan, present once [`Engine::set_compiled`] or
+    /// [`Engine::set_compiled_plan`] has been called. Derived state: never
+    /// serialised, rebuilt deterministically from the rule set.
+    plan: Option<Arc<crate::compile::CompiledPlan>>,
+    /// Whether queries run on the compiled plan (the interpreter remains
+    /// available as the differential reference).
+    compiled: bool,
+    /// Relation tuples in the plan's dense index order.
+    relations_dense: Vec<Vec<Vec<Term>>>,
+    /// Builtin implementations in the plan's dense index order.
+    builtins_dense: Vec<Option<BuiltinFn>>,
 }
 
 struct EvalCtx<'a> {
@@ -574,6 +585,10 @@ impl Engine {
             dirty_all: false,
             incremental: true,
             parallel_strata: true,
+            plan: None,
+            compiled: false,
+            relations_dense: Vec::new(),
+            builtins_dense: Vec::new(),
         }
     }
 
@@ -594,6 +609,76 @@ impl Engine {
     /// behaviour), and only for levels holding more than one stratum.
     pub fn set_parallel_strata(&mut self, on: bool) {
         self.parallel_strata = on;
+    }
+
+    /// Switches query evaluation onto the compiled execution plan (or back
+    /// to the interpreter with `false`).
+    ///
+    /// The first `set_compiled(true)` compiles the engine's rule set into a
+    /// [`crate::compile::CompiledPlan`]; the plan is retained across
+    /// toggles. Compiled and interpreted evaluation are output-identical —
+    /// the interpreter stays available as the differential reference — and
+    /// their caches share one format, but a mode switch still marks the
+    /// engine dirty so the next query re-derives from scratch, keeping the
+    /// equivalence contract independent of cache contents.
+    pub fn set_compiled(&mut self, on: bool) {
+        if on && self.plan.is_none() {
+            let plan = crate::compile::CompiledPlan::compile(&self.ruleset);
+            self.install_plan(plan).expect("a plan compiled from the engine's own rule set fits");
+        }
+        if on != self.compiled {
+            self.dirty_all = true;
+        }
+        self.compiled = on;
+    }
+
+    /// Installs a pre-compiled plan (e.g. one `Arc` shared across shard
+    /// replicas or region engines) and switches compiled evaluation on.
+    ///
+    /// Fails with [`RtecError::PlanMismatch`] when the plan was not compiled
+    /// from a rule set with this engine's stratification.
+    pub fn set_compiled_plan(
+        &mut self,
+        plan: Arc<crate::compile::CompiledPlan>,
+    ) -> Result<(), RtecError> {
+        self.install_plan(plan)?;
+        if !self.compiled {
+            self.dirty_all = true;
+        }
+        self.compiled = true;
+        Ok(())
+    }
+
+    /// Whether queries currently run on the compiled plan.
+    pub fn is_compiled(&self) -> bool {
+        self.compiled
+    }
+
+    /// The installed compiled plan, if any (clone the `Arc` to share it with
+    /// other engines built from the same rule set).
+    pub fn compiled_plan(&self) -> Option<&Arc<crate::compile::CompiledPlan>> {
+        self.plan.as_ref()
+    }
+
+    fn install_plan(&mut self, plan: Arc<crate::compile::CompiledPlan>) -> Result<(), RtecError> {
+        plan.matches(&self.ruleset).map_err(|detail| RtecError::PlanMismatch { detail })?;
+        self.plan = Some(plan);
+        self.refresh_dense_tables();
+        Ok(())
+    }
+
+    /// Rebuilds the dense relation/builtin operand tables the compiled
+    /// solver indexes into. Cheap and rare: only on plan install and on
+    /// relation/builtin registration (which dirty every cache anyway).
+    fn refresh_dense_tables(&mut self) {
+        let Some(plan) = &self.plan else { return };
+        self.relations_dense = plan
+            .relation_syms
+            .iter()
+            .map(|s| self.relations.get(s).cloned().unwrap_or_default())
+            .collect();
+        self.builtins_dense =
+            plan.builtin_syms.iter().map(|s| self.builtins.get(s).cloned()).collect();
     }
 
     /// The window configuration.
@@ -618,6 +703,7 @@ impl Engine {
         self.builtins.insert(sym, Arc::new(f));
         // Builtin results are outside frontier tracking; invalidate caches.
         self.dirty_all = true;
+        self.refresh_dense_tables();
         Ok(())
     }
 
@@ -639,6 +725,7 @@ impl Engine {
         self.relations.insert(sym, tuples);
         // Relation tuples are outside frontier tracking; invalidate caches.
         self.dirty_all = true;
+        self.refresh_dense_tables();
         Ok(())
     }
 
@@ -738,6 +825,9 @@ impl Engine {
             if !self.builtins.contains_key(name) {
                 return Err(RtecError::UnknownBuiltin { name: name.as_str().to_string() });
             }
+        }
+        if self.compiled {
+            return self.query_compiled(q);
         }
 
         let query_started = std::time::Instant::now();
@@ -1209,6 +1299,458 @@ impl Engine {
         }
     }
 
+    /// The compiled twin of [`Engine::query`]'s main loop: identical window
+    /// selection, frontier seeding and merge order, but evaluation walks the
+    /// plan's flat instruction array over slot-indexed stores — array reads
+    /// and binary searches instead of string/hash lookups, with all solver
+    /// scratch drawn from the per-thread arena (zero steady-state
+    /// allocations, zero locks).
+    fn query_compiled(&mut self, q: Time) -> Result<Recognition, RtecError> {
+        let plan = Arc::clone(self.plan.as_ref().expect("compiled mode implies a plan"));
+        let query_started = std::time::Instant::now();
+        let start = self.window.window_start(q);
+        let n_slots = plan.n_slots();
+
+        // Slot-indexed change frontiers (TIME_MAX = clean), replacing the
+        // interpreter's per-symbol hash map.
+        let mut frontiers: Vec<Time> = vec![TIME_MAX; n_slots];
+        let mut visible_events: Vec<Event> = Vec::new();
+        for s in &mut self.buffered_events {
+            if s.item.arrival <= q && s.item.item.time > start && s.item.item.time <= q {
+                if !s.seen {
+                    s.seen = true;
+                    let slot =
+                        plan.slots.slot(s.item.item.kind).expect("declared input event has a slot")
+                            as usize;
+                    frontiers[slot] = frontiers[slot].min(s.item.item.time);
+                }
+                visible_events.push(s.item.item.clone());
+            }
+        }
+        let mut visible_obs: Vec<FluentObs> = Vec::new();
+        for s in &mut self.buffered_obs {
+            if s.item.arrival <= q && s.item.item.time > start && s.item.item.time <= q {
+                if !s.seen {
+                    s.seen = true;
+                    let slot = plan
+                        .slots
+                        .slot(s.item.item.name)
+                        .expect("declared input fluent has a slot")
+                        as usize;
+                    frontiers[slot] = frontiers[slot].min(s.item.item.time);
+                }
+                visible_obs.push(s.item.item.clone());
+            }
+        }
+        let sde_count = visible_events.len() + visible_obs.len();
+
+        self.buffered_events.retain(|s| s.item.item.time > start);
+        self.buffered_obs.retain(|s| s.item.item.time > start);
+
+        let full_eval = !self.incremental || self.first_query.is_none() || self.dirty_all;
+        self.dirty_all = false;
+        let window_advanced =
+            self.last_query.is_some_and(|prev| self.window.window_start(prev) < start);
+
+        let mut events = crate::compile::CEventStore::build(n_slots, visible_events, &plan.slots);
+        let obs = crate::compile::CObsStore::build(n_slots, visible_obs, &plan.slots);
+        let windowing = query_started.elapsed();
+        let evaluation_started = std::time::Instant::now();
+        let mut fluents = FluentStore::default();
+        let mut cfluents = crate::compile::CFluentStore::new(n_slots);
+        let mut derived_events_all: Vec<Event> = Vec::new();
+
+        let mut new_event_cache: HashMap<Symbol, Vec<CachedDeriv>> = HashMap::new();
+        let mut new_points_cache: PointsCache = HashMap::new();
+        let mut new_prev_fluents: HashMap<FluentKey, IntervalList> = HashMap::new();
+        let mut new_prev_static: HashMap<FluentKey, IntervalList> = HashMap::new();
+        let mut strata_evaluated = 0usize;
+        let mut groundings_recomputed = 0usize;
+
+        let parallel = self.parallel_strata && self.incremental;
+        for range in &plan.levels {
+            let instrs = &plan.instrs[range.clone()];
+            let level_frontiers: Vec<Time> = instrs
+                .iter()
+                .map(|instr| {
+                    let mut frontier = if full_eval {
+                        TIME_MIN
+                    } else {
+                        instr
+                            .dep_slots
+                            .iter()
+                            .map(|&d| frontiers[d as usize])
+                            .min()
+                            .unwrap_or(TIME_MAX)
+                    };
+                    if !instr.pivotable && (window_advanced || frontier < TIME_MAX) {
+                        frontier = TIME_MIN;
+                    }
+                    frontier
+                })
+                .collect();
+            let ctx = crate::compile::CCtx {
+                events: &events,
+                obs: &obs,
+                fluents: &cfluents,
+                relations: &self.relations_dense,
+                builtins: &self.builtins_dense,
+            };
+            let outs: Vec<StratumOut> = if parallel && instrs.len() > 1 {
+                let this = &*self;
+                let ctx = &ctx;
+                let plan_ref = &plan;
+                let slots: Vec<std::sync::Mutex<Option<StratumOut>>> =
+                    instrs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+                crate::pool::run_tasks(instrs.len(), |i| {
+                    let out = this.eval_stratum_compiled(
+                        &instrs[i],
+                        plan_ref,
+                        level_frontiers[i],
+                        start,
+                        full_eval,
+                        ctx,
+                    );
+                    *slots[i].lock().unwrap() = Some(out);
+                });
+                slots
+                    .into_iter()
+                    .map(|s| s.into_inner().unwrap().expect("every stratum task filled its slot"))
+                    .collect()
+            } else {
+                instrs
+                    .iter()
+                    .zip(&level_frontiers)
+                    .map(|(instr, &fr)| {
+                        self.eval_stratum_compiled(instr, &plan, fr, start, full_eval, &ctx)
+                    })
+                    .collect()
+            };
+
+            for (instr, out) in instrs.iter().zip(outs) {
+                let sym = instr.symbol;
+                if out.evaluated {
+                    strata_evaluated += 1;
+                }
+                groundings_recomputed += out.groundings;
+                frontiers[instr.slot as usize] = out.frontier_out;
+                match out.kind {
+                    StratumOutKind::Event { new_derivs, new_mat } => {
+                        if !new_derivs.is_empty() {
+                            new_event_cache.insert(sym, new_derivs);
+                        }
+                        derived_events_all.extend(new_mat.iter().cloned());
+                        events.add_derived(instr.slot, &new_mat);
+                    }
+                    StratumOutKind::Simple { entries, new_pts_map } => {
+                        let mut batch: Vec<FluentEntry> = Vec::with_capacity(entries.len());
+                        for (args, value, ivs) in entries {
+                            new_prev_fluents
+                                .insert((sym, args.clone(), value.clone()), ivs.clone());
+                            batch.push(FluentEntry { args, value, ivs });
+                        }
+                        cfluents.insert_entries(instr.slot, batch.iter());
+                        for e in batch {
+                            fluents.insert(sym, e);
+                        }
+                        if !new_pts_map.is_empty() {
+                            new_points_cache.insert(sym, new_pts_map);
+                        }
+                    }
+                    StratumOutKind::Static { entries } => {
+                        let mut batch: Vec<FluentEntry> = Vec::with_capacity(entries.len());
+                        for (args, value, ivs) in entries {
+                            new_prev_static.insert((sym, args.clone(), value.clone()), ivs.clone());
+                            batch.push(FluentEntry { args, value, ivs });
+                        }
+                        cfluents.insert_entries(instr.slot, batch.iter());
+                        for e in batch {
+                            fluents.insert(sym, e);
+                        }
+                    }
+                }
+            }
+        }
+
+        self.event_cache = new_event_cache;
+        self.points_cache = new_points_cache;
+        self.prev_fluents = new_prev_fluents;
+        self.prev_static = new_prev_static;
+        self.last_query = Some(q);
+        if self.first_query.is_none() {
+            self.first_query = Some(q);
+        }
+
+        derived_events_all.sort_by_key(|a| (a.time, a.kind));
+        let evaluation = evaluation_started.elapsed();
+        Ok(Recognition {
+            derived_events: derived_events_all,
+            query_time: q,
+            window_start: start,
+            sde_count,
+            timing: QueryTiming {
+                total: query_started.elapsed(),
+                windowing,
+                evaluation,
+                strata_evaluated,
+                groundings_recomputed,
+            },
+            fluents,
+        })
+    }
+
+    /// Evaluates one compiled stratum instruction — the compiled twin of
+    /// [`Engine::eval_stratum`], sharing its survivor filtering, grounding
+    /// universe and divergence logic so both paths populate format-identical
+    /// caches (what makes mode toggling and checkpoint restore seamless).
+    fn eval_stratum_compiled(
+        &self,
+        instr: &crate::compile::StratumInstr,
+        plan: &crate::compile::CompiledPlan,
+        frontier: Time,
+        start: Time,
+        full_eval: bool,
+        ctx: &crate::compile::CCtx<'_>,
+    ) -> StratumOut {
+        match instr.kind {
+            HeadKind::Event => {
+                let old_derivs =
+                    self.event_cache.get(&instr.symbol).map(Vec::as_slice).unwrap_or(&[]);
+                let mut new_derivs: Vec<CachedDeriv> = old_derivs
+                    .iter()
+                    .filter(|d| d.span_min > start && d.span_max < frontier)
+                    .cloned()
+                    .collect();
+                let mut evaluated = false;
+                if frontier < TIME_MAX {
+                    evaluated = true;
+                    for &ri in &instr.rules {
+                        let rule = &self.ruleset.ev_rules[ri as usize];
+                        let body = &plan.ev_bodies[ri as usize];
+                        crate::compile::solve_frontier_c(
+                            ctx,
+                            body,
+                            rule.n_vars,
+                            frontier,
+                            start,
+                            &mut |b, spans| {
+                                let t = b
+                                    .get(rule.time)
+                                    .and_then(term_time)
+                                    .expect("head time bound (validated at build)");
+                                let args = instantiate_args(&rule.head.args, b);
+                                let (mn, mx) = span_bounds(spans);
+                                new_derivs.push(CachedDeriv {
+                                    args,
+                                    time: t,
+                                    span_min: mn,
+                                    span_max: mx,
+                                });
+                            },
+                        );
+                    }
+                }
+                let old_mat = materialized_events(old_derivs, instr.symbol, start);
+                let new_mat = materialized_events(&new_derivs, instr.symbol, start);
+                let frontier_out = first_event_divergence(&old_mat, &new_mat);
+                StratumOut {
+                    evaluated,
+                    groundings: 0,
+                    frontier_out,
+                    kind: StratumOutKind::Event { new_derivs, new_mat },
+                }
+            }
+            HeadKind::SimpleFluent => {
+                let sym = instr.symbol;
+                let mut entries: Vec<(Vec<Term>, Term, IntervalList)> = Vec::new();
+                let mut groundings = 0usize;
+                let mut evaluated = false;
+                let mut fresh: HashMap<(Vec<Term>, Term), Vec<CachedPoint>> = HashMap::new();
+                if frontier < TIME_MAX {
+                    evaluated = true;
+                    for &ri in &instr.rules {
+                        let rule = &self.ruleset.sf_rules[ri as usize];
+                        let body = &plan.sf_bodies[ri as usize];
+                        crate::compile::solve_frontier_c(
+                            ctx,
+                            body,
+                            rule.n_vars,
+                            frontier,
+                            start,
+                            &mut |b, spans| {
+                                let t = b
+                                    .get(rule.time)
+                                    .and_then(term_time)
+                                    .expect("head time bound (validated at build)");
+                                let args = instantiate_args(&rule.head.args, b);
+                                let value = match &rule.head.value {
+                                    ArgPat::Const(c) => c.clone(),
+                                    ArgPat::Var(v) => b.get(*v).expect("head value bound").clone(),
+                                    ArgPat::Any => unreachable!("validated at build"),
+                                };
+                                let (mn, mx) = span_bounds(spans);
+                                fresh.entry((args, value)).or_default().push(CachedPoint {
+                                    kind: rule.kind,
+                                    time: t,
+                                    span_min: mn,
+                                    span_max: mx,
+                                });
+                            },
+                        );
+                    }
+                }
+
+                let empty_pts: HashMap<(Vec<Term>, Term), Vec<CachedPoint>> = HashMap::new();
+                let old_pts_all = self.points_cache.get(&sym).unwrap_or(&empty_pts);
+                let mut keys: BTreeSet<(Vec<Term>, Term)> = fresh.keys().cloned().collect();
+                keys.extend(old_pts_all.keys().cloned());
+                for (name, args, value) in self.prev_fluents.keys() {
+                    if *name == sym {
+                        keys.insert((args.clone(), value.clone()));
+                    }
+                }
+
+                let mut new_pts_map: HashMap<(Vec<Term>, Term), Vec<CachedPoint>> = HashMap::new();
+                let mut f_out = TIME_MAX;
+                for key in keys {
+                    let old_pts: &[CachedPoint] =
+                        old_pts_all.get(&key).map(Vec::as_slice).unwrap_or(&[]);
+                    let mut new_pts: Vec<CachedPoint> = old_pts
+                        .iter()
+                        .filter(|p| p.span_min > start && p.span_max < frontier)
+                        .cloned()
+                        .collect();
+                    if let Some(f) = fresh.remove(&key) {
+                        new_pts.extend(f);
+                    }
+                    let old_set: BTreeSet<(Time, bool)> = old_pts
+                        .iter()
+                        .filter(|p| p.time > start)
+                        .map(|p| (p.time, matches!(p.kind, SfKind::Initiated)))
+                        .collect();
+                    let new_set: BTreeSet<(Time, bool)> = new_pts
+                        .iter()
+                        .map(|p| (p.time, matches!(p.kind, SfKind::Initiated)))
+                        .collect();
+                    let full_key: FluentKey = (sym, key.0.clone(), key.1.clone());
+                    let prev_out = self.prev_fluents.get(&full_key);
+                    let ivs = if old_set == new_set && !full_eval {
+                        prev_out.map(|l| l.after(start)).unwrap_or_default()
+                    } else {
+                        let initially = prev_out.is_some_and(|l| l.contains(start));
+                        if !new_set.is_empty() || initially {
+                            groundings += 1;
+                        }
+                        let computed = crate::compile::intervals_from_points(
+                            new_set.iter().copied(),
+                            initially,
+                            start,
+                        );
+                        let old_clamped = prev_out.map(|l| l.after(start)).unwrap_or_default();
+                        if let Some(d) = old_clamped.first_divergence(&computed) {
+                            f_out = f_out.min(d);
+                        }
+                        computed
+                    };
+                    if !ivs.is_empty() {
+                        entries.push((key.0.clone(), key.1.clone(), ivs));
+                    }
+                    if !new_pts.is_empty() {
+                        new_pts_map.insert(key, new_pts);
+                    }
+                }
+                StratumOut {
+                    evaluated,
+                    groundings,
+                    frontier_out: f_out,
+                    kind: StratumOutKind::Simple { entries, new_pts_map },
+                }
+            }
+            HeadKind::StaticFluent => {
+                let sym = instr.symbol;
+                let mut entries: Vec<(Vec<Term>, Term, IntervalList)> = Vec::new();
+                if frontier == TIME_MAX && instr.static_pure {
+                    for (key, ivs) in &self.prev_static {
+                        if key.0 != sym {
+                            continue;
+                        }
+                        let clamped = ivs.after(start);
+                        if !clamped.is_empty() {
+                            entries.push((key.1.clone(), key.2.clone(), clamped));
+                        }
+                    }
+                    StratumOut {
+                        evaluated: false,
+                        groundings: 0,
+                        frontier_out: TIME_MAX,
+                        kind: StratumOutKind::Static { entries },
+                    }
+                } else {
+                    let mut computed: HashMap<FluentKey, IntervalList> = HashMap::new();
+                    for &ri in &instr.rules {
+                        let rule = &self.ruleset.static_rules[ri as usize];
+                        let cs = &plan.static_bodies[ri as usize];
+                        let mut expr_trail: Vec<crate::pattern::VarId> = Vec::new();
+                        crate::compile::solve_domain_c(
+                            ctx,
+                            &cs.domain,
+                            rule.n_vars,
+                            &mut |b, _spans| {
+                                let ivs = crate::compile::eval_interval_expr_c(
+                                    &cs.expr,
+                                    b,
+                                    &mut expr_trail,
+                                    ctx.fluents,
+                                );
+                                if ivs.is_empty() {
+                                    return;
+                                }
+                                let args = instantiate_args(&rule.head.args, b);
+                                let value = match &rule.head.value {
+                                    ArgPat::Const(c) => c.clone(),
+                                    ArgPat::Var(v) => b.get(*v).expect("head value bound").clone(),
+                                    ArgPat::Any => unreachable!("validated at build"),
+                                };
+                                let key: FluentKey = (rule.head.name, args, value);
+                                computed
+                                    .entry(key)
+                                    .and_modify(|existing| *existing = existing.union(&ivs))
+                                    .or_insert(ivs);
+                            },
+                        );
+                    }
+                    let groundings = computed.len();
+                    let mut f_out = TIME_MAX;
+                    for (key, old) in &self.prev_static {
+                        if key.0 != sym || computed.contains_key(key) {
+                            continue;
+                        }
+                        if let Some(d) = old.after(start).first_divergence(&IntervalList::empty()) {
+                            f_out = f_out.min(d);
+                        }
+                    }
+                    for (key, ivs) in computed {
+                        let old_clamped =
+                            self.prev_static.get(&key).map(|l| l.after(start)).unwrap_or_default();
+                        if let Some(d) = old_clamped.first_divergence(&ivs) {
+                            f_out = f_out.min(d);
+                        }
+                        if !ivs.is_empty() {
+                            let (_, args, value) = key;
+                            entries.push((args, value, ivs));
+                        }
+                    }
+                    StratumOut {
+                        evaluated: true,
+                        groundings,
+                        frontier_out: f_out,
+                        kind: StratumOutKind::Static { entries },
+                    }
+                }
+            }
+        }
+    }
+
     // -- checkpoint/restore -------------------------------------------------
 
     /// Serialises the engine's windowed recognition state into a stable,
@@ -1560,7 +2102,7 @@ enum StratumOutKind {
 /// Min/max of the evidence times on one solution path. Every rule body has
 /// at least one `happensAt` condition (validated at build), so the span is
 /// never empty.
-fn span_bounds(spans: &[Time]) -> (Time, Time) {
+pub(crate) fn span_bounds(spans: &[Time]) -> (Time, Time) {
     let mut mn = TIME_MAX;
     let mut mx = TIME_MIN;
     for &t in spans {
@@ -1573,7 +2115,7 @@ fn span_bounds(spans: &[Time]) -> (Time, Time) {
 
 /// Deduplicates cached derivations into the concrete time-sorted event set
 /// visible downstream, keeping only events after the window start.
-fn materialized_events(derivs: &[CachedDeriv], kind: Symbol, after: Time) -> Vec<Event> {
+pub(crate) fn materialized_events(derivs: &[CachedDeriv], kind: Symbol, after: Time) -> Vec<Event> {
     let mut set: BTreeSet<(Time, &Vec<Term>)> = BTreeSet::new();
     for d in derivs {
         if d.time > after {
@@ -1585,7 +2127,7 @@ fn materialized_events(derivs: &[CachedDeriv], kind: Symbol, after: Time) -> Vec
 
 /// Earliest time at which two materialised event sets (both sorted by
 /// `(time, args)`) differ; `TIME_MAX` when identical.
-fn first_event_divergence(a: &[Event], b: &[Event]) -> Time {
+pub(crate) fn first_event_divergence(a: &[Event], b: &[Event]) -> Time {
     let (mut i, mut j) = (0, 0);
     loop {
         match (a.get(i), b.get(j)) {
@@ -1635,18 +2177,18 @@ fn solve_frontier(
 // Body evaluation (backtracking over conditions)
 // ---------------------------------------------------------------------------
 
-fn term_time(t: &Term) -> Option<Time> {
+pub(crate) fn term_time(t: &Term) -> Option<Time> {
     t.as_i64()
 }
 
-fn resolve(v: &ValRef, b: &Bindings) -> Option<Term> {
+pub(crate) fn resolve(v: &ValRef, b: &Bindings) -> Option<Term> {
     match v {
         ValRef::Const(t) => Some(t.clone()),
         ValRef::Var(var) => b.get(*var).cloned(),
     }
 }
 
-fn eval_num(e: &NumExpr, b: &Bindings) -> Option<f64> {
+pub(crate) fn eval_num(e: &NumExpr, b: &Bindings) -> Option<f64> {
     match e {
         NumExpr::Var(v) => b.get(*v)?.as_f64(),
         NumExpr::Const(c) => Some(*c),
@@ -1657,7 +2199,7 @@ fn eval_num(e: &NumExpr, b: &Bindings) -> Option<f64> {
     }
 }
 
-fn eval_guard(g: &GuardExpr, b: &Bindings) -> bool {
+pub(crate) fn eval_guard(g: &GuardExpr, b: &Bindings) -> bool {
     match g {
         GuardExpr::Cmp { lhs, op, rhs } => match (eval_num(lhs, b), eval_num(rhs, b)) {
             (Some(l), Some(r)) => op.apply(l, r),
@@ -1979,7 +2521,7 @@ fn solve_holds_derived(
     }
 }
 
-fn instantiate_args(pats: &[ArgPat], b: &Bindings) -> Vec<Term> {
+pub(crate) fn instantiate_args(pats: &[ArgPat], b: &Bindings) -> Vec<Term> {
     pats.iter()
         .map(|p| match p {
             ArgPat::Const(c) => c.clone(),

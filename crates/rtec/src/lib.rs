@@ -61,6 +61,7 @@
 
 #![warn(missing_docs)]
 
+pub mod compile;
 pub mod dsl;
 pub mod engine;
 pub mod error;
@@ -77,6 +78,7 @@ pub mod window;
 
 /// Convenience re-exports for typical engine users.
 pub mod prelude {
+    pub use crate::compile::CompiledPlan;
     pub use crate::dsl::{
         any, builtin, cmp, cnst, event_head, event_pat, fluent, fluent_pat, guard, happens, holds,
         not_holds, pat, relation, term_eq, term_ne, val, RuleSetBuilder,

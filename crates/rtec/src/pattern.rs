@@ -108,6 +108,21 @@ impl Bindings {
     pub fn is_empty(&self) -> bool {
         self.slots.is_empty()
     }
+
+    /// Reuses this environment for a rule with `n` variables: every slot is
+    /// cleared and the slot vector resized in place. Allocation only happens
+    /// when `n` exceeds the largest size ever requested, which is what lets
+    /// the compiled evaluation path share one environment across all rules
+    /// of a window without per-rule allocations.
+    pub fn reset(&mut self, n: usize) {
+        self.slots.clear();
+        self.slots.resize(n, None);
+    }
+
+    /// Capacity of the underlying slot vector (for allocation accounting).
+    pub fn capacity(&self) -> usize {
+        self.slots.capacity()
+    }
 }
 
 /// Matches one argument pattern against a term, updating `b`.
@@ -168,6 +183,44 @@ pub fn match_args(pats: &[ArgPat], terms: &[Term], b: &mut Bindings) -> Option<V
 pub fn unbind_all(vars: &[VarId], b: &mut Bindings) {
     for v in vars {
         b.unbind(*v);
+    }
+}
+
+/// Allocation-free variant of [`match_args`]: newly bound variables are
+/// pushed onto the caller's `trail` instead of a fresh `Vec`. On success the
+/// trail has grown by the number of new bindings; on failure both the
+/// environment and the trail are restored to their state at entry and
+/// `false` is returned. Undo a successful match with [`undo_trail`] using
+/// the trail length recorded before the call.
+pub fn match_args_trail(
+    pats: &[ArgPat],
+    terms: &[Term],
+    b: &mut Bindings,
+    trail: &mut Vec<VarId>,
+) -> bool {
+    if pats.len() != terms.len() {
+        return false;
+    }
+    let mark = trail.len();
+    for (p, t) in pats.iter().zip(terms) {
+        match match_arg(p, t, b) {
+            Ok(Some(v)) => trail.push(v),
+            Ok(None) => {}
+            Err(()) => {
+                undo_trail(trail, mark, b);
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Unbinds every variable pushed onto `trail` past `mark` (in reverse push
+/// order) and truncates the trail back to `mark`.
+pub fn undo_trail(trail: &mut Vec<VarId>, mark: usize, b: &mut Bindings) {
+    while trail.len() > mark {
+        let v = trail.pop().expect("trail length checked");
+        b.unbind(v);
     }
 }
 

@@ -67,6 +67,13 @@ impl Symbol {
         let guard = interner().read().expect("interner lock poisoned");
         guard.strings[self.0 as usize]
     }
+
+    /// The symbol's dense interner index. Unlike [`Symbol::as_str`] this
+    /// takes no lock, so the compiled evaluation path uses it to key
+    /// slot tables without ever touching the interner on the hot path.
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
 }
 
 impl fmt::Display for Symbol {

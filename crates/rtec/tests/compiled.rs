@@ -1,0 +1,365 @@
+//! Compile-pass edge cases and compiled/interpreted equivalence checks.
+//!
+//! The heavy three-way differential (compiled == interpreter == oracle on
+//! fuzzed rule sets) lives in the conformance crate; these tests pin the
+//! corners of the compiled path itself: empty plans, never-queried heads,
+//! beyond-WM lateness, the `set_initially` error path, plan sharing and the
+//! determinism of plan rebuilds across checkpoint restore.
+
+use insight_rtec::dsl::RuleSet;
+use insight_rtec::event::Stamped;
+use insight_rtec::prelude::*;
+use insight_rtec::rule::CmpOp;
+use std::sync::Arc;
+
+/// `on(Dev)` switched by two input events, plus a derived event
+/// `flip(Dev)` fired when the device switches on while `hot(Dev)` holds —
+/// a two-level stratification with a non-trivial join.
+fn two_level_ruleset() -> RuleSet {
+    let mut b = RuleSetBuilder::new();
+    b.declare_event("switch_on", 1)
+        .declare_event("switch_off", 1)
+        .declare_event("heat", 1)
+        .declare_event("cool", 1);
+    let dev = b.var("Dev");
+    let t1 = b.var("T1");
+    b.initiated(
+        fluent("on", [pat(dev)], val(true)),
+        t1,
+        [happens(event_pat("switch_on", [pat(dev)]), t1)],
+    );
+    let t2 = b.var("T2");
+    b.terminated(
+        fluent("on", [pat(dev)], val(true)),
+        t2,
+        [happens(event_pat("switch_off", [pat(dev)]), t2)],
+    );
+    let dev2 = b.var("Dev2");
+    let t3 = b.var("T3");
+    b.initiated(
+        fluent("hot", [pat(dev2)], val(true)),
+        t3,
+        [happens(event_pat("heat", [pat(dev2)]), t3)],
+    );
+    let t4 = b.var("T4");
+    b.terminated(
+        fluent("hot", [pat(dev2)], val(true)),
+        t4,
+        [happens(event_pat("cool", [pat(dev2)]), t4)],
+    );
+    let dev3 = b.var("Dev3");
+    let t5 = b.var("T5");
+    b.derived_event(
+        event_head("flip", [pat(dev3)]),
+        t5,
+        [
+            happens(event_pat("switch_on", [pat(dev3)]), t5),
+            holds(fluent_pat("hot", [pat(dev3)], val(true)), t5),
+        ],
+    );
+    b.build().unwrap()
+}
+
+/// Drives two engines with the same input schedule and asserts identical
+/// recognitions at every query.
+fn assert_twin_equal(
+    mut a: Engine,
+    mut b: Engine,
+    events: &[Stamped<Event>],
+    queries: &[Time],
+    fluent_names: &[&str],
+) {
+    for e in events {
+        a.add_stamped_event(e.clone()).unwrap();
+        b.add_stamped_event(e.clone()).unwrap();
+    }
+    for &q in queries {
+        let ra = a.query(q).unwrap();
+        let rb = b.query(q).unwrap();
+        assert_eq!(ra.derived_events, rb.derived_events, "derived events diverge at q={q}");
+        for name in fluent_names {
+            let mut ea: Vec<_> =
+                ra.fluent_entries(name).iter().map(|e| (&e.args, &e.value, &e.ivs)).collect();
+            let mut eb: Vec<_> =
+                rb.fluent_entries(name).iter().map(|e| (&e.args, &e.value, &e.ivs)).collect();
+            ea.sort_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)));
+            eb.sort_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)));
+            assert_eq!(ea, eb, "fluent `{name}` diverges at q={q}");
+        }
+    }
+}
+
+fn stream() -> Vec<Stamped<Event>> {
+    let mut evs = Vec::new();
+    for (kind, dev, t) in [
+        ("heat", "a", 5),
+        ("switch_on", "a", 10),
+        ("switch_off", "a", 30),
+        ("switch_on", "b", 12),
+        ("cool", "a", 40),
+        ("switch_on", "a", 55),
+        ("heat", "b", 60),
+        ("switch_on", "b", 70),
+        ("switch_off", "b", 85),
+    ] {
+        evs.push(Stamped::<Event>::punctual(Event::new(kind, [Term::sym(dev)], t)));
+    }
+    // A late arrival: occurs at 20, arrives at 95 (amended into Q=100).
+    evs.push(Stamped::arriving_at(Event::new("heat", [Term::sym("b")], 20), 95));
+    evs
+}
+
+#[test]
+fn compiled_matches_interpreter_across_windows() {
+    let w = WindowConfig::new(50, 25).unwrap();
+    let mut interp = Engine::new(two_level_ruleset(), w);
+    interp.set_parallel_strata(false);
+    let mut comp = Engine::new(two_level_ruleset(), w);
+    comp.set_parallel_strata(false);
+    comp.set_compiled(true);
+    assert!(comp.is_compiled());
+    assert_twin_equal(interp, comp, &stream(), &[25, 50, 75, 100, 125], &["on", "hot"]);
+}
+
+#[test]
+fn compiled_matches_interpreter_full_mode_and_parallel() {
+    let w = WindowConfig::new(60, 20).unwrap();
+    let mut interp = Engine::new(two_level_ruleset(), w);
+    interp.set_incremental(false);
+    let mut comp = Engine::new(two_level_ruleset(), w);
+    comp.set_incremental(false);
+    comp.set_compiled(true);
+    assert_twin_equal(interp, comp, &stream(), &[20, 40, 60, 80, 100, 120], &["on", "hot"]);
+
+    let interp_p = Engine::new(two_level_ruleset(), w);
+    let mut comp_p = Engine::new(two_level_ruleset(), w);
+    comp_p.set_compiled(true);
+    // Parallel strata on both: independent fluents share a level.
+    assert_twin_equal(interp_p, comp_p, &stream(), &[20, 40, 60, 80, 100, 120], &["on", "hot"]);
+}
+
+#[test]
+fn empty_ruleset_compiles_to_empty_plan() {
+    let mut b = RuleSetBuilder::new();
+    b.declare_event("ping", 1);
+    let rs = b.build().unwrap();
+    let mut e = Engine::new(rs, WindowConfig::new(10, 10).unwrap());
+    e.set_compiled(true);
+    let plan = e.compiled_plan().unwrap();
+    assert_eq!(plan.n_strata(), 0);
+    assert_eq!(plan.n_levels(), 0);
+    e.add_event(Event::new("ping", [Term::int(1)], 3)).unwrap();
+    let rec = e.query(10).unwrap();
+    assert!(rec.derived_events.is_empty());
+    assert_eq!(rec.sde_count, 1);
+}
+
+#[test]
+fn never_queried_head_fluent_still_evaluates() {
+    // `idle` is derived but its initiating event never occurs: the stratum
+    // runs, produces no groundings, and downstream queries see nothing.
+    let mut b = RuleSetBuilder::new();
+    b.declare_event("go", 1).declare_event("stop", 1);
+    let d = b.var("D");
+    let t = b.var("T");
+    b.initiated(fluent("idle", [pat(d)], val(true)), t, [happens(event_pat("stop", [pat(d)]), t)]);
+    let d2 = b.var("D2");
+    let t2 = b.var("T2");
+    b.initiated(
+        fluent("busy", [pat(d2)], val(true)),
+        t2,
+        [happens(event_pat("go", [pat(d2)]), t2)],
+    );
+    let rs = b.build().unwrap();
+    let mut e = Engine::new(rs, WindowConfig::new(20, 20).unwrap());
+    e.set_compiled(true);
+    e.add_event(Event::new("go", [Term::sym("x")], 4)).unwrap();
+    let rec = e.query(20).unwrap();
+    assert!(rec.holds_at("busy", &[Term::sym("x")], &Term::truth(), 10));
+    assert!(rec.fluent_entries("idle").is_empty());
+    assert!(rec.intervals_of("idle", &[Term::sym("x")], &Term::truth()).is_none());
+}
+
+#[test]
+fn beyond_wm_delayed_events_are_lost_in_both_modes() {
+    // An event occurring at t=5 but arriving at t=70 misses every window
+    // containing t=5 (WM=20): both engines must drop it identically.
+    let w = WindowConfig::new(20, 20).unwrap();
+    let mk = || {
+        let mut e = Engine::new(two_level_ruleset(), w);
+        e.add_event(Event::new("heat", [Term::sym("a")], 2)).unwrap();
+        e.add_stamped_event(Stamped::arriving_at(Event::new("switch_on", [Term::sym("a")], 5), 70))
+            .unwrap();
+        e
+    };
+    let mut interp = mk();
+    let mut comp = mk();
+    comp.set_compiled(true);
+    for q in [20, 40, 60, 80] {
+        let ra = interp.query(q).unwrap();
+        let rb = comp.query(q).unwrap();
+        assert_eq!(ra.derived_events, rb.derived_events);
+        assert!(rb.events_of("flip").is_empty(), "lost event must not fire rules at q={q}");
+        assert!(rb.fluent_entries("on").is_empty());
+    }
+}
+
+#[test]
+fn set_initially_after_start_fails_in_compiled_mode() {
+    let mut e = Engine::new(two_level_ruleset(), WindowConfig::new(10, 10).unwrap());
+    e.set_compiled(true);
+    e.set_initially("on", vec![Term::sym("a")], Term::truth()).unwrap();
+    e.query(10).unwrap();
+    let err = e.set_initially("on", vec![Term::sym("b")], Term::truth()).unwrap_err();
+    assert!(matches!(err, RtecError::EngineAlreadyStarted { first_query: 10 }));
+}
+
+#[test]
+fn plan_rebuild_is_deterministic() {
+    let p1 = CompiledPlan::compile(&two_level_ruleset());
+    let p2 = CompiledPlan::compile(&two_level_ruleset());
+    assert_eq!(p1.signature(), p2.signature());
+    assert_eq!(p1.n_slots(), p2.n_slots());
+    assert_eq!(p1.n_strata(), p2.n_strata());
+    assert_eq!(p1.n_levels(), p2.n_levels());
+}
+
+#[test]
+fn restore_rebuilds_plan_and_preserves_results() {
+    let w = WindowConfig::new(50, 25).unwrap();
+    let events = stream();
+
+    // Uninterrupted compiled engine: the reference.
+    let mut reference = Engine::new(two_level_ruleset(), w);
+    reference.set_compiled(true);
+    for e in &events {
+        reference.add_stamped_event(e.clone()).unwrap();
+    }
+    let mut expected = Vec::new();
+    for q in [25, 50, 75, 100] {
+        expected.push(reference.query(q).unwrap().derived_events.clone());
+    }
+
+    // Crash after the second query; restore into a fresh compiled engine.
+    let mut original = Engine::new(two_level_ruleset(), w);
+    original.set_compiled(true);
+    let sig_before = original.compiled_plan().unwrap().signature();
+    for e in &events {
+        original.add_stamped_event(e.clone()).unwrap();
+    }
+    original.query(25).unwrap();
+    original.query(50).unwrap();
+    let snapshot = original.snapshot_state();
+    // The snapshot never mentions the plan: it is derived state.
+    assert!(!snapshot.contains("plan"), "plan must be excluded from checkpoints");
+
+    let mut restored = Engine::new(two_level_ruleset(), w);
+    restored.set_compiled(true);
+    restored.restore_state(&snapshot).unwrap();
+    let sig_after = restored.compiled_plan().unwrap().signature();
+    assert_eq!(sig_before, sig_after, "restored engine must rebuild the identical plan");
+    assert_eq!(restored.query(75).unwrap().derived_events, expected[2]);
+    assert_eq!(restored.query(100).unwrap().derived_events, expected[3]);
+}
+
+#[test]
+fn shared_plan_rejects_foreign_rule_set() {
+    let plan = CompiledPlan::compile(&two_level_ruleset());
+    let mut other = RuleSetBuilder::new();
+    other.declare_event("tick", 0);
+    let rs = other.build().unwrap();
+    let mut e = Engine::new(rs, WindowConfig::new(10, 10).unwrap());
+    let err = e.set_compiled_plan(plan).unwrap_err();
+    assert!(matches!(err, RtecError::PlanMismatch { .. }));
+    assert!(!e.is_compiled());
+}
+
+#[test]
+fn one_arc_plan_shared_across_replica_engines() {
+    let plan = CompiledPlan::compile(&two_level_ruleset());
+    let w = WindowConfig::new(50, 25).unwrap();
+    let mut a = Engine::new(two_level_ruleset(), w);
+    let mut b = Engine::new(two_level_ruleset(), w);
+    a.set_compiled_plan(Arc::clone(&plan)).unwrap();
+    b.set_compiled_plan(Arc::clone(&plan)).unwrap();
+    assert!(Arc::strong_count(&plan) >= 3, "replicas share one plan allocation");
+    for e in stream() {
+        a.add_stamped_event(e.clone()).unwrap();
+        b.add_stamped_event(e).unwrap();
+    }
+    for q in [25, 50, 75, 100] {
+        assert_eq!(a.query(q).unwrap().derived_events, b.query(q).unwrap().derived_events);
+    }
+}
+
+#[test]
+fn compiled_handles_guards_relations_and_negation() {
+    // A rule set exercising the remaining compiled operand kinds: a relation
+    // join, a numeric guard and negation-as-failure on a derived fluent.
+    let build = || {
+        let mut b = RuleSetBuilder::new();
+        b.declare_event("reading", 2).declare_relation("watched", 1);
+        let d = b.var("D");
+        let v = b.var("V");
+        let t = b.var("T");
+        b.initiated(
+            fluent("alarm", [pat(d)], val(true)),
+            t,
+            [
+                happens(event_pat("reading", [pat(d), pat(v)]), t),
+                relation("watched", [pat(d)]),
+                guard(cmp(v, CmpOp::Gt, 10.0)),
+            ],
+        );
+        let d2 = b.var("D2");
+        let v2 = b.var("V2");
+        let t2 = b.var("T2");
+        b.terminated(
+            fluent("alarm", [pat(d2)], val(true)),
+            t2,
+            [
+                happens(event_pat("reading", [pat(d2), pat(v2)]), t2),
+                guard(cmp(v2, CmpOp::Le, 10.0)),
+            ],
+        );
+        let d3 = b.var("D3");
+        let t3 = b.var("T3");
+        b.derived_event(
+            event_head("quiet", [pat(d3)]),
+            t3,
+            [
+                happens(event_pat("reading", [pat(d3), any()]), t3),
+                not_holds(fluent_pat("alarm", [pat(d3)], val(true)), t3),
+            ],
+        );
+        let mut engine = Engine::new(b.build().unwrap(), WindowConfig::new(40, 20).unwrap());
+        engine.set_relation("watched", vec![vec![Term::sym("s1")], vec![Term::sym("s2")]]).unwrap();
+        engine
+    };
+    let mut interp = build();
+    let mut comp = build();
+    comp.set_compiled(true);
+    let evs = [
+        ("s1", 5, 3),
+        ("s1", 20, 12),
+        ("s2", 25, 40),
+        ("s1", 30, 2),
+        ("s3", 35, 99),
+        ("s2", 55, 1),
+    ];
+    for (dev, t, v) in evs {
+        let e = Event::new("reading", [Term::sym(dev), Term::int(v)], t);
+        interp.add_event(e.clone()).unwrap();
+        comp.add_event(e).unwrap();
+    }
+    for q in [20, 40, 60, 80] {
+        let ra = interp.query(q).unwrap();
+        let rb = comp.query(q).unwrap();
+        assert_eq!(ra.derived_events, rb.derived_events, "q={q}");
+        let mut ea: Vec<_> = ra.fluent_entries("alarm").iter().map(|e| (&e.args, &e.ivs)).collect();
+        let mut eb: Vec<_> = rb.fluent_entries("alarm").iter().map(|e| (&e.args, &e.ivs)).collect();
+        ea.sort_by(|x, y| x.0.cmp(y.0));
+        eb.sort_by(|x, y| x.0.cmp(y.0));
+        assert_eq!(ea, eb, "q={q}");
+    }
+}

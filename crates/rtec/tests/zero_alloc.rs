@@ -1,0 +1,79 @@
+//! Steady-state zero-allocation regression test for the compiled solver.
+//!
+//! The compiled plan's solver runs out of a thread-local scratch arena
+//! ([`insight_rtec::compile::scratch_allocations`] counts every capacity
+//! growth of its buffers). After a warm-up window has sized the arena, further
+//! windows over a stream with the same working-set shape must not grow any
+//! scratch buffer. Window construction and output materialisation are outside
+//! this claim — only the per-rule solve loop is allocation-free.
+
+use insight_rtec::compile::scratch_allocations;
+use insight_rtec::dsl::RuleSet;
+use insight_rtec::prelude::*;
+
+fn ruleset() -> RuleSet {
+    let mut b = RuleSetBuilder::new();
+    b.declare_event("enter", 1).declare_event("leave", 1);
+    let d = b.var("D");
+    let t1 = b.var("T1");
+    b.initiated(
+        fluent("inside", [pat(d)], val(true)),
+        t1,
+        [happens(event_pat("enter", [pat(d)]), t1)],
+    );
+    let t2 = b.var("T2");
+    b.terminated(
+        fluent("inside", [pat(d)], val(true)),
+        t2,
+        [happens(event_pat("leave", [pat(d)]), t2)],
+    );
+    let d2 = b.var("D2");
+    let t3 = b.var("T3");
+    b.derived_event(
+        event_head("reentry", [pat(d2)]),
+        t3,
+        [
+            happens(event_pat("enter", [pat(d2)]), t3),
+            holds(fluent_pat("inside", [pat(d2)], val(true)), t3),
+        ],
+    );
+    b.build().unwrap()
+}
+
+#[test]
+fn steady_state_windows_do_not_allocate_scratch() {
+    let mut e = Engine::new(ruleset(), WindowConfig::new(100, 50).unwrap());
+    // Parallel strata would move solving onto pool threads whose thread-local
+    // arenas this test thread cannot observe; keep everything here.
+    e.set_parallel_strata(false);
+    e.set_compiled(true);
+
+    let feed = |e: &mut Engine, base: Time| {
+        for i in 0..20i64 {
+            let d = Term::sym(["a", "b", "c", "d"][(i % 4) as usize]);
+            e.add_event(Event::new("enter", [d.clone()], base + 2 * i as Time)).unwrap();
+            e.add_event(Event::new("leave", [d], base + 2 * i as Time + 1)).unwrap();
+        }
+    };
+
+    // Warm-up: two windows size the arena to the working set.
+    feed(&mut e, 0);
+    e.query(50).unwrap();
+    feed(&mut e, 50);
+    e.query(100).unwrap();
+
+    let before = scratch_allocations();
+    for w in 2..12u64 {
+        let base = 50 * w as Time;
+        feed(&mut e, base);
+        let rec = e.query(base + 50).unwrap();
+        assert!(!rec.events_of("reentry").is_empty() || rec.sde_count > 0);
+    }
+    let after = scratch_allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "compiled solver scratch grew during steady-state windows ({} allocations)",
+        after - before
+    );
+}

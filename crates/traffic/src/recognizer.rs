@@ -126,6 +126,29 @@ impl TrafficRecognizer {
         self.engine.set_parallel_strata(on);
     }
 
+    /// Switches the underlying engine to (or from) the pre-compiled
+    /// execution plan (see [`insight_rtec::compile::CompiledPlan`]). The
+    /// plan is compiled once, on the first switch.
+    pub fn set_compiled(&mut self, on: bool) {
+        self.engine.set_compiled(on);
+    }
+
+    /// Installs a compiled plan shared with other recognisers over the same
+    /// rule library (e.g. the region replicas of
+    /// [`crate::distributed::DistributedRecognizer`]) and switches the
+    /// engine to compiled evaluation.
+    pub fn set_compiled_plan(
+        &mut self,
+        plan: std::sync::Arc<insight_rtec::compile::CompiledPlan>,
+    ) -> Result<(), RtecError> {
+        self.engine.set_compiled_plan(plan)
+    }
+
+    /// The installed compiled plan, if the recogniser runs compiled.
+    pub fn compiled_plan(&self) -> Option<&std::sync::Arc<insight_rtec::compile::CompiledPlan>> {
+        self.engine.compiled_plan()
+    }
+
     /// Serialises the underlying engine's windowed recognition state (see
     /// [`Engine::snapshot_state`]); restore into a recogniser rebuilt with
     /// the same configuration and intersections.
