@@ -57,6 +57,21 @@ struct RatioPoint {
     incremental_ms: f64,
     /// Incremental evaluation through the pre-compiled execution plan.
     compiled_ms: f64,
+    /// Mean window-cycle allocation count per query on the compiled arm
+    /// (retained-buffer capacity growth + solver-scratch growth; includes
+    /// the cold start, so steady state is better read from `allocs_last`).
+    allocs_per_window: f64,
+    /// Window-cycle allocation count of the first measured query — the cold
+    /// start that sizes the retained tables.
+    allocs_first: u64,
+    /// Window-cycle allocation count of the *last* measured query. On a
+    /// synthetic steady-state stream this is 0 (the zero-alloc tests pin
+    /// that); on real traffic the working set keeps evolving, so the check
+    /// asserts decay from `allocs_first` instead of strict zero.
+    allocs_last: u64,
+    /// Mean per-query time spent refilling and re-indexing the retained
+    /// stores (compiled arm).
+    cache_rebuild_ms: f64,
 }
 
 impl RatioPoint {
@@ -120,6 +135,22 @@ struct RecoveryPoint {
     paired_delta_ms: f64,
 }
 
+/// One measured recognition sweep: wall-clock mean plus the compiled data
+/// plane's allocation and cache-maintenance accounting.
+struct MeasuredRun {
+    mean_ms: f64,
+    queries: usize,
+    /// Mean `QueryTiming::window_allocations` per query (cold start
+    /// included).
+    allocs_per_window: f64,
+    /// `window_allocations` of the first measured query (cold start).
+    allocs_first: u64,
+    /// `window_allocations` of the last measured query (steady state).
+    allocs_last: u64,
+    /// Mean `QueryTiming::cache_rebuild` per query, in ms.
+    cache_rebuild_ms: f64,
+}
+
 /// Mean per-query wall-clock recognition time (ms) over `n_queries` fully
 /// populated windows, with incremental evaluation, parallel stratum
 /// evaluation and the pre-compiled execution plan toggled as requested.
@@ -131,7 +162,7 @@ fn mean_query_ms(
     incremental: bool,
     parallel_strata: bool,
     compiled: bool,
-) -> Result<(f64, usize), Box<dyn std::error::Error>> {
+) -> Result<MeasuredRun, Box<dyn std::error::Error>> {
     let window = WindowConfig::new(wm, step)?;
     let mut rec =
         TrafficRecognizer::from_deployment(TrafficRulesConfig::default(), window, &scenario.scats)?;
@@ -143,6 +174,10 @@ fn mean_query_ms(
     let mut sde_idx = 0usize;
     let mut total_ms = 0.0f64;
     let mut queries = 0usize;
+    let mut total_allocs = 0u64;
+    let mut allocs_first = 0u64;
+    let mut allocs_last = 0u64;
+    let mut total_rebuild_ms = 0.0f64;
     let mut q = start + wm;
     while queries < n_queries && q <= end {
         while sde_idx < scenario.sdes.len() && scenario.sdes[sde_idx].arrival <= q {
@@ -150,15 +185,28 @@ fn mean_query_ms(
             sde_idx += 1;
         }
         let t = Instant::now();
-        rec.query(q)?;
+        let r = rec.query(q)?;
         total_ms += t.elapsed().as_secs_f64() * 1e3;
+        total_allocs += r.raw.timing.window_allocations;
+        if queries == 0 {
+            allocs_first = r.raw.timing.window_allocations;
+        }
+        allocs_last = r.raw.timing.window_allocations;
+        total_rebuild_ms += r.raw.timing.cache_rebuild.as_secs_f64() * 1e3;
         queries += 1;
         q += step;
     }
     if queries == 0 {
         return Err("scenario shorter than one working memory".into());
     }
-    Ok((total_ms / queries as f64, queries))
+    Ok(MeasuredRun {
+        mean_ms: total_ms / queries as f64,
+        queries,
+        allocs_per_window: total_allocs as f64 / queries as f64,
+        allocs_first,
+        allocs_last,
+        cache_rebuild_ms: total_rebuild_ms / queries as f64,
+    })
 }
 
 /// Pushes `n` items through a bounded queue with a producer thread; the
@@ -318,7 +366,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     out.line(format!("  {} SDEs total", scenario.sdes.len()));
     out.line(String::new());
     out.line(format!(
-        "{:>9} {:>8} {:>9} {:>12} {:>14} {:>9} {:>13} {:>9}",
+        "{:>9} {:>8} {:>9} {:>12} {:>14} {:>9} {:>13} {:>9} {:>9} {:>12}",
         "step/WM",
         "step s",
         "queries",
@@ -326,7 +374,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "incr (ms)",
         "speedup",
         "compiled (ms)",
-        "c-speedup"
+        "c-speedup",
+        "allocs/w",
+        "rebuild (ms)"
     ));
 
     // Warm-up: the first evaluation of a fresh process pays one-off costs
@@ -341,22 +391,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut points = Vec::new();
     for &(label, den) in ratios {
         let step = wm / den;
-        let (full_ms, queries) =
-            mean_query_ms(&scenario, wm, step, n_queries, false, false, false)?;
-        let (incremental_ms, _) =
-            mean_query_ms(&scenario, wm, step, n_queries, true, false, false)?;
-        let (compiled_ms, _) = mean_query_ms(&scenario, wm, step, n_queries, true, false, true)?;
+        let full = mean_query_ms(&scenario, wm, step, n_queries, false, false, false)?;
+        let incr = mean_query_ms(&scenario, wm, step, n_queries, true, false, false)?;
+        let compiled = mean_query_ms(&scenario, wm, step, n_queries, true, false, true)?;
         let p = RatioPoint {
             label,
             ratio: 1.0 / den as f64,
             step,
-            queries,
-            full_ms,
-            incremental_ms,
-            compiled_ms,
+            queries: full.queries,
+            full_ms: full.mean_ms,
+            incremental_ms: incr.mean_ms,
+            compiled_ms: compiled.mean_ms,
+            allocs_per_window: compiled.allocs_per_window,
+            allocs_first: compiled.allocs_first,
+            allocs_last: compiled.allocs_last,
+            cache_rebuild_ms: compiled.cache_rebuild_ms,
         };
         out.line(format!(
-            "{:>9} {:>8} {:>9} {:>12.3} {:>14.3} {:>8.2}x {:>13.3} {:>8.2}x",
+            "{:>9} {:>8} {:>9} {:>12.3} {:>14.3} {:>8.2}x {:>13.3} {:>8.2}x {:>9.1} {:>12.3}",
             p.label,
             p.step,
             p.queries,
@@ -364,7 +416,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             p.incremental_ms,
             p.speedup(),
             p.compiled_ms,
-            p.compiled_speedup()
+            p.compiled_speedup(),
+            p.allocs_per_window,
+            p.cache_rebuild_ms
         ));
         points.push(p);
     }
@@ -383,7 +437,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             rec_json,
             "    {{\"step_over_wm\": \"{}\", \"ratio\": {}, \"step_s\": {}, \"queries\": {}, \
              \"full_ms\": {:.3}, \"incremental_ms\": {:.3}, \"speedup\": {:.3}, \
-             \"compiled_ms\": {:.3}, \"compiled_speedup\": {:.3}}}{}",
+             \"compiled_ms\": {:.3}, \"compiled_speedup\": {:.3}, \
+             \"allocs_per_window\": {:.1}, \"allocs_first\": {}, \"allocs_last\": {}, \
+             \"cache_rebuild_ms\": {:.3}}}{}",
             p.label,
             p.ratio,
             p.step,
@@ -393,6 +449,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             p.speedup(),
             p.compiled_ms,
             p.compiled_speedup(),
+            p.allocs_per_window,
+            p.allocs_first,
+            p.allocs_last,
+            p.cache_rebuild_ms,
             if i + 1 < points.len() { "," } else { "" }
         )?;
     }
@@ -558,11 +618,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut ab_queries = 0usize;
     let (spawned_before, dispatched_before) = insight_rtec::pool::stats();
     for _ in 0..pipe_reps {
-        let (serial_ms, q) = mean_query_ms(&scenario, wm, ab_step, n_queries, true, false, false)?;
-        let (parallel_ms, _) = mean_query_ms(&scenario, wm, ab_step, n_queries, true, true, false)?;
-        serial_strata_ms = serial_strata_ms.min(serial_ms);
-        parallel_strata_ms = parallel_strata_ms.min(parallel_ms);
-        ab_queries = q;
+        let serial = mean_query_ms(&scenario, wm, ab_step, n_queries, true, false, false)?;
+        let parallel = mean_query_ms(&scenario, wm, ab_step, n_queries, true, true, false)?;
+        serial_strata_ms = serial_strata_ms.min(serial.mean_ms);
+        parallel_strata_ms = parallel_strata_ms.min(parallel.mean_ms);
+        ab_queries = serial.queries;
     }
     let (spawned_after, dispatched_after) = insight_rtec::pool::stats();
     // The persistent pool spawns at most cores-1 threads once per process;
@@ -812,6 +872,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     "compiled-plan regression at step/WM={}: compiled {:.3} ms vs interpreted \
                      {:.3} ms",
                     p.label, p.compiled_ms, p.incremental_ms
+                ));
+            }
+        }
+        // The slot-indexed data plane must hold its measured win over the
+        // pre-slot compiled path at disjoint windows. The committed
+        // BENCH_recognition.json before the rework carried 10.511 ms at
+        // step/WM = 1 on the standard profile; the floor demands at least
+        // the 10% improvement the rework measured, minus the usual noise
+        // band on loaded hosts. The quick profile runs a different window
+        // size, so the absolute floor only applies to the standard sweep.
+        if !quick {
+            const PRE_SLOT_RATIO1_MS: f64 = 10.511;
+            for p in points.iter().filter(|p| p.label == "1") {
+                let floor = PRE_SLOT_RATIO1_MS * 0.90;
+                if p.compiled_ms > floor * 1.25 {
+                    failures.push(format!(
+                        "slot-state regression at step/WM={}: compiled {:.3} ms vs the \
+                         {floor:.3} ms floor (pre-slot baseline {PRE_SLOT_RATIO1_MS} ms - 10%)",
+                        p.label, p.compiled_ms
+                    ));
+                }
+            }
+        }
+        // Window-cycle allocations must decay sharply after the cold start:
+        // the first query sizes the retained tables, later queries allocate
+        // only for genuinely new working-set entries (Dublin traffic keeps
+        // introducing vehicles and areas, so strict zero only holds on the
+        // synthetic steady-state stream the zero-alloc tests pin). A last
+        // window allocating half the cold start or more means the retained
+        // state is being rebuilt instead of reused.
+        for p in &points {
+            if p.allocs_last.saturating_mul(2) >= p.allocs_first.max(1) {
+                failures.push(format!(
+                    "window-cycle allocations did not decay at step/WM={}: cold start {} vs \
+                     last window {} (mean {:.1}/window over the sweep)",
+                    p.label, p.allocs_first, p.allocs_last, p.allocs_per_window
                 ));
             }
         }

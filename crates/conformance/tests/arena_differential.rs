@@ -1,0 +1,181 @@
+//! Arena A/B differential: the slot-indexed compiled path (arena on, the
+//! default) against the legacy rebuild compiled path (arena off) and the
+//! naive full-history oracle.
+//!
+//! The slot-indexed data plane keeps grounding tables, derivation pools and
+//! interval arenas alive across windows instead of rebuilding per-window
+//! maps; these tests pin that the retained state is observationally
+//! invisible: over fuzzed rule sets, fixture streams (relations, builtins
+//! and statically-determined fluents — the clamp-reuse and interval-algebra
+//! paths) and mid-stream mode toggles, both paths must produce identical
+//! recognitions at every query.
+//!
+//! Failures replay from the printed seed; the pinned families run per CI
+//! seed job, reproducible locally with `CONFORMANCE_SEED={0,77,777}`.
+
+use insight_conformance::{
+    fixture_grid, fixture_harness, fixture_stream, seed_offset, Harness, StimulusConfig, Stream,
+};
+use insight_datagen::adversarial::{fuzz_ruleset, FuzzCase, FuzzConfig, QueryGrid};
+use insight_rtec::prelude::{Engine, WindowConfig};
+use proptest::prelude::*;
+
+fn fuzz_grid() -> QueryGrid {
+    QueryGrid { first: 100, step: 50, wm: 100, last: 500 }
+}
+
+fn stream_of(case: &FuzzCase) -> Stream {
+    Stream {
+        label: case.label.clone(),
+        seed: case.seed,
+        events: case.events.clone(),
+        obs: case.obs.clone(),
+    }
+}
+
+/// Arena-on vs arena-off on one fuzzed seed, in both evaluation modes, plus
+/// arena-on against the oracle.
+fn check_arena_ab(seed: u64, grid: QueryGrid, cfg: &FuzzConfig) {
+    let case = fuzz_ruleset(seed, &grid, cfg);
+    let stream = stream_of(&case);
+
+    let harness = Harness::new(case.rules.clone(), grid).configure_engine(|e| {
+        e.set_compiled(true);
+        e.set_arena(true);
+    });
+    match harness.check(&stream) {
+        Ok(stats) => assert!(stats.queries > 0 && stats.ticks > 0),
+        Err(report) => panic!("arena vs oracle: {report}"),
+    }
+
+    let ab = Harness::new(case.rules.clone(), grid);
+    // Slot-indexed vs legacy rebuild, incremental (the default) …
+    ab.compare_engine_modes(
+        &stream,
+        |a| {
+            a.set_compiled(true);
+            a.set_arena(true);
+        },
+        |b| {
+            b.set_compiled(true);
+            b.set_arena(false);
+        },
+    )
+    .unwrap_or_else(|e| panic!("arena on vs off (incremental): {e}"));
+    // … and full-recompute on both sides.
+    ab.compare_engine_modes(
+        &stream,
+        |a| {
+            a.set_incremental(false);
+            a.set_compiled(true);
+            a.set_arena(true);
+        },
+        |b| {
+            b.set_incremental(false);
+            b.set_compiled(true);
+            b.set_arena(false);
+        },
+    )
+    .unwrap_or_else(|e| panic!("arena on vs off (full): {e}"));
+}
+
+proptest! {
+    /// Fuzzed rule sets: the retained slot state must be invisible.
+    #[test]
+    fn fuzzed_rule_sets_arena_ab_equivalent(seed in any::<u64>()) {
+        check_arena_ab(seed, fuzz_grid(), &FuzzConfig::default());
+    }
+}
+
+/// A pinned family of fuzzed cases per CI seed job.
+#[test]
+fn pinned_fuzz_family_arena_ab_equivalent() {
+    let grid = fuzz_grid();
+    let base = 6000 + seed_offset() * 100_000;
+    for seed in base..base + 12 {
+        check_arena_ab(seed, grid, &FuzzConfig::default());
+    }
+}
+
+/// Fixture streams (relations, builtins, statically-determined fluents —
+/// vocabulary the fuzzer does not draw) through arena on vs off: this is the
+/// coverage for the static-fluent clamp-reuse and arena interval algebra.
+#[test]
+fn fixture_streams_arena_ab_equivalent() {
+    let grid = fixture_grid();
+    let harness = fixture_harness(grid);
+    let cfg = StimulusConfig::default();
+    let base = 7000 + seed_offset() * 100_000;
+    for seed in base..base + 8 {
+        let stream = fixture_stream(seed, grid, &cfg);
+        harness
+            .compare_engine_modes(
+                &stream,
+                |a| {
+                    a.set_compiled(true);
+                    a.set_arena(true);
+                },
+                |b| {
+                    b.set_compiled(true);
+                    b.set_arena(false);
+                },
+            )
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+/// Flipping the arena mode *mid-stream* must not change one recognition:
+/// engine A toggles between the slot-indexed and legacy paths every window
+/// (exercising the lazy cache resync in both directions), engine B stays on
+/// the default path.
+#[test]
+fn arena_toggle_mid_stream_is_equivalent() {
+    let grid = fuzz_grid();
+    let base = 8000 + seed_offset() * 100_000;
+    for seed in base..base + 6 {
+        let case = fuzz_ruleset(seed, &grid, &FuzzConfig::default());
+        let window = WindowConfig::new(grid.wm, grid.step).unwrap();
+        let mut a = Engine::new(case.rules.clone(), window);
+        let mut b = Engine::new(case.rules.clone(), window);
+        a.set_compiled(true);
+        b.set_compiled(true);
+        for ev in &case.events {
+            a.add_stamped_event(ev.clone()).unwrap();
+            b.add_stamped_event(ev.clone()).unwrap();
+        }
+        for ob in &case.obs {
+            a.add_stamped_obs(ob.clone()).unwrap();
+            b.add_stamped_obs(ob.clone()).unwrap();
+        }
+        for (w, &q) in grid.queries().iter().enumerate() {
+            a.set_arena(w % 2 == 0);
+            let ra = a.query(q).unwrap();
+            let rb = b.query(q).unwrap();
+            assert_eq!(
+                ra.derived_events, rb.derived_events,
+                "seed {seed}: derived events diverged at q={q}"
+            );
+            let mut names: Vec<_> = ra.fluent_store().names().collect();
+            names.extend(rb.fluent_store().names());
+            names.sort_unstable();
+            names.dedup();
+            for name in names {
+                let mut ea: Vec<_> = ra
+                    .fluent_store()
+                    .entries(name)
+                    .iter()
+                    .map(|e| (e.args.clone(), e.value.clone(), e.ivs.clone()))
+                    .collect();
+                let mut eb: Vec<_> = rb
+                    .fluent_store()
+                    .entries(name)
+                    .iter()
+                    .map(|e| (e.args.clone(), e.value.clone(), e.ivs.clone()))
+                    .collect();
+                ea.sort_by(|x, y| (&x.0, &x.1).cmp(&(&y.0, &y.1)));
+                eb.sort_by(|x, y| (&x.0, &x.1).cmp(&(&y.0, &y.1)));
+                assert_eq!(ea, eb, "seed {seed}: fluent `{name}` diverged at q={q}");
+            }
+        }
+    }
+}

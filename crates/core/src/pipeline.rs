@@ -88,10 +88,22 @@ pub struct RtecProcessor {
     window_ns: Option<Arc<Histogram>>,
     /// Items that failed SDE schema validation and were skipped.
     malformed: Option<Arc<Counter>>,
-    /// Incremental-evaluation effort: strata actually re-evaluated and
-    /// fluent groundings recomputed, summed over queries (clean cache hits
-    /// add nothing, so these expose how much work delta-awareness saved).
-    eval_counters: Option<(Arc<Counter>, Arc<Counter>)>,
+    /// Incremental-evaluation effort counters, summed over queries.
+    eval_counters: Option<EvalCounters>,
+}
+
+/// Per-region evaluation-effort counters: strata actually re-evaluated,
+/// fluent groundings recomputed, window-cycle heap allocations and store
+/// refill/re-index time (ns). Clean cache hits add nothing, so these expose
+/// how much work delta-awareness saved; the allocation counter reads 0 per
+/// window once the slot-indexed data plane's retained state has sized to
+/// the working set.
+#[derive(Clone)]
+struct EvalCounters {
+    strata: Arc<Counter>,
+    groundings: Arc<Counter>,
+    allocations: Arc<Counter>,
+    rebuild_ns: Arc<Counter>,
 }
 
 impl RtecProcessor {
@@ -138,13 +150,17 @@ impl RtecProcessor {
         self.malformed.clone()
     }
 
-    fn evaluation_counters(&mut self, ctx: &Context) -> Option<(Arc<Counter>, Arc<Counter>)> {
+    fn evaluation_counters(&mut self, ctx: &Context) -> Option<EvalCounters> {
         if self.eval_counters.is_none() {
             if let Ok(registry) = ctx.services().get::<MetricsRegistry>("metrics") {
-                self.eval_counters = Some((
-                    registry.counter(&format!("rtec.{}.strata_evaluated", self.region)),
-                    registry.counter(&format!("rtec.{}.groundings_recomputed", self.region)),
-                ));
+                self.eval_counters = Some(EvalCounters {
+                    strata: registry.counter(&format!("rtec.{}.strata_evaluated", self.region)),
+                    groundings: registry
+                        .counter(&format!("rtec.{}.groundings_recomputed", self.region)),
+                    allocations: registry
+                        .counter(&format!("rtec.{}.window_allocations", self.region)),
+                    rebuild_ns: registry.counter(&format!("rtec.{}.cache_rebuild_ns", self.region)),
+                });
             }
         }
         self.eval_counters.clone()
@@ -160,9 +176,12 @@ impl RtecProcessor {
         if let Some(hist) = self.window_histogram(ctx) {
             hist.record_ns(query_ns as u64);
         }
-        if let Some((strata, groundings)) = self.evaluation_counters(ctx) {
-            strata.add(result.raw.timing.strata_evaluated as u64);
-            groundings.add(result.raw.timing.groundings_recomputed as u64);
+        if let Some(c) = self.evaluation_counters(ctx) {
+            c.strata.add(result.raw.timing.strata_evaluated as u64);
+            c.groundings.add(result.raw.timing.groundings_recomputed as u64);
+            c.allocations.add(result.raw.timing.window_allocations);
+            c.rebuild_ns
+                .add(result.raw.timing.cache_rebuild.as_nanos().min(u64::MAX as u128) as u64);
         }
         let mut item = DataItem::new()
             .with("kind", "recognition")
@@ -1449,8 +1468,13 @@ mod tests {
     fn pipeline_metrics_capture_stages_queues_and_rtec_timings() {
         let scenario = Scenario::generate(ScenarioConfig::small(1200, 77)).unwrap();
         let window = WindowConfig::new(600, 300).unwrap();
+        // Compiled evaluation: the allocation and cache-rebuild counters
+        // asserted below account for the compiled data plane (they read 0 on
+        // the interpreted path, which `pipeline_runs_end_to_end` covers).
+        let options = PipelineOptions { compiled_rtec: true, ..PipelineOptions::standard() };
         let (topology, sink) =
-            build_pipeline(&scenario, TrafficRulesConfig::default(), window).unwrap();
+            build_pipeline_with(&scenario, TrafficRulesConfig::default(), window, &options)
+                .unwrap();
         let runtime = Runtime::new(topology);
         let metrics = runtime.metrics();
         runtime.run().unwrap();
@@ -1505,6 +1529,22 @@ mod tests {
                 .any(|name| name.starts_with("rtec.") && name.ends_with(".groundings_recomputed")),
             "grounding-recompute counters registered"
         );
+
+        // The slot-indexed data plane's allocation and cache-maintenance
+        // accounting flows through the same per-region counters.
+        assert!(
+            snap.counters
+                .keys()
+                .any(|name| name.starts_with("rtec.") && name.ends_with(".window_allocations")),
+            "window-allocation counters registered"
+        );
+        let rebuild_ns: u64 = snap
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("rtec.") && name.ends_with(".cache_rebuild_ns"))
+            .map(|(_, v)| *v)
+            .sum();
+        assert!(rebuild_ns > 0, "compiled windows spend time refilling retained stores");
 
         // Every summary carries its own recognition latency.
         for item in sink.items() {

@@ -31,6 +31,7 @@
 use crate::dsl::RuleSet;
 use crate::engine::{eval_guard, resolve, term_time, BuiltinFn, FluentEntry, HappensRole};
 use crate::event::{Event, FluentObs};
+use crate::interval::{Interval, IntervalArena, IntervalList, IvRange};
 use crate::pattern::{
     match_args_trail, undo_trail, ArgPat, Bindings, EventPattern, FluentPattern, VarId,
 };
@@ -596,22 +597,37 @@ fn lower_expr(expr: &IntervalExpr, slots: &SlotMap) -> CIntervalExpr {
 // Slot-indexed window stores
 // ---------------------------------------------------------------------------
 
-/// Events of one kind, sorted by time, with a sorted `(first-arg, index)`
-/// side table replacing the interpreter's per-kind `HashMap<Term, Vec<u32>>`
-/// (binary search instead of hashing).
+/// Events of one kind, sorted by time. Argument terms live in a per-kind
+/// pool (`items` holds `(time, offset, len)` triples) so refilling the store
+/// each window reuses capacity instead of cloning a `Vec<Term>` per event; a
+/// sorted `(first-arg, index)` side table replaces the interpreter's per-kind
+/// `HashMap<Term, Vec<u32>>` (binary search instead of hashing).
 #[derive(Default)]
 pub(crate) struct CEventKind {
-    pub(crate) items: Vec<Event>,
+    items: Vec<(Time, u32, u16)>,
+    pool: Vec<Term>,
     by_first: Vec<(Term, u32)>,
 }
 
 impl CEventKind {
-    fn rebuild(&mut self) {
-        self.items.sort_by_key(|e| e.time);
+    fn clear(&mut self) {
+        self.items.clear();
+        self.pool.clear();
         self.by_first.clear();
-        for (i, e) in self.items.iter().enumerate() {
-            if let Some(first) = e.args.first() {
-                self.by_first.push((first.clone(), i as u32));
+    }
+
+    fn push(&mut self, time: Time, args: &[Term]) {
+        let off = self.pool.len() as u32;
+        self.pool.extend(args.iter().cloned());
+        self.items.push((time, off, args.len() as u16));
+    }
+
+    fn rebuild(&mut self) {
+        self.items.sort_by_key(|it| it.0);
+        self.by_first.clear();
+        for (i, &(_, off, len)) in self.items.iter().enumerate() {
+            if len > 0 {
+                self.by_first.push((self.pool[off as usize].clone(), i as u32));
             }
         }
         // Items are already time-sorted, so a stable sort by term keeps each
@@ -619,106 +635,243 @@ impl CEventKind {
         self.by_first.sort_by(|a, b| a.0.cmp(&b.0));
     }
 
+    fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn time(&self, i: usize) -> Time {
+        self.items[i].0
+    }
+
+    fn args(&self, i: usize) -> &[Term] {
+        let (_, off, len) = self.items[i];
+        &self.pool[off as usize..off as usize + len as usize]
+    }
+
     /// Indices of items whose first argument equals `t` and whose time is in
     /// `[lo, hi]`.
     fn first_range(&self, t: &Term, lo: Time, hi: Time) -> &[(Term, u32)] {
         let a = self
             .by_first
-            .partition_point(|(k, i)| k < t || (k == t && self.items[*i as usize].time < lo));
+            .partition_point(|(k, i)| k < t || (k == t && self.items[*i as usize].0 < lo));
         let z = self
             .by_first
-            .partition_point(|(k, i)| k < t || (k == t && self.items[*i as usize].time <= hi));
+            .partition_point(|(k, i)| k < t || (k == t && self.items[*i as usize].0 <= hi));
         &self.by_first[a..z]
+    }
+
+    fn visit_caps(&self, f: &mut impl FnMut(usize)) {
+        f(self.items.capacity());
+        f(self.pool.capacity());
+        f(self.by_first.capacity());
     }
 }
 
-/// All window events, slot-indexed by kind.
+/// All window events, slot-indexed by kind. Retained across windows by the
+/// slot-state cycle: `clear` + `push` + `rebuild_all` refill it in place.
 pub(crate) struct CEventStore {
     kinds: Vec<CEventKind>,
 }
 
 impl CEventStore {
-    pub(crate) fn build(n_slots: usize, events: Vec<Event>, slots: &SlotMap) -> CEventStore {
+    pub(crate) fn new(n_slots: usize) -> CEventStore {
         let mut kinds: Vec<CEventKind> = Vec::with_capacity(n_slots);
         kinds.resize_with(n_slots, CEventKind::default);
-        let mut touched: Vec<bool> = vec![false; n_slots];
-        for e in events {
-            let slot = slots.slot(e.kind).expect("declared input event has a slot") as usize;
-            kinds[slot].items.push(e);
-            touched[slot] = true;
+        CEventStore { kinds }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        for k in &mut self.kinds {
+            k.clear();
         }
-        for (k, t) in kinds.iter_mut().zip(&touched) {
-            if *t {
+    }
+
+    pub(crate) fn push(&mut self, slot: SlotId, time: Time, args: &[Term]) {
+        self.kinds[slot as usize].push(time, args);
+    }
+
+    pub(crate) fn rebuild_all(&mut self) {
+        for k in &mut self.kinds {
+            if !k.is_empty() {
                 k.rebuild();
             }
         }
-        CEventStore { kinds }
+    }
+
+    pub(crate) fn rebuild_slot(&mut self, slot: SlotId) {
+        self.kinds[slot as usize].rebuild();
+    }
+
+    pub(crate) fn build(n_slots: usize, events: Vec<Event>, slots: &SlotMap) -> CEventStore {
+        let mut store = CEventStore::new(n_slots);
+        for e in events {
+            let slot = slots.slot(e.kind).expect("declared input event has a slot");
+            store.push(slot, e.time, &e.args);
+        }
+        store.rebuild_all();
+        store
     }
 
     pub(crate) fn add_derived(&mut self, slot: SlotId, events: &[Event]) {
         if events.is_empty() {
             return;
         }
-        let k = &mut self.kinds[slot as usize];
-        k.items.extend(events.iter().cloned());
-        k.rebuild();
+        for e in events {
+            self.kinds[slot as usize].push(e.time, &e.args);
+        }
+        self.kinds[slot as usize].rebuild();
+    }
+
+    pub(crate) fn visit_caps(&self, f: &mut impl FnMut(usize)) {
+        for k in &self.kinds {
+            k.visit_caps(f);
+        }
     }
 }
 
-/// Input fluent observations of one name, sorted by time.
+/// Input fluent observations of one name, sorted by time, with argument
+/// terms pooled per kind like [`CEventKind`].
 #[derive(Default)]
 pub(crate) struct CObsKind {
-    items: Vec<FluentObs>,
+    /// `(time, args offset, args len, value)`, sorted by time.
+    items: Vec<(Time, u32, u16, Term)>,
+    pool: Vec<Term>,
 }
 
 impl CObsKind {
-    fn range_at(&self, t: Time) -> &[FluentObs] {
-        let lo = self.items.partition_point(|o| o.time < t);
-        let hi = self.items.partition_point(|o| o.time <= t);
-        &self.items[lo..hi]
+    fn clear(&mut self) {
+        self.items.clear();
+        self.pool.clear();
+    }
+
+    fn push(&mut self, time: Time, args: &[Term], value: &Term) {
+        let off = self.pool.len() as u32;
+        self.pool.extend(args.iter().cloned());
+        self.items.push((time, off, args.len() as u16, value.clone()));
+    }
+
+    fn sort(&mut self) {
+        self.items.sort_by_key(|it| it.0);
+    }
+
+    fn range_at(&self, t: Time) -> std::ops::Range<usize> {
+        let lo = self.items.partition_point(|it| it.0 < t);
+        let hi = self.items.partition_point(|it| it.0 <= t);
+        lo..hi
+    }
+
+    fn args(&self, i: usize) -> &[Term] {
+        let (_, off, len, _) = self.items[i];
+        &self.pool[off as usize..off as usize + len as usize]
+    }
+
+    fn value(&self, i: usize) -> &Term {
+        &self.items[i].3
+    }
+
+    fn visit_caps(&self, f: &mut impl FnMut(usize)) {
+        f(self.items.capacity());
+        f(self.pool.capacity());
     }
 }
 
-/// All window observations, slot-indexed by fluent name.
+/// All window observations, slot-indexed by fluent name. Retained across
+/// windows like [`CEventStore`].
 pub(crate) struct CObsStore {
     kinds: Vec<CObsKind>,
 }
 
 impl CObsStore {
-    pub(crate) fn build(n_slots: usize, obs: Vec<FluentObs>, slots: &SlotMap) -> CObsStore {
+    pub(crate) fn new(n_slots: usize) -> CObsStore {
         let mut kinds: Vec<CObsKind> = Vec::with_capacity(n_slots);
         kinds.resize_with(n_slots, CObsKind::default);
-        let mut touched: Vec<bool> = vec![false; n_slots];
-        for o in obs {
-            let slot = slots.slot(o.name).expect("declared input fluent has a slot") as usize;
-            kinds[slot].items.push(o);
-            touched[slot] = true;
+        CObsStore { kinds }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        for k in &mut self.kinds {
+            k.clear();
         }
-        for (k, t) in kinds.iter_mut().zip(&touched) {
-            if *t {
-                k.items.sort_by_key(|o| o.time);
+    }
+
+    pub(crate) fn push(&mut self, slot: SlotId, time: Time, args: &[Term], value: &Term) {
+        self.kinds[slot as usize].push(time, args, value);
+    }
+
+    pub(crate) fn sort_all(&mut self) {
+        for k in &mut self.kinds {
+            if !k.items.is_empty() {
+                k.sort();
             }
         }
-        CObsStore { kinds }
+    }
+
+    pub(crate) fn build(n_slots: usize, obs: Vec<FluentObs>, slots: &SlotMap) -> CObsStore {
+        let mut store = CObsStore::new(n_slots);
+        for o in obs {
+            let slot = slots.slot(o.name).expect("declared input fluent has a slot");
+            store.push(slot, o.time, &o.args, &o.value);
+        }
+        store.sort_all();
+        store
+    }
+
+    pub(crate) fn visit_caps(&self, f: &mut impl FnMut(usize)) {
+        for k in &self.kinds {
+            k.visit_caps(f);
+        }
     }
 }
 
-/// Derived fluent groundings of one name with a sorted first-arg side table.
+/// Derived fluent groundings of one name with a sorted first-arg side table
+/// and pooled argument terms.
 #[derive(Default)]
 pub(crate) struct CFluentSlot {
-    pub(crate) entries: Vec<FluentEntry>,
+    /// `(args offset, args len, value, intervals)` per grounding.
+    entries: Vec<(u32, u16, Term, IntervalList)>,
+    pool: Vec<Term>,
     by_first: Vec<(Term, u32)>,
 }
 
 impl CFluentSlot {
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.pool.clear();
+        self.by_first.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn args(&self, i: usize) -> &[Term] {
+        let (off, len, _, _) = self.entries[i];
+        &self.pool[off as usize..off as usize + len as usize]
+    }
+
+    fn value(&self, i: usize) -> &Term {
+        &self.entries[i].2
+    }
+
+    fn ivs(&self, i: usize) -> &IntervalList {
+        &self.entries[i].3
+    }
+
     fn first_indices(&self, t: &Term) -> &[(Term, u32)] {
         let a = self.by_first.partition_point(|(k, _)| k < t);
         let z = self.by_first.partition_point(|(k, _)| k <= t);
         &self.by_first[a..z]
     }
+
+    fn visit_caps(&self, f: &mut impl FnMut(usize)) {
+        f(self.entries.capacity());
+        f(self.pool.capacity());
+        f(self.by_first.capacity());
+    }
 }
 
 /// All derived fluent groundings computed so far this window, slot-indexed.
+/// Retained across windows by the slot-state cycle.
 pub(crate) struct CFluentStore {
     slots: Vec<CFluentSlot>,
 }
@@ -730,21 +883,52 @@ impl CFluentStore {
         CFluentStore { slots }
     }
 
+    pub(crate) fn clear(&mut self) {
+        for s in &mut self.slots {
+            s.clear();
+        }
+    }
+
+    /// Appends one grounding to a slot without rebuilding the index; call
+    /// [`CFluentStore::finish_slot`] after the slot's stratum completes.
+    pub(crate) fn insert_entry(
+        &mut self,
+        slot: SlotId,
+        args: &[Term],
+        value: &Term,
+        ivs: &IntervalList,
+    ) {
+        let fs = &mut self.slots[slot as usize];
+        if let Some(first) = args.first() {
+            fs.by_first.push((first.clone(), fs.entries.len() as u32));
+        }
+        let off = fs.pool.len() as u32;
+        fs.pool.extend(args.iter().cloned());
+        fs.entries.push((off, args.len() as u16, value.clone(), ivs.clone()));
+    }
+
+    /// Sorts the slot's first-arg index (once per stratum, not per lookup).
+    pub(crate) fn finish_slot(&mut self, slot: SlotId) {
+        self.slots[slot as usize].by_first.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    }
+
     /// Appends one stratum's output entries and rebuilds the slot's
-    /// first-arg index (once per stratum, not per lookup).
+    /// first-arg index.
     pub(crate) fn insert_entries<'a>(
         &mut self,
         slot: SlotId,
         entries: impl Iterator<Item = &'a FluentEntry>,
     ) {
-        let fs = &mut self.slots[slot as usize];
         for e in entries {
-            if let Some(first) = e.args.first() {
-                fs.by_first.push((first.clone(), fs.entries.len() as u32));
-            }
-            fs.entries.push(e.clone());
+            self.insert_entry(slot, &e.args, &e.value, &e.ivs);
         }
-        fs.by_first.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        self.finish_slot(slot);
+    }
+
+    pub(crate) fn visit_caps(&self, f: &mut impl FnMut(usize)) {
+        for s in &self.slots {
+            s.visit_caps(f);
+        }
     }
 }
 
@@ -774,6 +958,7 @@ pub(crate) struct SolveScratch {
     pub(crate) args_buf: Vec<Term>,
     pub(crate) inits: Vec<Time>,
     pub(crate) terms: Vec<Time>,
+    pub(crate) ivs: Vec<Interval>,
     active: bool,
     allocations: u64,
 }
@@ -787,12 +972,13 @@ impl SolveScratch {
             args_buf: Vec::new(),
             inits: Vec::new(),
             terms: Vec::new(),
+            ivs: Vec::new(),
             active: false,
             allocations: 0,
         }
     }
 
-    fn capacities(&self) -> [usize; 6] {
+    fn capacities(&self) -> [usize; 7] {
         [
             self.b.capacity(),
             self.spans.capacity(),
@@ -800,6 +986,7 @@ impl SolveScratch {
             self.args_buf.capacity(),
             self.inits.capacity(),
             self.terms.capacity(),
+            self.ivs.capacity(),
         ]
     }
 }
@@ -900,7 +1087,9 @@ pub(crate) fn intervals_from_points(
                 s.terms.push(t);
             }
         }
-        crate::interval::IntervalList::from_points(&s.inits, &s.terms, initially, start)
+        let SolveScratch { inits, terms, ivs, .. } = s;
+        crate::interval::points_into(inits, terms, initially, start, ivs);
+        crate::interval::IntervalList::from_normalised(ivs)
     })
 }
 
@@ -909,12 +1098,13 @@ pub(crate) fn intervals_from_points(
 fn with_event_match_c(
     pat: &EventPattern,
     time: VarId,
-    e: &Event,
+    t: Time,
+    args: &[Term],
     b: &mut Bindings,
     trail: &mut Vec<VarId>,
     k: &mut dyn FnMut(&mut Bindings, &mut Vec<VarId>),
 ) {
-    let t_term = Term::Int(e.time);
+    let t_term = Term::Int(t);
     let time_was_bound = b.is_bound(time);
     if time_was_bound {
         if b.get(time) != Some(&t_term) {
@@ -924,7 +1114,7 @@ fn with_event_match_c(
         return;
     }
     let mark = trail.len();
-    if match_args_trail(&pat.args, &e.args, b, trail) {
+    if match_args_trail(&pat.args, args, b, trail) {
         k(b, trail);
         undo_trail(trail, mark, b);
     }
@@ -991,7 +1181,7 @@ fn solve_c(
     match atom {
         CAtom::Happens { slot, pat, time, role } => {
             let ks = &ctx.events.kinds[*slot as usize];
-            if ks.items.is_empty() {
+            if ks.is_empty() {
                 return;
             }
             let (lo, hi) = match role {
@@ -1006,14 +1196,21 @@ fn solve_c(
                 if t < lo || t > hi {
                     return;
                 }
-                let a = ks.items.partition_point(|e| e.time < t);
-                let z = ks.items.partition_point(|e| e.time <= t);
+                let a = ks.items.partition_point(|it| it.0 < t);
+                let z = ks.items.partition_point(|it| it.0 <= t);
                 for i in a..z {
-                    let e = &ks.items[i];
-                    spans.push(e.time);
-                    with_event_match_c(pat, *time, e, b, trail, &mut |b, trail| {
-                        solve_c(ctx, rest, frontier, b, spans, trail, args_buf, out)
-                    });
+                    spans.push(ks.time(i));
+                    with_event_match_c(
+                        pat,
+                        *time,
+                        ks.time(i),
+                        ks.args(i),
+                        b,
+                        trail,
+                        &mut |b, trail| {
+                            solve_c(ctx, rest, frontier, b, spans, trail, args_buf, out)
+                        },
+                    );
                     spans.pop();
                 }
             } else {
@@ -1027,23 +1224,38 @@ fn solve_c(
                 match first_bound {
                     Some(first) => {
                         for &(_, idx) in ks.first_range(&first, lo, hi) {
-                            let e = &ks.items[idx as usize];
-                            spans.push(e.time);
-                            with_event_match_c(pat, *time, e, b, trail, &mut |b, trail| {
-                                solve_c(ctx, rest, frontier, b, spans, trail, args_buf, out)
-                            });
+                            let i = idx as usize;
+                            spans.push(ks.time(i));
+                            with_event_match_c(
+                                pat,
+                                *time,
+                                ks.time(i),
+                                ks.args(i),
+                                b,
+                                trail,
+                                &mut |b, trail| {
+                                    solve_c(ctx, rest, frontier, b, spans, trail, args_buf, out)
+                                },
+                            );
                             spans.pop();
                         }
                     }
                     None => {
-                        let a = ks.items.partition_point(|e| e.time < lo);
-                        let z = ks.items.partition_point(|e| e.time <= hi);
+                        let a = ks.items.partition_point(|it| it.0 < lo);
+                        let z = ks.items.partition_point(|it| it.0 <= hi);
                         for i in a..z {
-                            let e = &ks.items[i];
-                            spans.push(e.time);
-                            with_event_match_c(pat, *time, e, b, trail, &mut |b, trail| {
-                                solve_c(ctx, rest, frontier, b, spans, trail, args_buf, out)
-                            });
+                            spans.push(ks.time(i));
+                            with_event_match_c(
+                                pat,
+                                *time,
+                                ks.time(i),
+                                ks.args(i),
+                                b,
+                                trail,
+                                &mut |b, trail| {
+                                    solve_c(ctx, rest, frontier, b, spans, trail, args_buf, out)
+                                },
+                            );
                             spans.pop();
                         }
                     }
@@ -1056,14 +1268,15 @@ fn solve_c(
             let ks = &ctx.obs.kinds[*slot as usize];
             let candidates = ks.range_at(t);
             if *negated {
-                let exists =
-                    candidates.iter().any(|o| fluent_matches_c(pat, &o.args, &o.value, b, trail));
+                let exists = candidates
+                    .clone()
+                    .any(|i| fluent_matches_c(pat, ks.args(i), ks.value(i), b, trail));
                 if !exists {
                     solve_c(ctx, rest, frontier, b, spans, trail, args_buf, out);
                 }
             } else {
-                for o in candidates {
-                    with_fluent_match_c(pat, &o.args, &o.value, b, trail, &mut |b, trail| {
+                for i in candidates {
+                    with_fluent_match_c(pat, ks.args(i), ks.value(i), b, trail, &mut |b, trail| {
                         solve_c(ctx, rest, frontier, b, spans, trail, args_buf, out)
                     });
                 }
@@ -1081,12 +1294,14 @@ fn solve_c(
             };
             if *negated {
                 let exists = match &first_bound {
-                    Some(first) => fs.first_indices(first).iter().any(|&(_, i)| {
-                        let e = &fs.entries[i as usize];
-                        e.ivs.contains(t) && fluent_matches_c(pat, &e.args, &e.value, b, trail)
+                    Some(first) => fs.first_indices(first).iter().any(|&(_, idx)| {
+                        let i = idx as usize;
+                        fs.ivs(i).contains(t)
+                            && fluent_matches_c(pat, fs.args(i), fs.value(i), b, trail)
                     }),
-                    None => fs.entries.iter().any(|e| {
-                        e.ivs.contains(t) && fluent_matches_c(pat, &e.args, &e.value, b, trail)
+                    None => (0..fs.len()).any(|i| {
+                        fs.ivs(i).contains(t)
+                            && fluent_matches_c(pat, fs.args(i), fs.value(i), b, trail)
                     }),
                 };
                 if !exists {
@@ -1096,14 +1311,14 @@ fn solve_c(
                 match &first_bound {
                     Some(first) => {
                         for &(_, idx) in fs.first_indices(first) {
-                            let e = &fs.entries[idx as usize];
-                            if !e.ivs.contains(t) {
+                            let i = idx as usize;
+                            if !fs.ivs(i).contains(t) {
                                 continue;
                             }
                             with_fluent_match_c(
                                 pat,
-                                &e.args,
-                                &e.value,
+                                fs.args(i),
+                                fs.value(i),
                                 b,
                                 trail,
                                 &mut |b, trail| {
@@ -1113,14 +1328,14 @@ fn solve_c(
                         }
                     }
                     None => {
-                        for e in &fs.entries {
-                            if !e.ivs.contains(t) {
+                        for i in 0..fs.len() {
+                            if !fs.ivs(i).contains(t) {
                                 continue;
                             }
                             with_fluent_match_c(
                                 pat,
-                                &e.args,
-                                &e.value,
+                                fs.args(i),
+                                fs.value(i),
                                 b,
                                 trail,
                                 &mut |b, trail| {
@@ -1180,14 +1395,13 @@ pub(crate) fn eval_interval_expr_c(
     trail: &mut Vec<VarId>,
     fluents: &CFluentStore,
 ) -> crate::interval::IntervalList {
-    use crate::interval::IntervalList;
     match expr {
         CIntervalExpr::Fluent { slot, pat } => {
             let fs = &fluents.slots[*slot as usize];
             let mut acc: Vec<&IntervalList> = Vec::new();
-            for e in &fs.entries {
-                if fluent_matches_c(pat, &e.args, &e.value, b, trail) {
-                    acc.push(&e.ivs);
+            for i in 0..fs.len() {
+                if fluent_matches_c(pat, fs.args(i), fs.value(i), b, trail) {
+                    acc.push(fs.ivs(i));
                 }
             }
             IntervalList::union_all(acc)
@@ -1207,6 +1421,61 @@ pub(crate) fn eval_interval_expr_c(
             let sub_ls: Vec<IntervalList> =
                 subs.iter().map(|e| eval_interval_expr_c(e, b, trail, fluents)).collect();
             IntervalList::relative_complement_all(&base_l, sub_ls.iter())
+        }
+    }
+}
+
+/// Arena-backed twin of [`eval_interval_expr_c`]: every node writes its
+/// (normalised, contiguous) result into `arena` scratch and returns an
+/// index range, so expression evaluation allocates nothing once the arena
+/// and `ranges` buffer are warm. The caller owns the arena lifetime — mark
+/// before, truncate after consuming the returned range.
+pub(crate) fn eval_interval_expr_into(
+    expr: &CIntervalExpr,
+    b: &mut Bindings,
+    trail: &mut Vec<VarId>,
+    fluents: &CFluentStore,
+    arena: &mut IntervalArena,
+    ranges: &mut Vec<IvRange>,
+) -> IvRange {
+    match expr {
+        CIntervalExpr::Fluent { slot, pat } => {
+            let mark = arena.mark();
+            let fs = &fluents.slots[*slot as usize];
+            for i in 0..fs.len() {
+                if fluent_matches_c(pat, fs.args(i), fs.value(i), b, trail) {
+                    arena.copy_in(fs.ivs(i).as_slice());
+                }
+            }
+            arena.union_finish(mark)
+        }
+        CIntervalExpr::Union(es) => {
+            let mark = arena.mark();
+            for e in es {
+                eval_interval_expr_into(e, b, trail, fluents, arena, ranges);
+            }
+            arena.union_finish(mark)
+        }
+        CIntervalExpr::Intersect(es) => {
+            let mark = arena.mark();
+            let rs = ranges.len();
+            for e in es {
+                let r = eval_interval_expr_into(e, b, trail, fluents, arena, ranges);
+                ranges.push(r);
+            }
+            let out = arena.intersect_all_into(mark, &ranges[rs..]);
+            ranges.truncate(rs);
+            out
+        }
+        CIntervalExpr::RelComp(base, subs) => {
+            let mark = arena.mark();
+            let base_r = eval_interval_expr_into(base, b, trail, fluents, arena, ranges);
+            let sub_mark = arena.mark();
+            for e in subs {
+                eval_interval_expr_into(e, b, trail, fluents, arena, ranges);
+            }
+            let d = arena.relative_complement_all_into(base_r, sub_mark);
+            arena.collapse(mark, d)
         }
     }
 }

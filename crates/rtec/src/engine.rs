@@ -21,11 +21,12 @@
 use crate::dsl::RuleSet;
 use crate::error::RtecError;
 use crate::event::{Event, FluentObs, Stamped};
-use crate::interval::IntervalList;
+use crate::interval::{Interval, IntervalList};
 use crate::pattern::{
     match_args, unbind_all, ArgPat, Bindings, EventPattern, FluentPattern, VarId,
 };
 use crate::rule::{BodyAtom, GuardExpr, IntervalExpr, NumExpr, SfKind, StaticRule, ValRef};
+use crate::slotstate::{CDeriv, CPoint, CycleState, EvTable, SfTable, StTable, StratumState};
 use crate::stratify::{body_deps, HeadKind};
 use crate::term::{Symbol, Term};
 use crate::time::{Time, TIME_MAX, TIME_MIN};
@@ -228,6 +229,17 @@ pub struct QueryTiming {
     /// reconstruction or static interval expressions); groundings untouched
     /// by the delta reuse their previous intervals and are not counted.
     pub groundings_recomputed: usize,
+    /// Heap allocations attributable to the window cycle on the slot-indexed
+    /// path: retained-buffer capacity growths (stores, grounding tables,
+    /// arenas) plus solver-scratch growths on the querying thread. Excludes
+    /// result delivery (the returned `Recognition`) and is `0` on the
+    /// interpreter and legacy compiled paths, which do not track it.
+    pub window_allocations: u64,
+    /// Time spent refilling the retained slot-indexed stores and merging
+    /// stratum output back into them (the cache-maintenance share of the
+    /// cycle; a subset of `windowing` + `evaluation`). Zero on paths that do
+    /// not track it.
+    pub cache_rebuild: std::time::Duration,
 }
 
 /// The result of one recognition query.
@@ -468,6 +480,18 @@ pub struct Engine {
     relations_dense: Vec<Vec<Vec<Term>>>,
     /// Builtin implementations in the plan's dense index order.
     builtins_dense: Vec<Option<BuiltinFn>>,
+    /// Retained slot-indexed window state for the arena-backed compiled
+    /// path. Derived state like the plan: checkpoint-excluded, reseeded from
+    /// the canonical caches whenever it is out of sync.
+    cstate: Option<Box<crate::slotstate::CycleState>>,
+    /// Whether compiled queries run on the retained slot-indexed state
+    /// (default) or the legacy per-window rebuild path (the arena-off A/B
+    /// reference).
+    arena_mode: bool,
+    /// Whether the canonical `HashMap` caches (`prev_fluents` etc.) lag
+    /// behind the slot-indexed tables; refreshed lazily when the legacy
+    /// paths or the snapshotter need them.
+    legacy_stale: bool,
 }
 
 struct EvalCtx<'a> {
@@ -589,6 +613,9 @@ impl Engine {
             compiled: false,
             relations_dense: Vec::new(),
             builtins_dense: Vec::new(),
+            cstate: None,
+            arena_mode: true,
+            legacy_stale: false,
         }
     }
 
@@ -647,6 +674,23 @@ impl Engine {
         }
         self.compiled = true;
         Ok(())
+    }
+
+    /// Switches the compiled path between the retained slot-indexed state
+    /// with arena-backed intervals (`true`, the default) and the legacy
+    /// per-window cache rebuild (`false`). Output-identical by construction
+    /// — the legacy path stays available as the arena A/B differential
+    /// reference. Like every mode toggle, switching marks the engine dirty.
+    pub fn set_arena(&mut self, on: bool) {
+        if on != self.arena_mode {
+            self.dirty_all = true;
+        }
+        self.arena_mode = on;
+    }
+
+    /// Whether the compiled path runs on the retained slot-indexed state.
+    pub fn is_arena(&self) -> bool {
+        self.arena_mode
     }
 
     /// Whether queries currently run on the compiled plan.
@@ -827,7 +871,19 @@ impl Engine {
             }
         }
         if self.compiled {
+            if self.arena_mode {
+                return self.query_compiled_slots(q);
+            }
             return self.query_compiled(q);
+        }
+        // The interpreter works off the canonical caches; bring them up to
+        // date if slot-state queries ran since, and mark the tables as
+        // needing a reseed before the next slot-state query.
+        if self.legacy_stale {
+            self.refresh_legacy_caches();
+        }
+        if let Some(cs) = self.cstate.as_mut() {
+            cs.synced = false;
         }
 
         let query_started = std::time::Instant::now();
@@ -1033,6 +1089,8 @@ impl Engine {
                 evaluation,
                 strata_evaluated,
                 groundings_recomputed,
+                window_allocations: 0,
+                cache_rebuild: std::time::Duration::ZERO,
             },
             fluents,
         })
@@ -1306,6 +1364,14 @@ impl Engine {
     /// scratch drawn from the per-thread arena (zero steady-state
     /// allocations, zero locks).
     fn query_compiled(&mut self, q: Time) -> Result<Recognition, RtecError> {
+        // This legacy compiled path works off the canonical caches, like the
+        // interpreter (see `query` for the stale/sync discipline).
+        if self.legacy_stale {
+            self.refresh_legacy_caches();
+        }
+        if let Some(cs) = self.cstate.as_mut() {
+            cs.synced = false;
+        }
         let plan = Arc::clone(self.plan.as_ref().expect("compiled mode implies a plan"));
         let query_started = std::time::Instant::now();
         let start = self.window.window_start(q);
@@ -1494,6 +1560,8 @@ impl Engine {
                 evaluation,
                 strata_evaluated,
                 groundings_recomputed,
+                window_allocations: 0,
+                cache_rebuild: std::time::Duration::ZERO,
             },
             fluents,
         })
@@ -1751,6 +1819,621 @@ impl Engine {
         }
     }
 
+    // -- slot-indexed (arena) compiled path ---------------------------------
+
+    /// The arena-backed twin of [`Engine::query_compiled`]: the same window
+    /// selection, frontier seeding and merge order, but all per-window state
+    /// lives in one retained [`CycleState`] — slot-indexed SDE stores and
+    /// fluent tables refilled in place, generation-stamped grounding tables
+    /// instead of rebuilt `HashMap` caches, and arena scratch for every
+    /// interval computed along the way. A steady-state cycle grows no
+    /// retained buffer and no solver scratch; the per-query allocation count
+    /// is measured around the cycle and reported in
+    /// [`QueryTiming::window_allocations`].
+    fn query_compiled_slots(&mut self, q: Time) -> Result<Recognition, RtecError> {
+        let plan = Arc::clone(self.plan.as_ref().expect("compiled mode implies a plan"));
+        let n_slots = plan.n_slots();
+        let n_strata = plan.instrs.len();
+        let mut cstate = match self.cstate.take() {
+            Some(cs) if cs.shape == (n_slots, n_strata) => cs,
+            _ => Box::new(CycleState::new(n_slots, n_strata)),
+        };
+        // Out-of-sync tables (fresh state, restore, a legacy query in
+        // between, a mode toggle) are reseeded from the canonical caches;
+        // the window must then re-derive in full — every cached frontier,
+        // point and derivation in the tables is from another era.
+        let mut forced_full = false;
+        if !cstate.synced {
+            self.reseed_cstate(&mut cstate, &plan);
+            forced_full = true;
+        }
+        cstate.gen += 1;
+        let gen = cstate.gen;
+
+        let query_started = std::time::Instant::now();
+        let scratch_before = crate::compile::scratch_allocations();
+        cstate.begin_caps();
+        let start = self.window.window_start(q);
+        let mut cache_rebuild = std::time::Duration::ZERO;
+
+        let cs = &mut *cstate;
+        let CycleState { frontiers, events, obs, fluents: cfluents, strata, .. } = cs;
+        frontiers.clear();
+        frontiers.resize(n_slots, TIME_MAX);
+
+        // Refill the retained SDE stores in place (capacity reuse), tracking
+        // per-slot change frontiers exactly like the legacy paths.
+        let refill_started = std::time::Instant::now();
+        events.clear();
+        obs.clear();
+        cfluents.clear();
+        let mut sde_count = 0usize;
+        for s in &mut self.buffered_events {
+            if s.item.arrival <= q && s.item.item.time > start && s.item.item.time <= q {
+                let slot =
+                    plan.slots.slot(s.item.item.kind).expect("declared input event has a slot");
+                if !s.seen {
+                    s.seen = true;
+                    let sl = slot as usize;
+                    frontiers[sl] = frontiers[sl].min(s.item.item.time);
+                }
+                events.push(slot, s.item.item.time, &s.item.item.args);
+                sde_count += 1;
+            }
+        }
+        for s in &mut self.buffered_obs {
+            if s.item.arrival <= q && s.item.item.time > start && s.item.item.time <= q {
+                let slot =
+                    plan.slots.slot(s.item.item.name).expect("declared input fluent has a slot");
+                if !s.seen {
+                    s.seen = true;
+                    let sl = slot as usize;
+                    frontiers[sl] = frontiers[sl].min(s.item.item.time);
+                }
+                obs.push(slot, s.item.item.time, &s.item.item.args, &s.item.item.value);
+                sde_count += 1;
+            }
+        }
+        self.buffered_events.retain(|s| s.item.item.time > start);
+        self.buffered_obs.retain(|s| s.item.item.time > start);
+        events.rebuild_all();
+        obs.sort_all();
+        cache_rebuild += refill_started.elapsed();
+        let windowing = query_started.elapsed();
+
+        let full_eval =
+            !self.incremental || self.first_query.is_none() || self.dirty_all || forced_full;
+        self.dirty_all = false;
+        let window_advanced =
+            self.last_query.is_some_and(|prev| self.window.window_start(prev) < start);
+
+        let evaluation_started = std::time::Instant::now();
+        let mut fluents_out = FluentStore::default();
+        let mut derived_events_all: Vec<Event> = Vec::new();
+        let mut strata_evaluated = 0usize;
+        let mut groundings_recomputed = 0usize;
+        let parallel = self.parallel_strata && self.incremental;
+
+        for range in &plan.levels {
+            let instrs = &plan.instrs[range.clone()];
+            let level_states = &mut strata[range.clone()];
+            if parallel && instrs.len() > 1 {
+                // Same-level strata are independent; evaluate them on the
+                // pool against the shared pre-level stores, each task owning
+                // its stratum's table through a mutex cell.
+                let outs: Vec<std::sync::Mutex<Option<SlotOut>>> =
+                    instrs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+                {
+                    let this = &*self;
+                    let plan_ref = &plan;
+                    let frontiers_ref: &[Time] = frontiers;
+                    let events_ref: &crate::compile::CEventStore = events;
+                    let obs_ref: &crate::compile::CObsStore = obs;
+                    let cfluents_ref: &crate::compile::CFluentStore = cfluents;
+                    let cells: Vec<std::sync::Mutex<&mut Option<StratumState>>> =
+                        level_states.iter_mut().map(std::sync::Mutex::new).collect();
+                    crate::pool::run_tasks(instrs.len(), |i| {
+                        let instr = &instrs[i];
+                        let fr = slot_frontier(instr, frontiers_ref, full_eval, window_advanced);
+                        let ctx = crate::compile::CCtx {
+                            events: events_ref,
+                            obs: obs_ref,
+                            fluents: cfluents_ref,
+                            relations: &this.relations_dense,
+                            builtins: &this.builtins_dense,
+                        };
+                        let mut state = cells[i].lock().unwrap();
+                        let out = this.eval_stratum_slots(
+                            instr,
+                            plan_ref,
+                            fr,
+                            start,
+                            full_eval,
+                            gen,
+                            &ctx,
+                            state.as_mut().expect("stratum state initialised"),
+                        );
+                        *outs[i].lock().unwrap() = Some(out);
+                    });
+                }
+                let merge_started = std::time::Instant::now();
+                for (i, (instr, out)) in instrs.iter().zip(outs).enumerate() {
+                    let out =
+                        out.into_inner().unwrap().expect("every stratum task filled its slot");
+                    merge_stratum_slots(
+                        instr,
+                        out,
+                        level_states[i].as_ref().expect("stratum state initialised"),
+                        gen,
+                        events,
+                        cfluents,
+                        &mut fluents_out,
+                        &mut derived_events_all,
+                        frontiers,
+                        &mut strata_evaluated,
+                        &mut groundings_recomputed,
+                    );
+                }
+                cache_rebuild += merge_started.elapsed();
+            } else {
+                // Serial: merging stratum `i` before evaluating `i + 1` is
+                // observationally identical to the batch merge — same-level
+                // strata never read each other's slots.
+                for (i, instr) in instrs.iter().enumerate() {
+                    let fr = slot_frontier(instr, frontiers, full_eval, window_advanced);
+                    let out = {
+                        let ctx = crate::compile::CCtx {
+                            events,
+                            obs,
+                            fluents: cfluents,
+                            relations: &self.relations_dense,
+                            builtins: &self.builtins_dense,
+                        };
+                        self.eval_stratum_slots(
+                            instr,
+                            &plan,
+                            fr,
+                            start,
+                            full_eval,
+                            gen,
+                            &ctx,
+                            level_states[i].as_mut().expect("stratum state initialised"),
+                        )
+                    };
+                    let merge_started = std::time::Instant::now();
+                    merge_stratum_slots(
+                        instr,
+                        out,
+                        level_states[i].as_ref().expect("stratum state initialised"),
+                        gen,
+                        events,
+                        cfluents,
+                        &mut fluents_out,
+                        &mut derived_events_all,
+                        frontiers,
+                        &mut strata_evaluated,
+                        &mut groundings_recomputed,
+                    );
+                    cache_rebuild += merge_started.elapsed();
+                }
+            }
+        }
+
+        self.last_query = Some(q);
+        if self.first_query.is_none() {
+            self.first_query = Some(q);
+        }
+        derived_events_all.sort_by_key(|a| (a.time, a.kind));
+        let evaluation = evaluation_started.elapsed();
+
+        let window_allocations =
+            cstate.end_caps() + (crate::compile::scratch_allocations() - scratch_before);
+        cstate.synced = true;
+        self.cstate = Some(cstate);
+        // The canonical HashMap caches now lag behind the tables; the
+        // legacy paths and the snapshotter refresh or read through lazily.
+        self.legacy_stale = true;
+
+        Ok(Recognition {
+            derived_events: derived_events_all,
+            query_time: q,
+            window_start: start,
+            sde_count,
+            timing: QueryTiming {
+                total: query_started.elapsed(),
+                windowing,
+                evaluation,
+                strata_evaluated,
+                groundings_recomputed,
+                window_allocations,
+                cache_rebuild,
+            },
+            fluents: fluents_out,
+        })
+    }
+
+    /// (Re)builds the retained tables and seeds the previous-window
+    /// simple-fluent outputs from the canonical caches, so inertia
+    /// (`initially`, window-start values) carries across the resync. Event
+    /// and point caches are *not* seeded: the first post-reseed window runs
+    /// full evaluation, where survivors are empty by construction and only
+    /// the previous fluent intervals are observable (through `initially`
+    /// seeding and output divergence).
+    fn reseed_cstate(&self, cs: &mut CycleState, plan: &crate::compile::CompiledPlan) {
+        cs.strata.clear();
+        for instr in &plan.instrs {
+            cs.strata.push(Some(match instr.kind {
+                HeadKind::Event => StratumState::Ev(EvTable::default()),
+                HeadKind::SimpleFluent => StratumState::Sf(SfTable::default()),
+                HeadKind::StaticFluent => StratumState::St(StTable::default()),
+            }));
+        }
+        for ((sym, args, value), ivs) in &self.prev_fluents {
+            if ivs.is_empty() {
+                continue;
+            }
+            let Some(si) = plan.instrs.iter().position(|i| i.symbol == *sym) else { continue };
+            if let Some(StratumState::Sf(t)) = cs.strata[si].as_mut() {
+                let gid = t.lookup_or_insert(args, value);
+                let g = &mut t.gs[gid as usize];
+                g.out = ivs.clone();
+                g.data_gen = cs.gen;
+            }
+        }
+        cs.synced = true;
+    }
+
+    /// Rebuilds the canonical `HashMap` caches from the slot-indexed tables
+    /// after slot-state queries, so the interpreter, the legacy compiled
+    /// path and the snapshotter see current previous-window intervals. The
+    /// derivation caches are merely cleared: every mode transition marks the
+    /// engine dirty, so the next legacy query runs full evaluation and only
+    /// reads the fluent intervals (inertia seeding and divergence).
+    fn refresh_legacy_caches(&mut self) {
+        self.legacy_stale = false;
+        let Some(cs) = self.cstate.take() else { return };
+        self.prev_fluents.clear();
+        self.prev_static.clear();
+        self.event_cache.clear();
+        self.points_cache.clear();
+        if let Some(plan) = self.plan.clone() {
+            let gen = cs.gen;
+            for (instr, state) in plan.instrs.iter().zip(&cs.strata) {
+                match state {
+                    Some(StratumState::Sf(t)) => {
+                        for g in &t.gs {
+                            if g.data_gen == gen && !g.out.is_empty() {
+                                self.prev_fluents.insert(
+                                    (instr.symbol, t.key_args(g).to_vec(), g.value.clone()),
+                                    g.out.clone(),
+                                );
+                            }
+                        }
+                    }
+                    Some(StratumState::St(t)) => {
+                        for g in &t.gs {
+                            if g.data_gen == gen && !g.out.is_empty() {
+                                self.prev_static.insert(
+                                    (instr.symbol, t.key_args(g).to_vec(), g.value.clone()),
+                                    g.out.clone(),
+                                );
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.cstate = Some(cs);
+    }
+
+    /// Evaluates one stratum against its retained table — the slot-state
+    /// twin of [`Engine::eval_stratum_compiled`], reproducing its survivor
+    /// filtering, grounding universe, set comparison and divergence logic
+    /// over generation-stamped tables instead of rebuilt maps.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_stratum_slots(
+        &self,
+        instr: &crate::compile::StratumInstr,
+        plan: &crate::compile::CompiledPlan,
+        frontier: Time,
+        start: Time,
+        full_eval: bool,
+        gen: u64,
+        ctx: &crate::compile::CCtx<'_>,
+        state: &mut StratumState,
+    ) -> SlotOut {
+        match state {
+            StratumState::Ev(t) => {
+                // A stale side predates the last reseed; the reseed forced a
+                // full evaluation, under which survivors are empty anyway.
+                if t.data_gen + 1 != gen {
+                    t.cur.clear();
+                    t.pool_cur.clear();
+                    t.mat_cur.clear();
+                }
+                t.next.clear();
+                t.pool_next.clear();
+                // Survivors: derivations whose evidence span is entirely
+                // inside the window and strictly below the change frontier.
+                for i in 0..t.cur.len() {
+                    let d = t.cur[i];
+                    if d.span_min > start && d.span_max < frontier {
+                        let off = t.pool_next.len() as u32;
+                        let (a, z) = (d.off as usize, d.off as usize + d.len as usize);
+                        t.pool_next.extend_from_slice(&t.pool_cur[a..z]);
+                        t.next.push(CDeriv { off, ..d });
+                    }
+                }
+                let mut evaluated = false;
+                if frontier < TIME_MAX {
+                    evaluated = true;
+                    for &ri in &instr.rules {
+                        let rule = &self.ruleset.ev_rules[ri as usize];
+                        let body = &plan.ev_bodies[ri as usize];
+                        let next = &mut t.next;
+                        let pool_next = &mut t.pool_next;
+                        crate::compile::solve_frontier_c(
+                            ctx,
+                            body,
+                            rule.n_vars,
+                            frontier,
+                            start,
+                            &mut |b, spans| {
+                                let time = b
+                                    .get(rule.time)
+                                    .and_then(term_time)
+                                    .expect("head time bound (validated at build)");
+                                let off = pool_next.len() as u32;
+                                instantiate_args_into(&rule.head.args, b, pool_next);
+                                let len = (pool_next.len() - off as usize) as u16;
+                                let (mn, mx) = span_bounds(spans);
+                                next.push(CDeriv { off, len, time, span_min: mn, span_max: mx });
+                            },
+                        );
+                    }
+                }
+                t.build_mat_next(start);
+                let frontier_out = t.mat_divergence(start);
+                t.swap_sides(gen);
+                SlotOut { evaluated, groundings: 0, frontier_out }
+            }
+            StratumState::Sf(t) => {
+                let mut evaluated = false;
+                if frontier < TIME_MAX {
+                    evaluated = true;
+                    for &ri in &instr.rules {
+                        let rule = &self.ruleset.sf_rules[ri as usize];
+                        let body = &plan.sf_bodies[ri as usize];
+                        let is_init = matches!(rule.kind, SfKind::Initiated);
+                        crate::compile::solve_frontier_c(
+                            ctx,
+                            body,
+                            rule.n_vars,
+                            frontier,
+                            start,
+                            &mut |b, spans| {
+                                let time = b
+                                    .get(rule.time)
+                                    .and_then(term_time)
+                                    .expect("head time bound (validated at build)");
+                                t.key_buf.clear();
+                                instantiate_args_into(&rule.head.args, b, &mut t.key_buf);
+                                let value = match &rule.head.value {
+                                    ArgPat::Const(c) => c.clone(),
+                                    ArgPat::Var(v) => b.get(*v).expect("head value bound").clone(),
+                                    ArgPat::Any => unreachable!("validated at build"),
+                                };
+                                let key_buf = std::mem::take(&mut t.key_buf);
+                                let gid = t.lookup_or_insert(&key_buf, &value);
+                                t.key_buf = key_buf;
+                                t.gs[gid as usize].touch_gen = gen;
+                                let (mn, mx) = span_bounds(spans);
+                                t.fresh.push((
+                                    gid,
+                                    CPoint { init: is_init, time, span_min: mn, span_max: mx },
+                                ));
+                            },
+                        );
+                    }
+                }
+                t.fresh.sort_by_key(|&(gid, _)| gid);
+
+                let mut f_out = TIME_MAX;
+                let mut groundings = 0usize;
+                let mut set_old = std::mem::take(&mut t.set_old);
+                let mut set_new = std::mem::take(&mut t.set_new);
+                let mut inits = std::mem::take(&mut t.inits);
+                let mut terms = std::mem::take(&mut t.terms);
+                let mut ivs = std::mem::take(&mut t.ivs);
+                for oi in 0..t.order.len() {
+                    let gid = t.order[oi] as usize;
+                    let lo = t.fresh.partition_point(|&(g2, _)| (g2 as usize) < gid);
+                    let hi = t.fresh.partition_point(|&(g2, _)| (g2 as usize) <= gid);
+                    let touched = hi > lo;
+                    let g = &mut t.gs[gid];
+                    let prev_valid = g.data_gen + 1 == gen;
+                    if !prev_valid && !touched {
+                        continue;
+                    }
+                    if touched && !prev_valid {
+                        // Points (and output) predate the last participation;
+                        // the legacy cache would simply not hold this key.
+                        g.pts.clear();
+                    }
+                    set_old.clear();
+                    for p in &g.pts {
+                        if p.time > start {
+                            set_old.push((p.time, p.init));
+                        }
+                    }
+                    set_old.sort_unstable();
+                    set_old.dedup();
+                    g.pts.retain(|p| p.span_min > start && p.span_max < frontier);
+                    for &(_, p) in &t.fresh[lo..hi] {
+                        g.pts.push(p);
+                    }
+                    set_new.clear();
+                    for p in &g.pts {
+                        set_new.push((p.time, p.init));
+                    }
+                    set_new.sort_unstable();
+                    set_new.dedup();
+
+                    if set_old == set_new && !full_eval {
+                        g.out = if prev_valid { g.out.after(start) } else { IntervalList::empty() };
+                    } else {
+                        let initially = prev_valid && g.out.contains(start);
+                        if !set_new.is_empty() || initially {
+                            groundings += 1;
+                        }
+                        inits.clear();
+                        terms.clear();
+                        for &(pt, init) in &set_new {
+                            if init {
+                                inits.push(pt);
+                            } else {
+                                terms.push(pt);
+                            }
+                        }
+                        crate::interval::points_into(
+                            &mut inits, &mut terms, initially, start, &mut ivs,
+                        );
+                        let prev_slice: &[Interval] =
+                            if prev_valid { g.out.as_slice() } else { &[] };
+                        if let Some(d) =
+                            crate::interval::first_divergence_clamped(prev_slice, start, &ivs)
+                        {
+                            f_out = f_out.min(d);
+                        }
+                        if ivs.as_slice() != g.out.as_slice() {
+                            g.out = IntervalList::from_normalised(&ivs);
+                        }
+                    }
+                    if !g.pts.is_empty() || !g.out.is_empty() {
+                        g.data_gen = gen;
+                    }
+                }
+                t.set_old = set_old;
+                t.set_new = set_new;
+                t.inits = inits;
+                t.terms = terms;
+                t.ivs = ivs;
+                t.fresh.clear();
+                t.maybe_compact(gen);
+                SlotOut { evaluated, groundings, frontier_out: f_out }
+            }
+            StratumState::St(t) => {
+                if frontier == TIME_MAX && instr.static_pure {
+                    // Clean, pure-domain stratum: clamp-reuse the previous
+                    // outputs without re-solving.
+                    for oi in 0..t.order.len() {
+                        let gid = t.order[oi] as usize;
+                        let g = &mut t.gs[gid];
+                        if g.data_gen + 1 != gen || g.out.is_empty() {
+                            continue;
+                        }
+                        let clamped = g.out.after(start);
+                        if clamped.is_empty() {
+                            g.out = IntervalList::empty();
+                        } else {
+                            g.out = clamped;
+                            g.data_gen = gen;
+                        }
+                    }
+                    SlotOut { evaluated: false, groundings: 0, frontier_out: TIME_MAX }
+                } else {
+                    let mut expr_trail = std::mem::take(&mut t.expr_trail);
+                    let mut ranges = std::mem::take(&mut t.ranges);
+                    let mut arena = std::mem::take(&mut t.arena);
+                    for &ri in &instr.rules {
+                        let rule = &self.ruleset.static_rules[ri as usize];
+                        let cs = &plan.static_bodies[ri as usize];
+                        crate::compile::solve_domain_c(
+                            ctx,
+                            &cs.domain,
+                            rule.n_vars,
+                            &mut |b, _spans| {
+                                let mark = arena.mark();
+                                let r = crate::compile::eval_interval_expr_into(
+                                    &cs.expr,
+                                    b,
+                                    &mut expr_trail,
+                                    ctx.fluents,
+                                    &mut arena,
+                                    &mut ranges,
+                                );
+                                if r.is_empty() {
+                                    arena.truncate(mark);
+                                    return;
+                                }
+                                t.key_buf.clear();
+                                instantiate_args_into(&rule.head.args, b, &mut t.key_buf);
+                                let value = match &rule.head.value {
+                                    ArgPat::Const(c) => c.clone(),
+                                    ArgPat::Var(v) => b.get(*v).expect("head value bound").clone(),
+                                    ArgPat::Any => unreachable!("validated at build"),
+                                };
+                                let key_buf = std::mem::take(&mut t.key_buf);
+                                let gid = t.lookup_or_insert(&key_buf, &value);
+                                t.key_buf = key_buf;
+                                let g = &mut t.gs[gid as usize];
+                                if g.acc_gen != gen {
+                                    g.acc.clear();
+                                    g.acc_gen = gen;
+                                }
+                                // Accumulating + renormalising equals the
+                                // legacy per-key `union` across rules.
+                                g.acc.extend_from_slice(arena.slice(r));
+                                crate::interval::normalise_in_place(&mut g.acc);
+                                arena.truncate(mark);
+                            },
+                        );
+                    }
+                    t.expr_trail = expr_trail;
+                    t.ranges = ranges;
+                    t.arena = arena;
+
+                    let mut groundings = 0usize;
+                    let mut f_out = TIME_MAX;
+                    for oi in 0..t.order.len() {
+                        let gid = t.order[oi] as usize;
+                        let g = &mut t.gs[gid];
+                        let prev_valid = g.data_gen + 1 == gen;
+                        if g.acc_gen != gen {
+                            if prev_valid {
+                                // Grounding disappeared from the computed
+                                // domain: its previous intervals diverge.
+                                if let Some(d) = crate::interval::first_divergence_clamped(
+                                    g.out.as_slice(),
+                                    start,
+                                    &[],
+                                ) {
+                                    f_out = f_out.min(d);
+                                }
+                            }
+                            g.out = IntervalList::empty();
+                            continue;
+                        }
+                        groundings += 1;
+                        let prev_slice: &[Interval] =
+                            if prev_valid { g.out.as_slice() } else { &[] };
+                        if let Some(d) =
+                            crate::interval::first_divergence_clamped(prev_slice, start, &g.acc)
+                        {
+                            f_out = f_out.min(d);
+                        }
+                        if g.acc.as_slice() != g.out.as_slice() {
+                            g.out = IntervalList::from_normalised(&g.acc);
+                        }
+                        g.data_gen = gen;
+                    }
+                    SlotOut { evaluated: true, groundings, frontier_out: f_out }
+                }
+            }
+        }
+    }
+
     // -- checkpoint/restore -------------------------------------------------
 
     /// Serialises the engine's windowed recognition state into a stable,
@@ -1807,35 +2490,54 @@ impl Engine {
         }
         // Sorted so identical states serialise to identical bytes even
         // though the backing map iterates in arbitrary order.
-        let mut fluent_lines: Vec<String> = self
-            .prev_fluents
-            .iter()
-            .filter(|(_, ivs)| !ivs.is_empty())
-            .map(|((name, args, value), ivs)| {
-                let mut line = String::with_capacity(48);
-                line.push_str("pf ");
-                state_escape_into(&mut line, name.as_str());
+        let pf_line = |name: &Symbol, args: &[Term], value: &Term, ivs: &IntervalList| {
+            let mut line = String::with_capacity(48);
+            line.push_str("pf ");
+            state_escape_into(&mut line, name.as_str());
+            line.push(' ');
+            term_token_into(&mut line, value);
+            let _ = write!(line, " {}", args.len());
+            for a in args {
                 line.push(' ');
-                term_token_into(&mut line, value);
-                let _ = write!(line, " {}", args.len());
-                for a in args {
-                    line.push(' ');
-                    term_token_into(&mut line, a);
+                term_token_into(&mut line, a);
+            }
+            for iv in ivs.iter() {
+                match iv.end() {
+                    Some(e) => {
+                        let _ = write!(line, " {}:{e}", iv.start());
+                    }
+                    None => {
+                        let _ = write!(line, " {}:inf", iv.start());
+                    }
                 }
-                for iv in ivs.iter() {
-                    match iv.end() {
-                        Some(e) => {
-                            let _ = write!(line, " {}:{e}", iv.start());
-                        }
-                        None => {
-                            let _ = write!(line, " {}:inf", iv.start());
+            }
+            line.push('\n');
+            line
+        };
+        let mut fluent_lines: Vec<String> = if self.legacy_stale {
+            // The canonical map lags behind the slot tables (the last query
+            // ran on the slots path); read the current-generation fluent
+            // outputs straight from the tables instead.
+            let mut lines = Vec::new();
+            if let (Some(cs), Some(plan)) = (self.cstate.as_ref(), self.plan.as_ref()) {
+                for (instr, state) in plan.instrs.iter().zip(&cs.strata) {
+                    if let Some(StratumState::Sf(t)) = state {
+                        for g in &t.gs {
+                            if g.data_gen == cs.gen && !g.out.is_empty() {
+                                lines.push(pf_line(&instr.symbol, t.key_args(g), &g.value, &g.out));
+                            }
                         }
                     }
                 }
-                line.push('\n');
-                line
-            })
-            .collect();
+            }
+            lines
+        } else {
+            self.prev_fluents
+                .iter()
+                .filter(|(_, ivs)| !ivs.is_empty())
+                .map(|((name, args, value), ivs)| pf_line(name, args, value, ivs))
+                .collect()
+        };
         fluent_lines.sort_unstable();
         for line in fluent_lines {
             out.push_str(&line);
@@ -1969,6 +2671,12 @@ impl Engine {
         self.event_cache.clear();
         self.points_cache.clear();
         self.dirty_all = true;
+        // The canonical caches are now the source of truth again; the slot
+        // tables must reseed from them before the next slots query.
+        self.legacy_stale = false;
+        if let Some(cs) = self.cstate.as_mut() {
+            cs.synced = false;
+        }
         Ok(())
     }
 
@@ -2529,6 +3237,135 @@ pub(crate) fn instantiate_args(pats: &[ArgPat], b: &Bindings) -> Vec<Term> {
             ArgPat::Any => unreachable!("wildcards are rejected in heads at build time"),
         })
         .collect()
+}
+
+/// [`instantiate_args`] into a caller-provided buffer, so the slots path can
+/// keep head-argument instantiation inside retained pools.
+pub(crate) fn instantiate_args_into(pats: &[ArgPat], b: &Bindings, out: &mut Vec<Term>) {
+    for p in pats {
+        match p {
+            ArgPat::Const(c) => out.push(c.clone()),
+            ArgPat::Var(v) => {
+                out.push(b.get(*v).expect("head var bound (validated at build)").clone())
+            }
+            ArgPat::Any => unreachable!("wildcards are rejected in heads at build time"),
+        }
+    }
+}
+
+/// Per-stratum evaluation result on the slot-indexed path. Unlike
+/// [`StratumOut`], the outputs themselves stay inside the stratum's retained
+/// table; only the counters and the output change frontier travel back to
+/// the merge step.
+#[derive(Clone, Copy)]
+struct SlotOut {
+    /// Whether rule bodies were actually (re-)solved (`strata_evaluated`).
+    evaluated: bool,
+    /// Groundings recomputed (`groundings_recomputed`).
+    groundings: usize,
+    /// The stratum's output change frontier.
+    frontier_out: Time,
+}
+
+/// The evaluation frontier of one stratum: the minimum change frontier over
+/// its dependency slots (`TIME_MAX` = clean), forced to `TIME_MIN` under
+/// full evaluation, and for non-pivotable strata whenever anything changed
+/// or the window start advanced (their fluent reads may target times that
+/// just expired, flipping with no input delta).
+fn slot_frontier(
+    instr: &crate::compile::StratumInstr,
+    frontiers: &[Time],
+    full_eval: bool,
+    window_advanced: bool,
+) -> Time {
+    let mut frontier = if full_eval {
+        TIME_MIN
+    } else {
+        instr.dep_slots.iter().map(|&d| frontiers[d as usize]).min().unwrap_or(TIME_MAX)
+    };
+    if !instr.pivotable && (window_advanced || frontier < TIME_MAX) {
+        frontier = TIME_MIN;
+    }
+    frontier
+}
+
+/// Publishes one evaluated stratum's outputs downstream: materialised events
+/// into the dense event store and the query result, current-generation
+/// non-empty fluent groundings into the dense fluent store and the
+/// recognition output, and the output change frontier into the head slot.
+#[allow(clippy::too_many_arguments)]
+fn merge_stratum_slots(
+    instr: &crate::compile::StratumInstr,
+    out: SlotOut,
+    state: &StratumState,
+    gen: u64,
+    events: &mut crate::compile::CEventStore,
+    cfluents: &mut crate::compile::CFluentStore,
+    fluents_out: &mut FluentStore,
+    derived_events_all: &mut Vec<Event>,
+    frontiers: &mut [Time],
+    strata_evaluated: &mut usize,
+    groundings_recomputed: &mut usize,
+) {
+    if out.evaluated {
+        *strata_evaluated += 1;
+    }
+    *groundings_recomputed += out.groundings;
+    frontiers[instr.slot as usize] = out.frontier_out;
+    match state {
+        StratumState::Ev(t) => {
+            for m in &t.mat_cur {
+                let args = t.cur_args(m.off, m.len);
+                events.push(instr.slot, m.time, args);
+                derived_events_all.push(Event {
+                    kind: instr.symbol,
+                    args: args.to_vec(),
+                    time: m.time,
+                });
+            }
+            if !t.mat_cur.is_empty() {
+                events.rebuild_slot(instr.slot);
+            }
+        }
+        StratumState::Sf(t) => {
+            let mut any = false;
+            for &gid in &t.order {
+                let g = &t.gs[gid as usize];
+                if g.data_gen != gen || g.out.is_empty() {
+                    continue;
+                }
+                let args = t.key_args(g);
+                cfluents.insert_entry(instr.slot, args, &g.value, &g.out);
+                fluents_out.insert(
+                    instr.symbol,
+                    FluentEntry { args: args.to_vec(), value: g.value.clone(), ivs: g.out.clone() },
+                );
+                any = true;
+            }
+            if any {
+                cfluents.finish_slot(instr.slot);
+            }
+        }
+        StratumState::St(t) => {
+            let mut any = false;
+            for &gid in &t.order {
+                let g = &t.gs[gid as usize];
+                if g.data_gen != gen || g.out.is_empty() {
+                    continue;
+                }
+                let args = t.key_args(g);
+                cfluents.insert_entry(instr.slot, args, &g.value, &g.out);
+                fluents_out.insert(
+                    instr.symbol,
+                    FluentEntry { args: args.to_vec(), value: g.value.clone(), ivs: g.out.clone() },
+                );
+                any = true;
+            }
+            if any {
+                cfluents.finish_slot(instr.slot);
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -143,17 +143,28 @@ impl IntervalList {
     /// overlapping and adjacent intervals).
     pub fn from_intervals<I: IntoIterator<Item = Interval>>(intervals: I) -> IntervalList {
         let mut items: Vec<Interval> = intervals.into_iter().collect();
-        items.sort_by_key(|iv| (iv.start, iv.end_raw));
-        let mut out: Vec<Interval> = Vec::with_capacity(items.len());
-        for iv in items {
-            match out.last_mut() {
-                Some(last) if iv.start <= last.end_raw => {
-                    last.end_raw = last.end_raw.max(iv.end_raw);
-                }
-                _ => out.push(iv),
-            }
+        normalise_in_place(&mut items);
+        IntervalList { items: Arc::new(items) }
+    }
+
+    /// Normalises `buf` in place (caller-provided scratch: no allocation
+    /// beyond the buffer's own capacity) and materialises the list from it.
+    /// The buffer is left holding the normalised intervals, so a caller can
+    /// compare against a previous result before deciding to materialise.
+    pub fn from_intervals_in(buf: &mut Vec<Interval>) -> IntervalList {
+        normalise_in_place(buf);
+        IntervalList::from_normalised(buf)
+    }
+
+    /// Materialises a list from an already-normalised slice (one allocation:
+    /// the backing storage). Debug-asserts the invariant.
+    pub fn from_normalised(items: &[Interval]) -> IntervalList {
+        if items.is_empty() {
+            return IntervalList::empty();
         }
-        IntervalList { items: Arc::new(out) }
+        let result = IntervalList { items: Arc::new(items.to_vec()) };
+        debug_assert!(result.is_normalised(), "from_normalised got {result:?}");
+        result
     }
 
     /// Reconstructs maximal intervals from initiation and termination
@@ -171,44 +182,27 @@ impl IntervalList {
         initially: bool,
         from: Time,
     ) -> IntervalList {
-        #[derive(Clone, Copy)]
-        enum P {
-            Term(Time),
-            Init(Time),
-        }
-        let mut pts: Vec<P> = Vec::with_capacity(inits.len() + terms.len());
-        pts.extend(terms.iter().map(|&t| P::Term(t)));
-        pts.extend(inits.iter().map(|&t| P::Init(t)));
-        // Terminations sort before initiations at the same time-point.
-        pts.sort_by_key(|p| match *p {
-            P::Term(t) => (t, 0u8),
-            P::Init(t) => (t, 1u8),
-        });
-
+        let mut i = inits.to_vec();
+        let mut t = terms.to_vec();
         let mut out: Vec<Interval> = Vec::new();
-        let mut open_since: Option<Time> = initially.then_some(from);
-        for p in pts {
-            match p {
-                P::Init(t) => {
-                    if open_since.is_none() && t >= from {
-                        open_since = Some(t);
-                    }
-                }
-                P::Term(t) => {
-                    if let Some(s) = open_since.take() {
-                        if t > s {
-                            out.push(Interval::span(s, t));
-                        }
-                        // t <= s would be an empty interval: drop it, the
-                        // fluent never observably held.
-                    }
-                }
-            }
-        }
-        if let Some(s) = open_since {
-            out.push(Interval::open_from(s));
-        }
-        IntervalList::from_intervals(out)
+        points_into(&mut i, &mut t, initially, from, &mut out);
+        IntervalList { items: Arc::new(out) }
+    }
+
+    /// [`IntervalList::from_points`] with caller-provided scratch: the
+    /// init/term buffers are sorted in place and the intervals are written
+    /// into `out` (cleared first). The only allocation left to the caller is
+    /// the final materialisation — or none at all, when `out` is arena
+    /// scratch and the result is compared against a cached list instead.
+    pub fn from_points_in(
+        inits: &mut [Time],
+        terms: &mut [Time],
+        initially: bool,
+        from: Time,
+        out: &mut Vec<Interval>,
+    ) -> IntervalList {
+        points_into(inits, terms, initially, from, out);
+        IntervalList::from_normalised(out)
     }
 
     /// Number of maximal intervals.
@@ -406,6 +400,342 @@ impl IntervalList {
     pub fn is_normalised(&self) -> bool {
         self.items.windows(2).all(|w| w[0].end_raw < w[1].start)
             && self.items.iter().all(|iv| iv.end_raw > iv.start)
+    }
+}
+
+/// Sorts and merges `buf` in place so it satisfies the [`IntervalList`]
+/// normalisation invariant. No allocation beyond the buffer's capacity.
+pub fn normalise_in_place(buf: &mut Vec<Interval>) {
+    buf.sort_unstable_by_key(|iv| (iv.start, iv.end_raw));
+    let mut w = 0usize;
+    for r in 0..buf.len() {
+        let iv = buf[r];
+        if w > 0 && iv.start <= buf[w - 1].end_raw {
+            buf[w - 1].end_raw = buf[w - 1].end_raw.max(iv.end_raw);
+        } else {
+            buf[w] = iv;
+            w += 1;
+        }
+    }
+    buf.truncate(w);
+}
+
+/// Core of [`IntervalList::from_points`]: sorts the init/term buffers in
+/// place (terminations before initiations at equal time-points, by merge
+/// order) and writes the inertia intervals into `out` (cleared first).
+pub fn points_into(
+    inits: &mut [Time],
+    terms: &mut [Time],
+    initially: bool,
+    from: Time,
+    out: &mut Vec<Interval>,
+) {
+    inits.sort_unstable();
+    terms.sort_unstable();
+    out.clear();
+    let mut open_since: Option<Time> = initially.then_some(from);
+    let (mut i, mut j) = (0usize, 0usize);
+    loop {
+        // Merge the two sorted streams; a termination at time t is
+        // processed before an initiation at the same t.
+        let take_term = match (inits.get(i), terms.get(j)) {
+            (None, None) => break,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (Some(&it), Some(&tt)) => tt <= it,
+        };
+        if take_term {
+            let t = terms[j];
+            j += 1;
+            if let Some(s) = open_since.take() {
+                if t > s {
+                    out.push(Interval::span(s, t));
+                }
+                // t <= s would be an empty interval: drop it, the fluent
+                // never observably held.
+            }
+        } else {
+            let t = inits[i];
+            i += 1;
+            if open_since.is_none() && t >= from {
+                open_since = Some(t);
+            }
+        }
+    }
+    if let Some(s) = open_since {
+        out.push(Interval::open_from(s));
+    }
+    // The inertia construction emits sorted disjoint intervals, but repeated
+    // term-then-init at one time-point can emit adjacent spans; merge them.
+    let mut w = 0usize;
+    for r in 0..out.len() {
+        let iv = out[r];
+        if w > 0 && iv.start <= out[w - 1].end_raw {
+            out[w - 1].end_raw = out[w - 1].end_raw.max(iv.end_raw);
+        } else {
+            out[w] = iv;
+            w += 1;
+        }
+    }
+    out.truncate(w);
+}
+
+/// [`IntervalList::first_divergence`] over raw normalised slices, with the
+/// left slice viewed *clamped at `t`* (the `after(t)` view) — what the
+/// engine's divergence checks need without materialising the clamped list.
+pub fn first_divergence_clamped(prev: &[Interval], t: Time, new: &[Interval]) -> Option<Time> {
+    let skip = prev.partition_point(|iv| iv.end_raw <= t);
+    let mut i = skip;
+    let mut j = 0usize;
+    while i < prev.len() && j < new.len() {
+        let a = Interval { start: prev[i].start.max(t), end_raw: prev[i].end_raw };
+        let b = new[j];
+        if a.start != b.start {
+            return Some(a.start.min(b.start));
+        }
+        if a.end_raw != b.end_raw {
+            return Some(a.end_raw.min(b.end_raw));
+        }
+        i += 1;
+        j += 1;
+    }
+    match (prev.get(i), new.get(j)) {
+        (Some(a), None) => Some(a.start.max(t)),
+        (None, Some(b)) => Some(b.start),
+        _ => None,
+    }
+}
+
+/// Whether the clamped-at-`t` view of `prev` equals `new` exactly.
+pub fn clamped_eq(prev: &[Interval], t: Time, new: &[Interval]) -> bool {
+    first_divergence_clamped(prev, t, new).is_none()
+}
+
+// ---------------------------------------------------------------------------
+// Interval arena
+// ---------------------------------------------------------------------------
+
+/// An index range into an [`IntervalArena`]'s slab — the arena-backed stand-in
+/// for an owned interval list. Only meaningful against the arena that issued
+/// it, and only until that arena is truncated below `off`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IvRange {
+    off: u32,
+    len: u32,
+}
+
+impl IvRange {
+    /// Number of intervals in the range.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the range holds no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A slab of intervals reused across evaluations: the interval algebra's
+/// `*_into` variants write their results here instead of allocating a fresh
+/// `Arc<Vec<Interval>>` per operation. Operations follow a stack discipline —
+/// [`IntervalArena::mark`] before a computation, operate, read the result
+/// slice, [`IntervalArena::truncate`] back — so a steady-state window cycle
+/// touches only already-reserved capacity.
+///
+/// The arena is *derived state*: like the compiled plan it is excluded from
+/// checkpoint snapshots and rebuilt (empty) on restore.
+#[derive(Default)]
+pub struct IntervalArena {
+    buf: Vec<Interval>,
+}
+
+impl IntervalArena {
+    /// An empty arena.
+    pub fn new() -> IntervalArena {
+        IntervalArena::default()
+    }
+
+    /// Current stack top; pass to [`IntervalArena::truncate`] to release
+    /// everything pushed after this point.
+    pub fn mark(&self) -> u32 {
+        self.buf.len() as u32
+    }
+
+    /// Releases the stack down to `mark`.
+    pub fn truncate(&mut self, mark: u32) {
+        self.buf.truncate(mark as usize);
+    }
+
+    /// Reserved capacity of the slab (for allocation accounting).
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// The intervals of a range issued by this arena.
+    pub fn slice(&self, r: IvRange) -> &[Interval] {
+        &self.buf[r.off as usize..(r.off + r.len) as usize]
+    }
+
+    /// Copies an external interval slice onto the stack.
+    pub fn copy_in(&mut self, items: &[Interval]) -> IvRange {
+        let off = self.buf.len() as u32;
+        self.buf.extend_from_slice(items);
+        IvRange { off, len: items.len() as u32 }
+    }
+
+    /// Pushes the clamped-at-`t` view of `items` (the `after(t)` operation)
+    /// onto the stack.
+    pub fn after_into(&mut self, items: &[Interval], t: Time) -> IvRange {
+        let off = self.buf.len() as u32;
+        for iv in items {
+            if iv.end_raw > t {
+                self.buf.push(Interval { start: iv.start.max(t), end_raw: iv.end_raw });
+            }
+        }
+        IvRange { off, len: self.buf.len() as u32 - off }
+    }
+
+    /// Builds the inertia intervals from sorted-in-place init/term buffers
+    /// onto the stack — the arena twin of [`IntervalList::from_points`].
+    pub fn from_points_into(
+        &mut self,
+        inits: &mut [Time],
+        terms: &mut [Time],
+        initially: bool,
+        from: Time,
+        scratch: &mut Vec<Interval>,
+    ) -> IvRange {
+        points_into(inits, terms, initially, from, scratch);
+        self.copy_in(scratch)
+    }
+
+    /// Normalises everything pushed since `mark` in place, merging it into a
+    /// single normalised range — the n-ary union over all operand slices
+    /// copied in since the mark.
+    pub fn union_finish(&mut self, mark: u32) -> IvRange {
+        let region = &mut self.buf[mark as usize..];
+        region.sort_unstable_by_key(|iv| (iv.start, iv.end_raw));
+        let base = mark as usize;
+        let n = self.buf.len() - base;
+        let mut w = 0usize;
+        for r in 0..n {
+            let iv = self.buf[base + r];
+            if w > 0 && iv.start <= self.buf[base + w - 1].end_raw {
+                self.buf[base + w - 1].end_raw = self.buf[base + w - 1].end_raw.max(iv.end_raw);
+            } else {
+                self.buf[base + w] = iv;
+                w += 1;
+            }
+        }
+        self.buf.truncate(base + w);
+        IvRange { off: mark, len: w as u32 }
+    }
+
+    /// `union_all` over arena ranges: the operands must already live on the
+    /// stack at or above `mark`; everything from `mark` up is merged.
+    pub fn union_all_into(&mut self, mark: u32) -> IvRange {
+        self.union_finish(mark)
+    }
+
+    /// Pairwise intersection of two ranges, pushed onto the stack top.
+    fn intersect_pair(&mut self, a: IvRange, b: IvRange) -> IvRange {
+        let off = self.buf.len() as u32;
+        let (mut i, mut j) = (0u32, 0u32);
+        while i < a.len && j < b.len {
+            let x = self.buf[(a.off + i) as usize];
+            let y = self.buf[(b.off + j) as usize];
+            let s = x.start.max(y.start);
+            let e = x.end_raw.min(y.end_raw);
+            if e > s {
+                self.buf.push(Interval { start: s, end_raw: e });
+            }
+            if x.end_raw <= y.end_raw {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IvRange { off, len: self.buf.len() as u32 - off }
+    }
+
+    /// `intersect_all` over ranges already on the stack at or above `mark`;
+    /// the result is collapsed down to `mark`. An empty operand list yields
+    /// the empty range (matching [`IntervalList::intersect_all`]).
+    pub fn intersect_all_into(&mut self, mark: u32, operands: &[IvRange]) -> IvRange {
+        let Some((&first, rest)) = operands.split_first() else {
+            self.truncate(mark);
+            return IvRange { off: mark, len: 0 };
+        };
+        let mut acc = first;
+        for &next in rest {
+            if acc.is_empty() {
+                break;
+            }
+            acc = self.intersect_pair(acc, next);
+        }
+        self.collapse(mark, acc)
+    }
+
+    /// Set difference `a \ b`, pushed onto the stack top.
+    pub fn difference_into(&mut self, a: IvRange, b: IvRange) -> IvRange {
+        let off = self.buf.len() as u32;
+        let mut j = 0u32;
+        for ii in 0..a.len {
+            let mut cur = self.buf[(a.off + ii) as usize];
+            while j < b.len && self.buf[(b.off + j) as usize].end_raw <= cur.start {
+                j += 1;
+            }
+            let mut k = j;
+            let mut alive = true;
+            while alive && k < b.len && self.buf[(b.off + k) as usize].start < cur.end_raw {
+                let sub = self.buf[(b.off + k) as usize];
+                if sub.start > cur.start {
+                    self.buf.push(Interval { start: cur.start, end_raw: sub.start });
+                }
+                if sub.end_raw < cur.end_raw {
+                    cur = Interval { start: sub.end_raw, end_raw: cur.end_raw };
+                    k += 1;
+                } else {
+                    alive = false;
+                }
+            }
+            if alive {
+                self.buf.push(cur);
+            }
+        }
+        IvRange { off, len: self.buf.len() as u32 - off }
+    }
+
+    /// `relative_complement_all`: `base \ (sub₁ ∪ sub₂ ∪ …)` where the sub
+    /// ranges (not `base`) sit on the stack at or above `sub_mark`; the
+    /// result is collapsed down to `sub_mark`.
+    pub fn relative_complement_all_into(&mut self, base: IvRange, sub_mark: u32) -> IvRange {
+        let union = self.union_finish(sub_mark);
+        let d = self.difference_into(base, union);
+        self.collapse(sub_mark, d)
+    }
+
+    /// Moves the intervals of `r` (which must sit at or above `mark`) down
+    /// to `mark` and truncates — releasing every temporary between.
+    pub fn collapse(&mut self, mark: u32, r: IvRange) -> IvRange {
+        debug_assert!(r.off >= mark, "collapse target below mark");
+        if r.off != mark {
+            self.buf.copy_within(r.off as usize..(r.off + r.len) as usize, mark as usize);
+        }
+        self.buf.truncate((mark + r.len) as usize);
+        IvRange { off: mark, len: r.len }
+    }
+
+    /// Materialises a range as an owned [`IntervalList`], reusing `cached`'s
+    /// storage (an `Arc` bump, no allocation) when the contents are equal.
+    pub fn materialise(&self, r: IvRange, cached: &IntervalList) -> IntervalList {
+        let s = self.slice(r);
+        if s == cached.as_slice() {
+            cached.clone()
+        } else {
+            IntervalList::from_normalised(s)
+        }
     }
 }
 

@@ -71,6 +71,7 @@ pub mod pattern;
 pub mod pool;
 pub mod pretty;
 pub mod rule;
+mod slotstate;
 pub mod stratify;
 pub mod term;
 pub mod time;

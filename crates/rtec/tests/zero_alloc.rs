@@ -40,6 +40,67 @@ fn ruleset() -> RuleSet {
     b.build().unwrap()
 }
 
+/// Runs a steady-state stream through the slot-indexed compiled path and
+/// pins the *full window cycle* — refill, rebuild, solve, merge — at zero
+/// allocations once the retained tables have sized to the working set.
+/// `QueryTiming::window_allocations` counts retained-buffer capacity growth
+/// plus solver-scratch growth on the querying thread (output materialisation
+/// is outside the counter by definition).
+fn assert_full_cycle_allocation_free(wm: Time, step: Time) {
+    let mut e = Engine::new(ruleset(), WindowConfig::new(wm, step).unwrap());
+    // Pool threads own their own scratch arenas; keep the cycle on this
+    // thread so the counter sees every allocation.
+    e.set_parallel_strata(false);
+    e.set_compiled(true);
+    assert!(e.is_arena(), "slot-indexed state is the default compiled path");
+
+    let pairs: i64 = (step / 2).min(20);
+    let feed = |e: &mut Engine, base: Time| {
+        for i in 0..pairs {
+            let d = Term::sym(["a", "b", "c", "d"][(i % 4) as usize]);
+            e.add_event(Event::new("enter", [d.clone()], base + 2 * i as Time)).unwrap();
+            e.add_event(Event::new("leave", [d], base + 2 * i as Time + 1)).unwrap();
+        }
+    };
+
+    // Warm-up windows size every retained buffer (stores, grounding tables,
+    // pools, scratch) to the steady-state working set. The working set only
+    // reaches its full size once the stream has filled the working memory
+    // (wm / step windows), so warm up past that point.
+    let warm = (wm / step) + 4;
+    for w in 0..warm {
+        feed(&mut e, w * step);
+        e.query((w + 1) * step).unwrap();
+    }
+    for w in warm..warm + 10 {
+        feed(&mut e, w * step);
+        let rec = e.query((w + 1) * step).unwrap();
+        assert!(rec.sde_count > 0, "stream must stay live");
+        assert_eq!(
+            rec.timing.window_allocations,
+            0,
+            "window cycle at q={} allocated (wm={wm}, step={step})",
+            (w + 1) * step
+        );
+    }
+}
+
+/// Disjoint windows (step = WM, the paper's ratio-1 configuration): every
+/// window re-derives from scratch, so this pins the allocation-free claim
+/// for the full-evaluation shape of the cycle.
+#[test]
+fn disjoint_window_cycle_is_allocation_free() {
+    assert_full_cycle_allocation_free(100, 100);
+}
+
+/// Overlapping windows (WM = 8 × step, the ratio-1/8 configuration):
+/// survivor filtering, set comparison and clamp-reuse dominate, so this pins
+/// the allocation-free claim for the incremental shape of the cycle.
+#[test]
+fn overlapping_window_cycle_is_allocation_free() {
+    assert_full_cycle_allocation_free(160, 20);
+}
+
 #[test]
 fn steady_state_windows_do_not_allocate_scratch() {
     let mut e = Engine::new(ruleset(), WindowConfig::new(100, 50).unwrap());

@@ -133,6 +133,13 @@ impl TrafficRecognizer {
         self.engine.set_compiled(on);
     }
 
+    /// Selects the compiled engine's data plane: the slot-indexed retained
+    /// state with arena-backed intervals (the default) or the legacy
+    /// per-window rebuild path — the arena-off A/B reference.
+    pub fn set_arena(&mut self, on: bool) {
+        self.engine.set_arena(on);
+    }
+
     /// Installs a compiled plan shared with other recognisers over the same
     /// rule library (e.g. the region replicas of
     /// [`crate::distributed::DistributedRecognizer`]) and switches the
