@@ -11,7 +11,12 @@
 //!
 //! The streams benchmark pushes a fixed item count through a bounded queue
 //! with a producer thread and measures throughput for per-item transfer
-//! versus `send_batch`/`recv_batch` at several batch sizes.
+//! versus `send_batch`/`recv_batch` at several batch sizes. An ingest sweep
+//! then A/Bs the flat inline-attribute `DataItem` (and its zero-copy JSON
+//! codec) against the pre-flat-map representation — an `Arc<BTreeMap>` with
+//! heap-string values, rebuilt in this binary so both arms run on the same
+//! host — reporting items/s and allocations/item from the counting global
+//! allocator.
 //!
 //! The shard-scaling benchmark runs the full Dublin pipeline end to end
 //! under the threaded runtime, sweeping the replica count of the two
@@ -38,14 +43,23 @@ use insight_bench::ResultsWriter;
 use insight_core::pipeline::{build_pipeline_with, PipelineOptions};
 use insight_datagen::scenario::{Scenario, ScenarioConfig};
 use insight_rtec::window::WindowConfig;
+use insight_streams::alloc::{allocation_count, CountingAllocator};
+use insight_streams::intern::Key;
 use insight_streams::item::DataItem;
 use insight_streams::metrics::MetricsRegistry;
 use insight_streams::queue::queue;
 use insight_streams::runtime::Runtime;
 use insight_traffic::{TrafficRecognizer, TrafficRulesConfig};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// The ingest sweep's allocations/item column needs the real allocator
+/// hook; the counter costs one relaxed increment per allocation, noise the
+/// wall-clock columns absorb.
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
 /// One step/WM ratio measured in both evaluation modes.
 struct RatioPoint {
@@ -341,6 +355,120 @@ fn best_of(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
     (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min)
 }
 
+// ---- ingest sweep: item representation + JSON A/B --------------------------
+
+/// One ingest-path operation measured on one representation arm.
+struct IngestPoint {
+    op: &'static str,
+    arm: &'static str,
+    elapsed_ms: f64,
+    items_per_sec: f64,
+    allocs_per_item: f64,
+}
+
+/// The pre-flat-map value representation: heap strings for every string
+/// value. The fields are never read back — the arm exists to pay the old
+/// representation's build/allocation cost, not to be queried.
+#[derive(Clone)]
+#[allow(dead_code)]
+enum RefValue {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+}
+
+/// The pre-flat-map item representation: a shared B-tree keyed by the
+/// interned key. Kept here as the reference arm so the sweep measures the
+/// representation change itself, in one binary, on the same host — not two
+/// checkouts against each other. Like the old `DataItem`, every insert goes
+/// through `Key::new` (both arms pay the interner equally).
+#[derive(Clone)]
+struct RefItem {
+    attrs: Arc<BTreeMap<Key, RefValue>>,
+}
+
+impl RefItem {
+    fn new() -> RefItem {
+        RefItem { attrs: Arc::new(BTreeMap::new()) }
+    }
+
+    fn with(mut self, key: &str, value: RefValue) -> RefItem {
+        Arc::make_mut(&mut self.attrs).insert(Key::new(key), value);
+        self
+    }
+}
+
+/// A bus-schema-shaped item (12 attributes, the widest feed schema) on the
+/// flat representation.
+fn flat_bus_item(n: i64) -> DataItem {
+    DataItem::new()
+        .with("time", n)
+        .with("arrival", n + 17)
+        .with("region", "central")
+        .with("kind", "bus")
+        .with("bus", 33000 + n)
+        .with("line", n % 60)
+        .with("operator", 7i64)
+        .with("delay", 120i64)
+        .with("lon", -6.26 + n as f64 * 1e-6)
+        .with("lat", 53.35)
+        .with("direction", n % 2)
+        .with("congestion", n % 3 == 0)
+}
+
+/// The same item on the reference representation.
+fn ref_bus_item(n: i64) -> RefItem {
+    RefItem::new()
+        .with("time", RefValue::Int(n))
+        .with("arrival", RefValue::Int(n + 17))
+        .with("region", RefValue::Str("central".to_string()))
+        .with("kind", RefValue::Str("bus".to_string()))
+        .with("bus", RefValue::Int(33000 + n))
+        .with("line", RefValue::Int(n % 60))
+        .with("operator", RefValue::Int(7))
+        .with("delay", RefValue::Int(120))
+        .with("lon", RefValue::Float(-6.26 + n as f64 * 1e-6))
+        .with("lat", RefValue::Float(53.35))
+        .with("direction", RefValue::Int(n % 2))
+        .with("congestion", RefValue::Bool(n % 3 == 0))
+}
+
+/// Times `n` iterations of `f` and counts their allocations, returning an
+/// [`IngestPoint`]. Single measurement per call — wrap in [`best_of`]-style
+/// repetition by taking the fastest rep's wall clock while keeping the
+/// (deterministic) allocation count from the first.
+fn ingest_point(
+    op: &'static str,
+    arm: &'static str,
+    n: usize,
+    reps: usize,
+    mut f: impl FnMut(i64),
+) -> IngestPoint {
+    let mut elapsed_ms = f64::INFINITY;
+    let mut allocs_per_item = f64::NAN;
+    for rep in 0..reps {
+        let allocs_before = allocation_count();
+        let t = Instant::now();
+        for i in 0..n {
+            f(i as i64);
+        }
+        elapsed_ms = elapsed_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        // The allocation count is deterministic; take the last rep so
+        // one-off warm-up allocations (interner, buffer growth) fall out.
+        if rep + 1 == reps {
+            allocs_per_item = (allocation_count() - allocs_before) as f64 / n as f64;
+        }
+    }
+    IngestPoint {
+        op,
+        arm,
+        elapsed_ms,
+        items_per_sec: n as f64 / (elapsed_ms / 1e3),
+        allocs_per_item,
+    }
+}
+
 fn write_json(path: &str, body: &str) -> std::io::Result<()> {
     std::fs::write(path, body)?;
     eprintln!("wrote {path}");
@@ -487,6 +615,73 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ));
     }
 
+    // ---- ingest sweep: flat inline items + zero-copy JSON vs the old
+    // representation, measured in-binary on the same host ---------------------
+    let ingest_items = if quick { 20_000 } else { 100_000 };
+    out.line(String::new());
+    out.line(format!(
+        "ingest sweep: {ingest_items} bus-schema items (12 attrs), best of {reps}, \
+         allocations counted by the global allocator hook"
+    ));
+    out.line(format!(
+        "{:>11} {:>15} {:>13} {:>14} {:>13}",
+        "op", "arm", "elapsed (ms)", "items/s", "allocs/item"
+    ));
+
+    let mut ingest_points = Vec::new();
+    ingest_points.push(ingest_point("build", "flat", ingest_items, reps, |n| {
+        std::hint::black_box(flat_bus_item(n));
+    }));
+    ingest_points.push(ingest_point("build", "btreemap-ref", ingest_items, reps, |n| {
+        std::hint::black_box(ref_bus_item(n));
+    }));
+    let lines: Vec<String> = (0..ingest_items as i64).map(|n| flat_bus_item(n).to_json()).collect();
+    ingest_points.push(ingest_point("parse", "flat", ingest_items, reps, |n| {
+        std::hint::black_box(DataItem::from_json(&lines[n as usize]).expect("line parses"));
+    }));
+    ingest_points.push(ingest_point("parse", "btreemap-ref", ingest_items, reps, |n| {
+        // The old parse path: a fresh `String`-keyed B-tree per item.
+        std::hint::black_box(
+            insight_streams::json::parse_object(&lines[n as usize]).expect("line parses"),
+        );
+    }));
+    let flat_items: Vec<DataItem> = (0..ingest_items as i64).map(flat_bus_item).collect();
+    let mut buf = String::with_capacity(1024);
+    ingest_points.push(ingest_point("serialize", "reused-buffer", ingest_items, reps, |n| {
+        buf.clear();
+        flat_items[n as usize].to_json_into(&mut buf);
+        std::hint::black_box(buf.len());
+    }));
+    ingest_points.push(ingest_point("serialize", "fresh-string", ingest_items, reps, |n| {
+        std::hint::black_box(flat_items[n as usize].to_json());
+    }));
+    drop((lines, flat_items));
+    for p in &ingest_points {
+        out.line(format!(
+            "{:>11} {:>15} {:>13.2} {:>14.0} {:>13.2}",
+            p.op, p.arm, p.elapsed_ms, p.items_per_sec, p.allocs_per_item
+        ));
+    }
+    let ingest_pair = |op: &str| {
+        let flat = ingest_points
+            .iter()
+            .find(|p| p.op == op && p.arm == "flat")
+            .expect("flat arm measured");
+        let reference = ingest_points
+            .iter()
+            .find(|p| p.op == op && p.arm == "btreemap-ref")
+            .expect("reference arm measured");
+        (flat, reference)
+    };
+    for op in ["build", "parse"] {
+        let (flat, reference) = ingest_pair(op);
+        out.line(format!(
+            "  {op}: {:.1}x fewer allocations, {:.2}x throughput vs the old representation",
+            reference.allocs_per_item / flat.allocs_per_item.max(1e-9),
+            flat.items_per_sec / reference.items_per_sec
+        ));
+    }
+
     let mut str_json = String::new();
     write!(
         str_json,
@@ -505,7 +700,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if i + 1 < batch_points.len() { "," } else { "" }
         )?;
     }
-    str_json.push_str("  ]\n}\n");
+    write!(
+        str_json,
+        "  ],\n  \"ingest\": {{\n    \"items\": {ingest_items},\n    \"reps\": {reps},\n    \
+         \"schema\": \"bus (12 attrs)\",\n    \"reference\": \"Arc<BTreeMap> + heap-string values \
+         (pre-flat-map representation)\",\n    \"points\": [\n"
+    )?;
+    for (i, p) in ingest_points.iter().enumerate() {
+        writeln!(
+            str_json,
+            "      {{\"op\": \"{}\", \"arm\": \"{}\", \"elapsed_ms\": {:.3}, \
+             \"items_per_sec\": {:.0}, \"allocs_per_item\": {:.3}}}{}",
+            p.op,
+            p.arm,
+            p.elapsed_ms,
+            p.items_per_sec,
+            p.allocs_per_item,
+            if i + 1 < ingest_points.len() { "," } else { "" }
+        )?;
+    }
+    str_json.push_str("    ]\n  }\n}\n");
     write_json("BENCH_streams.json", &str_json)?;
 
     // ---- shard-parallel stages: replica scaling + strata A/B ----------------
@@ -916,6 +1130,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 failures.push(format!(
                     "batching regression at batch={}: {:.2} ms vs per-item {:.2} ms",
                     p.batch, p.elapsed_ms, unbatched_ms
+                ));
+            }
+        }
+        // The flat representation's claim is its allocation contract, which
+        // the counting allocator measures deterministically: building or
+        // parsing a bus-schema item must allocate at least 5x less than the
+        // old Arc<BTreeMap> representation (the measured ratios are far
+        // higher — the floor only catches a representation regression).
+        // Wall clock gets the file-wide lenient band: the flat arm must not
+        // be slower than the reference beyond noise. Serializing into a warm
+        // reused buffer must stay allocation-free.
+        for op in ["build", "parse"] {
+            let (flat, reference) = ingest_pair(op);
+            let ratio = reference.allocs_per_item / flat.allocs_per_item.max(1e-9);
+            if ratio < 5.0 {
+                failures.push(format!(
+                    "ingest {op} allocation regression: flat {:.2} allocs/item vs reference \
+                     {:.2} (ratio {ratio:.1}x < 5x floor)",
+                    flat.allocs_per_item, reference.allocs_per_item
+                ));
+            }
+            if flat.elapsed_ms > reference.elapsed_ms * 1.25 {
+                failures.push(format!(
+                    "ingest {op} wall-clock regression: flat {:.2} ms vs reference {:.2} ms \
+                     (> 25%)",
+                    flat.elapsed_ms, reference.elapsed_ms
+                ));
+            }
+        }
+        for p in ingest_points.iter().filter(|p| p.arm == "reused-buffer") {
+            if p.allocs_per_item >= 0.01 {
+                failures.push(format!(
+                    "ingest serialize regression: reused-buffer arm allocates \
+                     {:.3}/item (want ~0)",
+                    p.allocs_per_item
                 ));
             }
         }

@@ -5,6 +5,7 @@
 //! stream and the SCATS SDEs as four per-region streams. These conversions
 //! define the item schema shared by those processes.
 
+use insight_datagen::scenario::Scenario;
 use insight_datagen::stream::{BusRecord, ScatsRecord, Sde, SdeBody};
 use insight_streams::item::DataItem;
 
@@ -13,10 +14,12 @@ pub const KIND: &str = "kind";
 
 /// Converts a scenario SDE into a data item.
 pub fn sde_to_item(sde: &Sde) -> DataItem {
+    // `name()` is a static string short enough to stay inline in the value,
+    // so region tagging does not allocate.
     let base = DataItem::new()
         .with("time", sde.time)
         .with("arrival", sde.arrival)
-        .with("region", sde.region().to_string());
+        .with("region", sde.region().name());
     match &sde.body {
         SdeBody::Bus(b) => base
             .with(KIND, "bus")
@@ -38,6 +41,32 @@ pub fn sde_to_item(sde: &Sde) -> DataItem {
             .with("lon", s.lon)
             .with("lat", s.lat),
     }
+}
+
+/// The pre-built per-feed item vectors of the §3 input-handling processes:
+/// one bus stream plus four per-region SCATS streams.
+pub struct FeedItems {
+    /// Items of every bus SDE, in arrival order.
+    pub bus: Vec<DataItem>,
+    /// Items of each region's SCATS SDEs, indexed by
+    /// [`insight_datagen::regions::Region::index`], each in arrival order.
+    pub scats: [Vec<DataItem>; 4],
+}
+
+/// Builds every feed's items in one pass over the scenario trace (the old
+/// per-feed construction filtered the full trace once per feed — five
+/// passes and five region recomputations per SDE).
+pub fn feed_items(scenario: &Scenario) -> FeedItems {
+    let mut bus = Vec::new();
+    let mut scats: [Vec<DataItem>; 4] = Default::default();
+    for sde in &scenario.sdes {
+        let item = sde_to_item(sde);
+        match &sde.body {
+            SdeBody::Bus(_) => bus.push(item),
+            SdeBody::Scats(s) => scats[s.region().index()].push(item),
+        }
+    }
+    FeedItems { bus, scats }
 }
 
 /// Parses a data item back into an SDE; `None` when the schema is violated.

@@ -26,7 +26,7 @@
 //! [`crate::replay::canonical_recognitions`]) for every shard count,
 //! including 1.
 
-use crate::items::{item_to_sde, sde_to_item};
+use crate::items::item_to_sde;
 use insight_datagen::regions::Region;
 use insight_datagen::scenario::Scenario;
 use insight_rtec::window::WindowConfig;
@@ -1230,16 +1230,10 @@ fn build_pipeline_inner(
 
     // Input handling: one bus stream, four SCATS region streams, all
     // feeding the shared `sde` queue that the sharded RTEC stage consumes.
-    let bus_items: Vec<DataItem> =
-        scenario.sdes.iter().filter(|s| s.is_bus()).map(sde_to_item).collect();
-    add_source(&mut topology, "bus", bus_items, &chaos, 0, &mut chaos_stats);
-    for (i, region) in Region::ALL.into_iter().enumerate() {
-        let items: Vec<DataItem> = scenario
-            .sdes
-            .iter()
-            .filter(|s| !s.is_bus() && s.region() == region)
-            .map(sde_to_item)
-            .collect();
+    // Every feed's items are pre-built in a single pass over the trace.
+    let feeds = crate::items::feed_items(scenario);
+    add_source(&mut topology, "bus", feeds.bus, &chaos, 0, &mut chaos_stats);
+    for (i, (region, items)) in Region::ALL.into_iter().zip(feeds.scats).enumerate() {
         add_source(
             &mut topology,
             &format!("scats-{region}"),
@@ -1258,16 +1252,24 @@ fn build_pipeline_inner(
     // buffer the entire history. A bounded queue caps that skew at one queue
     // length, keeping worker state (and checkpoint blobs) at steady-state
     // window size.
+    // Feed stages batch their pre-materialised sources: `VecSource` hands
+    // over up to 64 items per `next_batch` call and the forwarders push them
+    // into `sde` with one batched send, cutting per-item dispatch and lock
+    // traffic on the hottest edge of the graph. Chaos runs keep the per-item
+    // default — `ChaosSource` injects faults item by item.
+    let feed_batch = if chaos.is_some() { 1 } else { 64 };
     topology.add_queue("sde", 512);
     topology
         .process("bus-feed")
         .input(Input::Stream("bus".into()))
+        .batch_size(feed_batch)
         .output(Output::Queue("sde".into()))
         .done();
     for region in Region::ALL {
         topology
             .process(&format!("scats-feed-{region}"))
             .input(Input::Stream(format!("scats-{region}")))
+            .batch_size(feed_batch)
             .output(Output::Queue("sde".into()))
             .done();
     }

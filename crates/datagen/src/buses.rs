@@ -242,8 +242,24 @@ impl BusFleet {
         duration: i64,
         seed: u64,
     ) -> Vec<(i64, BusRecord)> {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xe317_0000);
         let mut out = Vec::new();
+        self.emit_into(network, field, duration, seed, &mut out);
+        out
+    }
+
+    /// [`emit_all`](BusFleet::emit_all), appending into a caller-owned
+    /// buffer — the batched ingest form. `out`'s new tail (the whole buffer,
+    /// when it starts empty) ends up sorted by time.
+    pub fn emit_into(
+        &self,
+        network: &StreetNetwork,
+        field: &CongestionField,
+        duration: i64,
+        seed: u64,
+        out: &mut Vec<(i64, BusRecord)>,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xe317_0000);
+        let start = out.len();
         for bus in &self.buses {
             let line = &self.lines[bus.line as usize];
             let len = line.length_m().max(1.0);
@@ -290,8 +306,7 @@ impl BusFleet {
                 }
             }
         }
-        out.sort_by_key(|&(t, _)| t);
-        out
+        out[start..].sort_by_key(|&(t, _)| t);
     }
 }
 

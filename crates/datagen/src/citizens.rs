@@ -104,11 +104,29 @@ pub fn generate(
     duration: i64,
     seed: u64,
 ) -> Vec<CitizenReport> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xc171_2e45);
     let mut reports = Vec::new();
+    generate_into(network, field, config, start, duration, seed, &mut reports);
+    reports
+}
+
+/// [`generate`], appending into a caller-owned buffer — the batched ingest
+/// form. The new tail (the whole buffer, when it starts empty) ends up
+/// sorted by time.
+#[allow(clippy::too_many_arguments)]
+pub fn generate_into(
+    network: &StreetNetwork,
+    field: &CongestionField,
+    config: &CitizenConfig,
+    start: i64,
+    duration: i64,
+    seed: u64,
+    reports: &mut Vec<CitizenReport>,
+) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc171_2e45);
     if network.is_empty() || duration <= 0 {
-        return reports;
+        return;
     }
+    let first = reports.len();
     for user in 0..config.n_users as u32 {
         // Each user hangs around one home junction, jittered per report.
         let home = rng.random_range(0..network.len());
@@ -139,8 +157,7 @@ pub fn generate(
             });
         }
     }
-    reports.sort_by_key(|r| r.time);
-    reports
+    reports[first..].sort_by_key(|r| r.time);
 }
 
 #[cfg(test)]

@@ -198,30 +198,43 @@ impl ScatsDeployment {
         t: i64,
         rng: &mut StdRng,
     ) -> Vec<ScatsRecord> {
-        self.sensors
-            .iter()
-            .map(|s| {
-                let noise = |v: f64, rng: &mut StdRng| {
-                    if self.measurement_noise > 0.0 {
-                        v * rng.random_range(
-                            1.0 - self.measurement_noise..1.0 + self.measurement_noise,
-                        )
-                    } else {
-                        v
-                    }
-                };
-                let (lon, lat) = network.coords(s.junction);
-                ScatsRecord {
-                    intersection: s.intersection,
-                    approach: s.approach,
-                    sensor: s.id,
-                    density: noise(field.density(s.junction, t), rng),
-                    flow: noise(field.flow(s.junction, t), rng),
-                    lon,
-                    lat,
+        let mut out = Vec::with_capacity(self.sensors.len());
+        self.readings_into(network, field, t, rng, &mut out);
+        out
+    }
+
+    /// [`readings_at`](ScatsDeployment::readings_at), appending the tick's
+    /// batch into a caller-owned buffer — the batched ingest form: a sweep
+    /// over many ticks reuses one buffer instead of allocating a fresh
+    /// vector per tick.
+    pub fn readings_into(
+        &self,
+        network: &StreetNetwork,
+        field: &CongestionField,
+        t: i64,
+        rng: &mut StdRng,
+        out: &mut Vec<ScatsRecord>,
+    ) {
+        out.reserve(self.sensors.len());
+        for s in &self.sensors {
+            let noise = |v: f64, rng: &mut StdRng| {
+                if self.measurement_noise > 0.0 {
+                    v * rng.random_range(1.0 - self.measurement_noise..1.0 + self.measurement_noise)
+                } else {
+                    v
                 }
-            })
-            .collect()
+            };
+            let (lon, lat) = network.coords(s.junction);
+            out.push(ScatsRecord {
+                intersection: s.intersection,
+                approach: s.approach,
+                sensor: s.id,
+                density: noise(field.density(s.junction, t), rng),
+                flow: noise(field.flow(s.junction, t), rng),
+                lon,
+                lat,
+            });
+        }
     }
 }
 

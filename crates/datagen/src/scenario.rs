@@ -156,13 +156,15 @@ impl Scenario {
         }
 
         // SCATS readings every `scats_period`, phase-staggered per sensor to
-        // avoid a thundering herd on exact multiples.
+        // avoid a thundering herd on exact multiples. One tick buffer is
+        // reused across the sweep.
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5ca7_0123);
+        let mut tick = Vec::new();
         let mut t = t0 + config.scats_period;
         while t <= t0 + config.duration {
-            for rec in scats.readings_at(&network, &field, t, &mut rng) {
-                records.push(Sde::punctual(t, SdeBody::Scats(rec)));
-            }
+            tick.clear();
+            scats.readings_into(&network, &field, t, &mut rng, &mut tick);
+            records.extend(tick.drain(..).map(|rec| Sde::punctual(t, SdeBody::Scats(rec))));
             t += config.scats_period;
         }
 
@@ -175,6 +177,13 @@ impl Scenario {
     /// SDEs with occurrence time in `(from, to]`.
     pub fn sdes_between(&self, from: i64, to: i64) -> impl Iterator<Item = &Sde> {
         self.sdes.iter().filter(move |s| s.time > from && s.time <= to)
+    }
+
+    /// The SDE trace as arrival-aligned ingest batches of at most `max`
+    /// records (see [`crate::stream::arrival_batches`]); a batched consumer
+    /// sees exactly the per-item trace in fewer hand-offs.
+    pub fn sde_batches(&self, max: usize) -> crate::stream::ArrivalBatches<'_> {
+        crate::stream::arrival_batches(&self.sdes, max)
     }
 
     /// Ground truth: is the junction nearest to `(lon, lat)` congested at `t`?

@@ -23,6 +23,20 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Discards generated values failing `pred`, resampling instead (mirror
+    /// of upstream `prop_filter`; no shrinking, so `reason` only labels the
+    /// panic raised if the filter keeps rejecting).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, reason, pred }
+    }
 }
 
 /// The strategy returned by [`Strategy::prop_map`].
@@ -37,6 +51,70 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     fn sample(&self, rng: &mut StdRng) -> O {
         (self.f)(self.inner.sample(rng))
     }
+}
+
+/// The strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter({}): rejected 1000 consecutive samples", self.reason);
+    }
+}
+
+/// A weighted union over boxed strategies (the engine behind
+/// [`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// Builds the union; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Union<T> {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof: weights sum to zero");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let mut pick = rng.random_range(0..self.total);
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.sample(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weight sampling out of range")
+    }
+}
+
+/// Mirror of upstream `prop_oneof!`: draws from one of several strategies,
+/// uniformly or with `weight => strategy` arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($weight as u32, Box::new($strat) as Box<dyn $crate::Strategy<Value = _>>)),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, Box::new($strat) as Box<dyn $crate::Strategy<Value = _>>)),+])
+    };
 }
 
 macro_rules! impl_numeric_range_strategy {
@@ -100,6 +178,41 @@ macro_rules! impl_arbitrary_int {
 }
 
 impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for f64 {
+    /// Uniform over bit patterns — includes subnormals, ±0, infinities and
+    /// NaNs; filter with `prop_filter` where finiteness matters.
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for char {
+    /// Escape-path-heavy character mix: mostly printable ASCII, with JSON
+    /// specials, control characters, and arbitrary Unicode (including
+    /// astral-plane codepoints) mixed in.
+    fn arbitrary(rng: &mut StdRng) -> char {
+        const SPECIALS: &[char] =
+            &['"', '\\', '/', '\n', '\r', '\t', '\u{0}', '\u{8}', '\u{c}', '\u{1f}', '\u{7f}'];
+        match rng.random_range(0u32..10) {
+            0 => SPECIALS[rng.random_range(0..SPECIALS.len())],
+            1 => loop {
+                if let Some(c) = char::from_u32(rng.random_range(0u32..0x11_0000)) {
+                    break c;
+                }
+            },
+            _ => char::from_u32(rng.random_range(0x20u32..0x7f)).expect("printable ASCII"),
+        }
+    }
+}
+
+impl Arbitrary for String {
+    /// Up to 32 [`Arbitrary`] characters.
+    fn arbitrary(rng: &mut StdRng) -> String {
+        let n = rng.random_range(0..32usize);
+        (0..n).map(|_| char::arbitrary(rng)).collect()
+    }
+}
 
 /// The strategy returned by [`any`].
 pub struct Any<T>(core::marker::PhantomData<T>);
@@ -203,6 +316,42 @@ pub mod collection {
     pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
         VecStrategy { element, len }
     }
+
+    /// The strategy returned by [`btree_map`].
+    pub struct BTreeMapStrategy<K, V, L> {
+        key: K,
+        value: V,
+        len: L,
+    }
+
+    impl<K, V, L> Strategy for BTreeMapStrategy<K, V, L>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        L: SizeRange,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            // Duplicate keys overwrite, as upstream: the map may come out
+            // smaller than the drawn length.
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| (self.key.sample(rng), self.value.sample(rng))).collect()
+        }
+    }
+
+    /// A `BTreeMap` strategy with the given key/value strategies and length
+    /// range (before key deduplication).
+    pub fn btree_map<K, V, L>(key: K, value: V, len: L) -> BTreeMapStrategy<K, V, L>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        L: SizeRange,
+    {
+        BTreeMapStrategy { key, value, len }
+    }
 }
 
 /// Option strategies (mirror of `proptest::option`).
@@ -232,7 +381,9 @@ pub mod option {
 
 /// Everything a property-test module normally imports.
 pub mod prelude {
-    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, Strategy,
+    };
 }
 
 /// Number of cases each property runs (overridable via `PROPTEST_CASES`).

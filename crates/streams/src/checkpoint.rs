@@ -234,7 +234,7 @@ impl CheckpointStore {
         let mut inner = self.inner.lock().unwrap();
         if let Some(dir) = inner.dir.clone() {
             let meta = [
-                ("!process".to_string(), Value::Str(process.to_string())),
+                ("!process".to_string(), Value::from(process)),
                 ("!processor".to_string(), Value::Int(processor as i64)),
                 ("!position".to_string(), Value::Int(checkpoint.position as i64)),
             ];

@@ -20,6 +20,7 @@
 use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::BuildHasherDefault;
 use std::sync::{OnceLock, RwLock};
 
 /// An interned attribute key. Two keys are equal iff they intern the same
@@ -27,10 +28,37 @@ use std::sync::{OnceLock, RwLock};
 #[derive(Debug, Clone, Copy)]
 pub struct Key(&'static str);
 
-static INTERNER: OnceLock<RwLock<HashMap<&'static str, &'static str>>> = OnceLock::new();
+/// FNV-1a. `Key::new` sits on the per-attribute ingest hot path, and the
+/// default SipHash dominates it for the short (≤ ~12 byte) schema keys the
+/// interner sees. The interner is not exposed to attacker-controlled key
+/// sets of meaningful cardinality (the vocabulary is the schema), so the
+/// DoS-hardening of SipHash buys nothing here.
+struct Fnv(u64);
 
-fn interner() -> &'static RwLock<HashMap<&'static str, &'static str>> {
-    INTERNER.get_or_init(|| RwLock::new(HashMap::new()))
+impl Default for Fnv {
+    fn default() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+}
+
+type Interner = HashMap<&'static str, &'static str, BuildHasherDefault<Fnv>>;
+
+static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+
+fn interner() -> &'static RwLock<Interner> {
+    INTERNER.get_or_init(|| RwLock::new(Interner::default()))
 }
 
 impl Key {
@@ -65,6 +93,14 @@ impl Key {
     /// Returns the interned text, borrowed from the intern arena.
     pub fn as_str(&self) -> &'static str {
         self.0
+    }
+
+    /// A placeholder key for dead storage slots (the flat attribute map's
+    /// unused inline capacity). Placeholders bypass the interner, so they
+    /// must never be compared against live keys — the map guarantees that by
+    /// only exposing its populated prefix.
+    pub(crate) const fn placeholder() -> Key {
+        Key("")
     }
 }
 

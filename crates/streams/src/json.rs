@@ -7,9 +7,21 @@
 //! shortest-roundtrip formatting (so `1.0` keeps its decimal point and the
 //! int/float distinction survives a round trip); non-finite floats become
 //! `null`.
+//!
+//! Both directions avoid per-field heap traffic. The writer *appends* into a
+//! caller-owned buffer (clean string runs are copied as slices, numbers are
+//! formatted straight into the buffer), so serialising into a reused buffer
+//! allocates nothing once the buffer has grown to the line length. The
+//! parser is a byte-slice scanner that hands out **borrowed** slices of the
+//! input wherever no escape sequence intervenes ([`Cow::Borrowed`]), which
+//! [`parse_item`] turns into interned keys and inline small-strings without
+//! ever materialising an intermediate `String`.
 
-use crate::item::Value;
+use crate::intern::Key;
+use crate::item::{DataItem, SmallStr, Value};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 /// Appends `s` as a JSON string literal (with quotes) to `out`.
 ///
@@ -19,7 +31,6 @@ use std::collections::BTreeMap;
 /// escaping is ASCII, so splitting the string at those byte offsets always
 /// lands on a char boundary.
 pub fn escape_into(out: &mut String, s: &str) {
-    use std::fmt::Write as _;
     out.push('"');
     let mut start = 0;
     for (i, b) in s.bytes().enumerate() {
@@ -47,11 +58,12 @@ pub fn escape_into(out: &mut String, s: &str) {
 
 /// Appends a finite float in shortest-roundtrip form (`1.0`, not `1`);
 /// NaN/infinities have no JSON representation and are written as `null`.
+/// Formats directly into `out` — no intermediate `String`.
 pub fn float_into(out: &mut String, v: f64) {
     if v.is_finite() {
         // `{:?}` is Rust's shortest round-trip form and always keeps a
         // decimal point or exponent, so floats re-parse as floats.
-        out.push_str(&format!("{v:?}"));
+        let _ = write!(out, "{v:?}");
     } else {
         out.push_str("null");
     }
@@ -62,9 +74,11 @@ pub fn value_into(out: &mut String, value: &Value) {
     match value {
         Value::Null => out.push_str("null"),
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
         Value::Float(f) => float_into(out, *f),
-        Value::Str(s) => escape_into(out, s),
+        Value::Str(s) => escape_into(out, s.as_str()),
     }
 }
 
@@ -75,30 +89,72 @@ where
     I: IntoIterator<Item = (&'a str, &'a Value)>,
 {
     let mut out = String::with_capacity(64);
+    object_into(&mut out, attrs);
+    out
+}
+
+/// Appends a flat attribute sequence (already in canonical key order) as one
+/// JSON object — the reusable-buffer form of [`object_to_string`].
+pub fn object_into<'a, I>(out: &mut String, attrs: I)
+where
+    I: IntoIterator<Item = (&'a str, &'a Value)>,
+{
     out.push('{');
     for (i, (k, v)) in attrs.into_iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        escape_into(&mut out, k);
+        escape_into(out, k);
         out.push(':');
-        value_into(&mut out, v);
+        value_into(out, v);
     }
     out.push('}');
-    out
+}
+
+/// Appends one [`DataItem`] as a JSON object to `out`.
+pub fn item_into(out: &mut String, item: &DataItem) {
+    object_into(out, item.iter());
 }
 
 /// Parses one JSON object of scalar values. Nested arrays/objects are
 /// rejected: data items are flat by construction.
+///
+/// This is the owned-map form (checkpoint metadata and state blobs want a
+/// `BTreeMap` they can pick apart); the data plane parses straight into a
+/// [`DataItem`] via [`parse_item`].
 pub fn parse_object(s: &str) -> Result<BTreeMap<String, Value>, String> {
+    let mut map = BTreeMap::new();
+    parse_into(s, |key, value| {
+        map.insert(key.into_owned(), value);
+    })?;
+    Ok(map)
+}
+
+/// Parses one JSON object straight into a [`DataItem`]: keys intern from the
+/// borrowed input slice, short string values land in inline storage — no
+/// intermediate `String` per field (escaped strings decode through one
+/// scratch buffer). One heap allocation per item in steady state (the item's
+/// own map).
+pub fn parse_item(s: &str) -> Result<DataItem, String> {
+    let mut item = DataItem::new();
+    parse_into(s, |key, value| {
+        item.set(Key::from(key.as_ref()), value);
+    })?;
+    Ok(item)
+}
+
+/// Shared driver: scans one complete JSON object and feeds each `key, value`
+/// pair to `sink` (duplicate keys: last wins, matching map-insert
+/// semantics).
+fn parse_into<'a>(s: &'a str, mut sink: impl FnMut(Cow<'a, str>, Value)) -> Result<(), String> {
     let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
     p.skip_ws();
-    let map = p.object()?;
+    p.object(&mut sink)?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
         return Err(format!("trailing characters at byte {}", p.pos));
     }
-    Ok(map)
+    Ok(())
 }
 
 struct Parser<'a> {
@@ -130,13 +186,12 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn object(&mut self) -> Result<BTreeMap<String, Value>, String> {
+    fn object(&mut self, sink: &mut impl FnMut(Cow<'a, str>, Value)) -> Result<(), String> {
         self.expect(b'{')?;
-        let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(map);
+            return Ok(());
         }
         loop {
             self.skip_ws();
@@ -145,13 +200,13 @@ impl<'a> Parser<'a> {
             self.expect(b':')?;
             self.skip_ws();
             let value = self.value()?;
-            map.insert(key, value);
+            sink(key, value);
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
-                    return Ok(map);
+                    return Ok(());
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
             }
@@ -160,7 +215,10 @@ impl<'a> Parser<'a> {
 
     fn value(&mut self) -> Result<Value, String> {
         match self.peek() {
-            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'"') => Ok(Value::Str(match self.string()? {
+                Cow::Borrowed(s) => SmallStr::new(s),
+                Cow::Owned(s) => SmallStr::from(s),
+            })),
             Some(b't') => self.literal("true", Value::Bool(true)),
             Some(b'f') => self.literal("false", Value::Bool(false)),
             Some(b'n') => self.literal("null", Value::Null),
@@ -206,9 +264,36 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    /// Scans one string literal. The common case — no escape sequences —
+    /// returns a slice borrowed straight from the input; only escaped
+    /// strings decode into an owned buffer.
+    fn string(&mut self) -> Result<Cow<'a, str>, String> {
         self.expect(b'"')?;
-        let mut out = String::new();
+        let clean_start = self.pos;
+        // Fast path: scan to the closing quote; if no backslash intervenes,
+        // the literal is the input slice itself.
+        while let Some(b) = self.peek() {
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[clean_start..self.pos])
+                    .map_err(|_| "non-utf8 string".to_string())?;
+                self.pos += 1;
+                return Ok(Cow::Borrowed(s));
+            }
+            if b == b'\\' {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.peek().is_none() {
+            return Err("unterminated string".to_string());
+        }
+        // Slow path: at least one escape — decode into an owned buffer,
+        // starting from the clean prefix already scanned.
+        let mut out = String::with_capacity(self.pos - clean_start + 16);
+        out.push_str(
+            std::str::from_utf8(&self.bytes[clean_start..self.pos])
+                .map_err(|_| "non-utf8 string".to_string())?,
+        );
         loop {
             let start = self.pos;
             while let Some(b) = self.peek() {
@@ -224,7 +309,7 @@ impl<'a> Parser<'a> {
             match self.peek() {
                 Some(b'"') => {
                     self.pos += 1;
-                    return Ok(out);
+                    return Ok(Cow::Owned(out));
                 }
                 Some(b'\\') => {
                     self.pos += 1;
@@ -302,7 +387,7 @@ mod tests {
             ("whole_float".to_string(), Value::Float(1.0)),
             ("bool".to_string(), Value::Bool(true)),
             ("null".to_string(), Value::Null),
-            ("str".to_string(), Value::Str("r10".to_string())),
+            ("str".to_string(), Value::Str("r10".into())),
         ]));
     }
 
@@ -316,13 +401,10 @@ mod tests {
 
     #[test]
     fn escapes_roundtrip() {
-        roundtrip(BTreeMap::from([(
-            "s".to_string(),
-            Value::Str("a\"b\\c\nd\te\u{1}é€𝄞".to_string()),
-        )]));
+        roundtrip(BTreeMap::from([("s".to_string(), Value::Str("a\"b\\c\nd\te\u{1}é€𝄞".into()))]));
         // Parse-side escapes we never emit.
         let parsed = parse_object(r#"{"s":"A𝄞\/"}"#).unwrap();
-        assert_eq!(parsed["s"], Value::Str("A𝄞/".to_string()));
+        assert_eq!(parsed["s"], Value::Str("A𝄞/".into()));
     }
 
     #[test]
@@ -354,6 +436,35 @@ mod tests {
             "[1,2]",
         ] {
             assert!(parse_object(bad).is_err(), "should reject: {bad}");
+            assert!(parse_item(bad).is_err(), "parse_item should reject: {bad}");
         }
+    }
+
+    #[test]
+    fn parse_item_matches_parse_object() {
+        let line = r#"{"bus":1,"kind":"bus","lat":53.35,"note":"a\"b","ok":true,"x":null}"#;
+        let item = parse_item(line).unwrap();
+        let map = parse_object(line).unwrap();
+        assert_eq!(item.len(), map.len());
+        for (k, v) in &map {
+            assert_eq!(item.get(k), Some(v), "key {k}");
+        }
+        // Re-serialisation is byte-identical (canonical sorted form).
+        assert_eq!(item.to_json(), line);
+    }
+
+    #[test]
+    fn parse_item_duplicate_keys_last_wins() {
+        let item = parse_item(r#"{"a":1,"a":2}"#).unwrap();
+        assert_eq!(item.len(), 1);
+        assert_eq!(item.get_i64("a"), Some(2));
+    }
+
+    #[test]
+    fn writer_into_reused_buffer_appends() {
+        let item = DataItem::new().with("a", 1i64).with("s", "x");
+        let mut buf = String::from("prefix ");
+        item.to_json_into(&mut buf);
+        assert_eq!(buf, r#"prefix {"a":1,"s":"x"}"#);
     }
 }

@@ -48,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod chaos;
 pub mod checkpoint;
 pub mod error;

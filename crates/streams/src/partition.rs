@@ -145,7 +145,7 @@ pub fn shard_for_hinted(
     if !hints.is_empty() {
         if let [key] = keys {
             if let Some(crate::item::Value::Str(s)) = item.get(key) {
-                if let Some(pos) = hints.iter().position(|h| h == s) {
+                if let Some(pos) = hints.iter().position(|h| h.as_str() == s.as_str()) {
                     return pos % shards.max(1);
                 }
             }

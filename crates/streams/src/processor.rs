@@ -429,7 +429,7 @@ pub fn default_factories() -> HashMap<String, ProcessorFactory> {
         Box::new(|attrs| {
             Ok(Box::new(SetValue::new(
                 required(attrs, "key", "SetValue")?,
-                Value::Str(required(attrs, "value", "SetValue")?.to_string()),
+                Value::from(required(attrs, "value", "SetValue")?.to_string()),
             )))
         }),
     );

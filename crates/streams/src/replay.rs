@@ -216,38 +216,34 @@ impl StepWorker {
         }
         match self.phase {
             Phase::Pump => {
-                // One step consumes up to `batch_size` queued items (like
-                // the threaded batched pump, whatever is available counts as
-                // a batch — the step never waits for a full one). Sources
-                // mirror the threaded runtime too: always one item per step,
-                // since only queues batch there.
-                let batch = match self.worker.input {
-                    ProcInput::Source(_) => 1,
-                    ProcInput::Queue(_) => self.worker.batch_size.max(1),
-                };
+                // One step consumes up to `batch_size` items (like the
+                // threaded batched pump, whatever is available counts as a
+                // batch — the step never waits for a full one). Sources
+                // mirror the threaded runtime too: one `next_batch` call per
+                // step, which for live sources degrades to a single item.
+                let batch = self.worker.batch_size.max(1);
                 let mut drained = Vec::new();
                 let mut ended = false;
-                while drained.len() < batch {
-                    match &mut self.worker.input {
-                        ProcInput::Source(s) => match s.next_item() {
-                            Ok(Some(item)) => drained.push(item),
-                            Ok(None) => {
-                                ended = true;
-                                break;
+                match &mut self.worker.input {
+                    ProcInput::Source(s) => match s.next_batch(batch, &mut drained) {
+                        Ok(0) => ended = true,
+                        Ok(_) => {}
+                        Err(e) => {
+                            self.fail(e);
+                            return Step::Progressed;
+                        }
+                    },
+                    ProcInput::Queue(q) => {
+                        while drained.len() < batch {
+                            match q.try_recv() {
+                                TryRecv::Item(item) => drained.push(item),
+                                TryRecv::Ended => {
+                                    ended = true;
+                                    break;
+                                }
+                                TryRecv::Empty => break,
                             }
-                            Err(e) => {
-                                self.fail(e);
-                                return Step::Progressed;
-                            }
-                        },
-                        ProcInput::Queue(q) => match q.try_recv() {
-                            TryRecv::Item(item) => drained.push(item),
-                            TryRecv::Ended => {
-                                ended = true;
-                                break;
-                            }
-                            TryRecv::Empty => break,
-                        },
+                        }
                     }
                 }
                 if drained.is_empty() && !ended {

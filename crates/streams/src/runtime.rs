@@ -316,12 +316,12 @@ impl Worker {
     fn pump(&mut self) -> Result<(u64, u64), StreamsError> {
         let mut consumed = 0u64;
         let mut emitted = 0u64;
-        // Only queue inputs batch: `recv_batch` drains what is already
-        // available without waiting for the batch to fill, so it never adds
-        // latency. A source's `next_item` may block on live input, and
-        // looping on it would hold earlier items unprocessed until the
-        // batch fills — sources are always pumped item-at-a-time.
-        let batched = self.batch_size > 1 && matches!(self.input, ProcInput::Queue(_));
+        // Batching never adds latency: `recv_batch` drains what is already
+        // available in a queue without waiting for the batch to fill, and a
+        // source's `next_batch` defaults to a single `next_item` pull unless
+        // the source itself (pre-materialised data, e.g. `VecSource`) can
+        // hand over a batch without holding earlier items back.
+        let batched = self.batch_size > 1;
         if !batched {
             // Per-item path: one lock round-trip per item, kept verbatim so
             // the default `batch_size(1)` is bit-identical to the pre-batch
@@ -351,9 +351,17 @@ impl Worker {
             if matches!(self.dispatch, Dispatch::Shard { .. }) {
                 buckets = (0..self.outputs.len()).map(|_| Vec::new()).collect();
             }
+            let mut src_buf: Vec<DataItem> = Vec::new();
             loop {
                 let next = match &mut self.input {
-                    ProcInput::Source(_) => unreachable!("sources are pumped per item"),
+                    ProcInput::Source(s) => {
+                        src_buf.clear();
+                        if s.next_batch(batch_size, &mut src_buf)? == 0 {
+                            None
+                        } else {
+                            Some(std::mem::take(&mut src_buf))
+                        }
+                    }
                     ProcInput::Queue(q) => q.recv_batch(batch_size),
                 };
                 let Some(items) = next else { break };

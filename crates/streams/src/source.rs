@@ -8,6 +8,26 @@ use std::io::BufRead;
 pub trait Source: Send {
     /// Produces the next item.
     fn next_item(&mut self) -> Result<Option<DataItem>, StreamsError>;
+
+    /// Produces up to `max` items into `out`, returning how many were
+    /// appended; `Ok(0)` signals end of stream.
+    ///
+    /// The default pulls a single item, which is the right behaviour for
+    /// live (blocking) sources: a source must never hold an already-produced
+    /// item back while waiting to fill a batch. Sources over
+    /// pre-materialised data (e.g. [`VecSource`]) override this to hand the
+    /// runtime a full batch per call, amortising per-item dispatch on the
+    /// ingest path.
+    fn next_batch(&mut self, max: usize, out: &mut Vec<DataItem>) -> Result<usize, StreamsError> {
+        debug_assert!(max > 0, "next_batch called with max = 0");
+        match self.next_item()? {
+            Some(item) => {
+                out.push(item);
+                Ok(1)
+            }
+            None => Ok(0),
+        }
+    }
 }
 
 /// A source over a pre-materialised vector of items.
@@ -25,6 +45,12 @@ impl VecSource {
 impl Source for VecSource {
     fn next_item(&mut self) -> Result<Option<DataItem>, StreamsError> {
         Ok(self.items.next())
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Vec<DataItem>) -> Result<usize, StreamsError> {
+        let before = out.len();
+        out.extend(self.items.by_ref().take(max));
+        Ok(out.len() - before)
     }
 }
 
@@ -94,6 +120,29 @@ mod tests {
         assert_eq!(s.next_item().unwrap().unwrap().get_i64("a"), Some(2));
         assert!(s.next_item().unwrap().is_none());
         assert!(s.next_item().unwrap().is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn vec_source_batches() {
+        let mut s = VecSource::new((0..5).map(|n| DataItem::new().with("n", n as i64)));
+        let mut out = Vec::new();
+        assert_eq!(s.next_batch(2, &mut out).unwrap(), 2);
+        assert_eq!(s.next_batch(16, &mut out).unwrap(), 3, "short final batch");
+        assert_eq!(s.next_batch(16, &mut out).unwrap(), 0, "exhausted");
+        let got: Vec<i64> = out.iter().map(|i| i.get_i64("n").unwrap()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4], "batching preserves order");
+    }
+
+    #[test]
+    fn default_next_batch_pulls_one_item() {
+        let mut n = 0i64;
+        let mut s = FnSource::new(move || {
+            n += 1;
+            Ok((n <= 3).then(|| DataItem::new().with("n", n)))
+        });
+        let mut out = Vec::new();
+        assert_eq!(s.next_batch(64, &mut out).unwrap(), 1, "live sources never batch");
+        assert_eq!(out.len(), 1);
     }
 
     #[test]

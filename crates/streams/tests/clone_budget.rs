@@ -9,17 +9,28 @@
 //! count — that was exactly the bug where every extra shard re-cloned every
 //! item it never even saw.
 //!
-//! These tests live in their own integration-test binary because the
-//! counter is process-global: sibling tests running on other harness
-//! threads would otherwise bleed their own detaches into the deltas
-//! measured here. Keep this file to a single `#[test]` for that reason.
+//! The flat-map representation adds a second budget next to deep copies:
+//! raw heap *allocations*. The counting global allocator measures the whole
+//! sharded run, so the same test also pins allocations/item through the
+//! partition→replica→merge path — and, like deep copies, that count must
+//! not scale with the replica count.
+//!
+//! These tests live in their own integration-test binary because both
+//! counters are process-global: sibling tests running on other harness
+//! threads would otherwise bleed their own detaches and allocations into
+//! the deltas measured here. Keep this file to a single `#[test]` for that
+//! reason.
 
+use insight_streams::alloc::{allocation_count, CountingAllocator};
 use insight_streams::item::DataItem;
 use insight_streams::processor::{Context, FnProcessor, Processor};
 use insight_streams::runtime::Runtime;
 use insight_streams::sink::CollectSink;
 use insight_streams::source::VecSource;
 use insight_streams::topology::{Input, Output, Topology};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
 const ITEMS: usize = 400;
 
@@ -40,8 +51,9 @@ fn square_factory() -> Box<dyn Processor> {
 }
 
 /// Runs the canonical `P[part]` → replicas → `P[merge]` stage and returns
-/// how many payload deep-copies the whole run performed.
-fn deep_copies_for(replicas: usize) -> u64 {
+/// how many payload deep-copies and heap allocations the whole run
+/// performed.
+fn budgets_for(replicas: usize) -> (u64, u64) {
     let sink = CollectSink::shared();
     let mut t = Topology::new();
     t.add_source("in", VecSource::new(items()));
@@ -57,34 +69,55 @@ fn deep_copies_for(replicas: usize) -> u64 {
         .input(Input::Queue("out".into()))
         .output(Output::Sink(Box::new(sink.clone())))
         .done();
-    let before = DataItem::deep_copies();
+    let copies_before = DataItem::deep_copies();
+    let allocs_before = allocation_count();
     Runtime::new(t).run().unwrap();
-    let after = DataItem::deep_copies();
+    let allocs = allocation_count() - allocs_before;
+    let copies = DataItem::deep_copies() - copies_before;
     assert_eq!(sink.items().len(), ITEMS, "replicas={replicas}: all items arrive");
-    after - before
+    (copies, allocs)
 }
 
-/// The per-item deep-copy budget is O(1) and independent of the replica
-/// count: 8 shards may not clone more than 1 shard does, beyond a small
-/// constant slack for the extra per-replica bookkeeping items (watermarks).
+/// The per-item deep-copy and allocation budgets are O(1) and independent
+/// of the replica count: 8 shards may not clone — or allocate — more than
+/// 1 shard does, beyond a small per-replica constant for the extra
+/// bookkeeping items (watermarks) and per-shard queues/threads.
 #[test]
-fn deep_copies_stay_constant_in_replica_count() {
-    let base = deep_copies_for(1);
+fn budgets_stay_constant_in_replica_count() {
+    let (base_copies, base_allocs) = budgets_for(1);
     assert!(
-        base <= 2 * ITEMS as u64,
-        "single-replica run stays within 2 deep-copies per item, got {base} for {ITEMS} items"
+        base_copies <= 2 * ITEMS as u64,
+        "single-replica run stays within 2 deep-copies per item, got {base_copies} for {ITEMS} items"
+    );
+    // With inline attributes, the run's allocation budget is a handful per
+    // item: detach Arcs on write (set "sq", shard/seq tagging), batch
+    // vectors, and queue hand-off — but no per-attribute or per-value
+    // allocations. The pre-flat-map representation paid several extra
+    // allocations per item for B-tree nodes and heap-string values alone
+    // (the bench_report ingest sweep measures that A/B directly).
+    assert!(
+        base_allocs <= 10 * ITEMS as u64,
+        "single-replica run stays within 10 allocations per item, got {base_allocs} for {ITEMS} items"
     );
     for replicas in [2usize, 4, 8] {
-        let copies = deep_copies_for(replicas);
-        // The slack term covers per-replica control items (one watermark
-        // bridge per shard per cadence), which is O(replicas) items each
-        // with an O(1) budget — NOT O(items × replicas).
-        let budget = base + 4 * replicas as u64 + 16;
+        let (copies, allocs) = budgets_for(replicas);
+        // The slack terms cover per-replica control items (one watermark
+        // bridge per shard per cadence) and per-replica infrastructure
+        // (threads, queues, merge buffers) — O(replicas) each with an O(1)
+        // budget, NOT O(items × replicas).
+        let copy_budget = base_copies + 4 * replicas as u64 + 16;
         assert!(
-            copies <= budget,
-            "replicas={replicas}: {copies} deep copies exceed budget {budget} \
-             (base {base} at 1 replica, {ITEMS} items) — the partition path \
+            copies <= copy_budget,
+            "replicas={replicas}: {copies} deep copies exceed budget {copy_budget} \
+             (base {base_copies} at 1 replica, {ITEMS} items) — the partition path \
              is deep-cloning payloads again"
+        );
+        let alloc_budget = base_allocs + base_allocs / 2 + 600 * replicas as u64;
+        assert!(
+            allocs <= alloc_budget,
+            "replicas={replicas}: {allocs} allocations exceed budget {alloc_budget} \
+             (base {base_allocs} at 1 replica, {ITEMS} items) — the partition path \
+             is allocating per item × replica again"
         );
     }
 }

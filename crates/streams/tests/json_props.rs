@@ -1,0 +1,113 @@
+//! Round-trip property tests for the zero-copy JSON scanner/writer.
+//!
+//! The wire format must be loss-free: `parse(serialize(x)) == x` for any
+//! `DataItem`, including values that stress the escape paths (quotes,
+//! backslashes, control characters, non-ASCII) and f64 shortest-round-trip
+//! formatting. Serialization must also be stable — re-serializing the
+//! parsed item reproduces the bytes — and malformed input must be rejected,
+//! not silently coerced.
+
+use insight_streams::item::{DataItem, Value};
+use proptest::prelude::*;
+
+/// Fixed key pool (the interner is process-global and permanent; arbitrary
+/// keys would grow it per proptest case). Escape-heavy *keys* are covered
+/// by the dedicated case below.
+const KEYS: [&str; 8] = ["a", "kind", "lat", "lon", "region", "text", "time", "zz"];
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        // Finite doubles only: the wire format has no NaN/Infinity.
+        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Float),
+        any::<bool>().prop_map(Value::Bool),
+        Just(Value::Null),
+        // Arbitrary (valid-UTF-8) strings: quotes, backslashes, control
+        // characters, astral-plane codepoints — everything escaping and
+        // surrogate-pair decoding must survive.
+        any::<String>().prop_map(Value::from),
+    ]
+}
+
+fn item_strategy() -> impl Strategy<Value = DataItem> {
+    proptest::collection::btree_map(0..KEYS.len(), value_strategy(), 0..KEYS.len()).prop_map(|m| {
+        let mut item = DataItem::new();
+        for (k, v) in m {
+            item.set(KEYS[k], v);
+        }
+        item
+    })
+}
+
+proptest! {
+    /// parse(serialize(x)) == x, and serialization is a fixed point after
+    /// one round trip.
+    #[test]
+    fn roundtrip_is_identity(item in item_strategy()) {
+        let json = item.to_json();
+        let back = DataItem::from_json(&json).expect("serializer output must parse");
+        prop_assert_eq!(&back, &item, "round trip changed the item: {}", json);
+        prop_assert_eq!(back.to_json(), json, "re-serialization is not byte-stable");
+    }
+
+    /// Float formatting round-trips exactly (shortest representation that
+    /// reparses to the same bits, modulo -0.0 == 0.0).
+    #[test]
+    fn float_roundtrip_is_exact(f in any::<f64>().prop_filter("finite", |f| f.is_finite())) {
+        let item = DataItem::new().with("f", f);
+        let back = DataItem::from_json(&item.to_json()).unwrap();
+        let got = back.get_f64("f").expect("float survives as a number");
+        prop_assert_eq!(got.to_bits(), f.to_bits(), "lossy float round trip");
+    }
+
+    /// Truncating a serialized item anywhere strictly inside produces a
+    /// parse error, never a silently-truncated item.
+    #[test]
+    fn truncation_is_rejected(item in item_strategy(), cut in 0.0..1.0f64) {
+        let json = item.to_json();
+        // Cut at a char boundary strictly inside the document.
+        let mut at = ((json.len() - 1) as f64 * cut) as usize;
+        while !json.is_char_boundary(at) {
+            at -= 1;
+        }
+        prop_assert!(DataItem::from_json(&json[..at]).is_err(), "accepted truncation at {at} of {json}");
+    }
+}
+
+/// Keys pass through the same escaping as string values.
+#[test]
+fn escaped_keys_roundtrip() {
+    let mut item = DataItem::new();
+    item.set("quote\"back\\slash", 1i64);
+    item.set("ctrl\nnew\tline", 2i64);
+    item.set("unicode-é-\u{1F68C}", 3i64);
+    let json = item.to_json();
+    let back = DataItem::from_json(&json).unwrap();
+    assert_eq!(back, item);
+    assert_eq!(back.get_i64("ctrl\nnew\tline"), Some(2));
+}
+
+/// A grab-bag of malformed documents the scanner must reject.
+#[test]
+fn malformed_documents_rejected() {
+    for bad in [
+        "",
+        "{",
+        "}",
+        "{\"a\":}",
+        "{\"a\":1,}",
+        "{\"a\" 1}",
+        "{\"a\":1}{",
+        "{\"a\":1} x",
+        "{\"a\":+1}",
+        "{\"a\":01e}",
+        "{\"a\":\"unterminated}",
+        "{\"a\":\"bad\\q\"}",
+        "{\"a\":\"\\ud800\"}",
+        "{\"a\":nul}",
+        "[1,2]",
+        "{\"a\":1 \"b\":2}",
+    ] {
+        assert!(DataItem::from_json(bad).is_err(), "accepted malformed input: {bad:?}");
+    }
+}
